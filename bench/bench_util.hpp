@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harnesses: running
+ * single collectives under the Table 3 scheduler configurations and
+ * emitting aligned tables plus CSV files under bench_results/.
+ */
+
+#ifndef THEMIS_BENCH_BENCH_UTIL_HPP
+#define THEMIS_BENCH_BENCH_UTIL_HPP
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/string_util.hpp"
+#include "core/ideal_estimator.hpp"
+#include "runtime/comm_runtime.hpp"
+#include "stats/csv_writer.hpp"
+#include "stats/summary.hpp"
+#include "topology/presets.hpp"
+
+namespace themis::bench {
+
+/** One Table 3 scheduling configuration. */
+struct SchedulerSetup
+{
+    std::string name;
+    runtime::RuntimeConfig config;
+};
+
+/** Baseline / Themis+FIFO / Themis+SCF (Table 3, simulated rows). */
+inline std::vector<SchedulerSetup>
+table3Schedulers()
+{
+    return {{"Baseline", runtime::baselineConfig()},
+            {"Themis+FIFO", runtime::themisFifoConfig()},
+            {"Themis+SCF", runtime::themisScfConfig()}};
+}
+
+/** Result of one simulated collective. */
+struct CollectiveRun
+{
+    TimeNs time = 0.0;
+    double weighted_util = 0.0;
+    std::vector<double> per_dim_util;
+};
+
+/** Simulate one collective of @p type/@p size on @p topo. */
+inline CollectiveRun
+runCollective(const Topology& topo, const runtime::RuntimeConfig& cfg,
+              CollectiveType type, Bytes size, int chunks = 64)
+{
+    sim::EventQueue queue;
+    runtime::CommRuntime comm(queue, topo, cfg);
+    CollectiveRequest req;
+    req.type = type;
+    req.size = size;
+    req.chunks = chunks;
+    const int id = comm.issue(req);
+    queue.run();
+    comm.finalizeStats();
+    CollectiveRun out;
+    out.time = comm.record(id).duration();
+    out.weighted_util = comm.utilization().weightedUtilization();
+    out.per_dim_util = comm.utilization().perDimUtilization();
+    return out;
+}
+
+/** All-Reduce shorthand. */
+inline CollectiveRun
+runAllReduce(const Topology& topo, const runtime::RuntimeConfig& cfg,
+             Bytes size, int chunks = 64)
+{
+    return runCollective(topo, cfg, CollectiveType::AllReduce, size,
+                         chunks);
+}
+
+/** The paper's microbenchmark size sweep, 100 MB to 1 GB. */
+inline std::vector<Bytes>
+microbenchSizes()
+{
+    return {100.0e6, 200.0e6, 300.0e6, 400.0e6, 500.0e6,
+            600.0e6, 700.0e6, 800.0e6, 900.0e6, 1.0e9};
+}
+
+/** Ensure bench_results/ exists and return the CSV path for @p name. */
+inline std::string
+csvPath(const std::string& name)
+{
+    const std::filesystem::path dir{"bench_results"};
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    return (dir / (name + ".csv")).string();
+}
+
+/** Print a standard bench header. */
+inline void
+printHeader(const std::string& title, const std::string& paper_ref)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("Reproduces: %s\n", paper_ref.c_str());
+    std::printf("==============================================================\n\n");
+}
+
+} // namespace themis::bench
+
+#endif // THEMIS_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Paper Sec 4.5 claim, evaluated (the paper argues it but reports no
+ * numbers "due to lack of space"): in-network collective offload
+ * lowers per-dimension traffic and fixed delay, but the hierarchical
+ * pipeline's load imbalance remains — so Themis keeps improving
+ * utilization on offload-capable platforms.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace themis;
+
+namespace {
+
+Topology
+withOffload(const Topology& topo)
+{
+    std::vector<DimensionConfig> dims = topo.dims();
+    for (auto& d : dims) {
+        if (d.kind == DimKind::Switch)
+            d.in_network_offload = true;
+    }
+    return Topology(topo.name() + "+offload", std::move(dims));
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "In-network collective offload (SHARP-class switches)",
+        "Sec 4.5 (qualitative claim; no paper numbers to match)");
+
+    stats::CsvWriter csv(bench::csvPath("extension_offload"));
+    csv.writeRow({"topology", "offload", "scheduler", "size_mb",
+                  "time_us", "avg_util"});
+
+    stats::TextTable t({"Topology", "Offload", "Baseline",
+                        "Themis+SCF", "Themis gain"});
+    for (const auto& base_topo : presets::nextGenTopologies()) {
+        for (bool offload : {false, true}) {
+            const Topology topo =
+                offload ? withOffload(base_topo) : base_topo;
+            const auto base = bench::runAllReduce(
+                topo, runtime::baselineConfig(), 1.0e9);
+            const auto scf = bench::runAllReduce(
+                topo, runtime::themisScfConfig(), 1.0e9);
+            t.addRow({base_topo.name(), offload ? "yes" : "no",
+                      fmtTime(base.time), fmtTime(scf.time),
+                      fmtDouble(base.time / scf.time, 2) + "x"});
+            for (const auto& [label, run] :
+                 {std::pair{"Baseline", base},
+                  std::pair{"Themis+SCF", scf}}) {
+                csv.writeRow({base_topo.name(), offload ? "1" : "0",
+                              label, "1000",
+                              fmtDouble(run.time / kUs, 2),
+                              fmtDouble(run.weighted_util, 4)});
+            }
+        }
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("\nReading: offload shrinks absolute times (less "
+                "traffic, 2-step latency) but the\nbaseline's "
+                "bottleneck-dimension imbalance persists, so Themis's "
+                "relative gain\nsurvives — the paper's Sec 4.5 "
+                "argument.\n");
+    return 0;
+}

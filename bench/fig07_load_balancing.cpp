@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Reproduces Fig 7: the Dim Load Tracker's view while scheduling the
+ * four chunks of the Fig 5 example. Baseline keeps a constant
+ * schedule, preserving the dim1/dim2 load gap; Themis routes chunk 2
+ * through dim2 first and chunks 3-4 through dim1 to close the gap.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/baseline_scheduler.hpp"
+#include "core/themis_scheduler.hpp"
+
+using namespace themis;
+
+namespace {
+
+LatencyModel
+fig5Model()
+{
+    DimensionConfig d1, d2;
+    d1.kind = d2.kind = DimKind::Switch;
+    d1.size = d2.size = 4;
+    d1.link_bw_gbps = 384.0;
+    d2.link_bw_gbps = 192.0;
+    d1.links_per_npu = d2.links_per_npu = 1;
+    d1.step_latency_ns = d2.step_latency_ns = 0.0;
+    return LatencyModel({d1, d2});
+}
+
+std::string
+rsOrderString(const ChunkSchedule& sched)
+{
+    std::string s;
+    for (const auto& st : sched.stages) {
+        if (st.phase == Phase::ReduceScatter) {
+            if (!s.empty())
+                s += " -> ";
+            s += "dim" + std::to_string(st.dim + 1);
+        }
+    }
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Dim Load Tracker evolution while scheduling 4 x 64MB chunks",
+        "Fig 7 (baseline vs Themis scheduling decisions)");
+
+    const auto model = fig5Model();
+    const double unit = 1.0e6; // 1 normalized unit in ns
+
+    // Replay Themis chunk by chunk to expose the tracker after each
+    // decision (the scheduler accounts the RS pass, Algorithm 1).
+    std::printf("Themis (Algorithm 1):\n");
+    stats::TextTable themis_t({"Chunk", "RS order", "dim1 load [u]",
+                               "dim2 load [u]"});
+    stats::CsvWriter csv(bench::csvPath("fig07_load_balancing"));
+    csv.writeRow({"scheduler", "chunk", "rs_order", "dim1_load_units",
+                  "dim2_load_units"});
+    {
+        ThemisScheduler sched(model);
+        // Schedule the full collective once; recompute the running
+        // loads by replaying stage loads chunk by chunk.
+        const auto out = sched.scheduleCollective(
+            CollectiveType::AllReduce, 256.0e6, 4);
+        DimLoadTracker tracker(model);
+        tracker.reset(CollectiveType::AllReduce);
+        for (const auto& c : out) {
+            std::vector<StageAssignment> rs_pass;
+            for (const auto& st : c.stages) {
+                if (st.phase == Phase::ReduceScatter)
+                    rs_pass.push_back(st);
+            }
+            tracker.add(model.stageLoads(c.size, rs_pass));
+            themis_t.addRow({std::to_string(c.chunk_id + 1),
+                             rsOrderString(c),
+                             fmtDouble(tracker.loads()[0] / unit, 2),
+                             fmtDouble(tracker.loads()[1] / unit, 2)});
+            csv.writeRow({"Themis", std::to_string(c.chunk_id + 1),
+                          rsOrderString(c),
+                          fmtDouble(tracker.loads()[0] / unit, 4),
+                          fmtDouble(tracker.loads()[1] / unit, 4)});
+        }
+    }
+    std::printf("%s\n", themis_t.render().c_str());
+
+    std::printf("Baseline (constant schedule):\n");
+    stats::TextTable base_t({"Chunk", "RS order", "dim1 load [u]",
+                             "dim2 load [u]"});
+    {
+        BaselineScheduler sched(model);
+        const auto out = sched.scheduleCollective(
+            CollectiveType::AllReduce, 256.0e6, 4);
+        DimLoadTracker tracker(model);
+        tracker.reset(CollectiveType::AllReduce);
+        for (const auto& c : out) {
+            std::vector<StageAssignment> rs_pass;
+            for (const auto& st : c.stages) {
+                if (st.phase == Phase::ReduceScatter)
+                    rs_pass.push_back(st);
+            }
+            tracker.add(model.stageLoads(c.size, rs_pass));
+            base_t.addRow({std::to_string(c.chunk_id + 1),
+                           rsOrderString(c),
+                           fmtDouble(tracker.loads()[0] / unit, 2),
+                           fmtDouble(tracker.loads()[1] / unit, 2)});
+            csv.writeRow({"Baseline", std::to_string(c.chunk_id + 1),
+                          rsOrderString(c),
+                          fmtDouble(tracker.loads()[0] / unit, 4),
+                          fmtDouble(tracker.loads()[1] / unit, 4)});
+        }
+    }
+    std::printf("%s", base_t.render().c_str());
+    std::printf("\nPaper expectation: Themis chunk 1 follows the "
+                "baseline, chunk 2 starts at dim2,\nchunks 3-4 start "
+                "at dim1 to close the load gap; the baseline keeps a "
+                "2:1 gap.\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces Fig 8: total communication time of All-Reduces from
+ * 100 MB to 1 GB on the six next-gen platforms, for Baseline,
+ * Themis+FIFO and Themis+SCF. The paper's qualitative result:
+ * Themis+FIFO cuts communication time 1.58x on average, Themis+SCF
+ * 1.72x (2.70x max).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace themis;
+
+int
+main()
+{
+    bench::printHeader(
+        "All-Reduce communication time vs collective size",
+        "Fig 8 (paper: Themis+SCF 1.72x average speedup, 2.70x max)");
+
+    stats::CsvWriter csv(bench::csvPath("fig08_allreduce_time"));
+    csv.writeRow({"topology", "size_mb", "scheduler", "time_us"});
+
+    double speedup_fifo_sum = 0.0, speedup_scf_sum = 0.0;
+    double speedup_scf_max = 0.0;
+    int cells = 0;
+
+    for (const auto& topo : presets::nextGenTopologies()) {
+        std::printf("%s (%s)\n", topo.name().c_str(),
+                    topo.sizeString().c_str());
+        stats::TextTable t({"Size", "Baseline [us]", "Themis+FIFO [us]",
+                            "Themis+SCF [us]", "SCF speedup"});
+        for (Bytes size : bench::microbenchSizes()) {
+            double times[3] = {0, 0, 0};
+            int i = 0;
+            for (const auto& setup : bench::table3Schedulers()) {
+                const auto run =
+                    bench::runAllReduce(topo, setup.config, size);
+                times[i++] = run.time;
+                csv.writeRow({topo.name(), fmtDouble(size / kMB, 0),
+                              setup.name,
+                              fmtDouble(run.time / kUs, 2)});
+            }
+            const double speedup_fifo = times[0] / times[1];
+            const double speedup_scf = times[0] / times[2];
+            speedup_fifo_sum += speedup_fifo;
+            speedup_scf_sum += speedup_scf;
+            speedup_scf_max = std::max(speedup_scf_max, speedup_scf);
+            ++cells;
+            t.addRow({fmtBytes(size), fmtDouble(times[0] / kUs, 1),
+                      fmtDouble(times[1] / kUs, 1),
+                      fmtDouble(times[2] / kUs, 1),
+                      fmtDouble(speedup_scf, 2) + "x"});
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+
+    std::printf("Average speedup over baseline across all topologies "
+                "and sizes:\n");
+    std::printf("  Themis+FIFO: %.2fx   (paper: 1.58x)\n",
+                speedup_fifo_sum / cells);
+    std::printf("  Themis+SCF:  %.2fx   (paper: 1.72x, max 2.70x; "
+                "measured max %.2fx)\n",
+                speedup_scf_sum / cells, speedup_scf_max);
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Reproduces Fig 9: per-dimension frontend activity rate over time
+ * for a 1 GB All-Reduce on 3D-SW_SW_SW_homo, in 100 us buckets. The
+ * paper: baseline leaves dim2/dim3 mostly inactive; Themis+FIFO
+ * shows occasional starvation dips; Themis+SCF stays near-continuous
+ * and finishes earliest.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace themis;
+
+namespace {
+
+void
+runAndPrint(const Topology& topo, const bench::SchedulerSetup& setup,
+            stats::CsvWriter& csv)
+{
+    sim::EventQueue queue;
+    runtime::CommRuntime comm(queue, topo, setup.config);
+    CollectiveRequest req;
+    req.type = CollectiveType::AllReduce;
+    req.size = 1.0e9;
+    req.chunks = 64;
+    comm.issue(req);
+    queue.run();
+    comm.finalizeStats();
+
+    const TimeNs end = queue.now();
+    const TimeNs bucket = 100.0 * kUs;
+    const auto profile = comm.activity().profile(bucket, end);
+
+    std::printf("%s  (elapsed %s)\n", setup.name.c_str(),
+                fmtTime(end).c_str());
+    // Render each dimension's activity as a sparkline over time.
+    const char* glyphs[] = {" ", ".", ":", "-", "=", "#"};
+    for (std::size_t d = 0; d < profile.rate.size(); ++d) {
+        std::string line;
+        for (std::size_t b = 0; b < profile.rate[d].size(); ++b) {
+            const double r = profile.rate[d][b];
+            const int g = r <= 0.0 ? 0
+                                   : 1 + static_cast<int>(r * 4.999);
+            line += glyphs[g > 5 ? 5 : g];
+            csv.writeRow({setup.name, "dim" + std::to_string(d + 1),
+                          fmtDouble(b * bucket / kUs, 0),
+                          fmtDouble(r, 4)});
+        }
+        double avg = 0.0;
+        for (double r : profile.rate[d])
+            avg += r;
+        avg /= profile.rate[d].empty() ? 1.0
+                                       : static_cast<double>(
+                                             profile.rate[d].size());
+        std::printf("  dim%zu |%s| avg %s\n", d + 1, line.c_str(),
+                    fmtPercent(avg).c_str());
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Per-dimension frontend activity, 1 GB All-Reduce on "
+        "3D-SW_SW_SW_homo (100 us buckets; '#'=100%, ' '=idle)",
+        "Fig 9");
+
+    stats::CsvWriter csv(bench::csvPath("fig09_activity"));
+    csv.writeRow({"scheduler", "dim", "bucket_start_us",
+                  "activity_rate"});
+
+    const auto topo = presets::make3DSwSwSwHomo();
+    for (const auto& setup : bench::table3Schedulers())
+        runAndPrint(topo, setup, csv);
+
+    std::printf("Paper expectation: baseline keeps dim2/dim3 largely "
+                "idle (dim1 is the pipeline\nbottleneck); Themis+FIFO "
+                "balances with occasional starvation dips; Themis+SCF\n"
+                "sustains activity on all dimensions and finishes "
+                "first.\n");
+    return 0;
+}

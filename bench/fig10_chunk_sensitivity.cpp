@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Reproduces Fig 10: average bandwidth utilization of a 100 MB
+ * All-Reduce as chunks-per-collective sweeps 4..512, on
+ * 3D-SW_SW_SW_hetero and 4D-Ring_FC_Ring_SW. The paper: baseline is
+ * insensitive to chunk count; Themis improves with more chunks
+ * (finer balancing) and Themis+SCF is stable from ~8 chunks.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace themis;
+
+int
+main()
+{
+    bench::printHeader(
+        "BW utilization vs chunks per collective (100 MB All-Reduce)",
+        "Fig 10");
+
+    stats::CsvWriter csv(bench::csvPath("fig10_chunk_sensitivity"));
+    csv.writeRow({"topology", "chunks", "scheduler", "avg_util"});
+
+    const std::vector<int> chunk_counts{4, 8, 16, 32, 64, 128, 256,
+                                        512};
+    const std::vector<Topology> topos{presets::make3DSwSwSwHetero(),
+                                      presets::make4DRingFcRingSw()};
+
+    for (const auto& topo : topos) {
+        std::printf("%s (%s)\n", topo.name().c_str(),
+                    topo.sizeString().c_str());
+        stats::TextTable t({"Chunks", "Baseline", "Themis+FIFO",
+                            "Themis+SCF"});
+        for (int chunks : chunk_counts) {
+            std::vector<std::string> row{std::to_string(chunks)};
+            for (const auto& setup : bench::table3Schedulers()) {
+                const auto run = bench::runAllReduce(
+                    topo, setup.config, 100.0e6, chunks);
+                row.push_back(fmtPercent(run.weighted_util));
+                csv.writeRow({topo.name(), std::to_string(chunks),
+                              setup.name,
+                              fmtDouble(run.weighted_util, 4)});
+            }
+            t.addRow(row);
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+
+    std::printf("Paper expectation: the baseline is nearly flat in "
+                "chunk count (dim1 bottleneck\nfixed); Themis gains "
+                "with finer chunks; the paper picked 64 chunks as the "
+                "default\n(95%% utilization at <0.5%% header "
+                "overhead).\n");
+    return 0;
+}

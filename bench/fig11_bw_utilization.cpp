@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reproduces Fig 11: average bandwidth utilization of All-Reduces
+ * from 100 MB to 1 GB on the six next-gen platforms. The paper's
+ * averages: Baseline 56.31%, Themis+FIFO 87.67%, Themis+SCF 95.14%.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace themis;
+
+int
+main()
+{
+    bench::printHeader(
+        "Average BW utilization vs collective size",
+        "Fig 11 (paper avgs: 56.31% / 87.67% / 95.14%)");
+
+    stats::CsvWriter csv(bench::csvPath("fig11_bw_utilization"));
+    csv.writeRow({"topology", "size_mb", "scheduler", "avg_util"});
+
+    double util_sum[3] = {0.0, 0.0, 0.0};
+    int cells = 0;
+
+    for (const auto& topo : presets::nextGenTopologies()) {
+        std::printf("%s (%s)\n", topo.name().c_str(),
+                    topo.sizeString().c_str());
+        stats::TextTable t({"Size", "Baseline", "Themis+FIFO",
+                            "Themis+SCF"});
+        for (Bytes size : bench::microbenchSizes()) {
+            std::vector<std::string> row{fmtBytes(size)};
+            int i = 0;
+            for (const auto& setup : bench::table3Schedulers()) {
+                const auto run =
+                    bench::runAllReduce(topo, setup.config, size);
+                row.push_back(fmtPercent(run.weighted_util));
+                util_sum[i++] += run.weighted_util;
+                csv.writeRow({topo.name(), fmtDouble(size / kMB, 0),
+                              setup.name,
+                              fmtDouble(run.weighted_util, 4)});
+            }
+            ++cells;
+            t.addRow(row);
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+
+    std::printf("Average BW utilization across all topologies/sizes:\n");
+    std::printf("  Baseline:    %s  (paper: 56.31%%)\n",
+                fmtPercent(util_sum[0] / cells).c_str());
+    std::printf("  Themis+FIFO: %s  (paper: 87.67%%)\n",
+                fmtPercent(util_sum[1] / cells).c_str());
+    std::printf("  Themis+SCF:  %s  (paper: 95.14%%)\n",
+                fmtPercent(util_sum[2] / cells).c_str());
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Reproduces Fig 12: end-to-end training iteration time for
+ * ResNet-152, GNMT, DLRM and Transformer-1T on the six next-gen
+ * platforms, decomposed into forward/backward compute and exposed
+ * MP/DP communication, for Baseline, Themis+SCF and Ideal. Times are
+ * normalized to the baseline of each (workload, topology) cell.
+ *
+ * The Ideal method runs the same training loop on a synthetic
+ * single-dimension platform whose bandwidth is the sum of all
+ * dimensions and whose latency is zero — exactly Table 3's
+ * "collective size / total BW" with the loop's overlap semantics.
+ *
+ * The paper reports 3 identical iterations; we simulate one (the
+ * normalized decomposition is identical).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "models/model_zoo.hpp"
+#include "workload/training_loop.hpp"
+
+using namespace themis;
+
+namespace {
+
+/** Zero-latency 1-dim platform pooling all of @p topo's bandwidth. */
+Topology
+idealTopology(const Topology& topo)
+{
+    DimensionConfig d;
+    d.kind = DimKind::Switch;
+    d.size = static_cast<int>(topo.totalNpus());
+    d.link_bw_gbps = bwToGbps(topo.totalBandwidth());
+    d.links_per_npu = 1;
+    d.step_latency_ns = 0.0;
+    return Topology(topo.name() + "-ideal", {d});
+}
+
+workload::IterationBreakdown
+runIteration(const Topology& topo, const runtime::RuntimeConfig& cfg,
+             const std::string& workload)
+{
+    sim::EventQueue queue;
+    runtime::CommRuntime comm(queue, topo, cfg);
+    workload::TrainingLoop loop(comm, models::byName(workload));
+    return loop.runIteration();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "End-to-end training iteration decomposition",
+        "Fig 12 (paper avg speedups: ResNet-152 1.49x, GNMT 1.30x, "
+        "DLRM 1.30x, Transformer-1T 1.25x)");
+
+    stats::CsvWriter csv(bench::csvPath("fig12_end_to_end"));
+    csv.writeRow({"workload", "topology", "method", "fwd_compute",
+                  "bwd_compute", "exposed_mp", "exposed_dp", "total",
+                  "normalized_total"});
+
+    for (const auto& workload : models::paperWorkloads()) {
+        std::printf("%s\n", workload.c_str());
+        stats::TextTable t({"Topology", "Method", "Fwd", "Bwd",
+                            "Exp MP", "Exp DP", "Total",
+                            "Normalized"});
+        double speedup_sum = 0.0, speedup_max = 0.0;
+        double ideal_sum = 0.0;
+        int cells = 0;
+        for (const auto& topo : presets::nextGenTopologies()) {
+            const auto base = runIteration(
+                topo, runtime::baselineConfig(), workload);
+            const auto scf = runIteration(
+                topo, runtime::themisScfConfig(), workload);
+            const auto ideal = runIteration(
+                idealTopology(topo), runtime::themisScfConfig(),
+                workload);
+
+            struct RowDef
+            {
+                const char* method;
+                const workload::IterationBreakdown* it;
+            };
+            const RowDef rows[] = {{"Baseline", &base},
+                                   {"Themis+SCF", &scf},
+                                   {"Ideal", &ideal}};
+            for (const auto& row : rows) {
+                const auto& it = *row.it;
+                t.addRow({topo.name(), row.method,
+                          fmtTime(it.fwd_compute),
+                          fmtTime(it.bwd_compute),
+                          fmtTime(it.exposed_mp),
+                          fmtTime(it.exposed_dp), fmtTime(it.total),
+                          fmtDouble(it.total / base.total, 3)});
+                csv.writeRow({workload, topo.name(), row.method,
+                              fmtDouble(it.fwd_compute, 1),
+                              fmtDouble(it.bwd_compute, 1),
+                              fmtDouble(it.exposed_mp, 1),
+                              fmtDouble(it.exposed_dp, 1),
+                              fmtDouble(it.total, 1),
+                              fmtDouble(it.total / base.total, 5)});
+            }
+            const double speedup = base.total / scf.total;
+            speedup_sum += speedup;
+            speedup_max = std::max(speedup_max, speedup);
+            ideal_sum += base.total / ideal.total;
+            ++cells;
+        }
+        std::printf("%s", t.render().c_str());
+        std::printf("  %s speedup: avg %.2fx, max %.2fx   (ideal "
+                    "bound avg %.2fx)\n\n",
+                    workload.c_str(), speedup_sum / cells, speedup_max,
+                    ideal_sum / cells);
+    }
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Reproduces Sec 6.3, "Insights for Future System Design": sweeps the
+ * bandwidth split between two dimensions of a 4x4 platform and shows
+ * the three provisioning scenarios:
+ *
+ *  - Under-Provisioned (BW1 > P1*BW2): no scheduler saturates both
+ *    dimensions — a prohibited design point;
+ *  - Just-Enough (BW1 = P1*BW2): the baseline already saturates;
+ *  - Over-Provisioned (BW1 < P1*BW2): the baseline wastes dim2's
+ *    excess; Themis recovers it.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "topology/provisioning.hpp"
+
+using namespace themis;
+
+namespace {
+
+/** 4x4 switch platform with a configurable dim1:dim2 BW ratio. */
+Topology
+sweepTopology(double bw1_gbps, double bw2_gbps)
+{
+    DimensionConfig d1, d2;
+    d1.kind = d2.kind = DimKind::Switch;
+    d1.size = d2.size = 4;
+    d1.link_bw_gbps = bw1_gbps;
+    d2.link_bw_gbps = bw2_gbps;
+    d1.links_per_npu = d2.links_per_npu = 1;
+    d1.step_latency_ns = d2.step_latency_ns = 100.0;
+    return Topology("sweep-4x4", {d1, d2});
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "BW-distribution scenarios on a 4x4 platform (1 GB All-Reduce)",
+        "Sec 6.3 (Just-Enough / Over- / Under-Provisioned)");
+
+    stats::CsvWriter csv(bench::csvPath("insights_bw_distribution"));
+    csv.writeRow({"bw1_gbps", "bw2_gbps", "ratio", "scenario",
+                  "baseline_util", "themis_util", "themis_speedup"});
+
+    // BW1 fixed at 800 Gb/s; sweep BW2. Just-Enough at BW2 = BW1/P1.
+    const double bw1 = 800.0;
+    const std::vector<double> bw2_values{50.0, 100.0, 200.0, 400.0,
+                                         800.0, 1600.0};
+    stats::TextTable t({"BW2 (Gb/s)", "BW1/(P1*BW2)", "Scenario",
+                        "Baseline util", "Themis+SCF util",
+                        "Themis speedup"});
+    for (double bw2 : bw2_values) {
+        const Topology topo = sweepTopology(bw1, bw2);
+        const auto pair = classifyPair(topo, 0, 1);
+        const auto base = bench::runAllReduce(
+            topo, runtime::baselineConfig(), 1.0e9);
+        const auto scf = bench::runAllReduce(
+            topo, runtime::themisScfConfig(), 1.0e9);
+        t.addRow({fmtDouble(bw2, 0), fmtDouble(pair.ratio, 2),
+                  provisionScenarioName(pair.scenario),
+                  fmtPercent(base.weighted_util),
+                  fmtPercent(scf.weighted_util),
+                  fmtDouble(base.time / scf.time, 2) + "x"});
+        csv.writeRow({fmtDouble(bw1, 0), fmtDouble(bw2, 0),
+                      fmtDouble(pair.ratio, 4),
+                      provisionScenarioName(pair.scenario),
+                      fmtDouble(base.weighted_util, 4),
+                      fmtDouble(scf.weighted_util, 4),
+                      fmtDouble(base.time / scf.time, 4)});
+    }
+    std::printf("%s\n", t.render().c_str());
+
+    std::printf(
+        "Reading:\n"
+        " - BW2 < 200 Gb/s (ratio > 1, Under-Provisioned): even Themis "
+        "cannot lift the\n   weighted utilization to 100%% — dim1 has "
+        "more bandwidth than any schedule can\n   load. Prohibited "
+        "design points.\n"
+        " - BW2 = 200 Gb/s (ratio 1, Just-Enough): the baseline is "
+        "already near-optimal.\n"
+        " - BW2 > 200 Gb/s (ratio < 1, Over-Provisioned): the baseline "
+        "strands dim2's\n   excess bandwidth; Themis redistributes "
+        "chunks and speeds up accordingly.\n");
+    return 0;
+}

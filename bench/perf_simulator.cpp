@@ -1,0 +1,95 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the simulator itself: event
+ * queue throughput, processor-sharing channel, scheduler cost, and
+ * whole-collective simulation rates. These guard the simulator's
+ * performance envelope (the Fig 8-12 harnesses sweep thousands of
+ * collective simulations).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/themis_scheduler.hpp"
+#include "runtime/comm_runtime.hpp"
+#include "topology/presets.hpp"
+
+using namespace themis;
+
+namespace {
+
+void
+BM_EventQueueScheduleRun(benchmark::State& state)
+{
+    const auto n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sim::EventQueue q;
+        long sum = 0;
+        for (int i = 0; i < n; ++i) {
+            q.schedule(static_cast<double>((i * 37) % 1000),
+                       [&sum, i] { sum += i; });
+        }
+        q.run();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(10000);
+
+void
+BM_SharedChannelConcurrency(benchmark::State& state)
+{
+    const auto n = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sim::EventQueue q;
+        sim::SharedChannel ch(q, 100.0);
+        for (int i = 0; i < n; ++i) {
+            q.schedule(static_cast<double>(i * 13),
+                       [&ch] { ch.begin(1.0e5, [] {}); });
+        }
+        q.run();
+        benchmark::DoNotOptimize(ch.progressedBytes());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SharedChannelConcurrency)->Arg(64)->Arg(512);
+
+void
+BM_ThemisScheduling(benchmark::State& state)
+{
+    const auto model =
+        LatencyModel::fromTopology(presets::make4DRingFcRingSw());
+    const auto chunks = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        ThemisScheduler sched(model);
+        auto out = sched.scheduleCollective(CollectiveType::AllReduce,
+                                            1.0e9, chunks);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * chunks);
+}
+BENCHMARK(BM_ThemisScheduling)->Arg(64)->Arg(512);
+
+void
+BM_SimulateAllReduce(benchmark::State& state)
+{
+    const auto topos = presets::nextGenTopologies();
+    const auto& topo = topos[static_cast<std::size_t>(state.range(0))];
+    for (auto _ : state) {
+        sim::EventQueue queue;
+        runtime::CommRuntime comm(queue, topo,
+                                  runtime::themisScfConfig());
+        CollectiveRequest req;
+        req.type = CollectiveType::AllReduce;
+        req.size = 1.0e9;
+        req.chunks = 64;
+        comm.issue(req);
+        queue.run();
+        benchmark::DoNotOptimize(comm.records().data());
+    }
+    state.SetLabel(topo.name());
+}
+BENCHMARK(BM_SimulateAllReduce)->DenseRange(0, 5);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Reproduces the paper's configuration tables:
+ *  - Table 1: topology -> contention-free collective algorithm,
+ *  - Table 2: target platforms with per-dimension parameters,
+ *  - Table 3: evaluated scheduling policies.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "collective/algorithms.hpp"
+#include "common/string_util.hpp"
+#include "topology/provisioning.hpp"
+
+using namespace themis;
+
+namespace {
+
+void
+printTable1()
+{
+    stats::TextTable t({"Topology", "Topology-aware Collective"});
+    for (DimKind kind : {DimKind::Ring, DimKind::FullyConnected,
+                         DimKind::Switch}) {
+        t.addRow({dimKindName(kind), algorithmFor(kind).name()});
+    }
+    std::printf("Table 1: topology-aware All-Reduce algorithms\n%s\n",
+                t.render().c_str());
+}
+
+void
+printTable2()
+{
+    stats::TextTable t({"Name", "NPUs", "Size", "Aggr BW/NPU (Gb/s)",
+                        "Latency (ns)", "Full util possible"});
+    for (const auto& topo : presets::allTopologies()) {
+        std::vector<std::string> bws, lats;
+        for (const auto& d : topo.dims()) {
+            bws.push_back(fmtDouble(bwToGbps(d.bandwidth()), 0));
+            lats.push_back(fmtDouble(d.step_latency_ns, 0));
+        }
+        t.addRow({topo.name(), std::to_string(topo.totalNpus()),
+                  topo.sizeString(), "(" + join(bws, ", ") + ")",
+                  "(" + join(lats, ", ") + ")",
+                  fullUtilizationPossible(topo) ? "yes" : "no"});
+    }
+    std::printf("Table 2: target topologies (plus the current 2D "
+                "platform of Fig 4)\n%s\n",
+                t.render().c_str());
+}
+
+void
+printTable3()
+{
+    stats::TextTable t({"Method", "Inter-dim scheduling",
+                        "Intra-dim policy"});
+    for (const auto& s : bench::table3Schedulers()) {
+        t.addRow({s.name, schedulerKindName(s.config.scheduler),
+                  intraDimPolicyName(s.config.intra_policy)});
+    }
+    t.addRow({"Ideal", "(100% BW pooling: size / total BW)", "-"});
+    std::printf("Table 3: target collective schedulers\n%s\n",
+                t.render().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader("Configuration tables",
+                       "Tables 1-3 of the Themis paper (ISCA'22)");
+    printTable1();
+    printTable2();
+    printTable3();
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Simulator validation: the dimension-granular runtime used by every
+ * figure harness is cross-checked against the per-NPU message-passing
+ * backend on the full 1024-NPU Table 2 platforms. On these symmetric
+ * platforms the two must agree exactly (the paper's Sec 5.1 accuracy
+ * argument); the bench also demonstrates the Sec 4.6.2 consistency
+ * mechanism under injected runtime skew.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/themis_scheduler.hpp"
+#include "npu/npu_machine.hpp"
+
+using namespace themis;
+
+int
+main()
+{
+    bench::printHeader(
+        "Backend cross-validation (dimension-granular vs per-NPU)",
+        "Sec 5.1 accuracy argument + Sec 4.6.2 consistency");
+
+    stats::CsvWriter csv(bench::csvPath("validation_npu"));
+    csv.writeRow({"topology", "frontend_us", "per_npu_us",
+                  "relative_error", "skew_deadlocks_of_5",
+                  "enforced_deadlocks_of_5"});
+
+    stats::TextTable t({"Topology", "Frontend", "Per-NPU (1024 NPUs)",
+                        "Error", "Skew deadlocks", "Enforced"});
+    for (const auto& topo : presets::nextGenTopologies()) {
+        const Bytes size = 2.0e8;
+        const int chunks = 16;
+        const auto model = LatencyModel::fromTopology(topo);
+        ThemisScheduler sched(model);
+        const auto schedules = sched.scheduleCollective(
+            CollectiveType::AllReduce, size, chunks);
+
+        const auto frontend = bench::runAllReduce(
+            topo, runtime::themisScfConfig(), size, chunks);
+        const auto per_npu = npu::simulatePerNpu(
+            topo, CollectiveType::AllReduce, schedules);
+        const double err =
+            std::abs(per_npu.makespan - frontend.time) / frontend.time;
+
+        // Consistency under skew: free-running vs enforced order.
+        ConsistencyPlanner planner(model, IntraDimPolicy::Scf);
+        const auto plan = planner.plan(schedules);
+        int free_deadlocks = 0, enforced_deadlocks = 0;
+        for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+            npu::NpuSimConfig cfg;
+            cfg.max_skew_ns = 20000.0;
+            cfg.seed = seed;
+            if (!npu::simulatePerNpu(topo, CollectiveType::AllReduce,
+                                     schedules, cfg)
+                     .completed) {
+                ++free_deadlocks;
+            }
+            cfg.enforced_order = plan.order;
+            if (!npu::simulatePerNpu(topo, CollectiveType::AllReduce,
+                                     schedules, cfg)
+                     .completed) {
+                ++enforced_deadlocks;
+            }
+        }
+
+        t.addRow({topo.name(), fmtTime(frontend.time),
+                  fmtTime(per_npu.makespan), fmtPercent(err),
+                  std::to_string(free_deadlocks) + "/5",
+                  std::to_string(enforced_deadlocks) + "/5"});
+        csv.writeRow({topo.name(), fmtDouble(frontend.time / kUs, 2),
+                      fmtDouble(per_npu.makespan / kUs, 2),
+                      fmtDouble(err, 6),
+                      std::to_string(free_deadlocks),
+                      std::to_string(enforced_deadlocks)});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf(
+        "\nReading: zero error confirms the symmetric-platform "
+        "equivalence every figure\nharness relies on. Under injected "
+        "per-NPU skew, free-running queues can wedge\n(different NPUs "
+        "pick different chunk orders, Sec 4.6.2); the enforced\n"
+        "pre-simulated order never does.\n");
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Network design-space exploration (the Sec 6.3 workflow): given a
+ * fixed total bandwidth budget per NPU, how should a system architect
+ * split it across the dimensions of a 3D platform?
+ *
+ * With baseline scheduling only the "Just Enough" split
+ * (BW proportional to accumulated size products) avoids waste; with
+ * Themis, any non-under-provisioned split performs — the scheduler
+ * frees the architect to optimize for cost/cabling instead.
+ */
+
+#include <cstdio>
+
+#include "common/string_util.hpp"
+#include "runtime/comm_runtime.hpp"
+#include "stats/summary.hpp"
+#include "topology/provisioning.hpp"
+
+using namespace themis;
+
+namespace {
+
+/** 16x8x8 switch platform with a given per-dim BW split (Gb/s). */
+Topology
+makeSplit(double bw1, double bw2, double bw3)
+{
+    auto sw = [](int size, double gbps, TimeNs lat) {
+        DimensionConfig d;
+        d.kind = DimKind::Switch;
+        d.size = size;
+        d.link_bw_gbps = gbps;
+        d.links_per_npu = 1;
+        d.step_latency_ns = lat;
+        return d;
+    };
+    return Topology("split", {sw(16, bw1, 700.0), sw(8, bw2, 700.0),
+                              sw(8, bw3, 1700.0)});
+}
+
+TimeNs
+allReduceTime(const Topology& topo, const runtime::RuntimeConfig& cfg)
+{
+    sim::EventQueue queue;
+    runtime::CommRuntime comm(queue, topo, cfg);
+    CollectiveRequest req;
+    req.type = CollectiveType::AllReduce;
+    req.size = 1.0e9;
+    req.chunks = 64;
+    const int id = comm.issue(req);
+    queue.run();
+    return comm.record(id).duration();
+}
+
+} // namespace
+
+int
+main()
+{
+    // 2400 Gb/s per NPU to distribute over a 16x8x8 platform. The
+    // "just enough" split scales BW by the accumulated size products
+    // *and* the per-dimension (P-1)/P wire-volume factors, so every
+    // pipeline stage takes exactly equal time (without the volume
+    // correction the loads drift and the greedy scheduler would
+    // needlessly reroute a chunk; see DESIGN.md).
+    struct Split
+    {
+        const char* label;
+        double bw[3];
+    };
+    const Split splits[] = {
+        {"baseline-friendly (just enough)", {2237.2, 130.5, 16.3}},
+        {"skewed to dim1", {1800.0, 400.0, 200.0}},
+        {"uniform", {800.0, 800.0, 800.0}},
+        {"skewed to outer dims", {400.0, 800.0, 1200.0}},
+        {"NIC-heavy", {600.0, 600.0, 1200.0}},
+    };
+
+    std::printf("Distributing 2400 Gb/s per NPU over 16x8x8 "
+                "(1 GB All-Reduce)\n\n");
+    stats::TextTable t({"Split (Gb/s)", "Scenario vs dim1",
+                        "Baseline", "Themis+SCF", "Themis gain"});
+    for (const auto& s : splits) {
+        const Topology topo = makeSplit(s.bw[0], s.bw[1], s.bw[2]);
+        // Worst pairwise classification against dim1. The 8% slack
+        // covers the (P-1)/P wire-volume correction, which the
+        // paper's raw BW-ratio formula does not include.
+        std::string scenario = "Just-Enough";
+        for (const auto& p : classifyAllPairs(topo, 0.08)) {
+            if (p.scenario == ProvisionScenario::UnderProvisioned)
+                scenario = "Under-Provisioned";
+            else if (p.scenario == ProvisionScenario::OverProvisioned &&
+                     scenario == "Just-Enough")
+                scenario = "Over-Provisioned";
+        }
+        const TimeNs base =
+            allReduceTime(topo, runtime::baselineConfig());
+        const TimeNs scf =
+            allReduceTime(topo, runtime::themisScfConfig());
+        t.addRow({std::string(s.label) + " (" +
+                      fmtDouble(s.bw[0], 0) + "/" +
+                      fmtDouble(s.bw[1], 0) + "/" +
+                      fmtDouble(s.bw[2], 0) + ")",
+                  scenario, fmtTime(base), fmtTime(scf),
+                  fmtDouble(base / scf, 2) + "x"});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf(
+        "\nTakeaway (Sec 6.3): with the baseline scheduler only the "
+        "first split avoids\nwaste, but it starves the outer "
+        "dimensions for every other traffic pattern.\nWith Themis the "
+        "architect may pick any split without an under-provisioned\n"
+        "pair and still get full utilization.\n");
+    return 0;
+}

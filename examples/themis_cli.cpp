@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Command-line collective simulator: the whole library behind one
+ * flag-driven binary, for quick what-if studies on custom platforms.
+ *
+ * Usage:
+ *   themis_cli [options]
+ *     --topo NAME|SPEC    Table 2 preset name, or a spec like
+ *                         "SW:16:200x6:700,SW:64:800:1700"
+ *                         (see topology/parse.hpp)   [3D-SW_SW_SW_homo]
+ *     --type ar|rs|ag|a2a collective pattern          [ar]
+ *     --size BYTES        per-NPU collective size     [1e9]
+ *     --chunks N          chunks per collective       [64]
+ *     --sched base|fifo|scf                           [scf]
+ *     --enforce           pre-simulate & enforce chunk-op orders
+ *
+ * Example:
+ *   themis_cli --topo "Ring:4:1000x2:20,SW:8:400:1700" --size 2.5e8
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+#include "core/ideal_estimator.hpp"
+#include "core/themis_scheduler.hpp"
+#include "npu/npu_machine.hpp"
+#include "runtime/comm_runtime.hpp"
+#include "stats/trace_writer.hpp"
+#include "topology/parse.hpp"
+#include "topology/presets.hpp"
+#include "topology/provisioning.hpp"
+
+using namespace themis;
+
+namespace {
+
+[[noreturn]] void
+usage(const char* argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--topo NAME|SPEC] [--type ar|rs|ag|a2a] "
+                 "[--size BYTES]\n"
+                 "          [--chunks N] [--sched base|fifo|scf] "
+                 "[--enforce]\n",
+                 argv0);
+    std::exit(2);
+}
+
+Topology
+resolveTopology(const std::string& arg)
+{
+    // Preset names contain no ':'; specs always do.
+    if (arg.find(':') == std::string::npos)
+        return presets::byName(arg);
+    return parseTopology("custom", arg);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string topo_arg = "3D-SW_SW_SW_homo";
+    std::string type_arg = "ar";
+    std::string sched_arg = "scf";
+    Bytes size = 1.0e9;
+    int chunks = 64;
+    bool enforce = false;
+    bool validate = false;
+    std::string trace_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto need_value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (flag == "--topo") {
+            topo_arg = need_value();
+        } else if (flag == "--type") {
+            type_arg = toLower(need_value());
+        } else if (flag == "--size") {
+            size = std::atof(need_value().c_str());
+        } else if (flag == "--chunks") {
+            chunks = std::atoi(need_value().c_str());
+        } else if (flag == "--sched") {
+            sched_arg = toLower(need_value());
+        } else if (flag == "--enforce") {
+            enforce = true;
+        } else if (flag == "--trace") {
+            trace_path = need_value();
+        } else if (flag == "--validate") {
+            validate = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    try {
+        const Topology topo = resolveTopology(topo_arg);
+
+        CollectiveRequest req;
+        req.size = size;
+        req.chunks = chunks;
+        if (type_arg == "ar")
+            req.type = CollectiveType::AllReduce;
+        else if (type_arg == "rs")
+            req.type = CollectiveType::ReduceScatter;
+        else if (type_arg == "ag")
+            req.type = CollectiveType::AllGather;
+        else if (type_arg == "a2a")
+            req.type = CollectiveType::AllToAll;
+        else
+            usage(argv[0]);
+
+        runtime::RuntimeConfig cfg;
+        if (sched_arg == "base")
+            cfg = runtime::baselineConfig();
+        else if (sched_arg == "fifo")
+            cfg = runtime::themisFifoConfig();
+        else if (sched_arg == "scf")
+            cfg = runtime::themisScfConfig();
+        else
+            usage(argv[0]);
+        cfg.enforce_consistent_order = enforce;
+
+        std::printf("%s", topo.describe().c_str());
+        for (const auto& pair : classifyAllPairs(topo)) {
+            std::printf("  dim%d vs dim%d: %s (ratio %.2f)\n",
+                        pair.dim_k + 1, pair.dim_l + 1,
+                        provisionScenarioName(pair.scenario).c_str(),
+                        pair.ratio);
+        }
+
+        sim::EventQueue queue;
+        runtime::CommRuntime comm(queue, topo, cfg);
+        stats::TraceWriter trace;
+        if (!trace_path.empty())
+            comm.attachTrace(trace);
+        const int id = comm.issue(req);
+        queue.run();
+        comm.finalizeStats();
+        if (!trace_path.empty()) {
+            trace.writeFile(trace_path);
+            std::printf("trace: %zu ops -> %s (open in "
+                        "chrome://tracing)\n",
+                        trace.eventCount(), trace_path.c_str());
+        }
+
+        const auto& rec = comm.record(id);
+        std::printf("\n%s of %s in %d chunks under %s%s:\n",
+                    collectiveTypeName(req.type).c_str(),
+                    fmtBytes(req.size).c_str(), chunks,
+                    sched_arg == "base" ? "Baseline"
+                                        : ("Themis+" + sched_arg).c_str(),
+                    enforce ? " (enforced order)" : "");
+        std::printf("  time        : %s\n",
+                    fmtTime(rec.duration()).c_str());
+        std::printf("  avg BW util : %s\n",
+                    fmtPercent(comm.utilization().weightedUtilization())
+                        .c_str());
+        const auto per_dim = comm.utilization().perDimUtilization();
+        for (std::size_t d = 0; d < per_dim.size(); ++d)
+            std::printf("  dim%zu util  : %s\n", d + 1,
+                        fmtPercent(per_dim[d]).c_str());
+        const auto model = LatencyModel::fromTopology(topo);
+        std::printf("  ideal       : %s (size / total BW)\n",
+                    fmtTime(idealCollectiveTime(req.type, req.size,
+                                                model))
+                        .c_str());
+
+        if (validate) {
+            // Re-simulate with every NPU modelled individually; on a
+            // symmetric platform the two backends must agree.
+            auto sched = makeScheduler(cfg.scheduler, model,
+                                       cfg.themis);
+            const auto schedules = sched->scheduleCollective(
+                req.type,
+                schedulableSize(req.type, req.size, model.dimSizes()),
+                req.chunks);
+            npu::NpuSimConfig npu_cfg;
+            npu_cfg.policy = cfg.intra_policy;
+            npu_cfg.admission = cfg.admission;
+            const auto per_npu = npu::simulatePerNpu(
+                topo, req.type, schedules, npu_cfg);
+            std::printf("  per-NPU     : %s on %ld NPUs (%s; error "
+                        "%.4f%%)\n",
+                        fmtTime(per_npu.makespan).c_str(),
+                        topo.totalNpus(),
+                        per_npu.completed ? "completed" : "DEADLOCK",
+                        100.0 *
+                            std::abs(per_npu.makespan -
+                                     rec.duration()) /
+                            rec.duration());
+        }
+        return 0;
+    } catch (const ConfigError& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

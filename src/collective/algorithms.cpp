@@ -1,0 +1,183 @@
+#include "collective/algorithms.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace themis {
+
+namespace {
+
+int
+log2Exact(int v)
+{
+    THEMIS_ASSERT(isPowerOfTwo(v), "size " << v << " not a power of two");
+    int l = 0;
+    while ((1 << l) < v)
+        ++l;
+    return l;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- Ring
+
+int
+RingAlgorithm::numSteps(Phase phase, const DimensionConfig& dim) const
+{
+    (void)phase; // RS, AG and A2A all take P-1 neighbour hops
+    return dim.size - 1;
+}
+
+std::vector<StepPlan>
+RingAlgorithm::plan(Phase phase, Bytes entering,
+                    const DimensionConfig& dim) const
+{
+    const int steps = numSteps(phase, dim);
+    const Bytes total = wireBytes(phase, entering, dim.size);
+    const Bytes per_step = total / steps;
+    std::vector<StepPlan> out(static_cast<std::size_t>(steps));
+    for (auto& s : out) {
+        s.latency = dim.step_latency_ns;
+        s.bytes = per_step;
+    }
+    return out;
+}
+
+// -------------------------------------------------------------- Direct
+
+int
+DirectAlgorithm::numSteps(Phase phase, const DimensionConfig& dim) const
+{
+    (void)phase;
+    const int peers = dim.size - 1;
+    return (peers + dim.links_per_npu - 1) / dim.links_per_npu;
+}
+
+std::vector<StepPlan>
+DirectAlgorithm::plan(Phase phase, Bytes entering,
+                      const DimensionConfig& dim) const
+{
+    const int steps = numSteps(phase, dim);
+    const Bytes total = wireBytes(phase, entering, dim.size);
+    const Bytes per_step = total / steps;
+    std::vector<StepPlan> out(static_cast<std::size_t>(steps));
+    for (auto& s : out) {
+        s.latency = dim.step_latency_ns;
+        s.bytes = per_step;
+    }
+    return out;
+}
+
+// ---------------------------------------------------- Halving-Doubling
+
+int
+HalvingDoublingAlgorithm::numSteps(Phase phase,
+                                   const DimensionConfig& dim) const
+{
+    (void)phase;
+    return log2Exact(dim.size);
+}
+
+std::vector<StepPlan>
+HalvingDoublingAlgorithm::plan(Phase phase, Bytes entering,
+                               const DimensionConfig& dim) const
+{
+    const int steps = numSteps(phase, dim);
+    std::vector<StepPlan> out(static_cast<std::size_t>(steps));
+    switch (phase) {
+      case Phase::ReduceScatter: {
+        // Recursive halving: exchange entering/2, entering/4, ...
+        Bytes sz = entering / 2.0;
+        for (auto& s : out) {
+            s.latency = dim.step_latency_ns;
+            s.bytes = sz;
+            sz /= 2.0;
+        }
+        break;
+      }
+      case Phase::AllGather: {
+        // Recursive doubling: exchange shard, 2*shard, 4*shard, ...
+        Bytes sz = entering;
+        for (auto& s : out) {
+            s.latency = dim.step_latency_ns;
+            s.bytes = sz;
+            sz *= 2.0;
+        }
+        break;
+      }
+      case Phase::AllToAll: {
+        // Bruck-style exchange through the switch: equal volume per
+        // step, total (P-1)/P of the resident data.
+        const Bytes total = wireBytes(phase, entering, dim.size);
+        for (auto& s : out) {
+            s.latency = dim.step_latency_ns;
+            s.bytes = total / steps;
+        }
+        break;
+      }
+    }
+    return out;
+}
+
+// ------------------------------------------------- In-network offload
+
+int
+InNetworkOffloadAlgorithm::numSteps(Phase phase,
+                                    const DimensionConfig& dim) const
+{
+    (void)phase;
+    (void)dim;
+    return 2; // NPU -> switch -> NPU
+}
+
+std::vector<StepPlan>
+InNetworkOffloadAlgorithm::plan(Phase phase, Bytes entering,
+                                const DimensionConfig& dim) const
+{
+    // Egress per NPU: RS streams the resident data up once; AG
+    // streams the shard up once (the switch multicasts); A2A is
+    // forwarded without reduction, so the usual (P-1)/P leaves.
+    Bytes total = 0.0;
+    switch (phase) {
+      case Phase::ReduceScatter:
+      case Phase::AllGather:
+        total = entering;
+        break;
+      case Phase::AllToAll:
+        total = wireBytes(phase, entering, dim.size);
+        break;
+    }
+    return {StepPlan{dim.step_latency_ns, total / 2.0},
+            StepPlan{dim.step_latency_ns, total / 2.0}};
+}
+
+// ------------------------------------------------------------ Registry
+
+const CollectiveAlgorithm&
+algorithmFor(DimKind kind)
+{
+    static const RingAlgorithm ring;
+    static const DirectAlgorithm direct;
+    static const HalvingDoublingAlgorithm hd;
+    switch (kind) {
+      case DimKind::Ring:           return ring;
+      case DimKind::FullyConnected: return direct;
+      case DimKind::Switch:         return hd;
+    }
+    THEMIS_PANIC("unknown DimKind " << static_cast<int>(kind));
+}
+
+const CollectiveAlgorithm&
+algorithmFor(const DimensionConfig& dim)
+{
+    static const InNetworkOffloadAlgorithm offload;
+    if (dim.in_network_offload) {
+        THEMIS_ASSERT(dim.kind == DimKind::Switch,
+                      "offload on a non-switch dimension");
+        return offload;
+    }
+    return algorithmFor(dim.kind);
+}
+
+} // namespace themis

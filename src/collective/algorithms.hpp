@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Topology-aware basic collective algorithms (paper Table 1, Sec 2.2).
+ *
+ * Each algorithm turns (phase, entering chunk size, dimension) into a
+ * sequence of steps; a step is a fixed latency (the NPU-to-NPU
+ * minimum-message delay) followed by a byte transfer that occupies the
+ * dimension's bandwidth. The per-dimension communication runtime
+ * executes these step plans; the Themis latency model sums them.
+ *
+ * Wire-volume invariant shared by all three algorithms: a phase on a
+ * dimension of size P moves wireBytes(phase, entering, P) bytes per
+ * NPU; the algorithms differ in the number of steps (and hence the
+ * fixed delay A_K = steps * step_latency).
+ */
+
+#ifndef THEMIS_COLLECTIVE_ALGORITHMS_HPP
+#define THEMIS_COLLECTIVE_ALGORITHMS_HPP
+
+#include <string>
+#include <vector>
+
+#include "collective/phase.hpp"
+#include "topology/dimension.hpp"
+
+namespace themis {
+
+/** One algorithm step: wait @p latency, then transfer @p bytes. */
+struct StepPlan
+{
+    TimeNs latency = 0.0;
+    Bytes bytes = 0.0;
+};
+
+/**
+ * Interface of a basic (single-dimension) collective algorithm.
+ * Implementations are stateless; use algorithmFor() to obtain the
+ * Table 1 mapping.
+ */
+class CollectiveAlgorithm
+{
+  public:
+    virtual ~CollectiveAlgorithm() = default;
+
+    /** Algorithm name, e.g. "Ring". */
+    virtual std::string name() const = 0;
+
+    /** Number of communication steps for @p phase on @p dim. */
+    virtual int numSteps(Phase phase, const DimensionConfig& dim)
+        const = 0;
+
+    /**
+     * Full step plan for one chunk: @p entering is the per-NPU data
+     * size before the stage begins. The sum of plan bytes equals
+     * wireBytes(phase, entering, dim.size).
+     */
+    virtual std::vector<StepPlan> plan(Phase phase, Bytes entering,
+                                       const DimensionConfig& dim)
+        const = 0;
+
+    /** Fixed delay A_K = numSteps * step latency (paper Sec 4.4). */
+    TimeNs
+    fixedDelay(Phase phase, const DimensionConfig& dim) const
+    {
+        return numSteps(phase, dim) * dim.step_latency_ns;
+    }
+};
+
+/**
+ * Ring algorithm: P-1 steps; RS moves entering/P per step, AG moves
+ * the shard per step. Natural contention-free fit for ring wiring.
+ */
+class RingAlgorithm final : public CollectiveAlgorithm
+{
+  public:
+    std::string name() const override { return "Ring"; }
+    int numSteps(Phase phase, const DimensionConfig& dim) const override;
+    std::vector<StepPlan> plan(Phase phase, Bytes entering,
+                               const DimensionConfig& dim) const override;
+};
+
+/**
+ * Direct algorithm for fully-connected dimensions: every NPU exchanges
+ * with every peer simultaneously. With fewer than P-1 links the
+ * exchange serializes into ceil((P-1)/links) rounds.
+ */
+class DirectAlgorithm final : public CollectiveAlgorithm
+{
+  public:
+    std::string name() const override { return "Direct"; }
+    int numSteps(Phase phase, const DimensionConfig& dim) const override;
+    std::vector<StepPlan> plan(Phase phase, Bytes entering,
+                               const DimensionConfig& dim) const override;
+};
+
+/**
+ * Halving-doubling for switched dimensions: log2(P) steps; RS halves
+ * the active data each step (recursive halving), AG doubles it
+ * (recursive doubling). Requires power-of-two group sizes.
+ */
+class HalvingDoublingAlgorithm final : public CollectiveAlgorithm
+{
+  public:
+    std::string name() const override { return "HalvingDoubling"; }
+    int numSteps(Phase phase, const DimensionConfig& dim) const override;
+    std::vector<StepPlan> plan(Phase phase, Bytes entering,
+                               const DimensionConfig& dim) const override;
+};
+
+/**
+ * In-network collective offload (paper Sec 4.5, SHARP-class): the
+ * switch reduces and multicasts. Two switch traversals regardless of
+ * group size (A_K = 2 * step latency); egress traffic per NPU is the
+ * resident data streamed once for RS and the shard streamed once for
+ * AG (the multicast fan-out happens inside the fabric).
+ */
+class InNetworkOffloadAlgorithm final : public CollectiveAlgorithm
+{
+  public:
+    std::string name() const override { return "InNetworkOffload"; }
+    int numSteps(Phase phase, const DimensionConfig& dim) const override;
+    std::vector<StepPlan> plan(Phase phase, Bytes entering,
+                               const DimensionConfig& dim) const override;
+};
+
+/**
+ * Table 1 mapping: Ring -> Ring, FullyConnected -> Direct,
+ * Switch -> HalvingDoubling. Returns a process-lifetime singleton.
+ */
+const CollectiveAlgorithm& algorithmFor(DimKind kind);
+
+/**
+ * Algorithm for a concrete dimension: Table 1 by wiring, except that
+ * offload-capable switches (Sec 4.5) use InNetworkOffload.
+ */
+const CollectiveAlgorithm& algorithmFor(const DimensionConfig& dim);
+
+} // namespace themis
+
+#endif // THEMIS_COLLECTIVE_ALGORITHMS_HPP

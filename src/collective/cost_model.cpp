@@ -1,0 +1,54 @@
+#include "collective/cost_model.hpp"
+
+#include "common/error.hpp"
+
+namespace themis {
+
+TimeNs
+chunkTransferTime(Phase phase, Bytes entering, const DimensionConfig& dim)
+{
+    // Sum the algorithm's plan rather than using wireBytes() directly:
+    // in-network offload changes the egress volume (Sec 4.5).
+    Bytes total = 0.0;
+    for (const auto& step :
+         algorithmFor(dim).plan(phase, entering, dim)) {
+        total += step.bytes;
+    }
+    return total / dim.bandwidth();
+}
+
+TimeNs
+phaseFixedDelay(Phase phase, const DimensionConfig& dim)
+{
+    return algorithmFor(dim).fixedDelay(phase, dim);
+}
+
+TimeNs
+typeFixedDelay(CollectiveType type, const DimensionConfig& dim)
+{
+    switch (type) {
+      case CollectiveType::AllReduce:
+        return phaseFixedDelay(Phase::ReduceScatter, dim) +
+               phaseFixedDelay(Phase::AllGather, dim);
+      case CollectiveType::ReduceScatter:
+        return phaseFixedDelay(Phase::ReduceScatter, dim);
+      case CollectiveType::AllGather:
+        return phaseFixedDelay(Phase::AllGather, dim);
+      case CollectiveType::AllToAll:
+        return phaseFixedDelay(Phase::AllToAll, dim);
+    }
+    THEMIS_PANIC("unknown CollectiveType");
+}
+
+TimeNs
+chunkOpTime(Phase phase, Bytes entering, const DimensionConfig& dim)
+{
+    TimeNs total = 0.0;
+    for (const auto& step :
+         algorithmFor(dim).plan(phase, entering, dim)) {
+        total += step.latency + step.bytes / dim.bandwidth();
+    }
+    return total;
+}
+
+} // namespace themis

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Closed-form timing of one chunk operation on one dimension
+ * (paper Sec 4.4): Latency(dimK) = A_K + N_K * B_K (+ idle, which is a
+ * property of the runtime schedule, not of a single op).
+ */
+
+#ifndef THEMIS_COLLECTIVE_COST_MODEL_HPP
+#define THEMIS_COLLECTIVE_COST_MODEL_HPP
+
+#include "collective/algorithms.hpp"
+#include "collective/phase.hpp"
+#include "topology/dimension.hpp"
+
+namespace themis {
+
+/**
+ * Serialization time only (N * B): wire bytes at the dimension's
+ * aggregate bandwidth, excluding step latencies.
+ */
+TimeNs chunkTransferTime(Phase phase, Bytes entering,
+                         const DimensionConfig& dim);
+
+/** Fixed delay A_K for one phase: steps * step latency (Table 1 algo). */
+TimeNs phaseFixedDelay(Phase phase, const DimensionConfig& dim);
+
+/**
+ * Fixed delay A_K for a whole collective type on this dimension; an
+ * All-Reduce pays both its RS and AG stage latencies (e.g. ring-based
+ * All-Reduce takes 2P-2 steps, paper Sec 4.4).
+ */
+TimeNs typeFixedDelay(CollectiveType type, const DimensionConfig& dim);
+
+/**
+ * Complete single-op time on an otherwise idle dimension:
+ * A + N * B, summed over the algorithm's step plan.
+ */
+TimeNs chunkOpTime(Phase phase, Bytes entering,
+                   const DimensionConfig& dim);
+
+} // namespace themis
+
+#endif // THEMIS_COLLECTIVE_COST_MODEL_HPP

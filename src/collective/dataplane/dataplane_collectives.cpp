@@ -1,0 +1,486 @@
+#include "collective/dataplane/dataplane_collectives.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace themis {
+
+namespace {
+
+/** Slice @p seg into @p parts equal consecutive pieces. */
+std::vector<DataSegment>
+sliceSegment(const DataSegment& seg, int parts)
+{
+    THEMIS_ASSERT(parts > 0, "bad slice count " << parts);
+    THEMIS_ASSERT(seg.size() % static_cast<std::size_t>(parts) == 0,
+                  "segment of " << seg.size() << " elements not divisible"
+                                << " into " << parts << " blocks");
+    const std::size_t block = seg.size() / static_cast<std::size_t>(parts);
+    std::vector<DataSegment> out(static_cast<std::size_t>(parts));
+    for (int p = 0; p < parts; ++p) {
+        auto& s = out[static_cast<std::size_t>(p)];
+        const std::size_t base = static_cast<std::size_t>(p) * block;
+        s.offsets.assign(seg.offsets.begin() + static_cast<long>(base),
+                         seg.offsets.begin() + static_cast<long>(base + block));
+        s.values.assign(seg.values.begin() + static_cast<long>(base),
+                        seg.values.begin() + static_cast<long>(base + block));
+    }
+    return out;
+}
+
+/** Elementwise add @p src into @p dst; offsets must match exactly. */
+void
+accumulate(DataSegment& dst, const DataSegment& src)
+{
+    THEMIS_ASSERT(dst.offsets == src.offsets,
+                  "accumulate offset mismatch (" << dst.size() << " vs "
+                                                 << src.size() << ")");
+    for (std::size_t i = 0; i < dst.values.size(); ++i)
+        dst.values[i] += src.values[i];
+}
+
+/** Merge disjoint sorted segments into one sorted segment. */
+DataSegment
+mergeSegments(std::vector<DataSegment> parts)
+{
+    DataSegment out;
+    std::size_t total = 0;
+    for (const auto& p : parts)
+        total += p.size();
+    out.offsets.reserve(total);
+    out.values.reserve(total);
+    // Sort parts by first offset, then do a full merge with a
+    // disjointness check (parts can interleave after strided shards).
+    std::vector<std::size_t> cursor(parts.size(), 0);
+    for (std::size_t produced = 0; produced < total; ++produced) {
+        std::size_t best = parts.size();
+        std::int64_t best_off = 0;
+        for (std::size_t p = 0; p < parts.size(); ++p) {
+            if (cursor[p] >= parts[p].size())
+                continue;
+            const std::int64_t off = parts[p].offsets[cursor[p]];
+            if (best == parts.size() || off < best_off) {
+                best = p;
+                best_off = off;
+            }
+        }
+        THEMIS_ASSERT(best < parts.size(), "merge ran dry");
+        THEMIS_ASSERT(out.offsets.empty() || out.offsets.back() < best_off,
+                      "merge segments overlap at offset " << best_off);
+        out.offsets.push_back(best_off);
+        out.values.push_back(parts[best].values[cursor[best]]);
+        ++cursor[best];
+    }
+    return out;
+}
+
+} // namespace
+
+DataPlane::DataPlane(const LogicalMachine& machine,
+                     std::vector<DimKind> kinds, std::int64_t elements,
+                     std::vector<bool> offload)
+    : machine_(machine), kinds_(std::move(kinds)), elements_(elements),
+      offload_(std::move(offload)),
+      buffers_(static_cast<std::size_t>(machine.numNpus()))
+{
+    if (static_cast<int>(kinds_.size()) != machine_.numDims())
+        THEMIS_FATAL("need one algorithm kind per dimension: got "
+                     << kinds_.size() << " for " << machine_.numDims()
+                     << " dims");
+    if (offload_.empty())
+        offload_.assign(kinds_.size(), false);
+    if (offload_.size() != kinds_.size())
+        THEMIS_FATAL("offload flags rank mismatch");
+    for (std::size_t d = 0; d < kinds_.size(); ++d) {
+        if (offload_[d] && kinds_[d] != DimKind::Switch)
+            THEMIS_FATAL("in-network offload requires a switch "
+                         "dimension");
+    }
+    if (elements_ <= 0 || elements_ % machine_.numNpus() != 0)
+        THEMIS_FATAL("element count " << elements_
+                                      << " must be a positive multiple of "
+                                      << machine_.numNpus());
+}
+
+void
+DataPlane::initFullReplicas(const Seeder& f)
+{
+    for (int npu = 0; npu < machine_.numNpus(); ++npu) {
+        auto& buf = buffers_[static_cast<std::size_t>(npu)];
+        buf.offsets.resize(static_cast<std::size_t>(elements_));
+        buf.values.resize(static_cast<std::size_t>(elements_));
+        for (std::int64_t o = 0; o < elements_; ++o) {
+            buf.offsets[static_cast<std::size_t>(o)] = o;
+            buf.values[static_cast<std::size_t>(o)] = f(npu, o);
+        }
+    }
+}
+
+void
+DataPlane::initShards(const Seeder& f)
+{
+    const std::int64_t shard = elements_ / machine_.numNpus();
+    for (int npu = 0; npu < machine_.numNpus(); ++npu) {
+        auto& buf = buffers_[static_cast<std::size_t>(npu)];
+        buf.offsets.resize(static_cast<std::size_t>(shard));
+        buf.values.resize(static_cast<std::size_t>(shard));
+        for (std::int64_t i = 0; i < shard; ++i) {
+            const std::int64_t o = npu * shard + i;
+            buf.offsets[static_cast<std::size_t>(i)] = o;
+            buf.values[static_cast<std::size_t>(i)] = f(npu, o);
+        }
+    }
+}
+
+void
+DataPlane::reduceScatterDim(int d)
+{
+    for (const auto& group : machine_.allGroups(d)) {
+        if (offload_[static_cast<std::size_t>(d)]) {
+            offloadReduceScatterGroup(group);
+            continue;
+        }
+        switch (kinds_[static_cast<std::size_t>(d)]) {
+          case DimKind::Ring:
+            ringReduceScatterGroup(group);
+            break;
+          case DimKind::FullyConnected:
+            directReduceScatterGroup(group);
+            break;
+          case DimKind::Switch:
+            hdReduceScatterGroup(group);
+            break;
+        }
+    }
+}
+
+void
+DataPlane::allGatherDim(int d)
+{
+    for (const auto& group : machine_.allGroups(d)) {
+        if (offload_[static_cast<std::size_t>(d)]) {
+            offloadAllGatherGroup(group);
+            continue;
+        }
+        switch (kinds_[static_cast<std::size_t>(d)]) {
+          case DimKind::Ring:
+            ringAllGatherGroup(group);
+            break;
+          case DimKind::FullyConnected:
+            directAllGatherGroup(group);
+            break;
+          case DimKind::Switch:
+            hdAllGatherGroup(group);
+            break;
+        }
+    }
+}
+
+void
+DataPlane::runAllReduce(const std::vector<int>& rs_order,
+                        const std::vector<int>& ag_order)
+{
+    THEMIS_ASSERT(static_cast<int>(rs_order.size()) == machine_.numDims() &&
+                      static_cast<int>(ag_order.size()) == machine_.numDims(),
+                  "All-Reduce schedule must cover every dimension");
+    for (int d : rs_order)
+        reduceScatterDim(d);
+    for (int d : ag_order)
+        allGatherDim(d);
+}
+
+const DataSegment&
+DataPlane::segment(int npu) const
+{
+    THEMIS_ASSERT(npu >= 0 && npu < machine_.numNpus(),
+                  "bad NPU id " << npu);
+    return buffers_[static_cast<std::size_t>(npu)];
+}
+
+// ------------------------------------------------------ ring algorithm
+
+void
+DataPlane::ringReduceScatterGroup(const std::vector<int>& group)
+{
+    const int p = static_cast<int>(group.size());
+    // Every member holds the same offsets; slice each buffer into P
+    // position-indexed blocks.
+    std::vector<std::vector<DataSegment>> blocks;
+    blocks.reserve(group.size());
+    for (int member : group) {
+        blocks.push_back(
+            sliceSegment(buffers_[static_cast<std::size_t>(member)], p));
+    }
+    // Step s: member j sends block (j-s) mod p to member (j+1) mod p,
+    // which accumulates it. Messages of one step are exchanged
+    // simultaneously: copy out, then apply.
+    for (int s = 0; s < p - 1; ++s) {
+        std::vector<DataSegment> in_flight(static_cast<std::size_t>(p));
+        for (int j = 0; j < p; ++j) {
+            const int idx = ((j - s) % p + p) % p;
+            in_flight[static_cast<std::size_t>(j)] =
+                blocks[static_cast<std::size_t>(j)]
+                      [static_cast<std::size_t>(idx)];
+        }
+        for (int j = 0; j < p; ++j) {
+            const int from = (j - 1 + p) % p;
+            const int idx = ((j - 1 - s) % p + p) % p;
+            accumulate(blocks[static_cast<std::size_t>(j)]
+                             [static_cast<std::size_t>(idx)],
+                       in_flight[static_cast<std::size_t>(from)]);
+        }
+    }
+    // Member j ends owning fully reduced block (j+1) mod p.
+    for (int j = 0; j < p; ++j) {
+        const int keep = (j + 1) % p;
+        buffers_[static_cast<std::size_t>(group[static_cast<std::size_t>(j)])] =
+            blocks[static_cast<std::size_t>(j)]
+                  [static_cast<std::size_t>(keep)];
+    }
+}
+
+void
+DataPlane::ringAllGatherGroup(const std::vector<int>& group)
+{
+    const int p = static_cast<int>(group.size());
+    // held[j][k] = shard originally owned by position k, if j has it.
+    std::vector<std::vector<DataSegment>> held(
+        static_cast<std::size_t>(p));
+    for (int j = 0; j < p; ++j) {
+        held[static_cast<std::size_t>(j)].resize(
+            static_cast<std::size_t>(p));
+        held[static_cast<std::size_t>(j)][static_cast<std::size_t>(j)] =
+            buffers_[static_cast<std::size_t>(
+                group[static_cast<std::size_t>(j)])];
+    }
+    // Step s: member j forwards shard (j-s) mod p to (j+1) mod p.
+    for (int s = 0; s < p - 1; ++s) {
+        for (int j = 0; j < p; ++j) {
+            const int idx = ((j - 1 - s) % p + p) % p;
+            const int from = (j - 1 + p) % p;
+            held[static_cast<std::size_t>(j)][static_cast<std::size_t>(idx)] =
+                held[static_cast<std::size_t>(from)]
+                    [static_cast<std::size_t>(idx)];
+        }
+    }
+    for (int j = 0; j < p; ++j) {
+        buffers_[static_cast<std::size_t>(
+            group[static_cast<std::size_t>(j)])] =
+            mergeSegments(held[static_cast<std::size_t>(j)]);
+    }
+}
+
+// ---------------------------------------------------- direct algorithm
+
+void
+DataPlane::directReduceScatterGroup(const std::vector<int>& group)
+{
+    const int p = static_cast<int>(group.size());
+    std::vector<std::vector<DataSegment>> blocks;
+    blocks.reserve(group.size());
+    for (int member : group) {
+        blocks.push_back(
+            sliceSegment(buffers_[static_cast<std::size_t>(member)], p));
+    }
+    // Every member receives block j from every peer and reduces.
+    for (int j = 0; j < p; ++j) {
+        DataSegment result =
+            blocks[static_cast<std::size_t>(j)][static_cast<std::size_t>(j)];
+        for (int k = 0; k < p; ++k) {
+            if (k == j)
+                continue;
+            accumulate(result, blocks[static_cast<std::size_t>(k)]
+                                     [static_cast<std::size_t>(j)]);
+        }
+        buffers_[static_cast<std::size_t>(
+            group[static_cast<std::size_t>(j)])] = std::move(result);
+    }
+}
+
+void
+DataPlane::directAllGatherGroup(const std::vector<int>& group)
+{
+    std::vector<DataSegment> all;
+    all.reserve(group.size());
+    for (int member : group)
+        all.push_back(buffers_[static_cast<std::size_t>(member)]);
+    DataSegment merged = mergeSegments(std::move(all));
+    for (int member : group)
+        buffers_[static_cast<std::size_t>(member)] = merged;
+}
+
+// ------------------------------------------------ halving-doubling
+
+void
+DataPlane::hdReduceScatterGroup(const std::vector<int>& group)
+{
+    const int p = static_cast<int>(group.size());
+    THEMIS_ASSERT(isPowerOfTwo(p),
+                  "halving-doubling needs power-of-two group, got " << p);
+    // Recursive halving, masks P/2 down to 1. Pairs exchange the half
+    // they are not keeping; simultaneous exchange within each step.
+    for (int mask = p / 2; mask >= 1; mask /= 2) {
+        std::vector<DataSegment> outgoing(static_cast<std::size_t>(p));
+        std::vector<DataSegment> keeping(static_cast<std::size_t>(p));
+        for (int j = 0; j < p; ++j) {
+            auto halves = sliceSegment(
+                buffers_[static_cast<std::size_t>(
+                    group[static_cast<std::size_t>(j)])],
+                2);
+            const bool keep_upper = (j & mask) != 0;
+            keeping[static_cast<std::size_t>(j)] =
+                std::move(halves[keep_upper ? 1 : 0]);
+            outgoing[static_cast<std::size_t>(j)] =
+                std::move(halves[keep_upper ? 0 : 1]);
+        }
+        for (int j = 0; j < p; ++j) {
+            const int partner = j ^ mask;
+            accumulate(keeping[static_cast<std::size_t>(j)],
+                       outgoing[static_cast<std::size_t>(partner)]);
+            buffers_[static_cast<std::size_t>(
+                group[static_cast<std::size_t>(j)])] =
+                std::move(keeping[static_cast<std::size_t>(j)]);
+        }
+    }
+}
+
+void
+DataPlane::hdAllGatherGroup(const std::vector<int>& group)
+{
+    const int p = static_cast<int>(group.size());
+    THEMIS_ASSERT(isPowerOfTwo(p),
+                  "halving-doubling needs power-of-two group, got " << p);
+    // Recursive doubling, masks 1 up to P/2: pairs swap entire
+    // holdings and merge.
+    for (int mask = 1; mask < p; mask *= 2) {
+        std::vector<DataSegment> snapshot(static_cast<std::size_t>(p));
+        for (int j = 0; j < p; ++j) {
+            snapshot[static_cast<std::size_t>(j)] =
+                buffers_[static_cast<std::size_t>(
+                    group[static_cast<std::size_t>(j)])];
+        }
+        for (int j = 0; j < p; ++j) {
+            const int partner = j ^ mask;
+            std::vector<DataSegment> parts;
+            parts.push_back(snapshot[static_cast<std::size_t>(j)]);
+            parts.push_back(snapshot[static_cast<std::size_t>(partner)]);
+            buffers_[static_cast<std::size_t>(
+                group[static_cast<std::size_t>(j)])] =
+                mergeSegments(std::move(parts));
+        }
+    }
+}
+
+// ------------------------------------------------ in-network offload
+
+void
+DataPlane::offloadReduceScatterGroup(const std::vector<int>& group)
+{
+    // The switch receives every member's data, reduces, and returns
+    // each member its position-indexed slice (Sec 4.5).
+    const int p = static_cast<int>(group.size());
+    DataSegment reduced =
+        buffers_[static_cast<std::size_t>(group[0])];
+    for (int j = 1; j < p; ++j) {
+        accumulate(reduced,
+                   buffers_[static_cast<std::size_t>(
+                       group[static_cast<std::size_t>(j)])]);
+    }
+    auto slices = sliceSegment(reduced, p);
+    for (int j = 0; j < p; ++j) {
+        buffers_[static_cast<std::size_t>(
+            group[static_cast<std::size_t>(j)])] =
+            std::move(slices[static_cast<std::size_t>(j)]);
+    }
+}
+
+void
+DataPlane::offloadAllGatherGroup(const std::vector<int>& group)
+{
+    // Every member streams its shard up; the switch multicasts the
+    // union back to all of them.
+    std::vector<DataSegment> all;
+    all.reserve(group.size());
+    for (int member : group)
+        all.push_back(buffers_[static_cast<std::size_t>(member)]);
+    DataSegment merged = mergeSegments(std::move(all));
+    for (int member : group)
+        buffers_[static_cast<std::size_t>(member)] = merged;
+}
+
+// -------------------------------------------------------- verification
+
+bool
+DataPlane::verifyAllReduced(const Seeder& f) const
+{
+    std::vector<DataValue> expected(static_cast<std::size_t>(elements_),
+                                    0);
+    for (int npu = 0; npu < machine_.numNpus(); ++npu)
+        for (std::int64_t o = 0; o < elements_; ++o)
+            expected[static_cast<std::size_t>(o)] += f(npu, o);
+
+    for (int npu = 0; npu < machine_.numNpus(); ++npu) {
+        const auto& buf = buffers_[static_cast<std::size_t>(npu)];
+        if (buf.size() != static_cast<std::size_t>(elements_))
+            return false;
+        for (std::size_t i = 0; i < buf.size(); ++i) {
+            if (buf.offsets[i] != static_cast<std::int64_t>(i))
+                return false;
+            if (buf.values[i] != expected[i])
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+DataPlane::verifyReduceScattered(const Seeder& f) const
+{
+    std::vector<DataValue> expected(static_cast<std::size_t>(elements_),
+                                    0);
+    for (int npu = 0; npu < machine_.numNpus(); ++npu)
+        for (std::int64_t o = 0; o < elements_; ++o)
+            expected[static_cast<std::size_t>(o)] += f(npu, o);
+
+    std::vector<int> covered(static_cast<std::size_t>(elements_), 0);
+    for (int npu = 0; npu < machine_.numNpus(); ++npu) {
+        const auto& buf = buffers_[static_cast<std::size_t>(npu)];
+        if (buf.size() !=
+            static_cast<std::size_t>(elements_ / machine_.numNpus()))
+            return false;
+        for (std::size_t i = 0; i < buf.size(); ++i) {
+            const auto o = static_cast<std::size_t>(buf.offsets[i]);
+            if (buf.values[i] != expected[o])
+                return false;
+            ++covered[o];
+        }
+    }
+    for (int c : covered) {
+        if (c != 1)
+            return false;
+    }
+    return true;
+}
+
+bool
+DataPlane::verifyAllGathered(const Seeder& f) const
+{
+    const std::int64_t shard = elements_ / machine_.numNpus();
+    for (int npu = 0; npu < machine_.numNpus(); ++npu) {
+        const auto& buf = buffers_[static_cast<std::size_t>(npu)];
+        if (buf.size() != static_cast<std::size_t>(elements_))
+            return false;
+        for (std::size_t i = 0; i < buf.size(); ++i) {
+            const std::int64_t o = buf.offsets[i];
+            if (o != static_cast<std::int64_t>(i))
+                return false;
+            const int owner = static_cast<int>(o / shard);
+            if (buf.values[i] != f(owner, o))
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace themis

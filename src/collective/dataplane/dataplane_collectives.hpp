@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Data-plane collective executor.
+ *
+ * Executes RS/AG phase sequences on *real per-NPU buffers*, moving and
+ * reducing integer data exactly as the ring / direct / halving-doubling
+ * algorithms prescribe. The timing model elsewhere exploits platform
+ * symmetry; this executor is the semantic ground truth used to prove:
+ *
+ *  - each basic algorithm implements its pattern correctly (Fig 2/3),
+ *  - Observation 1 of the paper: *any* permutation of RS dimensions
+ *    followed by *any* permutation of AG dimensions yields a correct
+ *    All-Reduce,
+ *  - chunked execution with per-chunk schedules (what Themis emits)
+ *    reduces/gathers every element exactly once.
+ *
+ * Buffers are sparse ordered segments (offset -> value) because
+ * interleaved RS/AG orders produce strided, non-contiguous shards.
+ */
+
+#ifndef THEMIS_COLLECTIVE_DATAPLANE_DATAPLANE_COLLECTIVES_HPP
+#define THEMIS_COLLECTIVE_DATAPLANE_DATAPLANE_COLLECTIVES_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "collective/dataplane/logical_machine.hpp"
+#include "topology/dimension.hpp"
+
+namespace themis {
+
+/** Exact value type; sums of initial values never overflow in tests. */
+using DataValue = std::int64_t;
+
+/** Sparse, ordered NPU-resident buffer: (element offset, value). */
+struct DataSegment
+{
+    /** Offsets strictly increasing. */
+    std::vector<std::int64_t> offsets;
+    std::vector<DataValue> values;
+
+    std::size_t size() const { return offsets.size(); }
+};
+
+/**
+ * One chunk's worth of collective state across every NPU of a logical
+ * machine. Reduction is addition over int64.
+ */
+class DataPlane
+{
+  public:
+    /** Seeds element values: value = f(npu, element offset). */
+    using Seeder = std::function<DataValue(int npu, std::int64_t offset)>;
+
+    /**
+     * @param machine    the NPU grid
+     * @param kinds      per-dimension algorithm selector (Table 1
+     *                   kinds); size must equal machine dims
+     * @param elements   elements initially resident on each NPU; must
+     *                   be divisible by the machine's total NPU count
+     *                   so every RS order slices evenly
+     * @param offload    per-dimension in-network offload flags
+     *                   (Sec 4.5; the switch reduces/multicasts);
+     *                   empty = no offload anywhere
+     */
+    DataPlane(const LogicalMachine& machine, std::vector<DimKind> kinds,
+              std::int64_t elements, std::vector<bool> offload = {});
+
+    /** (Re)initialize: every NPU holds [0, elements) seeded by @p f. */
+    void initFullReplicas(const Seeder& f);
+
+    /**
+     * (Re)initialize for All-Gather tests: NPU n holds the contiguous
+     * shard [n*elements/N, (n+1)*elements/N), seeded by @p f.
+     */
+    void initShards(const Seeder& f);
+
+    /** Run a Reduce-Scatter phase on dimension @p d (all groups). */
+    void reduceScatterDim(int d);
+
+    /** Run an All-Gather phase on dimension @p d (all groups). */
+    void allGatherDim(int d);
+
+    /**
+     * Run a full All-Reduce: RS over @p rs_order then AG over
+     * @p ag_order (both permutations of all dimensions, in any order —
+     * Observation 1).
+     */
+    void runAllReduce(const std::vector<int>& rs_order,
+                      const std::vector<int>& ag_order);
+
+    /** Current buffer of @p npu. */
+    const DataSegment& segment(int npu) const;
+
+    /** Elements per NPU at init time. */
+    std::int64_t elements() const { return elements_; }
+
+    /**
+     * Check the All-Reduce postcondition: every NPU holds all
+     * offsets [0, elements) with value == sum over NPUs of f(npu, o).
+     * @return true when correct.
+     */
+    bool verifyAllReduced(const Seeder& f) const;
+
+    /**
+     * Check the Reduce-Scatter postcondition: NPU segments are
+     * pairwise disjoint, their union covers [0, elements), and each
+     * value is the machine-wide reduction.
+     */
+    bool verifyReduceScattered(const Seeder& f) const;
+
+    /** Check the All-Gather postcondition for initShards() data. */
+    bool verifyAllGathered(const Seeder& f) const;
+
+  private:
+    void ringReduceScatterGroup(const std::vector<int>& group);
+    void ringAllGatherGroup(const std::vector<int>& group);
+    void directReduceScatterGroup(const std::vector<int>& group);
+    void directAllGatherGroup(const std::vector<int>& group);
+    void hdReduceScatterGroup(const std::vector<int>& group);
+    void hdAllGatherGroup(const std::vector<int>& group);
+    void offloadReduceScatterGroup(const std::vector<int>& group);
+    void offloadAllGatherGroup(const std::vector<int>& group);
+
+    const LogicalMachine& machine_;
+    std::vector<DimKind> kinds_;
+    std::int64_t elements_;
+    std::vector<bool> offload_;
+    std::vector<DataSegment> buffers_;
+};
+
+} // namespace themis
+
+#endif // THEMIS_COLLECTIVE_DATAPLANE_DATAPLANE_COLLECTIVES_HPP

@@ -1,0 +1,91 @@
+#include "collective/dataplane/logical_machine.hpp"
+
+#include "common/error.hpp"
+
+namespace themis {
+
+LogicalMachine::LogicalMachine(std::vector<int> dim_sizes)
+    : sizes_(std::move(dim_sizes))
+{
+    if (sizes_.empty())
+        THEMIS_FATAL("logical machine needs at least one dimension");
+    strides_.resize(sizes_.size());
+    for (std::size_t d = 0; d < sizes_.size(); ++d) {
+        if (sizes_[d] < 2)
+            THEMIS_FATAL("dimension size must be >= 2, got " << sizes_[d]);
+        strides_[d] = total_;
+        total_ *= sizes_[d];
+    }
+}
+
+int
+LogicalMachine::dimSize(int d) const
+{
+    THEMIS_ASSERT(d >= 0 && d < numDims(), "bad dimension " << d);
+    return sizes_[static_cast<std::size_t>(d)];
+}
+
+std::vector<int>
+LogicalMachine::coordsOf(int npu) const
+{
+    THEMIS_ASSERT(npu >= 0 && npu < total_, "bad NPU id " << npu);
+    std::vector<int> coords(sizes_.size());
+    for (std::size_t d = 0; d < sizes_.size(); ++d) {
+        coords[d] = (npu / strides_[d]) % sizes_[d];
+    }
+    return coords;
+}
+
+int
+LogicalMachine::npuAt(const std::vector<int>& coords) const
+{
+    THEMIS_ASSERT(coords.size() == sizes_.size(),
+                  "coordinate rank mismatch");
+    int id = 0;
+    for (std::size_t d = 0; d < sizes_.size(); ++d) {
+        THEMIS_ASSERT(coords[d] >= 0 && coords[d] < sizes_[d],
+                      "coordinate " << coords[d] << " out of range in dim "
+                                    << d);
+        id += coords[d] * strides_[d];
+    }
+    return id;
+}
+
+std::vector<int>
+LogicalMachine::peerGroup(int npu, int d) const
+{
+    THEMIS_ASSERT(d >= 0 && d < numDims(), "bad dimension " << d);
+    auto coords = coordsOf(npu);
+    std::vector<int> group;
+    group.reserve(static_cast<std::size_t>(sizes_[static_cast<std::size_t>(d)]));
+    for (int c = 0; c < sizes_[static_cast<std::size_t>(d)]; ++c) {
+        coords[static_cast<std::size_t>(d)] = c;
+        group.push_back(npuAt(coords));
+    }
+    return group;
+}
+
+int
+LogicalMachine::positionInGroup(int npu, int d) const
+{
+    return coordsOf(npu)[static_cast<std::size_t>(d)];
+}
+
+std::vector<std::vector<int>>
+LogicalMachine::allGroups(int d) const
+{
+    THEMIS_ASSERT(d >= 0 && d < numDims(), "bad dimension " << d);
+    std::vector<std::vector<int>> groups;
+    std::vector<bool> seen(static_cast<std::size_t>(total_), false);
+    for (int npu = 0; npu < total_; ++npu) {
+        if (seen[static_cast<std::size_t>(npu)])
+            continue;
+        auto group = peerGroup(npu, d);
+        for (int member : group)
+            seen[static_cast<std::size_t>(member)] = true;
+        groups.push_back(std::move(group));
+    }
+    return groups;
+}
+
+} // namespace themis

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Coordinate algebra of the multi-dimensional NPU machine.
+ *
+ * NPU ids enumerate the machine with dim1 innermost (fastest varying),
+ * matching Fig 1 of the paper: NPUs sharing all coordinates except
+ * dimension d form d's peer group.
+ *
+ * This is the substrate of the data-plane executor: the timing model
+ * never needs individual NPUs (symmetric platforms), but semantic
+ * validation of collective algorithms and schedules does.
+ */
+
+#ifndef THEMIS_COLLECTIVE_DATAPLANE_LOGICAL_MACHINE_HPP
+#define THEMIS_COLLECTIVE_DATAPLANE_LOGICAL_MACHINE_HPP
+
+#include <vector>
+
+namespace themis {
+
+/** Id/coordinate mapping for a P1 x P2 x ... x PD machine. */
+class LogicalMachine
+{
+  public:
+    /** @param dim_sizes peer-group sizes, dim1 first; each >= 2. */
+    explicit LogicalMachine(std::vector<int> dim_sizes);
+
+    /** Number of dimensions D. */
+    int numDims() const { return static_cast<int>(sizes_.size()); }
+
+    /** Peer-group size of dimension @p d (0-based). */
+    int dimSize(int d) const;
+
+    /** Total NPU count. */
+    int numNpus() const { return total_; }
+
+    /** Coordinates of @p npu, one per dimension. */
+    std::vector<int> coordsOf(int npu) const;
+
+    /** NPU id at @p coords. */
+    int npuAt(const std::vector<int>& coords) const;
+
+    /**
+     * Peer group of @p npu along dimension @p d: NPU ids ordered by
+     * their coordinate in d (so index in the list == position).
+     */
+    std::vector<int> peerGroup(int npu, int d) const;
+
+    /** Position of @p npu within its dimension-@p d peer group. */
+    int positionInGroup(int npu, int d) const;
+
+    /**
+     * All peer groups of dimension @p d (each a vector of NPU ids);
+     * groups partition the machine.
+     */
+    std::vector<std::vector<int>> allGroups(int d) const;
+
+  private:
+    std::vector<int> sizes_;
+    std::vector<int> strides_;
+    int total_ = 1;
+};
+
+} // namespace themis
+
+#endif // THEMIS_COLLECTIVE_DATAPLANE_LOGICAL_MACHINE_HPP

@@ -1,0 +1,30 @@
+#include "common/random.hpp"
+
+namespace themis {
+
+Rng::Rng(std::uint64_t seed)
+    : engine_(seed)
+{}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+    return dist(engine_);
+}
+
+double
+Rng::uniformReal(double lo, double hi)
+{
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+}
+
+bool
+Rng::coin(double p)
+{
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+}
+
+} // namespace themis

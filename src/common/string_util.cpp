@@ -1,0 +1,90 @@
+#include "common/string_util.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace themis {
+
+std::vector<std::string>
+split(const std::string& s, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == sep) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+std::string
+join(const std::vector<std::string>& parts, const std::string& sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+fmtBytes(Bytes b)
+{
+    if (b >= kGB)
+        return fmtDouble(b / kGB, 2) + " GB";
+    if (b >= kMB)
+        return fmtDouble(b / kMB, 2) + " MB";
+    if (b >= 1.0e3)
+        return fmtDouble(b / 1.0e3, 2) + " KB";
+    return fmtDouble(b, 0) + " B";
+}
+
+std::string
+fmtTime(TimeNs t)
+{
+    if (t >= kSec)
+        return fmtDouble(t / kSec, 3) + " s";
+    if (t >= kMs)
+        return fmtDouble(t / kMs, 3) + " ms";
+    if (t >= kUs)
+        return fmtDouble(t / kUs, 1) + " us";
+    return fmtDouble(t, 1) + " ns";
+}
+
+std::string
+fmtGbps(Bandwidth bw)
+{
+    return fmtDouble(bwToGbps(bw), 1) + " Gb/s";
+}
+
+std::string
+fmtPercent(double fraction)
+{
+    return fmtDouble(fraction * 100.0, 1) + "%";
+}
+
+std::string
+toLower(std::string s)
+{
+    for (char& c : s)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+} // namespace themis

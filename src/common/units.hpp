@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit conventions used across the Themis code base.
+ *
+ * All simulated time is kept in nanoseconds, data sizes in bytes and
+ * bandwidth in bytes-per-nanosecond. Bytes-per-nanosecond is numerically
+ * identical to gigabytes-per-second, which keeps configuration values
+ * readable. The paper quotes link speeds in Gbit/s (uni-directional),
+ * hence the gbpsToBw() helper.
+ *
+ * The types are plain doubles rather than wrapper classes: the whole
+ * simulator is a fluid/analytical model and mixes the three quantities
+ * in rate equations constantly. Naming (TimeNs/Bytes/Bandwidth) plus the
+ * conversion helpers keep intent clear without ceremony.
+ */
+
+#ifndef THEMIS_COMMON_UNITS_HPP
+#define THEMIS_COMMON_UNITS_HPP
+
+#include <cmath>
+#include <cstdint>
+
+namespace themis {
+
+/** Simulated time, in nanoseconds. */
+using TimeNs = double;
+
+/** Data size, in bytes. Fractional values appear after chunk splits. */
+using Bytes = double;
+
+/** Bandwidth, in bytes per nanosecond (numerically equal to GB/s). */
+using Bandwidth = double;
+
+/** One mebibyte, as used for human-readable sizes. */
+inline constexpr Bytes kMiB = 1024.0 * 1024.0;
+
+/** One megabyte (decimal), as used by the paper for collective sizes. */
+inline constexpr Bytes kMB = 1.0e6;
+
+/** One gigabyte (decimal). */
+inline constexpr Bytes kGB = 1.0e9;
+
+/** One microsecond, in nanoseconds. */
+inline constexpr TimeNs kUs = 1.0e3;
+
+/** One millisecond, in nanoseconds. */
+inline constexpr TimeNs kMs = 1.0e6;
+
+/** One second, in nanoseconds. */
+inline constexpr TimeNs kSec = 1.0e9;
+
+/**
+ * Convert a link speed quoted in Gbit/s (uni-directional, as in the
+ * paper's Table 2) into simulator bandwidth units.
+ */
+constexpr Bandwidth
+gbpsToBw(double gbps)
+{
+    return gbps / 8.0;
+}
+
+/** Convert simulator bandwidth back to Gbit/s for reporting. */
+constexpr double
+bwToGbps(Bandwidth bw)
+{
+    return bw * 8.0;
+}
+
+/** Convert nanoseconds to microseconds for reporting. */
+constexpr double
+nsToUs(TimeNs t)
+{
+    return t / kUs;
+}
+
+/** Convert nanoseconds to milliseconds for reporting. */
+constexpr double
+nsToMs(TimeNs t)
+{
+    return t / kMs;
+}
+
+/**
+ * Tolerant floating-point comparison for times/sizes produced by the
+ * fluid model. Relative tolerance with an absolute floor.
+ */
+inline bool
+almostEqual(double a, double b, double rel_tol = 1e-9, double abs_tol = 1e-6)
+{
+    const double diff = std::fabs(a - b);
+    if (diff <= abs_tol)
+        return true;
+    return diff <= rel_tol * std::fmax(std::fabs(a), std::fabs(b));
+}
+
+} // namespace themis
+
+#endif // THEMIS_COMMON_UNITS_HPP

@@ -1,0 +1,26 @@
+#include "core/baseline_scheduler.hpp"
+
+namespace themis {
+
+BaselineScheduler::BaselineScheduler(const LatencyModel& model)
+    : model_(model)
+{}
+
+std::vector<ChunkSchedule>
+BaselineScheduler::scheduleCollective(CollectiveType type, Bytes size,
+                                      int chunks)
+{
+    const auto chunk_sizes = splitCollective(size, chunks);
+    std::vector<ChunkSchedule> out;
+    out.reserve(chunk_sizes.size());
+    for (std::size_t i = 0; i < chunk_sizes.size(); ++i) {
+        ChunkSchedule sched;
+        sched.chunk_id = static_cast<int>(i);
+        sched.size = chunk_sizes[i];
+        sched.stages = baselineStages(type, model_.numDims());
+        out.push_back(std::move(sched));
+    }
+    return out;
+}
+
+} // namespace themis

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Baseline multi-rail hierarchical scheduler (paper Sec 2.3).
+ *
+ * Every chunk follows the same fixed schedule: RS stages dim1..dimD,
+ * then AG stages dimD..dim1 (for All-Reduce). This is what SOTA
+ * collective libraries do and what Themis is compared against.
+ */
+
+#ifndef THEMIS_CORE_BASELINE_SCHEDULER_HPP
+#define THEMIS_CORE_BASELINE_SCHEDULER_HPP
+
+#include "core/scheduler.hpp"
+#include "core/splitter.hpp"
+
+namespace themis {
+
+/** Fixed-order scheduler; see file comment. */
+class BaselineScheduler final : public Scheduler
+{
+  public:
+    explicit BaselineScheduler(const LatencyModel& model);
+
+    std::string name() const override { return "Baseline"; }
+
+    std::vector<ChunkSchedule> scheduleCollective(CollectiveType type,
+                                                  Bytes size,
+                                                  int chunks) override;
+
+  private:
+    const LatencyModel& model_;
+};
+
+} // namespace themis
+
+#endif // THEMIS_CORE_BASELINE_SCHEDULER_HPP

@@ -1,0 +1,122 @@
+#include "core/chunk.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace themis {
+
+namespace {
+
+void
+checkPermutation(const std::vector<int>& order, const char* what)
+{
+    std::vector<int> sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        THEMIS_ASSERT(sorted[i] == static_cast<int>(i),
+                      what << " order is not a permutation of 0.."
+                           << order.size() - 1);
+    }
+}
+
+} // namespace
+
+std::vector<StageAssignment>
+makeStages(CollectiveType type, const std::vector<int>& rs_order,
+           const std::vector<int>& ag_order)
+{
+    std::vector<StageAssignment> stages;
+    switch (type) {
+      case CollectiveType::AllReduce:
+        checkPermutation(rs_order, "RS");
+        checkPermutation(ag_order, "AG");
+        THEMIS_ASSERT(rs_order.size() == ag_order.size(),
+                      "RS/AG pass rank mismatch");
+        for (int d : rs_order)
+            stages.push_back({Phase::ReduceScatter, d});
+        for (int d : ag_order)
+            stages.push_back({Phase::AllGather, d});
+        break;
+      case CollectiveType::ReduceScatter:
+        checkPermutation(rs_order, "RS");
+        for (int d : rs_order)
+            stages.push_back({Phase::ReduceScatter, d});
+        break;
+      case CollectiveType::AllGather:
+        checkPermutation(ag_order, "AG");
+        for (int d : ag_order)
+            stages.push_back({Phase::AllGather, d});
+        break;
+      case CollectiveType::AllToAll:
+        checkPermutation(rs_order, "A2A");
+        for (int d : rs_order)
+            stages.push_back({Phase::AllToAll, d});
+        break;
+    }
+    return stages;
+}
+
+std::vector<StageAssignment>
+baselineStages(CollectiveType type, int num_dims)
+{
+    std::vector<int> forward(static_cast<std::size_t>(num_dims));
+    std::iota(forward.begin(), forward.end(), 0);
+    std::vector<int> backward(forward.rbegin(), forward.rend());
+    switch (type) {
+      case CollectiveType::AllReduce:
+        return makeStages(type, forward, backward);
+      case CollectiveType::ReduceScatter:
+      case CollectiveType::AllToAll:
+        return makeStages(type, forward, {});
+      case CollectiveType::AllGather:
+        return makeStages(type, {}, backward);
+    }
+    THEMIS_PANIC("unknown CollectiveType");
+}
+
+Bytes
+enteringSize(const ChunkSchedule& sched, const std::vector<int>& dim_sizes,
+             int stage_index)
+{
+    THEMIS_ASSERT(stage_index >= 0 &&
+                      stage_index <= static_cast<int>(sched.stages.size()),
+                  "stage index " << stage_index << " out of range");
+    Bytes size = sched.size;
+    for (int i = 0; i < stage_index; ++i) {
+        const auto& st = sched.stages[static_cast<std::size_t>(i)];
+        size = sizeAfterPhase(st.phase, size,
+                              dim_sizes[static_cast<std::size_t>(st.dim)]);
+    }
+    return size;
+}
+
+Bytes
+schedulableSize(CollectiveType type, Bytes request_size,
+                const std::vector<int>& dim_sizes)
+{
+    if (type != CollectiveType::AllGather)
+        return request_size;
+    double participants = 1.0;
+    for (int p : dim_sizes)
+        participants *= p;
+    return request_size / participants;
+}
+
+std::string
+describeSchedule(const ChunkSchedule& sched)
+{
+    std::ostringstream oss;
+    oss << "chunk " << sched.chunk_id << ": ";
+    for (std::size_t i = 0; i < sched.stages.size(); ++i) {
+        if (i > 0)
+            oss << " -> ";
+        oss << phaseName(sched.stages[i].phase) << " dim"
+            << sched.stages[i].dim + 1;
+    }
+    return oss.str();
+}
+
+} // namespace themis

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Chunk and schedule types shared by the schedulers and the runtime.
+ *
+ * A collective request is split into equally-sized chunks (Fig 6
+ * "Splitter"); every chunk receives a *schedule*: an ordered list of
+ * (phase, dimension) stages to traverse. For All-Reduce that is a
+ * permutation of RS stages followed by a permutation of AG stages
+ * (paper Observation 1); for RS/AG/A2A a single permutation.
+ *
+ * Dimension indices inside schedules are *local* to the collective's
+ * scope (the subset of topology dimensions the collective spans, e.g.
+ * only the last dimension for Transformer-1T's data-parallel traffic).
+ */
+
+#ifndef THEMIS_CORE_CHUNK_HPP
+#define THEMIS_CORE_CHUNK_HPP
+
+#include <string>
+#include <vector>
+
+#include "collective/phase.hpp"
+
+namespace themis {
+
+/**
+ * One dimension of a collective's scope. A collective may span only a
+ * sub-group of a physical dimension (e.g. Transformer-1T's 128-NPU
+ * model-parallel groups cover dim1 fully but only 8 of dim2's 64 NPUs
+ * on the 2D platform): @p participants NPUs out of the dimension's
+ * size communicate; they still use the dimension's full per-NPU
+ * bandwidth and step latency.
+ */
+struct ScopeDim
+{
+    /** Global topology dimension index (0-based). */
+    int dim = 0;
+
+    /** Peer-group size within that dimension; 0 = the full dimension. */
+    int participants = 0;
+
+    bool
+    operator==(const ScopeDim& o) const
+    {
+        return dim == o.dim && participants == o.participants;
+    }
+
+    bool
+    operator<(const ScopeDim& o) const
+    {
+        if (dim != o.dim)
+            return dim < o.dim;
+        return participants < o.participants;
+    }
+};
+
+/** A collective operation requested by the workload layer. */
+struct CollectiveRequest
+{
+    CollectiveType type = CollectiveType::AllReduce;
+
+    /**
+     * Per-NPU collective size in bytes (the paper's CS). For
+     * All-Reduce, Reduce-Scatter and All-to-All this is the data
+     * resident on each NPU when the collective starts; for All-Gather
+     * it is the *gathered result* per NPU (each NPU contributes
+     * size / participants), mirroring the usual communication-library
+     * convention so that equal sizes mean comparable wire volumes.
+     */
+    Bytes size = 0.0;
+
+    /** Chunks per collective (the paper's CPC; default 64, Sec 5.3). */
+    int chunks = 64;
+
+    /**
+     * Dimensions this collective spans, in increasing dim order.
+     * Empty means all dimensions of the platform, fully.
+     */
+    std::vector<ScopeDim> scope;
+};
+
+/** One pipeline stage of a chunk: a phase on a (local) dimension. */
+struct StageAssignment
+{
+    Phase phase = Phase::ReduceScatter;
+    int dim = 0;
+
+    bool
+    operator==(const StageAssignment& o) const
+    {
+        return phase == o.phase && dim == o.dim;
+    }
+};
+
+/** Complete schedule of one chunk. */
+struct ChunkSchedule
+{
+    int chunk_id = 0;
+
+    /** Initial per-NPU size of this chunk (CS / CPC). */
+    Bytes size = 0.0;
+
+    /** Ordered stages the chunk traverses. */
+    std::vector<StageAssignment> stages;
+};
+
+/**
+ * Build the stage list for a chunk of collective type @p type given
+ * the per-pass dimension orders. @p rs_order is used for the RS pass
+ * (or the single A2A pass); @p ag_order for the AG pass. Orders must
+ * be permutations of 0..D-1 where applicable.
+ */
+std::vector<StageAssignment> makeStages(CollectiveType type,
+                                        const std::vector<int>& rs_order,
+                                        const std::vector<int>& ag_order);
+
+/**
+ * The baseline hierarchical order (paper Sec 2.3): RS dim1..dimD,
+ * then AG dimD..dim1 for All-Reduce; RS/A2A run dim1..dimD; AG runs
+ * dimD..dim1.
+ */
+std::vector<StageAssignment> baselineStages(CollectiveType type,
+                                            int num_dims);
+
+/**
+ * Per-NPU data size entering stage @p stage_index, given the chunk's
+ * initial size and dimension sizes (indexed by local dim).
+ */
+Bytes enteringSize(const ChunkSchedule& sched,
+                   const std::vector<int>& dim_sizes, int stage_index);
+
+/** Printable "RS d1 -> RS d2 -> AG d2 -> AG d1" form for reports. */
+std::string describeSchedule(const ChunkSchedule& sched);
+
+/**
+ * Size the scheduler works with for a request of @p request_size:
+ * All-Gather converts the gathered-result convention into the initial
+ * per-NPU shard (divide by the product of @p dim_sizes); all other
+ * types pass through.
+ */
+Bytes schedulableSize(CollectiveType type, Bytes request_size,
+                      const std::vector<int>& dim_sizes);
+
+} // namespace themis
+
+#endif // THEMIS_CORE_CHUNK_HPP

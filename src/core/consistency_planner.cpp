@@ -1,0 +1,213 @@
+#include "core/consistency_planner.hpp"
+
+#include <map>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace themis {
+
+namespace {
+
+/** Pre-simulation event: an op arriving at a dim or a dim freeing. */
+struct PlanEvent
+{
+    TimeNs when = 0.0;
+    std::uint64_t seq = 0; // deterministic same-time ordering
+    int dim = 0;
+    bool is_arrival = false;
+    OpKey op{};
+    Bytes entering = 0.0;
+};
+
+struct LaterEvent
+{
+    bool
+    operator()(const PlanEvent& a, const PlanEvent& b) const
+    {
+        if (a.when != b.when)
+            return a.when > b.when;
+        return a.seq > b.seq;
+    }
+};
+
+} // namespace
+
+ConsistencyPlanner::ConsistencyPlanner(const LatencyModel& model,
+                                       IntraDimPolicy policy)
+    : model_(model), policy_(policy)
+{}
+
+ConsistencyPlan
+ConsistencyPlanner::plan(const std::vector<ChunkSchedule>& schedules) const
+{
+    const int dims = model_.numDims();
+    ConsistencyPlan result;
+    result.order.resize(static_cast<std::size_t>(dims));
+
+    struct QueuedOp
+    {
+        OpKey key;
+        Bytes entering;
+        TimeNs service_time;
+        std::uint64_t arrival_seq;
+    };
+
+    std::priority_queue<PlanEvent, std::vector<PlanEvent>, LaterEvent>
+        events;
+    std::vector<std::vector<QueuedOp>> queued(
+        static_cast<std::size_t>(dims));
+    std::vector<bool> busy(static_cast<std::size_t>(dims), false);
+    std::uint64_t seq = 0;
+
+    // Initial arrivals: stage 0 of every chunk at t=0 (the collective
+    // hands all chunks to the runtime at once).
+    for (const auto& sched : schedules) {
+        THEMIS_ASSERT(!sched.stages.empty(), "empty chunk schedule");
+        PlanEvent ev;
+        ev.when = 0.0;
+        ev.seq = seq++;
+        ev.dim = sched.stages.front().dim;
+        ev.is_arrival = true;
+        ev.op = OpKey{sched.chunk_id, 0};
+        ev.entering = sched.size;
+        events.push(ev);
+    }
+
+    // chunk_id -> schedule lookup.
+    std::map<int, const ChunkSchedule*> by_id;
+    for (const auto& sched : schedules)
+        by_id[sched.chunk_id] = &sched;
+
+    TimeNs makespan = 0.0;
+
+    auto try_start = [&](int d, TimeNs now) {
+        auto& q = queued[static_cast<std::size_t>(d)];
+        if (busy[static_cast<std::size_t>(d)] || q.empty())
+            return;
+        std::vector<QueuedOpView> views;
+        views.reserve(q.size());
+        for (const auto& op : q) {
+            views.push_back(QueuedOpView{op.arrival_seq,
+                                         op.service_time,
+                                         op.key.chunk_id});
+        }
+        const std::size_t pick = pickNextOp(policy_, views);
+        const QueuedOp chosen = q[pick];
+        q.erase(q.begin() + static_cast<long>(pick));
+        busy[static_cast<std::size_t>(d)] = true;
+        result.order[static_cast<std::size_t>(d)].push_back(chosen.key);
+
+        const ChunkSchedule& sched = *by_id.at(chosen.key.chunk_id);
+        const auto& stage = sched.stages[static_cast<std::size_t>(
+            chosen.key.stage_index)];
+        const TimeNs dur = model_.opTime(stage.phase, chosen.entering, d);
+        const TimeNs done = now + dur;
+        makespan = done > makespan ? done : makespan;
+
+        // Next stage of the chunk arrives at `done`, *before* the
+        // dimension frees: the runtime enqueues the follow-up op in
+        // the completion callback, so a same-dimension successor is
+        // already queued when the engine refills.
+        const int next = chosen.key.stage_index + 1;
+        if (next < static_cast<int>(sched.stages.size())) {
+            PlanEvent arr;
+            arr.when = done;
+            arr.seq = seq++;
+            arr.dim = sched.stages[static_cast<std::size_t>(next)].dim;
+            arr.is_arrival = true;
+            arr.op = OpKey{chosen.key.chunk_id, next};
+            arr.entering = sizeAfterPhase(
+                stage.phase, chosen.entering,
+                model_.dim(stage.dim).size);
+            events.push(arr);
+        }
+
+        // Dimension frees at `done` (after the arrival lands).
+        PlanEvent free_ev;
+        free_ev.when = done;
+        free_ev.seq = seq++;
+        free_ev.dim = d;
+        free_ev.is_arrival = false;
+        events.push(free_ev);
+    };
+
+    std::uint64_t arrival_counter = 0;
+    while (!events.empty()) {
+        const PlanEvent ev = events.top();
+        events.pop();
+        if (ev.is_arrival) {
+            const ChunkSchedule& sched = *by_id.at(ev.op.chunk_id);
+            const auto& stage = sched.stages[static_cast<std::size_t>(
+                ev.op.stage_index)];
+            const TimeNs service =
+                model_.opTime(stage.phase, ev.entering, ev.dim);
+            queued[static_cast<std::size_t>(ev.dim)].push_back(
+                QueuedOp{ev.op, ev.entering, service,
+                         arrival_counter++});
+        } else {
+            busy[static_cast<std::size_t>(ev.dim)] = false;
+        }
+        try_start(ev.dim, ev.when);
+    }
+
+    result.estimated_makespan = makespan;
+    return result;
+}
+
+bool
+planIsDeadlockFree(const std::vector<ChunkSchedule>& schedules,
+                   const ConsistencyPlan& plan)
+{
+    // Build the dependency graph: node = (chunk, stage). Edges:
+    //  - chunk order: (c, s) -> (c, s+1)
+    //  - dimension order: consecutive ops in each enforced order.
+    // Deadlock-free == acyclic == Kahn's algorithm consumes all nodes.
+    std::map<std::pair<int, int>, int> indegree;
+    std::map<std::pair<int, int>, std::vector<std::pair<int, int>>> out;
+
+    auto node = [](const OpKey& k) {
+        return std::make_pair(k.chunk_id, k.stage_index);
+    };
+
+    for (const auto& sched : schedules) {
+        for (std::size_t s = 0; s < sched.stages.size(); ++s) {
+            indegree.emplace(
+                std::make_pair(sched.chunk_id, static_cast<int>(s)), 0);
+        }
+        for (std::size_t s = 0; s + 1 < sched.stages.size(); ++s) {
+            auto a = std::make_pair(sched.chunk_id, static_cast<int>(s));
+            auto b =
+                std::make_pair(sched.chunk_id, static_cast<int>(s) + 1);
+            out[a].push_back(b);
+            ++indegree[b];
+        }
+    }
+    for (const auto& order : plan.order) {
+        for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+            auto a = node(order[i]);
+            auto b = node(order[i + 1]);
+            out[a].push_back(b);
+            ++indegree[b];
+        }
+    }
+
+    std::queue<std::pair<int, int>> ready;
+    for (const auto& [n, deg] : indegree) {
+        if (deg == 0)
+            ready.push(n);
+    }
+    std::size_t visited = 0;
+    while (!ready.empty()) {
+        const auto n = ready.front();
+        ready.pop();
+        ++visited;
+        for (const auto& m : out[n]) {
+            if (--indegree[m] == 0)
+                ready.push(m);
+        }
+    }
+    return visited == indegree.size();
+}
+
+} // namespace themis

@@ -1,0 +1,52 @@
+#include "core/dim_load_tracker.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace themis {
+
+DimLoadTracker::DimLoadTracker(const LatencyModel& model)
+    : model_(model),
+      loads_(static_cast<std::size_t>(model.numDims()), 0.0)
+{}
+
+void
+DimLoadTracker::reset(CollectiveType type, bool init_with_fixed_delay)
+{
+    for (int d = 0; d < model_.numDims(); ++d) {
+        loads_[static_cast<std::size_t>(d)] =
+            init_with_fixed_delay ? model_.collectiveFixedDelay(type, d)
+                                  : 0.0;
+    }
+}
+
+TimeNs
+DimLoadTracker::maxLoad() const
+{
+    return *std::max_element(loads_.begin(), loads_.end());
+}
+
+TimeNs
+DimLoadTracker::minLoad() const
+{
+    return *std::min_element(loads_.begin(), loads_.end());
+}
+
+int
+DimLoadTracker::minLoadDim() const
+{
+    return static_cast<int>(std::distance(
+        loads_.begin(), std::min_element(loads_.begin(), loads_.end())));
+}
+
+void
+DimLoadTracker::add(const std::vector<TimeNs>& delta)
+{
+    THEMIS_ASSERT(delta.size() == loads_.size(),
+                  "load delta rank mismatch");
+    for (std::size_t i = 0; i < loads_.size(); ++i)
+        loads_[i] += delta[i];
+}
+
+} // namespace themis

@@ -1,0 +1,17 @@
+#include "core/ideal_estimator.hpp"
+
+namespace themis {
+
+TimeNs
+idealCollectiveTime(CollectiveType type, Bytes size,
+                    const LatencyModel& model)
+{
+    Bandwidth total_bw = 0.0;
+    for (const auto& d : model.dims())
+        total_bw += d.bandwidth();
+    const double passes =
+        type == CollectiveType::AllReduce ? 2.0 : 1.0;
+    return passes * size / total_bw;
+}
+
+} // namespace themis

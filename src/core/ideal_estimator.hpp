@@ -1,0 +1,27 @@
+/**
+ * @file
+ * The Ideal method of Table 3: assumes 100% of every dimension's
+ * bandwidth is usable in one pool, so communication latency is simply
+ * (collective traffic) / (total BW). No chunk scheduling scheme can
+ * beat it; it upper-bounds achievable speedup in Figs 4 and 12.
+ */
+
+#ifndef THEMIS_CORE_IDEAL_ESTIMATOR_HPP
+#define THEMIS_CORE_IDEAL_ESTIMATOR_HPP
+
+#include "collective/phase.hpp"
+#include "core/latency_model.hpp"
+
+namespace themis {
+
+/**
+ * Ideal communication time of a collective of per-NPU @p size over
+ * the model's dimensions. All-Reduce moves its data twice (RS + AG
+ * passes), every other pattern once.
+ */
+TimeNs idealCollectiveTime(CollectiveType type, Bytes size,
+                           const LatencyModel& model);
+
+} // namespace themis
+
+#endif // THEMIS_CORE_IDEAL_ESTIMATOR_HPP

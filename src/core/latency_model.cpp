@@ -1,0 +1,90 @@
+#include "core/latency_model.hpp"
+
+#include "common/error.hpp"
+
+namespace themis {
+
+LatencyModel::LatencyModel(std::vector<DimensionConfig> dims)
+    : dims_(std::move(dims))
+{
+    if (dims_.empty())
+        THEMIS_FATAL("latency model needs at least one dimension");
+    for (const auto& d : dims_) {
+        d.validate();
+        sizes_.push_back(d.size);
+    }
+}
+
+LatencyModel
+LatencyModel::fromTopology(const Topology& topo)
+{
+    return LatencyModel(topo.dims());
+}
+
+LatencyModel
+LatencyModel::fromScope(const Topology& topo,
+                        const std::vector<ScopeDim>& scope)
+{
+    if (scope.empty())
+        return fromTopology(topo);
+    std::vector<DimensionConfig> dims;
+    for (const auto& s : scope) {
+        DimensionConfig cfg = topo.dim(s.dim);
+        if (s.participants > 0) {
+            if (s.participants > cfg.size)
+                THEMIS_FATAL("scope wants " << s.participants
+                                            << " participants in a dim of "
+                                            << cfg.size << " NPUs");
+            cfg.size = s.participants;
+            // A clique sub-group only needs participants-1 links; the
+            // surplus cannot be used within the smaller group.
+            if (cfg.kind == DimKind::FullyConnected &&
+                cfg.links_per_npu > cfg.size - 1) {
+                cfg.links_per_npu = cfg.size - 1;
+            }
+        }
+        dims.push_back(cfg);
+    }
+    return LatencyModel(std::move(dims));
+}
+
+const DimensionConfig&
+LatencyModel::dim(int d) const
+{
+    THEMIS_ASSERT(d >= 0 && d < numDims(), "bad local dimension " << d);
+    return dims_[static_cast<std::size_t>(d)];
+}
+
+TimeNs
+LatencyModel::transferTime(Phase phase, Bytes entering, int d) const
+{
+    return chunkTransferTime(phase, entering, dim(d));
+}
+
+TimeNs
+LatencyModel::opTime(Phase phase, Bytes entering, int d) const
+{
+    return chunkOpTime(phase, entering, dim(d));
+}
+
+TimeNs
+LatencyModel::collectiveFixedDelay(CollectiveType type, int d) const
+{
+    return typeFixedDelay(type, dim(d));
+}
+
+std::vector<TimeNs>
+LatencyModel::stageLoads(Bytes size,
+                         const std::vector<StageAssignment>& stages) const
+{
+    std::vector<TimeNs> loads(static_cast<std::size_t>(numDims()), 0.0);
+    Bytes current = size;
+    for (const auto& st : stages) {
+        loads[static_cast<std::size_t>(st.dim)] +=
+            transferTime(st.phase, current, st.dim);
+        current = sizeAfterPhase(st.phase, current, dim(st.dim).size);
+    }
+    return loads;
+}
+
+} // namespace themis

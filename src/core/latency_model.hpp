@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The Latency Model component of Themis (paper Fig 6).
+ *
+ * Predicts chunk-operation runtimes on every network dimension from
+ * the dimension's topology-aware algorithm (Table 1) and the cost
+ * model A_K + N_K * B_K (Sec 4.4). Both the scheduler (to balance
+ * loads) and the consistency planner (to pre-order chunk operations)
+ * consume these predictions. A_K and B_K derive from the system
+ * specification, so every NPU reproduces identical predictions —
+ * the basis of inter-dimension schedule consistency (Sec 4.6.1).
+ */
+
+#ifndef THEMIS_CORE_LATENCY_MODEL_HPP
+#define THEMIS_CORE_LATENCY_MODEL_HPP
+
+#include <vector>
+
+#include "collective/cost_model.hpp"
+#include "core/chunk.hpp"
+#include "topology/topology.hpp"
+
+namespace themis {
+
+/**
+ * Latency predictions over the dimensions a collective spans.
+ * Constructed per collective scope; indices are local (0-based).
+ */
+class LatencyModel
+{
+  public:
+    /** @param dims participating dimensions, in dim order. */
+    explicit LatencyModel(std::vector<DimensionConfig> dims);
+
+    /** Build from a whole topology (all dimensions participate). */
+    static LatencyModel fromTopology(const Topology& topo);
+
+    /**
+     * Build for a scope (empty = all dimensions, fully). Partial
+     * participation overrides the peer-group size while keeping the
+     * dimension's bandwidth and latency.
+     */
+    static LatencyModel fromScope(const Topology& topo,
+                                  const std::vector<ScopeDim>& scope);
+
+    /** Number of participating dimensions. */
+    int numDims() const { return static_cast<int>(dims_.size()); }
+
+    /** Participating dimension config by local index. */
+    const DimensionConfig& dim(int d) const;
+
+    /** All participating dimension configs. */
+    const std::vector<DimensionConfig>& dims() const { return dims_; }
+
+    /** Peer-group sizes by local index. */
+    const std::vector<int>& dimSizes() const { return sizes_; }
+
+    /** Serialization-only time N*B of one op (paper lines 28-29). */
+    TimeNs transferTime(Phase phase, Bytes entering, int d) const;
+
+    /** Full idle-dimension op time A + N*B. */
+    TimeNs opTime(Phase phase, Bytes entering, int d) const;
+
+    /** Fixed delay A_K of a whole collective type on dimension d. */
+    TimeNs collectiveFixedDelay(CollectiveType type, int d) const;
+
+    /**
+     * Per-dimension N*B loads contributed by a chunk of initial size
+     * @p size traversing @p stages (sizes evolve per the size algebra).
+     * Result has one entry per participating dimension.
+     */
+    std::vector<TimeNs>
+    stageLoads(Bytes size, const std::vector<StageAssignment>& stages)
+        const;
+
+  private:
+    std::vector<DimensionConfig> dims_;
+    std::vector<int> sizes_;
+};
+
+} // namespace themis
+
+#endif // THEMIS_CORE_LATENCY_MODEL_HPP

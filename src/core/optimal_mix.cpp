@@ -1,0 +1,120 @@
+#include "core/optimal_mix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace themis {
+
+namespace {
+
+/** Per-byte N*B load each dimension absorbs for one RS order. */
+std::vector<double>
+orderLoads(const LatencyModel& model, CollectiveType type,
+           const std::vector<int>& order)
+{
+    std::vector<int> reversed(order.rbegin(), order.rend());
+    std::vector<StageAssignment> stages;
+    switch (type) {
+      case CollectiveType::AllReduce:
+        stages = makeStages(type, order, reversed);
+        break;
+      case CollectiveType::ReduceScatter:
+      case CollectiveType::AllToAll:
+        stages = makeStages(type, order, {});
+        break;
+      case CollectiveType::AllGather:
+        stages = makeStages(type, {}, reversed);
+        break;
+    }
+    return model.stageLoads(1.0, stages);
+}
+
+} // namespace
+
+OptimalMixResult
+optimalStaticMix(const LatencyModel& model, CollectiveType type,
+                 int iterations)
+{
+    THEMIS_ASSERT(iterations > 0, "need at least one iteration");
+    const int d = model.numDims();
+
+    OptimalMixResult result;
+    std::vector<int> order(static_cast<std::size_t>(d));
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<std::vector<double>> loads; // per order, per dim
+    do {
+        result.orders.push_back(order);
+        loads.push_back(orderLoads(model, type, order));
+    } while (std::next_permutation(order.begin(), order.end()));
+    const std::size_t n = result.orders.size();
+
+    // Scale loads so the multiplicative-weights payoffs are in [0,1].
+    double max_load = 0.0;
+    for (const auto& l : loads)
+        for (double v : l)
+            max_load = std::max(max_load, v);
+    THEMIS_ASSERT(max_load > 0.0, "degenerate load matrix");
+
+    // Multiplicative weights on the dimensions (the "max" player);
+    // the mix player best-responds with the cheapest order under the
+    // current weights. The averaged best responses converge to the
+    // optimal mix; the averaged weighted costs give a dual bound.
+    std::vector<double> weights(static_cast<std::size_t>(d),
+                                1.0 / static_cast<double>(d));
+    std::vector<double> counts(n, 0.0);
+    const double eta =
+        std::sqrt(std::log(static_cast<double>(d)) /
+                  static_cast<double>(iterations));
+    double dual_sum = 0.0;
+
+    for (int it = 0; it < iterations; ++it) {
+        // Best response: order minimizing the weighted load.
+        std::size_t best = 0;
+        double best_cost = 0.0;
+        for (std::size_t o = 0; o < n; ++o) {
+            double cost = 0.0;
+            for (int k = 0; k < d; ++k) {
+                cost += weights[static_cast<std::size_t>(k)] *
+                        loads[o][static_cast<std::size_t>(k)];
+            }
+            if (o == 0 || cost < best_cost) {
+                best = o;
+                best_cost = cost;
+            }
+        }
+        counts[best] += 1.0;
+        dual_sum += best_cost;
+
+        // Weight update toward the heavier dimensions.
+        double norm = 0.0;
+        for (int k = 0; k < d; ++k) {
+            auto& w = weights[static_cast<std::size_t>(k)];
+            w *= std::exp(eta * loads[best][static_cast<std::size_t>(k)] /
+                          max_load);
+            norm += w;
+        }
+        for (auto& w : weights)
+            w /= norm;
+    }
+
+    result.mix.assign(n, 0.0);
+    for (std::size_t o = 0; o < n; ++o)
+        result.mix[o] = counts[o] / static_cast<double>(iterations);
+
+    result.per_dim_load.assign(static_cast<std::size_t>(d), 0.0);
+    for (std::size_t o = 0; o < n; ++o) {
+        for (int k = 0; k < d; ++k) {
+            result.per_dim_load[static_cast<std::size_t>(k)] +=
+                result.mix[o] * loads[o][static_cast<std::size_t>(k)];
+        }
+    }
+    result.balanced_load = *std::max_element(
+        result.per_dim_load.begin(), result.per_dim_load.end());
+    result.dual_bound = dual_sum / static_cast<double>(iterations);
+    return result;
+}
+
+} // namespace themis

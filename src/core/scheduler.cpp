@@ -1,0 +1,32 @@
+#include "core/scheduler.hpp"
+
+#include "common/error.hpp"
+#include "core/baseline_scheduler.hpp"
+#include "core/themis_scheduler.hpp"
+
+namespace themis {
+
+std::string
+schedulerKindName(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::Baseline: return "Baseline";
+      case SchedulerKind::Themis:   return "Themis";
+    }
+    THEMIS_PANIC("unknown SchedulerKind " << static_cast<int>(kind));
+}
+
+std::unique_ptr<Scheduler>
+makeScheduler(SchedulerKind kind, const LatencyModel& model,
+              const ThemisConfig& config)
+{
+    switch (kind) {
+      case SchedulerKind::Baseline:
+        return std::make_unique<BaselineScheduler>(model);
+      case SchedulerKind::Themis:
+        return std::make_unique<ThemisScheduler>(model, config);
+    }
+    THEMIS_PANIC("unknown SchedulerKind " << static_cast<int>(kind));
+}
+
+} // namespace themis

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Collective scheduler interface and factory (paper Table 3).
+ *
+ * A scheduler maps one collective request onto per-chunk schedules
+ * (which dimension order each chunk traverses). The two shipped
+ * policies are the baseline multi-rail hierarchical order (Sec 2.3)
+ * and Themis (Algorithm 1). Intra-dimension ordering (FIFO vs SCF) is
+ * a separate runtime policy; see core/intra_dim_policy.hpp.
+ */
+
+#ifndef THEMIS_CORE_SCHEDULER_HPP
+#define THEMIS_CORE_SCHEDULER_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/chunk.hpp"
+#include "core/latency_model.hpp"
+
+namespace themis {
+
+/** Inter-dimension scheduling policies (Table 3 rows). */
+enum class SchedulerKind {
+    Baseline, ///< fixed dim1..dimD hierarchical order
+    Themis,   ///< dynamic per-chunk greedy balancing (Algorithm 1)
+};
+
+/** Scheduler name for reports. */
+std::string schedulerKindName(SchedulerKind kind);
+
+/**
+ * Inter-dimension chunk scheduler. Stateful across calls only if the
+ * implementation opts in (the paper's Themis resets per collective).
+ */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /** Policy name for reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Schedule every chunk of one collective (the paper's
+     * SCHEDULE_COLLECTIVE): returns Schedule[i] = stage order of
+     * chunk i. @p size is the total per-NPU collective size; it is
+     * split into @p chunks equal chunks.
+     */
+    virtual std::vector<ChunkSchedule>
+    scheduleCollective(CollectiveType type, Bytes size, int chunks) = 0;
+};
+
+/** Tunables of the Themis scheduler (defaults follow the paper). */
+struct ThemisConfig
+{
+    /**
+     * Robustness threshold (Algorithm 1 line 19): when the max-min
+     * load gap is below the predicted runtime of an RS/AG of
+     * chunkSize * threshold_fraction on the least-loaded dimension,
+     * fall back to the baseline order.
+     */
+    bool use_threshold = true;
+
+    /** The paper sets the threshold probe size to chunkSize/16. */
+    double threshold_fraction = 1.0 / 16.0;
+
+    /** Seed tracker loads with A_K (Sec 4.4). Ablation knob. */
+    bool init_loads_with_fixed_delay = true;
+
+    /**
+     * Account the mirrored AG pass when tracking All-Reduce loads.
+     * The paper's pseudocode tracks the RS pass only (the mirrored AG
+     * pass adds proportional load everywhere, so ranking is
+     * unaffected). Ablation knob.
+     */
+    bool account_ag_pass = false;
+
+    /**
+     * Keep tracker loads across consecutive collectives instead of
+     * resetting (Algorithm 1 resets; ablation knob for workloads that
+     * issue many back-to-back collectives).
+     */
+    bool carry_load_across_collectives = false;
+};
+
+/** Create a scheduler of @p kind over @p model (must outlive it). */
+std::unique_ptr<Scheduler> makeScheduler(SchedulerKind kind,
+                                         const LatencyModel& model,
+                                         const ThemisConfig& config = {});
+
+} // namespace themis
+
+#endif // THEMIS_CORE_SCHEDULER_HPP

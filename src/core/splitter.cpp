@@ -1,0 +1,18 @@
+#include "core/splitter.hpp"
+
+#include "common/error.hpp"
+
+namespace themis {
+
+std::vector<Bytes>
+splitCollective(Bytes size, int chunks)
+{
+    if (size <= 0.0)
+        THEMIS_FATAL("collective size must be positive, got " << size);
+    if (chunks < 1)
+        THEMIS_FATAL("chunks per collective must be >= 1, got " << chunks);
+    return std::vector<Bytes>(static_cast<std::size_t>(chunks),
+                              size / chunks);
+}
+
+} // namespace themis

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * The Splitter component of Themis (paper Fig 6): divides a collective
+ * into equally-sized chunks that the scheduler treats independently.
+ */
+
+#ifndef THEMIS_CORE_SPLITTER_HPP
+#define THEMIS_CORE_SPLITTER_HPP
+
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace themis {
+
+/**
+ * Split a per-NPU collective of @p size bytes into @p chunks equal
+ * chunks. Throws ConfigError on non-positive inputs.
+ */
+std::vector<Bytes> splitCollective(Bytes size, int chunks);
+
+} // namespace themis
+
+#endif // THEMIS_CORE_SPLITTER_HPP

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * DLRM layer table (Naumov et al., 2019; instance of Rashidi et al.,
+ * HOTI'20, which the paper cites for its DLRM configuration): hybrid
+ * parallelism — dense MLPs are data-parallel, embedding tables are
+ * model-parallel across the whole machine with an All-to-All exchange
+ * of looked-up vectors.
+ *
+ * Forward: the embedding All-to-All is issued up front and overlaps
+ * with the bottom-MLP compute; the first top-MLP layer waits for it
+ * (paper Sec 6.2). Backward: the gradient All-to-All is issued after
+ * the first top-MLP layer's backward pass and overlaps with the
+ * bottom-MLP backward; only the iteration end waits for it.
+ */
+
+#include "models/model_zoo.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace themis::models {
+
+namespace {
+
+using workload::CommDomain;
+using workload::Layer;
+using workload::LayerCommOp;
+
+constexpr double kElem = 2.0; // FP16
+
+Layer
+mlpLayer(const std::string& name, int in, int out, double samples)
+{
+    Layer l;
+    l.name = name;
+    const double params = static_cast<double>(in) * out + out;
+    l.fwd_flops = 2.0 * static_cast<double>(in) * out * samples;
+    l.bwd_flops = 2.0 * l.fwd_flops;
+    l.fwd_mem_bytes = kElem * (params + samples * out);
+    l.bwd_mem_bytes = 2.0 * l.fwd_mem_bytes;
+    l.dp_grad_bytes = params * kElem;
+    return l;
+}
+
+} // namespace
+
+workload::ModelGraph
+makeDLRM(const DlrmConfig& cfg)
+{
+    THEMIS_ASSERT(cfg.bottom_mlp.size() >= 2, "bottom MLP too small");
+    THEMIS_ASSERT(!cfg.top_mlp_hidden.empty(), "top MLP missing");
+    const double mb = cfg.minibatch_per_npu;
+
+    workload::ModelGraph g;
+    g.name = "DLRM";
+    g.parallel = workload::ParallelSpec::dataParallel();
+    g.minibatch_per_npu = cfg.minibatch_per_npu;
+
+    // Per-NPU All-to-All payload: every sample needs one vector per
+    // table (FP16).
+    const Bytes a2a_bytes =
+        mb * cfg.num_tables * cfg.embedding_dim * kElem;
+
+    // Embedding lookup "layer": local shard reads; issues the forward
+    // All-to-All that overlaps with the bottom MLP.
+    {
+        Layer emb;
+        emb.name = "embedding_lookup";
+        emb.fwd_mem_bytes =
+            2.0 * mb * cfg.num_tables * cfg.embedding_dim * kElem;
+        emb.bwd_mem_bytes = emb.fwd_mem_bytes;
+        emb.fwd_comm.push_back(LayerCommOp{CollectiveType::AllToAll,
+                                           a2a_bytes, CommDomain::World,
+                                           /*blocking=*/false});
+        g.layers.push_back(emb);
+    }
+
+    // Bottom MLP over dense features.
+    for (std::size_t i = 0; i + 1 < cfg.bottom_mlp.size(); ++i) {
+        std::ostringstream name;
+        name << "bottom_mlp" << i + 1;
+        g.layers.push_back(mlpLayer(name.str(), cfg.bottom_mlp[i],
+                                    cfg.bottom_mlp[i + 1], mb));
+    }
+
+    // Pairwise feature interaction: (tables+1 choose 2) dot products
+    // plus the dense feature pass-through feed the top MLP.
+    const int vectors = cfg.num_tables + 1;
+    const int interaction = vectors * (vectors - 1) / 2 +
+                            cfg.bottom_mlp.back();
+
+    int in = interaction;
+    for (std::size_t i = 0; i < cfg.top_mlp_hidden.size(); ++i) {
+        std::ostringstream name;
+        name << "top_mlp" << i + 1;
+        Layer l = mlpLayer(name.str(), in, cfg.top_mlp_hidden[i], mb);
+        if (i == 0) {
+            // Join point for the overlapped forward All-to-All, and
+            // the issue point of the backward gradient All-to-All.
+            l.wait_pending_before_fwd = true;
+            l.bwd_comm.push_back(
+                LayerCommOp{CollectiveType::AllToAll, a2a_bytes,
+                            CommDomain::World, /*blocking=*/false});
+        }
+        in = cfg.top_mlp_hidden[i];
+        g.layers.push_back(l);
+    }
+    return g;
+}
+
+} // namespace themis::models

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * GNMT layer table (Wu et al., "Google's Neural Machine Translation
+ * System", 2016), at the widely-used 8+8-layer, 1024-hidden, 32k-vocab
+ * scale: embedding + bidirectional first encoder layer + residual LSTM
+ * stack + attention + decoder stack + projection/softmax.
+ *
+ * LSTM parameter algebra: 4 gates x (input + hidden + 1) x hidden.
+ * FLOPs per layer ~= 2 x params x tokens (fwd). Pure data-parallel;
+ * one gradient All-Reduce per layer.
+ */
+
+#include "models/model_zoo.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace themis::models {
+
+namespace {
+
+using workload::Layer;
+
+constexpr double kElem = 2.0; // FP16
+
+double
+lstmParams(int input, int hidden)
+{
+    return 4.0 * (static_cast<double>(input) + hidden + 1.0) * hidden;
+}
+
+/** Dense/recurrent layer with flops = 2 * params * tokens. */
+Layer
+denseLayer(const std::string& name, double params, double tokens)
+{
+    Layer l;
+    l.name = name;
+    l.fwd_flops = 2.0 * params * tokens;
+    l.bwd_flops = 2.0 * l.fwd_flops;
+    l.fwd_mem_bytes = kElem * (params + tokens * 1024.0);
+    l.bwd_mem_bytes = 2.0 * l.fwd_mem_bytes;
+    l.dp_grad_bytes = params * kElem;
+    return l;
+}
+
+} // namespace
+
+workload::ModelGraph
+makeGNMT(const GnmtConfig& cfg)
+{
+    THEMIS_ASSERT(cfg.encoder_layers >= 2 && cfg.decoder_layers >= 1,
+                  "GNMT needs its encoder/decoder stacks");
+    const double tokens =
+        static_cast<double>(cfg.minibatch_per_npu) * cfg.seq_len;
+    const int h = cfg.hidden;
+
+    workload::ModelGraph g;
+    g.name = "GNMT";
+    g.parallel = workload::ParallelSpec::dataParallel();
+    g.minibatch_per_npu = cfg.minibatch_per_npu;
+
+    // Source embedding: memory-bound lookups; grads are dense-reduced
+    // in data-parallel training.
+    {
+        Layer emb;
+        emb.name = "enc_embedding";
+        emb.fwd_mem_bytes = kElem * tokens * h * 2.0;
+        emb.bwd_mem_bytes = 2.0 * emb.fwd_mem_bytes;
+        emb.dp_grad_bytes = static_cast<double>(cfg.vocab) * h * kElem;
+        g.layers.push_back(emb);
+    }
+
+    // Encoder: layer 1 bidirectional (two LSTMs), layer 2 consumes the
+    // 2h-wide concatenation, layers 3+ are h->h with residuals.
+    g.layers.push_back(denseLayer("enc_lstm1_bidir",
+                                  2.0 * lstmParams(h, h), tokens));
+    for (int i = 2; i <= cfg.encoder_layers; ++i) {
+        std::ostringstream name;
+        name << "enc_lstm" << i;
+        const int input = i == 2 ? 2 * h : h;
+        g.layers.push_back(
+            denseLayer(name.str(), lstmParams(input, h), tokens));
+    }
+
+    // Bahdanau-style attention over encoder states.
+    g.layers.push_back(denseLayer("attention",
+                                  3.0 * static_cast<double>(h) * h,
+                                  tokens));
+
+    // Decoder: layer 1 consumes embedding + attention context.
+    for (int i = 1; i <= cfg.decoder_layers; ++i) {
+        std::ostringstream name;
+        name << "dec_lstm" << i;
+        const int input = i == 1 ? 2 * h : h;
+        g.layers.push_back(
+            denseLayer(name.str(), lstmParams(input, h), tokens));
+    }
+
+    // Target embedding + projection/softmax.
+    {
+        Layer emb;
+        emb.name = "dec_embedding";
+        emb.fwd_mem_bytes = kElem * tokens * h * 2.0;
+        emb.bwd_mem_bytes = 2.0 * emb.fwd_mem_bytes;
+        emb.dp_grad_bytes = static_cast<double>(cfg.vocab) * h * kElem;
+        g.layers.push_back(emb);
+    }
+    g.layers.push_back(denseLayer(
+        "softmax_projection",
+        static_cast<double>(h) * cfg.vocab + cfg.vocab, tokens));
+    return g;
+}
+
+} // namespace themis::models

@@ -1,0 +1,30 @@
+#include "models/model_zoo.hpp"
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace themis::models {
+
+std::vector<std::string>
+paperWorkloads()
+{
+    return {"ResNet-152", "GNMT", "DLRM", "Transformer-1T"};
+}
+
+workload::ModelGraph
+byName(const std::string& name)
+{
+    const std::string n = toLower(name);
+    if (n == "resnet-152" || n == "resnet152")
+        return makeResNet152();
+    if (n == "gnmt")
+        return makeGNMT();
+    if (n == "dlrm")
+        return makeDLRM();
+    if (n == "transformer-1t" || n == "transformer1t")
+        return makeTransformer1T();
+    THEMIS_FATAL("unknown workload '" << name << "'; known: "
+                                      << join(paperWorkloads(), ", "));
+}
+
+} // namespace themis::models

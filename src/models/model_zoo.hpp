@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The paper's four evaluation workloads (Sec 5.2): ResNet-152, GNMT,
+ * DLRM and Transformer-1T, built from their published architecture
+ * hyper-parameters. Per-NPU mini-batch sizes follow the paper: 32,
+ * 128, 512 and 16 respectively; gradients are FP16.
+ */
+
+#ifndef THEMIS_MODELS_MODEL_ZOO_HPP
+#define THEMIS_MODELS_MODEL_ZOO_HPP
+
+#include <string>
+#include <vector>
+
+#include "workload/model_graph.hpp"
+
+namespace themis::models {
+
+/** ResNet-152 hyper-parameters (He et al., 2015). */
+struct ResNet152Config
+{
+    int minibatch_per_npu = 32;
+    int image_size = 224;
+    int num_classes = 1000;
+};
+
+/** GNMT hyper-parameters (Wu et al., 2016; MLPerf-scale instance). */
+struct GnmtConfig
+{
+    int minibatch_per_npu = 128;
+    int hidden = 1024;
+    int vocab = 32000;
+    int encoder_layers = 8; ///< first layer bidirectional
+    int decoder_layers = 8;
+    int seq_len = 50;
+};
+
+/**
+ * DLRM hyper-parameters (Naumov et al., 2019, at the larger MLP
+ * scale of the HOTI'20 instance the paper cites: its fused gradient
+ * All-Reduce lands in the collective-size range of Fig 8).
+ */
+struct DlrmConfig
+{
+    int minibatch_per_npu = 512;
+    int num_tables = 26;
+    int embedding_dim = 128;
+    std::vector<int> bottom_mlp{13, 2048, 2048, 512};
+    std::vector<int> top_mlp_hidden{2048, 2048, 1024, 512, 1};
+};
+
+/**
+ * Transformer-1T hyper-parameters (paper Sec 5.2: ZeRO-2, MP=128).
+ * 12*h^2*L = 1.007e12 parameters; one blocking activation All-Reduce
+ * per block and pass at the attention+MLP boundary (Megatron
+ * sequence-parallel-style volume).
+ */
+struct Transformer1TConfig
+{
+    int minibatch_per_npu = 16;
+    int hidden = 51200;
+    int num_layers = 32;
+    int seq_len = 256;
+    int vocab = 51200;
+    int mp_degree = 128;
+};
+
+/** Data-parallel ResNet-152 (per-block gradient All-Reduce). */
+workload::ModelGraph makeResNet152(const ResNet152Config& cfg = {});
+
+/** Data-parallel GNMT (per-layer gradient All-Reduce). */
+workload::ModelGraph makeGNMT(const GnmtConfig& cfg = {});
+
+/**
+ * Hybrid DLRM: MLPs data-parallel, embedding tables model-parallel
+ * with overlapped All-to-All exchange (paper Sec 6.2).
+ */
+workload::ModelGraph makeDLRM(const DlrmConfig& cfg = {});
+
+/**
+ * Transformer-1T: model-parallel over the first 128 NPUs with
+ * blocking per-layer activation All-Reduces; ZeRO-2-style RS+AG
+ * data-parallel traffic on the remaining dimensions.
+ */
+workload::ModelGraph
+makeTransformer1T(const Transformer1TConfig& cfg = {});
+
+/** Names accepted by byName(), in paper order. */
+std::vector<std::string> paperWorkloads();
+
+/** Build a paper workload by name (case-insensitive). */
+workload::ModelGraph byName(const std::string& name);
+
+} // namespace themis::models
+
+#endif // THEMIS_MODELS_MODEL_ZOO_HPP

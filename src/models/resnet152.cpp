@@ -1,0 +1,124 @@
+/**
+ * @file
+ * ResNet-152 layer table, computed from the architecture (He et al.,
+ * "Deep Residual Learning for Image Recognition", 2015): conv1 +
+ * bottleneck stages of 3/8/36/3 blocks + the classifier. One workload
+ * Layer per residual block gives per-block gradient All-Reduce
+ * bucketing (~52 collectives per backward pass).
+ *
+ * Totals: ~60.2 M parameters, ~23 GFLOP forward per image (counting
+ * 2 FLOPs per MAC).
+ */
+
+#include "models/model_zoo.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace themis::models {
+
+namespace {
+
+using workload::Layer;
+
+/** FP16 bytes per parameter/activation element. */
+constexpr double kElem = 2.0;
+
+/** Accumulates one conv (+BN) into a Layer. */
+void
+addConv(Layer& layer, int mb, int cin, int cout, int k, int spatial_out)
+{
+    const double macs = static_cast<double>(k) * k * cin * cout *
+                        spatial_out * spatial_out * mb;
+    const double params = static_cast<double>(k) * k * cin * cout +
+                          2.0 * cout; // + batch-norm scale/shift
+    const double act_out =
+        static_cast<double>(cout) * spatial_out * spatial_out * mb;
+    layer.fwd_flops += 2.0 * macs;
+    layer.bwd_flops += 4.0 * macs; // wgrad + dgrad
+    layer.fwd_mem_bytes += kElem * (act_out + params);
+    layer.bwd_mem_bytes += 2.0 * kElem * (act_out + params);
+    layer.dp_grad_bytes += params * kElem;
+}
+
+/** One bottleneck residual block (1x1 -> 3x3 -> 1x1 [+ downsample]). */
+Layer
+bottleneck(const std::string& name, int mb, int cin, int mid, int cout,
+           int spatial_out, bool downsample)
+{
+    Layer layer;
+    layer.name = name;
+    addConv(layer, mb, cin, mid, 1, spatial_out);
+    addConv(layer, mb, mid, mid, 3, spatial_out);
+    addConv(layer, mb, mid, cout, 1, spatial_out);
+    if (downsample)
+        addConv(layer, mb, cin, cout, 1, spatial_out);
+    return layer;
+}
+
+} // namespace
+
+workload::ModelGraph
+makeResNet152(const ResNet152Config& cfg)
+{
+    THEMIS_ASSERT(cfg.minibatch_per_npu > 0, "bad mini-batch");
+    const int mb = cfg.minibatch_per_npu;
+
+    workload::ModelGraph g;
+    g.name = "ResNet-152";
+    g.parallel = workload::ParallelSpec::dataParallel();
+    g.minibatch_per_npu = mb;
+
+    // Stem: 7x7/2 conv to 64 channels at 112x112.
+    {
+        Layer stem;
+        stem.name = "conv1";
+        addConv(stem, mb, 3, 64, 7, cfg.image_size / 2);
+        g.layers.push_back(stem);
+    }
+
+    struct StageSpec
+    {
+        int blocks;
+        int mid;
+        int cout;
+        int spatial;
+    };
+    // After the stem's max-pool the spatial size is 56.
+    const StageSpec stages[] = {
+        {3, 64, 256, cfg.image_size / 4},
+        {8, 128, 512, cfg.image_size / 8},
+        {36, 256, 1024, cfg.image_size / 16},
+        {3, 512, 2048, cfg.image_size / 32},
+    };
+    int cin = 64;
+    int stage_id = 2;
+    for (const auto& st : stages) {
+        for (int b = 0; b < st.blocks; ++b) {
+            std::ostringstream name;
+            name << "conv" << stage_id << "_block" << b + 1;
+            g.layers.push_back(bottleneck(name.str(), mb, cin, st.mid,
+                                          st.cout, st.spatial, b == 0));
+            cin = st.cout;
+        }
+        ++stage_id;
+    }
+
+    // Classifier.
+    {
+        Layer fc;
+        fc.name = "fc1000";
+        const double params =
+            2048.0 * cfg.num_classes + cfg.num_classes;
+        fc.fwd_flops = 2.0 * 2048.0 * cfg.num_classes * mb;
+        fc.bwd_flops = 2.0 * fc.fwd_flops;
+        fc.fwd_mem_bytes = kElem * (params + 2048.0 * mb);
+        fc.bwd_mem_bytes = 2.0 * fc.fwd_mem_bytes;
+        fc.dp_grad_bytes = params * kElem;
+        g.layers.push_back(fc);
+    }
+    return g;
+}
+
+} // namespace themis::models

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Transformer-1T layer table (paper Sec 5.2): a dense 1-trillion-
+ * parameter Transformer (12 * h^2 * L with h=25600, L=128), trained
+ * with Megatron-style model parallelism over the first 128 NPUs and
+ * ZeRO-2 data parallelism across the remaining dimensions.
+ *
+ * Per layer and pass, the model-parallel group all-reduces the layer
+ * activations twice (attention block + MLP block), blocking the
+ * pipeline — this is the exposed-MP communication dominating Fig 12.
+ * ZeRO's forward-in-backprop recompute is charged to the forward
+ * compute bucket, matching the paper's accounting note. DP gradient
+ * traffic is a ZeRO-2 reduce-scatter plus parameter all-gather per
+ * layer, landing on the last network dimension only.
+ */
+
+#include "models/model_zoo.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace themis::models {
+
+namespace {
+
+using workload::CommDomain;
+using workload::Layer;
+using workload::LayerCommOp;
+
+constexpr double kElem = 2.0; // FP16
+
+} // namespace
+
+workload::ModelGraph
+makeTransformer1T(const Transformer1TConfig& cfg)
+{
+    THEMIS_ASSERT(cfg.mp_degree >= 2, "Transformer-1T requires MP");
+    const double h = cfg.hidden;
+    const double tokens =
+        static_cast<double>(cfg.minibatch_per_npu) * cfg.seq_len;
+    const double mp = cfg.mp_degree;
+
+    workload::ModelGraph g;
+    g.name = "Transformer-1T";
+    g.parallel = workload::ParallelSpec::hybrid(cfg.mp_degree);
+    g.minibatch_per_npu = cfg.minibatch_per_npu;
+    // ZeRO-2 buckets gradient reduce-scatters per layer during the
+    // backward pass instead of one fused exchange.
+    g.fused_dp_grads = false;
+
+    // Activation All-Reduce payload per block: full (tokens x h)
+    // activation in FP16 (Megatron's g/f operators).
+    const Bytes act_ar = tokens * h * kElem;
+
+    // Token + position embedding, sharded across the MP group.
+    {
+        Layer emb;
+        emb.name = "embedding";
+        const double params =
+            (static_cast<double>(cfg.vocab) + cfg.seq_len) * h / mp;
+        emb.fwd_mem_bytes = kElem * (tokens * h + params);
+        emb.bwd_mem_bytes = 2.0 * emb.fwd_mem_bytes;
+        emb.dp_grad_bytes = params * kElem;
+        emb.zero_style_dp = true;
+        g.layers.push_back(emb);
+    }
+
+    // Transformer blocks: 12*h^2 parameters each (4h^2 attention +
+    // 8h^2 MLP), FLOPs 2*params*tokens, all sharded MP-ways.
+    const double layer_params = 12.0 * h * h;
+    for (int i = 1; i <= cfg.num_layers; ++i) {
+        std::ostringstream name;
+        name << "block" << i;
+        Layer l;
+        l.name = name.str();
+        const double shard_params = layer_params / mp;
+        l.fwd_flops = 2.0 * shard_params * tokens;
+        l.bwd_flops = 2.0 * l.fwd_flops;
+        l.recompute_flops = l.fwd_flops; // ZeRO fwd-in-backprop
+        l.fwd_mem_bytes = kElem * (shard_params + tokens * h / mp);
+        l.bwd_mem_bytes = 2.0 * l.fwd_mem_bytes;
+        l.dp_grad_bytes = shard_params * kElem;
+        l.zero_style_dp = true;
+        // One blocking activation All-Reduce per pass at the block
+        // boundary (sequence-parallel Megatron moves the same volume
+        // as a single AR per attention+MLP block).
+        l.fwd_comm.push_back(LayerCommOp{CollectiveType::AllReduce,
+                                         act_ar,
+                                         CommDomain::ModelParallel,
+                                         /*blocking=*/true});
+        l.bwd_comm.push_back(LayerCommOp{CollectiveType::AllReduce,
+                                         act_ar,
+                                         CommDomain::ModelParallel,
+                                         /*blocking=*/true});
+        g.layers.push_back(l);
+    }
+
+    // Output head (logits projection), sharded MP-ways; its blocking
+    // All-Gather assembles the vocabulary-parallel logits.
+    {
+        Layer head;
+        head.name = "lm_head";
+        const double params = static_cast<double>(cfg.vocab) * h / mp;
+        head.fwd_flops = 2.0 * params * tokens;
+        head.bwd_flops = 2.0 * head.fwd_flops;
+        head.fwd_mem_bytes = kElem * params;
+        head.bwd_mem_bytes = 2.0 * head.fwd_mem_bytes;
+        head.dp_grad_bytes = params * kElem;
+        head.zero_style_dp = true;
+        head.fwd_comm.push_back(
+            LayerCommOp{CollectiveType::AllGather,
+                        tokens * cfg.vocab * kElem,
+                        CommDomain::ModelParallel, /*blocking=*/true});
+        g.layers.push_back(head);
+    }
+    return g;
+}
+
+} // namespace themis::models

@@ -1,0 +1,36 @@
+#include "runtime/chunk_op.hpp"
+
+#include "common/error.hpp"
+
+namespace themis::runtime {
+
+ChunkOp
+makeChunkOp(const OpTag& tag, Phase phase, int local_dim, int global_dim,
+            Bytes entering, const DimensionConfig& dim,
+            std::function<void(const ChunkOp&)> on_complete)
+{
+    THEMIS_ASSERT(on_complete, "chunk op needs a completion callback");
+    ChunkOp op;
+    op.tag = tag;
+    op.phase = phase;
+    op.local_dim = local_dim;
+    op.global_dim = global_dim;
+    op.entering = entering;
+    // Execution granularity follows the paper's cost model
+    // (Sec 4.4): one fixed delay A_K = steps * step_latency, then one
+    // bandwidth-occupying transfer of the full wire volume N_K. The
+    // per-step plan is summed into that lump; concurrent chunks hide
+    // each other's fixed delays through the shared channel.
+    Bytes total_bytes = 0.0;
+    for (const auto& s : algorithmFor(dim).plan(phase, entering,
+                                                dim)) {
+        op.fixed_delay += s.latency;
+        total_bytes += s.bytes;
+    }
+    op.transfer_time = total_bytes / dim.bandwidth();
+    op.steps = {StepPlan{op.fixed_delay, total_bytes}};
+    op.on_complete = std::move(on_complete);
+    return op;
+}
+
+} // namespace themis::runtime

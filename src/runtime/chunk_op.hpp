@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Runtime representation of one chunk operation: one phase (RS/AG/A2A)
+ * of one chunk executing on one network dimension. Sessions create
+ * ops; dimension engines execute them step by step on the event queue
+ * and invoke the completion callback.
+ */
+
+#ifndef THEMIS_RUNTIME_CHUNK_OP_HPP
+#define THEMIS_RUNTIME_CHUNK_OP_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "collective/algorithms.hpp"
+#include "core/chunk.hpp"
+
+namespace themis::runtime {
+
+/** Globally unique identity of a chunk operation. */
+struct OpTag
+{
+    int collective_id = 0;
+    int chunk_id = 0;
+    int stage_index = 0;
+
+    bool
+    operator==(const OpTag& o) const
+    {
+        return collective_id == o.collective_id &&
+               chunk_id == o.chunk_id && stage_index == o.stage_index;
+    }
+
+    bool
+    operator<(const OpTag& o) const
+    {
+        if (collective_id != o.collective_id)
+            return collective_id < o.collective_id;
+        if (chunk_id != o.chunk_id)
+            return chunk_id < o.chunk_id;
+        return stage_index < o.stage_index;
+    }
+};
+
+/** A schedulable chunk operation; see file comment. */
+struct ChunkOp
+{
+    OpTag tag;
+    Phase phase = Phase::ReduceScatter;
+
+    /** Dimension index within the collective's scope. */
+    int local_dim = 0;
+
+    /** Dimension index within the full topology. */
+    int global_dim = 0;
+
+    /** Per-NPU data size entering this stage. */
+    Bytes entering = 0.0;
+
+    /** Algorithm step plan (latency + bytes per step). */
+    std::vector<StepPlan> steps;
+
+    /** Sum of step transfer times at full bandwidth (N*B). */
+    TimeNs transfer_time = 0.0;
+
+    /** Sum of step latencies (A). */
+    TimeNs fixed_delay = 0.0;
+
+    /** Invoked by the engine when the op finishes. */
+    std::function<void(const ChunkOp&)> on_complete;
+};
+
+/**
+ * Build a ChunkOp for @p phase of chunk @p tag on dimension @p dim
+ * (computes the step plan and time aggregates).
+ */
+ChunkOp makeChunkOp(const OpTag& tag, Phase phase, int local_dim,
+                    int global_dim, Bytes entering,
+                    const DimensionConfig& dim,
+                    std::function<void(const ChunkOp&)> on_complete);
+
+} // namespace themis::runtime
+
+#endif // THEMIS_RUNTIME_CHUNK_OP_HPP

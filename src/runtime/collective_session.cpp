@@ -1,0 +1,84 @@
+#include "runtime/collective_session.hpp"
+
+#include "common/error.hpp"
+
+namespace themis::runtime {
+
+CollectiveSession::CollectiveSession(int id, CollectiveType type,
+                                     std::vector<ChunkSchedule> schedules,
+                                     std::vector<DimensionEngine*> engines,
+                                     const LatencyModel& model,
+                                     sim::EventQueue& queue,
+                                     CompletionCallback on_done)
+    : id_(id), type_(type), schedules_(std::move(schedules)),
+      engines_(std::move(engines)), model_(model), queue_(queue),
+      on_done_(std::move(on_done))
+{
+    THEMIS_ASSERT(!schedules_.empty(), "collective with no chunks");
+    THEMIS_ASSERT(!engines_.empty(), "collective with no dimensions");
+    THEMIS_ASSERT(model_.numDims() == static_cast<int>(engines_.size()),
+                  "model/engine rank mismatch");
+    for (auto* e : engines_)
+        THEMIS_ASSERT(e != nullptr, "null dimension engine");
+    for (const auto& sched : schedules_) {
+        THEMIS_ASSERT(!sched.stages.empty(), "chunk with no stages");
+        for (const auto& st : sched.stages) {
+            THEMIS_ASSERT(st.dim >= 0 &&
+                              st.dim < static_cast<int>(engines_.size()),
+                          "stage references local dim " << st.dim
+                              << " outside scope");
+        }
+    }
+}
+
+void
+CollectiveSession::start()
+{
+    THEMIS_ASSERT(!started_, "session started twice");
+    started_ = true;
+    start_time_ = queue_.now();
+    for (std::size_t i = 0; i < schedules_.size(); ++i)
+        submitStage(i, 0, schedules_[i].size);
+}
+
+void
+CollectiveSession::submitStage(std::size_t chunk_idx, int stage_index,
+                               Bytes entering)
+{
+    const ChunkSchedule& sched = schedules_[chunk_idx];
+    const StageAssignment& stage =
+        sched.stages[static_cast<std::size_t>(stage_index)];
+    DimensionEngine* engine =
+        engines_[static_cast<std::size_t>(stage.dim)];
+    OpTag tag{id_, sched.chunk_id, stage_index};
+    engine->enqueue(makeChunkOp(
+        tag, stage.phase, stage.dim, engine->globalDim(), entering,
+        model_.dim(stage.dim),
+        [this](const ChunkOp& op) { onOpComplete(op); }));
+}
+
+void
+CollectiveSession::onOpComplete(const ChunkOp& op)
+{
+    // Find the chunk (chunk ids are dense indexes per session).
+    const auto chunk_idx = static_cast<std::size_t>(op.tag.chunk_id);
+    THEMIS_ASSERT(chunk_idx < schedules_.size(), "unknown chunk id");
+    const ChunkSchedule& sched = schedules_[chunk_idx];
+    const int next = op.tag.stage_index + 1;
+    const auto& stage =
+        sched.stages[static_cast<std::size_t>(op.tag.stage_index)];
+    const Bytes after = sizeAfterPhase(stage.phase, op.entering,
+                                       model_.dim(stage.dim).size);
+    if (next < static_cast<int>(sched.stages.size())) {
+        submitStage(chunk_idx, next, after);
+        return;
+    }
+    ++completed_chunks_;
+    if (done()) {
+        end_time_ = queue_.now();
+        if (on_done_)
+            on_done_(*this);
+    }
+}
+
+} // namespace themis::runtime

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * One in-flight collective: drives its chunks through their scheduled
+ * stages across the dimension engines and reports completion.
+ */
+
+#ifndef THEMIS_RUNTIME_COLLECTIVE_SESSION_HPP
+#define THEMIS_RUNTIME_COLLECTIVE_SESSION_HPP
+
+#include <functional>
+#include <vector>
+
+#include "core/chunk.hpp"
+#include "core/latency_model.hpp"
+#include "runtime/dimension_engine.hpp"
+
+namespace themis::runtime {
+
+/** Executes the chunk schedules of one collective; see file comment. */
+class CollectiveSession
+{
+  public:
+    /** Invoked once when every chunk finished its last stage. */
+    using CompletionCallback = std::function<void(CollectiveSession&)>;
+
+    /**
+     * @param id        runtime-unique collective id
+     * @param type      collective pattern (for reporting)
+     * @param schedules per-chunk stage orders (scheduler output)
+     * @param engines   engine per *local* dimension of the scope
+     * @param model     scope latency model; its dimension configs
+     *                  carry the effective peer-group sizes (possibly
+     *                  sub-groups of the physical dimensions)
+     * @param queue     event queue (for timestamps)
+     * @param on_done   completion callback
+     */
+    CollectiveSession(int id, CollectiveType type,
+                      std::vector<ChunkSchedule> schedules,
+                      std::vector<DimensionEngine*> engines,
+                      const LatencyModel& model, sim::EventQueue& queue,
+                      CompletionCallback on_done);
+
+    CollectiveSession(const CollectiveSession&) = delete;
+    CollectiveSession& operator=(const CollectiveSession&) = delete;
+
+    /** Submit stage 0 of every chunk. Records the issue time. */
+    void start();
+
+    /** Runtime-unique id. */
+    int id() const { return id_; }
+
+    /** Collective pattern. */
+    CollectiveType type() const { return type_; }
+
+    /** True once every chunk completed all stages. */
+    bool done() const { return completed_chunks_ == schedules_.size(); }
+
+    /** Simulation time of start(). */
+    TimeNs startTime() const { return start_time_; }
+
+    /** Simulation time the last stage completed. */
+    TimeNs endTime() const { return end_time_; }
+
+    /** The chunk schedules being executed. */
+    const std::vector<ChunkSchedule>& schedules() const
+    {
+        return schedules_;
+    }
+
+  private:
+    void submitStage(std::size_t chunk_idx, int stage_index,
+                     Bytes entering);
+    void onOpComplete(const ChunkOp& op);
+
+    int id_;
+    CollectiveType type_;
+    std::vector<ChunkSchedule> schedules_;
+    std::vector<DimensionEngine*> engines_;
+    const LatencyModel& model_;
+    sim::EventQueue& queue_;
+    CompletionCallback on_done_;
+
+    std::size_t completed_chunks_ = 0;
+    TimeNs start_time_ = 0.0;
+    TimeNs end_time_ = 0.0;
+    bool started_ = false;
+};
+
+} // namespace themis::runtime
+
+#endif // THEMIS_RUNTIME_COLLECTIVE_SESSION_HPP

@@ -1,0 +1,262 @@
+#include "runtime/comm_runtime.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/string_util.hpp"
+
+namespace themis::runtime {
+
+RuntimeConfig
+baselineConfig()
+{
+    RuntimeConfig cfg;
+    cfg.scheduler = SchedulerKind::Baseline;
+    cfg.intra_policy = IntraDimPolicy::Fifo;
+    return cfg;
+}
+
+RuntimeConfig
+themisFifoConfig()
+{
+    RuntimeConfig cfg;
+    cfg.scheduler = SchedulerKind::Themis;
+    cfg.intra_policy = IntraDimPolicy::Fifo;
+    return cfg;
+}
+
+RuntimeConfig
+themisScfConfig()
+{
+    RuntimeConfig cfg;
+    cfg.scheduler = SchedulerKind::Themis;
+    cfg.intra_policy = IntraDimPolicy::Scf;
+    return cfg;
+}
+
+CommRuntime::CommRuntime(sim::EventQueue& queue, Topology topo,
+                         RuntimeConfig config)
+    : queue_ref_(queue), topo_(std::move(topo)), config_(config),
+      activity_(topo_.numDims())
+{
+    std::vector<sim::SharedChannel*> channels;
+    std::vector<Bandwidth> bws;
+    for (int d = 0; d < topo_.numDims(); ++d) {
+        engines_.push_back(std::make_unique<DimensionEngine>(
+            queue_ref_, topo_.dim(d), d, config_.intra_policy,
+            config_.admission));
+        engines_.back()->setPresenceListener(
+            [this](int dim, bool present, TimeNs when) {
+                activity_.onPresence(dim, present, when);
+            });
+        channels.push_back(&engines_.back()->channel());
+        bws.push_back(topo_.dim(d).bandwidth());
+    }
+    utilization_ = std::make_unique<stats::UtilizationTracker>(
+        std::move(channels), std::move(bws));
+}
+
+std::vector<ScopeDim>
+CommRuntime::normalizeScope(const std::vector<ScopeDim>& scope) const
+{
+    std::vector<ScopeDim> out;
+    if (scope.empty()) {
+        for (int d = 0; d < topo_.numDims(); ++d)
+            out.push_back(ScopeDim{d, topo_.dim(d).size});
+        return out;
+    }
+    for (std::size_t i = 0; i < scope.size(); ++i) {
+        const int d = scope[i].dim;
+        if (d < 0 || d >= topo_.numDims())
+            THEMIS_FATAL("collective scope references dimension "
+                         << d << " outside the " << topo_.numDims()
+                         << "D topology");
+        if (i > 0 && d <= scope[i - 1].dim)
+            THEMIS_FATAL("collective scope must list dimensions in "
+                         "strictly increasing order");
+        const int full = topo_.dim(d).size;
+        int participants =
+            scope[i].participants > 0 ? scope[i].participants : full;
+        if (participants < 2 || participants > full)
+            THEMIS_FATAL("scope participants " << participants
+                                               << " invalid for dim of "
+                                               << full << " NPUs");
+        out.push_back(ScopeDim{d, participants});
+    }
+    return out;
+}
+
+CommRuntime::ScopeState&
+CommRuntime::scopeState(const std::vector<ScopeDim>& scope)
+{
+    auto it = scopes_.find(scope);
+    if (it != scopes_.end())
+        return it->second;
+    ScopeState state;
+    state.model = std::make_unique<LatencyModel>(
+        LatencyModel::fromScope(topo_, scope));
+    state.scheduler =
+        makeScheduler(config_.scheduler, *state.model, config_.themis);
+    state.planner = std::make_unique<ConsistencyPlanner>(
+        *state.model, config_.intra_policy);
+    return scopes_.emplace(scope, std::move(state)).first->second;
+}
+
+const LatencyModel&
+CommRuntime::modelForScope(const std::vector<ScopeDim>& scope)
+{
+    return *scopeState(normalizeScope(scope)).model;
+}
+
+int
+CommRuntime::issue(const CollectiveRequest& request, Callback on_done)
+{
+    const std::vector<ScopeDim> scope = normalizeScope(request.scope);
+    ScopeState& state = scopeState(scope);
+
+    const int chunks =
+        request.chunks > 0 ? request.chunks : config_.default_chunks;
+    const Bytes size = schedulableSize(request.type, request.size,
+                                       state.model->dimSizes());
+    auto schedules = state.scheduler->scheduleCollective(request.type,
+                                                         size, chunks);
+
+    const int id = static_cast<int>(records_.size());
+    Record rec;
+    rec.id = id;
+    rec.type = request.type;
+    rec.size = request.size;
+    rec.scope = scope;
+    rec.issued = queue_ref_.now();
+    records_.push_back(rec);
+    if (on_done)
+        callbacks_[id] = std::move(on_done);
+
+    std::vector<DimensionEngine*> engines;
+    engines.reserve(scope.size());
+    for (const auto& s : scope)
+        engines.push_back(engines_[static_cast<std::size_t>(s.dim)].get());
+
+    if (config_.enforce_consistent_order) {
+        // Pre-simulate to fix per-dimension start orders (Sec 4.6.2).
+        std::vector<std::vector<OpKey>> orders;
+        if (config_.order_planner == OrderPlanner::ShadowSim) {
+            orders = shadowPlanOrders(request.type, schedules, scope,
+                                      *state.model);
+        } else {
+            auto plan = state.planner->plan(schedules);
+            THEMIS_ASSERT(planIsDeadlockFree(schedules, plan),
+                          "consistency planner emitted a cyclic order");
+            orders = std::move(plan.order);
+        }
+        for (std::size_t local = 0; local < scope.size(); ++local) {
+            engines[local]->setEnforcedOrder(id, orders[local]);
+        }
+    }
+
+    if (outstanding_ == 0)
+        utilization_->windowStart(queue_ref_.now());
+    ++outstanding_;
+
+    sessions_.push_back(std::make_unique<CollectiveSession>(
+        id, request.type, std::move(schedules), std::move(engines),
+        *state.model, queue_ref_, [this](CollectiveSession& s) {
+            onCollectiveDone(s.id());
+        }));
+    sessions_.back()->start();
+    return id;
+}
+
+void
+CommRuntime::onCollectiveDone(int id)
+{
+    auto& rec = records_[static_cast<std::size_t>(id)];
+    THEMIS_ASSERT(!rec.done(), "collective " << id << " finished twice");
+    rec.completed = queue_ref_.now();
+    --outstanding_;
+    if (outstanding_ == 0)
+        utilization_->windowEnd(queue_ref_.now());
+    if (config_.enforce_consistent_order) {
+        for (const auto& s : rec.scope) {
+            engines_[static_cast<std::size_t>(s.dim)]
+                ->clearEnforcedOrder(id);
+        }
+    }
+    auto cb = callbacks_.find(id);
+    if (cb != callbacks_.end()) {
+        Callback fn = std::move(cb->second);
+        callbacks_.erase(cb);
+        fn();
+    }
+}
+
+const CommRuntime::Record&
+CommRuntime::record(int id) const
+{
+    THEMIS_ASSERT(id >= 0 && id < static_cast<int>(records_.size()),
+                  "unknown collective id " << id);
+    return records_[static_cast<std::size_t>(id)];
+}
+
+DimensionEngine&
+CommRuntime::engine(int global_dim)
+{
+    THEMIS_ASSERT(global_dim >= 0 && global_dim < topo_.numDims(),
+                  "bad dimension " << global_dim);
+    return *engines_[static_cast<std::size_t>(global_dim)];
+}
+
+std::vector<std::vector<OpKey>>
+CommRuntime::shadowPlanOrders(CollectiveType type,
+                              const std::vector<ChunkSchedule>& schedules,
+                              const std::vector<ScopeDim>& scope,
+                              const LatencyModel& model)
+{
+    sim::EventQueue shadow_queue;
+    std::vector<std::unique_ptr<DimensionEngine>> shadow_engines;
+    std::vector<DimensionEngine*> engine_ptrs;
+    std::vector<std::vector<OpKey>> orders(scope.size());
+    for (std::size_t local = 0; local < scope.size(); ++local) {
+        shadow_engines.push_back(std::make_unique<DimensionEngine>(
+            shadow_queue, topo_.dim(scope[local].dim),
+            scope[local].dim, config_.intra_policy, config_.admission));
+        auto* bucket = &orders[local];
+        shadow_engines.back()->setStartListener(
+            [bucket](const OpTag& tag) {
+                bucket->push_back(OpKey{tag.chunk_id, tag.stage_index});
+            });
+        engine_ptrs.push_back(shadow_engines.back().get());
+    }
+    CollectiveSession shadow(0, type, schedules, std::move(engine_ptrs),
+                             model, shadow_queue, nullptr);
+    shadow.start();
+    shadow_queue.run();
+    THEMIS_ASSERT(shadow.done(),
+                  "shadow planning simulation did not complete");
+    return orders;
+}
+
+void
+CommRuntime::attachTrace(stats::TraceWriter& trace)
+{
+    for (auto& engine : engines_) {
+        engine->setFinishListener(
+            [this, &trace](const ChunkOp& op, TimeNs started) {
+                std::ostringstream label;
+                label << phaseName(op.phase) << " c" << op.tag.chunk_id
+                      << ".s" << op.tag.stage_index << " ("
+                      << fmtBytes(op.entering) << ")";
+                trace.record(op.global_dim, label.str(), started,
+                             queue_ref_.now());
+            });
+    }
+}
+
+void
+CommRuntime::finalizeStats()
+{
+    activity_.finalize(queue_ref_.now());
+}
+
+} // namespace themis::runtime

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * CommRuntime: the public entry point of the communication simulator.
+ *
+ * Owns one DimensionEngine per topology dimension, a scheduler per
+ * collective scope, and the statistics instrumentation (utilization
+ * windows per the Fig 4 definition, per-dimension activity for Fig 9).
+ * The workload layer — or a bench — issues CollectiveRequests and
+ * runs the shared event queue; callbacks fire on completion.
+ */
+
+#ifndef THEMIS_RUNTIME_COMM_RUNTIME_HPP
+#define THEMIS_RUNTIME_COMM_RUNTIME_HPP
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "runtime/collective_session.hpp"
+#include "stats/activity_timeline.hpp"
+#include "stats/trace_writer.hpp"
+#include "stats/utilization_tracker.hpp"
+#include "topology/topology.hpp"
+
+namespace themis::runtime {
+
+/** How enforced per-dimension orders are derived (Sec 4.6.2). */
+enum class OrderPlanner
+{
+    /**
+     * Replay the collective through a private shadow simulation of
+     * the same engines and record op start orders — exact for a
+     * collective running alone.
+     */
+    ShadowSim,
+
+    /**
+     * The paper's fast pre-simulation: serial service per dimension
+     * with the latency model ("does not need to consider detailed
+     * network modeling"). Approximate but cheap.
+     */
+    FastSerial,
+};
+
+/** Full configuration of the communication runtime (Table 3 rows). */
+struct RuntimeConfig
+{
+    /** Inter-dimension scheduling policy. */
+    SchedulerKind scheduler = SchedulerKind::Themis;
+
+    /** Themis tunables (ignored for the baseline scheduler). */
+    ThemisConfig themis{};
+
+    /** Intra-dimension ordering (paper: baseline uses FIFO). */
+    IntraDimPolicy intra_policy = IntraDimPolicy::Scf;
+
+    /** Default chunks per collective when the request says 0. */
+    int default_chunks = 64;
+
+    /** Parallel-admission tunables. */
+    AdmissionConfig admission{};
+
+    /**
+     * Pre-simulate and enforce per-dimension chunk-op orders
+     * (Sec 4.6.2). Identical results on the symmetric timing model;
+     * required for correctness on real skewed systems.
+     */
+    bool enforce_consistent_order = false;
+
+    /** Planner used when enforce_consistent_order is set. */
+    OrderPlanner order_planner = OrderPlanner::ShadowSim;
+};
+
+/** Table 3 convenience constructors. */
+RuntimeConfig baselineConfig();
+RuntimeConfig themisFifoConfig();
+RuntimeConfig themisScfConfig();
+
+/** The communication simulator facade; see file comment. */
+class CommRuntime
+{
+  public:
+    /** Completion callback of one collective. */
+    using Callback = std::function<void()>;
+
+    /** Bookkeeping record of one issued collective. */
+    struct Record
+    {
+        int id = 0;
+        CollectiveType type = CollectiveType::AllReduce;
+        Bytes size = 0.0;
+        std::vector<ScopeDim> scope;
+        TimeNs issued = 0.0;
+        TimeNs completed = -1.0;
+
+        bool done() const { return completed >= 0.0; }
+        TimeNs duration() const { return completed - issued; }
+    };
+
+    /**
+     * @param queue shared event queue (must outlive the runtime)
+     * @param topo  platform topology (copied)
+     * @param config scheduling/runtime configuration
+     */
+    CommRuntime(sim::EventQueue& queue, Topology topo,
+                RuntimeConfig config = {});
+
+    CommRuntime(const CommRuntime&) = delete;
+    CommRuntime& operator=(const CommRuntime&) = delete;
+
+    /**
+     * Issue a collective at the current simulation time.
+     * @return the collective's runtime id.
+     */
+    int issue(const CollectiveRequest& request, Callback on_done = {});
+
+    /** Number of issued-but-unfinished collectives. */
+    int outstanding() const { return outstanding_; }
+
+    /** Records of all issued collectives, in issue order. */
+    const std::vector<Record>& records() const { return records_; }
+
+    /** Record by collective id. */
+    const Record& record(int id) const;
+
+    /** The simulated platform. */
+    const Topology& topology() const { return topo_; }
+
+    /** Per-dimension engine (stats/diagnostics). */
+    DimensionEngine& engine(int global_dim);
+
+    /** Utilization during comm-active windows (Fig 4 definition). */
+    const stats::UtilizationTracker& utilization() const
+    {
+        return *utilization_;
+    }
+
+    /** Per-dimension activity intervals (Fig 9). */
+    stats::ActivityTimeline& activity() { return activity_; }
+
+    /**
+     * Stream every completed chunk operation into @p trace (one
+     * timeline row per dimension; labels like "RS c3.s1 (2.0 MB)").
+     * The writer must outlive the runtime.
+     */
+    void attachTrace(stats::TraceWriter& trace);
+
+    /**
+     * Finish statistics at the current simulation time (closes open
+     * activity intervals). Call after the event queue drains.
+     */
+    void finalizeStats();
+
+    /** The event queue driving this runtime. */
+    sim::EventQueue& queue() { return queue_ref_; }
+
+    /** The latency model for @p scope (shared with schedulers). */
+    const LatencyModel& modelForScope(const std::vector<ScopeDim>& scope);
+
+  private:
+    struct ScopeState
+    {
+        std::unique_ptr<LatencyModel> model;
+        std::unique_ptr<Scheduler> scheduler;
+        std::unique_ptr<ConsistencyPlanner> planner;
+    };
+
+    ScopeState& scopeState(const std::vector<ScopeDim>& scope);
+    std::vector<ScopeDim>
+    normalizeScope(const std::vector<ScopeDim>& scope) const;
+    void onCollectiveDone(int id);
+
+    /**
+     * Replay @p schedules through a private shadow simulation and
+     * return the per-local-dimension op start orders (Sec 4.6.2).
+     */
+    std::vector<std::vector<OpKey>>
+    shadowPlanOrders(CollectiveType type,
+                     const std::vector<ChunkSchedule>& schedules,
+                     const std::vector<ScopeDim>& scope,
+                     const LatencyModel& model);
+
+    sim::EventQueue& queue_ref_;
+    Topology topo_;
+    RuntimeConfig config_;
+
+    std::vector<std::unique_ptr<DimensionEngine>> engines_;
+    std::map<std::vector<ScopeDim>, ScopeState> scopes_;
+    std::vector<std::unique_ptr<CollectiveSession>> sessions_;
+    std::vector<Record> records_;
+    std::map<int, Callback> callbacks_;
+
+    int outstanding_ = 0;
+    stats::ActivityTimeline activity_;
+    std::unique_ptr<stats::UtilizationTracker> utilization_;
+};
+
+} // namespace themis::runtime
+
+#endif // THEMIS_RUNTIME_COMM_RUNTIME_HPP

@@ -1,0 +1,218 @@
+#include "runtime/dimension_engine.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace themis::runtime {
+
+namespace {
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+} // namespace
+
+DimensionEngine::DimensionEngine(sim::EventQueue& queue,
+                                 DimensionConfig config, int global_dim,
+                                 IntraDimPolicy policy,
+                                 AdmissionConfig admission)
+    : queue_ref_(queue), config_(config), global_dim_(global_dim),
+      policy_(policy), admission_(admission),
+      channel_(queue, config.bandwidth())
+{
+    config_.validate();
+    THEMIS_ASSERT(admission_.max_parallel_ops >= 1,
+                  "max_parallel_ops must be >= 1");
+    THEMIS_ASSERT(admission_.latency_headroom > 0.0,
+                  "latency_headroom must be positive");
+}
+
+void
+DimensionEngine::setEnforcedOrder(int collective_id,
+                                  std::vector<OpKey> order)
+{
+    enforced_[collective_id] = EnforcedOrder{std::move(order), 0};
+}
+
+void
+DimensionEngine::clearEnforcedOrder(int collective_id)
+{
+    enforced_.erase(collective_id);
+}
+
+void
+DimensionEngine::setPresenceListener(PresenceListener listener)
+{
+    presence_ = std::move(listener);
+}
+
+void
+DimensionEngine::setStartListener(StartListener listener)
+{
+    start_listener_ = std::move(listener);
+}
+
+void
+DimensionEngine::setFinishListener(FinishListener listener)
+{
+    finish_listener_ = std::move(listener);
+}
+
+void
+DimensionEngine::notifyPresence()
+{
+    const bool present = !queue_.empty() || !active_.empty();
+    if (present == last_presence_)
+        return;
+    last_presence_ = present;
+    if (presence_)
+        presence_(global_dim_, present, queue_ref_.now());
+}
+
+void
+DimensionEngine::enqueue(ChunkOp op)
+{
+    THEMIS_ASSERT(op.global_dim == global_dim_,
+                  "op for dim " << op.global_dim << " enqueued on dim "
+                                << global_dim_);
+    queue_.push_back(PendingOp{std::move(op), arrival_counter_++});
+    notifyPresence();
+    tryStart();
+}
+
+bool
+DimensionEngine::admissionAllows(const ChunkOp& candidate) const
+{
+    (void)candidate; // admission looks at the active set only
+    if (active_.empty())
+        return true;
+    if (static_cast<int>(active_.size()) >= admission_.max_parallel_ops)
+        return false;
+    TimeNs transfer_sum = 0.0;
+    TimeNs max_delay = 0.0;
+    for (const auto& [id, a] : active_) {
+        transfer_sum += a.op.transfer_time;
+        if (a.op.fixed_delay > max_delay)
+            max_delay = a.op.fixed_delay;
+    }
+    return transfer_sum < admission_.latency_headroom * max_delay;
+}
+
+std::size_t
+DimensionEngine::selectNext() const
+{
+    if (queue_.empty())
+        return kNone;
+
+    // Candidates: ops of collectives without an enforced order, plus —
+    // for each enforced collective — exactly its next expected op.
+    std::vector<std::size_t> candidates;
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+        const auto& op = queue_[i].op;
+        const auto it = enforced_.find(op.tag.collective_id);
+        if (it == enforced_.end()) {
+            candidates.push_back(i);
+            continue;
+        }
+        const auto& eo = it->second;
+        THEMIS_ASSERT(eo.next < eo.order.size(),
+                      "enforced order exhausted but ops keep arriving");
+        const OpKey& expected = eo.order[eo.next];
+        if (op.tag.chunk_id == expected.chunk_id &&
+            op.tag.stage_index == expected.stage_index) {
+            candidates.push_back(i);
+        }
+    }
+    if (candidates.empty())
+        return kNone; // enforced head(s) not yet arrived: wait
+
+    std::vector<QueuedOpView> views;
+    views.reserve(candidates.size());
+    for (std::size_t idx : candidates) {
+        const auto& p = queue_[idx];
+        views.push_back(QueuedOpView{
+            p.arrival_seq, p.op.transfer_time + p.op.fixed_delay,
+            p.op.tag.chunk_id});
+    }
+    return candidates[pickNextOp(policy_, views)];
+}
+
+void
+DimensionEngine::tryStart()
+{
+    while (true) {
+        const std::size_t pick = selectNext();
+        if (pick == kNone)
+            return;
+        if (!admissionAllows(queue_[pick].op))
+            return;
+        ChunkOp op = std::move(queue_[pick].op);
+        queue_.erase(queue_.begin() + static_cast<long>(pick));
+        // Advance the enforced cursor when this op was the expected
+        // head of its collective's order.
+        auto it = enforced_.find(op.tag.collective_id);
+        if (it != enforced_.end())
+            ++it->second.next;
+        startOp(std::move(op));
+    }
+}
+
+void
+DimensionEngine::startOp(ChunkOp op)
+{
+    const std::uint64_t exec_id = next_exec_id_++;
+    THEMIS_ASSERT(!op.steps.empty(), "op with no steps");
+    logDebug("dim", global_dim_ + 1, " t=", queue_ref_.now(),
+             " start chunk ", op.tag.chunk_id, " stage ",
+             op.tag.stage_index, " (", phaseName(op.phase), ", ",
+             op.entering, " B in, ", active_.size(), " active)");
+    if (start_listener_)
+        start_listener_(op.tag);
+    active_.emplace(exec_id,
+                    ActiveOp{std::move(op), 0, queue_ref_.now()});
+    advance(exec_id);
+}
+
+void
+DimensionEngine::advance(std::uint64_t exec_id)
+{
+    auto it = active_.find(exec_id);
+    THEMIS_ASSERT(it != active_.end(), "advance on unknown op");
+    ActiveOp& a = it->second;
+    if (a.next_step >= a.op.steps.size()) {
+        finish(exec_id);
+        return;
+    }
+    const StepPlan step = a.op.steps[a.next_step];
+    ++a.next_step;
+    auto do_transfer = [this, exec_id, step] {
+        channel_.begin(step.bytes,
+                       [this, exec_id] { advance(exec_id); });
+    };
+    if (step.latency > 0.0) {
+        queue_ref_.scheduleAfter(step.latency, do_transfer);
+    } else {
+        do_transfer();
+    }
+}
+
+void
+DimensionEngine::finish(std::uint64_t exec_id)
+{
+    auto it = active_.find(exec_id);
+    THEMIS_ASSERT(it != active_.end(), "finish on unknown op");
+    ChunkOp op = std::move(it->second.op);
+    const TimeNs started_at = it->second.started_at;
+    active_.erase(it);
+    ++completed_;
+    if (finish_listener_)
+        finish_listener_(op, started_at);
+    // Completion may enqueue the chunk's next stage on another
+    // dimension (or this one); notify first, then refill.
+    op.on_complete(op);
+    notifyPresence();
+    tryStart();
+}
+
+} // namespace themis::runtime

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Per-dimension execution engine.
+ *
+ * Owns one SharedChannel (the dimension's aggregate bandwidth) and a
+ * queue of pending chunk operations. Responsibilities:
+ *
+ *  - intra-dimension ordering: FIFO or Smallest-Chunk-First
+ *    (paper Sec 4.3), or an *enforced* per-collective order produced
+ *    by the consistency planner (Sec 4.6.2);
+ *  - admission: one big chunk at a time saturates the bandwidth, but
+ *    small operations (transfer time below their fixed latency) run
+ *    in parallel so their latency gaps overlap — the paper's second
+ *    provision in Sec 4.3;
+ *  - step execution: each algorithm step waits its latency (no
+ *    bandwidth held) and then transfers its bytes through the shared
+ *    channel (processor sharing across concurrent ops).
+ */
+
+#ifndef THEMIS_RUNTIME_DIMENSION_ENGINE_HPP
+#define THEMIS_RUNTIME_DIMENSION_ENGINE_HPP
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/consistency_planner.hpp"
+#include "core/intra_dim_policy.hpp"
+#include "runtime/chunk_op.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/shared_channel.hpp"
+
+namespace themis::runtime {
+
+/** Parallel-admission tunables (paper Sec 4.3 second provision). */
+struct AdmissionConfig
+{
+    /** Hard cap on concurrently executing ops per dimension. */
+    int max_parallel_ops = 64;
+
+    /**
+     * Admit another op while the active set's summed transfer time is
+     * below latency_headroom x (the largest active fixed delay): the
+     * batch's serialization work does not yet dwarf the latency it
+     * must hide, so bandwidth would idle without more chunks. Large
+     * chunks (transfer >> fixed delay) therefore run alone, while
+     * small latency-bound chunks stack until the dimension saturates
+     * — the paper's "multiple chunks per dimension should be run in
+     * parallel to fully saturate". 9x headroom targets ~90% busy in
+     * the worst (lock-step) case.
+     */
+    double latency_headroom = 9.0;
+};
+
+/** Executes chunk ops on one network dimension; see file comment. */
+class DimensionEngine
+{
+  public:
+    /** Presence callback: (global dim, has-ops, time). */
+    using PresenceListener = std::function<void(int, bool, TimeNs)>;
+
+    /** Start callback: fired whenever an op begins executing. */
+    using StartListener = std::function<void(const OpTag&)>;
+
+    /** Finish callback: (op, start time) fired at op completion. */
+    using FinishListener =
+        std::function<void(const ChunkOp&, TimeNs started)>;
+
+    /**
+     * @param queue      event queue driving the simulation
+     * @param config     this dimension's network parameters
+     * @param global_dim index of this dimension in the full topology
+     * @param policy     intra-dimension ordering policy
+     * @param admission  parallel-admission tunables
+     */
+    DimensionEngine(sim::EventQueue& queue, DimensionConfig config,
+                    int global_dim, IntraDimPolicy policy,
+                    AdmissionConfig admission);
+
+    DimensionEngine(const DimensionEngine&) = delete;
+    DimensionEngine& operator=(const DimensionEngine&) = delete;
+
+    /** Queue @p op; it starts when ordering and admission allow. */
+    void enqueue(ChunkOp op);
+
+    /**
+     * Enforce a start order for the ops of @p collective_id on this
+     * dimension (consistency planner output, Sec 4.6.2). Ops of that
+     * collective then start exactly in this order; ops of other
+     * collectives interleave by policy.
+     */
+    void setEnforcedOrder(int collective_id, std::vector<OpKey> order);
+
+    /** Drop the enforced order of @p collective_id (when it ends). */
+    void clearEnforcedOrder(int collective_id);
+
+    /** Observe queue+active presence transitions (for Fig 9). */
+    void setPresenceListener(PresenceListener listener);
+
+    /** Observe op starts (shadow-simulation order capture). */
+    void setStartListener(StartListener listener);
+
+    /** Observe op completions with their start times (tracing). */
+    void setFinishListener(FinishListener listener);
+
+    /** The underlying bandwidth resource (stats access). */
+    sim::SharedChannel& channel() { return channel_; }
+    const sim::SharedChannel& channel() const { return channel_; }
+
+    /** Dimension network parameters. */
+    const DimensionConfig& config() const { return config_; }
+
+    /** Index in the full topology. */
+    int globalDim() const { return global_dim_; }
+
+    /** Currently queued (not yet started) op count. */
+    std::size_t queuedCount() const { return queue_.size(); }
+
+    /** Currently executing op count. */
+    std::size_t activeCount() const { return active_.size(); }
+
+    /** Total ops completed by this engine. */
+    std::uint64_t completedCount() const { return completed_; }
+
+  private:
+    struct PendingOp
+    {
+        ChunkOp op;
+        std::uint64_t arrival_seq;
+    };
+
+    struct ActiveOp
+    {
+        ChunkOp op;
+        std::size_t next_step = 0;
+        TimeNs started_at = 0.0;
+    };
+
+    void tryStart();
+    bool admissionAllows(const ChunkOp& candidate) const;
+    /** Queue index to start next, or npos if ordering blocks. */
+    std::size_t selectNext() const;
+    void startOp(ChunkOp op);
+    void advance(std::uint64_t exec_id);
+    void finish(std::uint64_t exec_id);
+    void notifyPresence();
+
+    sim::EventQueue& queue_ref_;
+    DimensionConfig config_;
+    int global_dim_;
+    IntraDimPolicy policy_;
+    AdmissionConfig admission_;
+    sim::SharedChannel channel_;
+
+    std::deque<PendingOp> queue_;
+    std::map<std::uint64_t, ActiveOp> active_;
+    std::uint64_t next_exec_id_ = 1;
+    std::uint64_t arrival_counter_ = 0;
+    std::uint64_t completed_ = 0;
+
+    struct EnforcedOrder
+    {
+        std::vector<OpKey> order;
+        std::size_t next = 0;
+    };
+    std::map<int, EnforcedOrder> enforced_;
+
+    PresenceListener presence_;
+    StartListener start_listener_;
+    FinishListener finish_listener_;
+    bool last_presence_ = false;
+};
+
+} // namespace themis::runtime
+
+#endif // THEMIS_RUNTIME_DIMENSION_ENGINE_HPP

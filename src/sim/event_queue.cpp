@@ -1,0 +1,100 @@
+#include "sim/event_queue.hpp"
+
+#include "common/error.hpp"
+
+namespace themis::sim {
+
+EventQueue::EventId
+EventQueue::schedule(TimeNs when, Handler handler)
+{
+    THEMIS_ASSERT(when >= now_ - 1e-9,
+                  "scheduling into the past: when=" << when
+                                                    << " now=" << now_);
+    THEMIS_ASSERT(handler, "null event handler");
+    const EventId id = next_id_++;
+    heap_.push(Entry{when < now_ ? now_ : when, id});
+    handlers_.emplace(id, std::move(handler));
+    ++live_events_;
+    return id;
+}
+
+EventQueue::EventId
+EventQueue::scheduleAfter(TimeNs delay, Handler handler)
+{
+    THEMIS_ASSERT(delay >= 0.0, "negative delay " << delay);
+    return schedule(now_ + delay, std::move(handler));
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    auto it = handlers_.find(id);
+    if (it == handlers_.end())
+        return;
+    handlers_.erase(it);
+    --live_events_;
+    // The heap entry stays; fireNext() skips ids with no handler.
+}
+
+bool
+EventQueue::fireNext()
+{
+    while (!heap_.empty()) {
+        const Entry top = heap_.top();
+        auto it = handlers_.find(top.id);
+        if (it == handlers_.end()) {
+            heap_.pop(); // cancelled; discard lazily
+            continue;
+        }
+        heap_.pop();
+        Handler handler = std::move(it->second);
+        handlers_.erase(it);
+        --live_events_;
+        now_ = top.when;
+        handler();
+        return true;
+    }
+    return false;
+}
+
+std::size_t
+EventQueue::run()
+{
+    std::size_t fired = 0;
+    while (fireNext())
+        ++fired;
+    return fired;
+}
+
+std::size_t
+EventQueue::runUntil(TimeNs until)
+{
+    std::size_t fired = 0;
+    while (!heap_.empty()) {
+        // Peek the next live event without firing past `until`.
+        Entry top = heap_.top();
+        if (handlers_.find(top.id) == handlers_.end()) {
+            heap_.pop();
+            continue;
+        }
+        if (top.when > until)
+            break;
+        if (fireNext())
+            ++fired;
+    }
+    if (now_ < until)
+        now_ = until;
+    return fired;
+}
+
+void
+EventQueue::reset()
+{
+    heap_ = {};
+    handlers_.clear();
+    live_events_ = 0;
+    now_ = 0.0;
+    next_id_ = 1;
+}
+
+} // namespace themis::sim

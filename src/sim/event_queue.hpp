@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * A single-threaded event queue with deterministic ordering: events
+ * firing at the same timestamp run in scheduling order (FIFO by event
+ * id). Handlers may schedule or cancel further events freely.
+ */
+
+#ifndef THEMIS_SIM_EVENT_QUEUE_HPP
+#define THEMIS_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace themis::sim {
+
+/**
+ * Deterministic discrete-event queue.
+ *
+ * Time never moves backwards; scheduling in the past is an internal
+ * error (panics). run() executes until the queue drains.
+ */
+class EventQueue
+{
+  public:
+    /** Event handler callback. */
+    using Handler = std::function<void()>;
+
+    /** Opaque handle for cancellation. Id 0 is never issued. */
+    using EventId = std::uint64_t;
+
+    EventQueue() = default;
+
+    EventQueue(const EventQueue&) = delete;
+    EventQueue& operator=(const EventQueue&) = delete;
+
+    /** Current simulated time in nanoseconds. */
+    TimeNs now() const { return now_; }
+
+    /**
+     * Schedule @p handler to run at absolute time @p when (>= now()).
+     * @return handle usable with cancel().
+     */
+    EventId schedule(TimeNs when, Handler handler);
+
+    /** Schedule @p handler @p delay nanoseconds from now (delay >= 0). */
+    EventId scheduleAfter(TimeNs delay, Handler handler);
+
+    /**
+     * Cancel a pending event. Cancelling an already-fired or unknown
+     * id is a harmless no-op (completion races are normal).
+     */
+    void cancel(EventId id);
+
+    /** True when no live (non-cancelled) events remain. */
+    bool empty() const { return live_events_ == 0; }
+
+    /** Number of live pending events. */
+    std::size_t pendingCount() const { return live_events_; }
+
+    /**
+     * Run until the queue drains.
+     * @return number of handlers executed.
+     */
+    std::size_t run();
+
+    /**
+     * Run events with timestamp <= @p until; afterwards now() ==
+     * max(now, until) even if the queue drained earlier.
+     * @return number of handlers executed.
+     */
+    std::size_t runUntil(TimeNs until);
+
+    /** Drop all pending events and reset the clock to zero. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        TimeNs when;
+        EventId id;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry& a, const Entry& b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id;
+        }
+    };
+
+    bool fireNext();
+
+    TimeNs now_ = 0.0;
+    EventId next_id_ = 1;
+    std::size_t live_events_ = 0;
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_map<EventId, Handler> handlers_;
+};
+
+} // namespace themis::sim
+
+#endif // THEMIS_SIM_EVENT_QUEUE_HPP

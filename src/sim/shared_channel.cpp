@@ -1,0 +1,139 @@
+#include "sim/shared_channel.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace themis::sim {
+
+namespace {
+
+/** Remaining-byte tolerance: below this a transfer counts as drained. */
+constexpr Bytes kDrainEps = 1e-6;
+
+/**
+ * Time sliver (ns) below which a residual transfer is force-drained:
+ * when the final bytes would take less than this to move, the
+ * completion timestamp can fall below the double-precision ulp of the
+ * simulation clock, making the event fire with zero elapsed time.
+ * One picosecond is far below any modelled latency.
+ */
+constexpr TimeNs kTimeSliver = 1e-3;
+
+} // namespace
+
+SharedChannel::SharedChannel(EventQueue& queue, Bandwidth capacity)
+    : queue_(queue), capacity_(capacity), last_update_(queue.now())
+{
+    THEMIS_ASSERT(capacity_ > 0.0, "channel capacity must be positive");
+}
+
+SharedChannel::TransferId
+SharedChannel::begin(Bytes bytes, Callback on_done)
+{
+    THEMIS_ASSERT(bytes >= 0.0, "negative transfer size " << bytes);
+    THEMIS_ASSERT(on_done, "null transfer callback");
+    advanceTo(queue_.now());
+    const TransferId id = next_id_++;
+    active_.emplace(id, Transfer{bytes, std::move(on_done)});
+    reschedule();
+    return id;
+}
+
+void
+SharedChannel::abort(TransferId id)
+{
+    advanceTo(queue_.now());
+    auto it = active_.find(id);
+    if (it == active_.end())
+        return;
+    active_.erase(it);
+    reschedule();
+}
+
+void
+SharedChannel::advanceTo(TimeNs t)
+{
+    THEMIS_ASSERT(t >= last_update_ - 1e-9,
+                  "channel time going backwards: " << t << " < "
+                                                   << last_update_);
+    const TimeNs dt = t - last_update_;
+    last_update_ = t;
+    if (dt <= 0.0 || active_.empty())
+        return;
+    const double rate = capacity_ / static_cast<double>(active_.size());
+    for (auto& [id, transfer] : active_) {
+        const Bytes progress =
+            transfer.remaining < rate * dt ? transfer.remaining
+                                           : rate * dt;
+        transfer.remaining -= progress;
+        progressed_bytes_ += progress;
+    }
+    busy_time_ += dt;
+}
+
+void
+SharedChannel::reschedule()
+{
+    if (pending_event_ != 0) {
+        queue_.cancel(pending_event_);
+        pending_event_ = 0;
+    }
+    if (active_.empty())
+        return;
+    // Next completion: the smallest remaining at the shared rate.
+    Bytes min_remaining = -1.0;
+    for (const auto& [id, transfer] : active_) {
+        if (min_remaining < 0.0 || transfer.remaining < min_remaining)
+            min_remaining = transfer.remaining;
+    }
+    const double rate = capacity_ / static_cast<double>(active_.size());
+    const TimeNs eta =
+        min_remaining <= kDrainEps ? 0.0 : min_remaining / rate;
+    pending_event_ =
+        queue_.scheduleAfter(eta, [this] { onCompletionEvent(); });
+}
+
+void
+SharedChannel::onCompletionEvent()
+{
+    pending_event_ = 0;
+    advanceTo(queue_.now());
+    // Drain threshold: kDrainEps normally; when floating-point clock
+    // granularity swallowed the final sliver of the nearest transfer
+    // (its drain time is below kTimeSliver), widen to that remainder
+    // so the event still completes something.
+    Bytes threshold = kDrainEps;
+    Bytes min_remaining = -1.0;
+    for (const auto& [id, transfer] : active_) {
+        if (min_remaining < 0.0 || transfer.remaining < min_remaining)
+            min_remaining = transfer.remaining;
+    }
+    if (min_remaining > threshold &&
+        min_remaining / capacity_ < kTimeSliver) {
+        threshold = min_remaining;
+    }
+    // Collect everything that drained (simultaneous completions are
+    // possible), remove them from the active set *before* invoking the
+    // callbacks so callbacks can begin() new transfers safely.
+    std::vector<Callback> done;
+    for (auto it = active_.begin(); it != active_.end();) {
+        if (it->second.remaining <= threshold) {
+            progressed_bytes_ += it->second.remaining;
+            done.push_back(std::move(it->second.on_done));
+            it = active_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    THEMIS_ASSERT(!done.empty(),
+                  "completion event fired with nothing drained");
+    for (auto& cb : done)
+        cb();
+    // Callbacks may have begun new transfers (each begin() already
+    // rescheduled); make sure a completion is queued for survivors.
+    if (pending_event_ == 0)
+        reschedule();
+}
+
+} // namespace themis::sim

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Processor-sharing bandwidth resource.
+ *
+ * Models one network dimension's aggregate per-NPU bandwidth as a fluid
+ * server: all active transfers progress simultaneously, each receiving
+ * an equal share of the capacity (ASTRA-sim's analytical backend uses
+ * the same fluid abstraction). Latency phases of collective steps are
+ * NOT modelled here — callers wait out fixed delays with plain timer
+ * events and only occupy the channel for the byte-transfer part, which
+ * is what lets concurrent chunks hide each other's step latencies
+ * (paper Sec 4.3).
+ */
+
+#ifndef THEMIS_SIM_SHARED_CHANNEL_HPP
+#define THEMIS_SIM_SHARED_CHANNEL_HPP
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "common/units.hpp"
+#include "sim/event_queue.hpp"
+
+namespace themis::sim {
+
+/**
+ * Fluid-model shared link. Fairness is egalitarian processor sharing:
+ * with n active transfers each runs at capacity/n.
+ *
+ * Also accumulates the statistics utilization tracking needs: total
+ * progressed bytes and total busy time (>= 1 active transfer).
+ */
+class SharedChannel
+{
+  public:
+    /** Handle for an in-flight transfer. 0 is never issued. */
+    using TransferId = std::uint64_t;
+
+    /** Invoked (at completion time) when a transfer's bytes drain. */
+    using Callback = std::function<void()>;
+
+    /**
+     * @param queue   event queue driving this channel
+     * @param capacity aggregate bandwidth in bytes/ns (> 0)
+     */
+    SharedChannel(EventQueue& queue, Bandwidth capacity);
+
+    SharedChannel(const SharedChannel&) = delete;
+    SharedChannel& operator=(const SharedChannel&) = delete;
+
+    /**
+     * Begin transferring @p bytes; @p on_done fires when they drain.
+     * Zero-byte transfers complete via an immediate (same-time) event.
+     */
+    TransferId begin(Bytes bytes, Callback on_done);
+
+    /** Abort an in-flight transfer; its callback never fires. */
+    void abort(TransferId id);
+
+    /** Number of currently active transfers. */
+    std::size_t activeCount() const { return active_.size(); }
+
+    /** Configured capacity (bytes/ns). */
+    Bandwidth capacity() const { return capacity_; }
+
+    /**
+     * Total bytes progressed so far (including partial progress of
+     * in-flight transfers), up to the last sync point. Call sync()
+     * first when sampling at an arbitrary time.
+     */
+    Bytes progressedBytes() const { return progressed_bytes_; }
+
+    /** Total time with at least one active transfer, up to last sync. */
+    TimeNs busyTime() const { return busy_time_; }
+
+    /** Bring progress accounting up to the queue's current time. */
+    void sync() { advanceTo(queue_.now()); }
+
+  private:
+    struct Transfer
+    {
+        Bytes remaining;
+        Callback on_done;
+    };
+
+    void advanceTo(TimeNs t);
+    void reschedule();
+    void onCompletionEvent();
+
+    EventQueue& queue_;
+    Bandwidth capacity_;
+    std::map<TransferId, Transfer> active_;
+    TransferId next_id_ = 1;
+    TimeNs last_update_ = 0.0;
+    EventQueue::EventId pending_event_ = 0;
+    Bytes progressed_bytes_ = 0.0;
+    TimeNs busy_time_ = 0.0;
+};
+
+} // namespace themis::sim
+
+#endif // THEMIS_SIM_SHARED_CHANNEL_HPP

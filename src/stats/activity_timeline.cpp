@@ -1,0 +1,94 @@
+#include "stats/activity_timeline.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace themis::stats {
+
+ActivityTimeline::ActivityTimeline(int num_dims)
+    : dims_(static_cast<std::size_t>(num_dims))
+{
+    THEMIS_ASSERT(num_dims > 0, "need at least one dimension");
+}
+
+void
+ActivityTimeline::onPresence(int dim, bool present, TimeNs when)
+{
+    THEMIS_ASSERT(dim >= 0 && dim < static_cast<int>(dims_.size()),
+                  "bad dimension " << dim);
+    THEMIS_ASSERT(!finalized_, "presence change after finalize()");
+    auto& st = dims_[static_cast<std::size_t>(dim)];
+    if (present == st.present)
+        return; // idempotent duplicate notification
+    if (present) {
+        st.present = true;
+        st.since = when;
+    } else {
+        st.present = false;
+        if (when > st.since)
+            st.intervals.emplace_back(st.since, when);
+    }
+}
+
+void
+ActivityTimeline::finalize(TimeNs end)
+{
+    if (finalized_)
+        return;
+    for (auto& st : dims_) {
+        if (st.present && end > st.since)
+            st.intervals.emplace_back(st.since, end);
+        st.present = false;
+    }
+    finalized_ = true;
+}
+
+const std::vector<std::pair<TimeNs, TimeNs>>&
+ActivityTimeline::intervals(int dim) const
+{
+    THEMIS_ASSERT(dim >= 0 && dim < static_cast<int>(dims_.size()),
+                  "bad dimension " << dim);
+    return dims_[static_cast<std::size_t>(dim)].intervals;
+}
+
+TimeNs
+ActivityTimeline::busyTime(int dim) const
+{
+    TimeNs total = 0.0;
+    for (const auto& [s, e] : intervals(dim))
+        total += e - s;
+    return total;
+}
+
+ActivityTimeline::Profile
+ActivityTimeline::profile(TimeNs bucket_ns, TimeNs end) const
+{
+    THEMIS_ASSERT(finalized_, "profile() requires finalize()");
+    THEMIS_ASSERT(bucket_ns > 0.0, "bucket must be positive");
+    Profile p;
+    p.bucket_ns = bucket_ns;
+    const auto buckets =
+        static_cast<std::size_t>(std::ceil(end / bucket_ns));
+    p.rate.assign(dims_.size(), std::vector<double>(buckets, 0.0));
+    for (std::size_t d = 0; d < dims_.size(); ++d) {
+        for (const auto& [s, e] : dims_[d].intervals) {
+            // Spread the interval across the buckets it covers.
+            std::size_t b0 = static_cast<std::size_t>(s / bucket_ns);
+            std::size_t b1 = static_cast<std::size_t>(
+                std::min(e / bucket_ns,
+                         static_cast<double>(buckets - 1)));
+            for (std::size_t b = b0; b <= b1 && b < buckets; ++b) {
+                const TimeNs lo = std::max<TimeNs>(
+                    s, static_cast<double>(b) * bucket_ns);
+                const TimeNs hi = std::min<TimeNs>(
+                    e, static_cast<double>(b + 1) * bucket_ns);
+                if (hi > lo)
+                    p.rate[d][b] += (hi - lo) / bucket_ns;
+            }
+        }
+    }
+    return p;
+}
+
+} // namespace themis::stats

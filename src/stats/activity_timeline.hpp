@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Per-dimension "frontend activity" tracking (paper Fig 9).
+ *
+ * A dimension is active while at least one chunk operation is present
+ * on it (queued or executing). The runtime reports presence
+ * transitions; this class records the intervals and can bucketize
+ * them into activity rates over fixed windows (the paper uses 100 us
+ * buckets).
+ */
+
+#ifndef THEMIS_STATS_ACTIVITY_TIMELINE_HPP
+#define THEMIS_STATS_ACTIVITY_TIMELINE_HPP
+
+#include <utility>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace themis::stats {
+
+/** Records per-dimension activity intervals; see file comment. */
+class ActivityTimeline
+{
+  public:
+    /** @param num_dims number of (global) dimensions tracked. */
+    explicit ActivityTimeline(int num_dims);
+
+    /** Presence transition of @p dim at time @p when. */
+    void onPresence(int dim, bool present, TimeNs when);
+
+    /** Close any open intervals at @p end (idempotent afterwards). */
+    void finalize(TimeNs end);
+
+    /** Closed intervals of @p dim as (start, end) pairs. */
+    const std::vector<std::pair<TimeNs, TimeNs>>&
+    intervals(int dim) const;
+
+    /** Total active time of @p dim over closed intervals. */
+    TimeNs busyTime(int dim) const;
+
+    /** Activity rates per bucket. */
+    struct Profile
+    {
+        TimeNs bucket_ns = 0.0;
+        /** rate[dim][bucket] in [0, 1]. */
+        std::vector<std::vector<double>> rate;
+    };
+
+    /**
+     * Bucketize activity into windows of @p bucket_ns covering
+     * [0, end). Requires finalize() first (asserts otherwise).
+     */
+    Profile profile(TimeNs bucket_ns, TimeNs end) const;
+
+  private:
+    struct DimState
+    {
+        std::vector<std::pair<TimeNs, TimeNs>> intervals;
+        bool present = false;
+        TimeNs since = 0.0;
+    };
+
+    std::vector<DimState> dims_;
+    bool finalized_ = false;
+};
+
+} // namespace themis::stats
+
+#endif // THEMIS_STATS_ACTIVITY_TIMELINE_HPP

@@ -1,0 +1,57 @@
+#include "stats/csv_writer.hpp"
+
+#include "common/error.hpp"
+
+namespace themis::stats {
+
+namespace {
+
+std::string
+escape(const std::string& cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += "\"";
+    return out;
+}
+
+} // namespace
+
+CsvWriter::CsvWriter(const std::string& path)
+    : out_(path)
+{
+    if (!out_)
+        THEMIS_FATAL("cannot open CSV output file '" << path << "'");
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string>& cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0)
+            out_ << ",";
+        out_ << escape(cells[i]);
+    }
+    out_ << "\n";
+}
+
+void
+CsvWriter::close()
+{
+    if (out_.is_open())
+        out_.close();
+}
+
+CsvWriter::~CsvWriter()
+{
+    close();
+}
+
+} // namespace themis::stats

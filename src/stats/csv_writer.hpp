@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Minimal CSV emitter for bench outputs (one file per figure/table).
+ */
+
+#ifndef THEMIS_STATS_CSV_WRITER_HPP
+#define THEMIS_STATS_CSV_WRITER_HPP
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace themis::stats {
+
+/** Writes rows of stringified cells; commas/quotes are escaped. */
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing; throws ConfigError on failure. */
+    explicit CsvWriter(const std::string& path);
+
+    /** Write one row. */
+    void writeRow(const std::vector<std::string>& cells);
+
+    /** Flush and close (also done by the destructor). */
+    void close();
+
+    ~CsvWriter();
+
+    CsvWriter(const CsvWriter&) = delete;
+    CsvWriter& operator=(const CsvWriter&) = delete;
+
+  private:
+    std::ofstream out_;
+};
+
+} // namespace themis::stats
+
+#endif // THEMIS_STATS_CSV_WRITER_HPP

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Text-table formatting for bench/example reports, plus the summary
+ * record of a single communication run.
+ */
+
+#ifndef THEMIS_STATS_SUMMARY_HPP
+#define THEMIS_STATS_SUMMARY_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace themis::stats {
+
+/** Result of simulating one collective (or a batch of them). */
+struct CommRunSummary
+{
+    std::string label;
+
+    /** Total simulated communication time. */
+    TimeNs comm_time = 0.0;
+
+    /** Weighted average BW utilization during comm-active windows. */
+    double weighted_utilization = 0.0;
+
+    /** Per-dimension utilization. */
+    std::vector<double> per_dim_utilization;
+};
+
+/** Column-aligned monospace table for terminal reports. */
+class TextTable
+{
+  public:
+    /** @param headers column titles. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; must match the header arity. */
+    void addRow(const std::vector<std::string>& cells);
+
+    /** Render with padding and a header underline. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace themis::stats
+
+#endif // THEMIS_STATS_SUMMARY_HPP

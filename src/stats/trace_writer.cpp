@@ -1,0 +1,74 @@
+#include "stats/trace_writer.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace themis::stats {
+
+namespace {
+
+std::string
+escapeJson(const std::string& s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+TraceWriter::record(int dim, const std::string& name, TimeNs start,
+                    TimeNs end)
+{
+    THEMIS_ASSERT(end >= start, "trace event ends before it starts");
+    events_.push_back(Event{dim, name, start, end});
+}
+
+std::string
+TraceWriter::toJson() const
+{
+    std::ostringstream oss;
+    oss << "{\"traceEvents\":[";
+    bool first = true;
+    // Thread-name metadata rows, one per dimension seen.
+    int max_dim = -1;
+    for (const auto& e : events_)
+        max_dim = e.dim > max_dim ? e.dim : max_dim;
+    for (int d = 0; d <= max_dim; ++d) {
+        if (!first)
+            oss << ",";
+        first = false;
+        oss << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+            << "\"tid\":" << d + 1
+            << ",\"args\":{\"name\":\"dim" << d + 1 << "\"}}";
+    }
+    for (const auto& e : events_) {
+        if (!first)
+            oss << ",";
+        first = false;
+        oss << "{\"name\":\"" << escapeJson(e.name)
+            << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.dim + 1
+            << ",\"ts\":" << e.start / 1.0e3
+            << ",\"dur\":" << (e.end - e.start) / 1.0e3 << "}";
+    }
+    oss << "]}";
+    return oss.str();
+}
+
+void
+TraceWriter::writeFile(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        THEMIS_FATAL("cannot open trace output file '" << path << "'");
+    out << toJson();
+}
+
+} // namespace themis::stats

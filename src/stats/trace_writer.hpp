@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Chrome-trace export (chrome://tracing / Perfetto "trace event"
+ * JSON): one timeline row per network dimension, one complete event
+ * per chunk operation. Attach to a CommRuntime's engines to visualize
+ * how baseline vs Themis scheduling fills the dimensions — the
+ * interactive version of the paper's Fig 5 diagrams.
+ */
+
+#ifndef THEMIS_STATS_TRACE_WRITER_HPP
+#define THEMIS_STATS_TRACE_WRITER_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace themis::stats {
+
+/** Collects chunk-op spans and writes trace-event JSON. */
+class TraceWriter
+{
+  public:
+    TraceWriter() = default;
+
+    /**
+     * Record one completed chunk operation.
+     * @param dim      global dimension index (becomes the trace row)
+     * @param name     event label, e.g. "RS c3.s1"
+     * @param start    simulation start time (ns)
+     * @param end      simulation end time (ns)
+     */
+    void record(int dim, const std::string& name, TimeNs start,
+                TimeNs end);
+
+    /** Number of recorded events. */
+    std::size_t eventCount() const { return events_.size(); }
+
+    /**
+     * Serialize as Chrome trace-event JSON (microsecond timestamps,
+     * one process, one thread per dimension).
+     */
+    std::string toJson() const;
+
+    /** Write the JSON to @p path; throws ConfigError on failure. */
+    void writeFile(const std::string& path) const;
+
+  private:
+    struct Event
+    {
+        int dim;
+        std::string name;
+        TimeNs start;
+        TimeNs end;
+    };
+
+    std::vector<Event> events_;
+};
+
+} // namespace themis::stats
+
+#endif // THEMIS_STATS_TRACE_WRITER_HPP

@@ -1,0 +1,77 @@
+#include "stats/utilization_tracker.hpp"
+
+#include "common/error.hpp"
+
+namespace themis::stats {
+
+UtilizationTracker::UtilizationTracker(
+    std::vector<sim::SharedChannel*> channels,
+    std::vector<Bandwidth> bandwidths)
+    : channels_(std::move(channels)), bandwidths_(std::move(bandwidths)),
+      bytes_(channels_.size(), 0.0)
+{
+    THEMIS_ASSERT(!channels_.empty(), "no channels to track");
+    THEMIS_ASSERT(channels_.size() == bandwidths_.size(),
+                  "channel/bandwidth count mismatch");
+    for (auto* c : channels_)
+        THEMIS_ASSERT(c != nullptr, "null channel");
+}
+
+std::vector<Bytes>
+UtilizationTracker::snapshot() const
+{
+    std::vector<Bytes> snap(channels_.size());
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+        channels_[i]->sync();
+        snap[i] = channels_[i]->progressedBytes();
+    }
+    return snap;
+}
+
+void
+UtilizationTracker::windowStart(TimeNs when)
+{
+    THEMIS_ASSERT(!open_, "window already open");
+    open_ = true;
+    window_open_at_ = when;
+    window_open_snapshot_ = snapshot();
+}
+
+void
+UtilizationTracker::windowEnd(TimeNs when)
+{
+    THEMIS_ASSERT(open_, "no window open");
+    THEMIS_ASSERT(when >= window_open_at_, "window ends before start");
+    open_ = false;
+    active_time_ += when - window_open_at_;
+    const auto snap = snapshot();
+    for (std::size_t i = 0; i < bytes_.size(); ++i)
+        bytes_[i] += snap[i] - window_open_snapshot_[i];
+}
+
+double
+UtilizationTracker::weightedUtilization() const
+{
+    if (active_time_ <= 0.0)
+        return 0.0;
+    Bytes total_bytes = 0.0;
+    Bandwidth total_bw = 0.0;
+    for (std::size_t i = 0; i < bytes_.size(); ++i) {
+        total_bytes += bytes_[i];
+        total_bw += bandwidths_[i];
+    }
+    return total_bytes / (total_bw * active_time_);
+}
+
+std::vector<double>
+UtilizationTracker::perDimUtilization() const
+{
+    std::vector<double> out(bytes_.size(), 0.0);
+    if (active_time_ <= 0.0)
+        return out;
+    for (std::size_t i = 0; i < bytes_.size(); ++i)
+        out[i] = bytes_[i] / (bandwidths_[i] * active_time_);
+    return out;
+}
+
+} // namespace themis::stats

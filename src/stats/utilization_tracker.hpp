@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Average bandwidth-utilization measurement (paper Fig 4 definition).
+ *
+ * The paper measures utilization only while the workload has pending
+ * communication ("excluding the times when there is no pending
+ * communication operation"), weighting per-dimension utilization by
+ * the dimension's bandwidth budget. Equivalently: bytes progressed
+ * during communication-active windows, divided by (total bandwidth x
+ * active time).
+ *
+ * The runtime opens a window when the number of outstanding
+ * collectives becomes non-zero and closes it when it returns to zero;
+ * this class snapshots per-channel progressed bytes at the window
+ * edges.
+ */
+
+#ifndef THEMIS_STATS_UTILIZATION_TRACKER_HPP
+#define THEMIS_STATS_UTILIZATION_TRACKER_HPP
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/shared_channel.hpp"
+
+namespace themis::stats {
+
+/** Windowed per-dimension byte/bandwidth accounting. */
+class UtilizationTracker
+{
+  public:
+    /**
+     * @param channels one shared channel per (global) dimension;
+     *        must outlive the tracker
+     * @param bandwidths matching per-dimension aggregate bandwidths
+     */
+    UtilizationTracker(std::vector<sim::SharedChannel*> channels,
+                       std::vector<Bandwidth> bandwidths);
+
+    /** Open a communication-active window at @p when. */
+    void windowStart(TimeNs when);
+
+    /** Close the current window at @p when. */
+    void windowEnd(TimeNs when);
+
+    /** True when a window is currently open. */
+    bool windowOpen() const { return open_; }
+
+    /** Total closed communication-active time. */
+    TimeNs activeTime() const { return active_time_; }
+
+    /** Bytes progressed per dimension during closed windows. */
+    const std::vector<Bytes>& windowBytes() const { return bytes_; }
+
+    /**
+     * Weighted average utilization over closed windows:
+     * sum(bytes_k) / (sum(BW_k) * activeTime()). Zero when no time
+     * has been measured.
+     */
+    double weightedUtilization() const;
+
+    /** Per-dimension utilization bytes_k / (BW_k * activeTime()). */
+    std::vector<double> perDimUtilization() const;
+
+  private:
+    std::vector<Bytes> snapshot() const;
+
+    std::vector<sim::SharedChannel*> channels_;
+    std::vector<Bandwidth> bandwidths_;
+    std::vector<Bytes> bytes_;
+    std::vector<Bytes> window_open_snapshot_;
+    TimeNs active_time_ = 0.0;
+    TimeNs window_open_at_ = 0.0;
+    bool open_ = false;
+};
+
+} // namespace themis::stats
+
+#endif // THEMIS_STATS_UTILIZATION_TRACKER_HPP

@@ -1,0 +1,87 @@
+#include "topology/dimension.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/string_util.hpp"
+
+namespace themis {
+
+std::string
+dimKindName(DimKind kind)
+{
+    switch (kind) {
+      case DimKind::Ring:           return "Ring";
+      case DimKind::FullyConnected: return "FC";
+      case DimKind::Switch:         return "SW";
+    }
+    THEMIS_PANIC("unknown DimKind " << static_cast<int>(kind));
+}
+
+DimKind
+dimKindFromName(const std::string& name)
+{
+    const std::string n = toLower(name);
+    if (n == "ring")
+        return DimKind::Ring;
+    if (n == "fc" || n == "fullyconnected")
+        return DimKind::FullyConnected;
+    if (n == "sw" || n == "switch")
+        return DimKind::Switch;
+    THEMIS_FATAL("unknown dimension kind '" << name
+                                            << "' (use Ring/FC/SW)");
+}
+
+bool
+isPowerOfTwo(int v)
+{
+    return v > 0 && (v & (v - 1)) == 0;
+}
+
+void
+DimensionConfig::validate() const
+{
+    if (size < 2)
+        THEMIS_FATAL("dimension size must be >= 2, got " << size);
+    if (link_bw_gbps <= 0.0)
+        THEMIS_FATAL("link bandwidth must be positive, got "
+                     << link_bw_gbps);
+    if (links_per_npu < 1)
+        THEMIS_FATAL("links per NPU must be >= 1, got " << links_per_npu);
+    if (step_latency_ns < 0.0)
+        THEMIS_FATAL("step latency must be >= 0, got " << step_latency_ns);
+    switch (kind) {
+      case DimKind::Ring:
+        // Rings use at most two directions' worth of neighbour links;
+        // more links model parallel rings, which is fine.
+        break;
+      case DimKind::FullyConnected:
+        if (links_per_npu > size - 1) {
+            THEMIS_FATAL("fully-connected dimension of size "
+                         << size << " supports at most " << size - 1
+                         << " links per NPU, got " << links_per_npu);
+        }
+        break;
+      case DimKind::Switch:
+        if (!in_network_offload && !isPowerOfTwo(size)) {
+            THEMIS_FATAL("switch dimension size must be a power of two "
+                         "for halving-doubling, got " << size);
+        }
+        break;
+    }
+    if (in_network_offload && kind != DimKind::Switch)
+        THEMIS_FATAL("in-network offload requires a switch dimension");
+}
+
+std::string
+DimensionConfig::describe() const
+{
+    std::ostringstream oss;
+    oss << dimKindName(kind) << "(P=" << size << ", "
+        << link_bw_gbps << " Gb/s x" << links_per_npu << " = "
+        << fmtGbps(bandwidth()) << ", step " << step_latency_ns << " ns"
+        << (in_network_offload ? ", offload" : "") << ")";
+    return oss.str();
+}
+
+} // namespace themis

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Per-dimension network description.
+ *
+ * A training platform is a D-dimensional hierarchical network (paper
+ * Fig 1): every NPU belongs to one peer group per dimension, of size
+ * P_i, wired as a ring, a fully-connected clique, or through a switch.
+ * Table 2 of the paper describes each dimension by link technology
+ * (bandwidth per link, links per NPU, per-step latency); the simulator
+ * consumes the aggregate per-NPU bandwidth, the peer-group size and the
+ * step latency.
+ */
+
+#ifndef THEMIS_TOPOLOGY_DIMENSION_HPP
+#define THEMIS_TOPOLOGY_DIMENSION_HPP
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace themis {
+
+/** Physical wiring of one network dimension (paper Table 1). */
+enum class DimKind {
+    Ring,           ///< physical ring; ring collective algorithm
+    FullyConnected, ///< clique; direct (one-step) algorithm
+    Switch,         ///< switched; halving-doubling algorithm
+};
+
+/** Short name ("Ring", "FC", "SW") used in topology names. */
+std::string dimKindName(DimKind kind);
+
+/** Parse "Ring"/"FC"/"SW" (case-insensitive). Throws ConfigError. */
+DimKind dimKindFromName(const std::string& name);
+
+/**
+ * Configuration of one network dimension.
+ *
+ * Bandwidth convention follows the paper: all values are
+ * uni-directional, and the modelled quantity is the *aggregate*
+ * bandwidth each NPU can drive into this dimension, i.e.
+ * links_per_npu * link bandwidth (Table 2 "Aggr BW/NPU").
+ */
+struct DimensionConfig
+{
+    /** Physical wiring; selects the collective algorithm (Table 1). */
+    DimKind kind = DimKind::Switch;
+
+    /** Peer-group size P_i (number of NPUs communicating here). */
+    int size = 0;
+
+    /** Per-link bandwidth in Gbit/s, uni-directional. */
+    double link_bw_gbps = 0.0;
+
+    /** Links each NPU drives into this dimension. */
+    int links_per_npu = 1;
+
+    /**
+     * Per-step latency in nanoseconds: the direct NPU-to-NPU latency
+     * for a minimum-length message (paper Table 2 "Network Latency",
+     * the step_latency of Sec 4.4).
+     */
+    TimeNs step_latency_ns = 0.0;
+
+    /**
+     * In-network collective offload (paper Sec 4.5): the dimension's
+     * switch reduces/multicasts, cutting the wire traffic n_K (each
+     * NPU streams its data once instead of (P-1)/P twice per
+     * All-Reduce) and the fixed delay A_K (two switch traversals
+     * instead of log2(P) steps). Only meaningful for Switch
+     * dimensions; offloaded switches also lift the power-of-two size
+     * requirement.
+     */
+    bool in_network_offload = false;
+
+    /** Aggregate per-NPU bandwidth in bytes/ns. */
+    Bandwidth
+    bandwidth() const
+    {
+        return gbpsToBw(link_bw_gbps * links_per_npu);
+    }
+
+    /**
+     * Validate ranges and algorithm requirements (e.g. switch groups
+     * must be powers of two for halving-doubling). Throws ConfigError.
+     */
+    void validate() const;
+
+    /** One-line human-readable description. */
+    std::string describe() const;
+};
+
+/** True when @p v is a positive power of two. */
+bool isPowerOfTwo(int v);
+
+} // namespace themis
+
+#endif // THEMIS_TOPOLOGY_DIMENSION_HPP

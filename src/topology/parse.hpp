@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Textual topology descriptions, for CLI tools and config files.
+ *
+ * Grammar (one dimension per comma-separated field, dim1 first):
+ *
+ *     dim    := kind ':' size ':' bw [ 'x' links ] [ ':' latency ]
+ *               [ ':offload' ]
+ *     kind   := 'Ring' | 'FC' | 'SW'        (case-insensitive)
+ *     bw     := per-link bandwidth in Gbit/s
+ *     links  := links per NPU (default 1)
+ *     latency:= per-step latency in ns (default 700)
+ *
+ * Example — the paper's 4D-Ring_FC_Ring_SW:
+ *
+ *     Ring:4:1500x2:20,FC:8:200x7:700,Ring:4:200x6:700,SW:8:800:1700
+ */
+
+#ifndef THEMIS_TOPOLOGY_PARSE_HPP
+#define THEMIS_TOPOLOGY_PARSE_HPP
+
+#include <string>
+
+#include "topology/topology.hpp"
+
+namespace themis {
+
+/**
+ * Parse @p spec into a Topology named @p name.
+ * Throws ConfigError with a precise message on malformed input.
+ */
+Topology parseTopology(const std::string& name,
+                       const std::string& spec);
+
+/** Render @p topo back into the parseable spec form. */
+std::string topologySpec(const Topology& topo);
+
+} // namespace themis
+
+#endif // THEMIS_TOPOLOGY_PARSE_HPP

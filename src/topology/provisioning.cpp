@@ -1,0 +1,111 @@
+#include "topology/provisioning.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace themis {
+
+std::string
+provisionScenarioName(ProvisionScenario s)
+{
+    switch (s) {
+      case ProvisionScenario::JustEnough:       return "Just-Enough";
+      case ProvisionScenario::OverProvisioned:  return "Over-Provisioned";
+      case ProvisionScenario::UnderProvisioned: return "Under-Provisioned";
+    }
+    THEMIS_PANIC("unknown ProvisionScenario");
+}
+
+PairProvisioning
+classifyPair(const Topology& topo, int k, int l, double tolerance)
+{
+    THEMIS_ASSERT(0 <= k && k < l && l < topo.numDims(),
+                  "bad dimension pair (" << k << ", " << l << ")");
+    double shrink = 1.0;
+    for (int i = k; i < l; ++i)
+        shrink *= topo.dim(i).size;
+
+    PairProvisioning p;
+    p.dim_k = k;
+    p.dim_l = l;
+    p.ratio = topo.dim(k).bandwidth() / (shrink * topo.dim(l).bandwidth());
+    if (p.ratio > 1.0 + tolerance)
+        p.scenario = ProvisionScenario::UnderProvisioned;
+    else if (p.ratio < 1.0 - tolerance)
+        p.scenario = ProvisionScenario::OverProvisioned;
+    else
+        p.scenario = ProvisionScenario::JustEnough;
+    return p;
+}
+
+std::vector<PairProvisioning>
+classifyAllPairs(const Topology& topo, double tolerance)
+{
+    std::vector<PairProvisioning> out;
+    for (int k = 0; k < topo.numDims(); ++k)
+        for (int l = k + 1; l < topo.numDims(); ++l)
+            out.push_back(classifyPair(topo, k, l, tolerance));
+    return out;
+}
+
+bool
+fullUtilizationPossible(const Topology& topo, double tolerance)
+{
+    for (const auto& p : classifyAllPairs(topo, tolerance)) {
+        if (p.scenario == ProvisionScenario::UnderProvisioned)
+            return false;
+    }
+    return true;
+}
+
+BaselineAnalysis
+analyzeBaseline(const Topology& topo)
+{
+    BaselineAnalysis a;
+    const int d = topo.numDims();
+    a.stage_time_per_byte.resize(static_cast<std::size_t>(d));
+    double prefix = 1.0; // product of sizes of earlier dimensions
+    for (int k = 0; k < d; ++k) {
+        const auto& dim = topo.dim(k);
+        const double alpha =
+            static_cast<double>(dim.size - 1) / dim.size;
+        a.stage_time_per_byte[static_cast<std::size_t>(k)] =
+            (1.0 / prefix) * alpha / dim.bandwidth();
+        prefix *= dim.size;
+    }
+    const auto max_it = std::max_element(a.stage_time_per_byte.begin(),
+                                         a.stage_time_per_byte.end());
+    a.bottleneck_dim = static_cast<int>(
+        std::distance(a.stage_time_per_byte.begin(), max_it));
+    const double t_max = *max_it;
+
+    a.dim_utilization.resize(static_cast<std::size_t>(d));
+    double weighted = 0.0;
+    Bandwidth total_bw = 0.0;
+    for (int k = 0; k < d; ++k) {
+        const double u =
+            a.stage_time_per_byte[static_cast<std::size_t>(k)] / t_max;
+        a.dim_utilization[static_cast<std::size_t>(k)] = u;
+        weighted += u * topo.dim(k).bandwidth();
+        total_bw += topo.dim(k).bandwidth();
+    }
+    a.weighted_utilization = weighted / total_bw;
+    return a;
+}
+
+std::vector<Bandwidth>
+baselineEfficientBandwidths(const Topology& topo)
+{
+    std::vector<Bandwidth> bws;
+    double prefix = 1.0;
+    const Bandwidth anchor = topo.dim(0).bandwidth();
+    for (int k = 0; k < topo.numDims(); ++k) {
+        bws.push_back(anchor / prefix);
+        prefix *= topo.dim(k).size;
+    }
+    return bws;
+}
+
+} // namespace themis

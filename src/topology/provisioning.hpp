@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Bandwidth-provisioning analysis (paper Sec 3.3 and Sec 6.3).
+ *
+ * For two dimensions K < L the paper classifies the bandwidth split:
+ *
+ *  - Just-Enough:      BW(dimK) == P_K * ... * P_{L-1} * BW(dimL)
+ *                      baseline scheduling already saturates both.
+ *  - Over-Provisioned: BW(dimK)  < P_K * ... * P_{L-1} * BW(dimL)
+ *                      baseline wastes dimL; Themis recovers it.
+ *  - Under-Provisioned:BW(dimK)  > P_K * ... * P_{L-1} * BW(dimL)
+ *                      no scheduling policy can drive both dimensions;
+ *                      such design points should be prohibited.
+ *
+ * This header also provides the closed-form steady-state analysis of
+ * baseline scheduling (stage time per dimension, bottleneck, weighted
+ * utilization) used to cross-check the simulator and to regenerate the
+ * Sec 3.3 discussion.
+ */
+
+#ifndef THEMIS_TOPOLOGY_PROVISIONING_HPP
+#define THEMIS_TOPOLOGY_PROVISIONING_HPP
+
+#include <string>
+#include <vector>
+
+#include "topology/topology.hpp"
+
+namespace themis {
+
+/** Sec 6.3 bandwidth-distribution scenarios. */
+enum class ProvisionScenario {
+    JustEnough,
+    OverProvisioned,
+    UnderProvisioned,
+};
+
+/** Human-readable scenario name. */
+std::string provisionScenarioName(ProvisionScenario s);
+
+/** Classification of one ordered dimension pair (K < L, 0-based). */
+struct PairProvisioning
+{
+    int dim_k = 0;
+    int dim_l = 0;
+    /** BW(dimK) / (P_K * ... * P_{L-1} * BW(dimL)); 1.0 == just enough. */
+    double ratio = 1.0;
+    ProvisionScenario scenario = ProvisionScenario::JustEnough;
+};
+
+/**
+ * Classify dimensions @p k < @p l of @p topo.
+ * @param tolerance relative slack around 1.0 that still counts as
+ *        Just-Enough.
+ */
+PairProvisioning classifyPair(const Topology& topo, int k, int l,
+                              double tolerance = 0.01);
+
+/** Classify all ordered pairs (k < l). */
+std::vector<PairProvisioning> classifyAllPairs(const Topology& topo,
+                                               double tolerance = 0.01);
+
+/**
+ * True when no dimension pair is Under-Provisioned, i.e. a scheduler
+ * (like Themis) can in principle drive every dimension at full rate.
+ */
+bool fullUtilizationPossible(const Topology& topo,
+                             double tolerance = 0.01);
+
+/**
+ * Closed-form steady-state behaviour of *baseline* scheduling for a
+ * large All-Reduce (bandwidth-dominated regime, latency ignored).
+ */
+struct BaselineAnalysis
+{
+    /**
+     * Stage time per byte of original chunk size, one entry per
+     * dimension: t_k = prefix_shrink * (P_k-1)/P_k / BW_k.
+     */
+    std::vector<double> stage_time_per_byte;
+
+    /** Index of the slowest (bottleneck) stage. */
+    int bottleneck_dim = 0;
+
+    /** Per-dimension utilization t_k / t_max. */
+    std::vector<double> dim_utilization;
+
+    /**
+     * Weighted average bandwidth utilization (weights = per-dim BW),
+     * the paper's Fig 4 metric in the bandwidth-dominated limit.
+     */
+    double weighted_utilization = 0.0;
+};
+
+/** Analyze baseline hierarchical scheduling on @p topo. */
+BaselineAnalysis analyzeBaseline(const Topology& topo);
+
+/**
+ * The bandwidth vector that would make baseline scheduling efficient
+ * ("Just Enough" for every consecutive pair), anchored at dim1's BW:
+ * BW(dim1) = P_1 * BW(dim2) = P_1 * P_2 * BW(dim3) = ...
+ */
+std::vector<Bandwidth> baselineEfficientBandwidths(const Topology& topo);
+
+} // namespace themis
+
+#endif // THEMIS_TOPOLOGY_PROVISIONING_HPP

@@ -1,0 +1,68 @@
+#include "topology/topology.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace themis {
+
+Topology::Topology(std::string name, std::vector<DimensionConfig> dims)
+    : name_(std::move(name)), dims_(std::move(dims))
+{
+    if (dims_.empty())
+        THEMIS_FATAL("topology '" << name_ << "' has no dimensions");
+    for (const auto& d : dims_)
+        d.validate();
+}
+
+const DimensionConfig&
+Topology::dim(int i) const
+{
+    THEMIS_ASSERT(i >= 0 && i < numDims(),
+                  "dimension index " << i << " out of range for "
+                                     << numDims() << "D topology");
+    return dims_[static_cast<std::size_t>(i)];
+}
+
+long
+Topology::totalNpus() const
+{
+    long total = 1;
+    for (const auto& d : dims_)
+        total *= d.size;
+    return total;
+}
+
+Bandwidth
+Topology::totalBandwidth() const
+{
+    Bandwidth total = 0.0;
+    for (const auto& d : dims_)
+        total += d.bandwidth();
+    return total;
+}
+
+std::string
+Topology::sizeString() const
+{
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+        if (i > 0)
+            oss << "x";
+        oss << dims_[i].size;
+    }
+    return oss.str();
+}
+
+std::string
+Topology::describe() const
+{
+    std::ostringstream oss;
+    oss << name_ << " (" << sizeString() << ", " << totalNpus()
+        << " NPUs)\n";
+    for (std::size_t i = 0; i < dims_.size(); ++i)
+        oss << "  dim" << i + 1 << ": " << dims_[i].describe() << "\n";
+    return oss.str();
+}
+
+} // namespace themis

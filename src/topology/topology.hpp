@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Multi-dimensional training-platform topology (paper Sec 3.1).
+ *
+ * A Topology is an ordered list of dimensions, dim1 first (innermost /
+ * usually highest bandwidth). The notation P1 x P2 x ... x PD matches
+ * the paper; the total NPU count is the product of all sizes.
+ */
+
+#ifndef THEMIS_TOPOLOGY_TOPOLOGY_HPP
+#define THEMIS_TOPOLOGY_TOPOLOGY_HPP
+
+#include <string>
+#include <vector>
+
+#include "topology/dimension.hpp"
+
+namespace themis {
+
+/** An immutable multi-dimensional network description. */
+class Topology
+{
+  public:
+    /**
+     * Build a topology from dimension configs (dim1 first).
+     * Validates every dimension; throws ConfigError on bad input.
+     */
+    Topology(std::string name, std::vector<DimensionConfig> dims);
+
+    /** Platform name, e.g. "3D-SW_SW_SW_homo". */
+    const std::string& name() const { return name_; }
+
+    /** Number of dimensions D. */
+    int numDims() const { return static_cast<int>(dims_.size()); }
+
+    /** Dimension config, 0-based (dim index 0 == the paper's dim1). */
+    const DimensionConfig& dim(int i) const;
+
+    /** All dimensions, dim1 first. */
+    const std::vector<DimensionConfig>& dims() const { return dims_; }
+
+    /** Total NPU count (product of all dimension sizes). */
+    long totalNpus() const;
+
+    /** Sum of per-NPU aggregate bandwidth over all dimensions. */
+    Bandwidth totalBandwidth() const;
+
+    /** Size string "16x8x8". */
+    std::string sizeString() const;
+
+    /** Multi-line description (one line per dimension). */
+    std::string describe() const;
+
+  private:
+    std::string name_;
+    std::vector<DimensionConfig> dims_;
+};
+
+} // namespace themis
+
+#endif // THEMIS_TOPOLOGY_TOPOLOGY_HPP

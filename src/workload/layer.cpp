@@ -1,0 +1,18 @@
+#include "workload/layer.hpp"
+
+#include "common/error.hpp"
+
+namespace themis::workload {
+
+std::string
+commDomainName(CommDomain domain)
+{
+    switch (domain) {
+      case CommDomain::DataParallel:  return "DP";
+      case CommDomain::ModelParallel: return "MP";
+      case CommDomain::World:         return "World";
+    }
+    THEMIS_PANIC("unknown CommDomain " << static_cast<int>(domain));
+}
+
+} // namespace themis::workload

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Workload-layer building blocks: one DNN layer with its compute
+ * demands and the communication it triggers during training.
+ *
+ * Communication is expressed against logical *domains* rather than
+ * physical dimensions so that model definitions stay independent of
+ * the platform; the ParallelSpec maps domains to topology scopes
+ * (paper Sec 5.2 parallelization strategies).
+ */
+
+#ifndef THEMIS_WORKLOAD_LAYER_HPP
+#define THEMIS_WORKLOAD_LAYER_HPP
+
+#include <string>
+#include <vector>
+
+#include "collective/phase.hpp"
+
+namespace themis::workload {
+
+/** Logical communicator a collective runs over. */
+enum class CommDomain {
+    DataParallel,  ///< replicas of the same model shard
+    ModelParallel, ///< NPUs sharing one model shard
+    World,         ///< every NPU (DLRM's embedding all-to-all)
+};
+
+/** Domain name for reports. */
+std::string commDomainName(CommDomain domain);
+
+/** One collective a layer triggers. */
+struct LayerCommOp
+{
+    CollectiveType type = CollectiveType::AllReduce;
+
+    /** Per-NPU collective size in bytes. */
+    Bytes size = 0.0;
+
+    CommDomain domain = CommDomain::ModelParallel;
+
+    /**
+     * Blocking ops stall the training loop until completion (e.g.
+     * Transformer-1T activation All-Reduce); non-blocking ops overlap
+     * with the remaining compute and only gate the iteration end
+     * (e.g. DLRM's embedding All-to-All, all DP gradient traffic).
+     */
+    bool blocking = true;
+};
+
+/** One layer of the training workload. */
+struct Layer
+{
+    std::string name;
+
+    /** Forward-pass FLOPs per NPU. */
+    double fwd_flops = 0.0;
+
+    /** Backward-pass FLOPs per NPU (typically 2x forward). */
+    double bwd_flops = 0.0;
+
+    /**
+     * Extra recompute FLOPs executed during the backward pass but
+     * accounted as forward compute in reports (Transformer-1T's
+     * forward-in-backprop under ZeRO; paper Fig 12 note).
+     */
+    double recompute_flops = 0.0;
+
+    /** Forward memory traffic per NPU (roofline). */
+    Bytes fwd_mem_bytes = 0.0;
+
+    /** Backward memory traffic per NPU (roofline). */
+    Bytes bwd_mem_bytes = 0.0;
+
+    /**
+     * Per-NPU weight-gradient bytes this layer contributes. The
+     * training loop turns this into data-parallel communication when
+     * the layer's backward pass completes: one All-Reduce by default,
+     * or a Reduce-Scatter + All-Gather pair under ZeRO-style sharding.
+     */
+    Bytes dp_grad_bytes = 0.0;
+
+    /** Use RS+AG instead of AR for the DP gradient traffic. */
+    bool zero_style_dp = false;
+
+    /** Collectives issued right after this layer's forward compute. */
+    std::vector<LayerCommOp> fwd_comm;
+
+    /** Collectives issued right after this layer's backward compute. */
+    std::vector<LayerCommOp> bwd_comm;
+
+    /**
+     * Barrier: before this layer's forward compute, wait for all
+     * outstanding non-blocking *forward* communication (DLRM waits
+     * for the embedding All-to-All before its top MLP).
+     */
+    bool wait_pending_before_fwd = false;
+};
+
+} // namespace themis::workload
+
+#endif // THEMIS_WORKLOAD_LAYER_HPP

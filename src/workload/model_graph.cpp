@@ -1,0 +1,47 @@
+#include "workload/model_graph.hpp"
+
+#include <sstream>
+
+#include "common/string_util.hpp"
+
+namespace themis::workload {
+
+double
+ModelGraph::totalFwdFlops() const
+{
+    double total = 0.0;
+    for (const auto& l : layers)
+        total += l.fwd_flops;
+    return total;
+}
+
+double
+ModelGraph::totalBwdFlops() const
+{
+    double total = 0.0;
+    for (const auto& l : layers)
+        total += l.bwd_flops + l.recompute_flops;
+    return total;
+}
+
+Bytes
+ModelGraph::totalDpGradBytes() const
+{
+    Bytes total = 0.0;
+    for (const auto& l : layers)
+        total += l.dp_grad_bytes;
+    return total;
+}
+
+std::string
+ModelGraph::describe() const
+{
+    std::ostringstream oss;
+    oss << name << ": " << layers.size() << " layers, "
+        << fmtDouble(totalFwdFlops() / 1.0e12, 2) << " TFLOP fwd/NPU, "
+        << fmtBytes(totalDpGradBytes()) << " DP grads/NPU, MP degree "
+        << parallel.mpDegree() << ", mb/NPU " << minibatch_per_npu;
+    return oss.str();
+}
+
+} // namespace themis::workload

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * A training workload: named sequence of layers plus its
+ * parallelization strategy and per-iteration metadata.
+ */
+
+#ifndef THEMIS_WORKLOAD_MODEL_GRAPH_HPP
+#define THEMIS_WORKLOAD_MODEL_GRAPH_HPP
+
+#include <string>
+#include <vector>
+
+#include "workload/layer.hpp"
+#include "workload/parallel_spec.hpp"
+
+namespace themis::workload {
+
+/** One DNN training workload; see file comment. */
+struct ModelGraph
+{
+    std::string name;
+
+    /** Execution order for the forward pass (backward is reversed). */
+    std::vector<Layer> layers;
+
+    /** Parallelization strategy (Sec 5.2). */
+    ParallelSpec parallel = ParallelSpec::dataParallel();
+
+    /** Per-NPU mini-batch size (reporting only). */
+    int minibatch_per_npu = 0;
+
+    /**
+     * Fuse all layers' DP gradients into one All-Reduce issued when
+     * back-propagation completes (the paper's model: "exposed
+     * communication occurs at the end of back-propagation"; this also
+     * puts the workload collectives in Fig 8's 100MB-1GB range).
+     * When false, each layer issues its own DP collective as its
+     * backward pass finishes (ZeRO-style bucketing, Transformer-1T).
+     */
+    bool fused_dp_grads = true;
+
+    /** Total forward FLOPs per NPU per iteration. */
+    double totalFwdFlops() const;
+
+    /** Total backward (+recompute) FLOPs per NPU per iteration. */
+    double totalBwdFlops() const;
+
+    /** Total per-NPU DP gradient bytes per iteration. */
+    Bytes totalDpGradBytes() const;
+
+    /** Multi-line summary for reports. */
+    std::string describe() const;
+};
+
+} // namespace themis::workload
+
+#endif // THEMIS_WORKLOAD_MODEL_GRAPH_HPP

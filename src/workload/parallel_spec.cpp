@@ -1,0 +1,84 @@
+#include "workload/parallel_spec.hpp"
+
+#include "common/error.hpp"
+
+namespace themis::workload {
+
+ParallelSpec::ParallelSpec(int mp_npus)
+    : mp_npus_(mp_npus)
+{
+    if (mp_npus_ < 1)
+        THEMIS_FATAL("model-parallel degree must be >= 1, got "
+                     << mp_npus_);
+}
+
+ParallelSpec
+ParallelSpec::dataParallel()
+{
+    return ParallelSpec(1);
+}
+
+ParallelSpec
+ParallelSpec::hybrid(int mp_npus)
+{
+    return ParallelSpec(mp_npus);
+}
+
+std::vector<ScopeDim>
+ParallelSpec::scopeFor(CommDomain domain, const Topology& topo) const
+{
+    std::vector<ScopeDim> scope;
+    if (domain == CommDomain::World) {
+        for (int d = 0; d < topo.numDims(); ++d)
+            scope.push_back(ScopeDim{d, topo.dim(d).size});
+        return scope;
+    }
+
+    // Split every dimension's size into an MP part (filled from dim1
+    // forward) and the complementary DP part.
+    long remaining_mp = mp_npus_;
+    for (int d = 0; d < topo.numDims(); ++d) {
+        const int size = topo.dim(d).size;
+        int mp_part = 1;
+        if (remaining_mp > 1) {
+            mp_part = static_cast<int>(
+                remaining_mp < size ? remaining_mp : size);
+            if (size % mp_part != 0)
+                THEMIS_FATAL("model-parallel degree " << mp_npus_
+                             << " does not align with dimension sizes of "
+                             << topo.name());
+            remaining_mp /= mp_part;
+        }
+        const int dp_part = size / mp_part;
+        if (domain == CommDomain::ModelParallel && mp_part > 1)
+            scope.push_back(ScopeDim{d, mp_part});
+        if (domain == CommDomain::DataParallel && dp_part > 1)
+            scope.push_back(ScopeDim{d, dp_part});
+    }
+    if (remaining_mp > 1)
+        THEMIS_FATAL("model-parallel degree " << mp_npus_
+                     << " exceeds the machine size of " << topo.name());
+    if (scope.empty())
+        THEMIS_FATAL(commDomainName(domain)
+                     << " domain is empty on " << topo.name()
+                     << " (degree mismatch)");
+    return scope;
+}
+
+long
+ParallelSpec::ways(CommDomain domain, const Topology& topo) const
+{
+    switch (domain) {
+      case CommDomain::World:
+        return topo.totalNpus();
+      case CommDomain::ModelParallel:
+        return mp_npus_;
+      case CommDomain::DataParallel:
+        THEMIS_ASSERT(topo.totalNpus() % mp_npus_ == 0,
+                      "MP degree does not divide the machine");
+        return topo.totalNpus() / mp_npus_;
+    }
+    THEMIS_PANIC("unknown CommDomain");
+}
+
+} // namespace themis::workload

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Parallelization strategy: maps logical communication domains onto
+ * topology scopes (paper Sec 5.2).
+ *
+ * Model-parallel groups occupy the *first* dimensions of the platform
+ * (highest bandwidth, closest NPUs); data-parallel replicas span what
+ * remains. A model-parallel degree that does not align with dimension
+ * boundaries splits a dimension into sub-groups (supported by the
+ * runtime's ScopeDim participants).
+ */
+
+#ifndef THEMIS_WORKLOAD_PARALLEL_SPEC_HPP
+#define THEMIS_WORKLOAD_PARALLEL_SPEC_HPP
+
+#include <vector>
+
+#include "core/chunk.hpp"
+#include "topology/topology.hpp"
+#include "workload/layer.hpp"
+
+namespace themis::workload {
+
+/** Domain-to-scope mapping; see file comment. */
+class ParallelSpec
+{
+  public:
+    /** Pure data-parallel over the whole machine. */
+    static ParallelSpec dataParallel();
+
+    /**
+     * Hybrid: model-parallel over the first @p mp_npus NPUs
+     * (mp_npus == 1 degenerates to pure data-parallel).
+     */
+    static ParallelSpec hybrid(int mp_npus);
+
+    /** Model-parallel degree. */
+    int mpDegree() const { return mp_npus_; }
+
+    /**
+     * Scope of @p domain on @p topo. DataParallel covers the
+     * dimensions (or sub-dimensions) not consumed by model
+     * parallelism; World covers everything. Throws ConfigError when
+     * the MP degree cannot be carved out of the dimension sizes.
+     */
+    std::vector<ScopeDim> scopeFor(CommDomain domain,
+                                   const Topology& topo) const;
+
+    /** Number of NPUs in one @p domain communicator on @p topo. */
+    long ways(CommDomain domain, const Topology& topo) const;
+
+  private:
+    explicit ParallelSpec(int mp_npus);
+
+    int mp_npus_ = 1;
+};
+
+} // namespace themis::workload
+
+#endif // THEMIS_WORKLOAD_PARALLEL_SPEC_HPP

@@ -1,0 +1,23 @@
+#include "workload/roofline.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace themis::workload {
+
+TimeNs
+computeTime(double flops, Bytes mem_bytes, const RooflineConfig& cfg)
+{
+    THEMIS_ASSERT(cfg.peak_tflops > 0.0 && cfg.mem_bw_gbps > 0.0 &&
+                      cfg.efficiency > 0.0,
+                  "invalid roofline configuration");
+    THEMIS_ASSERT(flops >= 0.0 && mem_bytes >= 0.0,
+                  "negative compute demand");
+    // TFLOP/s = 1e12 FLOP/s = 1e3 FLOP/ns; GB/s = 1 byte/ns.
+    const double flop_per_ns = cfg.peak_tflops * 1.0e3 * cfg.efficiency;
+    const double bytes_per_ns = cfg.mem_bw_gbps * cfg.efficiency;
+    return std::max(flops / flop_per_ns, mem_bytes / bytes_per_ns);
+}
+
+} // namespace themis::workload

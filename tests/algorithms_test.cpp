@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests of the Table 1 basic collective algorithms: step counts,
+ * wire-volume conservation, per-step shapes, fixed delays.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "collective/algorithms.hpp"
+#include "collective/cost_model.hpp"
+#include "common/error.hpp"
+
+namespace themis {
+namespace {
+
+DimensionConfig
+makeDim(DimKind kind, int size, double gbps = 800.0, int links = 1,
+        TimeNs lat = 700.0)
+{
+    DimensionConfig d;
+    d.kind = kind;
+    d.size = size;
+    d.link_bw_gbps = gbps;
+    d.links_per_npu = links;
+    d.step_latency_ns = lat;
+    return d;
+}
+
+Bytes
+planBytes(const std::vector<StepPlan>& plan)
+{
+    Bytes total = 0.0;
+    for (const auto& s : plan)
+        total += s.bytes;
+    return total;
+}
+
+TEST(Ring, StepCountIsPeersMinusOne)
+{
+    const auto d = makeDim(DimKind::Ring, 16, 200.0, 4);
+    const auto& alg = algorithmFor(DimKind::Ring);
+    EXPECT_EQ(alg.numSteps(Phase::ReduceScatter, d), 15);
+    EXPECT_EQ(alg.numSteps(Phase::AllGather, d), 15);
+}
+
+TEST(Direct, OneStepWithFullClique)
+{
+    const auto d = makeDim(DimKind::FullyConnected, 8, 200.0, 7);
+    EXPECT_EQ(algorithmFor(DimKind::FullyConnected)
+                  .numSteps(Phase::ReduceScatter, d),
+              1);
+}
+
+TEST(Direct, SerializesWithFewerLinks)
+{
+    const auto d = makeDim(DimKind::FullyConnected, 8, 200.0, 3);
+    // 7 peers over 3 links -> 3 rounds.
+    EXPECT_EQ(algorithmFor(DimKind::FullyConnected)
+                  .numSteps(Phase::AllGather, d),
+              3);
+}
+
+TEST(HalvingDoubling, LogSteps)
+{
+    const auto d = makeDim(DimKind::Switch, 64, 800.0, 1);
+    EXPECT_EQ(algorithmFor(DimKind::Switch)
+                  .numSteps(Phase::ReduceScatter, d),
+              6);
+}
+
+TEST(HalvingDoubling, RsStepSizesHalve)
+{
+    const auto d = makeDim(DimKind::Switch, 8);
+    const auto plan = algorithmFor(DimKind::Switch)
+                          .plan(Phase::ReduceScatter, 8.0e6, d);
+    ASSERT_EQ(plan.size(), 3u);
+    EXPECT_DOUBLE_EQ(plan[0].bytes, 4.0e6);
+    EXPECT_DOUBLE_EQ(plan[1].bytes, 2.0e6);
+    EXPECT_DOUBLE_EQ(plan[2].bytes, 1.0e6);
+}
+
+TEST(HalvingDoubling, AgStepSizesDouble)
+{
+    const auto d = makeDim(DimKind::Switch, 8);
+    const auto plan =
+        algorithmFor(DimKind::Switch).plan(Phase::AllGather, 1.0e6, d);
+    ASSERT_EQ(plan.size(), 3u);
+    EXPECT_DOUBLE_EQ(plan[0].bytes, 1.0e6);
+    EXPECT_DOUBLE_EQ(plan[1].bytes, 2.0e6);
+    EXPECT_DOUBLE_EQ(plan[2].bytes, 4.0e6);
+}
+
+struct AlgCase
+{
+    DimKind kind;
+    int size;
+    int links;
+};
+
+class WireVolume
+    : public ::testing::TestWithParam<std::tuple<AlgCase, Phase>>
+{};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, WireVolume,
+    ::testing::Combine(
+        ::testing::Values(AlgCase{DimKind::Ring, 4, 2},
+                          AlgCase{DimKind::Ring, 16, 4},
+                          AlgCase{DimKind::FullyConnected, 8, 7},
+                          AlgCase{DimKind::FullyConnected, 8, 3},
+                          AlgCase{DimKind::Switch, 8, 1},
+                          AlgCase{DimKind::Switch, 64, 1}),
+        ::testing::Values(Phase::ReduceScatter, Phase::AllGather,
+                          Phase::AllToAll)));
+
+TEST_P(WireVolume, PlanBytesMatchWireBytes)
+{
+    const auto& [c, phase] = GetParam();
+    const auto d = makeDim(c.kind, c.size, 400.0, c.links);
+    const Bytes entering = 48.0e6;
+    const auto plan = algorithmFor(c.kind).plan(phase, entering, d);
+    EXPECT_EQ(static_cast<int>(plan.size()),
+              algorithmFor(c.kind).numSteps(phase, d));
+    EXPECT_NEAR(planBytes(plan), wireBytes(phase, entering, c.size),
+                1.0);
+    for (const auto& s : plan) {
+        EXPECT_DOUBLE_EQ(s.latency, d.step_latency_ns);
+        EXPECT_GT(s.bytes, 0.0);
+    }
+}
+
+TEST(CostModel, FixedDelayIsStepsTimesLatency)
+{
+    const auto d = makeDim(DimKind::Ring, 16, 200.0, 4, 700.0);
+    EXPECT_DOUBLE_EQ(phaseFixedDelay(Phase::ReduceScatter, d),
+                     15.0 * 700.0);
+    // Ring All-Reduce takes 2P-2 steps (paper Sec 4.4).
+    EXPECT_DOUBLE_EQ(typeFixedDelay(CollectiveType::AllReduce, d),
+                     30.0 * 700.0);
+}
+
+TEST(CostModel, OpTimeIsFixedDelayPlusSerialization)
+{
+    const auto d = makeDim(DimKind::Switch, 8, 800.0, 1, 1000.0);
+    // RS of 8MB on P=8 at 100 GB/s: wire 7MB -> 70 us; 3 steps of
+    // 1 us latency.
+    EXPECT_NEAR(chunkOpTime(Phase::ReduceScatter, 8.0e6, d),
+                70.0e3 + 3.0e3, 1.0);
+    EXPECT_NEAR(chunkTransferTime(Phase::ReduceScatter, 8.0e6, d),
+                70.0e3, 1.0);
+}
+
+TEST(CostModel, Fig5NormalizedLatencies)
+{
+    // The Fig 5 example: 64MB RS on dim1 is the unit; dim2 has half
+    // the bandwidth, so the 16MB RS on dim2 takes 0.5 units.
+    const auto d1 = makeDim(DimKind::Switch, 4, 384.0, 1, 0.0);
+    const auto d2 = makeDim(DimKind::Switch, 4, 192.0, 1, 0.0);
+    const TimeNs unit = chunkOpTime(Phase::ReduceScatter, 64.0e6, d1);
+    EXPECT_NEAR(chunkOpTime(Phase::ReduceScatter, 16.0e6, d2),
+                0.5 * unit, unit * 1e-9);
+    EXPECT_NEAR(chunkOpTime(Phase::AllGather, 4.0e6, d2), 0.5 * unit,
+                unit * 1e-9);
+    EXPECT_NEAR(chunkOpTime(Phase::AllGather, 16.0e6, d1), unit,
+                unit * 1e-9);
+}
+
+
+TEST(InNetworkOffload, TwoStepsRegardlessOfSize)
+{
+    auto d = makeDim(DimKind::Switch, 64, 800.0, 1, 1700.0);
+    d.in_network_offload = true;
+    const auto& alg = algorithmFor(d);
+    EXPECT_EQ(alg.name(), "InNetworkOffload");
+    EXPECT_EQ(alg.numSteps(Phase::ReduceScatter, d), 2);
+    EXPECT_DOUBLE_EQ(phaseFixedDelay(Phase::ReduceScatter, d),
+                     2.0 * 1700.0);
+}
+
+TEST(InNetworkOffload, EgressVolumeIsResidentData)
+{
+    auto d = makeDim(DimKind::Switch, 8, 800.0, 1, 0.0);
+    d.in_network_offload = true;
+    const auto& alg = algorithmFor(d);
+    // RS streams the resident chunk up once.
+    EXPECT_NEAR(planBytes(alg.plan(Phase::ReduceScatter, 8.0e6, d)),
+                8.0e6, 1.0);
+    // AG streams the shard up once (multicast inside the fabric).
+    EXPECT_NEAR(planBytes(alg.plan(Phase::AllGather, 1.0e6, d)),
+                1.0e6, 1.0);
+}
+
+TEST(InNetworkOffload, AllReduceTrafficHalves)
+{
+    // Sec 4.5: offload reduces n_K. Full AR on one dimension: HD
+    // moves 2*s*(P-1)/P, offload moves s*(1 + 1/P).
+    auto d = makeDim(DimKind::Switch, 8, 800.0, 1, 0.0);
+    const Bytes s = 64.0e6;
+    const Bytes hd = planBytes(algorithmFor(d).plan(
+                         Phase::ReduceScatter, s, d)) +
+                     planBytes(algorithmFor(d).plan(
+                         Phase::AllGather, s / 8.0, d));
+    d.in_network_offload = true;
+    const Bytes off = planBytes(algorithmFor(d).plan(
+                          Phase::ReduceScatter, s, d)) +
+                      planBytes(algorithmFor(d).plan(
+                          Phase::AllGather, s / 8.0, d));
+    EXPECT_LT(off, hd * 0.65);
+}
+
+TEST(InNetworkOffload, AllowsNonPowerOfTwoSwitch)
+{
+    auto d = makeDim(DimKind::Switch, 6, 800.0, 1, 700.0);
+    EXPECT_THROW(d.validate(), ConfigError);
+    d.in_network_offload = true;
+    d.validate();
+    SUCCEED();
+}
+
+TEST(InNetworkOffload, RejectedOnNonSwitch)
+{
+    auto d = makeDim(DimKind::Ring, 4, 800.0, 2, 20.0);
+    d.in_network_offload = true;
+    EXPECT_THROW(d.validate(), ConfigError);
+}
+
+} // namespace
+} // namespace themis

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for src/common: units, error macros, strings, RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/random.hpp"
+#include "common/string_util.hpp"
+#include "common/units.hpp"
+
+namespace themis {
+namespace {
+
+TEST(Units, GbpsConversionRoundTrips)
+{
+    EXPECT_DOUBLE_EQ(gbpsToBw(800.0), 100.0); // 800 Gb/s == 100 GB/s
+    EXPECT_DOUBLE_EQ(bwToGbps(gbpsToBw(1234.5)), 1234.5);
+}
+
+TEST(Units, BandwidthUnitsAreBytesPerNanosecond)
+{
+    // 100 GB/s moves 100 bytes per nanosecond.
+    const Bandwidth bw = gbpsToBw(800.0);
+    const TimeNs t = 1.0e6; // 1 ms
+    EXPECT_DOUBLE_EQ(bw * t, 100.0e6); // 100 MB in a millisecond
+}
+
+TEST(Units, TimeHelpers)
+{
+    EXPECT_DOUBLE_EQ(nsToUs(1500.0), 1.5);
+    EXPECT_DOUBLE_EQ(nsToMs(2.5e6), 2.5);
+    EXPECT_DOUBLE_EQ(kSec, 1.0e9);
+}
+
+TEST(Units, AlmostEqualTolerances)
+{
+    EXPECT_TRUE(almostEqual(1.0, 1.0));
+    EXPECT_TRUE(almostEqual(1.0e12, 1.0e12 + 1.0));
+    EXPECT_FALSE(almostEqual(1.0e12, 1.1e12));
+    EXPECT_TRUE(almostEqual(0.0, 1.0e-9));
+}
+
+TEST(Error, FatalThrowsConfigError)
+{
+    EXPECT_THROW(THEMIS_FATAL("bad config " << 42), ConfigError);
+}
+
+TEST(Error, FatalMessageContainsPayload)
+{
+    try {
+        THEMIS_FATAL("value was " << 7);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError& e) {
+        EXPECT_NE(std::string(e.what()).find("value was 7"),
+                  std::string::npos);
+    }
+}
+
+TEST(Error, AssertPassesOnTrue)
+{
+    THEMIS_ASSERT(1 + 1 == 2, "arithmetic broke");
+    SUCCEED();
+}
+
+TEST(Error, AssertAbortsOnFalse)
+{
+    EXPECT_DEATH(THEMIS_ASSERT(false, "expected failure"),
+                 "assertion");
+}
+
+TEST(Strings, SplitKeepsEmptyFields)
+{
+    const auto parts = split("a,,b", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, JoinInvertsSplit)
+{
+    EXPECT_EQ(join({"x", "y", "z"}, "-"), "x-y-z");
+    EXPECT_EQ(join({}, "-"), "");
+}
+
+TEST(Strings, FmtBytesPicksScale)
+{
+    EXPECT_EQ(fmtBytes(512.0), "512 B");
+    EXPECT_EQ(fmtBytes(2.5e6), "2.50 MB");
+    EXPECT_EQ(fmtBytes(1.0e9), "1.00 GB");
+}
+
+TEST(Strings, FmtTimePicksScale)
+{
+    EXPECT_EQ(fmtTime(500.0), "500.0 ns");
+    EXPECT_EQ(fmtTime(1.5e3), "1.5 us");
+    EXPECT_EQ(fmtTime(2.0e6), "2.000 ms");
+}
+
+TEST(Strings, FmtPercent)
+{
+    EXPECT_EQ(fmtPercent(0.9514), "95.1%");
+}
+
+TEST(Strings, ToLower)
+{
+    EXPECT_EQ(toLower("Themis-SCF"), "themis-scf");
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniformInt(0, 1000), b.uniformInt(0, 1000));
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformInt(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, ShufflePreservesElements)
+{
+    Rng rng(99);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(Logging, LevelFilters)
+{
+    const LogLevel prev = Logger::level();
+    Logger::setLevel(LogLevel::Error);
+    EXPECT_EQ(Logger::level(), LogLevel::Error);
+    logInfo("should be suppressed");
+    Logger::setLevel(prev);
+}
+
+} // namespace
+} // namespace themis

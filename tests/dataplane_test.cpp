@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Data-plane semantic tests: the Table 1 algorithms move and reduce
+ * real data correctly, and — the paper's Observation 1 — *any*
+ * permutation of RS dimensions followed by any permutation of AG
+ * dimensions yields a correct All-Reduce. This is the property that
+ * makes Themis's per-chunk dynamic schedules legal.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "collective/dataplane/dataplane_collectives.hpp"
+#include "common/error.hpp"
+
+namespace themis {
+namespace {
+
+DataValue
+seed(int npu, std::int64_t offset)
+{
+    return static_cast<DataValue>(npu) * 100003 + offset * 7 + 1;
+}
+
+std::vector<std::vector<int>>
+allPermutations(int n)
+{
+    std::vector<int> idx(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        idx[static_cast<std::size_t>(i)] = i;
+    std::vector<std::vector<int>> out;
+    do {
+        out.push_back(idx);
+    } while (std::next_permutation(idx.begin(), idx.end()));
+    return out;
+}
+
+TEST(DataPlaneSingleDim, RingReduceScatter)
+{
+    LogicalMachine m({4});
+    DataPlane dp(m, {DimKind::Ring}, 16);
+    dp.initFullReplicas(seed);
+    dp.reduceScatterDim(0);
+    EXPECT_TRUE(dp.verifyReduceScattered(seed));
+}
+
+TEST(DataPlaneSingleDim, RingAllReduce)
+{
+    LogicalMachine m({5}); // rings work for any size
+    DataPlane dp(m, {DimKind::Ring}, 25);
+    dp.initFullReplicas(seed);
+    dp.runAllReduce({0}, {0});
+    EXPECT_TRUE(dp.verifyAllReduced(seed));
+}
+
+TEST(DataPlaneSingleDim, DirectAllReduce)
+{
+    LogicalMachine m({8});
+    DataPlane dp(m, {DimKind::FullyConnected}, 32);
+    dp.initFullReplicas(seed);
+    dp.runAllReduce({0}, {0});
+    EXPECT_TRUE(dp.verifyAllReduced(seed));
+}
+
+TEST(DataPlaneSingleDim, HalvingDoublingAllReduce)
+{
+    LogicalMachine m({8});
+    DataPlane dp(m, {DimKind::Switch}, 64);
+    dp.initFullReplicas(seed);
+    dp.runAllReduce({0}, {0});
+    EXPECT_TRUE(dp.verifyAllReduced(seed));
+}
+
+TEST(DataPlaneSingleDim, RingAllGather)
+{
+    LogicalMachine m({6});
+    DataPlane dp(m, {DimKind::Ring}, 18);
+    dp.initShards(seed);
+    dp.allGatherDim(0);
+    EXPECT_TRUE(dp.verifyAllGathered(seed));
+}
+
+TEST(DataPlaneSingleDim, HalvingDoublingAllGather)
+{
+    LogicalMachine m({8});
+    DataPlane dp(m, {DimKind::Switch}, 32);
+    dp.initShards(seed);
+    dp.allGatherDim(0);
+    EXPECT_TRUE(dp.verifyAllGathered(seed));
+}
+
+/**
+ * Observation 1 property sweep: on a heterogeneous 3D machine, every
+ * (rs_order, ag_order) pair out of the 6x6 possibilities produces a
+ * correct All-Reduce.
+ */
+class Observation1
+    : public ::testing::TestWithParam<
+          std::tuple<std::vector<int>, std::vector<int>>>
+{};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOrderPairs, Observation1,
+    ::testing::Combine(::testing::ValuesIn(allPermutations(3)),
+                       ::testing::ValuesIn(allPermutations(3))));
+
+TEST_P(Observation1, AnyRsAgOrderIsACorrectAllReduce)
+{
+    const auto& [rs_order, ag_order] = GetParam();
+    LogicalMachine m({4, 2, 4});
+    DataPlane dp(
+        m, {DimKind::Ring, DimKind::Switch, DimKind::FullyConnected},
+        m.numNpus() * 4);
+    dp.initFullReplicas(seed);
+    dp.runAllReduce(rs_order, ag_order);
+    EXPECT_TRUE(dp.verifyAllReduced(seed));
+}
+
+TEST(DataPlaneMultiDim, RsOnlyAnyOrderScattersCorrectly)
+{
+    for (const auto& order : allPermutations(3)) {
+        LogicalMachine m({2, 4, 2});
+        DataPlane dp(
+            m, {DimKind::Switch, DimKind::Ring, DimKind::Switch},
+            m.numNpus() * 2);
+        dp.initFullReplicas(seed);
+        for (int d : order)
+            dp.reduceScatterDim(d);
+        EXPECT_TRUE(dp.verifyReduceScattered(seed))
+            << "order " << order[0] << order[1] << order[2];
+    }
+}
+
+TEST(DataPlaneMultiDim, AgOnlyAnyOrderGathersCorrectly)
+{
+    for (const auto& order : allPermutations(3)) {
+        LogicalMachine m({2, 2, 4});
+        DataPlane dp(
+            m, {DimKind::Switch, DimKind::FullyConnected, DimKind::Ring},
+            m.numNpus() * 2);
+        dp.initShards(seed);
+        for (int d : order)
+            dp.allGatherDim(d);
+        EXPECT_TRUE(dp.verifyAllGathered(seed))
+            << "order " << order[0] << order[1] << order[2];
+    }
+}
+
+TEST(DataPlaneMultiDim, MixedInterleavedAgBeforeLastRsIsStillValid)
+{
+    // RS(d0), RS(d1), AG(d0), AG(d1) — the AG order differing from
+    // the reversed RS order exercises strided (non-contiguous) shards.
+    LogicalMachine m({4, 4});
+    DataPlane dp(m, {DimKind::Switch, DimKind::Switch},
+                 m.numNpus() * 4);
+    dp.initFullReplicas(seed);
+    dp.reduceScatterDim(0);
+    dp.reduceScatterDim(1);
+    dp.allGatherDim(0); // not the reverse order
+    dp.allGatherDim(1);
+    EXPECT_TRUE(dp.verifyAllReduced(seed));
+}
+
+TEST(DataPlaneMultiDim, ChunkedAllReduceWithHeterogeneousSchedules)
+{
+    // Four chunks, each with a different (Themis-style) schedule, on
+    // independent element spaces: all must all-reduce correctly.
+    const std::vector<std::pair<std::vector<int>, std::vector<int>>>
+        schedules = {
+            {{0, 1}, {1, 0}}, // baseline
+            {{1, 0}, {0, 1}}, // starts at dim2
+            {{0, 1}, {0, 1}}, // non-mirrored AG
+            {{1, 0}, {1, 0}},
+        };
+    for (const auto& [rs, ag] : schedules) {
+        LogicalMachine m({4, 4});
+        DataPlane dp(m, {DimKind::Ring, DimKind::Switch},
+                     m.numNpus() * 2);
+        dp.initFullReplicas(seed);
+        dp.runAllReduce(rs, ag);
+        EXPECT_TRUE(dp.verifyAllReduced(seed));
+    }
+}
+
+TEST(DataPlane, RejectsMisalignedElementCount)
+{
+    LogicalMachine m({4, 2});
+    EXPECT_THROW(DataPlane(m, {DimKind::Ring, DimKind::Switch}, 12),
+                 ConfigError);
+}
+
+TEST(DataPlane, VerifyCatchesCorruption)
+{
+    LogicalMachine m({4});
+    DataPlane dp(m, {DimKind::Ring}, 8);
+    dp.initFullReplicas(seed);
+    // No collective ran; replicas are not the reduced values.
+    EXPECT_FALSE(dp.verifyAllReduced(seed));
+}
+
+
+TEST(DataPlaneOffload, SwitchOffloadAllReduce)
+{
+    // In-network reduction (Sec 4.5) on a non-power-of-two switch.
+    LogicalMachine m({6});
+    DataPlane dp(m, {DimKind::Switch}, 36, {true});
+    dp.initFullReplicas(seed);
+    dp.runAllReduce({0}, {0});
+    EXPECT_TRUE(dp.verifyAllReduced(seed));
+}
+
+TEST(DataPlaneOffload, MixedOffloadAndPeerToPeerDims)
+{
+    LogicalMachine m({4, 4});
+    for (const auto& rs : allPermutations(2)) {
+        for (const auto& ag : allPermutations(2)) {
+            DataPlane dp(m, {DimKind::Ring, DimKind::Switch},
+                         m.numNpus() * 2, {false, true});
+            dp.initFullReplicas(seed);
+            dp.runAllReduce(rs, ag);
+            EXPECT_TRUE(dp.verifyAllReduced(seed));
+        }
+    }
+}
+
+TEST(DataPlaneOffload, RejectsOffloadOnRing)
+{
+    LogicalMachine m({4});
+    EXPECT_THROW(DataPlane(m, {DimKind::Ring}, 8, {true}),
+                 ConfigError);
+}
+
+} // namespace
+} // namespace themis

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit tests of the per-dimension execution engine: queueing order,
+ * admission of parallel small ops, enforced-order gating, presence
+ * and listener plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/dimension_engine.hpp"
+
+namespace themis::runtime {
+namespace {
+
+DimensionConfig
+switchDim(int size, double gbps, TimeNs lat)
+{
+    DimensionConfig d;
+    d.kind = DimKind::Switch;
+    d.size = size;
+    d.link_bw_gbps = gbps;
+    d.links_per_npu = 1;
+    d.step_latency_ns = lat;
+    return d;
+}
+
+struct Harness
+{
+    sim::EventQueue queue;
+    DimensionConfig cfg = switchDim(8, 800.0, 0.0);
+    std::vector<int> finished;     // chunk ids in completion order
+    std::vector<TimeNs> finish_at; // completion times
+
+    ChunkOp
+    op(int chunk, Bytes entering, int stage = 0,
+       Phase phase = Phase::ReduceScatter)
+    {
+        return makeChunkOp(OpTag{0, chunk, stage}, phase, 0, 0,
+                           entering, cfg, [this](const ChunkOp& o) {
+                               finished.push_back(o.tag.chunk_id);
+                               finish_at.push_back(queue.now());
+                           });
+    }
+};
+
+TEST(DimensionEngine, FifoRunsInArrivalOrder)
+{
+    Harness h;
+    DimensionEngine engine(h.queue, h.cfg, 0, IntraDimPolicy::Fifo,
+                           AdmissionConfig{});
+    engine.enqueue(h.op(0, 8.0e6));
+    engine.enqueue(h.op(1, 1.0e6)); // smaller, but arrived later
+    engine.enqueue(h.op(2, 4.0e6));
+    h.queue.run();
+    EXPECT_EQ(h.finished, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(engine.completedCount(), 3u);
+}
+
+TEST(DimensionEngine, ScfRunsShortestServiceFirst)
+{
+    Harness h;
+    DimensionEngine engine(h.queue, h.cfg, 0, IntraDimPolicy::Scf,
+                           AdmissionConfig{});
+    engine.enqueue(h.op(0, 8.0e6));
+    engine.enqueue(h.op(1, 1.0e6));
+    engine.enqueue(h.op(2, 4.0e6));
+    h.queue.run();
+    // Op 0 starts immediately (empty queue); then smallest first.
+    EXPECT_EQ(h.finished, (std::vector<int>{0, 1, 2}));
+    // With a big op queued FIRST while 0 runs, SCF picks 1 before 2:
+    // verified by completion times (1 finishes before 2).
+    EXPECT_LT(h.finish_at[1], h.finish_at[2]);
+}
+
+TEST(DimensionEngine, LargeOpsRunSerially)
+{
+    // Zero-latency ops have no headroom to hide: strictly serial.
+    Harness h;
+    DimensionEngine engine(h.queue, h.cfg, 0, IntraDimPolicy::Fifo,
+                           AdmissionConfig{});
+    engine.enqueue(h.op(0, 8.0e6));
+    engine.enqueue(h.op(1, 8.0e6));
+    h.queue.run();
+    // 7 MB wire each at 100 GB/s = 70 us; serial -> 70 and 140.
+    EXPECT_NEAR(h.finish_at[0], 70.0e3, 1.0);
+    EXPECT_NEAR(h.finish_at[1], 140.0e3, 1.0);
+}
+
+TEST(DimensionEngine, SmallOpsOverlapTheirLatency)
+{
+    Harness h;
+    h.cfg = switchDim(8, 800.0, 10000.0); // 30 us fixed delay
+    DimensionEngine engine(h.queue, h.cfg, 0, IntraDimPolicy::Fifo,
+                           AdmissionConfig{});
+    // 875 B wire each (~9 ns transfer) against 30 us latency: the
+    // admission rule must stack them, so total time ~= one latency.
+    for (int i = 0; i < 8; ++i)
+        engine.enqueue(h.op(i, 1000.0));
+    h.queue.run();
+    ASSERT_EQ(h.finished.size(), 8u);
+    EXPECT_LT(h.finish_at.back(), 2.0 * 30000.0);
+}
+
+TEST(DimensionEngine, MaxParallelCapRespected)
+{
+    Harness h;
+    h.cfg = switchDim(8, 800.0, 10000.0);
+    AdmissionConfig admission;
+    admission.max_parallel_ops = 2;
+    DimensionEngine engine(h.queue, h.cfg, 0, IntraDimPolicy::Fifo,
+                           admission);
+    for (int i = 0; i < 6; ++i)
+        engine.enqueue(h.op(i, 1000.0));
+    EXPECT_LE(engine.activeCount(), 2u);
+    h.queue.run();
+    EXPECT_EQ(h.finished.size(), 6u);
+    // Three serialized waves of two -> at least 3 latency periods.
+    EXPECT_GE(h.finish_at.back(), 3.0 * 30000.0 - 1.0);
+}
+
+TEST(DimensionEngine, EnforcedOrderGatesStarts)
+{
+    Harness h;
+    DimensionEngine engine(h.queue, h.cfg, 0, IntraDimPolicy::Scf,
+                           AdmissionConfig{});
+    // Enforce 2 -> 0 -> 1 regardless of SCF preferences.
+    engine.setEnforcedOrder(0, {OpKey{2, 0}, OpKey{0, 0}, OpKey{1, 0}});
+    engine.enqueue(h.op(0, 1.0e6));
+    engine.enqueue(h.op(1, 2.0e6));
+    engine.enqueue(h.op(2, 8.0e6));
+    h.queue.run();
+    EXPECT_EQ(h.finished, (std::vector<int>{2, 0, 1}));
+}
+
+TEST(DimensionEngine, EnforcedOrderWaitsForMissingHead)
+{
+    Harness h;
+    DimensionEngine engine(h.queue, h.cfg, 0, IntraDimPolicy::Fifo,
+                           AdmissionConfig{});
+    engine.setEnforcedOrder(0, {OpKey{1, 0}, OpKey{0, 0}});
+    engine.enqueue(h.op(0, 1.0e6)); // not the head: must wait
+    h.queue.runUntil(1.0e6);
+    EXPECT_EQ(engine.queuedCount(), 1u);
+    EXPECT_EQ(engine.activeCount(), 0u);
+    engine.enqueue(h.op(1, 1.0e6)); // the head arrives
+    h.queue.run();
+    EXPECT_EQ(h.finished, (std::vector<int>{1, 0}));
+}
+
+TEST(DimensionEngine, OtherCollectivesBypassEnforcedOrder)
+{
+    Harness h;
+    DimensionEngine engine(h.queue, h.cfg, 0, IntraDimPolicy::Fifo,
+                           AdmissionConfig{});
+    engine.setEnforcedOrder(7, {OpKey{0, 0}});
+    // An op of collective 0 (no enforced order) runs freely even
+    // though collective 7's head never arrives.
+    engine.enqueue(h.op(3, 1.0e6));
+    h.queue.run();
+    EXPECT_EQ(h.finished, (std::vector<int>{3}));
+}
+
+TEST(DimensionEngine, PresenceTogglesWithWork)
+{
+    Harness h;
+    DimensionEngine engine(h.queue, h.cfg, 0, IntraDimPolicy::Fifo,
+                           AdmissionConfig{});
+    std::vector<bool> transitions;
+    engine.setPresenceListener(
+        [&](int dim, bool present, TimeNs when) {
+            EXPECT_EQ(dim, 0);
+            (void)when;
+            transitions.push_back(present);
+        });
+    engine.enqueue(h.op(0, 1.0e6));
+    h.queue.run();
+    EXPECT_EQ(transitions, (std::vector<bool>{true, false}));
+}
+
+TEST(DimensionEngine, ListenersSeeStartAndFinish)
+{
+    Harness h;
+    DimensionEngine engine(h.queue, h.cfg, 0, IntraDimPolicy::Fifo,
+                           AdmissionConfig{});
+    TimeNs started = -1.0, finished_start = -1.0;
+    engine.setStartListener([&](const OpTag& tag) {
+        EXPECT_EQ(tag.chunk_id, 5);
+        started = h.queue.now();
+    });
+    engine.setFinishListener(
+        [&](const ChunkOp& op, TimeNs started_at) {
+            EXPECT_EQ(op.tag.chunk_id, 5);
+            finished_start = started_at;
+        });
+    h.queue.scheduleAfter(2500.0,
+                          [&] { engine.enqueue(h.op(5, 1.0e6)); });
+    h.queue.run();
+    EXPECT_DOUBLE_EQ(started, 2500.0);
+    EXPECT_DOUBLE_EQ(finished_start, 2500.0);
+}
+
+TEST(DimensionEngine, RejectsWrongDimensionOps)
+{
+    Harness h;
+    DimensionEngine engine(h.queue, h.cfg, 3, IntraDimPolicy::Fifo,
+                           AdmissionConfig{});
+    EXPECT_DEATH(engine.enqueue(h.op(0, 1.0e6)), "enqueued on dim");
+}
+
+} // namespace
+} // namespace themis::runtime

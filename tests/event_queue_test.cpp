@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Unit tests for the discrete-event queue: ordering, determinism,
+ * cancellation and bounded runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace themis::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    q.schedule(30.0, [&] { fired.push_back(3); });
+    q.schedule(10.0, [&] { fired.push_back(1); });
+    q.schedule(20.0, [&] { fired.push_back(2); });
+    EXPECT_EQ(q.run(), 3u);
+    EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(q.now(), 30.0);
+}
+
+TEST(EventQueue, SameTimeFifoBySchedulingOrder)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5.0, [&fired, i] { fired.push_back(i); });
+    q.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, HandlersCanScheduleMore)
+{
+    EventQueue q;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 5)
+            q.scheduleAfter(10.0, chain);
+    };
+    q.scheduleAfter(0.0, chain);
+    q.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_DOUBLE_EQ(q.now(), 40.0);
+}
+
+TEST(EventQueue, CancelPreventsFiring)
+{
+    EventQueue q;
+    bool fired = false;
+    const auto id = q.schedule(10.0, [&] { fired = true; });
+    q.cancel(id);
+    EXPECT_TRUE(q.empty());
+    q.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoop)
+{
+    EventQueue q;
+    q.cancel(424242);
+    SUCCEED();
+}
+
+TEST(EventQueue, CancelOneOfManyAtSameTime)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    q.schedule(5.0, [&] { fired.push_back(1); });
+    const auto id = q.schedule(5.0, [&] { fired.push_back(2); });
+    q.schedule(5.0, [&] { fired.push_back(3); });
+    q.cancel(id);
+    q.run();
+    EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    q.schedule(10.0, [&] { fired.push_back(1); });
+    q.schedule(20.0, [&] { fired.push_back(2); });
+    q.schedule(30.0, [&] { fired.push_back(3); });
+    EXPECT_EQ(q.runUntil(20.0), 2u);
+    EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+    EXPECT_DOUBLE_EQ(q.now(), 20.0);
+    EXPECT_EQ(q.pendingCount(), 1u);
+    q.run();
+    EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenIdle)
+{
+    EventQueue q;
+    q.runUntil(500.0);
+    EXPECT_DOUBLE_EQ(q.now(), 500.0);
+}
+
+TEST(EventQueue, ResetClearsEverything)
+{
+    EventQueue q;
+    bool fired = false;
+    q.schedule(10.0, [&] { fired = true; });
+    q.runUntil(1.0);
+    q.reset();
+    EXPECT_TRUE(q.empty());
+    EXPECT_DOUBLE_EQ(q.now(), 0.0);
+    q.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue q;
+    q.schedule(100.0, [] {});
+    q.run();
+    EXPECT_DEATH(q.schedule(50.0, [] {}), "past");
+}
+
+TEST(EventQueue, NegativeDelayPanics)
+{
+    EventQueue q;
+    EXPECT_DEATH(q.scheduleAfter(-1.0, [] {}), "negative");
+}
+
+TEST(EventQueue, ManyEventsStressDeterminism)
+{
+    EventQueue q;
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        q.schedule(static_cast<double>((i * 37) % 1000),
+                   [&sum, i] { sum += i; });
+    }
+    EXPECT_EQ(q.run(), 10000u);
+    EXPECT_DOUBLE_EQ(sum, 10000.0 * 9999.0 / 2.0);
+}
+
+} // namespace
+} // namespace themis::sim

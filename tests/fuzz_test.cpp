@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Randomized property tests over the whole stack. A seeded RNG builds
+ * arbitrary (valid) topologies and collective requests; the suite
+ * checks invariants that must hold for *every* input:
+ *
+ *  - every collective completes and the event queue drains;
+ *  - byte conservation: the bytes each dimension's channel moved equal
+ *    the scheduler's predicted wire volumes exactly;
+ *  - utilization stays within [0, 1] per dimension and overall;
+ *  - Themis never schedules a non-permutation, and its makespan never
+ *    loses badly to baseline;
+ *  - shadow-enforced ordering reproduces free-running timing;
+ *  - the data plane reduces/gathers correctly for random machines and
+ *    random stage orders.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "collective/dataplane/dataplane_collectives.hpp"
+#include "common/random.hpp"
+#include "core/themis_scheduler.hpp"
+#include "npu/npu_machine.hpp"
+#include "runtime/comm_runtime.hpp"
+
+namespace themis {
+namespace {
+
+/** Random valid dimension. */
+DimensionConfig
+randomDim(Rng& rng)
+{
+    DimensionConfig d;
+    switch (rng.uniformInt(0, 2)) {
+      case 0:
+        d.kind = DimKind::Ring;
+        d.size = static_cast<int>(rng.uniformInt(2, 12));
+        d.links_per_npu = static_cast<int>(rng.uniformInt(1, 2));
+        break;
+      case 1:
+        d.kind = DimKind::FullyConnected;
+        d.size = static_cast<int>(rng.uniformInt(2, 9));
+        d.links_per_npu =
+            static_cast<int>(rng.uniformInt(1, d.size - 1));
+        break;
+      default:
+        d.kind = DimKind::Switch;
+        d.size = 1 << rng.uniformInt(1, 5);
+        d.links_per_npu = 1;
+        d.in_network_offload = rng.coin(0.25);
+        break;
+    }
+    d.link_bw_gbps = rng.uniformReal(25.0, 1600.0);
+    d.step_latency_ns = rng.uniformReal(0.0, 2000.0);
+    return d;
+}
+
+Topology
+randomTopology(Rng& rng)
+{
+    const int dims = static_cast<int>(rng.uniformInt(1, 4));
+    std::vector<DimensionConfig> cfg;
+    for (int i = 0; i < dims; ++i)
+        cfg.push_back(randomDim(rng));
+    return Topology("fuzz", std::move(cfg));
+}
+
+CollectiveRequest
+randomRequest(Rng& rng)
+{
+    CollectiveRequest req;
+    switch (rng.uniformInt(0, 3)) {
+      case 0: req.type = CollectiveType::AllReduce; break;
+      case 1: req.type = CollectiveType::ReduceScatter; break;
+      case 2: req.type = CollectiveType::AllGather; break;
+      default: req.type = CollectiveType::AllToAll; break;
+    }
+    req.size = rng.uniformReal(1.0e5, 2.0e9);
+    req.chunks = static_cast<int>(rng.uniformInt(1, 128));
+    return req;
+}
+
+class RuntimeFuzz : public ::testing::TestWithParam<int>
+{};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RuntimeFuzz, ::testing::Range(1, 26));
+
+TEST_P(RuntimeFuzz, CollectiveCompletesAndConservesBytes)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    const Topology topo = randomTopology(rng);
+    const CollectiveRequest req = randomRequest(rng);
+
+    sim::EventQueue queue;
+    runtime::CommRuntime comm(queue, topo,
+                              runtime::themisScfConfig());
+    const int id = comm.issue(req);
+    queue.run();
+    comm.finalizeStats();
+    ASSERT_TRUE(comm.record(id).done());
+    EXPECT_GT(comm.record(id).duration(), 0.0);
+
+    // Predicted wire volume per dimension, from the scheduler's own
+    // stage-load algebra (loads are times; multiply back by BW).
+    const auto& model = comm.modelForScope({});
+    ThemisScheduler reference(model);
+    const auto schedules = reference.scheduleCollective(
+        req.type,
+        schedulableSize(req.type, req.size, model.dimSizes()),
+        req.chunks);
+    std::vector<Bytes> expected(
+        static_cast<std::size_t>(topo.numDims()), 0.0);
+    for (const auto& sched : schedules) {
+        const auto loads = model.stageLoads(sched.size, sched.stages);
+        for (int d = 0; d < topo.numDims(); ++d) {
+            expected[static_cast<std::size_t>(d)] +=
+                loads[static_cast<std::size_t>(d)] *
+                topo.dim(d).bandwidth();
+        }
+    }
+    for (int d = 0; d < topo.numDims(); ++d) {
+        auto& ch = comm.engine(d).channel();
+        ch.sync();
+        EXPECT_NEAR(ch.progressedBytes(),
+                    expected[static_cast<std::size_t>(d)],
+                    1.0 + 1e-6 * expected[static_cast<std::size_t>(d)])
+            << "dim " << d << " on " << topo.describe();
+    }
+}
+
+TEST_P(RuntimeFuzz, UtilizationStaysPhysical)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+    const Topology topo = randomTopology(rng);
+    const CollectiveRequest req = randomRequest(rng);
+
+    sim::EventQueue queue;
+    runtime::CommRuntime comm(queue, topo,
+                              runtime::themisScfConfig());
+    comm.issue(req);
+    queue.run();
+    comm.finalizeStats();
+    const double util = comm.utilization().weightedUtilization();
+    EXPECT_GE(util, 0.0);
+    EXPECT_LE(util, 1.0 + 1e-9) << topo.describe();
+    for (double u : comm.utilization().perDimUtilization())
+        EXPECT_LE(u, 1.0 + 1e-9) << topo.describe();
+}
+
+TEST_P(RuntimeFuzz, ThemisNeverLosesBadlyToBaseline)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) + 2000);
+    const Topology topo = randomTopology(rng);
+    CollectiveRequest req = randomRequest(rng);
+    req.type = CollectiveType::AllReduce; // the scheduled pattern
+
+    auto run = [&](const runtime::RuntimeConfig& cfg) {
+        sim::EventQueue queue;
+        runtime::CommRuntime comm(queue, topo, cfg);
+        const int id = comm.issue(req);
+        queue.run();
+        return comm.record(id).duration();
+    };
+    const TimeNs base = run(runtime::baselineConfig());
+    const TimeNs scf = run(runtime::themisScfConfig());
+    // Robustness requirement: even on adversarial random platforms
+    // the threshold must keep Themis within a modest factor.
+    EXPECT_LE(scf, base * 1.35) << topo.describe();
+}
+
+TEST_P(RuntimeFuzz, ShadowEnforcementMatchesPolicy)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) + 3000);
+    const Topology topo = randomTopology(rng);
+    const CollectiveRequest req = randomRequest(rng);
+
+    auto run = [&](bool enforce) {
+        auto cfg = runtime::themisScfConfig();
+        cfg.enforce_consistent_order = enforce;
+        cfg.order_planner = runtime::OrderPlanner::ShadowSim;
+        sim::EventQueue queue;
+        runtime::CommRuntime comm(queue, topo, cfg);
+        const int id = comm.issue(req);
+        queue.run();
+        return comm.record(id).duration();
+    };
+    const TimeNs policy = run(false);
+    const TimeNs enforced = run(true);
+    EXPECT_NEAR(policy, enforced, 1e-9 * policy) << topo.describe();
+}
+
+TEST_P(RuntimeFuzz, SchedulesAreValidPermutations)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) + 4000);
+    const Topology topo = randomTopology(rng);
+    const auto model = LatencyModel::fromTopology(topo);
+    ThemisScheduler sched(model);
+    const CollectiveRequest req = randomRequest(rng);
+    const auto out =
+        sched.scheduleCollective(req.type, req.size, req.chunks);
+    ASSERT_EQ(static_cast<int>(out.size()), req.chunks);
+    for (const auto& c : out) {
+        EXPECT_EQ(c.stages.size(),
+                  static_cast<std::size_t>(stagesForType(
+                      req.type, topo.numDims())));
+        // Each pass visits every dimension exactly once.
+        std::vector<int> rs, ag;
+        for (const auto& st : c.stages) {
+            if (st.phase == Phase::AllGather)
+                ag.push_back(st.dim);
+            else
+                rs.push_back(st.dim);
+        }
+        for (auto* pass : {&rs, &ag}) {
+            if (pass->empty())
+                continue;
+            std::sort(pass->begin(), pass->end());
+            for (std::size_t i = 0; i < pass->size(); ++i)
+                EXPECT_EQ((*pass)[i], static_cast<int>(i));
+        }
+    }
+}
+
+
+class BackendEquivalenceFuzz : public ::testing::TestWithParam<int>
+{};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackendEquivalenceFuzz,
+                         ::testing::Range(200, 212));
+
+TEST_P(BackendEquivalenceFuzz, PerNpuMatchesFrontendOnRandomPlatforms)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    // Random platform, capped to <= 256 NPUs for the per-NPU run.
+    Topology topo = randomTopology(rng);
+    while (topo.totalNpus() > 256)
+        topo = randomTopology(rng);
+    const Bytes size = rng.uniformReal(1.0e6, 2.0e8);
+    const int chunks = static_cast<int>(rng.uniformInt(2, 32));
+
+    const auto model = LatencyModel::fromTopology(topo);
+    ThemisScheduler sched(model);
+    const auto schedules = sched.scheduleCollective(
+        CollectiveType::AllReduce, size, chunks);
+
+    sim::EventQueue queue;
+    runtime::CommRuntime comm(queue, topo,
+                              runtime::themisScfConfig());
+    CollectiveRequest req;
+    req.type = CollectiveType::AllReduce;
+    req.size = size;
+    req.chunks = chunks;
+    const int id = comm.issue(req);
+    queue.run();
+    const TimeNs frontend = comm.record(id).duration();
+
+    const auto per_npu = npu::simulatePerNpu(
+        topo, CollectiveType::AllReduce, schedules);
+    ASSERT_TRUE(per_npu.completed) << topo.describe();
+    EXPECT_NEAR(per_npu.makespan, frontend, 1e-6 * frontend)
+        << topo.describe();
+}
+
+class DataPlaneFuzz : public ::testing::TestWithParam<int>
+{};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DataPlaneFuzz,
+                         ::testing::Range(100, 116));
+
+TEST_P(DataPlaneFuzz, RandomMachinesAllReduceCorrectly)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    // Random small machine (<= 64 NPUs).
+    const int dims = static_cast<int>(rng.uniformInt(1, 3));
+    std::vector<int> sizes;
+    std::vector<DimKind> kinds;
+    int total = 1;
+    for (int d = 0; d < dims; ++d) {
+        int size = 0;
+        DimKind kind = DimKind::Ring;
+        switch (rng.uniformInt(0, 2)) {
+          case 0:
+            kind = DimKind::Ring;
+            size = static_cast<int>(rng.uniformInt(2, 5));
+            break;
+          case 1:
+            kind = DimKind::FullyConnected;
+            size = static_cast<int>(rng.uniformInt(2, 5));
+            break;
+          default:
+            kind = DimKind::Switch;
+            size = 1 << rng.uniformInt(1, 2);
+            break;
+        }
+        sizes.push_back(size);
+        kinds.push_back(kind);
+        total *= size;
+    }
+    if (total > 64)
+        GTEST_SKIP() << "machine too large for this seed";
+
+    LogicalMachine machine(sizes);
+    // Random RS and AG orders (independent, per Observation 1).
+    std::vector<int> rs(static_cast<std::size_t>(dims));
+    std::iota(rs.begin(), rs.end(), 0);
+    std::vector<int> ag = rs;
+    rng.shuffle(rs);
+    rng.shuffle(ag);
+
+    const auto seed_fn = [&](int npu, std::int64_t off) {
+        return static_cast<DataValue>(npu) * 7919 + off * 13 + 1;
+    };
+    DataPlane dp(machine, kinds, machine.numNpus() * 4);
+    dp.initFullReplicas(seed_fn);
+    dp.runAllReduce(rs, ag);
+    EXPECT_TRUE(dp.verifyAllReduced(seed_fn))
+        << "machine " << total << " NPUs, seed " << GetParam();
+}
+
+} // namespace
+} // namespace themis

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tests of the intra-dimension ordering policies (paper Sec 4.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/intra_dim_policy.hpp"
+
+namespace themis {
+namespace {
+
+QueuedOpView
+view(std::uint64_t seq, TimeNs service, int chunk = 0)
+{
+    return QueuedOpView{seq, service, chunk};
+}
+
+TEST(IntraPolicy, FifoPicksOldestArrival)
+{
+    const std::vector<QueuedOpView> q{view(5, 1.0), view(2, 100.0),
+                                      view(9, 0.5)};
+    EXPECT_EQ(pickNextOp(IntraDimPolicy::Fifo, q), 1u);
+}
+
+TEST(IntraPolicy, ScfPicksSmallestServiceTime)
+{
+    const std::vector<QueuedOpView> q{view(1, 64.0e6), view(2, 4.0e6),
+                                      view(3, 16.0e6)};
+    EXPECT_EQ(pickNextOp(IntraDimPolicy::Scf, q), 1u);
+}
+
+TEST(IntraPolicy, ScfTieBreaksByArrival)
+{
+    const std::vector<QueuedOpView> q{view(7, 4.0e6), view(3, 4.0e6)};
+    EXPECT_EQ(pickNextOp(IntraDimPolicy::Scf, q), 1u);
+}
+
+TEST(IntraPolicy, ScfFinalTieBreakByChunkId)
+{
+    const std::vector<QueuedOpView> q{view(3, 4.0e6, 9),
+                                      view(3, 4.0e6, 2)};
+    EXPECT_EQ(pickNextOp(IntraDimPolicy::Scf, q), 1u);
+}
+
+TEST(IntraPolicy, SingleElementQueue)
+{
+    const std::vector<QueuedOpView> q{view(42, 1.0)};
+    EXPECT_EQ(pickNextOp(IntraDimPolicy::Fifo, q), 0u);
+    EXPECT_EQ(pickNextOp(IntraDimPolicy::Scf, q), 0u);
+}
+
+TEST(IntraPolicy, EmptyQueuePanics)
+{
+    EXPECT_DEATH(pickNextOp(IntraDimPolicy::Fifo, {}), "empty");
+}
+
+TEST(IntraPolicy, Names)
+{
+    EXPECT_EQ(intraDimPolicyName(IntraDimPolicy::Fifo), "FIFO");
+    EXPECT_EQ(intraDimPolicyName(IntraDimPolicy::Scf), "SCF");
+}
+
+} // namespace
+} // namespace themis

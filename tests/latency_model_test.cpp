@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests of the Themis Latency Model (Fig 6): chunk-op predictions,
+ * per-schedule dimension loads, scoped sub-dimension groups.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/latency_model.hpp"
+#include "topology/presets.hpp"
+
+namespace themis {
+namespace {
+
+TEST(LatencyModel, FromTopologyKeepsDims)
+{
+    const auto topo = presets::make3DSwSwSwHetero();
+    const auto model = LatencyModel::fromTopology(topo);
+    EXPECT_EQ(model.numDims(), 3);
+    EXPECT_EQ(model.dimSizes(), (std::vector<int>{16, 8, 8}));
+}
+
+TEST(LatencyModel, TransferTimeMatchesClosedForm)
+{
+    const auto model =
+        LatencyModel::fromTopology(presets::make3DSwSwSwHomo());
+    // dim1: 16 peers at 100 GB/s; RS of 16 MB moves 15 MB -> 150 us.
+    EXPECT_NEAR(model.transferTime(Phase::ReduceScatter, 16.0e6, 0),
+                150.0e3, 1.0);
+}
+
+TEST(LatencyModel, OpTimeAddsFixedDelay)
+{
+    const auto model =
+        LatencyModel::fromTopology(presets::make3DSwSwSwHomo());
+    // dim1 is a 16-wide switch: 4 halving-doubling steps of 700 ns.
+    EXPECT_NEAR(model.opTime(Phase::ReduceScatter, 16.0e6, 0) -
+                    model.transferTime(Phase::ReduceScatter, 16.0e6, 0),
+                4.0 * 700.0, 1e-6);
+}
+
+TEST(LatencyModel, CollectiveFixedDelayDoublesForAllReduce)
+{
+    const auto model =
+        LatencyModel::fromTopology(presets::make3DSwSwSwHomo());
+    EXPECT_DOUBLE_EQ(
+        model.collectiveFixedDelay(CollectiveType::AllReduce, 2),
+        2.0 * model.collectiveFixedDelay(CollectiveType::ReduceScatter,
+                                         2));
+}
+
+TEST(LatencyModel, StageLoadsFollowShrinkingSizes)
+{
+    // Fig 5 micro-example: 4x4, BW(dim1)=2*BW(dim2).
+    DimensionConfig d1, d2;
+    d1.kind = d2.kind = DimKind::Switch;
+    d1.size = d2.size = 4;
+    d1.link_bw_gbps = 384.0; // 48 GB/s
+    d2.link_bw_gbps = 192.0; // 24 GB/s
+    d1.links_per_npu = d2.links_per_npu = 1;
+    d1.step_latency_ns = d2.step_latency_ns = 0.0;
+    const LatencyModel model({d1, d2});
+
+    ChunkSchedule sched;
+    sched.size = 64.0e6;
+    sched.stages = baselineStages(CollectiveType::AllReduce, 2);
+    const auto loads = model.stageLoads(sched.size, sched.stages);
+    ASSERT_EQ(loads.size(), 2u);
+    // dim1: RS 48MB + AG 48MB at 48 GB/s = 2 units (1 unit = 1 ms).
+    EXPECT_NEAR(loads[0], 2.0e6, 1.0);
+    // dim2: RS 12MB + AG 12MB at 24 GB/s = 1 unit.
+    EXPECT_NEAR(loads[1], 1.0e6, 1.0);
+}
+
+TEST(LatencyModel, MirroredAgLoadsEqualRsLoads)
+{
+    const auto model =
+        LatencyModel::fromTopology(presets::make4DRingFcRingSw());
+    const Bytes chunk = 16.0e6;
+    const std::vector<int> rs{2, 0, 3, 1};
+    const std::vector<int> ag{1, 3, 0, 2};
+    const auto rs_only = model.stageLoads(
+        chunk, makeStages(CollectiveType::ReduceScatter, rs, {}));
+    const auto full = model.stageLoads(
+        chunk, makeStages(CollectiveType::AllReduce, rs, ag));
+    for (std::size_t d = 0; d < rs_only.size(); ++d)
+        EXPECT_NEAR(full[d], 2.0 * rs_only[d], 1e-6) << "dim " << d;
+}
+
+TEST(LatencyModel, ScopeSelectsAndResizesDims)
+{
+    const auto topo = presets::make2DSwSw(); // 16 x 64
+    // Transformer-1T style MP scope: all of dim1, 8 of dim2's 64.
+    const auto model = LatencyModel::fromScope(
+        topo, {ScopeDim{0, 16}, ScopeDim{1, 8}});
+    EXPECT_EQ(model.numDims(), 2);
+    EXPECT_EQ(model.dim(0).size, 16);
+    EXPECT_EQ(model.dim(1).size, 8);
+    // Bandwidth/latency stay physical.
+    EXPECT_DOUBLE_EQ(bwToGbps(model.dim(1).bandwidth()), 800.0);
+    EXPECT_DOUBLE_EQ(model.dim(1).step_latency_ns, 1700.0);
+}
+
+TEST(LatencyModel, ScopeSubgroupShrinksFixedDelay)
+{
+    const auto topo = presets::make2DSwSw();
+    const auto full = LatencyModel::fromScope(topo, {ScopeDim{1, 0}});
+    const auto sub = LatencyModel::fromScope(topo, {ScopeDim{1, 8}});
+    // 64-wide halving-doubling: 6 steps; 8-wide: 3 steps.
+    EXPECT_DOUBLE_EQ(
+        full.collectiveFixedDelay(CollectiveType::ReduceScatter, 0),
+        6.0 * 1700.0);
+    EXPECT_DOUBLE_EQ(
+        sub.collectiveFixedDelay(CollectiveType::ReduceScatter, 0),
+        3.0 * 1700.0);
+}
+
+TEST(LatencyModel, ScopeRejectsOversizedGroup)
+{
+    const auto topo = presets::make2DSwSw();
+    EXPECT_THROW(LatencyModel::fromScope(topo, {ScopeDim{0, 32}}),
+                 ConfigError);
+}
+
+TEST(ChunkSchedule, EnteringSizeWalksStages)
+{
+    ChunkSchedule sched;
+    sched.size = 64.0e6;
+    sched.stages = baselineStages(CollectiveType::AllReduce, 2);
+    const std::vector<int> sizes{4, 4};
+    EXPECT_DOUBLE_EQ(enteringSize(sched, sizes, 0), 64.0e6);
+    EXPECT_DOUBLE_EQ(enteringSize(sched, sizes, 1), 16.0e6);
+    EXPECT_DOUBLE_EQ(enteringSize(sched, sizes, 2), 4.0e6);  // AG dim2
+    EXPECT_DOUBLE_EQ(enteringSize(sched, sizes, 3), 16.0e6); // AG dim1
+    EXPECT_DOUBLE_EQ(enteringSize(sched, sizes, 4), 64.0e6); // done
+}
+
+TEST(ChunkSchedule, BaselineStagesShape)
+{
+    const auto ar = baselineStages(CollectiveType::AllReduce, 3);
+    ASSERT_EQ(ar.size(), 6u);
+    EXPECT_EQ(ar[0], (StageAssignment{Phase::ReduceScatter, 0}));
+    EXPECT_EQ(ar[2], (StageAssignment{Phase::ReduceScatter, 2}));
+    EXPECT_EQ(ar[3], (StageAssignment{Phase::AllGather, 2}));
+    EXPECT_EQ(ar[5], (StageAssignment{Phase::AllGather, 0}));
+
+    const auto ag = baselineStages(CollectiveType::AllGather, 3);
+    ASSERT_EQ(ag.size(), 3u);
+    EXPECT_EQ(ag[0].dim, 2); // AG starts at the outermost dimension
+}
+
+TEST(ChunkSchedule, MakeStagesRejectsNonPermutation)
+{
+    EXPECT_DEATH(
+        makeStages(CollectiveType::ReduceScatter, {0, 0}, {}),
+        "permutation");
+}
+
+} // namespace
+} // namespace themis

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests of the NPU coordinate algebra underlying the data plane.
+ */
+
+#include <gtest/gtest.h>
+
+#include "collective/dataplane/logical_machine.hpp"
+#include "common/error.hpp"
+
+namespace themis {
+namespace {
+
+TEST(LogicalMachine, CountsAndRoundTrip)
+{
+    LogicalMachine m({4, 3, 2});
+    EXPECT_EQ(m.numNpus(), 24);
+    EXPECT_EQ(m.numDims(), 3);
+    for (int npu = 0; npu < m.numNpus(); ++npu)
+        EXPECT_EQ(m.npuAt(m.coordsOf(npu)), npu);
+}
+
+TEST(LogicalMachine, Dim1IsInnermost)
+{
+    LogicalMachine m({4, 2});
+    EXPECT_EQ(m.coordsOf(0), (std::vector<int>{0, 0}));
+    EXPECT_EQ(m.coordsOf(1), (std::vector<int>{1, 0}));
+    EXPECT_EQ(m.coordsOf(4), (std::vector<int>{0, 1}));
+    EXPECT_EQ(m.coordsOf(7), (std::vector<int>{3, 1}));
+}
+
+TEST(LogicalMachine, PeerGroupOrderedByCoordinate)
+{
+    LogicalMachine m({4, 2});
+    EXPECT_EQ(m.peerGroup(5, 0), (std::vector<int>{4, 5, 6, 7}));
+    EXPECT_EQ(m.peerGroup(5, 1), (std::vector<int>{1, 5}));
+    EXPECT_EQ(m.positionInGroup(5, 0), 1);
+    EXPECT_EQ(m.positionInGroup(5, 1), 1);
+}
+
+TEST(LogicalMachine, GroupsPartitionTheMachine)
+{
+    LogicalMachine m({4, 3, 2});
+    for (int d = 0; d < m.numDims(); ++d) {
+        const auto groups = m.allGroups(d);
+        EXPECT_EQ(static_cast<int>(groups.size()),
+                  m.numNpus() / m.dimSize(d));
+        std::vector<int> seen(static_cast<std::size_t>(m.numNpus()), 0);
+        for (const auto& g : groups) {
+            EXPECT_EQ(static_cast<int>(g.size()), m.dimSize(d));
+            for (int npu : g)
+                ++seen[static_cast<std::size_t>(npu)];
+        }
+        for (int c : seen)
+            EXPECT_EQ(c, 1);
+    }
+}
+
+TEST(LogicalMachine, MembersOfAGroupShareOtherCoords)
+{
+    LogicalMachine m({2, 3, 4});
+    for (int npu = 0; npu < m.numNpus(); ++npu) {
+        for (int d = 0; d < m.numDims(); ++d) {
+            const auto base = m.coordsOf(npu);
+            for (int peer : m.peerGroup(npu, d)) {
+                const auto pc = m.coordsOf(peer);
+                for (int e = 0; e < m.numDims(); ++e) {
+                    if (e != d) {
+                        EXPECT_EQ(pc[static_cast<std::size_t>(e)],
+                                  base[static_cast<std::size_t>(e)]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(LogicalMachine, RejectsBadConfigs)
+{
+    EXPECT_THROW(LogicalMachine({}), ConfigError);
+    EXPECT_THROW(LogicalMachine({4, 1}), ConfigError);
+}
+
+} // namespace
+} // namespace themis

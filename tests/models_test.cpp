@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Model-zoo sanity tests: the four paper workloads carry parameter
+ * counts, FLOPs and communication volumes consistent with their
+ * published architectures.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "models/model_zoo.hpp"
+
+namespace themis::models {
+namespace {
+
+double
+totalParamsFromGrads(const workload::ModelGraph& g)
+{
+    // FP16 gradients: 2 bytes per parameter.
+    return g.totalDpGradBytes() / 2.0;
+}
+
+TEST(ResNet152, ParameterCountMatchesArchitecture)
+{
+    const auto g = makeResNet152();
+    const double params = totalParamsFromGrads(g);
+    EXPECT_GT(params, 58.0e6);
+    EXPECT_LT(params, 62.0e6);
+}
+
+TEST(ResNet152, ForwardFlopsPerImage)
+{
+    const auto g = makeResNet152();
+    const double flops_per_image =
+        g.totalFwdFlops() / g.minibatch_per_npu;
+    // ~11.6 GMACs -> ~23 GFLOPs at 2 FLOPs/MAC.
+    EXPECT_GT(flops_per_image, 20.0e9);
+    EXPECT_LT(flops_per_image, 27.0e9);
+}
+
+TEST(ResNet152, LayerStructure)
+{
+    const auto g = makeResNet152();
+    // conv1 + (3+8+36+3) blocks + fc = 52 layers.
+    EXPECT_EQ(g.layers.size(), 52u);
+    EXPECT_EQ(g.parallel.mpDegree(), 1);
+    EXPECT_EQ(g.minibatch_per_npu, 32);
+    for (const auto& l : g.layers) {
+        EXPECT_GT(l.dp_grad_bytes, 0.0) << l.name;
+        EXPECT_TRUE(l.fwd_comm.empty()) << l.name;
+    }
+}
+
+TEST(Gnmt, ParameterCountInPublishedRange)
+{
+    const auto g = makeGNMT();
+    const double params = totalParamsFromGrads(g);
+    EXPECT_GT(params, 180.0e6);
+    EXPECT_LT(params, 300.0e6);
+    EXPECT_EQ(g.minibatch_per_npu, 128);
+}
+
+TEST(Gnmt, BackwardIsTwiceForward)
+{
+    const auto g = makeGNMT();
+    EXPECT_NEAR(g.totalBwdFlops(), 2.0 * g.totalFwdFlops(),
+                1e-6 * g.totalBwdFlops());
+}
+
+TEST(Dlrm, AllToAllVolumeMatchesConfig)
+{
+    const DlrmConfig cfg;
+    const auto g = makeDLRM(cfg);
+    // mb * tables * dim * 2B = 512*26*128*2 = 3.4 MB.
+    const Bytes expect = 512.0 * 26.0 * 128.0 * 2.0;
+    bool found_fwd = false, found_bwd = false;
+    for (const auto& l : g.layers) {
+        for (const auto& op : l.fwd_comm) {
+            if (op.type == CollectiveType::AllToAll) {
+                EXPECT_DOUBLE_EQ(op.size, expect);
+                EXPECT_FALSE(op.blocking);
+                EXPECT_EQ(op.domain, workload::CommDomain::World);
+                found_fwd = true;
+            }
+        }
+        for (const auto& op : l.bwd_comm) {
+            if (op.type == CollectiveType::AllToAll) {
+                EXPECT_DOUBLE_EQ(op.size, expect);
+                found_bwd = true;
+            }
+        }
+    }
+    EXPECT_TRUE(found_fwd);
+    EXPECT_TRUE(found_bwd);
+}
+
+TEST(Dlrm, TopMlpWaitsForEmbeddings)
+{
+    const auto g = makeDLRM();
+    int barriers = 0;
+    for (const auto& l : g.layers)
+        barriers += l.wait_pending_before_fwd ? 1 : 0;
+    EXPECT_EQ(barriers, 1);
+    // The barrier must come after the bottom MLP.
+    EXPECT_TRUE(g.layers[4].wait_pending_before_fwd)
+        << "embedding + 3 bottom-MLP layers precede the barrier";
+}
+
+TEST(Transformer1T, ParameterCountIsOneTrillion)
+{
+    const Transformer1TConfig cfg;
+    // 12 * h^2 * L.
+    const double block_params =
+        12.0 * cfg.hidden * static_cast<double>(cfg.hidden) *
+        cfg.num_layers;
+    EXPECT_GT(block_params, 0.99e12);
+    EXPECT_LT(block_params, 1.02e12);
+
+    // The graph carries the MP-sharded slice per NPU.
+    const auto g = makeTransformer1T(cfg);
+    const double shard = totalParamsFromGrads(g);
+    EXPECT_NEAR(shard * cfg.mp_degree, block_params, 0.05 * block_params);
+}
+
+TEST(Transformer1T, UsesZeroStyleDpAndBlockingMpComm)
+{
+    const auto g = makeTransformer1T();
+    EXPECT_EQ(g.parallel.mpDegree(), 128);
+    int blocking_ars = 0;
+    for (const auto& l : g.layers) {
+        if (l.dp_grad_bytes > 0.0) {
+            EXPECT_TRUE(l.zero_style_dp) << l.name;
+        }
+        for (const auto& op : l.fwd_comm) {
+            EXPECT_TRUE(op.blocking) << l.name;
+            EXPECT_EQ(op.domain, workload::CommDomain::ModelParallel);
+            ++blocking_ars;
+        }
+    }
+    // One activation All-Reduce per block (+1 head all-gather).
+    EXPECT_EQ(blocking_ars, 32 + 1);
+}
+
+TEST(Transformer1T, RecomputeChargedToForward)
+{
+    const auto g = makeTransformer1T();
+    double recompute = 0.0;
+    for (const auto& l : g.layers)
+        recompute += l.recompute_flops;
+    EXPECT_GT(recompute, 0.0);
+}
+
+TEST(Zoo, ByNameRoundTripsAndRejectsUnknown)
+{
+    for (const auto& name : paperWorkloads())
+        EXPECT_EQ(byName(name).name, name);
+    EXPECT_THROW(byName("AlexNet"), ConfigError);
+}
+
+TEST(Zoo, MinibatchesMatchPaper)
+{
+    EXPECT_EQ(byName("ResNet-152").minibatch_per_npu, 32);
+    EXPECT_EQ(byName("GNMT").minibatch_per_npu, 128);
+    EXPECT_EQ(byName("DLRM").minibatch_per_npu, 512);
+    EXPECT_EQ(byName("Transformer-1T").minibatch_per_npu, 16);
+}
+
+TEST(Zoo, DescribeMentionsName)
+{
+    for (const auto& name : paperWorkloads()) {
+        const auto g = byName(name);
+        EXPECT_NE(g.describe().find(name), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace themis::models

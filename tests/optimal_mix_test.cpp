@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests of the optimal static-mix oracle: LP sanity (bounds, simplex
+ * constraints), agreement with hand-solvable cases, and the key
+ * cross-check that Themis's greedy tracker lands within a few percent
+ * of the optimum on the paper's platforms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/optimal_mix.hpp"
+#include "core/themis_scheduler.hpp"
+#include "topology/presets.hpp"
+#include "topology/provisioning.hpp"
+
+namespace themis {
+namespace {
+
+LatencyModel
+fig5Model()
+{
+    DimensionConfig d1, d2;
+    d1.kind = d2.kind = DimKind::Switch;
+    d1.size = d2.size = 4;
+    d1.link_bw_gbps = 384.0;
+    d2.link_bw_gbps = 192.0;
+    d1.links_per_npu = d2.links_per_npu = 1;
+    d1.step_latency_ns = d2.step_latency_ns = 0.0;
+    return LatencyModel({d1, d2});
+}
+
+TEST(OptimalMix, MixIsAProbabilityDistribution)
+{
+    const auto model =
+        LatencyModel::fromTopology(presets::make3DSwSwSwHetero());
+    const auto r = optimalStaticMix(model, CollectiveType::AllReduce);
+    EXPECT_EQ(r.orders.size(), 6u); // 3! permutations
+    double sum = 0.0;
+    for (double x : r.mix) {
+        EXPECT_GE(x, 0.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(OptimalMix, BeatsEveryPureOrder)
+{
+    const auto model =
+        LatencyModel::fromTopology(presets::make3DSwSwSwHomo());
+    const auto r = optimalStaticMix(model, CollectiveType::AllReduce);
+    // The mixed bottleneck load can be no worse than the best single
+    // permutation's bottleneck.
+    for (const auto& order : r.orders) {
+        std::vector<int> rev(order.rbegin(), order.rend());
+        const auto loads = model.stageLoads(
+            1.0, makeStages(CollectiveType::AllReduce, order, rev));
+        const double pure_max =
+            *std::max_element(loads.begin(), loads.end());
+        EXPECT_LE(r.balanced_load, pure_max * (1.0 + 1e-6));
+    }
+}
+
+TEST(OptimalMix, DualGapIsSmall)
+{
+    for (const auto& topo : presets::nextGenTopologies()) {
+        const auto model = LatencyModel::fromTopology(topo);
+        const auto r =
+            optimalStaticMix(model, CollectiveType::AllReduce);
+        EXPECT_GT(r.dual_bound, 0.0) << topo.name();
+        EXPECT_LE(r.dual_bound, r.balanced_load * (1.0 + 1e-9))
+            << topo.name();
+        EXPECT_LT((r.balanced_load - r.dual_bound) / r.balanced_load,
+                  0.05)
+            << topo.name();
+    }
+}
+
+TEST(OptimalMix, PooledBandwidthLowerBound)
+{
+    // No mix can beat spreading the total wire work over the summed
+    // bandwidth; with order-dependent volumes the optimum is above.
+    const auto model =
+        LatencyModel::fromTopology(presets::make3DSwSwSwHomo());
+    const auto r = optimalStaticMix(model, CollectiveType::AllReduce);
+    Bandwidth total_bw = 0.0;
+    for (const auto& d : model.dims())
+        total_bw += d.bandwidth();
+    // One byte of AR moves >= 2*(1 - 1/P_total) bytes in total.
+    const double pooled = 2.0 * (1.0 - 1.0 / 1024.0) / total_bw;
+    EXPECT_GE(r.balanced_load, pooled * 0.999);
+}
+
+TEST(OptimalMix, Fig5MatchesHandSolution)
+{
+    // 4x4, BW 2:1. Orders: (d1,d2) loads (2a/48, a/2/24)=(a/24, a/48);
+    // with a = 3/4 per RS+AG byte... solved directly: the optimum
+    // equalizes both dims. Verify balance instead of the closed form.
+    const auto r =
+        optimalStaticMix(fig5Model(), CollectiveType::AllReduce);
+    ASSERT_EQ(r.per_dim_load.size(), 2u);
+    EXPECT_NEAR(r.per_dim_load[0], r.per_dim_load[1],
+                0.02 * r.balanced_load);
+}
+
+TEST(OptimalMix, UnderProvisionedCannotBalance)
+{
+    // Sec 6.3: BW(dim1) > P1*BW(dim2) — every schedule loads dim2
+    // relatively more; the optimal mix stays imbalanced.
+    DimensionConfig d1, d2;
+    d1.kind = d2.kind = DimKind::Switch;
+    d1.size = d2.size = 4;
+    d1.link_bw_gbps = 1600.0;
+    d2.link_bw_gbps = 100.0; // 16x gap > P1=4
+    d1.links_per_npu = d2.links_per_npu = 1;
+    d1.step_latency_ns = d2.step_latency_ns = 0.0;
+    const LatencyModel model({d1, d2});
+    const auto r = optimalStaticMix(model, CollectiveType::AllReduce);
+    EXPECT_GT(r.per_dim_load[1], 2.0 * r.per_dim_load[0]);
+    // And the baseline pure order is already the best choice.
+    EXPECT_GT(r.mix[0], 0.95);
+}
+
+TEST(OptimalMix, SymmetricDimsGetSymmetricLoads)
+{
+    // 3D homo: dims 2 and 3 are identical; the optimum must load them
+    // equally.
+    const auto model =
+        LatencyModel::fromTopology(presets::make3DSwSwSwHomo());
+    const auto r = optimalStaticMix(model, CollectiveType::AllReduce);
+    EXPECT_NEAR(r.per_dim_load[1], r.per_dim_load[2],
+                0.03 * r.balanced_load);
+}
+
+TEST(OptimalMix, ThemisGreedyIsNearOptimal)
+{
+    // The headline cross-check: Algorithm 1's greedy tracker ends
+    // within ~10% of the LP-optimal bottleneck on every platform.
+    for (const auto& topo : presets::nextGenTopologies()) {
+        const auto model = LatencyModel::fromTopology(topo);
+        const auto opt =
+            optimalStaticMix(model, CollectiveType::AllReduce);
+
+        ThemisConfig cfg;
+        cfg.init_loads_with_fixed_delay = false; // compare N*B only
+        ThemisScheduler sched(model, cfg);
+        const Bytes size = 1.0e9;
+        sched.scheduleCollective(CollectiveType::AllReduce, size, 64);
+        const auto& loads = sched.trackedLoads();
+        // Tracker accounts the RS pass only; the mirrored AG pass
+        // doubles every dimension's load.
+        const double themis_max =
+            2.0 * *std::max_element(loads.begin(), loads.end());
+        EXPECT_LE(themis_max, opt.balanced_load * size * 1.10)
+            << topo.name();
+    }
+}
+
+TEST(OptimalMix, ReduceScatterOnlyAlsoSolvable)
+{
+    const auto model =
+        LatencyModel::fromTopology(presets::make4DRingFcRingSw());
+    const auto r =
+        optimalStaticMix(model, CollectiveType::ReduceScatter);
+    EXPECT_EQ(r.orders.size(), 24u); // 4!
+    EXPECT_GT(r.balanced_load, 0.0);
+    EXPECT_LT((r.balanced_load - r.dual_bound) / r.balanced_load, 0.05);
+}
+
+} // namespace
+} // namespace themis

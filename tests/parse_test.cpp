@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests of the textual topology parser (CLI/config front door).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "topology/parse.hpp"
+#include "topology/presets.hpp"
+
+namespace themis {
+namespace {
+
+TEST(Parse, MinimalDimension)
+{
+    const auto t = parseTopology("t", "SW:8:400");
+    ASSERT_EQ(t.numDims(), 1);
+    EXPECT_EQ(t.dim(0).kind, DimKind::Switch);
+    EXPECT_EQ(t.dim(0).size, 8);
+    EXPECT_DOUBLE_EQ(t.dim(0).link_bw_gbps, 400.0);
+    EXPECT_EQ(t.dim(0).links_per_npu, 1);
+    EXPECT_DOUBLE_EQ(t.dim(0).step_latency_ns, 700.0);
+}
+
+TEST(Parse, FullPaperTopologyRoundTrips)
+{
+    const std::string spec =
+        "Ring:4:1500x2:20,FC:8:200x7:700,Ring:4:200x6:700,"
+        "SW:8:800:1700";
+    const auto t = parseTopology("4D", spec);
+    const auto ref = presets::make4DRingFcRingSw();
+    ASSERT_EQ(t.numDims(), ref.numDims());
+    for (int d = 0; d < t.numDims(); ++d) {
+        EXPECT_EQ(t.dim(d).kind, ref.dim(d).kind) << d;
+        EXPECT_EQ(t.dim(d).size, ref.dim(d).size) << d;
+        EXPECT_DOUBLE_EQ(t.dim(d).bandwidth(), ref.dim(d).bandwidth())
+            << d;
+        EXPECT_DOUBLE_EQ(t.dim(d).step_latency_ns,
+                         ref.dim(d).step_latency_ns)
+            << d;
+    }
+    // Spec -> Topology -> spec is stable.
+    EXPECT_EQ(topologySpec(t), spec);
+}
+
+TEST(Parse, OffloadAttribute)
+{
+    const auto t = parseTopology("t", "SW:6:400:1700:offload");
+    EXPECT_TRUE(t.dim(0).in_network_offload);
+    EXPECT_EQ(t.dim(0).size, 6); // non-power-of-two OK with offload
+
+    const auto t2 = parseTopology("t2", "SW:8:400:offload");
+    EXPECT_TRUE(t2.dim(0).in_network_offload);
+    EXPECT_DOUBLE_EQ(t2.dim(0).step_latency_ns, 700.0); // default
+}
+
+TEST(Parse, CaseInsensitiveKinds)
+{
+    EXPECT_EQ(parseTopology("t", "ring:4:100x2").dim(0).kind,
+              DimKind::Ring);
+    EXPECT_EQ(parseTopology("t", "fc:4:100x3").dim(0).kind,
+              DimKind::FullyConnected);
+}
+
+TEST(Parse, RejectsMalformedSpecs)
+{
+    EXPECT_THROW(parseTopology("t", ""), ConfigError);
+    EXPECT_THROW(parseTopology("t", "SW:8"), ConfigError);
+    EXPECT_THROW(parseTopology("t", "Mesh:8:100"), ConfigError);
+    EXPECT_THROW(parseTopology("t", "SW:abc:100"), ConfigError);
+    EXPECT_THROW(parseTopology("t", "SW:8:100x"), ConfigError);
+    EXPECT_THROW(parseTopology("t", "SW:8:100:700:bogus"),
+                 ConfigError);
+    EXPECT_THROW(parseTopology("t", "SW:8:100:700:offload:extra"),
+                 ConfigError);
+    // Validation errors surface too: 6-wide switch without offload.
+    EXPECT_THROW(parseTopology("t", "SW:6:100"), ConfigError);
+}
+
+TEST(Parse, EveryPresetSpecRoundTrips)
+{
+    for (const auto& topo : presets::allTopologies()) {
+        const auto spec = topologySpec(topo);
+        const auto parsed = parseTopology(topo.name(), spec);
+        EXPECT_EQ(parsed.numDims(), topo.numDims()) << topo.name();
+        EXPECT_DOUBLE_EQ(parsed.totalBandwidth(),
+                         topo.totalBandwidth())
+            << topo.name();
+        EXPECT_EQ(topologySpec(parsed), spec) << topo.name();
+    }
+}
+
+} // namespace
+} // namespace themis

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Size-algebra tests (paper Sec 2.1/2.3): how chunk sizes and wire
+ * volumes evolve through RS/AG/A2A stages.
+ */
+
+#include <gtest/gtest.h>
+
+#include "collective/phase.hpp"
+
+namespace themis {
+namespace {
+
+TEST(Phase, ReduceScatterShrinksByPeers)
+{
+    EXPECT_DOUBLE_EQ(sizeAfterPhase(Phase::ReduceScatter, 64.0e6, 4),
+                     16.0e6);
+}
+
+TEST(Phase, AllGatherGrowsByPeers)
+{
+    EXPECT_DOUBLE_EQ(sizeAfterPhase(Phase::AllGather, 4.0e6, 4),
+                     16.0e6);
+}
+
+TEST(Phase, AllToAllKeepsSize)
+{
+    EXPECT_DOUBLE_EQ(sizeAfterPhase(Phase::AllToAll, 5.0e6, 8), 5.0e6);
+}
+
+TEST(Phase, RsThenAgRestoresSize)
+{
+    const Bytes s = 123456.0;
+    const Bytes shard = sizeAfterPhase(Phase::ReduceScatter, s, 16);
+    EXPECT_DOUBLE_EQ(sizeAfterPhase(Phase::AllGather, shard, 16), s);
+}
+
+TEST(Phase, WireBytesRsIsAlphaFraction)
+{
+    // Paper footnote 7: ring RS moves (P-1)/P of the resident chunk.
+    EXPECT_DOUBLE_EQ(wireBytes(Phase::ReduceScatter, 4.0e6, 8),
+                     4.0e6 * 7.0 / 8.0);
+}
+
+TEST(Phase, WireBytesAgCountsShardTimesPeersMinusOne)
+{
+    // Fig 5: a 4MB AG on a 4-wide dimension moves 12MB per NPU —
+    // the same volume as the mirrored 16MB RS stage.
+    EXPECT_DOUBLE_EQ(wireBytes(Phase::AllGather, 4.0e6, 4), 12.0e6);
+    EXPECT_DOUBLE_EQ(wireBytes(Phase::ReduceScatter, 16.0e6, 4),
+                     12.0e6);
+}
+
+TEST(Phase, RsAndAgMirrorVolumes)
+{
+    // For any entering size and peer count, the AG stage that mirrors
+    // an RS stage (entering the RS output size) moves equal bytes.
+    for (int p : {2, 3, 4, 8, 16, 64}) {
+        const Bytes s = 1.0e8;
+        const Bytes shard = sizeAfterPhase(Phase::ReduceScatter, s, p);
+        EXPECT_DOUBLE_EQ(wireBytes(Phase::AllGather, shard, p),
+                         wireBytes(Phase::ReduceScatter, s, p))
+            << "p=" << p;
+    }
+}
+
+TEST(Phase, StagesForTypeDoublesForAllReduce)
+{
+    EXPECT_EQ(stagesForType(CollectiveType::AllReduce, 3), 6);
+    EXPECT_EQ(stagesForType(CollectiveType::ReduceScatter, 3), 3);
+    EXPECT_EQ(stagesForType(CollectiveType::AllGather, 4), 4);
+    EXPECT_EQ(stagesForType(CollectiveType::AllToAll, 2), 2);
+}
+
+TEST(Phase, Names)
+{
+    EXPECT_EQ(phaseName(Phase::ReduceScatter), "RS");
+    EXPECT_EQ(phaseName(Phase::AllGather), "AG");
+    EXPECT_EQ(phaseName(Phase::AllToAll), "A2A");
+    EXPECT_EQ(collectiveTypeName(CollectiveType::AllReduce),
+              "All-Reduce");
+}
+
+} // namespace
+} // namespace themis

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests of the Sec 6.3 bandwidth-provisioning analysis and the
+ * closed-form baseline steady-state model (Sec 3.3), including the
+ * paper's worked numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "topology/presets.hpp"
+#include "topology/provisioning.hpp"
+
+namespace themis {
+namespace {
+
+DimensionConfig
+sw(int size, double aggr_gbps, TimeNs lat = 700.0)
+{
+    DimensionConfig d;
+    d.kind = DimKind::Switch;
+    d.size = size;
+    d.link_bw_gbps = aggr_gbps;
+    d.links_per_npu = 1;
+    d.step_latency_ns = lat;
+    return d;
+}
+
+TEST(Provisioning, JustEnoughWhenRatioIsOne)
+{
+    // BW(dim1) = P1 * BW(dim2): 4x shrink, 4x bandwidth ratio.
+    Topology t("je", {sw(4, 400.0), sw(8, 100.0)});
+    const auto p = classifyPair(t, 0, 1);
+    EXPECT_EQ(p.scenario, ProvisionScenario::JustEnough);
+    EXPECT_NEAR(p.ratio, 1.0, 1e-12);
+}
+
+TEST(Provisioning, OverProvisionedSecondDim)
+{
+    // The Fig 5 example: BW(dim1) = 2*BW(dim2) with P1 = 4; dim2 has
+    // twice the bandwidth the baseline can use.
+    Topology t("over", {sw(4, 400.0), sw(4, 200.0)});
+    const auto p = classifyPair(t, 0, 1);
+    EXPECT_EQ(p.scenario, ProvisionScenario::OverProvisioned);
+    EXPECT_NEAR(p.ratio, 0.5, 1e-12);
+}
+
+TEST(Provisioning, UnderProvisionedIsProhibited)
+{
+    Topology t("under", {sw(4, 1600.0), sw(4, 100.0)});
+    const auto p = classifyPair(t, 0, 1);
+    EXPECT_EQ(p.scenario, ProvisionScenario::UnderProvisioned);
+    EXPECT_FALSE(fullUtilizationPossible(t));
+}
+
+TEST(Provisioning, NonAdjacentPairUsesProductOfSizes)
+{
+    Topology t("3d", {sw(4, 800.0), sw(4, 200.0), sw(4, 50.0)});
+    // dim1 vs dim3: shrink = 4*4 = 16; 800 == 16*50 -> just enough.
+    const auto p = classifyPair(t, 0, 2);
+    EXPECT_EQ(p.scenario, ProvisionScenario::JustEnough);
+}
+
+TEST(Provisioning, AllPairsCount)
+{
+    const auto t = presets::make4DRingSwSwSw();
+    EXPECT_EQ(classifyAllPairs(t).size(), 6u); // C(4,2)
+}
+
+TEST(Provisioning, NextGenPlatformsAreNotUnderProvisioned)
+{
+    // The paper's Table 2 platforms are all points Themis can drive;
+    // none may contain a prohibited (under-provisioned) pair.
+    for (const auto& t : presets::nextGenTopologies())
+        EXPECT_TRUE(fullUtilizationPossible(t)) << t.name();
+}
+
+TEST(Provisioning, BaselineAnalysisHomoMatchesPaperMath)
+{
+    // Sec 6.1: on 3D-SW_SW_SW_homo the baseline needs
+    // BW(dim1) = 16*BW(dim2) = 128*BW(dim3); with 800 Gb/s everywhere
+    // dim2 wastes 750 Gb/s and dim3 793.75 Gb/s.
+    const auto t = presets::make3DSwSwSwHomo();
+    const auto a = analyzeBaseline(t);
+    EXPECT_EQ(a.bottleneck_dim, 0);
+    // Utilized bandwidth fractions: dim2 runs at 50/800, dim3 at
+    // 6.25/800 (both scaled by the (P-1)/P volume factors).
+    const double u2 = a.dim_utilization[1];
+    const double u3 = a.dim_utilization[2];
+    EXPECT_NEAR(u2, (50.0 / 800.0) * (7.0 / 8.0) / (15.0 / 16.0), 1e-9);
+    EXPECT_NEAR(u3, (6.25 / 800.0) * (7.0 / 8.0) / (15.0 / 16.0), 1e-9);
+    // Weighted utilization ~= 35% (paper quotes 35.1% as the minimum
+    // baseline utilization across platforms).
+    EXPECT_NEAR(a.weighted_utilization, 0.355, 0.01);
+}
+
+TEST(Provisioning, BaselineAnalysisCurrentPlatformIsNearIdeal)
+{
+    // Sec 3.2: the current 2D platform reaches ~97.7% utilization with
+    // baseline scheduling thanks to the 12x bandwidth gap.
+    const auto a = analyzeBaseline(presets::makeCurrent2D());
+    EXPECT_GT(a.weighted_utilization, 0.95);
+}
+
+TEST(Provisioning, EfficientBandwidthsFollowSizeProducts)
+{
+    const auto t = presets::make3DSwSwSwHomo();
+    const auto bws = baselineEfficientBandwidths(t);
+    ASSERT_EQ(bws.size(), 3u);
+    EXPECT_DOUBLE_EQ(bwToGbps(bws[0]), 800.0);
+    EXPECT_DOUBLE_EQ(bwToGbps(bws[1]), 50.0);   // 800/16
+    EXPECT_DOUBLE_EQ(bwToGbps(bws[2]), 6.25);   // 800/128
+}
+
+TEST(Provisioning, ScenarioNames)
+{
+    EXPECT_EQ(provisionScenarioName(ProvisionScenario::JustEnough),
+              "Just-Enough");
+    EXPECT_EQ(provisionScenarioName(ProvisionScenario::OverProvisioned),
+              "Over-Provisioned");
+    EXPECT_EQ(
+        provisionScenarioName(ProvisionScenario::UnderProvisioned),
+        "Under-Provisioned");
+}
+
+} // namespace
+} // namespace themis

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the processor-sharing channel: serialization delay,
+ * fair sharing, aborts and statistics accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "sim/shared_channel.hpp"
+
+namespace themis::sim {
+namespace {
+
+TEST(SharedChannel, SingleTransferTakesBytesOverBandwidth)
+{
+    EventQueue q;
+    SharedChannel ch(q, 100.0); // 100 GB/s
+    TimeNs done_at = -1.0;
+    ch.begin(1.0e6, [&] { done_at = q.now(); }); // 1 MB
+    q.run();
+    EXPECT_DOUBLE_EQ(done_at, 1.0e4); // 10 us
+}
+
+TEST(SharedChannel, ZeroByteTransferCompletesImmediately)
+{
+    EventQueue q;
+    SharedChannel ch(q, 10.0);
+    bool done = false;
+    ch.begin(0.0, [&] { done = true; });
+    q.run();
+    EXPECT_TRUE(done);
+    EXPECT_DOUBLE_EQ(q.now(), 0.0);
+}
+
+TEST(SharedChannel, TwoEqualTransfersShareBandwidth)
+{
+    EventQueue q;
+    SharedChannel ch(q, 100.0);
+    TimeNs t1 = -1.0, t2 = -1.0;
+    ch.begin(1.0e6, [&] { t1 = q.now(); });
+    ch.begin(1.0e6, [&] { t2 = q.now(); });
+    q.run();
+    // Each gets 50 GB/s: both finish at 20 us.
+    EXPECT_DOUBLE_EQ(t1, 2.0e4);
+    EXPECT_DOUBLE_EQ(t2, 2.0e4);
+}
+
+TEST(SharedChannel, ShorterTransferFinishesFirstThenRateRises)
+{
+    EventQueue q;
+    SharedChannel ch(q, 100.0);
+    TimeNs t_small = -1.0, t_big = -1.0;
+    ch.begin(2.0e6, [&] { t_big = q.now(); });
+    ch.begin(1.0e6, [&] { t_small = q.now(); });
+    q.run();
+    // Shared until the small one drains: it needs 1MB at 50 GB/s ->
+    // 20 us. The big one then has 1MB left at full rate -> +10 us.
+    EXPECT_DOUBLE_EQ(t_small, 2.0e4);
+    EXPECT_DOUBLE_EQ(t_big, 3.0e4);
+}
+
+TEST(SharedChannel, LateArrivalSharesRemainder)
+{
+    EventQueue q;
+    SharedChannel ch(q, 100.0);
+    TimeNs t1 = -1.0, t2 = -1.0;
+    ch.begin(2.0e6, [&] { t1 = q.now(); });
+    q.schedule(1.0e4, [&] { ch.begin(0.5e6, [&] { t2 = q.now(); }); });
+    q.run();
+    // First runs alone for 10 us (1MB done). Then both share: second
+    // needs 0.5MB at 50 GB/s = 10 us -> t2 = 20 us; first finishes its
+    // last 0.5MB partly shared, partly alone:
+    //   at t2 it has 1MB - 0.5MB = 0.5MB left, full rate -> 25 us.
+    EXPECT_DOUBLE_EQ(t2, 2.0e4);
+    EXPECT_DOUBLE_EQ(t1, 2.5e4);
+}
+
+TEST(SharedChannel, AbortFreesBandwidth)
+{
+    EventQueue q;
+    SharedChannel ch(q, 100.0);
+    TimeNs t1 = -1.0;
+    bool aborted_fired = false;
+    ch.begin(1.0e6, [&] { t1 = q.now(); });
+    const auto id = ch.begin(1.0e6, [&] { aborted_fired = true; });
+    q.schedule(1.0e4, [&] { ch.abort(id); });
+    q.run();
+    EXPECT_FALSE(aborted_fired);
+    // Shared for 10 us (0.5MB done), then full rate for 0.5MB (5 us).
+    EXPECT_DOUBLE_EQ(t1, 1.5e4);
+}
+
+TEST(SharedChannel, CallbackCanStartNextTransfer)
+{
+    EventQueue q;
+    SharedChannel ch(q, 100.0);
+    TimeNs t2 = -1.0;
+    ch.begin(1.0e6, [&] {
+        ch.begin(1.0e6, [&] { t2 = q.now(); });
+    });
+    q.run();
+    EXPECT_DOUBLE_EQ(t2, 2.0e4);
+}
+
+TEST(SharedChannel, ProgressedBytesAccumulate)
+{
+    EventQueue q;
+    SharedChannel ch(q, 100.0);
+    ch.begin(1.0e6, [] {});
+    ch.begin(2.0e6, [] {});
+    q.run();
+    ch.sync();
+    EXPECT_NEAR(ch.progressedBytes(), 3.0e6, 1.0);
+}
+
+TEST(SharedChannel, PartialProgressVisibleAfterSync)
+{
+    EventQueue q;
+    SharedChannel ch(q, 100.0);
+    ch.begin(2.0e6, [] {});
+    q.runUntil(1.0e4); // halfway
+    ch.sync();
+    EXPECT_NEAR(ch.progressedBytes(), 1.0e6, 1.0);
+}
+
+TEST(SharedChannel, BusyTimeExcludesIdleGaps)
+{
+    EventQueue q;
+    SharedChannel ch(q, 100.0);
+    ch.begin(1.0e6, [] {});              // busy [0, 10us]
+    q.schedule(5.0e4, [&] {              // idle [10us, 50us]
+        ch.begin(1.0e6, [] {});          // busy [50us, 60us]
+    });
+    q.run();
+    ch.sync();
+    EXPECT_NEAR(ch.busyTime(), 2.0e4, 1.0);
+}
+
+TEST(SharedChannel, SimultaneousCompletions)
+{
+    EventQueue q;
+    SharedChannel ch(q, 100.0);
+    int done = 0;
+    for (int i = 0; i < 4; ++i)
+        ch.begin(1.0e6, [&] { ++done; });
+    q.run();
+    EXPECT_EQ(done, 4);
+    // Four equal transfers at quarter rate all end at 40 us.
+    EXPECT_DOUBLE_EQ(q.now(), 4.0e4);
+}
+
+TEST(SharedChannel, ManyStaggeredTransfersConserveBytes)
+{
+    EventQueue q;
+    SharedChannel ch(q, 7.5);
+    double expected = 0.0;
+    for (int i = 0; i < 50; ++i) {
+        const double bytes = 1000.0 * (i + 1);
+        expected += bytes;
+        q.schedule(137.0 * i, [&ch, bytes] { ch.begin(bytes, [] {}); });
+    }
+    q.run();
+    ch.sync();
+    EXPECT_NEAR(ch.progressedBytes(), expected, 1.0);
+}
+
+} // namespace
+} // namespace themis::sim

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Topology/dimension tests, including checks that the Table 2 presets
+ * carry the paper's exact aggregate bandwidths and sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "topology/presets.hpp"
+#include "topology/topology.hpp"
+
+namespace themis {
+namespace {
+
+DimensionConfig
+dim(DimKind kind, int size, double gbps, int links, TimeNs lat)
+{
+    DimensionConfig d;
+    d.kind = kind;
+    d.size = size;
+    d.link_bw_gbps = gbps;
+    d.links_per_npu = links;
+    d.step_latency_ns = lat;
+    return d;
+}
+
+TEST(Dimension, AggregateBandwidthIsLinksTimesLinkRate)
+{
+    const auto d = dim(DimKind::Switch, 16, 200.0, 6, 700.0);
+    EXPECT_DOUBLE_EQ(bwToGbps(d.bandwidth()), 1200.0);
+}
+
+TEST(Dimension, ValidateRejectsDegenerateSize)
+{
+    auto d = dim(DimKind::Ring, 1, 100.0, 1, 0.0);
+    EXPECT_THROW(d.validate(), ConfigError);
+}
+
+TEST(Dimension, ValidateRejectsNonPowerOfTwoSwitch)
+{
+    auto d = dim(DimKind::Switch, 6, 100.0, 1, 0.0);
+    EXPECT_THROW(d.validate(), ConfigError);
+}
+
+TEST(Dimension, ValidateRejectsTooManyCliqueLinks)
+{
+    auto d = dim(DimKind::FullyConnected, 4, 100.0, 4, 0.0);
+    EXPECT_THROW(d.validate(), ConfigError);
+}
+
+TEST(Dimension, ValidateAcceptsPaperConfigs)
+{
+    dim(DimKind::Ring, 4, 1000.0, 2, 20.0).validate();
+    dim(DimKind::FullyConnected, 8, 200.0, 7, 700.0).validate();
+    dim(DimKind::Switch, 64, 800.0, 1, 1700.0).validate();
+    SUCCEED();
+}
+
+TEST(Dimension, KindNamesRoundTrip)
+{
+    for (DimKind k : {DimKind::Ring, DimKind::FullyConnected,
+                      DimKind::Switch}) {
+        EXPECT_EQ(dimKindFromName(dimKindName(k)), k);
+    }
+    EXPECT_THROW(dimKindFromName("mesh"), ConfigError);
+}
+
+TEST(Topology, TotalsAndSizeString)
+{
+    Topology t("test", {dim(DimKind::Switch, 16, 200.0, 6, 700.0),
+                        dim(DimKind::Switch, 64, 800.0, 1, 1700.0)});
+    EXPECT_EQ(t.totalNpus(), 1024);
+    EXPECT_EQ(t.sizeString(), "16x64");
+    EXPECT_DOUBLE_EQ(bwToGbps(t.totalBandwidth()), 2000.0);
+}
+
+TEST(Topology, RejectsEmpty)
+{
+    EXPECT_THROW(Topology("empty", {}), ConfigError);
+}
+
+TEST(Topology, DimIndexChecked)
+{
+    Topology t("t", {dim(DimKind::Ring, 4, 100.0, 2, 0.0)});
+    EXPECT_DEATH(t.dim(1), "out of range");
+}
+
+struct PresetExpectation
+{
+    const char* name;
+    std::vector<int> sizes;
+    std::vector<double> aggr_gbps;
+    std::vector<double> latency_ns;
+};
+
+class PresetTable2 : public ::testing::TestWithParam<PresetExpectation>
+{};
+
+// Table 2 of the paper, verbatim.
+INSTANTIATE_TEST_SUITE_P(
+    Table2, PresetTable2,
+    ::testing::Values(
+        PresetExpectation{"2D-SW_SW",
+                          {16, 64},
+                          {1200, 800},
+                          {700, 1700}},
+        PresetExpectation{"3D-SW_SW_SW_homo",
+                          {16, 8, 8},
+                          {800, 800, 800},
+                          {700, 700, 1700}},
+        PresetExpectation{"3D-SW_SW_SW_hetero",
+                          {16, 8, 8},
+                          {1600, 800, 400},
+                          {700, 700, 1700}},
+        PresetExpectation{"3D-FC_Ring_SW",
+                          {8, 16, 8},
+                          {1400, 800, 400},
+                          {700, 700, 1700}},
+        PresetExpectation{"4D-Ring_SW_SW_SW",
+                          {4, 4, 8, 8},
+                          {2000, 1600, 800, 400},
+                          {20, 700, 700, 1700}},
+        PresetExpectation{"4D-Ring_FC_Ring_SW",
+                          {4, 8, 4, 8},
+                          {3000, 1400, 1200, 800},
+                          {20, 700, 700, 1700}}),
+    [](const auto& inf) {
+        std::string n = inf.param.name;
+        for (char& c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+TEST_P(PresetTable2, MatchesPaperRow)
+{
+    const auto& exp = GetParam();
+    const Topology t = presets::byName(exp.name);
+    ASSERT_EQ(t.numDims(), static_cast<int>(exp.sizes.size()));
+    EXPECT_EQ(t.totalNpus(), 1024); // all Table 2 platforms are 1024
+    for (int d = 0; d < t.numDims(); ++d) {
+        const auto i = static_cast<std::size_t>(d);
+        EXPECT_EQ(t.dim(d).size, exp.sizes[i]) << "dim " << d;
+        EXPECT_DOUBLE_EQ(bwToGbps(t.dim(d).bandwidth()),
+                         exp.aggr_gbps[i])
+            << "dim " << d;
+        EXPECT_DOUBLE_EQ(t.dim(d).step_latency_ns, exp.latency_ns[i])
+            << "dim " << d;
+    }
+}
+
+TEST(Presets, CurrentPlatformHasBigBandwidthGap)
+{
+    const Topology t = presets::makeCurrent2D();
+    EXPECT_EQ(t.totalNpus(), 1024);
+    EXPECT_DOUBLE_EQ(bwToGbps(t.dim(0).bandwidth()), 1200.0);
+    EXPECT_DOUBLE_EQ(bwToGbps(t.dim(1).bandwidth()), 100.0);
+}
+
+TEST(Presets, AllSetHasSevenPlatforms)
+{
+    EXPECT_EQ(presets::nextGenTopologies().size(), 6u);
+    EXPECT_EQ(presets::allTopologies().size(), 7u);
+}
+
+TEST(Presets, ByNameIsCaseInsensitiveAndChecked)
+{
+    EXPECT_EQ(presets::byName("3d-sw_sw_sw_HOMO").name(),
+              "3D-SW_SW_SW_homo");
+    EXPECT_THROW(presets::byName("5D-Torus"), ConfigError);
+}
+
+TEST(Presets, EveryPresetValidates)
+{
+    for (const auto& t : presets::allTopologies()) {
+        EXPECT_GE(t.numDims(), 2) << t.name();
+        EXPECT_EQ(t.totalNpus(), 1024) << t.name();
+        EXPECT_FALSE(t.describe().empty());
+    }
+}
+
+} // namespace
+} // namespace themis

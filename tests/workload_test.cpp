@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Workload-layer tests: roofline, parallelization scopes, and the
+ * training-loop co-simulation's accounting invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "models/model_zoo.hpp"
+#include "topology/presets.hpp"
+#include "workload/parallel_spec.hpp"
+#include "workload/roofline.hpp"
+#include "workload/training_loop.hpp"
+
+namespace themis::workload {
+namespace {
+
+TEST(Roofline, ComputeBoundRegime)
+{
+    RooflineConfig cfg;
+    cfg.peak_tflops = 312.0; // A100-class
+    // 312 GFLOP of math, negligible memory -> 1 ms.
+    EXPECT_NEAR(computeTime(312.0e9, 0.0, cfg), 1.0e6, 1.0);
+}
+
+TEST(Roofline, MemoryBoundRegime)
+{
+    RooflineConfig cfg;
+    cfg.mem_bw_gbps = 2039.0; // A100-class HBM
+    // 2039 MB of traffic, negligible math -> 1 ms.
+    EXPECT_NEAR(computeTime(0.0, 2039.0e6, cfg), 1.0e6, 1.0);
+}
+
+TEST(Roofline, EfficiencyScalesBoth)
+{
+    RooflineConfig cfg;
+    cfg.peak_tflops = 312.0;
+    cfg.efficiency = 0.5;
+    EXPECT_NEAR(computeTime(312.0e9, 0.0, cfg), 2.0e6, 1.0);
+}
+
+TEST(Roofline, DefaultsModelNextGenNpu)
+{
+    // Calibrated defaults (see RooflineConfig docs): ~2 PFLOP/s FP16
+    // and ~8 TB/s HBM.
+    const RooflineConfig cfg;
+    EXPECT_NEAR(computeTime(2.0e15, 0.0, cfg), 1.0e9, 1.0); // 1 s
+    EXPECT_NEAR(computeTime(0.0, 8.0e12, cfg), 1.0e9, 1.0); // 1 s
+}
+
+TEST(ParallelSpec, PureDataParallelSpansEverything)
+{
+    const auto spec = ParallelSpec::dataParallel();
+    const auto topo = presets::make3DSwSwSwHomo();
+    const auto scope = spec.scopeFor(CommDomain::DataParallel, topo);
+    ASSERT_EQ(scope.size(), 3u);
+    for (int d = 0; d < 3; ++d) {
+        EXPECT_EQ(scope[static_cast<std::size_t>(d)].dim, d);
+        EXPECT_EQ(scope[static_cast<std::size_t>(d)].participants,
+                  topo.dim(d).size);
+    }
+    EXPECT_EQ(spec.ways(CommDomain::DataParallel, topo), 1024);
+}
+
+TEST(ParallelSpec, Transformer1TDpUsesOnlyLastDim)
+{
+    // Paper Sec 6.2: "the data-parallel communication of
+    // Transformer-1T uses only the last network dimension in all of
+    // the topologies."
+    const auto spec = ParallelSpec::hybrid(128);
+    for (const auto& topo : presets::nextGenTopologies()) {
+        const auto dp = spec.scopeFor(CommDomain::DataParallel, topo);
+        ASSERT_EQ(dp.size(), 1u) << topo.name();
+        EXPECT_EQ(dp[0].dim, topo.numDims() - 1) << topo.name();
+        EXPECT_EQ(spec.ways(CommDomain::DataParallel, topo), 8)
+            << topo.name();
+    }
+}
+
+TEST(ParallelSpec, MpScopeCoversFirstDims)
+{
+    const auto spec = ParallelSpec::hybrid(128);
+    const auto topo = presets::make3DSwSwSwHomo(); // 16x8x8
+    const auto mp = spec.scopeFor(CommDomain::ModelParallel, topo);
+    ASSERT_EQ(mp.size(), 2u);
+    EXPECT_EQ(mp[0].dim, 0);
+    EXPECT_EQ(mp[0].participants, 16);
+    EXPECT_EQ(mp[1].dim, 1);
+    EXPECT_EQ(mp[1].participants, 8);
+}
+
+TEST(ParallelSpec, MpSplitsADimensionWhenNeeded)
+{
+    // 2D 16x64: MP=128 takes all of dim1 and 8 of dim2; DP gets the
+    // remaining 8-way sub-groups of dim2.
+    const auto spec = ParallelSpec::hybrid(128);
+    const auto topo = presets::make2DSwSw();
+    const auto mp = spec.scopeFor(CommDomain::ModelParallel, topo);
+    ASSERT_EQ(mp.size(), 2u);
+    EXPECT_EQ(mp[1].participants, 8);
+    const auto dp = spec.scopeFor(CommDomain::DataParallel, topo);
+    ASSERT_EQ(dp.size(), 1u);
+    EXPECT_EQ(dp[0].dim, 1);
+    EXPECT_EQ(dp[0].participants, 8);
+}
+
+TEST(ParallelSpec, WorldCoversMachine)
+{
+    const auto spec = ParallelSpec::hybrid(4);
+    const auto topo = presets::make4DRingSwSwSw();
+    EXPECT_EQ(spec.scopeFor(CommDomain::World, topo).size(), 4u);
+    EXPECT_EQ(spec.ways(CommDomain::World, topo), 1024);
+}
+
+TEST(ParallelSpec, RejectsMisalignedDegree)
+{
+    const auto spec = ParallelSpec::hybrid(6);
+    EXPECT_THROW(spec.scopeFor(CommDomain::ModelParallel,
+                               presets::make2DSwSw()),
+                 ConfigError);
+}
+
+class LoopOnWorkload
+    : public ::testing::TestWithParam<const char*>
+{};
+
+INSTANTIATE_TEST_SUITE_P(PaperWorkloads, LoopOnWorkload,
+                         ::testing::Values("ResNet-152", "GNMT", "DLRM",
+                                           "Transformer-1T"),
+                         [](const auto& inf) {
+                             std::string n = inf.param;
+                             for (char& c : n)
+                                 if (c == '-')
+                                     c = '_';
+                             return n;
+                         });
+
+TEST_P(LoopOnWorkload, BreakdownBucketsSumToTotal)
+{
+    sim::EventQueue queue;
+    runtime::CommRuntime comm(queue, presets::make3DSwSwSwHetero(),
+                              runtime::themisScfConfig());
+    TrainingLoop loop(comm, models::byName(GetParam()));
+    const auto it = loop.runIteration();
+    EXPECT_GT(it.total, 0.0);
+    EXPECT_NEAR(it.bucketSum(), it.total, 1e-6 * it.total);
+    EXPECT_GT(it.fwd_compute, 0.0);
+    EXPECT_GT(it.bwd_compute, 0.0);
+    EXPECT_GE(it.exposed_mp, 0.0);
+    EXPECT_GE(it.exposed_dp, 0.0);
+}
+
+TEST_P(LoopOnWorkload, ThemisDoesNotSlowDownTraining)
+{
+    auto run_total = [&](const runtime::RuntimeConfig& cfg) {
+        sim::EventQueue queue;
+        runtime::CommRuntime comm(queue, presets::make3DSwSwSwHomo(),
+                                  cfg);
+        TrainingLoop loop(comm, models::byName(GetParam()));
+        return loop.runIteration().total;
+    };
+    const TimeNs base = run_total(runtime::baselineConfig());
+    const TimeNs scf = run_total(runtime::themisScfConfig());
+    EXPECT_LE(scf, base * 1.001) << "Themis must not regress";
+}
+
+TEST(TrainingLoop, DataParallelWorkloadsHaveNoExposedMp)
+{
+    sim::EventQueue queue;
+    runtime::CommRuntime comm(queue, presets::make2DSwSw(),
+                              runtime::themisScfConfig());
+    TrainingLoop loop(comm, models::makeResNet152());
+    const auto it = loop.runIteration();
+    EXPECT_DOUBLE_EQ(it.exposed_mp, 0.0);
+    EXPECT_GT(it.exposed_dp, 0.0);
+}
+
+TEST(TrainingLoop, TransformerExposesMp)
+{
+    sim::EventQueue queue;
+    runtime::CommRuntime comm(queue, presets::make3DSwSwSwHomo(),
+                              runtime::themisScfConfig());
+    TrainingLoop loop(comm, models::makeTransformer1T());
+    const auto it = loop.runIteration();
+    EXPECT_GT(it.exposed_mp, 0.0);
+    // MP activation traffic dominates DP for Transformer-1T (Fig 12).
+    EXPECT_GT(it.exposed_mp, it.exposed_dp);
+}
+
+TEST(TrainingLoop, DlrmOverlapsAllToAll)
+{
+    // The forward All-to-All overlaps the bottom MLP; it may expose
+    // some wait at the top-MLP barrier but the iteration must account
+    // it as MP time.
+    sim::EventQueue queue;
+    runtime::CommRuntime comm(queue, presets::make3DSwSwSwHetero(),
+                              runtime::themisScfConfig());
+    TrainingLoop loop(comm, models::makeDLRM());
+    const auto it = loop.runIteration();
+    EXPECT_GT(it.total, 0.0);
+    EXPECT_GT(it.exposed_dp, 0.0);
+}
+
+TEST(TrainingLoop, IterationsAreReproducible)
+{
+    sim::EventQueue queue;
+    runtime::CommRuntime comm(queue, presets::make3DSwSwSwHomo(),
+                              runtime::themisScfConfig());
+    TrainingLoop loop(comm, models::makeGNMT());
+    const auto a = loop.runIteration();
+    const auto b = loop.runIteration();
+    EXPECT_NEAR(a.total, b.total, 1e-6 * a.total);
+    EXPECT_NEAR(a.exposed_dp, b.exposed_dp, 1e-6 * a.total);
+}
+
+TEST(TrainingLoop, MultiIterationSumsBuckets)
+{
+    sim::EventQueue queue;
+    runtime::CommRuntime comm(queue, presets::make2DSwSw(),
+                              runtime::themisScfConfig());
+    TrainingLoop loop(comm, models::makeDLRM());
+    const auto one = loop.runIteration();
+    const auto three = loop.run(3);
+    EXPECT_NEAR(three.total, 3.0 * one.total, 1e-6 * three.total);
+}
+
+} // namespace
+} // namespace themis::workload
