@@ -15,6 +15,7 @@
 #include "common/string_util.hpp"
 #include "core/ideal_estimator.hpp"
 #include "runtime/comm_runtime.hpp"
+#include "sim/sweep_runner.hpp"
 #include "stats/csv_writer.hpp"
 #include "stats/summary.hpp"
 #include "topology/presets.hpp"
@@ -45,12 +46,12 @@ struct CollectiveRun
     std::vector<double> per_dim_util;
 };
 
-/** Simulate one collective of @p type/@p size on @p topo. */
+/** Simulate one collective of @p type/@p size on @p topo in @p queue. */
 inline CollectiveRun
-runCollective(const Topology& topo, const runtime::RuntimeConfig& cfg,
-              CollectiveType type, Bytes size, int chunks = 64)
+runCollective(sim::EventQueue& queue, const Topology& topo,
+              const runtime::RuntimeConfig& cfg, CollectiveType type,
+              Bytes size, int chunks = 64)
 {
-    sim::EventQueue queue;
     runtime::CommRuntime comm(queue, topo, cfg);
     CollectiveRequest req;
     req.type = type;
@@ -66,6 +67,15 @@ runCollective(const Topology& topo, const runtime::RuntimeConfig& cfg,
     return out;
 }
 
+/** Simulate one collective on a private throwaway queue. */
+inline CollectiveRun
+runCollective(const Topology& topo, const runtime::RuntimeConfig& cfg,
+              CollectiveType type, Bytes size, int chunks = 64)
+{
+    sim::EventQueue queue;
+    return runCollective(queue, topo, cfg, type, size, chunks);
+}
+
 /** All-Reduce shorthand. */
 inline CollectiveRun
 runAllReduce(const Topology& topo, const runtime::RuntimeConfig& cfg,
@@ -73,6 +83,34 @@ runAllReduce(const Topology& topo, const runtime::RuntimeConfig& cfg,
 {
     return runCollective(topo, cfg, CollectiveType::AllReduce, size,
                          chunks);
+}
+
+/** One cell of an independent-simulation grid. */
+struct GridCell
+{
+    const Topology* topo = nullptr;
+    runtime::RuntimeConfig config;
+    CollectiveType type = CollectiveType::AllReduce;
+    Bytes size = 0.0;
+    int chunks = 64;
+};
+
+/**
+ * Simulate every cell across the sweep harness's worker threads.
+ * Results come back in cell order, so callers can print tables in
+ * their natural loop order after the sweep completes.
+ */
+inline std::vector<CollectiveRun>
+runGrid(const std::vector<GridCell>& cells, int threads = 0)
+{
+    return sim::sweepIndexed(
+        cells.size(),
+        [&cells](std::size_t i, sim::EventQueue& queue) {
+            const GridCell& cell = cells[i];
+            return runCollective(queue, *cell.topo, cell.config,
+                                 cell.type, cell.size, cell.chunks);
+        },
+        sim::SweepOptions{threads});
 }
 
 /** The paper's microbenchmark size sweep, 100 MB to 1 GB. */
@@ -83,14 +121,21 @@ microbenchSizes()
             600.0e6, 700.0e6, 800.0e6, 900.0e6, 1.0e9};
 }
 
-/** Ensure bench_results/ exists and return the CSV path for @p name. */
+/** Ensure bench_results/ exists and return the path for @p filename. */
 inline std::string
-csvPath(const std::string& name)
+resultPath(const std::string& filename)
 {
     const std::filesystem::path dir{"bench_results"};
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
-    return (dir / (name + ".csv")).string();
+    return (dir / filename).string();
+}
+
+/** Ensure bench_results/ exists and return the CSV path for @p name. */
+inline std::string
+csvPath(const std::string& name)
+{
+    return resultPath(name + ".csv");
 }
 
 /** Print a standard bench header. */

@@ -27,7 +27,26 @@ main()
     double speedup_scf_max = 0.0;
     int cells = 0;
 
-    for (const auto& topo : presets::nextGenTopologies()) {
+    // Every (topology, size, scheduler) cell is an independent
+    // simulation: fan the whole grid across the sweep harness, then
+    // print from the index-ordered results.
+    const auto topos = presets::nextGenTopologies();
+    std::vector<bench::GridCell> grid;
+    for (const auto& topo : topos) {
+        for (Bytes size : bench::microbenchSizes()) {
+            for (const auto& setup : bench::table3Schedulers()) {
+                bench::GridCell cell;
+                cell.topo = &topo;
+                cell.config = setup.config;
+                cell.size = size;
+                grid.push_back(cell);
+            }
+        }
+    }
+    const auto runs = bench::runGrid(grid);
+
+    std::size_t cursor = 0;
+    for (const auto& topo : topos) {
         std::printf("%s (%s)\n", topo.name().c_str(),
                     topo.sizeString().c_str());
         stats::TextTable t({"Size", "Baseline [us]", "Themis+FIFO [us]",
@@ -36,8 +55,7 @@ main()
             double times[3] = {0, 0, 0};
             int i = 0;
             for (const auto& setup : bench::table3Schedulers()) {
-                const auto run =
-                    bench::runAllReduce(topo, setup.config, size);
+                const auto& run = runs[cursor++];
                 times[i++] = run.time;
                 csv.writeRow({topo.name(), fmtDouble(size / kMB, 0),
                               setup.name,

@@ -28,6 +28,24 @@ main()
     const std::vector<Topology> topos{presets::make3DSwSwSwHetero(),
                                       presets::make4DRingFcRingSw()};
 
+    // Independent (topology, chunks, scheduler) cells: simulate the
+    // whole grid through the sweep harness, then print in order.
+    std::vector<bench::GridCell> grid;
+    for (const auto& topo : topos) {
+        for (int chunks : chunk_counts) {
+            for (const auto& setup : bench::table3Schedulers()) {
+                bench::GridCell cell;
+                cell.topo = &topo;
+                cell.config = setup.config;
+                cell.size = 100.0e6;
+                cell.chunks = chunks;
+                grid.push_back(cell);
+            }
+        }
+    }
+    const auto runs = bench::runGrid(grid);
+
+    std::size_t cursor = 0;
     for (const auto& topo : topos) {
         std::printf("%s (%s)\n", topo.name().c_str(),
                     topo.sizeString().c_str());
@@ -36,8 +54,7 @@ main()
         for (int chunks : chunk_counts) {
             std::vector<std::string> row{std::to_string(chunks)};
             for (const auto& setup : bench::table3Schedulers()) {
-                const auto run = bench::runAllReduce(
-                    topo, setup.config, 100.0e6, chunks);
+                const auto& run = runs[cursor++];
                 row.push_back(fmtPercent(run.weighted_util));
                 csv.writeRow({topo.name(), std::to_string(chunks),
                               setup.name,

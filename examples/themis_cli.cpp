@@ -13,9 +13,13 @@
  *     --chunks N          chunks per collective       [64]
  *     --sched base|fifo|scf                           [scf]
  *     --enforce           pre-simulate & enforce chunk-op orders
+ *     --sweep C1,C2,...   sweep those chunk counts across all three
+ *                         schedulers in parallel (worker threads)
+ *     --jobs N            sweep worker threads [hardware concurrency]
  *
  * Example:
  *   themis_cli --topo "Ring:4:1000x2:20,SW:8:400:1700" --size 2.5e8
+ *   themis_cli --sweep 4,16,64,256 --jobs 8
  */
 
 #include <cstdio>
@@ -27,6 +31,8 @@
 #include "core/themis_scheduler.hpp"
 #include "npu/npu_machine.hpp"
 #include "runtime/comm_runtime.hpp"
+#include "sim/sweep_runner.hpp"
+#include "stats/summary.hpp"
 #include "stats/trace_writer.hpp"
 #include "topology/parse.hpp"
 #include "topology/presets.hpp"
@@ -43,7 +49,8 @@ usage(const char* argv0)
                  "usage: %s [--topo NAME|SPEC] [--type ar|rs|ag|a2a] "
                  "[--size BYTES]\n"
                  "          [--chunks N] [--sched base|fifo|scf] "
-                 "[--enforce]\n",
+                 "[--enforce]\n"
+                 "          [--sweep C1,C2,...] [--jobs N]\n",
                  argv0);
     std::exit(2);
 }
@@ -70,6 +77,8 @@ main(int argc, char** argv)
     bool enforce = false;
     bool validate = false;
     std::string trace_path;
+    std::string sweep_arg;
+    int jobs = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string flag = argv[i];
@@ -94,6 +103,10 @@ main(int argc, char** argv)
             trace_path = need_value();
         } else if (flag == "--validate") {
             validate = true;
+        } else if (flag == "--sweep") {
+            sweep_arg = need_value();
+        } else if (flag == "--jobs") {
+            jobs = std::atoi(need_value().c_str());
         } else {
             usage(argv[0]);
         }
@@ -126,6 +139,68 @@ main(int argc, char** argv)
         else
             usage(argv[0]);
         cfg.enforce_consistent_order = enforce;
+
+        if (!sweep_arg.empty()) {
+            // Fan the chunk-count x scheduler grid over the sweep
+            // harness: every cell is an independent simulation on a
+            // worker-owned event queue.
+            std::vector<int> chunk_list;
+            for (const auto& tok : split(sweep_arg, ','))
+                chunk_list.push_back(std::atoi(tok.c_str()));
+            for (int c : chunk_list)
+                if (c < 1)
+                    THEMIS_FATAL("bad --sweep chunk count list '"
+                                 << sweep_arg << "'");
+            struct Setup
+            {
+                const char* name;
+                runtime::RuntimeConfig cfg;
+            };
+            const std::vector<Setup> setups{
+                {"Baseline", runtime::baselineConfig()},
+                {"Themis+FIFO", runtime::themisFifoConfig()},
+                {"Themis+SCF", runtime::themisScfConfig()}};
+            struct Outcome
+            {
+                TimeNs time = 0.0;
+                double util = 0.0;
+            };
+            const std::size_t cells =
+                chunk_list.size() * setups.size();
+            const auto results = sim::sweepIndexed(
+                cells,
+                [&](std::size_t i, sim::EventQueue& queue) {
+                    CollectiveRequest r = req;
+                    r.chunks = chunk_list[i / setups.size()];
+                    runtime::RuntimeConfig run_cfg =
+                        setups[i % setups.size()].cfg;
+                    run_cfg.enforce_consistent_order = enforce;
+                    runtime::CommRuntime comm(queue, topo, run_cfg);
+                    const int cid = comm.issue(r);
+                    queue.run();
+                    comm.finalizeStats();
+                    return Outcome{
+                        comm.record(cid).duration(),
+                        comm.utilization().weightedUtilization()};
+                },
+                sim::SweepOptions{jobs});
+
+            std::printf("%s of %s, chunk sweep on %s:\n\n",
+                        collectiveTypeName(req.type).c_str(),
+                        fmtBytes(req.size).c_str(),
+                        topo.name().c_str());
+            stats::TextTable t({"Chunks", "Scheduler", "Time",
+                                "Avg BW util"});
+            for (std::size_t i = 0; i < cells; ++i) {
+                t.addRow({std::to_string(
+                              chunk_list[i / setups.size()]),
+                          setups[i % setups.size()].name,
+                          fmtTime(results[i].time),
+                          fmtPercent(results[i].util)});
+            }
+            std::printf("%s", t.render().c_str());
+            return 0;
+        }
 
         std::printf("%s", topo.describe().c_str());
         for (const auto& pair : classifyAllPairs(topo)) {

@@ -89,14 +89,9 @@ DimensionEngine::admissionAllows(const ChunkOp& candidate) const
         return true;
     if (static_cast<int>(active_.size()) >= admission_.max_parallel_ops)
         return false;
-    TimeNs transfer_sum = 0.0;
-    TimeNs max_delay = 0.0;
-    for (const auto& [id, a] : active_) {
-        transfer_sum += a.op.transfer_time;
-        if (a.op.fixed_delay > max_delay)
-            max_delay = a.op.fixed_delay;
-    }
-    return transfer_sum < admission_.latency_headroom * max_delay;
+    const TimeNs max_delay = *active_delays_.rbegin();
+    return active_transfer_sum_ <
+           admission_.latency_headroom * max_delay;
 }
 
 std::size_t
@@ -169,6 +164,8 @@ DimensionEngine::startOp(ChunkOp op)
              op.entering, " B in, ", active_.size(), " active)");
     if (start_listener_)
         start_listener_(op.tag);
+    active_transfer_sum_ += op.transfer_time;
+    active_delays_.insert(op.fixed_delay);
     active_.emplace(exec_id,
                     ActiveOp{std::move(op), 0, queue_ref_.now()});
     advance(exec_id);
@@ -205,6 +202,13 @@ DimensionEngine::finish(std::uint64_t exec_id)
     ChunkOp op = std::move(it->second.op);
     const TimeNs started_at = it->second.started_at;
     active_.erase(it);
+    active_transfer_sum_ -= op.transfer_time;
+    const auto delay_it = active_delays_.find(op.fixed_delay);
+    THEMIS_ASSERT(delay_it != active_delays_.end(),
+                  "active delay aggregate out of sync");
+    active_delays_.erase(delay_it);
+    if (active_.empty())
+        active_transfer_sum_ = 0.0; // shed fp drift at quiesce points
     ++completed_;
     if (finish_listener_)
         finish_listener_(op, started_at);

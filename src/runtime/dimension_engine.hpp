@@ -25,6 +25,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "core/consistency_planner.hpp"
@@ -157,6 +158,10 @@ class DimensionEngine
 
     std::deque<PendingOp> queue_;
     std::map<std::uint64_t, ActiveOp> active_;
+    /** Aggregates over active_, maintained incrementally so the
+     *  admission check is O(1) instead of rescanning the active set. */
+    TimeNs active_transfer_sum_ = 0.0;
+    std::multiset<TimeNs> active_delays_;
     std::uint64_t next_exec_id_ = 1;
     std::uint64_t arrival_counter_ = 0;
     std::uint64_t completed_ = 0;

@@ -1,39 +1,63 @@
 #include "sim/event_queue.hpp"
 
-#include "common/error.hpp"
-
 namespace themis::sim {
 
-EventQueue::EventId
-EventQueue::schedule(TimeNs when, Handler handler)
+std::uint32_t
+EventQueue::allocSlot()
 {
-    THEMIS_ASSERT(when >= now_ - 1e-9,
-                  "scheduling into the past: when=" << when
-                                                    << " now=" << now_);
-    THEMIS_ASSERT(handler, "null event handler");
-    const EventId id = next_id_++;
-    heap_.push(Entry{when < now_ ? now_ : when, id});
-    handlers_.emplace(id, std::move(handler));
-    ++live_events_;
-    return id;
+    if (free_head_ != kNoSlot) {
+        const std::uint32_t idx = free_head_;
+        free_head_ = slots_[idx].next_free;
+        slots_[idx].next_free = kNoSlot;
+        return idx;
+    }
+    THEMIS_ASSERT(slots_.size() < kNoSlot, "event slab exhausted");
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
 }
 
-EventQueue::EventId
-EventQueue::scheduleAfter(TimeNs delay, Handler handler)
+void
+EventQueue::releaseSlot(std::uint32_t idx)
 {
-    THEMIS_ASSERT(delay >= 0.0, "negative delay " << delay);
-    return schedule(now_ + delay, std::move(handler));
+    Slot& slot = slots_[idx];
+    slot.invoke = nullptr;
+    slot.relocate = nullptr;
+    slot.destroy = nullptr;
+    ++slot.generation; // stale ids and heap entries now miss
+    slot.next_free = free_head_;
+    free_head_ = idx;
+}
+
+void
+EventQueue::releaseAll()
+{
+    for (std::uint32_t i = 0; i < slots_.size(); ++i) {
+        Slot& slot = slots_[i];
+        if (slot.invoke != nullptr) {
+            slot.destroy(slot.storage);
+            releaseSlot(i);
+        }
+    }
+    live_events_ = 0;
 }
 
 void
 EventQueue::cancel(EventId id)
 {
-    auto it = handlers_.find(id);
-    if (it == handlers_.end())
+    if (id == 0)
         return;
-    handlers_.erase(it);
+    const std::uint64_t high = id >> 32;
+    if (high == 0 || high > slots_.size())
+        return;
+    const auto idx = static_cast<std::uint32_t>(high - 1);
+    const auto generation = static_cast<std::uint32_t>(id);
+    Slot& slot = slots_[idx];
+    if (slot.invoke == nullptr || slot.generation != generation)
+        return; // already fired/cancelled (or slot since recycled)
+    slot.destroy(slot.storage);
+    releaseSlot(idx);
     --live_events_;
-    // The heap entry stays; fireNext() skips ids with no handler.
+    // The heap entry stays; pops skip entries whose generation is stale.
 }
 
 bool
@@ -41,17 +65,30 @@ EventQueue::fireNext()
 {
     while (!heap_.empty()) {
         const Entry top = heap_.top();
-        auto it = handlers_.find(top.id);
-        if (it == handlers_.end()) {
+        Slot& slot = slots_[top.slot];
+        if (slot.invoke == nullptr || slot.generation != top.generation) {
             heap_.pop(); // cancelled; discard lazily
             continue;
         }
         heap_.pop();
-        Handler handler = std::move(it->second);
-        handlers_.erase(it);
+        // Move the closure onto the stack before invoking: the handler
+        // may schedule events, growing the slab and moving the slot.
+        alignas(std::max_align_t) unsigned char local[kInlineCapacity];
+        auto* invoke = slot.invoke;
+        auto* destroy = slot.destroy;
+        slot.relocate(local, slot.storage);
+        releaseSlot(top.slot);
         --live_events_;
         now_ = top.when;
-        handler();
+        // Destroy the local copy even when the handler throws (sweep
+        // jobs legitimately propagate ConfigError through run()).
+        struct Guard
+        {
+            void (*destroy)(void*);
+            void* closure;
+            ~Guard() { destroy(closure); }
+        } guard{destroy, local};
+        invoke(local);
         return true;
     }
     return false;
@@ -72,8 +109,9 @@ EventQueue::runUntil(TimeNs until)
     std::size_t fired = 0;
     while (!heap_.empty()) {
         // Peek the next live event without firing past `until`.
-        Entry top = heap_.top();
-        if (handlers_.find(top.id) == handlers_.end()) {
+        const Entry top = heap_.top();
+        const Slot& slot = slots_[top.slot];
+        if (slot.invoke == nullptr || slot.generation != top.generation) {
             heap_.pop();
             continue;
         }
@@ -90,11 +128,12 @@ EventQueue::runUntil(TimeNs until)
 void
 EventQueue::reset()
 {
+    releaseAll();
     heap_ = {};
-    handlers_.clear();
-    live_events_ = 0;
+    slots_.clear();
+    free_head_ = kNoSlot;
     now_ = 0.0;
-    next_id_ = 1;
+    next_seq_ = 1;
 }
 
 } // namespace themis::sim

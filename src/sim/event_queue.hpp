@@ -3,19 +3,33 @@
  * Discrete-event simulation core.
  *
  * A single-threaded event queue with deterministic ordering: events
- * firing at the same timestamp run in scheduling order (FIFO by event
- * id). Handlers may schedule or cancel further events freely.
+ * firing at the same timestamp run in scheduling order (FIFO by a
+ * monotonic sequence number). Handlers may schedule or cancel further
+ * events freely.
+ *
+ * Events live in a slab of fixed-size slots recycled through a free
+ * list, so steady-state scheduling performs no heap allocation:
+ * handlers whose closure fits kInlineCapacity bytes are constructed
+ * in place inside the slot (larger ones fall back to a heap box).
+ * Event ids are generation-tagged — an id encodes (slot, generation)
+ * and a slot's generation bumps on every release — so cancellation is
+ * O(1) and a stale id from a previous tenant of the slot can never
+ * cancel the current one.
  */
 
 #ifndef THEMIS_SIM_EVENT_QUEUE_HPP
 #define THEMIS_SIM_EVENT_QUEUE_HPP
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <memory>
+#include <new>
 #include <queue>
-#include <unordered_map>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/units.hpp"
 
 namespace themis::sim {
@@ -29,13 +43,17 @@ namespace themis::sim {
 class EventQueue
 {
   public:
-    /** Event handler callback. */
-    using Handler = std::function<void()>;
-
-    /** Opaque handle for cancellation. Id 0 is never issued. */
+    /**
+     * Opaque handle for cancellation: (slot+1) in the high 32 bits,
+     * slot generation in the low 32. Id 0 is never issued.
+     */
     using EventId = std::uint64_t;
 
+    /** Closure bytes stored in place; larger handlers are boxed. */
+    static constexpr std::size_t kInlineCapacity = 48;
+
     EventQueue() = default;
+    ~EventQueue() { releaseAll(); }
 
     EventQueue(const EventQueue&) = delete;
     EventQueue& operator=(const EventQueue&) = delete;
@@ -44,17 +62,46 @@ class EventQueue
     TimeNs now() const { return now_; }
 
     /**
-     * Schedule @p handler to run at absolute time @p when (>= now()).
+     * Schedule @p handler (any void() callable) to run at absolute
+     * time @p when (>= now()).
      * @return handle usable with cancel().
      */
-    EventId schedule(TimeNs when, Handler handler);
+    template <typename F>
+    EventId
+    schedule(TimeNs when, F&& handler)
+    {
+        THEMIS_ASSERT(when >= now_ - 1e-9,
+                      "scheduling into the past: when=" << when
+                                                        << " now=" << now_);
+        using Fn = std::decay_t<F>;
+        // Nullable callables (std::function, function pointers) fail
+        // fast here instead of crashing inside fireNext() later.
+        if constexpr (std::is_constructible_v<bool, const Fn&>)
+            THEMIS_ASSERT(static_cast<bool>(handler),
+                          "null event handler");
+        if constexpr (sizeof(Fn) <= kInlineCapacity &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            return emplaceEvent<Fn>(when, std::forward<F>(handler));
+        } else {
+            // Closure too big for a slot: one boxing allocation.
+            return emplaceEvent<Boxed<Fn>>(
+                when, Boxed<Fn>{std::make_unique<Fn>(
+                          std::forward<F>(handler))});
+        }
+    }
 
     /** Schedule @p handler @p delay nanoseconds from now (delay >= 0). */
-    EventId scheduleAfter(TimeNs delay, Handler handler);
+    template <typename F>
+    EventId
+    scheduleAfter(TimeNs delay, F&& handler)
+    {
+        THEMIS_ASSERT(delay >= 0.0, "negative delay " << delay);
+        return schedule(now_ + delay, std::forward<F>(handler));
+    }
 
     /**
-     * Cancel a pending event. Cancelling an already-fired or unknown
-     * id is a harmless no-op (completion races are normal).
+     * Cancel a pending event in O(1). Cancelling an already-fired or
+     * unknown id is a harmless no-op (completion races are normal).
      */
     void cancel(EventId id);
 
@@ -81,10 +128,36 @@ class EventQueue
     void reset();
 
   private:
+    /** Heap indirection for closures beyond kInlineCapacity. */
+    template <typename Fn>
+    struct Boxed
+    {
+        std::unique_ptr<Fn> fn;
+        void operator()() { (*fn)(); }
+    };
+
+    /**
+     * One pooled event. `invoke` doubles as the liveness flag; the
+     * closure lives in `storage`. Freed slots chain through
+     * `next_free` and bump `generation` so stale ids miss.
+     */
+    struct Slot
+    {
+        alignas(std::max_align_t) unsigned char storage[kInlineCapacity];
+        void (*invoke)(void*) = nullptr;
+        /** Move-construct the closure into @p dst, destroy @p src. */
+        void (*relocate)(void* dst, void* src) = nullptr;
+        void (*destroy)(void*) = nullptr;
+        std::uint32_t generation = 0;
+        std::uint32_t next_free = kNoSlot;
+    };
+
     struct Entry
     {
         TimeNs when;
-        EventId id;
+        std::uint64_t seq;
+        std::uint32_t slot;
+        std::uint32_t generation;
     };
 
     struct Later
@@ -94,17 +167,50 @@ class EventQueue
         {
             if (a.when != b.when)
                 return a.when > b.when;
-            return a.id > b.id;
+            return a.seq > b.seq;
         }
     };
 
+    static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+    static EventId
+    makeId(std::uint32_t slot, std::uint32_t generation)
+    {
+        return (static_cast<EventId>(slot) + 1) << 32 | generation;
+    }
+
+    template <typename Fn, typename Arg>
+    EventId
+    emplaceEvent(TimeNs when, Arg&& fn)
+    {
+        static_assert(sizeof(Fn) <= kInlineCapacity,
+                      "closure does not fit an event slot");
+        const std::uint32_t idx = allocSlot();
+        Slot& slot = slots_[idx];
+        ::new (static_cast<void*>(slot.storage)) Fn(std::forward<Arg>(fn));
+        slot.invoke = [](void* p) { (*static_cast<Fn*>(p))(); };
+        slot.relocate = [](void* dst, void* src) {
+            ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+            static_cast<Fn*>(src)->~Fn();
+        };
+        slot.destroy = [](void* p) { static_cast<Fn*>(p)->~Fn(); };
+        heap_.push(Entry{when < now_ ? now_ : when, next_seq_++, idx,
+                         slot.generation});
+        ++live_events_;
+        return makeId(idx, slot.generation);
+    }
+
+    std::uint32_t allocSlot();
+    void releaseSlot(std::uint32_t idx);
+    void releaseAll();
     bool fireNext();
 
     TimeNs now_ = 0.0;
-    EventId next_id_ = 1;
+    std::uint64_t next_seq_ = 1;
     std::size_t live_events_ = 0;
+    std::vector<Slot> slots_;
+    std::uint32_t free_head_ = kNoSlot;
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-    std::unordered_map<EventId, Handler> handlers_;
 };
 
 } // namespace themis::sim

@@ -1,6 +1,7 @@
 #include "sim/shared_channel.hpp"
 
-#include <vector>
+#include <algorithm>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -35,7 +36,11 @@ SharedChannel::begin(Bytes bytes, Callback on_done)
     THEMIS_ASSERT(on_done, "null transfer callback");
     advanceTo(queue_.now());
     const TransferId id = next_id_++;
-    active_.emplace(id, Transfer{bytes, std::move(on_done)});
+    const double v_end = vtime_ + bytes;
+    active_.emplace(id, Transfer{std::move(on_done)});
+    finish_heap_.push(FinishEntry{v_end, id});
+    if (active_.size() > peak_active_)
+        peak_active_ = active_.size();
     reschedule();
     return id;
 }
@@ -47,6 +52,9 @@ SharedChannel::abort(TransferId id)
     auto it = active_.find(id);
     if (it == active_.end())
         return;
+    // The partial service received so far stays in progressed_bytes_;
+    // only the untransferred remainder vanishes with the transfer. The
+    // heap entry is discarded lazily by dropStaleTop().
     active_.erase(it);
     reschedule();
 }
@@ -61,15 +69,24 @@ SharedChannel::advanceTo(TimeNs t)
     last_update_ = t;
     if (dt <= 0.0 || active_.empty())
         return;
-    const double rate = capacity_ / static_cast<double>(active_.size());
-    for (auto& [id, transfer] : active_) {
-        const Bytes progress =
-            transfer.remaining < rate * dt ? transfer.remaining
-                                           : rate * dt;
-        transfer.remaining -= progress;
-        progressed_bytes_ += progress;
-    }
+    // Equal-share fluid service: every active transfer receives
+    // capacity/n, so the virtual clock gains that much and the channel
+    // as a whole moves capacity * dt bytes. Between completion events
+    // no transfer can exceed its demand, so no per-transfer clamping
+    // is needed (slivers are corrected exactly at drain time).
+    const auto n = static_cast<double>(active_.size());
+    vtime_ += capacity_ / n * dt;
+    progressed_bytes_ += capacity_ * dt;
     busy_time_ += dt;
+}
+
+bool
+SharedChannel::dropStaleTop()
+{
+    while (!finish_heap_.empty() &&
+           active_.find(finish_heap_.top().id) == active_.end())
+        finish_heap_.pop(); // aborted; discard lazily
+    return !finish_heap_.empty();
 }
 
 void
@@ -79,15 +96,13 @@ SharedChannel::reschedule()
         queue_.cancel(pending_event_);
         pending_event_ = 0;
     }
-    if (active_.empty())
+    if (!dropStaleTop())
         return;
-    // Next completion: the smallest remaining at the shared rate.
-    Bytes min_remaining = -1.0;
-    for (const auto& [id, transfer] : active_) {
-        if (min_remaining < 0.0 || transfer.remaining < min_remaining)
-            min_remaining = transfer.remaining;
-    }
-    const double rate = capacity_ / static_cast<double>(active_.size());
+    // Next completion: the heap top's virtual remainder at the shared
+    // rate (the earliest v_end drains first by construction).
+    const double min_remaining = finish_heap_.top().v_end - vtime_;
+    const double rate =
+        capacity_ / static_cast<double>(active_.size());
     const TimeNs eta =
         min_remaining <= kDrainEps ? 0.0 : min_remaining / rate;
     pending_event_ =
@@ -99,36 +114,43 @@ SharedChannel::onCompletionEvent()
 {
     pending_event_ = 0;
     advanceTo(queue_.now());
-    // Drain threshold: kDrainEps normally; when floating-point clock
-    // granularity swallowed the final sliver of the nearest transfer
-    // (its drain time is below kTimeSliver), widen to that remainder
-    // so the event still completes something.
-    Bytes threshold = kDrainEps;
-    Bytes min_remaining = -1.0;
-    for (const auto& [id, transfer] : active_) {
-        if (min_remaining < 0.0 || transfer.remaining < min_remaining)
-            min_remaining = transfer.remaining;
-    }
-    if (min_remaining > threshold &&
-        min_remaining / capacity_ < kTimeSliver) {
-        threshold = min_remaining;
+    THEMIS_ASSERT(dropStaleTop(),
+                  "completion event fired with no active transfers");
+    // Drain threshold in virtual time: kDrainEps normally; when
+    // floating-point clock granularity swallowed the final sliver of
+    // the nearest transfer (its drain time is below kTimeSliver),
+    // widen to its finish point so the event still completes something.
+    double threshold = vtime_ + kDrainEps;
+    const double top_remaining = finish_heap_.top().v_end - vtime_;
+    if (top_remaining > kDrainEps &&
+        top_remaining / capacity_ < kTimeSliver) {
+        threshold = finish_heap_.top().v_end;
     }
     // Collect everything that drained (simultaneous completions are
     // possible), remove them from the active set *before* invoking the
-    // callbacks so callbacks can begin() new transfers safely.
-    std::vector<Callback> done;
-    for (auto it = active_.begin(); it != active_.end();) {
-        if (it->second.remaining <= threshold) {
-            progressed_bytes_ += it->second.remaining;
-            done.push_back(std::move(it->second.on_done));
-            it = active_.erase(it);
-        } else {
-            ++it;
-        }
+    // callbacks so callbacks can begin()/abort() safely. Each drained
+    // transfer's progress account is settled exactly to its demand:
+    // advanceTo attributed (vtime_ - v_start) to it, so the residual
+    // v_end - vtime_ (positive for a force-drained sliver, negative
+    // for ulp overshoot) closes the books — conservation is exact.
+    std::vector<std::pair<TransferId, Callback>> done;
+    while (dropStaleTop() && finish_heap_.top().v_end <= threshold) {
+        const FinishEntry entry = finish_heap_.top();
+        finish_heap_.pop();
+        auto it = active_.find(entry.id);
+        progressed_bytes_ += entry.v_end - vtime_;
+        done.emplace_back(entry.id, std::move(it->second.on_done));
+        active_.erase(it);
     }
     THEMIS_ASSERT(!done.empty(),
                   "completion event fired with nothing drained");
-    for (auto& cb : done)
+    // Callbacks run in begin order (ids are monotonic), matching the
+    // historical id-ordered drain scan.
+    std::sort(done.begin(), done.end(),
+              [](const auto& a, const auto& b) {
+                  return a.first < b.first;
+              });
+    for (auto& [id, cb] : done)
         cb();
     // Callbacks may have begun new transfers (each begin() already
     // rescheduled); make sure a completion is queued for survivors.

@@ -10,6 +10,15 @@
  * events and only occupy the channel for the byte-transfer part, which
  * is what lets concurrent chunks hide each other's step latencies
  * (paper Sec 4.3).
+ *
+ * Internally this is the standard GPS virtual-time formulation: the
+ * channel tracks the cumulative equal-share service V (in "virtual
+ * bytes" — bytes every transfer active since t0 would have received by
+ * now). A transfer beginning at virtual time V with B bytes finishes
+ * exactly when V reaches V+B, so each transfer is keyed by its finish
+ * point in virtual time in a min-heap. Advancing the clock updates one
+ * scalar (O(1)); begin/abort/completion touch only the heap (O(log n))
+ * — nothing ever iterates the active set.
  */
 
 #ifndef THEMIS_SIM_SHARED_CHANNEL_HPP
@@ -17,7 +26,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <queue>
+#include <unordered_map>
+#include <vector>
 
 #include "common/units.hpp"
 #include "sim/event_queue.hpp"
@@ -74,28 +85,60 @@ class SharedChannel
     /** Total time with at least one active transfer, up to last sync. */
     TimeNs busyTime() const { return busy_time_; }
 
+    /** Largest concurrent transfer count seen so far. */
+    std::size_t peakActiveCount() const { return peak_active_; }
+
     /** Bring progress accounting up to the queue's current time. */
     void sync() { advanceTo(queue_.now()); }
 
   private:
+    /**
+     * Map payload for a live transfer: presence in active_ is the
+     * liveness test for heap entries, so this is just the callback —
+     * the finish point lives solely in the heap's FinishEntry.
+     */
     struct Transfer
     {
-        Bytes remaining;
         Callback on_done;
+    };
+
+    /** Min-heap entry; ties in v_end break by id (= begin order). */
+    struct FinishEntry
+    {
+        double v_end;
+        TransferId id;
+    };
+
+    struct FinishLater
+    {
+        bool
+        operator()(const FinishEntry& a, const FinishEntry& b) const
+        {
+            if (a.v_end != b.v_end)
+                return a.v_end > b.v_end;
+            return a.id > b.id;
+        }
     };
 
     void advanceTo(TimeNs t);
     void reschedule();
     void onCompletionEvent();
+    /** Drop aborted entries off the heap top; true if a live one remains. */
+    bool dropStaleTop();
 
     EventQueue& queue_;
     Bandwidth capacity_;
-    std::map<TransferId, Transfer> active_;
+    std::unordered_map<TransferId, Transfer> active_;
+    std::priority_queue<FinishEntry, std::vector<FinishEntry>,
+                        FinishLater>
+        finish_heap_;
+    double vtime_ = 0.0; // cumulative equal-share service, virtual bytes
     TransferId next_id_ = 1;
     TimeNs last_update_ = 0.0;
     EventQueue::EventId pending_event_ = 0;
     Bytes progressed_bytes_ = 0.0;
     TimeNs busy_time_ = 0.0;
+    std::size_t peak_active_ = 0;
 };
 
 } // namespace themis::sim

@@ -1,0 +1,92 @@
+#include "sim/sweep_runner.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace themis::sim {
+
+namespace {
+
+int
+resolveThreads(int requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char* env = std::getenv("THEMIS_SWEEP_THREADS")) {
+        const int n = std::atoi(env);
+        if (n > 0)
+            return n;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+} // namespace
+
+SweepRunner::SweepRunner(SweepOptions options)
+    : threads_(resolveThreads(options.threads))
+{
+}
+
+void
+SweepRunner::run(std::vector<Job> jobs)
+{
+    for (const auto& job : jobs)
+        THEMIS_ASSERT(job, "null sweep job");
+    if (jobs.empty())
+        return;
+
+    const int workers =
+        static_cast<int>(std::min<std::size_t>(
+            jobs.size(), static_cast<std::size_t>(threads_)));
+    if (workers <= 1) {
+        EventQueue queue;
+        for (auto& job : jobs) {
+            job(queue);
+            queue.reset();
+        }
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    auto worker = [&] {
+        EventQueue queue;
+        while (true) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            // Fail fast: once any job has thrown, stop pulling work
+            // instead of grinding through the rest of the grid.
+            if (i >= jobs.size() ||
+                failed.load(std::memory_order_relaxed))
+                return;
+            try {
+                jobs[i](queue);
+            } catch (...) {
+                failed.store(true, std::memory_order_relaxed);
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+            queue.reset();
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int t = 0; t < workers; ++t)
+        pool.emplace_back(worker);
+    for (auto& thread : pool)
+        thread.join();
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace themis::sim

@@ -141,5 +141,126 @@ TEST(EventQueue, ManyEventsStressDeterminism)
     EXPECT_DOUBLE_EQ(sum, 10000.0 * 9999.0 / 2.0);
 }
 
+TEST(EventQueue, StaleIdCannotCancelSlotSuccessor)
+{
+    // The slab recycles slots through a free list; a stale id from a
+    // previous tenant must miss the current one (generation tag).
+    EventQueue q;
+    bool first = false, second = false;
+    const auto id_first = q.schedule(10.0, [&] { first = true; });
+    q.cancel(id_first); // frees the slot
+    const auto id_second = q.schedule(20.0, [&] { second = true; });
+    EXPECT_NE(id_first, id_second);
+    q.cancel(id_first); // stale generation: must be a no-op
+    EXPECT_EQ(q.pendingCount(), 1u);
+    q.run();
+    EXPECT_FALSE(first);
+    EXPECT_TRUE(second);
+}
+
+TEST(EventQueue, FiredIdCannotCancelSlotSuccessor)
+{
+    EventQueue q;
+    int fired = 0;
+    const auto id_first = q.schedule(10.0, [&] { ++fired; });
+    q.run(); // slot released by firing, not by cancel
+    const auto id_second = q.schedule(20.0, [&] { ++fired; });
+    EXPECT_NE(id_first, id_second);
+    q.cancel(id_first);
+    q.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, IdReuseAcrossManyGenerations)
+{
+    // Drive one slot through many alloc/cancel cycles; every issued id
+    // must stay unique and cancellation must only ever hit its own
+    // event.
+    EventQueue q;
+    std::vector<EventQueue::EventId> issued;
+    for (int round = 0; round < 100; ++round) {
+        bool fired = false;
+        const auto id = q.schedule(10.0, [&fired] { fired = true; });
+        for (const auto old : issued)
+            EXPECT_NE(old, id);
+        for (const auto old : issued)
+            q.cancel(old); // all stale: no-ops
+        EXPECT_EQ(q.pendingCount(), 1u);
+        q.cancel(id);
+        EXPECT_TRUE(q.empty());
+        issued.push_back(id);
+    }
+    q.run();
+}
+
+TEST(EventQueue, LargeClosureFallsBackToBox)
+{
+    // Closures beyond the inline slot capacity take the boxed path;
+    // behavior (ordering, cancellation) must be identical.
+    EventQueue q;
+    struct Big
+    {
+        double payload[16];
+    };
+    Big big{};
+    big.payload[0] = 1.0;
+    big.payload[15] = 2.0;
+    static_assert(sizeof(Big) > EventQueue::kInlineCapacity);
+    double seen = 0.0;
+    q.schedule(5.0, [big, &seen] {
+        seen = big.payload[0] + big.payload[15];
+    });
+    bool cancelled_fired = false;
+    const auto id = q.schedule(
+        6.0, [big, &cancelled_fired] { cancelled_fired = big.payload[0] > 0.0; });
+    q.cancel(id);
+    q.run();
+    EXPECT_DOUBLE_EQ(seen, 3.0);
+    EXPECT_FALSE(cancelled_fired);
+}
+
+TEST(EventQueue, HandlerSchedulingManyEventsKeepsClosureValid)
+{
+    // A handler that grows the slab (forcing slot storage to move)
+    // must keep executing its own closure safely: the queue relocates
+    // the closure out of the slab before invoking it.
+    EventQueue q;
+    std::vector<int> fired;
+    q.schedule(1.0, [&] {
+        for (int i = 0; i < 1000; ++i)
+            q.schedule(2.0 + i, [&fired, i] { fired.push_back(i); });
+        fired.push_back(-1);
+    });
+    q.run();
+    ASSERT_EQ(fired.size(), 1001u);
+    EXPECT_EQ(fired.front(), -1);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(fired[static_cast<std::size_t>(i) + 1], i);
+}
+
+TEST(EventQueue, IdenticalRunsFireInIdenticalOrder)
+{
+    // Determinism contract: the same schedule/cancel sequence produces
+    // the same firing order, run after run.
+    auto drive = [] {
+        EventQueue q;
+        std::vector<int> order;
+        std::vector<EventQueue::EventId> ids;
+        for (int i = 0; i < 500; ++i) {
+            ids.push_back(
+                q.schedule(static_cast<double>((i * 131) % 97),
+                           [&order, i] { order.push_back(i); }));
+        }
+        for (int i = 0; i < 500; i += 7)
+            q.cancel(ids[static_cast<std::size_t>(i)]);
+        q.run();
+        return order;
+    };
+    const auto first = drive();
+    const auto second = drive();
+    EXPECT_EQ(first, second);
+    EXPECT_FALSE(first.empty());
+}
+
 } // namespace
 } // namespace themis::sim

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/units.hpp"
 #include "sim/shared_channel.hpp"
 
@@ -163,6 +165,144 @@ TEST(SharedChannel, ManyStaggeredTransfersConserveBytes)
     q.run();
     ch.sync();
     EXPECT_NEAR(ch.progressedBytes(), expected, 1.0);
+}
+
+TEST(SharedChannel, ForcedDrainConservesBytesExactly)
+{
+    // Two transfers whose sizes differ by a sub-sliver amount: after
+    // the first drains, the second's remainder moves in under
+    // kTimeSliver and takes the forced-drain path. Conservation must
+    // hold exactly — the residual is credited once, never twice.
+    EventQueue q;
+    SharedChannel ch(q, 100.0);
+    int done = 0;
+    const Bytes a = 1.0e6;
+    const Bytes b = 1.0e6 + 1.0e-5; // residual far below the sliver
+    ch.begin(a, [&] { ++done; });
+    ch.begin(b, [&] { ++done; });
+    q.run();
+    EXPECT_EQ(done, 2);
+    ch.sync();
+    EXPECT_NEAR(ch.progressedBytes(), a + b, 1e-6);
+    EXPECT_EQ(ch.activeCount(), 0u);
+}
+
+TEST(SharedChannel, ConservationSumProgressedEqualsSumBegun)
+{
+    // Sum of progressed bytes == sum of begun bytes once everything
+    // drains, across a mix of sizes chosen to exercise simultaneous
+    // completions, forced drains and rate changes.
+    EventQueue q;
+    SharedChannel ch(q, 13.0);
+    double begun = 0.0;
+    int done = 0, expected_done = 0;
+    for (int i = 0; i < 200; ++i) {
+        const double bytes =
+            (i % 7 == 0) ? 5000.0 : 997.0 * (i % 13) + 0.125 * i;
+        begun += bytes;
+        ++expected_done;
+        q.schedule(41.0 * (i % 17),
+                   [&ch, &done, bytes] { ch.begin(bytes, [&done] { ++done; }); });
+    }
+    q.run();
+    ch.sync();
+    EXPECT_EQ(done, expected_done);
+    EXPECT_NEAR(ch.progressedBytes(), begun, 1e-3);
+}
+
+TEST(SharedChannel, AbortFromInsideCompletionCallback)
+{
+    EventQueue q;
+    SharedChannel ch(q, 100.0);
+    SharedChannel::TransferId victim = 0;
+    bool victim_fired = false;
+    TimeNs t_survivor = -1.0;
+    ch.begin(1.0e6, [&] { ch.abort(victim); });
+    victim = ch.begin(3.0e6, [&] { victim_fired = true; });
+    ch.begin(2.0e6, [&] { t_survivor = q.now(); });
+    q.run();
+    EXPECT_FALSE(victim_fired);
+    // All three share until 1MB drains at t = 30us (rate 100/3). The
+    // abort then leaves the survivor's last 1MB alone at full rate:
+    // +10us.
+    EXPECT_DOUBLE_EQ(t_survivor, 4.0e4);
+    EXPECT_EQ(ch.activeCount(), 0u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(SharedChannel, BeginFromInsideCallbackJoinsSharing)
+{
+    EventQueue q;
+    SharedChannel ch(q, 100.0);
+    TimeNs t_spawned = -1.0, t_old = -1.0;
+    ch.begin(1.0e6, [&] {
+        ch.begin(1.0e6, [&] { t_spawned = q.now(); });
+    });
+    ch.begin(3.0e6, [&] { t_old = q.now(); });
+    q.run();
+    // Shared halves until 20us (1MB each). Then the spawned 1MB and
+    // the old transfer's remaining 2MB share: spawned +20us = 40us,
+    // old then finishes its last 1MB alone at 50us.
+    EXPECT_DOUBLE_EQ(t_spawned, 4.0e4);
+    EXPECT_DOUBLE_EQ(t_old, 5.0e4);
+}
+
+TEST(SharedChannel, AbortAfterCompletionIsNoop)
+{
+    EventQueue q;
+    SharedChannel ch(q, 100.0);
+    const auto id = ch.begin(1.0e6, [] {});
+    q.run();
+    ch.abort(id); // already drained: harmless
+    EXPECT_EQ(ch.activeCount(), 0u);
+}
+
+TEST(SharedChannel, PeakActiveCountTracksHighWaterMark)
+{
+    EventQueue q;
+    SharedChannel ch(q, 100.0);
+    for (int i = 0; i < 5; ++i)
+        ch.begin(1.0e6 * (i + 1), [] {});
+    EXPECT_EQ(ch.peakActiveCount(), 5u);
+    q.run();
+    EXPECT_EQ(ch.activeCount(), 0u);
+    EXPECT_EQ(ch.peakActiveCount(), 5u);
+}
+
+TEST(SharedChannel, CompletionOrderIsDeterministicAndByBeginOrder)
+{
+    // Simultaneous completions fire their callbacks in begin order,
+    // and the whole completion sequence is identical run after run.
+    auto drive = [] {
+        EventQueue q;
+        SharedChannel ch(q, 50.0);
+        std::vector<int> order;
+        for (int i = 0; i < 40; ++i) {
+            const double bytes = (i % 4 == 0) ? 2.0e5 : 1.0e5 * (i % 3 + 1);
+            q.schedule(13.0 * (i % 5),
+                       [&ch, &order, i, bytes] {
+                           ch.begin(bytes, [&order, i] {
+                               order.push_back(i);
+                           });
+                       });
+        }
+        q.run();
+        return order;
+    };
+    const auto first = drive();
+    const auto second = drive();
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(first.size(), 40u);
+
+    // Four equal transfers begun in one batch drain together, in
+    // begin order.
+    EventQueue q;
+    SharedChannel ch(q, 100.0);
+    std::vector<int> order;
+    for (int i = 0; i < 4; ++i)
+        ch.begin(1.0e6, [&order, i] { order.push_back(i); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
 }
 
 } // namespace
