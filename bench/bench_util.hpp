@@ -8,6 +8,7 @@
 #ifndef THEMIS_BENCH_BENCH_UTIL_HPP
 #define THEMIS_BENCH_BENCH_UTIL_HPP
 
+#include <chrono>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -21,6 +22,16 @@
 #include "topology/presets.hpp"
 
 namespace themis::bench {
+
+/** Monotonic wall clock in nanoseconds (bench timing). */
+inline double
+nowNs()
+{
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
 
 /** One Table 3 scheduling configuration. */
 struct SchedulerSetup

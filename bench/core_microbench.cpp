@@ -16,7 +16,6 @@
  * (O(log n)) where the legacy channel grows linearly.
  */
 
-#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <map>
@@ -153,15 +152,6 @@ class LegacyChannel
     std::size_t peak_active_ = 0;
 };
 
-double
-nowNs()
-{
-    return static_cast<double>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now().time_since_epoch())
-            .count());
-}
-
 struct Measurement
 {
     std::string impl;
@@ -189,13 +179,13 @@ runChannelWorkload(const char* impl, int n)
         sim::EventQueue queue;
         Channel channel(queue, 100.0);
         int completions = 0;
-        const double t0 = nowNs();
+        const double t0 = bench::nowNs();
         for (int i = 0; i < n; ++i) {
             channel.begin(1000.0 * (i + 1),
                           [&completions] { ++completions; });
         }
         const std::size_t events = queue.run();
-        const double wall = nowNs() - t0;
+        const double wall = bench::nowNs() - t0;
         if (completions != n)
             THEMIS_PANIC("lost completions: " << completions << "/"
                                               << n);
@@ -223,13 +213,13 @@ runQueueWorkload(int n)
     for (int rep = 0; rep < 3; ++rep) {
         sim::EventQueue queue;
         long sum = 0;
-        const double t0 = nowNs();
+        const double t0 = bench::nowNs();
         for (int i = 0; i < n; ++i) {
             queue.schedule(static_cast<double>((i * 37) % 1000),
                            [&sum, i] { sum += i; });
         }
         const std::size_t events = queue.run();
-        const double wall = nowNs() - t0;
+        const double wall = bench::nowNs() - t0;
         if (sum != static_cast<long>(n) * (n - 1) / 2)
             THEMIS_PANIC("event queue dropped handlers");
         if (rep == 0 || wall < best.wall_ns) {

@@ -33,7 +33,7 @@ main()
     request.chunks = 64;    // the paper's default CPC
 
     // 3) Simulate under both schedulers.
-    for (const auto cfg : {runtime::baselineConfig(),
+    for (const auto& cfg : {runtime::baselineConfig(),
                            runtime::themisScfConfig()}) {
         sim::EventQueue queue;
         runtime::CommRuntime comm(queue, topo, cfg);

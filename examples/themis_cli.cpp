@@ -15,13 +15,20 @@
  *     --enforce           pre-simulate & enforce chunk-op orders
  *     --sweep C1,C2,...   sweep those chunk counts across all three
  *                         schedulers in parallel (worker threads)
+ *     --grid T1;T2;...    sweep a semicolon-separated topology list
+ *                         (preset names and/or specs) across all
+ *                         three schedulers — and across the --sweep
+ *                         chunk counts when given — sharing one plan
+ *                         cache across the grid's workers
  *     --jobs N            sweep worker threads [hardware concurrency]
  *
  * Example:
  *   themis_cli --topo "Ring:4:1000x2:20,SW:8:400:1700" --size 2.5e8
  *   themis_cli --sweep 4,16,64,256 --jobs 8
+ *   themis_cli --grid "2D-SW_SW;3D-SW_SW_SW_homo" --size 1e9
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 
@@ -50,7 +57,8 @@ usage(const char* argv0)
                  "[--size BYTES]\n"
                  "          [--chunks N] [--sched base|fifo|scf] "
                  "[--enforce]\n"
-                 "          [--sweep C1,C2,...] [--jobs N]\n",
+                 "          [--sweep C1,C2,...] [--grid T1;T2;...] "
+                 "[--jobs N]\n",
                  argv0);
     std::exit(2);
 }
@@ -62,6 +70,21 @@ resolveTopology(const std::string& arg)
     if (arg.find(':') == std::string::npos)
         return presets::byName(arg);
     return parseTopology("custom", arg);
+}
+
+/** One scheduler column of the --sweep/--grid tables. */
+struct SchedulerSetup
+{
+    const char* name;
+    runtime::RuntimeConfig cfg;
+};
+
+std::vector<SchedulerSetup>
+schedulerSetups()
+{
+    return {{"Baseline", runtime::baselineConfig()},
+            {"Themis+FIFO", runtime::themisFifoConfig()},
+            {"Themis+SCF", runtime::themisScfConfig()}};
 }
 
 } // namespace
@@ -78,6 +101,7 @@ main(int argc, char** argv)
     bool validate = false;
     std::string trace_path;
     std::string sweep_arg;
+    std::string grid_arg;
     int jobs = 0;
 
     for (int i = 1; i < argc; ++i) {
@@ -105,6 +129,8 @@ main(int argc, char** argv)
             validate = true;
         } else if (flag == "--sweep") {
             sweep_arg = need_value();
+        } else if (flag == "--grid") {
+            grid_arg = need_value();
         } else if (flag == "--jobs") {
             jobs = std::atoi(need_value().c_str());
         } else {
@@ -140,42 +166,56 @@ main(int argc, char** argv)
             usage(argv[0]);
         cfg.enforce_consistent_order = enforce;
 
-        if (!sweep_arg.empty()) {
-            // Fan the chunk-count x scheduler grid over the sweep
-            // harness: every cell is an independent simulation on a
-            // worker-owned event queue.
+        if (!grid_arg.empty() || !sweep_arg.empty()) {
+            // Topology-list grid: every listed platform x all three
+            // schedulers (x the --sweep chunk counts when given), one
+            // independent simulation per cell, one plan cache shared
+            // read-mostly across the grid's workers. A bare --sweep
+            // is the one-topology grid over --topo.
+            std::vector<Topology> grid_topos;
+            for (const auto& tok : split(grid_arg, ';'))
+                if (!tok.empty())
+                    grid_topos.push_back(resolveTopology(tok));
+            if (grid_topos.empty()) {
+                if (!grid_arg.empty())
+                    THEMIS_FATAL("empty --grid topology list");
+                grid_topos.push_back(topo);
+            }
             std::vector<int> chunk_list;
-            for (const auto& tok : split(sweep_arg, ','))
-                chunk_list.push_back(std::atoi(tok.c_str()));
-            for (int c : chunk_list)
-                if (c < 1)
-                    THEMIS_FATAL("bad --sweep chunk count list '"
-                                 << sweep_arg << "'");
-            struct Setup
-            {
-                const char* name;
-                runtime::RuntimeConfig cfg;
-            };
-            const std::vector<Setup> setups{
-                {"Baseline", runtime::baselineConfig()},
-                {"Themis+FIFO", runtime::themisFifoConfig()},
-                {"Themis+SCF", runtime::themisScfConfig()}};
+            if (!sweep_arg.empty()) {
+                for (const auto& tok : split(sweep_arg, ','))
+                    chunk_list.push_back(std::atoi(tok.c_str()));
+                for (int c : chunk_list)
+                    if (c < 1)
+                        THEMIS_FATAL("bad --sweep chunk count list '"
+                                     << sweep_arg << "'");
+            } else {
+                chunk_list.push_back(chunks);
+            }
+            const std::vector<SchedulerSetup> setups =
+                schedulerSetups();
             struct Outcome
             {
                 TimeNs time = 0.0;
                 double util = 0.0;
             };
-            const std::size_t cells =
+            const std::size_t per_topo =
                 chunk_list.size() * setups.size();
+            const std::size_t cells = grid_topos.size() * per_topo;
+            PlanCache cache;
+            const auto t0 = std::chrono::steady_clock::now();
             const auto results = sim::sweepIndexed(
                 cells,
                 [&](std::size_t i, sim::EventQueue& queue) {
                     CollectiveRequest r = req;
-                    r.chunks = chunk_list[i / setups.size()];
+                    r.chunks = chunk_list[i % per_topo /
+                                          setups.size()];
                     runtime::RuntimeConfig run_cfg =
                         setups[i % setups.size()].cfg;
                     run_cfg.enforce_consistent_order = enforce;
-                    runtime::CommRuntime comm(queue, topo, run_cfg);
+                    run_cfg.plan_cache = &cache;
+                    runtime::CommRuntime comm(
+                        queue, grid_topos[i / per_topo], run_cfg);
                     const int cid = comm.issue(r);
                     queue.run();
                     comm.finalizeStats();
@@ -184,21 +224,37 @@ main(int argc, char** argv)
                         comm.utilization().weightedUtilization()};
                 },
                 sim::SweepOptions{jobs});
+            const double wall_ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
 
-            std::printf("%s of %s, chunk sweep on %s:\n\n",
+            std::printf("%s of %s, %zu-cell grid over %zu "
+                        "topologies:\n\n",
                         collectiveTypeName(req.type).c_str(),
-                        fmtBytes(req.size).c_str(),
-                        topo.name().c_str());
-            stats::TextTable t({"Chunks", "Scheduler", "Time",
-                                "Avg BW util"});
+                        fmtBytes(req.size).c_str(), cells,
+                        grid_topos.size());
+            stats::TextTable t({"Topology", "Chunks", "Scheduler",
+                                "Time", "Avg BW util"});
             for (std::size_t i = 0; i < cells; ++i) {
-                t.addRow({std::to_string(
-                              chunk_list[i / setups.size()]),
+                t.addRow({grid_topos[i / per_topo].name(),
+                          std::to_string(
+                              chunk_list[i % per_topo /
+                                         setups.size()]),
                           setups[i % setups.size()].name,
                           fmtTime(results[i].time),
                           fmtPercent(results[i].util)});
             }
             std::printf("%s", t.render().c_str());
+            const auto cache_stats = cache.stats();
+            std::printf("\n%.1f ms wall (%.1f cells/sec); plan cache "
+                        "%zu plans, %llu hits / %llu misses\n",
+                        wall_ms, cells / (wall_ms * 1e-3),
+                        cache.planCount(),
+                        static_cast<unsigned long long>(
+                            cache_stats.plan_hits),
+                        static_cast<unsigned long long>(
+                            cache_stats.plan_misses));
             return 0;
         }
 

@@ -39,7 +39,7 @@ main(int argc, char** argv)
                         "Exposed MP", "Exposed DP", "Total",
                         "Avg BW util"});
     TimeNs baseline_total = 0.0;
-    for (const auto cfg : {runtime::baselineConfig(),
+    for (const auto& cfg : {runtime::baselineConfig(),
                            runtime::themisScfConfig()}) {
         sim::EventQueue queue;
         runtime::CommRuntime comm(queue, topo, cfg);

@@ -1,6 +1,7 @@
 #include "core/latency_model.hpp"
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 
 namespace themis {
 
@@ -9,10 +10,18 @@ LatencyModel::LatencyModel(std::vector<DimensionConfig> dims)
 {
     if (dims_.empty())
         THEMIS_FATAL("latency model needs at least one dimension");
+    Fnv1a hash;
     for (const auto& d : dims_) {
         d.validate();
         sizes_.push_back(d.size);
+        hash.mix(static_cast<std::uint64_t>(d.kind));
+        hash.mix(static_cast<std::uint64_t>(d.size));
+        hash.mix(d.link_bw_gbps);
+        hash.mix(static_cast<std::uint64_t>(d.links_per_npu));
+        hash.mix(d.step_latency_ns);
+        hash.mix(static_cast<std::uint64_t>(d.in_network_offload));
     }
+    fingerprint_ = hash.value();
 }
 
 LatencyModel

@@ -14,6 +14,7 @@
 #ifndef THEMIS_CORE_LATENCY_MODEL_HPP
 #define THEMIS_CORE_LATENCY_MODEL_HPP
 
+#include <cstdint>
 #include <vector>
 
 #include "collective/cost_model.hpp"
@@ -73,9 +74,21 @@ class LatencyModel
     stageLoads(Bytes size, const std::vector<StageAssignment>& stages)
         const;
 
+    /**
+     * Hash of every parameter a scheduler's predictions depend on
+     * (per dimension: wiring kind, effective peer-group size, link
+     * bandwidth, links per NPU, step latency, offload flag — exact
+     * bit patterns, in dimension order). Two models with equal
+     * fingerprints produce identical predictions, making this the
+     * topology component of plan-cache keys (core/plan_cache.hpp).
+     * Computed once at construction.
+     */
+    std::uint64_t fingerprint() const { return fingerprint_; }
+
   private:
     std::vector<DimensionConfig> dims_;
     std::vector<int> sizes_;
+    std::uint64_t fingerprint_ = 0;
 };
 
 } // namespace themis

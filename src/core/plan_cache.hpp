@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Memoization of scheduler output across collectives and sweep cells.
+ *
+ * A chunk-schedule plan is a pure function of (scheduler + its
+ * configuration, collective type, size, chunk count, latency model):
+ * the Themis scheduler resets its load tracker per collective
+ * (Algorithm 1), so two identical requests always yield bit-identical
+ * `ChunkSchedule`s. Training loops re-issue identical collectives per
+ * layer and per iteration, and design-space sweeps re-issue them per
+ * cell, so the runtime re-derived the same plans thousands of times.
+ * This cache keys plans by exactly the inputs above — the latency
+ * model is represented by a fingerprint hash of every dimension's
+ * parameters (LatencyModel::fingerprint()), which makes keys sound
+ * across topologies, scopes and sweep axes that do not affect the
+ * plan.
+ *
+ * Enforced per-dimension start orders (Sec 4.6.2) are memoized too:
+ * they are a pure function of the plan plus the intra-dimension
+ * policy, admission configuration and planner kind, and deriving them
+ * costs a full shadow simulation per collective.
+ *
+ * The cache is thread-safe and read-mostly: one instance is shared
+ * across sweep workers (std::shared_mutex; lookups take the shared
+ * lock). Values are immutable shared_ptrs, so a worker can keep using
+ * a plan while others insert. The only caching-unsound configuration
+ * — a Themis scheduler carrying load state across collectives — is
+ * rejected by the runtime (it bypasses the cache).
+ */
+
+#ifndef THEMIS_CORE_PLAN_CACHE_HPP
+#define THEMIS_CORE_PLAN_CACHE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/chunk.hpp"
+#include "core/consistency_planner.hpp"
+#include "core/intra_dim_policy.hpp"
+#include "core/scheduler.hpp"
+
+namespace themis {
+
+/** Everything a chunk-schedule plan depends on. */
+struct PlanKey
+{
+    SchedulerKind scheduler = SchedulerKind::Baseline;
+
+    /** Scheduler tunables; normalized to defaults for schedulers that
+     *  ignore them so equivalent requests share one entry. */
+    ThemisConfig themis{};
+
+    CollectiveType type = CollectiveType::AllReduce;
+    Bytes size = 0.0;
+    int chunks = 0;
+
+    /** LatencyModel::fingerprint() of the collective's scope. */
+    std::uint64_t model_fingerprint = 0;
+
+    /** Build a key, normalizing scheduler-ignored fields. */
+    static PlanKey make(SchedulerKind scheduler,
+                        const ThemisConfig& themis, CollectiveType type,
+                        Bytes size, int chunks,
+                        std::uint64_t model_fingerprint);
+
+    bool operator==(const PlanKey& o) const;
+};
+
+/** Everything an enforced-order plan depends on beyond the PlanKey. */
+struct OrderKey
+{
+    PlanKey plan;
+    IntraDimPolicy intra_policy = IntraDimPolicy::Fifo;
+
+    /** runtime::OrderPlanner as an int (core cannot see runtime). */
+    int planner = 0;
+
+    /** AdmissionConfig fields (engine timing affects shadow orders). */
+    int max_parallel_ops = 0;
+    double latency_headroom = 0.0;
+
+    bool operator==(const OrderKey& o) const;
+};
+
+/** Shared, read-mostly plan memoization; see file comment. */
+class PlanCache
+{
+  public:
+    using PlanPtr = std::shared_ptr<const std::vector<ChunkSchedule>>;
+    using OrderPtr =
+        std::shared_ptr<const std::vector<std::vector<OpKey>>>;
+
+    /** Cache effectiveness counters (monotonic, thread-safe). */
+    struct Stats
+    {
+        std::uint64_t plan_hits = 0;
+        std::uint64_t plan_misses = 0;
+        std::uint64_t order_hits = 0;
+        std::uint64_t order_misses = 0;
+    };
+
+    PlanCache() = default;
+    PlanCache(const PlanCache&) = delete;
+    PlanCache& operator=(const PlanCache&) = delete;
+
+    /** Cached plan for @p key, or nullptr (counts a hit/miss). */
+    PlanPtr findPlan(const PlanKey& key) const;
+
+    /**
+     * Store @p plan under @p key and return the cached value. If a
+     * concurrent worker won the race, its (identical) plan wins and
+     * @p plan is discarded.
+     */
+    PlanPtr storePlan(const PlanKey& key,
+                      std::vector<ChunkSchedule> plan);
+
+    /** Cached enforced orders for @p key, or nullptr. */
+    OrderPtr findOrders(const OrderKey& key) const;
+
+    /** Store enforced orders; first writer wins (values identical). */
+    OrderPtr storeOrders(const OrderKey& key,
+                         std::vector<std::vector<OpKey>> orders);
+
+    /** Distinct plans currently cached. */
+    std::size_t planCount() const;
+
+    /** Distinct order plans currently cached. */
+    std::size_t orderCount() const;
+
+    Stats stats() const;
+
+  private:
+    struct PlanKeyHash
+    {
+        std::size_t operator()(const PlanKey& k) const;
+    };
+
+    struct OrderKeyHash
+    {
+        std::size_t operator()(const OrderKey& k) const;
+    };
+
+    mutable std::shared_mutex mutex_;
+    std::unordered_map<PlanKey, PlanPtr, PlanKeyHash> plans_;
+    std::unordered_map<OrderKey, OrderPtr, OrderKeyHash> orders_;
+    mutable std::atomic<std::uint64_t> plan_hits_{0};
+    mutable std::atomic<std::uint64_t> plan_misses_{0};
+    mutable std::atomic<std::uint64_t> order_hits_{0};
+    mutable std::atomic<std::uint64_t> order_misses_{0};
+};
+
+} // namespace themis
+
+#endif // THEMIS_CORE_PLAN_CACHE_HPP

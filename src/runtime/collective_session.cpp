@@ -10,17 +10,32 @@ CollectiveSession::CollectiveSession(int id, CollectiveType type,
                                      const LatencyModel& model,
                                      sim::EventQueue& queue,
                                      CompletionCallback on_done)
+    : CollectiveSession(
+          id, type,
+          std::make_shared<const std::vector<ChunkSchedule>>(
+              std::move(schedules)),
+          std::move(engines), model, queue, std::move(on_done))
+{
+}
+
+CollectiveSession::CollectiveSession(int id, CollectiveType type,
+                                     SchedulePtr schedules,
+                                     std::vector<DimensionEngine*> engines,
+                                     const LatencyModel& model,
+                                     sim::EventQueue& queue,
+                                     CompletionCallback on_done)
     : id_(id), type_(type), schedules_(std::move(schedules)),
       engines_(std::move(engines)), model_(model), queue_(queue),
       on_done_(std::move(on_done))
 {
-    THEMIS_ASSERT(!schedules_.empty(), "collective with no chunks");
+    THEMIS_ASSERT(schedules_ != nullptr, "null schedule plan");
+    THEMIS_ASSERT(!schedules_->empty(), "collective with no chunks");
     THEMIS_ASSERT(!engines_.empty(), "collective with no dimensions");
     THEMIS_ASSERT(model_.numDims() == static_cast<int>(engines_.size()),
                   "model/engine rank mismatch");
     for (auto* e : engines_)
         THEMIS_ASSERT(e != nullptr, "null dimension engine");
-    for (const auto& sched : schedules_) {
+    for (const auto& sched : *schedules_) {
         THEMIS_ASSERT(!sched.stages.empty(), "chunk with no stages");
         for (const auto& st : sched.stages) {
             THEMIS_ASSERT(st.dim >= 0 &&
@@ -37,15 +52,15 @@ CollectiveSession::start()
     THEMIS_ASSERT(!started_, "session started twice");
     started_ = true;
     start_time_ = queue_.now();
-    for (std::size_t i = 0; i < schedules_.size(); ++i)
-        submitStage(i, 0, schedules_[i].size);
+    for (std::size_t i = 0; i < schedules_->size(); ++i)
+        submitStage(i, 0, (*schedules_)[i].size);
 }
 
 void
 CollectiveSession::submitStage(std::size_t chunk_idx, int stage_index,
                                Bytes entering)
 {
-    const ChunkSchedule& sched = schedules_[chunk_idx];
+    const ChunkSchedule& sched = (*schedules_)[chunk_idx];
     const StageAssignment& stage =
         sched.stages[static_cast<std::size_t>(stage_index)];
     DimensionEngine* engine =
@@ -62,8 +77,8 @@ CollectiveSession::onOpComplete(const ChunkOp& op)
 {
     // Find the chunk (chunk ids are dense indexes per session).
     const auto chunk_idx = static_cast<std::size_t>(op.tag.chunk_id);
-    THEMIS_ASSERT(chunk_idx < schedules_.size(), "unknown chunk id");
-    const ChunkSchedule& sched = schedules_[chunk_idx];
+    THEMIS_ASSERT(chunk_idx < schedules_->size(), "unknown chunk id");
+    const ChunkSchedule& sched = (*schedules_)[chunk_idx];
     const int next = op.tag.stage_index + 1;
     const auto& stage =
         sched.stages[static_cast<std::size_t>(op.tag.stage_index)];

@@ -8,6 +8,7 @@
 #define THEMIS_RUNTIME_COLLECTIVE_SESSION_HPP
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/chunk.hpp"
@@ -23,10 +24,16 @@ class CollectiveSession
     /** Invoked once when every chunk finished its last stage. */
     using CompletionCallback = std::function<void(CollectiveSession&)>;
 
+    /** Immutable chunk schedules, shareable via the plan cache. */
+    using SchedulePtr =
+        std::shared_ptr<const std::vector<ChunkSchedule>>;
+
     /**
      * @param id        runtime-unique collective id
      * @param type      collective pattern (for reporting)
-     * @param schedules per-chunk stage orders (scheduler output)
+     * @param schedules per-chunk stage orders (scheduler output;
+     *                  possibly shared with other sessions through the
+     *                  plan cache — never mutated)
      * @param engines   engine per *local* dimension of the scope
      * @param model     scope latency model; its dimension configs
      *                  carry the effective peer-group sizes (possibly
@@ -34,6 +41,12 @@ class CollectiveSession
      * @param queue     event queue (for timestamps)
      * @param on_done   completion callback
      */
+    CollectiveSession(int id, CollectiveType type, SchedulePtr schedules,
+                      std::vector<DimensionEngine*> engines,
+                      const LatencyModel& model, sim::EventQueue& queue,
+                      CompletionCallback on_done);
+
+    /** Convenience overload wrapping freshly derived schedules. */
     CollectiveSession(int id, CollectiveType type,
                       std::vector<ChunkSchedule> schedules,
                       std::vector<DimensionEngine*> engines,
@@ -53,7 +66,7 @@ class CollectiveSession
     CollectiveType type() const { return type_; }
 
     /** True once every chunk completed all stages. */
-    bool done() const { return completed_chunks_ == schedules_.size(); }
+    bool done() const { return completed_chunks_ == schedules_->size(); }
 
     /** Simulation time of start(). */
     TimeNs startTime() const { return start_time_; }
@@ -64,7 +77,7 @@ class CollectiveSession
     /** The chunk schedules being executed. */
     const std::vector<ChunkSchedule>& schedules() const
     {
-        return schedules_;
+        return *schedules_;
     }
 
   private:
@@ -74,7 +87,7 @@ class CollectiveSession
 
     int id_;
     CollectiveType type_;
-    std::vector<ChunkSchedule> schedules_;
+    SchedulePtr schedules_;
     std::vector<DimensionEngine*> engines_;
     const LatencyModel& model_;
     sim::EventQueue& queue_;

@@ -45,7 +45,7 @@ CommRuntime::CommRuntime(sim::EventQueue& queue, Topology topo,
     for (int d = 0; d < topo_.numDims(); ++d) {
         engines_.push_back(std::make_unique<DimensionEngine>(
             queue_ref_, topo_.dim(d), d, config_.intra_policy,
-            config_.admission));
+            config_.admission, config_.legacy_engine_scan));
         engines_.back()->setPresenceListener(
             [this](int dim, bool present, TimeNs when) {
                 activity_.onPresence(dim, present, when);
@@ -109,6 +109,67 @@ CommRuntime::modelForScope(const std::vector<ScopeDim>& scope)
     return *scopeState(normalizeScope(scope)).model;
 }
 
+PlanCache*
+CommRuntime::usableCache() const
+{
+    if (config_.plan_cache == nullptr)
+        return nullptr;
+    // A Themis scheduler carrying load state across collectives makes
+    // plans history-dependent — the one configuration memoization
+    // cannot represent.
+    if (config_.scheduler == SchedulerKind::Themis &&
+        config_.themis.carry_load_across_collectives)
+        return nullptr;
+    return config_.plan_cache;
+}
+
+CollectiveSession::SchedulePtr
+CommRuntime::planFor(ScopeState& state, PlanCache* cache,
+                     const PlanKey& key, CollectiveType type,
+                     Bytes size, int chunks)
+{
+    if (cache == nullptr) {
+        return std::make_shared<const std::vector<ChunkSchedule>>(
+            state.scheduler->scheduleCollective(type, size, chunks));
+    }
+    if (auto plan = cache->findPlan(key))
+        return plan;
+    return cache->storePlan(
+        key, state.scheduler->scheduleCollective(type, size, chunks));
+}
+
+PlanCache::OrderPtr
+CommRuntime::ordersFor(ScopeState& state, PlanCache* cache,
+                       const PlanKey& key,
+                       const std::vector<ChunkSchedule>& schedules,
+                       const std::vector<ScopeDim>& scope)
+{
+    OrderKey order_key;
+    if (cache != nullptr) {
+        order_key.plan = key;
+        order_key.intra_policy = config_.intra_policy;
+        order_key.planner = static_cast<int>(config_.order_planner);
+        order_key.max_parallel_ops = config_.admission.max_parallel_ops;
+        order_key.latency_headroom = config_.admission.latency_headroom;
+        if (auto orders = cache->findOrders(order_key))
+            return orders;
+    }
+    std::vector<std::vector<OpKey>> orders;
+    if (config_.order_planner == OrderPlanner::ShadowSim) {
+        orders = shadowPlanOrders(key.type, schedules, scope,
+                                  *state.model);
+    } else {
+        auto plan = state.planner->plan(schedules);
+        THEMIS_ASSERT(planIsDeadlockFree(schedules, plan),
+                      "consistency planner emitted a cyclic order");
+        orders = std::move(plan.order);
+    }
+    if (cache != nullptr)
+        return cache->storeOrders(order_key, std::move(orders));
+    return std::make_shared<const std::vector<std::vector<OpKey>>>(
+        std::move(orders));
+}
+
 int
 CommRuntime::issue(const CollectiveRequest& request, Callback on_done)
 {
@@ -119,8 +180,12 @@ CommRuntime::issue(const CollectiveRequest& request, Callback on_done)
         request.chunks > 0 ? request.chunks : config_.default_chunks;
     const Bytes size = schedulableSize(request.type, request.size,
                                        state.model->dimSizes());
-    auto schedules = state.scheduler->scheduleCollective(request.type,
-                                                         size, chunks);
+    PlanCache* cache = usableCache();
+    const PlanKey key =
+        PlanKey::make(config_.scheduler, config_.themis, request.type,
+                      size, chunks, state.model->fingerprint());
+    CollectiveSession::SchedulePtr schedules =
+        planFor(state, cache, key, request.type, size, chunks);
 
     const int id = static_cast<int>(records_.size());
     Record rec;
@@ -140,18 +205,12 @@ CommRuntime::issue(const CollectiveRequest& request, Callback on_done)
 
     if (config_.enforce_consistent_order) {
         // Pre-simulate to fix per-dimension start orders (Sec 4.6.2).
-        std::vector<std::vector<OpKey>> orders;
-        if (config_.order_planner == OrderPlanner::ShadowSim) {
-            orders = shadowPlanOrders(request.type, schedules, scope,
-                                      *state.model);
-        } else {
-            auto plan = state.planner->plan(schedules);
-            THEMIS_ASSERT(planIsDeadlockFree(schedules, plan),
-                          "consistency planner emitted a cyclic order");
-            orders = std::move(plan.order);
-        }
+        const PlanCache::OrderPtr orders =
+            ordersFor(state, cache, key, *schedules, scope);
+        THEMIS_ASSERT(orders->size() == scope.size(),
+                      "order plan rank mismatch");
         for (std::size_t local = 0; local < scope.size(); ++local) {
-            engines[local]->setEnforcedOrder(id, orders[local]);
+            engines[local]->setEnforcedOrder(id, (*orders)[local]);
         }
     }
 
@@ -220,7 +279,8 @@ CommRuntime::shadowPlanOrders(CollectiveType type,
     for (std::size_t local = 0; local < scope.size(); ++local) {
         shadow_engines.push_back(std::make_unique<DimensionEngine>(
             shadow_queue, topo_.dim(scope[local].dim),
-            scope[local].dim, config_.intra_policy, config_.admission));
+            scope[local].dim, config_.intra_policy, config_.admission,
+            config_.legacy_engine_scan));
         auto* bucket = &orders[local];
         shadow_engines.back()->setStartListener(
             [bucket](const OpTag& tag) {

@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/plan_cache.hpp"
 #include "core/scheduler.hpp"
 #include "runtime/collective_session.hpp"
 #include "stats/activity_timeline.hpp"
@@ -71,6 +72,24 @@ struct RuntimeConfig
 
     /** Planner used when enforce_consistent_order is set. */
     OrderPlanner order_planner = OrderPlanner::ShadowSim;
+
+    /**
+     * Shared plan-memoization cache (core/plan_cache.hpp); nullptr
+     * disables memoization. Not owned — the caller keeps it alive for
+     * the runtime's lifetime and may share one instance across the
+     * runtimes of a whole sweep (it is thread-safe). Results are
+     * bit-identical with and without a cache; the only configuration
+     * whose plans are history-dependent (Themis with
+     * carry_load_across_collectives) bypasses it automatically.
+     */
+    PlanCache* plan_cache = nullptr;
+
+    /**
+     * Use the pre-PR O(queue) linear selection scan in the dimension
+     * engines instead of the indexed ready-set. Identical results;
+     * exists so benches can measure the optimization in one binary.
+     */
+    bool legacy_engine_scan = false;
 };
 
 /** Table 3 convenience constructors. */
@@ -171,6 +190,22 @@ class CommRuntime
     std::vector<ScopeDim>
     normalizeScope(const std::vector<ScopeDim>& scope) const;
     void onCollectiveDone(int id);
+
+    /** The plan cache, or nullptr when this config cannot use one. */
+    PlanCache* usableCache() const;
+    /**
+     * Derive (or fetch, when @p cache is non-null) the chunk
+     * schedules of one request. @p key is the request's plan-cache
+     * key (ignored when @p cache is null).
+     */
+    CollectiveSession::SchedulePtr
+    planFor(ScopeState& state, PlanCache* cache, const PlanKey& key,
+            CollectiveType type, Bytes size, int chunks);
+    /** Derive (or fetch) enforced per-dimension orders (Sec 4.6.2). */
+    PlanCache::OrderPtr
+    ordersFor(ScopeState& state, PlanCache* cache, const PlanKey& key,
+              const std::vector<ChunkSchedule>& schedules,
+              const std::vector<ScopeDim>& scope);
 
     /**
      * Replay @p schedules through a private shadow simulation and

@@ -11,15 +11,28 @@ namespace {
 
 constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
 
+std::pair<int, int>
+parkKey(const OpKey& key)
+{
+    return {key.chunk_id, key.stage_index};
+}
+
+std::pair<int, int>
+parkKey(const OpTag& tag)
+{
+    return {tag.chunk_id, tag.stage_index};
+}
+
 } // namespace
 
 DimensionEngine::DimensionEngine(sim::EventQueue& queue,
                                  DimensionConfig config, int global_dim,
                                  IntraDimPolicy policy,
-                                 AdmissionConfig admission)
+                                 AdmissionConfig admission,
+                                 bool legacy_scan)
     : queue_ref_(queue), config_(config), global_dim_(global_dim),
-      policy_(policy), admission_(admission),
-      channel_(queue, config.bandwidth())
+      policy_(policy), admission_(admission), legacy_scan_(legacy_scan),
+      channel_(queue, config.bandwidth()), ready_(ReadyCompare{policy})
 {
     config_.validate();
     THEMIS_ASSERT(admission_.max_parallel_ops >= 1,
@@ -32,13 +45,64 @@ void
 DimensionEngine::setEnforcedOrder(int collective_id,
                                   std::vector<OpKey> order)
 {
-    enforced_[collective_id] = EnforcedOrder{std::move(order), 0};
+    if (legacy_scan_) {
+        enforced_[collective_id] = EnforcedOrder{std::move(order), 0, {}};
+        // Installing an order can change which queued op is eligible
+        // (normally none are queued yet — orders are installed before
+        // the session starts — but a replacement mid-flight must not
+        // leave a newly eligible op stranded).
+        tryStartLegacy();
+        return;
+    }
+    // Replacing an existing order first releases its parked ops back
+    // into the ready set so none are stranded; the re-scan below
+    // re-parks them under the new order.
+    auto old = enforced_.find(collective_id);
+    if (old != enforced_.end()) {
+        for (const auto& [key, seq] : old->second.parked) {
+            auto pit = pending_.find(seq);
+            THEMIS_ASSERT(pit != pending_.end(),
+                          "parked op missing from pending store");
+            ready_.insert(readyKeyOf(pit->second));
+        }
+        enforced_.erase(old);
+    }
+    EnforcedOrder& eo = enforced_[collective_id];
+    eo.order = std::move(order);
+    // Ops of this collective may already be pending (normally the
+    // order is installed before the session starts, so this loop sees
+    // an empty set): park every one that is not the expected head.
+    for (const auto& [seq, p] : pending_) {
+        if (p.op.tag.collective_id != collective_id)
+            continue;
+        THEMIS_ASSERT(eo.next < eo.order.size(),
+                      "enforced order shorter than pending op count");
+        if (parkKey(p.op.tag) != parkKey(eo.order[eo.next])) {
+            ready_.erase(readyKeyOf(p));
+            eo.parked.emplace(parkKey(p.op.tag), seq);
+        }
+    }
+    // See the legacy branch: a replacement may have made an op
+    // startable (released from the old order's parking).
+    tryStart();
 }
 
 void
 DimensionEngine::clearEnforcedOrder(int collective_id)
 {
-    enforced_.erase(collective_id);
+    auto it = enforced_.find(collective_id);
+    if (it == enforced_.end())
+        return;
+    for (const auto& [key, seq] : it->second.parked) {
+        auto pit = pending_.find(seq);
+        THEMIS_ASSERT(pit != pending_.end(),
+                      "parked op missing from pending store");
+        ready_.insert(readyKeyOf(pit->second));
+    }
+    const bool unparked = !it->second.parked.empty();
+    enforced_.erase(it);
+    if (unparked)
+        tryStart();
 }
 
 void
@@ -62,7 +126,7 @@ DimensionEngine::setFinishListener(FinishListener listener)
 void
 DimensionEngine::notifyPresence()
 {
-    const bool present = !queue_.empty() || !active_.empty();
+    const bool present = queuedCount() > 0 || !active_.empty();
     if (present == last_presence_)
         return;
     last_presence_ = present;
@@ -76,7 +140,31 @@ DimensionEngine::enqueue(ChunkOp op)
     THEMIS_ASSERT(op.global_dim == global_dim_,
                   "op for dim " << op.global_dim << " enqueued on dim "
                                 << global_dim_);
-    queue_.push_back(PendingOp{std::move(op), arrival_counter_++});
+    const std::uint64_t seq = arrival_counter_++;
+    if (legacy_scan_) {
+        queue_.push_back(PendingOp{std::move(op), seq});
+        notifyPresence();
+        tryStartLegacy();
+        return;
+    }
+    auto eit = enforced_.find(op.tag.collective_id);
+    if (eit != enforced_.end()) {
+        EnforcedOrder& eo = eit->second;
+        THEMIS_ASSERT(eo.next < eo.order.size(),
+                      "enforced order exhausted but ops keep arriving");
+        if (parkKey(op.tag) != parkKey(eo.order[eo.next])) {
+            // Not the expected head: park until the cursor reaches it.
+            // Nothing became startable, so no tryStart().
+            eo.parked.emplace(parkKey(op.tag), seq);
+            pending_.emplace(seq, PendingOp{std::move(op), seq});
+            notifyPresence();
+            return;
+        }
+    }
+    auto [pit, inserted] =
+        pending_.emplace(seq, PendingOp{std::move(op), seq});
+    THEMIS_ASSERT(inserted, "duplicate arrival sequence");
+    ready_.insert(readyKeyOf(pit->second));
     notifyPresence();
     tryStart();
 }
@@ -134,7 +222,44 @@ DimensionEngine::selectNext() const
 }
 
 void
+DimensionEngine::promoteExpected(EnforcedOrder& eo)
+{
+    if (eo.next >= eo.order.size())
+        return;
+    auto it = eo.parked.find(parkKey(eo.order[eo.next]));
+    if (it == eo.parked.end())
+        return; // expected op has not arrived yet
+    auto pit = pending_.find(it->second);
+    THEMIS_ASSERT(pit != pending_.end(),
+                  "parked op missing from pending store");
+    ready_.insert(readyKeyOf(pit->second));
+    eo.parked.erase(it);
+}
+
+void
 DimensionEngine::tryStart()
+{
+    while (!ready_.empty()) {
+        auto it = ready_.begin();
+        auto pit = pending_.find(it->arrival_seq);
+        THEMIS_ASSERT(pit != pending_.end(),
+                      "ready op missing from pending store");
+        if (!admissionAllows(pit->second.op))
+            return;
+        ChunkOp op = std::move(pit->second.op);
+        ready_.erase(it);
+        pending_.erase(pit);
+        auto eit = enforced_.find(op.tag.collective_id);
+        if (eit != enforced_.end()) {
+            ++eit->second.next;
+            promoteExpected(eit->second);
+        }
+        startOp(std::move(op));
+    }
+}
+
+void
+DimensionEngine::tryStartLegacy()
 {
     while (true) {
         const std::size_t pick = selectNext();
@@ -216,7 +341,10 @@ DimensionEngine::finish(std::uint64_t exec_id)
     // dimension (or this one); notify first, then refill.
     op.on_complete(op);
     notifyPresence();
-    tryStart();
+    if (legacy_scan_)
+        tryStartLegacy();
+    else
+        tryStart();
 }
 
 } // namespace themis::runtime

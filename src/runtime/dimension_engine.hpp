@@ -15,6 +15,16 @@
  *  - step execution: each algorithm step waits its latency (no
  *    bandwidth held) and then transfers its bytes through the shared
  *    channel (processor sharing across concurrent ops).
+ *
+ * Selection is indexed: pending ops that are *eligible* (their
+ * collective has no enforced order, or they are exactly its next
+ * expected op) live in a ready-set ordered by the intra-dimension
+ * policy key, so picking the next op is O(log n) instead of a linear
+ * rescan of the queue per start. Ops of an enforced collective that
+ * are not yet expected are parked per collective and promoted when
+ * the order cursor reaches them. The pre-PR linear scan is retained
+ * behind `legacy_scan` so benches can measure both paths in the same
+ * binary; the two paths pick identical ops in identical order.
  */
 
 #ifndef THEMIS_RUNTIME_DIMENSION_ENGINE_HPP
@@ -26,6 +36,8 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/consistency_planner.hpp"
@@ -71,15 +83,17 @@ class DimensionEngine
         std::function<void(const ChunkOp&, TimeNs started)>;
 
     /**
-     * @param queue      event queue driving the simulation
-     * @param config     this dimension's network parameters
-     * @param global_dim index of this dimension in the full topology
-     * @param policy     intra-dimension ordering policy
-     * @param admission  parallel-admission tunables
+     * @param queue       event queue driving the simulation
+     * @param config      this dimension's network parameters
+     * @param global_dim  index of this dimension in the full topology
+     * @param policy      intra-dimension ordering policy
+     * @param admission   parallel-admission tunables
+     * @param legacy_scan use the pre-PR O(queue) selection scan
+     *                    (measurement baseline; results identical)
      */
     DimensionEngine(sim::EventQueue& queue, DimensionConfig config,
                     int global_dim, IntraDimPolicy policy,
-                    AdmissionConfig admission);
+                    AdmissionConfig admission, bool legacy_scan = false);
 
     DimensionEngine(const DimensionEngine&) = delete;
     DimensionEngine& operator=(const DimensionEngine&) = delete;
@@ -92,6 +106,12 @@ class DimensionEngine
      * dimension (consistency planner output, Sec 4.6.2). Ops of that
      * collective then start exactly in this order; ops of other
      * collectives interleave by policy.
+     *
+     * Normally installed before the collective's session starts.
+     * Replacing an existing order mid-flight is supported only if the
+     * new order lists exclusively not-yet-started ops (the cursor
+     * restarts at the new order's head; an already-started op named
+     * there would be waited for forever).
      */
     void setEnforcedOrder(int collective_id, std::vector<OpKey> order);
 
@@ -118,7 +138,11 @@ class DimensionEngine
     int globalDim() const { return global_dim_; }
 
     /** Currently queued (not yet started) op count. */
-    std::size_t queuedCount() const { return queue_.size(); }
+    std::size_t
+    queuedCount() const
+    {
+        return legacy_scan_ ? queue_.size() : pending_.size();
+    }
 
     /** Currently executing op count. */
     std::size_t activeCount() const { return active_.size(); }
@@ -140,10 +164,54 @@ class DimensionEngine
         TimeNs started_at = 0.0;
     };
 
+    /** Ready-set key; ordering implements the policy tie-breaks. */
+    struct ReadyKey
+    {
+        TimeNs service_time = 0.0;
+        std::uint64_t arrival_seq = 0;
+        int chunk_id = 0;
+    };
+
+    struct ReadyCompare
+    {
+        IntraDimPolicy policy;
+
+        bool
+        operator()(const ReadyKey& a, const ReadyKey& b) const
+        {
+            if (policy == IntraDimPolicy::Scf) {
+                if (a.service_time != b.service_time)
+                    return a.service_time < b.service_time;
+                if (a.arrival_seq != b.arrival_seq)
+                    return a.arrival_seq < b.arrival_seq;
+                return a.chunk_id < b.chunk_id;
+            }
+            return a.arrival_seq < b.arrival_seq;
+        }
+    };
+
+    struct EnforcedOrder
+    {
+        std::vector<OpKey> order;
+        std::size_t next = 0;
+        /** Parked (not yet expected) ops: OpKey -> arrival_seq. */
+        std::map<std::pair<int, int>, std::uint64_t> parked;
+    };
+
+    static ReadyKey
+    readyKeyOf(const PendingOp& p)
+    {
+        return ReadyKey{p.op.transfer_time + p.op.fixed_delay,
+                        p.arrival_seq, p.op.tag.chunk_id};
+    }
+
     void tryStart();
+    void tryStartLegacy();
     bool admissionAllows(const ChunkOp& candidate) const;
     /** Queue index to start next, or npos if ordering blocks. */
     std::size_t selectNext() const;
+    /** Promote @p eo's newly expected op from parked to ready. */
+    void promoteExpected(EnforcedOrder& eo);
     void startOp(ChunkOp op);
     void advance(std::uint64_t exec_id);
     void finish(std::uint64_t exec_id);
@@ -154,9 +222,14 @@ class DimensionEngine
     int global_dim_;
     IntraDimPolicy policy_;
     AdmissionConfig admission_;
+    bool legacy_scan_;
     sim::SharedChannel channel_;
 
-    std::deque<PendingOp> queue_;
+    std::deque<PendingOp> queue_; ///< legacy-scan pending store
+    /** Indexed pending store: arrival_seq -> op, plus the eligible
+     *  set ordered by policy key. */
+    std::unordered_map<std::uint64_t, PendingOp> pending_;
+    std::set<ReadyKey, ReadyCompare> ready_;
     std::map<std::uint64_t, ActiveOp> active_;
     /** Aggregates over active_, maintained incrementally so the
      *  admission check is O(1) instead of rescanning the active set. */
@@ -166,11 +239,6 @@ class DimensionEngine
     std::uint64_t arrival_counter_ = 0;
     std::uint64_t completed_ = 0;
 
-    struct EnforcedOrder
-    {
-        std::vector<OpKey> order;
-        std::size_t next = 0;
-    };
     std::map<int, EnforcedOrder> enforced_;
 
     PresenceListener presence_;

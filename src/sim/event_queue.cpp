@@ -1,6 +1,72 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+
 namespace themis::sim {
+
+namespace {
+
+/** Initial calendar geometry; re-adapted as the population grows. */
+constexpr std::size_t kInitialBuckets = 64; // power of two
+constexpr double kInitialWidth = 100.0;     // ns
+
+/** Bucket-width clamp: below 1e-3 ns nothing is resolvable (the
+ *  simulation's own time sliver), above 1e12 ns a single bucket spans
+ *  more than any modelled horizon. */
+constexpr double kMinWidth = 1e-3;
+constexpr double kMaxWidth = 1e12;
+
+/** Calendar population triggers: grow past 2 entries/bucket, shrink
+ *  below 1/8 entry/bucket. Far apart so adaptation cannot thrash. */
+constexpr std::size_t kGrowFactor = 2;
+constexpr std::size_t kShrinkDivisor = 8;
+
+/** Width estimation samples this many earliest entries (Brown '88
+ *  samples near the head: the local event density is what the scan
+ *  pays for, not the global span). */
+constexpr std::size_t kWidthSample = 64;
+
+/** At or below this population a direct scan over all stored entries
+ *  beats bucket hashing — and sidesteps the degenerate case where one
+ *  far-future event makes every pop wrap the whole year. */
+constexpr std::size_t kSparseScan = 4;
+
+std::size_t
+nextPow2(std::size_t v)
+{
+    std::size_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+const char*
+eventFrontEndName(EventFrontEnd front_end)
+{
+    switch (front_end) {
+      case EventFrontEnd::Calendar: return "calendar";
+      case EventFrontEnd::Heap:     return "heap";
+    }
+    THEMIS_PANIC("unknown EventFrontEnd "
+                 << static_cast<int>(front_end));
+}
+
+EventQueue::EventQueue(EventFrontEnd front_end) : front_end_(front_end)
+{
+    calInit();
+}
+
+void
+EventQueue::calInit()
+{
+    buckets_.assign(kInitialBuckets, {});
+    width_ = kInitialWidth;
+    cur_win_ = 0;
+    cal_count_ = 0;
+    peek_valid_ = false;
+}
 
 std::uint32_t
 EventQueue::allocSlot()
@@ -23,8 +89,9 @@ EventQueue::releaseSlot(std::uint32_t idx)
     slot.invoke = nullptr;
     slot.relocate = nullptr;
     slot.destroy = nullptr;
-    ++slot.generation; // stale ids and heap entries now miss
+    ++slot.generation; // stale ids and pending entries now miss
     slot.next_free = free_head_;
+    slot.cal_bucket = kNoSlot;
     free_head_ = idx;
 }
 
@@ -54,75 +121,364 @@ EventQueue::cancel(EventId id)
     Slot& slot = slots_[idx];
     if (slot.invoke == nullptr || slot.generation != generation)
         return; // already fired/cancelled (or slot since recycled)
+    // Calendar entries carry a back-pointer, so the pending entry is
+    // removed eagerly in O(1); heap entries are discarded lazily when
+    // a peek reaches them.
+    if (front_end_ == EventFrontEnd::Calendar &&
+        slot.cal_bucket != kNoSlot) {
+        calRemoveAt(slot.cal_bucket, slot.cal_pos);
+        peek_valid_ = false;
+    }
     slot.destroy(slot.storage);
     releaseSlot(idx);
     --live_events_;
-    // The heap entry stays; pops skip entries whose generation is stale.
+}
+
+std::uint64_t
+EventQueue::windowOf(TimeNs when) const
+{
+    const double q = when / width_;
+    // Times are nanoseconds and width_ >= 1e-3, so q fits u64 for any
+    // horizon the simulator can represent; clamp defensively anyway.
+    if (q >= 9.0e18)
+        return static_cast<std::uint64_t>(9.0e18);
+    return q <= 0.0 ? 0 : static_cast<std::uint64_t>(q);
+}
+
+void
+EventQueue::pushEntry(const Entry& e)
+{
+    if (front_end_ == EventFrontEnd::Heap) {
+        heap_.push(e);
+        return;
+    }
+    calPush(e);
+}
+
+void
+EventQueue::calPlace(std::uint32_t bucket_idx, const Entry& e)
+{
+    auto& bucket = buckets_[bucket_idx];
+    Slot& slot = slots_[e.slot];
+    slot.cal_bucket = bucket_idx;
+    slot.cal_pos = static_cast<std::uint32_t>(bucket.size());
+    bucket.push_back(e);
+    ++cal_count_;
+}
+
+void
+EventQueue::calRemoveAt(std::uint32_t bucket_idx, std::size_t pos)
+{
+    auto& bucket = buckets_[bucket_idx];
+    THEMIS_ASSERT(pos < bucket.size(),
+                  "calendar back-pointer out of range");
+    slots_[bucket[pos].slot].cal_bucket = kNoSlot;
+    if (pos + 1 != bucket.size()) {
+        bucket[pos] = bucket.back();
+        // In calendar mode no entry outlives its slot, so the moved
+        // entry's slot is live and its back-pointer is safe to fix.
+        Slot& moved = slots_[bucket[pos].slot];
+        moved.cal_bucket = bucket_idx;
+        moved.cal_pos = static_cast<std::uint32_t>(pos);
+    }
+    bucket.pop_back();
+    --cal_count_;
+}
+
+void
+EventQueue::calPush(const Entry& e)
+{
+    peek_valid_ = false;
+    const std::uint64_t win = windowOf(e.when);
+    // A handler may schedule an event earlier than the pending set's
+    // scan position (now_ can trail cur_win_ after empty-bucket
+    // advances); rewind so the scan cannot miss it.
+    if (win < cur_win_)
+        cur_win_ = win;
+    calPlace(static_cast<std::uint32_t>(win & (buckets_.size() - 1)),
+             e);
+    if (cal_count_ > kGrowFactor * buckets_.size())
+        calAdapt();
 }
 
 bool
-EventQueue::fireNext()
+EventQueue::calJumpToMin()
+{
+    // A whole year scanned without a hit: every stored entry lives in
+    // a later year (the width is too small for the current spread).
+    // Find the global minimum directly, park the scan there, and
+    // re-fit the geometry.
+    bool found = false;
+    Entry best{0.0, 0, 0, 0};
+    for (const auto& bucket : buckets_) {
+        for (const Entry& e : bucket) {
+            if (!found || e.when < best.when ||
+                (e.when == best.when && e.seq < best.seq)) {
+                best = e;
+                found = true;
+            }
+        }
+    }
+    if (!found)
+        return false;
+    cur_win_ = windowOf(best.when);
+    // Re-fit the geometry when the population carries gap
+    // information; a lone straggler says nothing about density.
+    if (cal_count_ >= 2)
+        calAdapt();
+    return true;
+}
+
+void
+EventQueue::calAdapt()
+{
+    peek_valid_ = false;
+    std::vector<Entry> entries;
+    entries.reserve(cal_count_);
+    for (auto& bucket : buckets_) {
+        entries.insert(entries.end(), bucket.begin(), bucket.end());
+        bucket.clear();
+    }
+    cal_count_ = 0;
+    if (entries.empty())
+        return;
+
+    // Width from the event density near the head (Brown '88): the
+    // average gap over the earliest kWidthSample entries, times a
+    // spread factor so a bucket holds a few events.
+    const std::size_t sample = std::min(entries.size(), kWidthSample);
+    std::partial_sort(entries.begin(),
+                      entries.begin() + static_cast<long>(sample),
+                      entries.end(),
+                      [](const Entry& a, const Entry& b) {
+                          return a.when < b.when;
+                      });
+    const double span = entries[sample - 1].when - entries[0].when;
+    if (sample > 1 && span > 0.0) {
+        width_ = std::clamp(4.0 * span /
+                                static_cast<double>(sample - 1),
+                            kMinWidth, kMaxWidth);
+    }
+
+    const std::size_t nb = nextPow2(
+        std::max<std::size_t>(kInitialBuckets, entries.size()));
+    if (buckets_.size() != nb)
+        buckets_.assign(nb, {});
+    for (const Entry& e : entries)
+        calPlace(static_cast<std::uint32_t>(windowOf(e.when) &
+                                            (nb - 1)),
+                 e);
+    // entries[0] is the earliest entry after the partial sort.
+    cur_win_ = windowOf(entries[0].when);
+}
+
+bool
+EventQueue::calPeek(Entry& out)
+{
+    if (cal_count_ == 0)
+        return false;
+    if (peek_valid_) {
+        out = buckets_[peek_bucket_][peek_pos_];
+        return true;
+    }
+    if (buckets_.size() > kInitialBuckets &&
+        cal_count_ * kShrinkDivisor < buckets_.size())
+        calAdapt();
+    if (cal_count_ <= kSparseScan) {
+        bool found = false;
+        Entry best{0.0, 0, 0, 0};
+        std::uint32_t fb = 0;
+        std::size_t fp = 0;
+        for (std::uint32_t b = 0; b < buckets_.size(); ++b) {
+            const auto& bucket = buckets_[b];
+            for (std::size_t i = 0; i < bucket.size(); ++i) {
+                const Entry& e = bucket[i];
+                if (!found || e.when < best.when ||
+                    (e.when == best.when && e.seq < best.seq)) {
+                    best = e;
+                    fb = b;
+                    fp = i;
+                    found = true;
+                }
+            }
+        }
+        THEMIS_ASSERT(found, "calendar count out of sync");
+        cur_win_ = windowOf(buckets_[fb][fp].when);
+        peek_valid_ = true;
+        peek_bucket_ = fb;
+        peek_pos_ = fp;
+        out = buckets_[fb][fp];
+        return true;
+    }
+    std::size_t scanned = 0;
+    while (true) {
+        // calJumpToMin can re-bucket mid-scan; re-derive the mask.
+        const std::size_t mask = buckets_.size() - 1;
+        const auto& bucket = buckets_[cur_win_ & mask];
+        bool found = false;
+        std::size_t pos = 0;
+        for (std::size_t i = 0; i < bucket.size(); ++i) {
+            if (windowOf(bucket[i].when) == cur_win_ &&
+                (!found || bucket[i].when < bucket[pos].when ||
+                 (bucket[i].when == bucket[pos].when &&
+                  bucket[i].seq < bucket[pos].seq))) {
+                pos = i;
+                found = true;
+            }
+        }
+        if (found) {
+            peek_valid_ = true;
+            peek_bucket_ = cur_win_ & mask;
+            peek_pos_ = pos;
+            out = bucket[pos];
+            return true;
+        }
+        ++cur_win_;
+        if (++scanned > buckets_.size()) {
+            if (!calJumpToMin())
+                return false;
+            scanned = 0; // cur_win_ now holds a live entry's window
+        }
+    }
+}
+
+bool
+EventQueue::heapPeek(Entry& out)
 {
     while (!heap_.empty()) {
-        const Entry top = heap_.top();
-        Slot& slot = slots_[top.slot];
-        if (slot.invoke == nullptr || slot.generation != top.generation) {
+        if (entryStale(heap_.top())) {
             heap_.pop(); // cancelled; discard lazily
             continue;
         }
-        heap_.pop();
-        // Move the closure onto the stack before invoking: the handler
-        // may schedule events, growing the slab and moving the slot.
-        alignas(std::max_align_t) unsigned char local[kInlineCapacity];
-        auto* invoke = slot.invoke;
-        auto* destroy = slot.destroy;
-        slot.relocate(local, slot.storage);
-        releaseSlot(top.slot);
-        --live_events_;
-        now_ = top.when;
-        // Destroy the local copy even when the handler throws (sweep
-        // jobs legitimately propagate ConfigError through run()).
-        struct Guard
-        {
-            void (*destroy)(void*);
-            void* closure;
-            ~Guard() { destroy(closure); }
-        } guard{destroy, local};
-        invoke(local);
+        out = heap_.top();
         return true;
     }
     return false;
 }
 
+bool
+EventQueue::peekNext(Entry& out)
+{
+    if (front_end_ == EventFrontEnd::Heap)
+        return heapPeek(out);
+    return calPeek(out);
+}
+
+void
+EventQueue::collectCohortAt(TimeNs when, std::vector<Entry>& cohort)
+{
+    if (front_end_ == EventFrontEnd::Heap) {
+        // Equal-timestamp entries pop in sequence order already.
+        while (!heap_.empty() && heap_.top().when == when) {
+            if (!entryStale(heap_.top()))
+                cohort.push_back(heap_.top());
+            heap_.pop();
+        }
+        return;
+    }
+    // Same timestamp means same window means same bucket.
+    peek_valid_ = false;
+    const auto bucket_idx = static_cast<std::uint32_t>(
+        windowOf(when) & (buckets_.size() - 1));
+    auto& bucket = buckets_[bucket_idx];
+    for (std::size_t i = 0; i < bucket.size();) {
+        if (bucket[i].when == when) {
+            cohort.push_back(bucket[i]);
+            calRemoveAt(bucket_idx, i);
+            continue; // another entry was swapped into position i
+        }
+        ++i;
+    }
+    std::sort(cohort.begin(), cohort.end(),
+              [](const Entry& a, const Entry& b) { return a.seq < b.seq; });
+}
+
+std::size_t
+EventQueue::runCohorts(TimeNs until, bool bounded)
+{
+    std::size_t fired = 0;
+    // Steal the scratch buffer so a handler that re-enters run()
+    // (never done today, but harmless) gets a fresh one.
+    std::vector<Entry> cohort = std::move(cohort_scratch_);
+    Entry head{0.0, 0, 0, 0};
+    while (peekNext(head)) {
+        if (bounded && head.when > until)
+            break;
+        cohort.clear();
+        collectCohortAt(head.when, cohort);
+        now_ = head.when;
+        // If a handler throws (sweep jobs legitimately propagate
+        // ConfigError through run()), the not-yet-fired remainder of
+        // the cohort goes back into the pending store so the queue
+        // stays resumable — matching the pre-batching behavior where
+        // unfired entries simply stayed queued.
+        struct CohortGuard
+        {
+            EventQueue* queue;
+            const std::vector<Entry>* cohort;
+            std::size_t next = 0;
+            bool armed = true;
+
+            ~CohortGuard()
+            {
+                if (!armed)
+                    return;
+                for (std::size_t i = next; i < cohort->size(); ++i) {
+                    const Entry& e = (*cohort)[i];
+                    // Skip entries an earlier cohort member cancelled:
+                    // re-pushing one would write calendar back-pointers
+                    // into a freed (possibly reallocated) slot.
+                    if (!queue->entryStale(e))
+                        queue->pushEntry(e);
+                }
+            }
+        } cohort_guard{this, &cohort};
+        for (std::size_t c = 0; c < cohort.size(); ++c) {
+            const Entry& e = cohort[c];
+            cohort_guard.next = c + 1;
+            // Re-check liveness per event: an earlier cohort member's
+            // handler may have cancelled this one.
+            Slot& slot = slots_[e.slot];
+            if (slot.invoke == nullptr || slot.generation != e.generation)
+                continue;
+            // Move the closure onto the stack before invoking: the
+            // handler may schedule events, growing the slab and moving
+            // the slot.
+            alignas(std::max_align_t) unsigned char local[kInlineCapacity];
+            auto* invoke = slot.invoke;
+            auto* destroy = slot.destroy;
+            slot.relocate(local, slot.storage);
+            releaseSlot(e.slot);
+            --live_events_;
+            // Destroy the local copy even when the handler throws.
+            struct Guard
+            {
+                void (*destroy)(void*);
+                void* closure;
+                ~Guard() { destroy(closure); }
+            } guard{destroy, local};
+            invoke(local);
+            ++fired;
+        }
+        cohort_guard.armed = false;
+    }
+    cohort.clear();
+    cohort_scratch_ = std::move(cohort);
+    if (bounded && now_ < until)
+        now_ = until;
+    return fired;
+}
+
 std::size_t
 EventQueue::run()
 {
-    std::size_t fired = 0;
-    while (fireNext())
-        ++fired;
-    return fired;
+    return runCohorts(0.0, /*bounded=*/false);
 }
 
 std::size_t
 EventQueue::runUntil(TimeNs until)
 {
-    std::size_t fired = 0;
-    while (!heap_.empty()) {
-        // Peek the next live event without firing past `until`.
-        const Entry top = heap_.top();
-        const Slot& slot = slots_[top.slot];
-        if (slot.invoke == nullptr || slot.generation != top.generation) {
-            heap_.pop();
-            continue;
-        }
-        if (top.when > until)
-            break;
-        if (fireNext())
-            ++fired;
-    }
-    if (now_ < until)
-        now_ = until;
-    return fired;
+    return runCohorts(until, /*bounded=*/true);
 }
 
 void
@@ -134,6 +490,8 @@ EventQueue::reset()
     free_head_ = kNoSlot;
     now_ = 0.0;
     next_seq_ = 1;
+    calInit();
+    cohort_scratch_.clear();
 }
 
 } // namespace themis::sim

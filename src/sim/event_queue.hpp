@@ -15,6 +15,23 @@
  * and a slot's generation bumps on every release — so cancellation is
  * O(1) and a stale id from a previous tenant of the slot can never
  * cancel the current one.
+ *
+ * Two pending-set front ends sit on top of the slab:
+ *
+ *  - Calendar (default): a calendar queue (R. Brown, CACM '88) —
+ *    entries hash into time buckets of adaptive width, and the
+ *    monotone pop pattern of a simulation advances bucket by bucket,
+ *    making schedule/pop amortized O(1). Bucket count and width
+ *    re-adapt to the live event population, so bursty horizons and
+ *    long idle gaps stay cheap.
+ *  - Heap: the classic binary heap, O(log n) per pop. Kept selectable
+ *    so benches can measure the calendar front end against it in the
+ *    same binary.
+ *
+ * Both front ends fire events in the identical (timestamp, sequence)
+ * order, so simulation results are bit-identical across them. The run
+ * loops pop whole same-timestamp cohorts at once: one front-end
+ * search serves every event of that timestamp.
  */
 
 #ifndef THEMIS_SIM_EVENT_QUEUE_HPP
@@ -34,6 +51,15 @@
 
 namespace themis::sim {
 
+/** Pending-event store implementation; see file comment. */
+enum class EventFrontEnd {
+    Calendar, ///< bucketed calendar queue, amortized O(1) monotone pops
+    Heap,     ///< binary heap, O(log n) pops (measurement baseline)
+};
+
+/** Front-end name for reports ("calendar"/"heap"). */
+const char* eventFrontEndName(EventFrontEnd front_end);
+
 /**
  * Deterministic discrete-event queue.
  *
@@ -52,11 +78,14 @@ class EventQueue
     /** Closure bytes stored in place; larger handlers are boxed. */
     static constexpr std::size_t kInlineCapacity = 48;
 
-    EventQueue() = default;
+    explicit EventQueue(EventFrontEnd front_end = EventFrontEnd::Calendar);
     ~EventQueue() { releaseAll(); }
 
     EventQueue(const EventQueue&) = delete;
     EventQueue& operator=(const EventQueue&) = delete;
+
+    /** Active pending-set front end (fixed at construction). */
+    EventFrontEnd frontEnd() const { return front_end_; }
 
     /** Current simulated time in nanoseconds. */
     TimeNs now() const { return now_; }
@@ -75,7 +104,7 @@ class EventQueue
                                                         << " now=" << now_);
         using Fn = std::decay_t<F>;
         // Nullable callables (std::function, function pointers) fail
-        // fast here instead of crashing inside fireNext() later.
+        // fast here instead of crashing inside the run loop later.
         if constexpr (std::is_constructible_v<bool, const Fn&>)
             THEMIS_ASSERT(static_cast<bool>(handler),
                           "null event handler");
@@ -150,6 +179,15 @@ class EventQueue
         void (*destroy)(void*) = nullptr;
         std::uint32_t generation = 0;
         std::uint32_t next_free = kNoSlot;
+        /**
+         * Calendar back-pointer: bucket and position of this event's
+         * pending entry, so cancel() removes it eagerly in O(1)
+         * (kNoSlot bucket = not stored, e.g. already collected into a
+         * firing cohort). Unused by the heap front end, which discards
+         * cancelled entries lazily.
+         */
+        std::uint32_t cal_bucket = kNoSlot;
+        std::uint32_t cal_pos = 0;
     };
 
     struct Entry
@@ -194,8 +232,8 @@ class EventQueue
             static_cast<Fn*>(src)->~Fn();
         };
         slot.destroy = [](void* p) { static_cast<Fn*>(p)->~Fn(); };
-        heap_.push(Entry{when < now_ ? now_ : when, next_seq_++, idx,
-                         slot.generation});
+        pushEntry(Entry{when < now_ ? now_ : when, next_seq_++, idx,
+                        slot.generation});
         ++live_events_;
         return makeId(idx, slot.generation);
     }
@@ -203,14 +241,70 @@ class EventQueue
     std::uint32_t allocSlot();
     void releaseSlot(std::uint32_t idx);
     void releaseAll();
-    bool fireNext();
 
+    /** True when the entry's event was cancelled or already fired. */
+    bool
+    entryStale(const Entry& e) const
+    {
+        const Slot& slot = slots_[e.slot];
+        return slot.invoke == nullptr || slot.generation != e.generation;
+    }
+
+    void pushEntry(const Entry& e);
+    /**
+     * Locate the earliest live entry without removing it; caches its
+     * position so an immediately following pop is O(1).
+     * @return false when no live entries remain.
+     */
+    bool peekNext(Entry& out);
+    /**
+     * Remove every live entry with timestamp exactly @p when into
+     * @p cohort, ordered by sequence number. Must follow a successful
+     * peekNext() that returned this timestamp.
+     */
+    void collectCohortAt(TimeNs when, std::vector<Entry>& cohort);
+    /** Shared run loop; fires whole same-timestamp cohorts at once. */
+    std::size_t runCohorts(TimeNs until, bool bounded);
+
+    // Calendar front end.
+    std::uint64_t windowOf(TimeNs when) const;
+    void calPush(const Entry& e);
+    /** Append @p e to @p bucket_idx, maintaining the back-pointer. */
+    void calPlace(std::uint32_t bucket_idx, const Entry& e);
+    /** Swap-remove position @p pos of @p bucket_idx, fixing the moved
+     *  entry's back-pointer and clearing the removed one's. */
+    void calRemoveAt(std::uint32_t bucket_idx, std::size_t pos);
+    bool calPeek(Entry& out);
+    /** Relocate cur_win_ to the global minimum; false when empty. */
+    bool calJumpToMin();
+    /** Re-derive bucket count and width from the live population. */
+    void calAdapt();
+    void calInit();
+
+    // Heap front end.
+    bool heapPeek(Entry& out);
+
+    EventFrontEnd front_end_;
     TimeNs now_ = 0.0;
     std::uint64_t next_seq_ = 1;
     std::size_t live_events_ = 0;
     std::vector<Slot> slots_;
     std::uint32_t free_head_ = kNoSlot;
+
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+
+    std::vector<std::vector<Entry>> buckets_;
+    double width_ = 100.0;
+    std::uint64_t cur_win_ = 0;   ///< window index being scanned
+    /** Stored (live) entries: cancel() removes calendar entries
+     *  eagerly, so no bucket entry ever outlives its slot — the
+     *  invariant calRemoveAt's back-pointer fix relies on. */
+    std::size_t cal_count_ = 0;
+    bool peek_valid_ = false;
+    std::size_t peek_bucket_ = 0;
+    std::size_t peek_pos_ = 0;
+
+    std::vector<Entry> cohort_scratch_;
 };
 
 } // namespace themis::sim

@@ -21,12 +21,40 @@ constexpr Bytes kDrainEps = 1e-6;
  */
 constexpr TimeNs kTimeSliver = 1e-3;
 
+/**
+ * Virtual-time rebase threshold. The drain test compares finish
+ * points against vtime_ + kDrainEps, so kDrainEps must stay above the
+ * double ulp of the virtual clock: ulp(4e9) ~ 9.5e-7 < kDrainEps <
+ * ulp(8e9). Rebasing at 1e9 keeps a comfortable margin — the primary
+ * eps path never degenerates, for any channel capacity — and the
+ * shift is O(pending finishes) once per ~gigabyte of equal-share
+ * service, i.e. free. Long sweeps (petabytes of cumulative service
+ * through one channel) stay exact.
+ */
+constexpr double kRebaseThreshold = 1e9;
+
 } // namespace
 
 SharedChannel::SharedChannel(EventQueue& queue, Bandwidth capacity)
     : queue_(queue), capacity_(capacity), last_update_(queue.now())
 {
     THEMIS_ASSERT(capacity_ > 0.0, "channel capacity must be positive");
+}
+
+void
+SharedChannel::heapPush(FinishEntry entry)
+{
+    finish_heap_.push_back(entry);
+    std::push_heap(finish_heap_.begin(), finish_heap_.end(),
+                   FinishLater{});
+}
+
+void
+SharedChannel::heapPop()
+{
+    std::pop_heap(finish_heap_.begin(), finish_heap_.end(),
+                  FinishLater{});
+    finish_heap_.pop_back();
 }
 
 SharedChannel::TransferId
@@ -38,7 +66,7 @@ SharedChannel::begin(Bytes bytes, Callback on_done)
     const TransferId id = next_id_++;
     const double v_end = vtime_ + bytes;
     active_.emplace(id, Transfer{std::move(on_done)});
-    finish_heap_.push(FinishEntry{v_end, id});
+    heapPush(FinishEntry{v_end, id});
     if (active_.size() > peak_active_)
         peak_active_ = active_.size();
     reschedule();
@@ -60,6 +88,19 @@ SharedChannel::abort(TransferId id)
 }
 
 void
+SharedChannel::maybeRebase()
+{
+    if (vtime_ < kRebaseThreshold)
+        return;
+    // Uniformly shifting every finish point preserves the heap order
+    // and every (v_end - vtime_) difference the drain logic consumes.
+    const double base = vtime_;
+    for (FinishEntry& entry : finish_heap_)
+        entry.v_end -= base;
+    vtime_ = 0.0;
+}
+
+void
 SharedChannel::advanceTo(TimeNs t)
 {
     THEMIS_ASSERT(t >= last_update_ - 1e-9,
@@ -78,14 +119,15 @@ SharedChannel::advanceTo(TimeNs t)
     vtime_ += capacity_ / n * dt;
     progressed_bytes_ += capacity_ * dt;
     busy_time_ += dt;
+    maybeRebase();
 }
 
 bool
 SharedChannel::dropStaleTop()
 {
     while (!finish_heap_.empty() &&
-           active_.find(finish_heap_.top().id) == active_.end())
-        finish_heap_.pop(); // aborted; discard lazily
+           active_.find(finish_heap_.front().id) == active_.end())
+        heapPop(); // aborted; discard lazily
     return !finish_heap_.empty();
 }
 
@@ -100,7 +142,7 @@ SharedChannel::reschedule()
         return;
     // Next completion: the heap top's virtual remainder at the shared
     // rate (the earliest v_end drains first by construction).
-    const double min_remaining = finish_heap_.top().v_end - vtime_;
+    const double min_remaining = finish_heap_.front().v_end - vtime_;
     const double rate =
         capacity_ / static_cast<double>(active_.size());
     const TimeNs eta =
@@ -121,10 +163,10 @@ SharedChannel::onCompletionEvent()
     // the nearest transfer (its drain time is below kTimeSliver),
     // widen to its finish point so the event still completes something.
     double threshold = vtime_ + kDrainEps;
-    const double top_remaining = finish_heap_.top().v_end - vtime_;
+    const double top_remaining = finish_heap_.front().v_end - vtime_;
     if (top_remaining > kDrainEps &&
         top_remaining / capacity_ < kTimeSliver) {
-        threshold = finish_heap_.top().v_end;
+        threshold = finish_heap_.front().v_end;
     }
     // Collect everything that drained (simultaneous completions are
     // possible), remove them from the active set *before* invoking the
@@ -134,9 +176,9 @@ SharedChannel::onCompletionEvent()
     // v_end - vtime_ (positive for a force-drained sliver, negative
     // for ulp overshoot) closes the books — conservation is exact.
     std::vector<std::pair<TransferId, Callback>> done;
-    while (dropStaleTop() && finish_heap_.top().v_end <= threshold) {
-        const FinishEntry entry = finish_heap_.top();
-        finish_heap_.pop();
+    while (dropStaleTop() && finish_heap_.front().v_end <= threshold) {
+        const FinishEntry entry = finish_heap_.front();
+        heapPop();
         auto it = active_.find(entry.id);
         progressed_bytes_ += entry.v_end - vtime_;
         done.emplace_back(entry.id, std::move(it->second.on_done));

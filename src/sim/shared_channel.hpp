@@ -19,6 +19,12 @@
  * point in virtual time in a min-heap. Advancing the clock updates one
  * scalar (O(1)); begin/abort/completion touch only the heap (O(log n))
  * — nothing ever iterates the active set.
+ *
+ * Because only differences (v_end - V) carry meaning, the channel
+ * periodically *rebases* virtual time: once V exceeds 1e9 virtual
+ * bytes it is subtracted from V and from every pending finish point,
+ * keeping the drain epsilons above double-precision ulp no matter how
+ * much cumulative service a long sweep accumulates.
  */
 
 #ifndef THEMIS_SIM_SHARED_CHANNEL_HPP
@@ -26,7 +32,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -125,13 +130,17 @@ class SharedChannel
     void onCompletionEvent();
     /** Drop aborted entries off the heap top; true if a live one remains. */
     bool dropStaleTop();
+    /** Shift vtime_ (and all finish points) back toward zero. */
+    void maybeRebase();
+    void heapPush(FinishEntry entry);
+    void heapPop();
 
     EventQueue& queue_;
     Bandwidth capacity_;
     std::unordered_map<TransferId, Transfer> active_;
-    std::priority_queue<FinishEntry, std::vector<FinishEntry>,
-                        FinishLater>
-        finish_heap_;
+    /** Min-heap on (v_end, id) via std::push_heap/pop_heap — a plain
+     *  vector so rebasing can shift every pending finish point. */
+    std::vector<FinishEntry> finish_heap_;
     double vtime_ = 0.0; // cumulative equal-share service, virtual bytes
     TransferId next_id_ = 1;
     TimeNs last_update_ = 0.0;

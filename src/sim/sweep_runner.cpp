@@ -29,7 +29,8 @@ resolveThreads(int requested)
 } // namespace
 
 SweepRunner::SweepRunner(SweepOptions options)
-    : threads_(resolveThreads(options.threads))
+    : threads_(resolveThreads(options.threads)),
+      front_end_(options.front_end)
 {
 }
 
@@ -45,7 +46,7 @@ SweepRunner::run(std::vector<Job> jobs)
         static_cast<int>(std::min<std::size_t>(
             jobs.size(), static_cast<std::size_t>(threads_)));
     if (workers <= 1) {
-        EventQueue queue;
+        EventQueue queue(front_end_);
         for (auto& job : jobs) {
             job(queue);
             queue.reset();
@@ -58,7 +59,7 @@ SweepRunner::run(std::vector<Job> jobs)
     std::exception_ptr first_error;
     std::mutex error_mutex;
     auto worker = [&] {
-        EventQueue queue;
+        EventQueue queue(front_end_);
         while (true) {
             const std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);

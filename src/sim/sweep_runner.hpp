@@ -39,6 +39,12 @@ struct SweepOptions
      * 1 runs every job inline on the calling thread.
      */
     int threads = 0;
+
+    /**
+     * Pending-set front end of every worker-owned EventQueue. Heap is
+     * the measurement baseline; results are bit-identical either way.
+     */
+    EventFrontEnd front_end = EventFrontEnd::Calendar;
 };
 
 /** Fans independent simulation jobs across workers; see file comment. */
@@ -64,6 +70,7 @@ class SweepRunner
 
   private:
     int threads_;
+    EventFrontEnd front_end_;
 };
 
 /**

@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -260,6 +264,223 @@ TEST(EventQueue, IdenticalRunsFireInIdenticalOrder)
     const auto second = drive();
     EXPECT_EQ(first, second);
     EXPECT_FALSE(first.empty());
+}
+
+// ---------------------------------------------------------------------
+// Calendar vs heap front-end equivalence. Both must fire events in the
+// identical (timestamp, scheduling-order) sequence; the tests drive
+// the same workload through both and compare the full firing traces.
+
+/** (time, marker) trace of one workload under @p front_end. */
+template <typename Drive>
+std::vector<std::pair<TimeNs, int>>
+traceOf(EventFrontEnd front_end, Drive&& drive)
+{
+    EventQueue q(front_end);
+    std::vector<std::pair<TimeNs, int>> trace;
+    drive(q, trace);
+    return trace;
+}
+
+TEST(EventQueue, FrontEndsAgreeOnRandomizedWorkload)
+{
+    auto drive = [](EventQueue& q,
+                    std::vector<std::pair<TimeNs, int>>& trace) {
+        std::vector<EventQueue::EventId> ids;
+        // Deterministic pseudo-random times with duplicates and wide
+        // spread, plus a cancellation pattern.
+        std::uint64_t state = 42;
+        auto next = [&state] {
+            state = state * 6364136223846793005ull + 1442695040888963407ull;
+            return state >> 33;
+        };
+        for (int i = 0; i < 2000; ++i) {
+            const double when =
+                static_cast<double>(next() % 100000) * 0.5;
+            ids.push_back(q.schedule(
+                when, [&trace, &q, i] { trace.emplace_back(q.now(), i); }));
+        }
+        for (int i = 0; i < 2000; i += 3)
+            q.cancel(ids[static_cast<std::size_t>(i)]);
+        q.run();
+    };
+    const auto cal = traceOf(EventFrontEnd::Calendar, drive);
+    const auto heap = traceOf(EventFrontEnd::Heap, drive);
+    EXPECT_EQ(cal, heap);
+    EXPECT_FALSE(cal.empty());
+}
+
+TEST(EventQueue, FrontEndsAgreeWithHandlerRescheduling)
+{
+    auto drive = [](EventQueue& q,
+                    std::vector<std::pair<TimeNs, int>>& trace) {
+        // Handlers schedule follow-ups at the same and later times,
+        // exercising mid-cohort insertion in both front ends.
+        std::function<void(int)> chain = [&](int depth) {
+            trace.emplace_back(q.now(), depth);
+            if (depth >= 40)
+                return;
+            q.scheduleAfter(0.0, [&chain, depth] { chain(depth + 1); });
+            q.scheduleAfter(static_cast<double>(depth * 13 % 7) * 25.0,
+                            [&chain, depth] { chain(depth + 10); });
+        };
+        q.schedule(1.0, [&chain] { chain(0); });
+        q.schedule(1.0, [&chain] { chain(1); });
+        q.run();
+    };
+    const auto cal = traceOf(EventFrontEnd::Calendar, drive);
+    const auto heap = traceOf(EventFrontEnd::Heap, drive);
+    EXPECT_EQ(cal, heap);
+    EXPECT_FALSE(cal.empty());
+}
+
+TEST(EventQueue, CalendarSparseFarApartEvents)
+{
+    // Exponentially growing gaps stress the year-wrap, jump-to-min
+    // and width re-adaptation paths.
+    EventQueue q(EventFrontEnd::Calendar);
+    std::vector<int> order;
+    double when = 1.0;
+    for (int i = 0; i < 40; ++i) {
+        q.schedule(when, [&order, i] { order.push_back(i); });
+        when *= 2.5;
+    }
+    EXPECT_EQ(q.run(), 40u);
+    for (int i = 0; i < 40; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CalendarDensePopulationTriggersResize)
+{
+    // Push far past the grow trigger, then drain; order must hold
+    // through the re-bucketing.
+    EventQueue q(EventFrontEnd::Calendar);
+    std::vector<std::pair<TimeNs, int>> trace;
+    for (int i = 0; i < 5000; ++i) {
+        q.schedule(static_cast<double>((i * 911) % 1277),
+                   [&trace, &q, i] { trace.emplace_back(q.now(), i); });
+    }
+    EXPECT_EQ(q.run(), 5000u);
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+        EXPECT_LE(trace[i - 1].first, trace[i].first);
+        if (trace[i - 1].first == trace[i].first) {
+            EXPECT_LT(trace[i - 1].second, trace[i].second);
+        }
+    }
+}
+
+TEST(EventQueue, CohortMemberCanCancelLaterSameTimeEvent)
+{
+    // Same-timestamp events fire as one batched cohort; an earlier
+    // member cancelling a later one must still suppress it.
+    for (const auto fe : {EventFrontEnd::Calendar, EventFrontEnd::Heap}) {
+        EventQueue q(fe);
+        std::vector<int> fired;
+        EventQueue::EventId victim = 0;
+        q.schedule(5.0, [&] {
+            fired.push_back(1);
+            q.cancel(victim);
+        });
+        victim = q.schedule(5.0, [&] { fired.push_back(2); });
+        q.schedule(5.0, [&] { fired.push_back(3); });
+        q.run();
+        EXPECT_EQ(fired, (std::vector<int>{1, 3}))
+            << eventFrontEndName(fe);
+    }
+}
+
+TEST(EventQueue, CohortHandlerSchedulesSameTimeEvent)
+{
+    // An event scheduled *at* the cohort's timestamp from inside it
+    // fires after the cohort (FIFO by scheduling order) but before
+    // any later-time event.
+    for (const auto fe : {EventFrontEnd::Calendar, EventFrontEnd::Heap}) {
+        EventQueue q(fe);
+        std::vector<int> fired;
+        q.schedule(5.0, [&] {
+            fired.push_back(1);
+            q.scheduleAfter(0.0, [&] { fired.push_back(9); });
+        });
+        q.schedule(5.0, [&] { fired.push_back(2); });
+        q.schedule(6.0, [&] { fired.push_back(3); });
+        q.run();
+        EXPECT_EQ(fired, (std::vector<int>{1, 2, 9, 3}))
+            << eventFrontEndName(fe);
+    }
+}
+
+TEST(EventQueue, CalendarRunUntilBoundaryAndReset)
+{
+    EventQueue q(EventFrontEnd::Calendar);
+    std::vector<int> fired;
+    q.schedule(10.0, [&] { fired.push_back(1); });
+    q.schedule(20.0, [&] { fired.push_back(2); });
+    q.schedule(30.0, [&] { fired.push_back(3); });
+    EXPECT_EQ(q.runUntil(20.0), 2u);
+    EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+    EXPECT_DOUBLE_EQ(q.now(), 20.0);
+    EXPECT_EQ(q.pendingCount(), 1u);
+    q.reset();
+    EXPECT_TRUE(q.empty());
+    EXPECT_DOUBLE_EQ(q.now(), 0.0);
+    bool again = false;
+    q.schedule(1.0, [&] { again = true; });
+    q.run();
+    EXPECT_TRUE(again);
+    EXPECT_TRUE(fired.size() == 2);
+}
+
+TEST(EventQueue, ThrowingHandlerLeavesQueueResumable)
+{
+    // Sweep jobs propagate ConfigError through run(); the thrown
+    // handler is consumed but the rest of its same-timestamp cohort
+    // must stay pending so a caller can resume (or reset) the queue.
+    for (const auto fe : {EventFrontEnd::Calendar, EventFrontEnd::Heap}) {
+        EventQueue q(fe);
+        std::vector<int> fired;
+        EventQueue::EventId victim = 0;
+        q.schedule(5.0, [&] {
+            fired.push_back(1);
+            q.cancel(victim); // cancelled mid-cohort, must stay dead
+            throw std::runtime_error("boom");
+        });
+        q.schedule(5.0, [&] { fired.push_back(2); });
+        victim = q.schedule(5.0, [&] { fired.push_back(4); });
+        q.schedule(7.0, [&] { fired.push_back(3); });
+        EXPECT_THROW(q.run(), std::runtime_error);
+        EXPECT_EQ(q.pendingCount(), 2u) << eventFrontEndName(fe);
+        q.run();
+        EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}))
+            << eventFrontEndName(fe);
+        EXPECT_TRUE(q.empty());
+    }
+}
+
+TEST(EventQueue, CalendarCancelChurnStaysConsistent)
+{
+    // The SharedChannel pattern: every completion cancels and
+    // reschedules a pending event. Eager O(1) removal must keep the
+    // store and counters consistent across thousands of churn cycles.
+    EventQueue q(EventFrontEnd::Calendar);
+    int fired = 0;
+    EventQueue::EventId pending = 0;
+    std::function<void()> step = [&] {
+        ++fired;
+        if (fired >= 3000)
+            return;
+        q.cancel(pending); // cancels an already-fired id: no-op
+        pending = q.scheduleAfter(
+            static_cast<double>(fired % 17) * 7.0 + 1.0, step);
+        // Churn: schedule and immediately cancel a decoy.
+        const auto decoy =
+            q.scheduleAfter(5000.0, [] { FAIL() << "decoy fired"; });
+        q.cancel(decoy);
+    };
+    q.schedule(0.0, step);
+    q.run();
+    EXPECT_EQ(fired, 3000);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.pendingCount(), 0u);
 }
 
 } // namespace

@@ -305,5 +305,57 @@ TEST(SharedChannel, CompletionOrderIsDeterministicAndByBeginOrder)
     EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
 }
 
+TEST(SharedChannel, VirtualTimeRebasePreservesConservation)
+{
+    // Push cumulative service past 1e15 virtual bytes (where, without
+    // rebasing, a double's ulp would reach ~0.125 bytes — five orders
+    // of magnitude above the drain epsilon) and verify byte
+    // conservation and completion counting stay exact. A chain of
+    // sequential petascale transfers crosses the 1e9 rebase threshold
+    // many times over.
+    EventQueue q;
+    SharedChannel ch(q, 1000.0);
+    constexpr Bytes kTransfer = 1.0e12;
+    constexpr int kCount = 1200; // 1.2e15 cumulative virtual bytes
+    int done = 0;
+    std::function<void()> next = [&] {
+        ++done;
+        if (done < kCount)
+            ch.begin(kTransfer, next);
+    };
+    ch.begin(kTransfer, next);
+    q.run();
+    ch.sync();
+    EXPECT_EQ(done, kCount);
+    EXPECT_EQ(ch.activeCount(), 0u);
+    EXPECT_NEAR(ch.progressedBytes(), kTransfer * kCount, 1.0);
+    // Serial service: total time is exactly total bytes / capacity.
+    EXPECT_NEAR(q.now(), kTransfer * kCount / 1000.0, 1.0);
+}
+
+TEST(SharedChannel, RebaseAcrossConcurrentTransfers)
+{
+    // Two concurrent transfers straddling the rebase boundary: the
+    // uniform shift of pending finish points must not disturb either
+    // completion time or the byte accounting.
+    EventQueue q;
+    SharedChannel ch(q, 100.0);
+    constexpr Bytes kA = 1.2e15;
+    constexpr Bytes kB = 1.5e15;
+    TimeNs t_a = -1.0, t_b = -1.0;
+    ch.begin(kA, [&] { t_a = q.now(); });
+    ch.begin(kB, [&] { t_b = q.now(); });
+    q.run();
+    ch.sync();
+    // Equal sharing: A drains when both received kA bytes (time
+    // 2*kA/cap), then B's remainder runs alone at full capacity.
+    const TimeNs expect_a = 2.0 * kA / 100.0;
+    const TimeNs expect_b = expect_a + (kB - kA) / 100.0;
+    EXPECT_NEAR(t_a, expect_a, 1e-6 * expect_a);
+    EXPECT_NEAR(t_b, expect_b, 1e-6 * expect_b);
+    EXPECT_NEAR(ch.progressedBytes(), kA + kB, 1.0);
+    EXPECT_EQ(ch.activeCount(), 0u);
+}
+
 } // namespace
 } // namespace themis::sim

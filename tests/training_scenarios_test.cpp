@@ -268,7 +268,7 @@ TEST(Scenario, TailAttributionSplitsDpAndMp)
 
 TEST(Scenario, SchedulerChoiceNeverBreaksAccounting)
 {
-    for (const auto cfg : {runtime::baselineConfig(),
+    for (const auto& cfg : {runtime::baselineConfig(),
                            runtime::themisFifoConfig(),
                            runtime::themisScfConfig()}) {
         ModelGraph g;
