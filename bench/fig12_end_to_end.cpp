@@ -17,9 +17,12 @@
  * The whole workload x topology x method grid fans across the sweep
  * harness, and runs twice in this binary: once with this repo's sweep
  * optimizations (shared plan cache, calendar event front end, indexed
- * engine selection) and once with them disabled (cache-off, heap-only
- * event queue, legacy linear selection scan). Both passes produce
- * bit-identical simulation results; the wall-clock ratio is the
+ * engine selection, weighted-GPS channels) and once with them
+ * disabled (cache-off, heap-only event queue, legacy linear selection
+ * scan, pre-priority egalitarian channels). Both passes produce
+ * bit-identical simulation results — which doubles as the
+ * weighted-vs-egalitarian dataplane equivalence check under the
+ * default uniform priority policy; the wall-clock ratio is the
  * end-to-end sweep-throughput number tracked per PR in
  * bench_results/BENCH_e2e.json.
  */
@@ -110,6 +113,7 @@ runGridMode(const GridDef& grid, bool optimized, int threads)
             runtime::RuntimeConfig cfg = method.config;
             cfg.plan_cache = optimized ? &cache : nullptr;
             cfg.legacy_engine_scan = !optimized;
+            cfg.legacy_egalitarian_channel = !optimized;
             const Topology& topo = method.on_ideal_topology
                                        ? grid.ideal_topologies[t]
                                        : grid.topologies[t];

@@ -19,13 +19,22 @@
  *                         (preset names and/or specs) across all
  *                         three schedulers — and across the --sweep
  *                         chunk counts when given — sharing one plan
- *                         cache across the grid's workers
+ *                         cache across the grid's workers; malformed
+ *                         entries are rejected with an entry/column
+ *                         diagnostic
+ *     --priority W        two-tenant priority demo on --topo: an
+ *                         urgent All-Reduce chain (weight W) vs bulk
+ *                         All-Reduces (weight 1) under the
+ *                         priority-aware Themis scheduler, with
+ *                         per-class utilization and slowdown columns
+ *                         (W = 1 is the egalitarian baseline)
  *     --jobs N            sweep worker threads [hardware concurrency]
  *
  * Example:
  *   themis_cli --topo "Ring:4:1000x2:20,SW:8:400:1700" --size 2.5e8
  *   themis_cli --sweep 4,16,64,256 --jobs 8
  *   themis_cli --grid "2D-SW_SW;3D-SW_SW_SW_homo" --size 1e9
+ *   themis_cli --priority 4 --size 5e8
  */
 
 #include <chrono>
@@ -35,6 +44,7 @@
 #include "common/error.hpp"
 #include "common/string_util.hpp"
 #include "core/ideal_estimator.hpp"
+#include "core/priority_policy.hpp"
 #include "core/themis_scheduler.hpp"
 #include "npu/npu_machine.hpp"
 #include "runtime/comm_runtime.hpp"
@@ -58,7 +68,7 @@ usage(const char* argv0)
                  "          [--chunks N] [--sched base|fifo|scf] "
                  "[--enforce]\n"
                  "          [--sweep C1,C2,...] [--grid T1;T2;...] "
-                 "[--jobs N]\n",
+                 "[--priority W] [--jobs N]\n",
                  argv0);
     std::exit(2);
 }
@@ -70,6 +80,46 @@ resolveTopology(const std::string& arg)
     if (arg.find(':') == std::string::npos)
         return presets::byName(arg);
     return parseTopology("custom", arg);
+}
+
+/**
+ * Parse a --grid topology list, rejecting malformed entries with an
+ * entry-number/column diagnostic instead of silently skipping them
+ * (the list is a single argument, so "line" is always 1).
+ */
+std::vector<Topology>
+parseGridList(const std::string& grid_arg)
+{
+    std::vector<Topology> out;
+    std::size_t entry = 0;
+    std::size_t pos = 0;
+    while (pos <= grid_arg.size()) {
+        std::size_t sep = grid_arg.find(';', pos);
+        if (sep == std::string::npos)
+            sep = grid_arg.size();
+        const std::string tok = grid_arg.substr(pos, sep - pos);
+        ++entry;
+        const std::size_t column = pos + 1; // 1-based for humans
+        if (tok.find_first_not_of(" \t") == std::string::npos)
+            THEMIS_FATAL("--grid entry " << entry << " (line 1, column "
+                                         << column
+                                         << ") is empty; remove the "
+                                            "stray ';' or name a "
+                                            "topology");
+        try {
+            out.push_back(resolveTopology(tok));
+        } catch (const ConfigError& e) {
+            THEMIS_FATAL("--grid entry " << entry << " (line 1, column "
+                                         << column << "): '" << tok
+                                         << "' is not a preset or "
+                                            "topology spec: "
+                                         << e.what());
+        }
+        pos = sep + 1;
+        if (sep == grid_arg.size())
+            break;
+    }
+    return out;
 }
 
 /** One scheduler column of the --sweep/--grid tables. */
@@ -102,6 +152,7 @@ main(int argc, char** argv)
     std::string trace_path;
     std::string sweep_arg;
     std::string grid_arg;
+    double priority_ratio = 0.0;
     int jobs = 0;
 
     for (int i = 1; i < argc; ++i) {
@@ -131,6 +182,10 @@ main(int argc, char** argv)
             sweep_arg = need_value();
         } else if (flag == "--grid") {
             grid_arg = need_value();
+        } else if (flag == "--priority") {
+            priority_ratio = std::atof(need_value().c_str());
+            if (priority_ratio < 1.0)
+                usage(argv[0]);
         } else if (flag == "--jobs") {
             jobs = std::atoi(need_value().c_str());
         } else {
@@ -166,6 +221,126 @@ main(int argc, char** argv)
             usage(argv[0]);
         cfg.enforce_consistent_order = enforce;
 
+        if (priority_ratio >= 1.0) {
+            // Two-tenant priority demo: an urgent All-Reduce chain
+            // (--size / 32 per collective) contends with bulk
+            // All-Reduces of --size under the priority-aware Themis
+            // scheduler. Solo runs of each tenant provide the
+            // slowdown baselines.
+            runtime::RuntimeConfig pcfg = runtime::themisScfConfig();
+            pcfg.scheduler = SchedulerKind::ThemisPriority;
+            pcfg.enforce_consistent_order = enforce;
+            if (priority_ratio > 1.0)
+                pcfg.priority = PriorityPolicy::tiered(priority_ratio);
+            const int chain = 8, bulk_count = 2;
+            const Bytes hi_size = size / 32.0;
+
+            struct TenantRun
+            {
+                TimeNs hi_mean = 0.0, lo_mean = 0.0, makespan = 0.0;
+            };
+            auto run_tenants = [&](bool run_hi, bool run_lo,
+                                   sim::EventQueue& queue,
+                                   runtime::CommRuntime& comm) {
+                int hi_remaining = run_hi ? chain : 0;
+                std::vector<int> hi_ids, lo_ids;
+                std::function<void()> issue_hi = [&] {
+                    if (hi_remaining == 0)
+                        return;
+                    --hi_remaining;
+                    CollectiveRequest r;
+                    r.type = CollectiveType::AllReduce;
+                    r.size = hi_size;
+                    r.priority_tier =
+                        static_cast<int>(PriorityTier::Urgent);
+                    hi_ids.push_back(comm.issue(r, [&] { issue_hi(); }));
+                };
+                if (run_hi)
+                    issue_hi();
+                for (int i = 0; run_lo && i < bulk_count; ++i) {
+                    CollectiveRequest r;
+                    r.type = CollectiveType::AllReduce;
+                    r.size = size;
+                    r.priority_tier =
+                        static_cast<int>(PriorityTier::Bulk);
+                    lo_ids.push_back(comm.issue(r));
+                }
+                queue.run();
+                comm.finalizeStats();
+                TenantRun out;
+                out.makespan = queue.now();
+                for (int cid : hi_ids)
+                    out.hi_mean += comm.record(cid).duration();
+                if (!hi_ids.empty())
+                    out.hi_mean /= static_cast<double>(hi_ids.size());
+                for (int cid : lo_ids)
+                    out.lo_mean += comm.record(cid).duration();
+                if (!lo_ids.empty())
+                    out.lo_mean /= static_cast<double>(lo_ids.size());
+                return out;
+            };
+
+            sim::EventQueue q_hi, q_lo, q_both;
+            runtime::CommRuntime solo_hi_comm(q_hi, topo, pcfg);
+            const TenantRun solo_hi =
+                run_tenants(true, false, q_hi, solo_hi_comm);
+            runtime::CommRuntime solo_lo_comm(q_lo, topo, pcfg);
+            const TenantRun solo_lo =
+                run_tenants(false, true, q_lo, solo_lo_comm);
+            runtime::CommRuntime both_comm(q_both, topo, pcfg);
+            const TenantRun both =
+                run_tenants(true, true, q_both, both_comm);
+
+            std::printf("%s", topo.describe().c_str());
+            std::printf("\npriority contention demo (%s, policy %s):\n"
+                        "  urgent tenant: %d x %s AR chain; bulk "
+                        "tenant: %d x %s AR\n\n",
+                        schedulerKindName(pcfg.scheduler).c_str(),
+                        pcfg.priority.describe().c_str(), chain,
+                        fmtBytes(hi_size).c_str(), bulk_count,
+                        fmtBytes(size).c_str());
+            std::vector<stats::ClassUsageRow> rows;
+            for (const auto& c : both_comm.classReports()) {
+                stats::ClassUsageRow row;
+                row.name = pcfg.priority.isUniform()
+                               ? "all (uniform)"
+                               : priorityTierName(c.tier);
+                row.weight = c.weight;
+                row.collectives = c.completed;
+                row.mean_duration = c.mean_duration;
+                row.progressed = c.progressed;
+                row.utilization = c.utilization;
+                // Per-class slowdowns only make sense when classes
+                // are separated: under the uniform policy (W = 1)
+                // class 0 mixes both tenants, and dividing its mean
+                // by a single tenant's solo baseline would be
+                // meaningless (the per-tenant means print below).
+                if (!pcfg.priority.isUniform()) {
+                    if (c.tier ==
+                            static_cast<int>(PriorityTier::Urgent) &&
+                        solo_hi.hi_mean > 0.0)
+                        row.slowdown =
+                            c.mean_duration / solo_hi.hi_mean;
+                    if (c.tier ==
+                            static_cast<int>(PriorityTier::Bulk) &&
+                        solo_lo.lo_mean > 0.0)
+                        row.slowdown =
+                            c.mean_duration / solo_lo.lo_mean;
+                }
+                rows.push_back(row);
+            }
+            std::printf("%s", stats::renderClassTable(rows).c_str());
+            std::printf("\n  contended makespan : %s\n",
+                        fmtTime(both.makespan).c_str());
+            std::printf("  urgent mean  %s (solo %s)\n",
+                        fmtTime(both.hi_mean).c_str(),
+                        fmtTime(solo_hi.hi_mean).c_str());
+            std::printf("  bulk mean    %s (solo %s)\n",
+                        fmtTime(both.lo_mean).c_str(),
+                        fmtTime(solo_lo.lo_mean).c_str());
+            return 0;
+        }
+
         if (!grid_arg.empty() || !sweep_arg.empty()) {
             // Topology-list grid: every listed platform x all three
             // schedulers (x the --sweep chunk counts when given), one
@@ -173,14 +348,10 @@ main(int argc, char** argv)
             // read-mostly across the grid's workers. A bare --sweep
             // is the one-topology grid over --topo.
             std::vector<Topology> grid_topos;
-            for (const auto& tok : split(grid_arg, ';'))
-                if (!tok.empty())
-                    grid_topos.push_back(resolveTopology(tok));
-            if (grid_topos.empty()) {
-                if (!grid_arg.empty())
-                    THEMIS_FATAL("empty --grid topology list");
+            if (!grid_arg.empty())
+                grid_topos = parseGridList(grid_arg);
+            else
                 grid_topos.push_back(topo);
-            }
             std::vector<int> chunk_list;
             if (!sweep_arg.empty()) {
                 for (const auto& tok : split(sweep_arg, ','))

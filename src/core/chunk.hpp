@@ -77,6 +77,14 @@ struct CollectiveRequest
      * Empty means all dimensions of the platform, fully.
      */
     std::vector<ScopeDim> scope;
+
+    /**
+     * Priority tag (core/priority_policy.hpp PriorityTier values).
+     * The runtime's PriorityPolicy maps it to a wire-level flow
+     * class; under the default uniform policy every tier behaves
+     * identically, so tagging is free.
+     */
+    int priority_tier = 1; // PriorityTier::Standard
 };
 
 /** One pipeline stage of a chunk: a phase on a (local) dimension. */

@@ -14,14 +14,25 @@ LatencyModel::LatencyModel(std::vector<DimensionConfig> dims)
     for (const auto& d : dims_) {
         d.validate();
         sizes_.push_back(d.size);
-        hash.mix(static_cast<std::uint64_t>(d.kind));
-        hash.mix(static_cast<std::uint64_t>(d.size));
-        hash.mix(d.link_bw_gbps);
-        hash.mix(static_cast<std::uint64_t>(d.links_per_npu));
-        hash.mix(d.step_latency_ns);
-        hash.mix(static_cast<std::uint64_t>(d.in_network_offload));
+        Fnv1a dim_hash;
+        for (Fnv1a* h : {&hash, &dim_hash}) {
+            h->mix(static_cast<std::uint64_t>(d.kind));
+            h->mix(static_cast<std::uint64_t>(d.size));
+            h->mix(d.link_bw_gbps);
+            h->mix(static_cast<std::uint64_t>(d.links_per_npu));
+            h->mix(d.step_latency_ns);
+            h->mix(static_cast<std::uint64_t>(d.in_network_offload));
+        }
+        dim_fingerprints_.push_back(dim_hash.value());
     }
     fingerprint_ = hash.value();
+}
+
+std::uint64_t
+LatencyModel::dimFingerprint(int d) const
+{
+    THEMIS_ASSERT(d >= 0 && d < numDims(), "bad dimension " << d);
+    return dim_fingerprints_[static_cast<std::size_t>(d)];
 }
 
 LatencyModel

@@ -85,10 +85,20 @@ class LatencyModel
      */
     std::uint64_t fingerprint() const { return fingerprint_; }
 
+    /**
+     * Per-dimension fingerprint: the hash of exactly dimension @p d's
+     * parameters (the lanes the whole-model fingerprint mixes for
+     * that dimension). Keys the step-plan memo (core/plan_cache.hpp),
+     * which caches per-dimension chunk-op step aggregates across
+     * scopes that share a dimension. Computed once at construction.
+     */
+    std::uint64_t dimFingerprint(int d) const;
+
   private:
     std::vector<DimensionConfig> dims_;
     std::vector<int> sizes_;
     std::uint64_t fingerprint_ = 0;
+    std::vector<std::uint64_t> dim_fingerprints_;
 };
 
 } // namespace themis

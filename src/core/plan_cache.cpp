@@ -27,15 +27,29 @@ themisConfigEquals(const ThemisConfig& a, const ThemisConfig& b)
 PlanKey
 PlanKey::make(SchedulerKind scheduler, const ThemisConfig& themis,
               CollectiveType type, Bytes size, int chunks,
-              std::uint64_t model_fingerprint)
+              std::uint64_t model_fingerprint, int flow_tier,
+              std::uint64_t priority_fingerprint)
 {
     PlanKey key;
     key.scheduler = scheduler;
     // The baseline scheduler ignores ThemisConfig entirely; keep the
     // defaults so every baseline request shares one entry per
     // (type, size, chunks, model).
-    if (scheduler == SchedulerKind::Themis)
+    if (scheduler == SchedulerKind::Themis ||
+        scheduler == SchedulerKind::ThemisPriority)
         key.themis = themis;
+    // Only the priority-aware variant plans by flow class; every
+    // other scheduler shares one entry across tiers and policies.
+    // Its plans differ solely on the urgent threshold-bypass, so the
+    // tier normalizes to that bit — Bulk and Standard requests of
+    // the same shape share one entry instead of duplicating a full
+    // plan derivation per tier.
+    if (scheduler == SchedulerKind::ThemisPriority) {
+        key.flow_tier =
+            flow_tier >= static_cast<int>(PriorityTier::Urgent) ? 1
+                                                                : 0;
+        key.priority_fingerprint = priority_fingerprint;
+    }
     key.type = type;
     key.size = size;
     key.chunks = chunks;
@@ -49,7 +63,16 @@ PlanKey::operator==(const PlanKey& o) const
     return scheduler == o.scheduler &&
            themisConfigEquals(themis, o.themis) && type == o.type &&
            bitEquals(size, o.size) && chunks == o.chunks &&
-           model_fingerprint == o.model_fingerprint;
+           model_fingerprint == o.model_fingerprint &&
+           flow_tier == o.flow_tier &&
+           priority_fingerprint == o.priority_fingerprint;
+}
+
+bool
+StepKey::operator==(const StepKey& o) const
+{
+    return phase == o.phase && bitEquals(entering, o.entering) &&
+           dim_fingerprint == o.dim_fingerprint;
 }
 
 bool
@@ -77,6 +100,18 @@ PlanCache::PlanKeyHash::operator()(const PlanKey& k) const
     h.mix(k.size);
     h.mix(static_cast<std::uint64_t>(k.chunks));
     h.mix(k.model_fingerprint);
+    h.mix(static_cast<std::uint64_t>(k.flow_tier));
+    h.mix(k.priority_fingerprint);
+    return static_cast<std::size_t>(h.value());
+}
+
+std::size_t
+PlanCache::StepKeyHash::operator()(const StepKey& k) const
+{
+    Fnv1a h;
+    h.mix(static_cast<std::uint64_t>(k.phase));
+    h.mix(k.entering);
+    h.mix(k.dim_fingerprint);
     return static_cast<std::size_t>(h.value());
 }
 
@@ -142,6 +177,36 @@ PlanCache::storeOrders(const OrderKey& key,
     return orders_.try_emplace(key, std::move(value)).first->second;
 }
 
+bool
+PlanCache::findStep(const StepKey& key, StepSummary& out) const
+{
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        auto it = steps_.find(key);
+        if (it != steps_.end()) {
+            step_hits_.fetch_add(1, std::memory_order_relaxed);
+            out = it->second;
+            return true;
+        }
+    }
+    step_misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+}
+
+void
+PlanCache::storeStep(const StepKey& key, const StepSummary& summary)
+{
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    steps_.try_emplace(key, summary);
+}
+
+std::size_t
+PlanCache::stepCount() const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return steps_.size();
+}
+
 std::size_t
 PlanCache::planCount() const
 {
@@ -164,6 +229,8 @@ PlanCache::stats() const
     s.plan_misses = plan_misses_.load(std::memory_order_relaxed);
     s.order_hits = order_hits_.load(std::memory_order_relaxed);
     s.order_misses = order_misses_.load(std::memory_order_relaxed);
+    s.step_hits = step_hits_.load(std::memory_order_relaxed);
+    s.step_misses = step_misses_.load(std::memory_order_relaxed);
     return s;
 }
 

@@ -12,6 +12,7 @@ schedulerKindName(SchedulerKind kind)
     switch (kind) {
       case SchedulerKind::Baseline: return "Baseline";
       case SchedulerKind::Themis:   return "Themis";
+      case SchedulerKind::ThemisPriority: return "Themis+Priority";
     }
     THEMIS_PANIC("unknown SchedulerKind " << static_cast<int>(kind));
 }
@@ -25,6 +26,9 @@ makeScheduler(SchedulerKind kind, const LatencyModel& model,
         return std::make_unique<BaselineScheduler>(model);
       case SchedulerKind::Themis:
         return std::make_unique<ThemisScheduler>(model, config);
+      case SchedulerKind::ThemisPriority:
+        return std::make_unique<ThemisScheduler>(
+            model, config, /*priority_aware=*/true);
     }
     THEMIS_PANIC("unknown SchedulerKind " << static_cast<int>(kind));
 }

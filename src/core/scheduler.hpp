@@ -18,6 +18,7 @@
 
 #include "core/chunk.hpp"
 #include "core/latency_model.hpp"
+#include "core/priority_policy.hpp"
 
 namespace themis {
 
@@ -25,6 +26,14 @@ namespace themis {
 enum class SchedulerKind {
     Baseline, ///< fixed dim1..dimD hierarchical order
     Themis,   ///< dynamic per-chunk greedy balancing (Algorithm 1)
+    /**
+     * Themis that also reads the request's flow class: urgent-tier
+     * collectives bypass the robustness threshold (Algorithm 1
+     * line 19) so even small load gaps are balanced away — their
+     * completion time matters more than oversubscription robustness.
+     * Under a uniform PriorityPolicy this is exactly Themis.
+     */
+    ThemisPriority,
 };
 
 /** Scheduler name for reports. */
@@ -50,6 +59,19 @@ class Scheduler
      */
     virtual std::vector<ChunkSchedule>
     scheduleCollective(CollectiveType type, Bytes size, int chunks) = 0;
+
+    /**
+     * Flow-class-aware overload: the runtime always calls this form.
+     * The default implementation ignores @p flow, so priority-unaware
+     * schedulers plan identically for every class.
+     */
+    virtual std::vector<ChunkSchedule>
+    scheduleCollective(CollectiveType type, Bytes size, int chunks,
+                       const FlowClass& flow)
+    {
+        (void)flow;
+        return scheduleCollective(type, size, chunks);
+    }
 };
 
 /** Tunables of the Themis scheduler (defaults follow the paper). */

@@ -41,9 +41,32 @@ identityOrder(int n)
 } // namespace
 
 ThemisScheduler::ThemisScheduler(const LatencyModel& model,
-                                 ThemisConfig config)
-    : model_(model), config_(config), tracker_(model)
+                                 ThemisConfig config,
+                                 bool priority_aware)
+    : model_(model), config_(config), priority_aware_(priority_aware),
+      tracker_(model)
 {}
+
+std::vector<ChunkSchedule>
+ThemisScheduler::scheduleCollective(CollectiveType type, Bytes size,
+                                    int chunks, const FlowClass& flow)
+{
+    // Urgent flows bypass the robustness threshold (Algorithm 1
+    // line 19): the fallback exists to avoid oversubscribing
+    // low-bandwidth dimensions when the gap is negligible, but an
+    // urgent collective's own completion time dominates that concern.
+    // The threshold knob is restored afterwards so interleaved tiers
+    // see their own behavior.
+    const bool bypass =
+        priority_aware_ && config_.use_threshold &&
+        flow.tier >= static_cast<int>(PriorityTier::Urgent);
+    if (!bypass)
+        return scheduleCollective(type, size, chunks);
+    config_.use_threshold = false;
+    auto out = scheduleCollective(type, size, chunks);
+    config_.use_threshold = true;
+    return out;
+}
 
 const std::vector<TimeNs>&
 ThemisScheduler::trackedLoads() const

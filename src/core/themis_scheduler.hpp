@@ -32,14 +32,26 @@ class ThemisScheduler final : public Scheduler
      * @param model  latency model over the collective's dimensions
      *               (must outlive the scheduler)
      * @param config paper-default tunables
+     * @param priority_aware read the request's flow class: urgent
+     *               tiers bypass the robustness threshold
+     *               (SchedulerKind::ThemisPriority)
      */
-    ThemisScheduler(const LatencyModel& model, ThemisConfig config = {});
+    ThemisScheduler(const LatencyModel& model, ThemisConfig config = {},
+                    bool priority_aware = false);
 
-    std::string name() const override { return "Themis"; }
+    std::string
+    name() const override
+    {
+        return priority_aware_ ? "Themis+Priority" : "Themis";
+    }
 
     std::vector<ChunkSchedule> scheduleCollective(CollectiveType type,
                                                   Bytes size,
                                                   int chunks) override;
+
+    std::vector<ChunkSchedule>
+    scheduleCollective(CollectiveType type, Bytes size, int chunks,
+                       const FlowClass& flow) override;
 
     /** Tracked loads after the last scheduleCollective() call. */
     const std::vector<TimeNs>& trackedLoads() const;
@@ -61,6 +73,7 @@ class ThemisScheduler final : public Scheduler
 
     const LatencyModel& model_;
     ThemisConfig config_;
+    bool priority_aware_;
     DimLoadTracker tracker_;
     bool tracker_valid_ = false;
 };

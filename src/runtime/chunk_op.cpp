@@ -7,7 +7,9 @@ namespace themis::runtime {
 ChunkOp
 makeChunkOp(const OpTag& tag, Phase phase, int local_dim, int global_dim,
             Bytes entering, const DimensionConfig& dim,
-            std::function<void(const ChunkOp&)> on_complete)
+            std::function<void(const ChunkOp&)> on_complete,
+            FlowClass flow, PlanCache* step_cache,
+            std::uint64_t dim_fingerprint)
 {
     THEMIS_ASSERT(on_complete, "chunk op needs a completion callback");
     ChunkOp op;
@@ -16,19 +18,31 @@ makeChunkOp(const OpTag& tag, Phase phase, int local_dim, int global_dim,
     op.local_dim = local_dim;
     op.global_dim = global_dim;
     op.entering = entering;
+    op.flow = flow;
     // Execution granularity follows the paper's cost model
     // (Sec 4.4): one fixed delay A_K = steps * step_latency, then one
     // bandwidth-occupying transfer of the full wire volume N_K. The
     // per-step plan is summed into that lump; concurrent chunks hide
-    // each other's fixed delays through the shared channel.
-    Bytes total_bytes = 0.0;
-    for (const auto& s : algorithmFor(dim).plan(phase, entering,
-                                                dim)) {
-        op.fixed_delay += s.latency;
-        total_bytes += s.bytes;
+    // each other's fixed delays through the shared channel. The lump
+    // is a pure function of (phase, entering, dimension), so repeated
+    // iterations fetch it from the step memo instead of re-deriving
+    // the algorithm's step vector.
+    StepSummary summary;
+    const StepKey key{phase, entering, dim_fingerprint};
+    if (step_cache == nullptr || !step_cache->findStep(key, summary)) {
+        summary = StepSummary{};
+        for (const auto& s :
+             algorithmFor(dim).plan(phase, entering, dim)) {
+            summary.fixed_delay += s.latency;
+            summary.total_bytes += s.bytes;
+        }
+        if (step_cache != nullptr)
+            step_cache->storeStep(key, summary);
     }
-    op.transfer_time = total_bytes / dim.bandwidth();
-    op.steps = {StepPlan{op.fixed_delay, total_bytes}};
+    op.fixed_delay = summary.fixed_delay;
+    op.transfer_time = summary.total_bytes / dim.bandwidth();
+    op.steps.push_back(StepPlan{summary.fixed_delay,
+                                summary.total_bytes});
     op.on_complete = std::move(on_complete);
     return op;
 }

@@ -4,17 +4,24 @@
  * of one chunk executing on one network dimension. Sessions create
  * ops; dimension engines execute them step by step on the event queue
  * and invoke the completion callback.
+ *
+ * Every op carries its collective's FlowClass (priority tier + GPS
+ * weight), which the engines thread down to the shared channels —
+ * priority is a first-class attribute from workload to wire.
  */
 
 #ifndef THEMIS_RUNTIME_CHUNK_OP_HPP
 #define THEMIS_RUNTIME_CHUNK_OP_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <vector>
 
 #include "collective/algorithms.hpp"
+#include "common/error.hpp"
 #include "core/chunk.hpp"
+#include "core/plan_cache.hpp"
+#include "core/priority_policy.hpp"
 
 namespace themis::runtime {
 
@@ -43,6 +50,43 @@ struct OpTag
     }
 };
 
+/**
+ * Inline step storage. The cost model lumps every op into a single
+ * (fixed delay, wire bytes) step (Sec 4.4), so a heap-allocated
+ * vector per op was pure overhead on the hot path — ops are created
+ * per stage per chunk per iteration. A small fixed array keeps the op
+ * trivially movable with zero allocations while preserving the
+ * engine's generic step iteration.
+ */
+class StepList
+{
+  public:
+    static constexpr std::size_t kCapacity = 4;
+
+    void
+    push_back(const StepPlan& step)
+    {
+        THEMIS_ASSERT(count_ < kCapacity, "chunk op step overflow");
+        items_[count_++] = step;
+    }
+
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+
+    const StepPlan&
+    operator[](std::size_t i) const
+    {
+        return items_[i];
+    }
+
+    const StepPlan* begin() const { return items_; }
+    const StepPlan* end() const { return items_ + count_; }
+
+  private:
+    StepPlan items_[kCapacity];
+    std::size_t count_ = 0;
+};
+
 /** A schedulable chunk operation; see file comment. */
 struct ChunkOp
 {
@@ -58,8 +102,11 @@ struct ChunkOp
     /** Per-NPU data size entering this stage. */
     Bytes entering = 0.0;
 
+    /** Flow class of the parent collective (tier + GPS weight). */
+    FlowClass flow;
+
     /** Algorithm step plan (latency + bytes per step). */
-    std::vector<StepPlan> steps;
+    StepList steps;
 
     /** Sum of step transfer times at full bandwidth (N*B). */
     TimeNs transfer_time = 0.0;
@@ -73,12 +120,18 @@ struct ChunkOp
 
 /**
  * Build a ChunkOp for @p phase of chunk @p tag on dimension @p dim
- * (computes the step plan and time aggregates).
+ * (computes the step plan and time aggregates). @p flow is the parent
+ * collective's flow class. When @p step_cache is non-null the lumped
+ * step aggregates are memoized under (phase, entering,
+ * @p dim_fingerprint) — pass LatencyModel::dimFingerprint() of the
+ * stage's dimension.
  */
 ChunkOp makeChunkOp(const OpTag& tag, Phase phase, int local_dim,
                     int global_dim, Bytes entering,
                     const DimensionConfig& dim,
-                    std::function<void(const ChunkOp&)> on_complete);
+                    std::function<void(const ChunkOp&)> on_complete,
+                    FlowClass flow = {}, PlanCache* step_cache = nullptr,
+                    std::uint64_t dim_fingerprint = 0);
 
 } // namespace themis::runtime
 

@@ -9,12 +9,15 @@ CollectiveSession::CollectiveSession(int id, CollectiveType type,
                                      std::vector<DimensionEngine*> engines,
                                      const LatencyModel& model,
                                      sim::EventQueue& queue,
-                                     CompletionCallback on_done)
+                                     CompletionCallback on_done,
+                                     FlowClass flow,
+                                     PlanCache* step_cache)
     : CollectiveSession(
           id, type,
           std::make_shared<const std::vector<ChunkSchedule>>(
               std::move(schedules)),
-          std::move(engines), model, queue, std::move(on_done))
+          std::move(engines), model, queue, std::move(on_done), flow,
+          step_cache)
 {
 }
 
@@ -23,10 +26,15 @@ CollectiveSession::CollectiveSession(int id, CollectiveType type,
                                      std::vector<DimensionEngine*> engines,
                                      const LatencyModel& model,
                                      sim::EventQueue& queue,
-                                     CompletionCallback on_done)
+                                     CompletionCallback on_done,
+                                     FlowClass flow,
+                                     PlanCache* step_cache)
     : id_(id), type_(type), schedules_(std::move(schedules)),
       engines_(std::move(engines)), model_(model), queue_(queue),
-      on_done_(std::move(on_done))
+      on_done_(std::move(on_done)), flow_(flow),
+      step_cache_(step_cache),
+      on_op_complete_(
+          [this](const ChunkOp& op) { onOpComplete(op); })
 {
     THEMIS_ASSERT(schedules_ != nullptr, "null schedule plan");
     THEMIS_ASSERT(!schedules_->empty(), "collective with no chunks");
@@ -68,8 +76,8 @@ CollectiveSession::submitStage(std::size_t chunk_idx, int stage_index,
     OpTag tag{id_, sched.chunk_id, stage_index};
     engine->enqueue(makeChunkOp(
         tag, stage.phase, stage.dim, engine->globalDim(), entering,
-        model_.dim(stage.dim),
-        [this](const ChunkOp& op) { onOpComplete(op); }));
+        model_.dim(stage.dim), on_op_complete_, flow_, step_cache_,
+        model_.dimFingerprint(stage.dim)));
 }
 
 void

@@ -40,18 +40,24 @@ class CollectiveSession
      *                  sub-groups of the physical dimensions)
      * @param queue     event queue (for timestamps)
      * @param on_done   completion callback
+     * @param flow      flow class every chunk op of this collective
+     *                  carries (priority tier + GPS weight)
+     * @param step_cache optional step-plan memo shared with the plan
+     *                  cache (not owned; may be null)
      */
     CollectiveSession(int id, CollectiveType type, SchedulePtr schedules,
                       std::vector<DimensionEngine*> engines,
                       const LatencyModel& model, sim::EventQueue& queue,
-                      CompletionCallback on_done);
+                      CompletionCallback on_done, FlowClass flow = {},
+                      PlanCache* step_cache = nullptr);
 
     /** Convenience overload wrapping freshly derived schedules. */
     CollectiveSession(int id, CollectiveType type,
                       std::vector<ChunkSchedule> schedules,
                       std::vector<DimensionEngine*> engines,
                       const LatencyModel& model, sim::EventQueue& queue,
-                      CompletionCallback on_done);
+                      CompletionCallback on_done, FlowClass flow = {},
+                      PlanCache* step_cache = nullptr);
 
     CollectiveSession(const CollectiveSession&) = delete;
     CollectiveSession& operator=(const CollectiveSession&) = delete;
@@ -80,6 +86,9 @@ class CollectiveSession
         return *schedules_;
     }
 
+    /** Flow class of this collective's chunk operations. */
+    const FlowClass& flow() const { return flow_; }
+
   private:
     void submitStage(std::size_t chunk_idx, int stage_index,
                      Bytes entering);
@@ -92,6 +101,11 @@ class CollectiveSession
     const LatencyModel& model_;
     sim::EventQueue& queue_;
     CompletionCallback on_done_;
+    FlowClass flow_;
+    PlanCache* step_cache_;
+    /** One op-completion closure, built once and copied per op
+     *  (small-buffer copy; no per-stage closure allocations). */
+    std::function<void(const ChunkOp&)> on_op_complete_;
 
     std::size_t completed_chunks_ = 0;
     TimeNs start_time_ = 0.0;

@@ -1,5 +1,6 @@
 #include "runtime/comm_runtime.hpp"
 
+#include <algorithm>
 #include <numeric>
 
 #include "common/error.hpp"
@@ -40,12 +41,20 @@ CommRuntime::CommRuntime(sim::EventQueue& queue, Topology topo,
     : queue_ref_(queue), topo_(std::move(topo)), config_(config),
       activity_(topo_.numDims())
 {
+    THEMIS_ASSERT(!config_.legacy_egalitarian_channel ||
+                      config_.priority.isUniform(),
+                  "the egalitarian channel baseline requires the "
+                  "uniform priority policy (unit weights)");
+    const sim::ChannelFairness fairness =
+        config_.legacy_egalitarian_channel
+            ? sim::ChannelFairness::Egalitarian
+            : sim::ChannelFairness::Weighted;
     std::vector<sim::SharedChannel*> channels;
     std::vector<Bandwidth> bws;
     for (int d = 0; d < topo_.numDims(); ++d) {
         engines_.push_back(std::make_unique<DimensionEngine>(
             queue_ref_, topo_.dim(d), d, config_.intra_policy,
-            config_.admission, config_.legacy_engine_scan));
+            config_.admission, config_.legacy_engine_scan, fairness));
         engines_.back()->setPresenceListener(
             [this](int dim, bool present, TimeNs when) {
                 activity_.onPresence(dim, present, when);
@@ -117,7 +126,8 @@ CommRuntime::usableCache() const
     // A Themis scheduler carrying load state across collectives makes
     // plans history-dependent — the one configuration memoization
     // cannot represent.
-    if (config_.scheduler == SchedulerKind::Themis &&
+    if ((config_.scheduler == SchedulerKind::Themis ||
+         config_.scheduler == SchedulerKind::ThemisPriority) &&
         config_.themis.carry_load_across_collectives)
         return nullptr;
     return config_.plan_cache;
@@ -126,23 +136,26 @@ CommRuntime::usableCache() const
 CollectiveSession::SchedulePtr
 CommRuntime::planFor(ScopeState& state, PlanCache* cache,
                      const PlanKey& key, CollectiveType type,
-                     Bytes size, int chunks)
+                     Bytes size, int chunks, const FlowClass& flow)
 {
     if (cache == nullptr) {
         return std::make_shared<const std::vector<ChunkSchedule>>(
-            state.scheduler->scheduleCollective(type, size, chunks));
+            state.scheduler->scheduleCollective(type, size, chunks,
+                                                flow));
     }
     if (auto plan = cache->findPlan(key))
         return plan;
     return cache->storePlan(
-        key, state.scheduler->scheduleCollective(type, size, chunks));
+        key, state.scheduler->scheduleCollective(type, size, chunks,
+                                                 flow));
 }
 
 PlanCache::OrderPtr
 CommRuntime::ordersFor(ScopeState& state, PlanCache* cache,
                        const PlanKey& key,
                        const std::vector<ChunkSchedule>& schedules,
-                       const std::vector<ScopeDim>& scope)
+                       const std::vector<ScopeDim>& scope,
+                       const FlowClass& flow)
 {
     OrderKey order_key;
     if (cache != nullptr) {
@@ -157,7 +170,7 @@ CommRuntime::ordersFor(ScopeState& state, PlanCache* cache,
     std::vector<std::vector<OpKey>> orders;
     if (config_.order_planner == OrderPlanner::ShadowSim) {
         orders = shadowPlanOrders(key.type, schedules, scope,
-                                  *state.model);
+                                  *state.model, flow);
     } else {
         auto plan = state.planner->plan(schedules);
         THEMIS_ASSERT(planIsDeadlockFree(schedules, plan),
@@ -180,12 +193,15 @@ CommRuntime::issue(const CollectiveRequest& request, Callback on_done)
         request.chunks > 0 ? request.chunks : config_.default_chunks;
     const Bytes size = schedulableSize(request.type, request.size,
                                        state.model->dimSizes());
+    const FlowClass flow =
+        config_.priority.flowFor(request.priority_tier);
     PlanCache* cache = usableCache();
     const PlanKey key =
         PlanKey::make(config_.scheduler, config_.themis, request.type,
-                      size, chunks, state.model->fingerprint());
+                      size, chunks, state.model->fingerprint(),
+                      flow.tier, config_.priority.fingerprint());
     CollectiveSession::SchedulePtr schedules =
-        planFor(state, cache, key, request.type, size, chunks);
+        planFor(state, cache, key, request.type, size, chunks, flow);
 
     const int id = static_cast<int>(records_.size());
     Record rec;
@@ -194,6 +210,8 @@ CommRuntime::issue(const CollectiveRequest& request, Callback on_done)
     rec.size = request.size;
     rec.scope = scope;
     rec.issued = queue_ref_.now();
+    rec.priority_tier = request.priority_tier;
+    rec.flow = flow;
     records_.push_back(rec);
     if (on_done)
         callbacks_[id] = std::move(on_done);
@@ -206,7 +224,7 @@ CommRuntime::issue(const CollectiveRequest& request, Callback on_done)
     if (config_.enforce_consistent_order) {
         // Pre-simulate to fix per-dimension start orders (Sec 4.6.2).
         const PlanCache::OrderPtr orders =
-            ordersFor(state, cache, key, *schedules, scope);
+            ordersFor(state, cache, key, *schedules, scope, flow);
         THEMIS_ASSERT(orders->size() == scope.size(),
                       "order plan rank mismatch");
         for (std::size_t local = 0; local < scope.size(); ++local) {
@@ -220,9 +238,12 @@ CommRuntime::issue(const CollectiveRequest& request, Callback on_done)
 
     sessions_.push_back(std::make_unique<CollectiveSession>(
         id, request.type, std::move(schedules), std::move(engines),
-        *state.model, queue_ref_, [this](CollectiveSession& s) {
-            onCollectiveDone(s.id());
-        }));
+        *state.model, queue_ref_,
+        [this](CollectiveSession& s) { onCollectiveDone(s.id()); },
+        flow,
+        // Step plans are history-free, so even configs whose chunk
+        // schedules bypass the cache (carry-load Themis) memoize them.
+        config_.plan_cache));
     sessions_.back()->start();
     return id;
 }
@@ -270,7 +291,8 @@ std::vector<std::vector<OpKey>>
 CommRuntime::shadowPlanOrders(CollectiveType type,
                               const std::vector<ChunkSchedule>& schedules,
                               const std::vector<ScopeDim>& scope,
-                              const LatencyModel& model)
+                              const LatencyModel& model,
+                              const FlowClass& flow)
 {
     sim::EventQueue shadow_queue;
     std::vector<std::unique_ptr<DimensionEngine>> shadow_engines;
@@ -280,7 +302,10 @@ CommRuntime::shadowPlanOrders(CollectiveType type,
         shadow_engines.push_back(std::make_unique<DimensionEngine>(
             shadow_queue, topo_.dim(scope[local].dim),
             scope[local].dim, config_.intra_policy, config_.admission,
-            config_.legacy_engine_scan));
+            config_.legacy_engine_scan,
+            config_.legacy_egalitarian_channel
+                ? sim::ChannelFairness::Egalitarian
+                : sim::ChannelFairness::Weighted));
         auto* bucket = &orders[local];
         shadow_engines.back()->setStartListener(
             [bucket](const OpTag& tag) {
@@ -288,8 +313,11 @@ CommRuntime::shadowPlanOrders(CollectiveType type,
             });
         engine_ptrs.push_back(shadow_engines.back().get());
     }
+    // The shadow runs the collective alone, so its flow class cannot
+    // change relative order — passing it keeps the replay faithful.
     CollectiveSession shadow(0, type, schedules, std::move(engine_ptrs),
-                             model, shadow_queue, nullptr);
+                             model, shadow_queue, nullptr, flow,
+                             config_.plan_cache);
     shadow.start();
     shadow_queue.run();
     THEMIS_ASSERT(shadow.done(),
@@ -317,6 +345,47 @@ void
 CommRuntime::finalizeStats()
 {
     activity_.finalize(queue_ref_.now());
+}
+
+std::vector<CommRuntime::ClassReport>
+CommRuntime::classReports()
+{
+    // Classes present: whatever the channels saw, plus every class a
+    // record was mapped to (a class may have issued-but-untransferred
+    // collectives).
+    int num_classes = 1;
+    for (const auto& engine : engines_) {
+        engine->channel().sync();
+        num_classes =
+            std::max(num_classes, engine->channel().numClasses());
+    }
+    for (const auto& rec : records_)
+        num_classes = std::max(num_classes, rec.flow.tier + 1);
+
+    std::vector<ClassReport> out(
+        static_cast<std::size_t>(num_classes));
+    for (int c = 0; c < num_classes; ++c) {
+        ClassReport& r = out[static_cast<std::size_t>(c)];
+        r.tier = c;
+        r.weight = config_.priority.flowFor(c).weight;
+        for (const auto& engine : engines_)
+            r.progressed +=
+                engine->channel().classProgressedBytes(c);
+        r.utilization = utilization_->classUtilization(c);
+    }
+    for (const auto& rec : records_) {
+        ClassReport& r =
+            out[static_cast<std::size_t>(rec.flow.tier)];
+        ++r.issued;
+        if (rec.done()) {
+            ++r.completed;
+            r.mean_duration += rec.duration();
+        }
+    }
+    for (ClassReport& r : out)
+        if (r.completed > 0)
+            r.mean_duration /= r.completed;
+    return out;
 }
 
 } // namespace themis::runtime

@@ -90,6 +90,25 @@ struct RuntimeConfig
      * exists so benches can measure the optimization in one binary.
      */
     bool legacy_engine_scan = false;
+
+    /**
+     * Maps collective priority tiers (CollectiveRequest::priority_tier)
+     * to wire-level flow classes. The default uniform policy collapses
+     * every tier onto one unit-weight class, reproducing the
+     * egalitarian pre-priority dataplane bit-for-bit; a tiered policy
+     * gives urgent collectives ready-set precedence and a larger
+     * weighted-GPS share on every shared channel.
+     */
+    PriorityPolicy priority{};
+
+    /**
+     * Drive the shared channels with the pre-priority egalitarian
+     * equal-share arithmetic instead of weighted GPS. Requires the
+     * uniform priority policy; results are bit-identical to the
+     * weighted path with unit weights — exists so equivalence tests
+     * and benches can compare both in one binary.
+     */
+    bool legacy_egalitarian_channel = false;
 };
 
 /** Table 3 convenience constructors. */
@@ -114,8 +133,40 @@ class CommRuntime
         TimeNs issued = 0.0;
         TimeNs completed = -1.0;
 
+        /** Request's priority tag. */
+        int priority_tier = 1;
+
+        /** Flow class the priority policy assigned. */
+        FlowClass flow;
+
         bool done() const { return completed >= 0.0; }
         TimeNs duration() const { return completed - issued; }
+    };
+
+    /** Per-flow-class usage summary (see classReports()). */
+    struct ClassReport
+    {
+        /** Flow class index (PriorityPolicy tier). */
+        int tier = 0;
+
+        /** GPS weight the policy assigns this class. */
+        double weight = 1.0;
+
+        /** Collectives issued / completed in this class. */
+        int issued = 0;
+        int completed = 0;
+
+        /** Mean completion time of the finished collectives. */
+        TimeNs mean_duration = 0.0;
+
+        /** Bytes progressed by this class across all dimensions. */
+        Bytes progressed = 0.0;
+
+        /**
+         * Class bandwidth utilization during communication-active
+         * windows: class bytes / (total BW x active time).
+         */
+        double utilization = 0.0;
     };
 
     /**
@@ -155,6 +206,15 @@ class CommRuntime
     {
         return *utilization_;
     }
+
+    /**
+     * Per-flow-class usage over everything issued so far (one entry
+     * per class the priority policy produced, ascending tier).
+     * Utilization columns cover closed communication-active windows;
+     * progressed bytes cover all time up to the last channel sync
+     * (the call syncs every channel).
+     */
+    std::vector<ClassReport> classReports();
 
     /** Per-dimension activity intervals (Fig 9). */
     stats::ActivityTimeline& activity() { return activity_; }
@@ -200,12 +260,14 @@ class CommRuntime
      */
     CollectiveSession::SchedulePtr
     planFor(ScopeState& state, PlanCache* cache, const PlanKey& key,
-            CollectiveType type, Bytes size, int chunks);
+            CollectiveType type, Bytes size, int chunks,
+            const FlowClass& flow);
     /** Derive (or fetch) enforced per-dimension orders (Sec 4.6.2). */
     PlanCache::OrderPtr
     ordersFor(ScopeState& state, PlanCache* cache, const PlanKey& key,
               const std::vector<ChunkSchedule>& schedules,
-              const std::vector<ScopeDim>& scope);
+              const std::vector<ScopeDim>& scope,
+              const FlowClass& flow);
 
     /**
      * Replay @p schedules through a private shadow simulation and
@@ -215,7 +277,7 @@ class CommRuntime
     shadowPlanOrders(CollectiveType type,
                      const std::vector<ChunkSchedule>& schedules,
                      const std::vector<ScopeDim>& scope,
-                     const LatencyModel& model);
+                     const LatencyModel& model, const FlowClass& flow);
 
     sim::EventQueue& queue_ref_;
     Topology topo_;

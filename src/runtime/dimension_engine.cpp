@@ -29,16 +29,34 @@ DimensionEngine::DimensionEngine(sim::EventQueue& queue,
                                  DimensionConfig config, int global_dim,
                                  IntraDimPolicy policy,
                                  AdmissionConfig admission,
-                                 bool legacy_scan)
+                                 bool legacy_scan,
+                                 sim::ChannelFairness fairness)
     : queue_ref_(queue), config_(config), global_dim_(global_dim),
       policy_(policy), admission_(admission), legacy_scan_(legacy_scan),
-      channel_(queue, config.bandwidth()), ready_(ReadyCompare{policy})
+      channel_(queue, config.bandwidth(), fairness),
+      ready_(ReadyCompare{policy})
 {
     config_.validate();
     THEMIS_ASSERT(admission_.max_parallel_ops >= 1,
                   "max_parallel_ops must be >= 1");
     THEMIS_ASSERT(admission_.latency_headroom > 0.0,
                   "latency_headroom must be positive");
+    THEMIS_ASSERT(admission_.max_priority_bypass >= 1,
+                  "max_priority_bypass must be >= 1");
+}
+
+void
+DimensionEngine::readyInsert(const PendingOp& p)
+{
+    ready_.insert(readyKeyOf(p));
+    ready_age_.insert(p.arrival_seq);
+}
+
+void
+DimensionEngine::readyErase(const PendingOp& p)
+{
+    ready_.erase(readyKeyOf(p));
+    ready_age_.erase(p.arrival_seq);
 }
 
 void
@@ -63,7 +81,7 @@ DimensionEngine::setEnforcedOrder(int collective_id,
             auto pit = pending_.find(seq);
             THEMIS_ASSERT(pit != pending_.end(),
                           "parked op missing from pending store");
-            ready_.insert(readyKeyOf(pit->second));
+            readyInsert(pit->second);
         }
         enforced_.erase(old);
     }
@@ -78,7 +96,7 @@ DimensionEngine::setEnforcedOrder(int collective_id,
         THEMIS_ASSERT(eo.next < eo.order.size(),
                       "enforced order shorter than pending op count");
         if (parkKey(p.op.tag) != parkKey(eo.order[eo.next])) {
-            ready_.erase(readyKeyOf(p));
+            readyErase(p);
             eo.parked.emplace(parkKey(p.op.tag), seq);
         }
     }
@@ -97,7 +115,7 @@ DimensionEngine::clearEnforcedOrder(int collective_id)
         auto pit = pending_.find(seq);
         THEMIS_ASSERT(pit != pending_.end(),
                       "parked op missing from pending store");
-        ready_.insert(readyKeyOf(pit->second));
+        readyInsert(pit->second);
     }
     const bool unparked = !it->second.parked.empty();
     enforced_.erase(it);
@@ -164,7 +182,7 @@ DimensionEngine::enqueue(ChunkOp op)
     auto [pit, inserted] =
         pending_.emplace(seq, PendingOp{std::move(op), seq});
     THEMIS_ASSERT(inserted, "duplicate arrival sequence");
-    ready_.insert(readyKeyOf(pit->second));
+    readyInsert(pit->second);
     notifyPresence();
     tryStart();
 }
@@ -216,7 +234,7 @@ DimensionEngine::selectNext() const
         const auto& p = queue_[idx];
         views.push_back(QueuedOpView{
             p.arrival_seq, p.op.transfer_time + p.op.fixed_delay,
-            p.op.tag.chunk_id});
+            p.op.tag.chunk_id, p.op.flow.tier});
     }
     return candidates[pickNextOp(policy_, views)];
 }
@@ -232,7 +250,7 @@ DimensionEngine::promoteExpected(EnforcedOrder& eo)
     auto pit = pending_.find(it->second);
     THEMIS_ASSERT(pit != pending_.end(),
                   "parked op missing from pending store");
-    ready_.insert(readyKeyOf(pit->second));
+    readyInsert(pit->second);
     eo.parked.erase(it);
 }
 
@@ -240,14 +258,34 @@ void
 DimensionEngine::tryStart()
 {
     while (!ready_.empty()) {
-        auto it = ready_.begin();
-        auto pit = pending_.find(it->arrival_seq);
+        // Tier-then-policy head by default; the oldest waiting op
+        // once the bypass streak hits the anti-starvation bound.
+        std::uint64_t chosen_seq = ready_.begin()->arrival_seq;
+        const std::uint64_t oldest_seq = *ready_age_.begin();
+        if (bypass_streak_ >= admission_.max_priority_bypass)
+            chosen_seq = oldest_seq;
+        auto pit = pending_.find(chosen_seq);
         THEMIS_ASSERT(pit != pending_.end(),
                       "ready op missing from pending store");
         if (!admissionAllows(pit->second.op))
             return;
+        if (chosen_seq == oldest_seq) {
+            bypass_streak_ = 0;
+        } else {
+            auto oldest_pit = pending_.find(oldest_seq);
+            THEMIS_ASSERT(oldest_pit != pending_.end(),
+                          "ready op missing from pending store");
+            // Only count genuine priority inversions: starting a
+            // newer op of the same (or lower) tier is the policy's
+            // own ordering, not a tier bypass.
+            if (pit->second.op.flow.tier >
+                oldest_pit->second.op.flow.tier)
+                ++bypass_streak_;
+            else
+                bypass_streak_ = 0;
+        }
+        readyErase(pit->second);
         ChunkOp op = std::move(pit->second.op);
-        ready_.erase(it);
         pending_.erase(pit);
         auto eit = enforced_.find(op.tag.collective_id);
         if (eit != enforced_.end()) {
@@ -307,10 +345,12 @@ DimensionEngine::advance(std::uint64_t exec_id)
         return;
     }
     const StepPlan step = a.op.steps[a.next_step];
+    const FlowClass flow = a.op.flow;
     ++a.next_step;
-    auto do_transfer = [this, exec_id, step] {
-        channel_.begin(step.bytes,
-                       [this, exec_id] { advance(exec_id); });
+    auto do_transfer = [this, exec_id, step, flow] {
+        channel_.begin(step.bytes, flow.weight,
+                       [this, exec_id] { advance(exec_id); },
+                       flow.tier);
     };
     if (step.latency > 0.0) {
         queue_ref_.scheduleAfter(step.latency, do_transfer);

@@ -7,7 +7,9 @@
  *
  *  - intra-dimension ordering: FIFO or Smallest-Chunk-First
  *    (paper Sec 4.3), or an *enforced* per-collective order produced
- *    by the consistency planner (Sec 4.6.2);
+ *    by the consistency planner (Sec 4.6.2). Flow-class tiers rank
+ *    above the policy: among eligible ops, higher tiers select
+ *    first, with an anti-starvation age bound (below);
  *  - admission: one big chunk at a time saturates the bandwidth, but
  *    small operations (transfer time below their fixed latency) run
  *    in parallel so their latency gaps overlap — the paper's second
@@ -24,7 +26,17 @@
  * are not yet expected are parked per collective and promoted when
  * the order cursor reaches them. The pre-PR linear scan is retained
  * behind `legacy_scan` so benches can measure both paths in the same
- * binary; the two paths pick identical ops in identical order.
+ * binary; the two paths pick identical ops in identical order (the
+ * legacy scan is tier-aware too, but implements no anti-starvation
+ * aging — it is a measurement baseline, exercised with uniform
+ * priorities).
+ *
+ * Anti-starvation: tier precedence alone would let a sustained
+ * high-tier stream park a low-tier op forever. The engine counts
+ * consecutive starts that jumped over an older, lower-tier waiting
+ * op; once the streak reaches AdmissionConfig::max_priority_bypass,
+ * the oldest waiting op is selected next regardless of tier. Lower
+ * tiers are therefore delayed, never starved.
  */
 
 #ifndef THEMIS_RUNTIME_DIMENSION_ENGINE_HPP
@@ -66,6 +78,18 @@ struct AdmissionConfig
      * the worst (lock-step) case.
      */
     double latency_headroom = 9.0;
+
+    /**
+     * Anti-starvation bound: after this many consecutive op starts
+     * that bypassed an older, lower-tier waiting op, the oldest
+     * waiting op starts next regardless of tier. Irrelevant under a
+     * uniform priority policy (no op ever outranks another). 64
+     * bounds low-tier waiting at roughly one collective's worth of
+     * chunk ops while keeping forced inversions rare enough not to
+     * perturb the urgent stream (a forced bulk transfer parks itself
+     * in the shared channel for its full duration).
+     */
+    int max_priority_bypass = 64;
 };
 
 /** Executes chunk ops on one network dimension; see file comment. */
@@ -90,10 +114,15 @@ class DimensionEngine
      * @param admission   parallel-admission tunables
      * @param legacy_scan use the pre-PR O(queue) selection scan
      *                    (measurement baseline; results identical)
+     * @param fairness    the shared channel's sharing discipline
+     *                    (Egalitarian is the pre-priority equal-share
+     *                    baseline; requires unit flow weights)
      */
     DimensionEngine(sim::EventQueue& queue, DimensionConfig config,
                     int global_dim, IntraDimPolicy policy,
-                    AdmissionConfig admission, bool legacy_scan = false);
+                    AdmissionConfig admission, bool legacy_scan = false,
+                    sim::ChannelFairness fairness =
+                        sim::ChannelFairness::Weighted);
 
     DimensionEngine(const DimensionEngine&) = delete;
     DimensionEngine& operator=(const DimensionEngine&) = delete;
@@ -164,9 +193,10 @@ class DimensionEngine
         TimeNs started_at = 0.0;
     };
 
-    /** Ready-set key; ordering implements the policy tie-breaks. */
+    /** Ready-set key; ordering implements tier + policy tie-breaks. */
     struct ReadyKey
     {
+        int tier = 0;
         TimeNs service_time = 0.0;
         std::uint64_t arrival_seq = 0;
         int chunk_id = 0;
@@ -179,6 +209,10 @@ class DimensionEngine
         bool
         operator()(const ReadyKey& a, const ReadyKey& b) const
         {
+            // Higher flow-class tiers first; the policy orders within
+            // a tier (matches pickNextOp's tier precedence).
+            if (a.tier != b.tier)
+                return a.tier > b.tier;
             if (policy == IntraDimPolicy::Scf) {
                 if (a.service_time != b.service_time)
                     return a.service_time < b.service_time;
@@ -201,9 +235,14 @@ class DimensionEngine
     static ReadyKey
     readyKeyOf(const PendingOp& p)
     {
-        return ReadyKey{p.op.transfer_time + p.op.fixed_delay,
+        return ReadyKey{p.op.flow.tier,
+                        p.op.transfer_time + p.op.fixed_delay,
                         p.arrival_seq, p.op.tag.chunk_id};
     }
+
+    /** Insert/remove @p p in both ready indexes (policy + age). */
+    void readyInsert(const PendingOp& p);
+    void readyErase(const PendingOp& p);
 
     void tryStart();
     void tryStartLegacy();
@@ -230,6 +269,11 @@ class DimensionEngine
      *  set ordered by policy key. */
     std::unordered_map<std::uint64_t, PendingOp> pending_;
     std::set<ReadyKey, ReadyCompare> ready_;
+    /** Age index over ready_ (arrival_seq ascending): the oldest
+     *  waiting op, for the anti-starvation bound. */
+    std::set<std::uint64_t> ready_age_;
+    /** Consecutive starts that bypassed an older lower-tier op. */
+    int bypass_streak_ = 0;
     std::map<std::uint64_t, ActiveOp> active_;
     /** Aggregates over active_, maintained incrementally so the
      *  admission check is O(1) instead of rescanning the active set. */

@@ -27,16 +27,23 @@ constexpr TimeNs kTimeSliver = 1e-3;
  * double ulp of the virtual clock: ulp(4e9) ~ 9.5e-7 < kDrainEps <
  * ulp(8e9). Rebasing at 1e9 keeps a comfortable margin — the primary
  * eps path never degenerates, for any channel capacity — and the
- * shift is O(pending finishes) once per ~gigabyte of equal-share
+ * shift is O(pending finishes) once per ~gigabyte of unit-weight
  * service, i.e. free. Long sweeps (petabytes of cumulative service
- * through one channel) stay exact.
+ * through one channel) stay exact, with or without weights: the
+ * shift preserves every (v_end - vtime_) difference, which is the
+ * only quantity the weighted drain logic consumes.
  */
 constexpr double kRebaseThreshold = 1e9;
 
+/** Sanity cap on priority-class indices (tiers are single digits). */
+constexpr int kMaxPriorityClass = 63;
+
 } // namespace
 
-SharedChannel::SharedChannel(EventQueue& queue, Bandwidth capacity)
-    : queue_(queue), capacity_(capacity), last_update_(queue.now())
+SharedChannel::SharedChannel(EventQueue& queue, Bandwidth capacity,
+                             ChannelFairness fairness)
+    : queue_(queue), capacity_(capacity), fairness_(fairness),
+      last_update_(queue.now())
 {
     THEMIS_ASSERT(capacity_ > 0.0, "channel capacity must be positive");
 }
@@ -57,20 +64,98 @@ SharedChannel::heapPop()
     finish_heap_.pop_back();
 }
 
+double
+SharedChannel::virtualRate() const
+{
+    // Egalitarian keeps the literal pre-priority expression; Weighted
+    // with all-unit weights has weight_sum_ == active_.size() exactly
+    // (sums of 1.0 are integers), so the two branches divide by the
+    // same double and stay bit-identical.
+    if (fairness_ == ChannelFairness::Egalitarian)
+        return capacity_ / static_cast<double>(active_.size());
+    return capacity_ / weight_sum_;
+}
+
+SharedChannel::ClassState&
+SharedChannel::classState(int cls)
+{
+    if (cls >= static_cast<int>(classes_.size()))
+        classes_.resize(static_cast<std::size_t>(cls) + 1);
+    return classes_[static_cast<std::size_t>(cls)];
+}
+
+Bytes
+SharedChannel::classProgressedBytes(int cls) const
+{
+    if (cls < 0 || cls >= static_cast<int>(classes_.size()))
+        return 0.0;
+    return classes_[static_cast<std::size_t>(cls)].progressed;
+}
+
+TimeNs
+SharedChannel::classBusyTime(int cls) const
+{
+    if (cls < 0 || cls >= static_cast<int>(classes_.size()))
+        return 0.0;
+    return classes_[static_cast<std::size_t>(cls)].busy;
+}
+
 SharedChannel::TransferId
 SharedChannel::begin(Bytes bytes, Callback on_done)
 {
+    return begin(bytes, 1.0, std::move(on_done), 0);
+}
+
+SharedChannel::TransferId
+SharedChannel::begin(Bytes bytes, double weight, Callback on_done,
+                     int priority_class)
+{
     THEMIS_ASSERT(bytes >= 0.0, "negative transfer size " << bytes);
     THEMIS_ASSERT(on_done, "null transfer callback");
+    THEMIS_ASSERT(weight > 0.0, "flow weight must be positive, got "
+                                    << weight);
+    THEMIS_ASSERT(priority_class >= 0 &&
+                      priority_class <= kMaxPriorityClass,
+                  "priority class " << priority_class
+                                    << " out of range");
+    THEMIS_ASSERT(fairness_ == ChannelFairness::Weighted ||
+                      weight == 1.0,
+                  "egalitarian channel requires unit weights, got "
+                      << weight);
     advanceTo(queue_.now());
     const TransferId id = next_id_++;
-    const double v_end = vtime_ + bytes;
-    active_.emplace(id, Transfer{std::move(on_done)});
+    // Weight scales the virtual service demand: a weight-w transfer
+    // drains when the unit-weight clock has advanced bytes/w (it
+    // receives w bytes per virtual byte). Unit weight — the common
+    // case — skips the division; x/1.0 == x exactly, so both forms
+    // preserve the egalitarian finish points.
+    const double v_end =
+        vtime_ + (weight == 1.0 ? bytes : bytes / weight);
+    active_.emplace(id, Transfer{std::move(on_done), weight,
+                                 priority_class});
+    weight_sum_ += weight;
+    ClassState& cs = classState(priority_class);
+    cs.weight_sum += weight;
+    ++cs.active;
     heapPush(FinishEntry{v_end, id});
     if (active_.size() > peak_active_)
         peak_active_ = active_.size();
     reschedule();
     return id;
+}
+
+void
+SharedChannel::dropWeight(const Transfer& t)
+{
+    weight_sum_ -= t.weight;
+    ClassState& cs = classState(t.cls);
+    cs.weight_sum -= t.weight;
+    THEMIS_ASSERT(cs.active > 0, "class active count out of sync");
+    --cs.active;
+    if (cs.active == 0)
+        cs.weight_sum = 0.0; // shed fp drift at class quiesce points
+    if (active_.empty())
+        weight_sum_ = 0.0; // shed fp drift at channel quiesce points
 }
 
 void
@@ -83,7 +168,9 @@ SharedChannel::abort(TransferId id)
     // The partial service received so far stays in progressed_bytes_;
     // only the untransferred remainder vanishes with the transfer. The
     // heap entry is discarded lazily by dropStaleTop().
+    const Transfer t = std::move(it->second);
     active_.erase(it);
+    dropWeight(t);
     reschedule();
 }
 
@@ -110,15 +197,26 @@ SharedChannel::advanceTo(TimeNs t)
     last_update_ = t;
     if (dt <= 0.0 || active_.empty())
         return;
-    // Equal-share fluid service: every active transfer receives
-    // capacity/n, so the virtual clock gains that much and the channel
-    // as a whole moves capacity * dt bytes. Between completion events
-    // no transfer can exceed its demand, so no per-transfer clamping
-    // is needed (slivers are corrected exactly at drain time).
-    const auto n = static_cast<double>(active_.size());
-    vtime_ += capacity_ / n * dt;
+    // Weighted fluid service: every active transfer receives
+    // capacity * w / weight_sum, so the unit-weight virtual clock
+    // gains capacity / weight_sum * dt and the channel as a whole
+    // moves capacity * dt bytes. Between completion events no
+    // transfer can exceed its demand, so no per-transfer clamping is
+    // needed (slivers are corrected exactly at drain time).
+    const double rate = virtualRate();
+    vtime_ += rate * dt;
     progressed_bytes_ += capacity_ * dt;
     busy_time_ += dt;
+    // Per-class attribution: a class with aggregate weight W_c moves
+    // capacity * W_c / weight_sum = rate * W_c bytes per ns. (In
+    // egalitarian mode all weights are 1, so W_c is the class's
+    // active count and rate is capacity/n — the same formula.)
+    for (ClassState& cs : classes_) {
+        if (cs.active == 0)
+            continue;
+        cs.progressed += rate * cs.weight_sum * dt;
+        cs.busy += dt;
+    }
     maybeRebase();
 }
 
@@ -140,11 +238,11 @@ SharedChannel::reschedule()
     }
     if (!dropStaleTop())
         return;
-    // Next completion: the heap top's virtual remainder at the shared
-    // rate (the earliest v_end drains first by construction).
+    // Next completion: the heap top's virtual remainder at the
+    // unit-weight virtual rate (the earliest v_end drains first by
+    // construction, independent of weights).
     const double min_remaining = finish_heap_.front().v_end - vtime_;
-    const double rate =
-        capacity_ / static_cast<double>(active_.size());
+    const double rate = virtualRate();
     const TimeNs eta =
         min_remaining <= kDrainEps ? 0.0 : min_remaining / rate;
     pending_event_ =
@@ -161,7 +259,10 @@ SharedChannel::onCompletionEvent()
     // Drain threshold in virtual time: kDrainEps normally; when
     // floating-point clock granularity swallowed the final sliver of
     // the nearest transfer (its drain time is below kTimeSliver),
-    // widen to its finish point so the event still completes something.
+    // widen to its finish point so the event still completes
+    // something. The sliver test deliberately measures the virtual
+    // remainder at full capacity — conservative under weights, and
+    // bit-identical to the egalitarian expression when weights are 1.
     double threshold = vtime_ + kDrainEps;
     const double top_remaining = finish_heap_.front().v_end - vtime_;
     if (top_remaining > kDrainEps &&
@@ -172,17 +273,23 @@ SharedChannel::onCompletionEvent()
     // possible), remove them from the active set *before* invoking the
     // callbacks so callbacks can begin()/abort() safely. Each drained
     // transfer's progress account is settled exactly to its demand:
-    // advanceTo attributed (vtime_ - v_start) to it, so the residual
-    // v_end - vtime_ (positive for a force-drained sliver, negative
-    // for ulp overshoot) closes the books — conservation is exact.
+    // advanceTo attributed (vtime_ - v_start) * weight to it, so the
+    // weight-scaled residual (v_end - vtime_) * weight (positive for
+    // a force-drained sliver, negative for ulp overshoot) closes the
+    // books — conservation is exact per class and in aggregate.
     std::vector<std::pair<TransferId, Callback>> done;
     while (dropStaleTop() && finish_heap_.front().v_end <= threshold) {
         const FinishEntry entry = finish_heap_.front();
         heapPop();
         auto it = active_.find(entry.id);
-        progressed_bytes_ += entry.v_end - vtime_;
+        const double residual =
+            (entry.v_end - vtime_) * it->second.weight;
+        progressed_bytes_ += residual;
+        classState(it->second.cls).progressed += residual;
         done.emplace_back(entry.id, std::move(it->second.on_done));
+        const Transfer t{nullptr, it->second.weight, it->second.cls};
         active_.erase(it);
+        dropWeight(t);
     }
     THEMIS_ASSERT(!done.empty(),
                   "completion event fired with nothing drained");

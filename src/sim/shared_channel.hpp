@@ -2,29 +2,44 @@
  * @file
  * Processor-sharing bandwidth resource.
  *
- * Models one network dimension's aggregate per-NPU bandwidth as a fluid
- * server: all active transfers progress simultaneously, each receiving
- * an equal share of the capacity (ASTRA-sim's analytical backend uses
- * the same fluid abstraction). Latency phases of collective steps are
- * NOT modelled here — callers wait out fixed delays with plain timer
- * events and only occupy the channel for the byte-transfer part, which
- * is what lets concurrent chunks hide each other's step latencies
- * (paper Sec 4.3).
+ * Models one network dimension's aggregate per-NPU bandwidth as a
+ * fluid server: all active transfers progress simultaneously, each
+ * receiving a share of the capacity proportional to its *flow weight*
+ * (ASTRA-sim's analytical backend uses the same fluid abstraction,
+ * with equal shares). Latency phases of collective steps are NOT
+ * modelled here — callers wait out fixed delays with plain timer
+ * events and only occupy the channel for the byte-transfer part,
+ * which is what lets concurrent chunks hide each other's step
+ * latencies (paper Sec 4.3).
  *
- * Internally this is the standard GPS virtual-time formulation: the
- * channel tracks the cumulative equal-share service V (in "virtual
- * bytes" — bytes every transfer active since t0 would have received by
- * now). A transfer beginning at virtual time V with B bytes finishes
- * exactly when V reaches V+B, so each transfer is keyed by its finish
- * point in virtual time in a min-heap. Advancing the clock updates one
- * scalar (O(1)); begin/abort/completion touch only the heap (O(log n))
- * — nothing ever iterates the active set.
+ * Internally this is the standard *weighted* GPS virtual-time
+ * formulation: the channel tracks the cumulative per-unit-weight
+ * service V (in "virtual bytes" — bytes a weight-1 transfer active
+ * since t0 would have received by now; V advances at capacity /
+ * sum-of-active-weights). A transfer beginning at virtual time V with
+ * B bytes and weight w finishes exactly when V reaches V + B/w, so
+ * each transfer is keyed by its finish point in virtual time in a
+ * min-heap. Advancing the clock updates one scalar (O(1));
+ * begin/abort/completion touch only the heap (O(log n)) — nothing
+ * ever iterates the active set. With every weight equal to 1 the
+ * arithmetic reduces term-for-term to the egalitarian formulation
+ * (the weight sum of n unit flows is exactly the integer n in
+ * double precision), so results are bit-identical to the
+ * pre-priority channel; ChannelFairness::Egalitarian keeps the
+ * literal count-based expressions in the same binary as a
+ * measurement/equivalence baseline.
  *
  * Because only differences (v_end - V) carry meaning, the channel
  * periodically *rebases* virtual time: once V exceeds 1e9 virtual
  * bytes it is subtracted from V and from every pending finish point,
  * keeping the drain epsilons above double-precision ulp no matter how
- * much cumulative service a long sweep accumulates.
+ * much cumulative service a long sweep accumulates. Rebasing shifts
+ * finish points uniformly, so it is weight-agnostic by construction.
+ *
+ * Per-class accounting: every transfer carries a small non-negative
+ * class index (a priority tier); the channel tracks progressed bytes
+ * and busy time (>= 1 active transfer of the class) per class, which
+ * is what the stats layer turns into per-class utilization columns.
  */
 
 #ifndef THEMIS_SIM_SHARED_CHANNEL_HPP
@@ -41,11 +56,23 @@
 namespace themis::sim {
 
 /**
- * Fluid-model shared link. Fairness is egalitarian processor sharing:
- * with n active transfers each runs at capacity/n.
+ * Fluid-model fairness discipline. Weighted is the native
+ * formulation; Egalitarian is the pre-priority equal-share path
+ * (weights must all be 1), retained so equivalence tests and benches
+ * can compare both in one binary.
+ */
+enum class ChannelFairness {
+    Weighted,
+    Egalitarian,
+};
+
+/**
+ * Fluid-model shared link implementing weighted processor sharing:
+ * with active weights w_i each transfer runs at capacity * w_i /
+ * sum(w_j).
  *
  * Also accumulates the statistics utilization tracking needs: total
- * progressed bytes and total busy time (>= 1 active transfer).
+ * and per-class progressed bytes and busy time.
  */
 class SharedChannel
 {
@@ -57,19 +84,30 @@ class SharedChannel
     using Callback = std::function<void()>;
 
     /**
-     * @param queue   event queue driving this channel
+     * @param queue    event queue driving this channel
      * @param capacity aggregate bandwidth in bytes/ns (> 0)
+     * @param fairness sharing discipline (see ChannelFairness)
      */
-    SharedChannel(EventQueue& queue, Bandwidth capacity);
+    SharedChannel(EventQueue& queue, Bandwidth capacity,
+                  ChannelFairness fairness = ChannelFairness::Weighted);
 
     SharedChannel(const SharedChannel&) = delete;
     SharedChannel& operator=(const SharedChannel&) = delete;
 
     /**
-     * Begin transferring @p bytes; @p on_done fires when they drain.
-     * Zero-byte transfers complete via an immediate (same-time) event.
+     * Begin transferring @p bytes at unit weight in class 0;
+     * @p on_done fires when they drain. Zero-byte transfers complete
+     * via an immediate (same-time) event.
      */
     TransferId begin(Bytes bytes, Callback on_done);
+
+    /**
+     * Begin transferring @p bytes at @p weight (> 0) in priority
+     * class @p priority_class (>= 0, small). Egalitarian channels
+     * accept unit weights only.
+     */
+    TransferId begin(Bytes bytes, double weight, Callback on_done,
+                     int priority_class = 0);
 
     /** Abort an in-flight transfer; its callback never fires. */
     void abort(TransferId id);
@@ -79,6 +117,9 @@ class SharedChannel
 
     /** Configured capacity (bytes/ns). */
     Bandwidth capacity() const { return capacity_; }
+
+    /** Configured fairness discipline. */
+    ChannelFairness fairness() const { return fairness_; }
 
     /**
      * Total bytes progressed so far (including partial progress of
@@ -90,6 +131,18 @@ class SharedChannel
     /** Total time with at least one active transfer, up to last sync. */
     TimeNs busyTime() const { return busy_time_; }
 
+    /** Number of priority classes seen so far (max index + 1). */
+    int numClasses() const
+    {
+        return static_cast<int>(classes_.size());
+    }
+
+    /** Bytes progressed by class @p cls, up to last sync (0 if unseen). */
+    Bytes classProgressedBytes(int cls) const;
+
+    /** Time with >= 1 active class-@p cls transfer, up to last sync. */
+    TimeNs classBusyTime(int cls) const;
+
     /** Largest concurrent transfer count seen so far. */
     std::size_t peakActiveCount() const { return peak_active_; }
 
@@ -99,12 +152,24 @@ class SharedChannel
   private:
     /**
      * Map payload for a live transfer: presence in active_ is the
-     * liveness test for heap entries, so this is just the callback —
-     * the finish point lives solely in the heap's FinishEntry.
+     * liveness test for heap entries, so this is the callback plus
+     * the flow parameters needed to settle its accounts — the finish
+     * point lives solely in the heap's FinishEntry.
      */
     struct Transfer
     {
         Callback on_done;
+        double weight = 1.0;
+        int cls = 0;
+    };
+
+    /** Per-class aggregates; index = priority class. */
+    struct ClassState
+    {
+        double weight_sum = 0.0;
+        std::size_t active = 0;
+        Bytes progressed = 0.0;
+        TimeNs busy = 0.0;
     };
 
     /** Min-heap entry; ties in v_end break by id (= begin order). */
@@ -134,14 +199,23 @@ class SharedChannel
     void maybeRebase();
     void heapPush(FinishEntry entry);
     void heapPop();
+    /** Virtual-time rate capacity / total weight (egalitarian: /n). */
+    double virtualRate() const;
+    ClassState& classState(int cls);
+    /** Remove one transfer's weight from the aggregates. */
+    void dropWeight(const Transfer& t);
 
     EventQueue& queue_;
     Bandwidth capacity_;
+    ChannelFairness fairness_;
     std::unordered_map<TransferId, Transfer> active_;
     /** Min-heap on (v_end, id) via std::push_heap/pop_heap — a plain
      *  vector so rebasing can shift every pending finish point. */
     std::vector<FinishEntry> finish_heap_;
-    double vtime_ = 0.0; // cumulative equal-share service, virtual bytes
+    double vtime_ = 0.0; // cumulative unit-weight service, virtual bytes
+    /** Sum of active weights; exact (integer-valued) when weights are 1. */
+    double weight_sum_ = 0.0;
+    std::vector<ClassState> classes_;
     TransferId next_id_ = 1;
     TimeNs last_update_ = 0.0;
     EventQueue::EventId pending_event_ = 0;

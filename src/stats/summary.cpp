@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/string_util.hpp"
 
 namespace themis::stats {
 
@@ -51,6 +52,22 @@ TextTable::render() const
     for (const auto& row : rows_)
         emit(oss, row);
     return oss.str();
+}
+
+std::string
+renderClassTable(const std::vector<ClassUsageRow>& rows)
+{
+    TextTable t({"Class", "Weight", "Collectives", "Mean time",
+                 "Bytes", "BW share", "Slowdown"});
+    for (const auto& r : rows) {
+        t.addRow({r.name, "x" + fmtDouble(r.weight, 1),
+                  std::to_string(r.collectives),
+                  r.collectives > 0 ? fmtTime(r.mean_duration) : "-",
+                  fmtBytes(r.progressed), fmtPercent(r.utilization),
+                  r.slowdown > 0.0 ? fmtDouble(r.slowdown, 2) + "x"
+                                   : "-"});
+    }
+    return t.render();
 }
 
 } // namespace themis::stats

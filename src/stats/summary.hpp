@@ -29,6 +29,40 @@ struct CommRunSummary
     std::vector<double> per_dim_utilization;
 };
 
+/** One flow-class row of a priority breakdown table. */
+struct ClassUsageRow
+{
+    /** Class name (priorityTierName). */
+    std::string name;
+
+    /** GPS weight the priority policy assigns this class. */
+    double weight = 1.0;
+
+    /** Completed collectives in this class. */
+    int collectives = 0;
+
+    /** Mean completion time of those collectives. */
+    TimeNs mean_duration = 0.0;
+
+    /** Bytes the class progressed across all dimensions. */
+    Bytes progressed = 0.0;
+
+    /** Class share of machine bandwidth in comm-active windows. */
+    double utilization = 0.0;
+
+    /**
+     * Mean completion time relative to the class running alone
+     * (caller-supplied solo baseline); values <= 0 render as "-".
+     */
+    double slowdown = 0.0;
+};
+
+/**
+ * Render per-class usage rows (runtime::CommRuntime::classReports()
+ * plus optional solo-run slowdowns) as a standard table.
+ */
+std::string renderClassTable(const std::vector<ClassUsageRow>& rows);
+
 /** Column-aligned monospace table for terminal reports. */
 class TextTable
 {

@@ -1,5 +1,7 @@
 #include "stats/utilization_tracker.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace themis::stats {
@@ -28,6 +30,23 @@ UtilizationTracker::snapshot() const
     return snap;
 }
 
+std::vector<Bytes>
+UtilizationTracker::classSnapshot() const
+{
+    // snapshot() runs first within every window edge, so channels are
+    // already synced here.
+    std::size_t num_classes = 0;
+    for (const auto* c : channels_)
+        num_classes = std::max(
+            num_classes, static_cast<std::size_t>(c->numClasses()));
+    std::vector<Bytes> snap(num_classes, 0.0);
+    for (const auto* c : channels_)
+        for (std::size_t cls = 0; cls < num_classes; ++cls)
+            snap[cls] +=
+                c->classProgressedBytes(static_cast<int>(cls));
+    return snap;
+}
+
 void
 UtilizationTracker::windowStart(TimeNs when)
 {
@@ -35,6 +54,7 @@ UtilizationTracker::windowStart(TimeNs when)
     open_ = true;
     window_open_at_ = when;
     window_open_snapshot_ = snapshot();
+    window_open_class_snapshot_ = classSnapshot();
 }
 
 void
@@ -47,6 +67,17 @@ UtilizationTracker::windowEnd(TimeNs when)
     const auto snap = snapshot();
     for (std::size_t i = 0; i < bytes_.size(); ++i)
         bytes_[i] += snap[i] - window_open_snapshot_[i];
+    // Classes may have appeared mid-window; absent open-snapshot
+    // entries started the window at zero progressed bytes.
+    const auto class_snap = classSnapshot();
+    if (class_bytes_.size() < class_snap.size())
+        class_bytes_.resize(class_snap.size(), 0.0);
+    for (std::size_t c = 0; c < class_snap.size(); ++c) {
+        const Bytes before = c < window_open_class_snapshot_.size()
+                                 ? window_open_class_snapshot_[c]
+                                 : 0.0;
+        class_bytes_[c] += class_snap[c] - before;
+    }
 }
 
 double
@@ -61,6 +92,19 @@ UtilizationTracker::weightedUtilization() const
         total_bw += bandwidths_[i];
     }
     return total_bytes / (total_bw * active_time_);
+}
+
+double
+UtilizationTracker::classUtilization(int cls) const
+{
+    if (active_time_ <= 0.0 || cls < 0 ||
+        cls >= static_cast<int>(class_bytes_.size()))
+        return 0.0;
+    Bandwidth total_bw = 0.0;
+    for (Bandwidth bw : bandwidths_)
+        total_bw += bw;
+    return class_bytes_[static_cast<std::size_t>(cls)] /
+           (total_bw * active_time_);
 }
 
 std::vector<double>

@@ -53,6 +53,24 @@ class UtilizationTracker
     const std::vector<Bytes>& windowBytes() const { return bytes_; }
 
     /**
+     * Bytes progressed per flow class (summed over dimensions)
+     * during closed windows. Indexed by priority class; classes the
+     * channels never saw are absent.
+     */
+    const std::vector<Bytes>& classWindowBytes() const
+    {
+        return class_bytes_;
+    }
+
+    /**
+     * Class share of the machine during closed windows:
+     * class bytes / (sum(BW_k) * activeTime()). Zero for unseen
+     * classes or when no time has been measured. Sums to
+     * weightedUtilization() over all classes.
+     */
+    double classUtilization(int cls) const;
+
+    /**
      * Weighted average utilization over closed windows:
      * sum(bytes_k) / (sum(BW_k) * activeTime()). Zero when no time
      * has been measured.
@@ -64,11 +82,15 @@ class UtilizationTracker
 
   private:
     std::vector<Bytes> snapshot() const;
+    /** Per-class progressed bytes summed over channels. */
+    std::vector<Bytes> classSnapshot() const;
 
     std::vector<sim::SharedChannel*> channels_;
     std::vector<Bandwidth> bandwidths_;
     std::vector<Bytes> bytes_;
+    std::vector<Bytes> class_bytes_;
     std::vector<Bytes> window_open_snapshot_;
+    std::vector<Bytes> window_open_class_snapshot_;
     TimeNs active_time_ = 0.0;
     TimeNs window_open_at_ = 0.0;
     bool open_ = false;

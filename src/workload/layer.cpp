@@ -15,4 +15,18 @@ commDomainName(CommDomain domain)
     THEMIS_PANIC("unknown CommDomain " << static_cast<int>(domain));
 }
 
+int
+defaultPriorityTier(CommDomain domain)
+{
+    switch (domain) {
+      case CommDomain::ModelParallel:
+        return static_cast<int>(PriorityTier::Urgent);
+      case CommDomain::World:
+        return static_cast<int>(PriorityTier::Standard);
+      case CommDomain::DataParallel:
+        return static_cast<int>(PriorityTier::Bulk);
+    }
+    THEMIS_PANIC("unknown CommDomain " << static_cast<int>(domain));
+}
+
 } // namespace themis::workload

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "collective/phase.hpp"
+#include "core/priority_policy.hpp"
 
 namespace themis::workload {
 
@@ -28,6 +29,15 @@ enum class CommDomain {
 
 /** Domain name for reports. */
 std::string commDomainName(CommDomain domain);
+
+/**
+ * Default priority tier of a domain's traffic: blocking
+ * model-parallel collectives stall the training loop the moment they
+ * are issued (urgent); DLRM-style World traffic overlaps but gates a
+ * forward barrier (standard); data-parallel gradient traffic only
+ * gates the iteration end (bulk). Layers can override per op.
+ */
+int defaultPriorityTier(CommDomain domain);
 
 /** One collective a layer triggers. */
 struct LayerCommOp
@@ -46,6 +56,14 @@ struct LayerCommOp
      * (e.g. DLRM's embedding All-to-All, all DP gradient traffic).
      */
     bool blocking = true;
+
+    /**
+     * Priority tag this op's collective carries to the runtime
+     * (PriorityTier values); negative derives the tier from the
+     * domain via defaultPriorityTier(). Inert under the default
+     * uniform PriorityPolicy.
+     */
+    int priority_tier = -1;
 };
 
 /** One layer of the training workload. */

@@ -65,6 +65,12 @@ ParallelSpec::scopeFor(CommDomain domain, const Topology& topo) const
     return scope;
 }
 
+int
+ParallelSpec::priorityTierFor(CommDomain domain) const
+{
+    return defaultPriorityTier(domain);
+}
+
 long
 ParallelSpec::ways(CommDomain domain, const Topology& topo) const
 {

@@ -49,6 +49,14 @@ class ParallelSpec
     /** Number of NPUs in one @p domain communicator on @p topo. */
     long ways(CommDomain domain, const Topology& topo) const;
 
+    /**
+     * Priority tier of @p domain's collectives under this strategy.
+     * Currently the domain default (MP urgent, World standard, DP
+     * bulk); strategies that reshape domain criticality (e.g. a
+     * pipeline schedule) override here rather than in every model.
+     */
+    int priorityTierFor(CommDomain domain) const;
+
   private:
     explicit ParallelSpec(int mp_npus);
 

@@ -156,6 +156,9 @@ TrainingLoop::issueComm(const LayerCommOp& op, bool in_fwd)
     req.size = op.size;
     req.chunks = 0; // runtime default CPC
     req.scope = scopes_.at(op.domain);
+    req.priority_tier = op.priority_tier >= 0
+                            ? op.priority_tier
+                            : model_.parallel.priorityTierFor(op.domain);
 
     if (op.blocking) {
         ++blocking_remaining_;
@@ -188,6 +191,8 @@ TrainingLoop::issueDpGrads(Bytes grad_bytes, bool zero_style)
         req.size = size;
         req.chunks = 0;
         req.scope = scope;
+        req.priority_tier =
+            model_.parallel.priorityTierFor(CommDomain::DataParallel);
         ++pending_dp_;
         comm_.issue(req, [this] {
             onNonBlockingDone(CommDomain::DataParallel,

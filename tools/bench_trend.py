@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Per-PR bench trend gate.
+
+Diffs the freshly produced bench_results/BENCH_*.json against the
+previous CI run's uploaded artifacts and fails (exit 1) when a tracked
+throughput metric regressed by more than the allowed fraction.
+
+Tracked metrics (higher is better):
+  BENCH_core.json  -> events_per_sec of the "gps" channel rows and the
+                      event_queue row (keyed by impl/transfers)
+  BENCH_e2e.json   -> cells_per_sec of the "optimized" mode (the
+                      "baseline" mode measures deliberately disabled
+                      optimizations, so it is reported but not gated)
+  BENCH_priority.json -> reported only (simulated-time study; its own
+                      binary asserts the semantic invariants)
+
+Wall-clock noise on shared CI runners is real, so the default budget
+is generous (15%); the gate exists to catch order-of-magnitude
+regressions like an accidentally disabled cache, not 2% wiggle.
+
+Usage:
+  bench_trend.py --prev DIR --curr DIR [--max-regression 0.15]
+
+Missing files (first run, renamed artifacts) are reported and
+skipped — the gate only compares metrics present on both sides.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        return None
+    except json.JSONDecodeError as e:
+        print(f"note: {path} is not valid JSON ({e}); skipping")
+        return None
+
+
+def core_metrics(doc):
+    """{label: events_per_sec} for the fast-path rows of BENCH_core."""
+    out = {}
+    for row in doc.get("channel", []):
+        if row.get("impl") == "gps":
+            key = f"channel/gps/{row.get('transfers')}"
+            out[key] = row.get("events_per_sec")
+    for row in doc.get("event_queue", []):
+        key = f"event_queue/{row.get('transfers')}"
+        out[key] = row.get("events_per_sec")
+    return {k: v for k, v in out.items() if isinstance(v, (int, float))}
+
+
+def e2e_metrics(doc):
+    """{label: cells_per_sec} for the optimized mode of BENCH_e2e."""
+    out = {}
+    for mode in doc.get("modes", []):
+        if mode.get("mode") == "optimized":
+            out["e2e/optimized"] = mode.get("cells_per_sec")
+    return {k: v for k, v in out.items() if isinstance(v, (int, float))}
+
+
+def compare(name, prev_doc, curr_doc, extract, budget):
+    if curr_doc is None:
+        print(f"{name}: no current result; skipping")
+        return []
+    if prev_doc is None:
+        print(f"{name}: no previous artifact (first run?); skipping")
+        return []
+    prev, curr = extract(prev_doc), extract(curr_doc)
+    regressions = []
+    for key in sorted(prev.keys() & curr.keys()):
+        p, c = prev[key], curr[key]
+        if p <= 0:
+            continue
+        delta = (c - p) / p
+        marker = "ok"
+        if delta < -budget:
+            marker = "REGRESSION"
+            regressions.append((key, p, c, delta))
+        print(f"{name} {key}: {p:.1f} -> {c:.1f} "
+              f"({delta:+.1%}) {marker}")
+    for key in sorted(prev.keys() - curr.keys()):
+        print(f"{name} {key}: present previously, missing now")
+    return regressions
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--prev", required=True,
+                    help="directory with the previous run's JSONs")
+    ap.add_argument("--curr", required=True,
+                    help="directory with this run's JSONs")
+    ap.add_argument("--max-regression", type=float, default=0.15,
+                    help="allowed fractional slowdown (default 0.15)")
+    args = ap.parse_args()
+
+    regressions = []
+    regressions += compare(
+        "BENCH_core",
+        load(os.path.join(args.prev, "BENCH_core.json")),
+        load(os.path.join(args.curr, "BENCH_core.json")),
+        core_metrics, args.max_regression)
+    regressions += compare(
+        "BENCH_e2e",
+        load(os.path.join(args.prev, "BENCH_e2e.json")),
+        load(os.path.join(args.curr, "BENCH_e2e.json")),
+        e2e_metrics, args.max_regression)
+
+    prio = load(os.path.join(args.curr, "BENCH_priority.json"))
+    if prio is not None:
+        print(f"BENCH_priority: urgent-tenant max gain "
+              f"{prio.get('hi_priority_max_gain', '?')}x, "
+              f"bytes_conserved={prio.get('bytes_conserved', '?')} "
+              f"(informational)")
+
+    if regressions:
+        print(f"\n{len(regressions)} metric(s) regressed beyond "
+              f"{args.max_regression:.0%}:")
+        for key, p, c, delta in regressions:
+            print(f"  {key}: {p:.1f} -> {c:.1f} ({delta:+.1%})")
+        return 1
+    print("\nbench trend gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
