@@ -132,16 +132,6 @@ runGridMode(const GridDef& grid, bool optimized, int threads)
     return out;
 }
 
-bool
-bitIdentical(const workload::IterationBreakdown& a,
-             const workload::IterationBreakdown& b)
-{
-    return a.fwd_compute == b.fwd_compute &&
-           a.bwd_compute == b.bwd_compute &&
-           a.exposed_mp == b.exposed_mp &&
-           a.exposed_dp == b.exposed_dp && a.total == b.total;
-}
-
 } // namespace
 
 int
@@ -169,8 +159,8 @@ main()
     bool identical = optimized.results.size() == baseline.results.size();
     for (std::size_t i = 0; identical && i < optimized.results.size();
          ++i)
-        identical = bitIdentical(optimized.results[i],
-                                 baseline.results[i]);
+        identical = workload::bitIdentical(optimized.results[i],
+                                           baseline.results[i]);
     THEMIS_ASSERT(identical,
                   "optimized and baseline sweep modes diverged");
 

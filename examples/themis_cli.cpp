@@ -28,6 +28,18 @@
  *                         priority-aware Themis scheduler, with
  *                         per-class utilization and slowdown columns
  *                         (W = 1 is the egalitarian baseline)
+ *     --iterations N      multi-iteration convergence run of --model
+ *                         on --topo through the steady-state replay
+ *                         engine (identical iterations are detected
+ *                         by fingerprint and integrated forward
+ *                         analytically instead of re-simulated)
+ *     --model NAME        model-zoo workload for --iterations
+ *                         [Transformer-1T]
+ *     --exact             exactness-check mode: co-run the full
+ *                         simulation and assert the replay's
+ *                         prediction bit-identical
+ *     --no-replay         simulate every iteration (measurement
+ *                         baseline; results identical)
  *     --jobs N            sweep worker threads [hardware concurrency]
  *
  * Example:
@@ -35,6 +47,7 @@
  *   themis_cli --sweep 4,16,64,256 --jobs 8
  *   themis_cli --grid "2D-SW_SW;3D-SW_SW_SW_homo" --size 1e9
  *   themis_cli --priority 4 --size 5e8
+ *   themis_cli --iterations 100 --model GNMT --topo 2D-SW_SW
  */
 
 #include <chrono>
@@ -46,6 +59,7 @@
 #include "core/ideal_estimator.hpp"
 #include "core/priority_policy.hpp"
 #include "core/themis_scheduler.hpp"
+#include "models/model_zoo.hpp"
 #include "npu/npu_machine.hpp"
 #include "runtime/comm_runtime.hpp"
 #include "sim/sweep_runner.hpp"
@@ -54,6 +68,7 @@
 #include "topology/parse.hpp"
 #include "topology/presets.hpp"
 #include "topology/provisioning.hpp"
+#include "workload/convergence.hpp"
 
 using namespace themis;
 
@@ -68,7 +83,9 @@ usage(const char* argv0)
                  "          [--chunks N] [--sched base|fifo|scf] "
                  "[--enforce]\n"
                  "          [--sweep C1,C2,...] [--grid T1;T2;...] "
-                 "[--priority W] [--jobs N]\n",
+                 "[--priority W] [--jobs N]\n"
+                 "          [--iterations N] [--model NAME] [--exact] "
+                 "[--no-replay]\n",
                  argv0);
     std::exit(2);
 }
@@ -154,6 +171,10 @@ main(int argc, char** argv)
     std::string grid_arg;
     double priority_ratio = 0.0;
     int jobs = 0;
+    int iterations = 0;
+    std::string model_arg = "Transformer-1T";
+    bool exactness = false;
+    bool no_replay = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string flag = argv[i];
@@ -188,6 +209,16 @@ main(int argc, char** argv)
                 usage(argv[0]);
         } else if (flag == "--jobs") {
             jobs = std::atoi(need_value().c_str());
+        } else if (flag == "--iterations") {
+            iterations = std::atoi(need_value().c_str());
+            if (iterations < 1)
+                usage(argv[0]);
+        } else if (flag == "--model") {
+            model_arg = need_value();
+        } else if (flag == "--exact") {
+            exactness = true;
+        } else if (flag == "--no-replay") {
+            no_replay = true;
         } else {
             usage(argv[0]);
         }
@@ -220,6 +251,81 @@ main(int argc, char** argv)
         else
             usage(argv[0]);
         cfg.enforce_consistent_order = enforce;
+
+        if (iterations >= 1) {
+            // Multi-iteration convergence run: train --model on
+            // --topo under --sched for N iterations through the
+            // steady-state replay engine.
+            PlanCache cache;
+            cfg.plan_cache = &cache;
+            sim::EventQueue queue;
+            runtime::CommRuntime comm(queue, topo, cfg);
+            workload::TrainingLoop loop(comm,
+                                        models::byName(model_arg));
+            workload::ConvergenceOptions opts;
+            opts.iterations = iterations;
+            opts.replay = !no_replay;
+            opts.exactness_check = exactness;
+            const auto t0 = std::chrono::steady_clock::now();
+            const auto r = workload::runConverged(comm, loop, opts);
+            const double wall_ms =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+
+            std::printf("%s", topo.describe().c_str());
+            std::printf("\n%s x %d training iterations under %s%s:\n\n",
+                        model_arg.c_str(), iterations,
+                        schedulerKindName(cfg.scheduler).c_str(),
+                        exactness ? " (exactness-check mode)" : "");
+            stats::ConvergenceRunRow row;
+            row.label = exactness ? "exactness"
+                                  : (no_replay ? "full" : "replay");
+            row.iterations = r.iterations;
+            row.simulated = r.simulated_iterations;
+            row.replayed = r.replayed_iterations;
+            row.total_time = r.total.total;
+            row.last_iteration = r.last.total;
+            row.utilization = r.utilization;
+            row.wall_ms = wall_ms;
+            std::printf("%s",
+                        stats::renderConvergenceTable({row}).c_str());
+
+            std::printf("\n  per-iteration decomposition (steady): "
+                        "fwd %s, bwd %s, exposed MP %s, exposed DP "
+                        "%s\n",
+                        fmtTime(r.last.fwd_compute).c_str(),
+                        fmtTime(r.last.bwd_compute).c_str(),
+                        fmtTime(r.last.exposed_mp).c_str(),
+                        fmtTime(r.last.exposed_dp).c_str());
+            if (r.steady_at >= 0) {
+                std::printf("  steady state at iteration %d "
+                            "(fingerprint %016llx)%s\n",
+                            r.steady_at,
+                            static_cast<unsigned long long>(
+                                r.steady_fingerprint),
+                            exactness ? ", replay prediction asserted "
+                                        "bit-identical"
+                                      : "");
+            } else if (exactness) {
+                // A vacuous pass would defeat the proof mode (and the
+                // CI smoke built on it): no steady state means the
+                // exactness assertions never executed.
+                THEMIS_FATAL(
+                    "--exact: steady state was never reached, so "
+                    "nothing was asserted; raise --iterations or "
+                    "check why iterations stopped repeating");
+            } else {
+                std::printf("  steady state not reached; every "
+                            "iteration simulated\n");
+            }
+            std::printf("  %ld collectives, %llu chunk ops, plan "
+                        "cache %zu plans\n",
+                        r.collectives,
+                        static_cast<unsigned long long>(r.ops),
+                        cache.planCount());
+            return 0;
+        }
 
         if (priority_ratio >= 1.0) {
             // Two-tenant priority demo: an urgent All-Reduce chain

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Inline small-vector for trivially copyable elements.
+ *
+ * The simulator's hottest containers hold a handful of POD entries —
+ * the shared channels' finish heaps rarely exceed the concurrent
+ * chunk-op count of one dimension — yet std::vector heap-allocates on
+ * the first push. SmallVector keeps the first N elements in inline
+ * storage (no allocation at all for the common case) and spills to a
+ * heap buffer only past that, with the contiguous layout and
+ * random-access iterators std::push_heap / std::pop_heap and batch
+ * rebasing loops need.
+ *
+ * Restricted on purpose: elements must be trivially copyable (growth
+ * is a memcpy, clear is a size reset), and the container is
+ * move-only-in-spirit — it is neither copyable nor movable, matching
+ * how the channels embed it.
+ */
+
+#ifndef THEMIS_COMMON_SMALL_VECTOR_HPP
+#define THEMIS_COMMON_SMALL_VECTOR_HPP
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+
+#include "common/error.hpp"
+
+namespace themis {
+
+/** Inline-first contiguous container; see file comment. */
+template <typename T, std::size_t N>
+class SmallVector
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "SmallVector grows by memcpy");
+    static_assert(alignof(T) <= alignof(std::max_align_t),
+                  "heap spill relies on operator new[] alignment");
+    static_assert(N > 0, "inline capacity must be positive");
+
+  public:
+    using value_type = T;
+    using iterator = T*;
+    using const_iterator = const T*;
+
+    SmallVector() = default;
+    SmallVector(const SmallVector&) = delete;
+    SmallVector& operator=(const SmallVector&) = delete;
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    std::size_t capacity() const { return capacity_; }
+
+    /** True while the elements still live in the inline buffer. */
+    bool inlined() const { return heap_ == nullptr; }
+
+    T* data() { return data_; }
+    const T* data() const { return data_; }
+
+    iterator begin() { return data_; }
+    iterator end() { return data_ + size_; }
+    const_iterator begin() const { return data_; }
+    const_iterator end() const { return data_ + size_; }
+
+    T& operator[](std::size_t i) { return data_[i]; }
+    const T& operator[](std::size_t i) const { return data_[i]; }
+
+    T& front() { return data_[0]; }
+    const T& front() const { return data_[0]; }
+    T& back() { return data_[size_ - 1]; }
+    const T& back() const { return data_[size_ - 1]; }
+
+    void
+    push_back(const T& v)
+    {
+        if (size_ == capacity_) {
+            // v may alias an element of this container; growth frees
+            // the old buffer, so copy it out first (T is trivially
+            // copyable — this is a register-sized move).
+            const T copy = v;
+            grow(capacity_ * 2);
+            data_[size_++] = copy;
+            return;
+        }
+        data_[size_++] = v;
+    }
+
+    void
+    pop_back()
+    {
+        THEMIS_ASSERT(size_ > 0, "pop_back on empty SmallVector");
+        --size_;
+    }
+
+    /** Drops the elements; keeps whatever buffer is current. */
+    void clear() { size_ = 0; }
+
+    void
+    reserve(std::size_t n)
+    {
+        if (n > capacity_)
+            grow(n);
+    }
+
+  private:
+    void
+    grow(std::size_t n)
+    {
+        auto fresh = std::make_unique<unsigned char[]>(n * sizeof(T));
+        std::memcpy(fresh.get(), data_, size_ * sizeof(T));
+        heap_ = std::move(fresh);
+        data_ = reinterpret_cast<T*>(heap_.get());
+        capacity_ = n;
+    }
+
+    alignas(T) unsigned char inline_[N * sizeof(T)];
+    std::unique_ptr<unsigned char[]> heap_;
+    T* data_ = reinterpret_cast<T*>(inline_);
+    std::size_t size_ = 0;
+    std::size_t capacity_ = N;
+};
+
+} // namespace themis
+
+#endif // THEMIS_COMMON_SMALL_VECTOR_HPP

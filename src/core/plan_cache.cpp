@@ -84,8 +84,8 @@ OrderKey::operator==(const OrderKey& o) const
            bitEquals(latency_headroom, o.latency_headroom);
 }
 
-std::size_t
-PlanCache::PlanKeyHash::operator()(const PlanKey& k) const
+std::uint64_t
+planKeyHash(const PlanKey& k)
 {
     Fnv1a h;
     h.mix(static_cast<std::uint64_t>(k.scheduler));
@@ -102,7 +102,13 @@ PlanCache::PlanKeyHash::operator()(const PlanKey& k) const
     h.mix(k.model_fingerprint);
     h.mix(static_cast<std::uint64_t>(k.flow_tier));
     h.mix(k.priority_fingerprint);
-    return static_cast<std::size_t>(h.value());
+    return h.value();
+}
+
+std::size_t
+PlanCache::PlanKeyHash::operator()(const PlanKey& k) const
+{
+    return static_cast<std::size_t>(planKeyHash(k));
 }
 
 std::size_t

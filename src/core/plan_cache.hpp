@@ -94,6 +94,14 @@ struct PlanKey
     bool operator==(const PlanKey& o) const;
 };
 
+/**
+ * 64-bit FNV-1a hash of a PlanKey (the cache's own key hash). Also
+ * mixed into iteration fingerprints: the key captures everything a
+ * collective's plan depends on, so hashing the keys an iteration
+ * issued is the plan-level component of steady-state detection.
+ */
+std::uint64_t planKeyHash(const PlanKey& key);
+
 /** Everything an enforced-order plan depends on beyond the PlanKey. */
 struct OrderKey
 {

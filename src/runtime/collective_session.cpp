@@ -30,16 +30,49 @@ CollectiveSession::CollectiveSession(int id, CollectiveType type,
                                      FlowClass flow,
                                      PlanCache* step_cache)
     : id_(id), type_(type), schedules_(std::move(schedules)),
-      engines_(std::move(engines)), model_(model), queue_(queue),
+      engines_(std::move(engines)), model_(&model), queue_(queue),
       on_done_(std::move(on_done)), flow_(flow),
       step_cache_(step_cache),
       on_op_complete_(
           [this](const ChunkOp& op) { onOpComplete(op); })
 {
+    validate();
+}
+
+void
+CollectiveSession::reset(int id, CollectiveType type,
+                         SchedulePtr schedules,
+                         const std::vector<DimensionEngine*>& engines,
+                         const LatencyModel& model,
+                         CompletionCallback on_done, FlowClass flow,
+                         PlanCache* step_cache)
+{
+    THEMIS_ASSERT(!started_ || done(),
+                  "recycling a session whose collective is in flight");
+    id_ = id;
+    type_ = type;
+    schedules_ = std::move(schedules);
+    engines_ = engines; // copy into the retained capacity
+    model_ = &model;
+    on_done_ = std::move(on_done);
+    flow_ = flow;
+    step_cache_ = step_cache;
+    // on_op_complete_ captures `this`, which is stable — reuse it.
+    completed_chunks_ = 0;
+    start_time_ = 0.0;
+    end_time_ = 0.0;
+    started_ = false;
+    validate();
+}
+
+void
+CollectiveSession::validate() const
+{
     THEMIS_ASSERT(schedules_ != nullptr, "null schedule plan");
     THEMIS_ASSERT(!schedules_->empty(), "collective with no chunks");
     THEMIS_ASSERT(!engines_.empty(), "collective with no dimensions");
-    THEMIS_ASSERT(model_.numDims() == static_cast<int>(engines_.size()),
+    THEMIS_ASSERT(model_->numDims() ==
+                      static_cast<int>(engines_.size()),
                   "model/engine rank mismatch");
     for (auto* e : engines_)
         THEMIS_ASSERT(e != nullptr, "null dimension engine");
@@ -76,8 +109,8 @@ CollectiveSession::submitStage(std::size_t chunk_idx, int stage_index,
     OpTag tag{id_, sched.chunk_id, stage_index};
     engine->enqueue(makeChunkOp(
         tag, stage.phase, stage.dim, engine->globalDim(), entering,
-        model_.dim(stage.dim), on_op_complete_, flow_, step_cache_,
-        model_.dimFingerprint(stage.dim)));
+        model_->dim(stage.dim), on_op_complete_, flow_, step_cache_,
+        model_->dimFingerprint(stage.dim)));
 }
 
 void
@@ -91,7 +124,7 @@ CollectiveSession::onOpComplete(const ChunkOp& op)
     const auto& stage =
         sched.stages[static_cast<std::size_t>(op.tag.stage_index)];
     const Bytes after = sizeAfterPhase(stage.phase, op.entering,
-                                       model_.dim(stage.dim).size);
+                                       model_->dim(stage.dim).size);
     if (next < static_cast<int>(sched.stages.size())) {
         submitStage(chunk_idx, next, after);
         return;

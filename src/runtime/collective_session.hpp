@@ -62,6 +62,19 @@ class CollectiveSession
     CollectiveSession(const CollectiveSession&) = delete;
     CollectiveSession& operator=(const CollectiveSession&) = delete;
 
+    /**
+     * Re-arm this session object for a new collective, reusing its
+     * engine-vector capacity and completion closure (the runtime's
+     * iteration-epoch session pool recycles sessions this way, so
+     * steady-state iterations construct no sessions at all). Requires
+     * the previous collective to have completed (asserts). The event
+     * queue binding is fixed for the object's lifetime.
+     */
+    void reset(int id, CollectiveType type, SchedulePtr schedules,
+               const std::vector<DimensionEngine*>& engines,
+               const LatencyModel& model, CompletionCallback on_done,
+               FlowClass flow = {}, PlanCache* step_cache = nullptr);
+
     /** Submit stage 0 of every chunk. Records the issue time. */
     void start();
 
@@ -93,12 +106,14 @@ class CollectiveSession
     void submitStage(std::size_t chunk_idx, int stage_index,
                      Bytes entering);
     void onOpComplete(const ChunkOp& op);
+    /** Shared schedule/engine/model consistency checks. */
+    void validate() const;
 
     int id_;
     CollectiveType type_;
     SchedulePtr schedules_;
     std::vector<DimensionEngine*> engines_;
-    const LatencyModel& model_;
+    const LatencyModel* model_;
     sim::EventQueue& queue_;
     CompletionCallback on_done_;
     FlowClass flow_;

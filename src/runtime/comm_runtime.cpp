@@ -54,7 +54,8 @@ CommRuntime::CommRuntime(sim::EventQueue& queue, Topology topo,
     for (int d = 0; d < topo_.numDims(); ++d) {
         engines_.push_back(std::make_unique<DimensionEngine>(
             queue_ref_, topo_.dim(d), d, config_.intra_policy,
-            config_.admission, config_.legacy_engine_scan, fairness));
+            config_.admission, config_.legacy_engine_scan, fairness,
+            config_.legacy_scalar_admission));
         engines_.back()->setPresenceListener(
             [this](int dim, bool present, TimeNs when) {
                 activity_.onPresence(dim, present, when);
@@ -216,7 +217,19 @@ CommRuntime::issue(const CollectiveRequest& request, Callback on_done)
     if (on_done)
         callbacks_[id] = std::move(on_done);
 
-    std::vector<DimensionEngine*> engines;
+    if (epoch_active_) {
+        // Plan-level fingerprint component: what was issued, when,
+        // and under which (fully plan-determining) cache key.
+        epoch_hash_.mix(std::uint64_t{0x4953}); // "IS"
+        epoch_hash_.mix(static_cast<std::uint64_t>(id));
+        epoch_hash_.mix(planKeyHash(key));
+        epoch_hash_.mix(static_cast<std::uint64_t>(flow.tier));
+        epoch_hash_.mix(flow.weight);
+        epoch_hash_.mix(rec.issued);
+    }
+
+    std::vector<DimensionEngine*>& engines = engine_scratch_;
+    engines.clear();
     engines.reserve(scope.size());
     for (const auto& s : scope)
         engines.push_back(engines_[static_cast<std::size_t>(s.dim)].get());
@@ -236,16 +249,133 @@ CommRuntime::issue(const CollectiveRequest& request, Callback on_done)
         utilization_->windowStart(queue_ref_.now());
     ++outstanding_;
 
-    sessions_.push_back(std::make_unique<CollectiveSession>(
-        id, request.type, std::move(schedules), std::move(engines),
-        *state.model, queue_ref_,
-        [this](CollectiveSession& s) { onCollectiveDone(s.id()); },
-        flow,
-        // Step plans are history-free, so even configs whose chunk
-        // schedules bypass the cache (carry-load Themis) memoize them.
-        config_.plan_cache));
-    sessions_.back()->start();
+    auto on_session_done = [this](CollectiveSession& s) {
+        onCollectiveDone(s.id());
+    };
+    // Step plans are history-free, so even configs whose chunk
+    // schedules bypass the cache (carry-load Themis) memoize them.
+    PlanCache* step_cache = config_.plan_cache;
+    CollectiveSession* session;
+    if (sessions_live_ < sessions_.size()) {
+        // Epoch session pool: recycle the slot in place.
+        session = sessions_[sessions_live_].get();
+        session->reset(id, request.type, std::move(schedules), engines,
+                       *state.model, on_session_done, flow, step_cache);
+    } else {
+        sessions_.push_back(std::make_unique<CollectiveSession>(
+            id, request.type, std::move(schedules), engines,
+            *state.model, queue_ref_, on_session_done, flow,
+            step_cache));
+        session = sessions_.back().get();
+    }
+    ++sessions_live_;
+    session->start();
     return id;
+}
+
+void
+CommRuntime::beginIterationEpoch()
+{
+    THEMIS_ASSERT(!epoch_active_, "iteration epoch already open");
+    THEMIS_ASSERT(outstanding_ == 0,
+                  "iteration epoch with " << outstanding_
+                                          << " collectives in flight");
+    THEMIS_ASSERT(queue_ref_.empty(),
+                  "iteration epoch with pending events");
+    queue_ref_.rebaseToZero();
+    // Epoch mode keeps per-epoch records only: ids, like the clock,
+    // restart at zero, so a thousand-iteration run does not retain a
+    // thousand iterations of Record history (and classReports() keeps
+    // describing the same epoch as the channels' per-epoch byte
+    // accounting). All callbacks have fired (outstanding_ == 0).
+    THEMIS_ASSERT(callbacks_.empty(),
+                  "uncollected completion callbacks at epoch start");
+    records_.clear();
+    epoch_hash_ = Fnv1a{};
+    epoch_completed_base_.clear();
+    for (auto& engine : engines_) {
+        engine->beginIterationEpoch();
+        engine->armFingerprint(&epoch_hash_);
+        epoch_completed_base_.push_back(engine->completedCount());
+    }
+    utilization_->epochReset();
+    activity_.reset();
+    sessions_live_ = 0; // recycle the previous epoch's sessions
+    epoch_active_ = true;
+}
+
+CommRuntime::EpochStats
+CommRuntime::finishIterationEpoch()
+{
+    THEMIS_ASSERT(epoch_active_, "no iteration epoch open");
+    THEMIS_ASSERT(outstanding_ == 0,
+                  "closing an epoch with " << outstanding_
+                                           << " collectives in flight");
+    EpochStats s;
+    s.duration = queue_ref_.now();
+    s.active_time = utilization_->activeTime();
+    s.collectives = static_cast<int>(records_.size());
+    // A Themis scheduler carrying load across collectives keeps
+    // hidden history the fingerprint cannot see; such epochs must be
+    // simulated, never replayed.
+    s.replay_safe =
+        !((config_.scheduler == SchedulerKind::Themis ||
+           config_.scheduler == SchedulerKind::ThemisPriority) &&
+          config_.themis.carry_load_across_collectives);
+    int num_classes = 1;
+    for (std::size_t d = 0; d < engines_.size(); ++d) {
+        sim::SharedChannel& ch = engines_[d]->channel();
+        ch.sync();
+        s.dim_bytes.push_back(ch.progressedBytes());
+        num_classes = std::max(num_classes, ch.numClasses());
+        s.ops += engines_[d]->completedCount() -
+                 epoch_completed_base_[d];
+    }
+    s.class_bytes.assign(static_cast<std::size_t>(num_classes), 0.0);
+    for (const auto& engine : engines_)
+        for (int c = 0; c < num_classes; ++c)
+            s.class_bytes[static_cast<std::size_t>(c)] +=
+                engine->channel().classProgressedBytes(c);
+    // Close the fingerprint over the aggregate epoch observables plus
+    // the one piece of cross-epoch hidden scheduling state (the
+    // engines' anti-starvation streaks).
+    epoch_hash_.mix(std::uint64_t{0x4550}); // "EP"
+    epoch_hash_.mix(s.duration);
+    epoch_hash_.mix(s.active_time);
+    epoch_hash_.mix(static_cast<std::uint64_t>(s.collectives));
+    epoch_hash_.mix(s.ops);
+    for (Bytes b : s.dim_bytes)
+        epoch_hash_.mix(b);
+    for (Bytes b : s.class_bytes)
+        epoch_hash_.mix(b);
+    for (const auto& engine : engines_)
+        epoch_hash_.mix(
+            static_cast<std::uint64_t>(engine->bypassStreak()));
+    s.fingerprint = epoch_hash_.value();
+    for (auto& engine : engines_)
+        engine->disarmFingerprint();
+    epoch_active_ = false;
+    return s;
+}
+
+bool
+CommRuntime::EpochStats::identicalTo(const EpochStats& o) const
+{
+    if (fingerprint != o.fingerprint ||
+        !bitEquals(duration, o.duration) ||
+        !bitEquals(active_time, o.active_time) ||
+        collectives != o.collectives || ops != o.ops ||
+        replay_safe != o.replay_safe ||
+        dim_bytes.size() != o.dim_bytes.size() ||
+        class_bytes.size() != o.class_bytes.size())
+        return false;
+    for (std::size_t i = 0; i < dim_bytes.size(); ++i)
+        if (!bitEquals(dim_bytes[i], o.dim_bytes[i]))
+            return false;
+    for (std::size_t i = 0; i < class_bytes.size(); ++i)
+        if (!bitEquals(class_bytes[i], o.class_bytes[i]))
+            return false;
+    return true;
 }
 
 void
@@ -305,7 +435,8 @@ CommRuntime::shadowPlanOrders(CollectiveType type,
             config_.legacy_engine_scan,
             config_.legacy_egalitarian_channel
                 ? sim::ChannelFairness::Egalitarian
-                : sim::ChannelFairness::Weighted));
+                : sim::ChannelFairness::Weighted,
+            config_.legacy_scalar_admission));
         auto* bucket = &orders[local];
         shadow_engines.back()->setStartListener(
             [bucket](const OpTag& tag) {

@@ -12,11 +12,13 @@
 #ifndef THEMIS_RUNTIME_COMM_RUNTIME_HPP
 #define THEMIS_RUNTIME_COMM_RUNTIME_HPP
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <vector>
 
+#include "common/hash.hpp"
 #include "core/plan_cache.hpp"
 #include "core/scheduler.hpp"
 #include "runtime/collective_session.hpp"
@@ -109,6 +111,13 @@ struct RuntimeConfig
      * and benches can compare both in one binary.
      */
     bool legacy_egalitarian_channel = false;
+
+    /**
+     * Run the engines' one-op-at-a-time admission check loop instead
+     * of the batched ready-prefix pass. Identical results; exists so
+     * tests and benches can compare both in one binary.
+     */
+    bool legacy_scalar_admission = false;
 };
 
 /** Table 3 convenience constructors. */
@@ -232,6 +241,85 @@ class CommRuntime
      */
     void finalizeStats();
 
+    /**
+     * Everything one iteration epoch produced, measured as exact
+     * per-epoch deltas (the epoch reset zeroes every accumulator, so
+     * these values are bit-stable across identical iterations — no
+     * large-accumulator rounding wobble).
+     *
+     * The fingerprint folds together the event trace (every chunk-op
+     * start/finish with epoch-relative timestamps, per dimension),
+     * the plan-cache keys and issue times of every collective, the
+     * per-dimension and per-class progressed-byte totals, the
+     * utilization window time, and the engines' anti-starvation
+     * streaks — two consecutive epochs with identical fingerprints
+     * (and identical stats) are the steady-state criterion the
+     * convergence replay engine uses.
+     */
+    struct EpochStats
+    {
+        std::uint64_t fingerprint = 0;
+
+        /** Simulated epoch duration (epoch clock starts at zero). */
+        TimeNs duration = 0.0;
+
+        /** Communication-active window time within the epoch. */
+        TimeNs active_time = 0.0;
+
+        /** Collectives issued during the epoch. */
+        int collectives = 0;
+
+        /** Chunk ops completed across all engines. */
+        std::uint64_t ops = 0;
+
+        /**
+         * False when the scheduler carries load state across
+         * collectives (history-dependent plans): such epochs must
+         * not be replayed analytically even if fingerprints repeat,
+         * because the scheduler's hidden state is not fingerprinted.
+         */
+        bool replay_safe = true;
+
+        /** Bytes progressed per dimension during the epoch. */
+        std::vector<Bytes> dim_bytes;
+
+        /** Bytes progressed per flow class (summed over dims). */
+        std::vector<Bytes> class_bytes;
+
+        /** Bit-exact equality over every field (doubles compared by
+         *  bit pattern). */
+        bool identicalTo(const EpochStats& o) const;
+    };
+
+    /**
+     * Open an iteration epoch: requires a fully quiescent runtime (no
+     * outstanding collectives, drained event queue). Rebases the
+     * event-queue clock and every channel clock to zero, zeroes the
+     * per-epoch statistics accumulators (utilization windows,
+     * progressed bytes, activity timeline), rewinds the session pool
+     * so this epoch reuses the previous epoch's session objects, and
+     * arms per-op fingerprinting.
+     *
+     * Epoch mode hands stats ownership to the caller: utilization(),
+     * classReports() and records() then describe the current epoch
+     * only — records (and their ids) restart at zero each epoch along
+     * with the clock, so arbitrarily long runs hold one iteration's
+     * worth of history.
+     */
+    void beginIterationEpoch();
+
+    /** Close the epoch and return its stats; see EpochStats. */
+    EpochStats finishIterationEpoch();
+
+    /** True between beginIterationEpoch() and finishIterationEpoch(). */
+    bool inIterationEpoch() const { return epoch_active_; }
+
+    /**
+     * Session objects ever constructed (the pool's high-water mark:
+     * flat across steady-state epochs, proving session reuse).
+     */
+    std::size_t sessionSlotCount() const { return sessions_.size(); }
+
     /** The event queue driving this runtime. */
     sim::EventQueue& queue() { return queue_ref_; }
 
@@ -285,13 +373,27 @@ class CommRuntime
 
     std::vector<std::unique_ptr<DimensionEngine>> engines_;
     std::map<std::vector<ScopeDim>, ScopeState> scopes_;
+    /**
+     * Session pool: slots up to sessions_live_ belong to the current
+     * epoch (or to the whole run when epochs are unused); an epoch
+     * reset rewinds the watermark so finished sessions are recycled
+     * in place instead of re-heap-allocated per collective.
+     */
     std::vector<std::unique_ptr<CollectiveSession>> sessions_;
+    std::size_t sessions_live_ = 0;
+    /** Scratch engine list reused across issue() calls. */
+    std::vector<DimensionEngine*> engine_scratch_;
     std::vector<Record> records_;
     std::map<int, Callback> callbacks_;
 
     int outstanding_ = 0;
     stats::ActivityTimeline activity_;
     std::unique_ptr<stats::UtilizationTracker> utilization_;
+
+    // Iteration-epoch state.
+    bool epoch_active_ = false;
+    Fnv1a epoch_hash_;
+    std::vector<std::uint64_t> epoch_completed_base_;
 };
 
 } // namespace themis::runtime

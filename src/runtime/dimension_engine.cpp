@@ -30,11 +30,24 @@ DimensionEngine::DimensionEngine(sim::EventQueue& queue,
                                  IntraDimPolicy policy,
                                  AdmissionConfig admission,
                                  bool legacy_scan,
-                                 sim::ChannelFairness fairness)
+                                 sim::ChannelFairness fairness,
+                                 bool scalar_admission)
     : queue_ref_(queue), config_(config), global_dim_(global_dim),
       policy_(policy), admission_(admission), legacy_scan_(legacy_scan),
+      scalar_admission_(scalar_admission),
       channel_(queue, config.bandwidth(), fairness),
-      ready_(ReadyCompare{policy})
+      pending_(0, std::hash<std::uint64_t>{},
+               std::equal_to<std::uint64_t>{},
+               ArenaAllocator<std::pair<const std::uint64_t,
+                                        PendingOp>>(&arena_)),
+      ready_(ReadyCompare{policy}, ArenaAllocator<ReadyKey>(&arena_)),
+      ready_age_(std::less<std::uint64_t>{},
+                 ArenaAllocator<std::uint64_t>(&arena_)),
+      active_(std::less<std::uint64_t>{},
+              ArenaAllocator<std::pair<const std::uint64_t, ActiveOp>>(
+                  &arena_)),
+      active_delays_(std::less<TimeNs>{},
+                     ArenaAllocator<TimeNs>(&arena_))
 {
     config_.validate();
     THEMIS_ASSERT(admission_.max_parallel_ops >= 1,
@@ -43,6 +56,15 @@ DimensionEngine::DimensionEngine(sim::EventQueue& queue,
                   "latency_headroom must be positive");
     THEMIS_ASSERT(admission_.max_priority_bypass >= 1,
                   "max_priority_bypass must be >= 1");
+}
+
+void
+DimensionEngine::beginIterationEpoch()
+{
+    THEMIS_ASSERT(queuedCount() == 0 && active_.empty(),
+                  "iteration epoch reset with ops in flight on dim "
+                      << global_dim_);
+    channel_.epochReset();
 }
 
 void
@@ -257,6 +279,83 @@ DimensionEngine::promoteExpected(EnforcedOrder& eo)
 void
 DimensionEngine::tryStart()
 {
+    // The batched refill handles the overwhelmingly common shape —
+    // one flow tier, no enforced orders, no anti-starvation debt —
+    // where selection order is exactly ready_ iteration order and no
+    // start can reshape the candidate set. Everything else takes the
+    // general one-op-at-a-time path. The two paths admit identical
+    // prefixes by construction (the batch evaluates the same
+    // check against the same running aggregates).
+    if (scalar_admission_) {
+        tryStartScalar();
+        return;
+    }
+    if (ready_.empty())
+        return;
+    if (!enforced_.empty() ||
+        bypass_streak_ >= admission_.max_priority_bypass ||
+        ready_.begin()->tier != std::prev(ready_.end())->tier) {
+        tryStartScalar();
+        return;
+    }
+    tryStartBatch();
+}
+
+void
+DimensionEngine::tryStartBatch()
+{
+    // One streamed pass over the policy-ordered ready prefix. The
+    // admission aggregates (running transfer-time sum, running max
+    // delay, running active count) are hoisted into locals, so every
+    // candidate costs exactly one branch-light admit evaluation —
+    // arithmetic on register-resident doubles, no per-start re-query
+    // of the active multiset or map — and the pass stops at the
+    // first rejection, which closes the refill (nothing admitted
+    // later could change the verdict: the aggregates only grow).
+    // Admit rule == scalar path: the first op of an idle engine is
+    // always admitted; otherwise admit while the active count is
+    // under the hard cap and the summed transfer time is below
+    // headroom x largest delay.
+    double sum = active_transfer_sum_;
+    double max_delay =
+        active_delays_.empty() ? 0.0 : *active_delays_.rbegin();
+    std::size_t active_n = active_.size();
+    const double headroom = admission_.latency_headroom;
+    const auto maxpar =
+        static_cast<std::size_t>(admission_.max_parallel_ops);
+    bool started = false;
+    while (!ready_.empty()) {
+        const bool admit =
+            (active_n == 0) |
+            ((active_n < maxpar) & (sum < headroom * max_delay));
+        if (!admit)
+            break;
+        const std::uint64_t seq = ready_.begin()->arrival_seq;
+        const auto pit = pending_.find(seq);
+        THEMIS_ASSERT(pit != pending_.end(),
+                      "ready op missing from pending store");
+        sum += pit->second.op.transfer_time;
+        max_delay = pit->second.op.fixed_delay > max_delay
+                        ? pit->second.op.fixed_delay
+                        : max_delay;
+        ++active_n;
+        ready_.erase(ready_.begin());
+        ready_age_.erase(seq);
+        ChunkOp op = std::move(pit->second.op);
+        pending_.erase(pit);
+        startOp(std::move(op));
+        started = true;
+    }
+    // Same-tier starts can never bypass an older lower-tier op, so
+    // the streak ends at zero exactly as the scalar path's per-start
+    // updates would leave it.
+    if (started)
+        bypass_streak_ = 0;
+}
+
+void
+DimensionEngine::tryStartScalar()
+{
     while (!ready_.empty()) {
         // Tier-then-policy head by default; the oldest waiting op
         // once the bypass streak hits the anti-starvation bound.
@@ -321,6 +420,20 @@ DimensionEngine::startOp(ChunkOp op)
 {
     const std::uint64_t exec_id = next_exec_id_++;
     THEMIS_ASSERT(!op.steps.empty(), "op with no steps");
+    if (fingerprint_ != nullptr) {
+        // Event-trace component of the iteration fingerprint: op
+        // starts in execution order, identified and timestamped in
+        // the epoch frame (collective ids and the clock both restart
+        // at the epoch reset).
+        fingerprint_->mix(std::uint64_t{0x5354}); // "ST"
+        fingerprint_->mix(static_cast<std::uint64_t>(global_dim_));
+        fingerprint_->mix(
+            static_cast<std::uint64_t>(op.tag.collective_id));
+        fingerprint_->mix(static_cast<std::uint64_t>(op.tag.chunk_id));
+        fingerprint_->mix(
+            static_cast<std::uint64_t>(op.tag.stage_index));
+        fingerprint_->mix(queue_ref_.now());
+    }
     logDebug("dim", global_dim_ + 1, " t=", queue_ref_.now(),
              " start chunk ", op.tag.chunk_id, " stage ",
              op.tag.stage_index, " (", phaseName(op.phase), ", ",
@@ -375,6 +488,16 @@ DimensionEngine::finish(std::uint64_t exec_id)
     if (active_.empty())
         active_transfer_sum_ = 0.0; // shed fp drift at quiesce points
     ++completed_;
+    if (fingerprint_ != nullptr) {
+        fingerprint_->mix(std::uint64_t{0x464e}); // "FN"
+        fingerprint_->mix(static_cast<std::uint64_t>(global_dim_));
+        fingerprint_->mix(
+            static_cast<std::uint64_t>(op.tag.collective_id));
+        fingerprint_->mix(static_cast<std::uint64_t>(op.tag.chunk_id));
+        fingerprint_->mix(
+            static_cast<std::uint64_t>(op.tag.stage_index));
+        fingerprint_->mix(queue_ref_.now());
+    }
     if (finish_listener_)
         finish_listener_(op, started_at);
     // Completion may enqueue the chunk's next stage on another

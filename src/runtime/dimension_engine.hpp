@@ -31,6 +31,19 @@
  * aging — it is a measurement baseline, exercised with uniform
  * priorities).
  *
+ * Refills are *batched* on the common path: when the ready set spans
+ * one flow tier, no enforced order is installed and no
+ * anti-starvation debt is pending, the selection order is exactly the
+ * ready set's iteration order and no start can reshape it — so the
+ * engine evaluates the admission headroom checks over the ready
+ * prefix in one streamed pass with the aggregates (running
+ * transfer-time sum, running max delay, running active count) hoisted
+ * into locals and a branch-light admit formula, instead of
+ * re-querying the active multiset and map per start. The
+ * one-op-at-a-time loop remains for enforced orders, mixed tiers and
+ * pending bypasses, and is selectable outright (`scalar_admission`)
+ * as an equivalence baseline; both paths admit identical prefixes.
+ *
  * Anti-starvation: tier precedence alone would let a sustained
  * high-tier stream park a low-tier op forever. The engine counts
  * consecutive starts that jumped over an older, lower-tier waiting
@@ -52,6 +65,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.hpp"
+#include "common/hash.hpp"
 #include "core/consistency_planner.hpp"
 #include "core/intra_dim_policy.hpp"
 #include "runtime/chunk_op.hpp"
@@ -117,12 +132,17 @@ class DimensionEngine
      * @param fairness    the shared channel's sharing discipline
      *                    (Egalitarian is the pre-priority equal-share
      *                    baseline; requires unit flow weights)
+     * @param scalar_admission run the one-op-at-a-time admission
+     *                    check loop instead of the batched prefix
+     *                    pass (measurement/equivalence baseline;
+     *                    results identical)
      */
     DimensionEngine(sim::EventQueue& queue, DimensionConfig config,
                     int global_dim, IntraDimPolicy policy,
                     AdmissionConfig admission, bool legacy_scan = false,
                     sim::ChannelFairness fairness =
-                        sim::ChannelFairness::Weighted);
+                        sim::ChannelFairness::Weighted,
+                    bool scalar_admission = false);
 
     DimensionEngine(const DimensionEngine&) = delete;
     DimensionEngine& operator=(const DimensionEngine&) = delete;
@@ -178,6 +198,36 @@ class DimensionEngine
 
     /** Total ops completed by this engine. */
     std::uint64_t completedCount() const { return completed_; }
+
+    /**
+     * Arm per-op event tracing into @p sink: every op start and
+     * finish mixes (dimension, op identity, timestamp) into the
+     * hash, in execution order. The caller's epoch reset restarts
+     * collective ids and the clock, so the mixed values are
+     * epoch-relative by construction. Disarmed engines pay a single
+     * null check per op.
+     */
+    void armFingerprint(Fnv1a* sink) { fingerprint_ = sink; }
+
+    /** Stop tracing into the fingerprint sink. */
+    void disarmFingerprint() { fingerprint_ = nullptr; }
+
+    /**
+     * Iteration-epoch reset: requires an idle engine (no queued or
+     * active ops) and an already-rebased event queue; rebases and
+     * zeroes the shared channel (SharedChannel::epochReset()).
+     */
+    void beginIterationEpoch();
+
+    /**
+     * Anti-starvation streak carried across ops. Exposed so epoch
+     * fingerprints can cover this one piece of cross-iteration
+     * hidden scheduling state.
+     */
+    int bypassStreak() const { return bypass_streak_; }
+
+    /** Arena slabs backing the pending/ready/active stores. */
+    std::size_t arenaSlabCount() const { return arena_.slabCount(); }
 
   private:
     struct PendingOp
@@ -245,6 +295,13 @@ class DimensionEngine
     void readyErase(const PendingOp& p);
 
     void tryStart();
+    /** One-op-at-a-time refill over the indexed ready set (general
+     *  path: enforced orders, mixed tiers, anti-starvation). */
+    void tryStartScalar();
+    /** Batched refill: admission headroom checks streamed over the
+     *  ready prefix in one pass with register-resident aggregates
+     *  (single-tier, order-free fast path). */
+    void tryStartBatch();
     void tryStartLegacy();
     bool admissionAllows(const ChunkOp& candidate) const;
     /** Queue index to start next, or npos if ordering blocks. */
@@ -262,26 +319,47 @@ class DimensionEngine
     IntraDimPolicy policy_;
     AdmissionConfig admission_;
     bool legacy_scan_;
+    bool scalar_admission_;
     sim::SharedChannel channel_;
+
+    /**
+     * Node arena backing every per-op container below: after the
+     * first iteration has shaped the pool, op churn allocates nothing
+     * and the nodes stay packed in a few slabs (declared first so it
+     * outlives the containers).
+     */
+    NodeArena arena_;
 
     std::deque<PendingOp> queue_; ///< legacy-scan pending store
     /** Indexed pending store: arrival_seq -> op, plus the eligible
      *  set ordered by policy key. */
-    std::unordered_map<std::uint64_t, PendingOp> pending_;
-    std::set<ReadyKey, ReadyCompare> ready_;
+    std::unordered_map<
+        std::uint64_t, PendingOp, std::hash<std::uint64_t>,
+        std::equal_to<std::uint64_t>,
+        ArenaAllocator<std::pair<const std::uint64_t, PendingOp>>>
+        pending_;
+    std::set<ReadyKey, ReadyCompare, ArenaAllocator<ReadyKey>> ready_;
     /** Age index over ready_ (arrival_seq ascending): the oldest
      *  waiting op, for the anti-starvation bound. */
-    std::set<std::uint64_t> ready_age_;
+    std::set<std::uint64_t, std::less<std::uint64_t>,
+             ArenaAllocator<std::uint64_t>>
+        ready_age_;
     /** Consecutive starts that bypassed an older lower-tier op. */
     int bypass_streak_ = 0;
-    std::map<std::uint64_t, ActiveOp> active_;
+    std::map<std::uint64_t, ActiveOp, std::less<std::uint64_t>,
+             ArenaAllocator<std::pair<const std::uint64_t, ActiveOp>>>
+        active_;
     /** Aggregates over active_, maintained incrementally so the
      *  admission check is O(1) instead of rescanning the active set. */
     TimeNs active_transfer_sum_ = 0.0;
-    std::multiset<TimeNs> active_delays_;
+    std::multiset<TimeNs, std::less<TimeNs>, ArenaAllocator<TimeNs>>
+        active_delays_;
     std::uint64_t next_exec_id_ = 1;
     std::uint64_t arrival_counter_ = 0;
     std::uint64_t completed_ = 0;
+
+    /** Iteration-trace sink; null when disarmed. */
+    Fnv1a* fingerprint_ = nullptr;
 
     std::map<int, EnforcedOrder> enforced_;
 

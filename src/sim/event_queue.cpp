@@ -482,6 +482,24 @@ EventQueue::runUntil(TimeNs until)
 }
 
 void
+EventQueue::rebaseToZero()
+{
+    THEMIS_ASSERT(live_events_ == 0,
+                  "rebasing a queue with " << live_events_
+                                           << " pending events");
+    now_ = 0.0;
+    // The calendar holds no entries when the queue is empty (cancel
+    // removes eagerly, firing removes on collection), so rewinding
+    // the scan window suffices. The heap discards cancelled entries
+    // lazily, and a tombstone timestamped beyond the epoch horizon
+    // would never be popped once the clock rewinds — with no live
+    // events every remaining entry is stale, so drop them wholesale.
+    heap_ = {};
+    cur_win_ = 0;
+    peek_valid_ = false;
+}
+
+void
 EventQueue::reset()
 {
     releaseAll();

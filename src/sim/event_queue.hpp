@@ -156,6 +156,17 @@ class EventQueue
     /** Drop all pending events and reset the clock to zero. */
     void reset();
 
+    /**
+     * Rebase the clock of an *empty* queue back to zero (asserts
+     * emptiness). Unlike reset() this keeps the slab, the calendar
+     * geometry and the sequence counter, so it is O(1) and the next
+     * events schedule with warm storage. Iteration-epoch replay uses
+     * this so every training iteration runs in the identical time
+     * frame — the precondition for bit-identical steady-state
+     * trajectories regardless of how much simulated time has passed.
+     */
+    void rebaseToZero();
+
   private:
     /** Heap indirection for closures beyond kInlineCapacity. */
     template <typename Fn>

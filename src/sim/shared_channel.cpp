@@ -159,6 +159,27 @@ SharedChannel::dropWeight(const Transfer& t)
 }
 
 void
+SharedChannel::epochReset()
+{
+    THEMIS_ASSERT(active_.empty(),
+                  "epoch reset with transfers in flight");
+    // Any recorded completion event is stale by construction (an idle
+    // channel schedules nothing), and the caller has just rebased the
+    // event queue, so the id must simply be forgotten, not cancelled.
+    pending_event_ = 0;
+    finish_heap_.clear();
+    vtime_ = 0.0;
+    weight_sum_ = 0.0;
+    last_update_ = queue_.now();
+    progressed_bytes_ = 0.0;
+    busy_time_ = 0.0;
+    // Keep the class vector's size (numClasses() stays monotone so
+    // per-class reports keep their rows); zero the accumulators.
+    for (ClassState& cs : classes_)
+        cs = ClassState{};
+}
+
+void
 SharedChannel::abort(TransferId id)
 {
     advanceTo(queue_.now());

@@ -50,6 +50,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/small_vector.hpp"
 #include "common/units.hpp"
 #include "sim/event_queue.hpp"
 
@@ -149,6 +150,19 @@ class SharedChannel
     /** Bring progress accounting up to the queue's current time. */
     void sync() { advanceTo(queue_.now()); }
 
+    /**
+     * Iteration-epoch reset: rebase the channel clock to the queue's
+     * (just-rebased) current time, zero the virtual clock and every
+     * progress accumulator, and drop stale heap entries. Requires an
+     * idle channel (asserts no active transfers). After this call the
+     * channel's dynamic state is identical to a freshly constructed
+     * one except for next_id_ and peak_active_, neither of which
+     * influences transfer timing — which is what makes steady-state
+     * training iterations bit-identical and the per-epoch progressed
+     * byte counters bit-stable across iterations.
+     */
+    void epochReset();
+
   private:
     /**
      * Map payload for a live transfer: presence in active_ is the
@@ -209,9 +223,16 @@ class SharedChannel
     Bandwidth capacity_;
     ChannelFairness fairness_;
     std::unordered_map<TransferId, Transfer> active_;
-    /** Min-heap on (v_end, id) via std::push_heap/pop_heap — a plain
-     *  vector so rebasing can shift every pending finish point. */
-    std::vector<FinishEntry> finish_heap_;
+    /**
+     * Min-heap on (v_end, id) via std::push_heap/pop_heap — a
+     * contiguous buffer so virtual-time rebasing can shift every
+     * pending finish point in one batch. Inline small-vector: a
+     * dimension rarely carries more than a handful of concurrent
+     * transfers, so rebase batches of <= 16 entries (the common
+     * case by far) touch only inline storage and the channel never
+     * heap-allocates for its pending set.
+     */
+    SmallVector<FinishEntry, 16> finish_heap_;
     double vtime_ = 0.0; // cumulative unit-weight service, virtual bytes
     /** Sum of active weights; exact (integer-valued) when weights are 1. */
     double weight_sum_ = 0.0;

@@ -42,13 +42,26 @@ SweepRunner::run(std::vector<Job> jobs)
     if (jobs.empty())
         return;
 
+    // Re-throw ConfigErrors with the failing job's index attached: a
+    // multi-hundred-cell grid (e.g. a convergence sweep) is
+    // undebuggable from a bare "bad chunk count" message, and the
+    // index pins the exact cell regardless of worker interleaving.
+    auto run_job = [](Job& job, std::size_t i, EventQueue& queue) {
+        try {
+            job(queue);
+        } catch (const ConfigError& e) {
+            throw ConfigError("sweep job " + std::to_string(i) +
+                              " failed: " + e.what());
+        }
+    };
+
     const int workers =
         static_cast<int>(std::min<std::size_t>(
             jobs.size(), static_cast<std::size_t>(threads_)));
     if (workers <= 1) {
         EventQueue queue(front_end_);
-        for (auto& job : jobs) {
-            job(queue);
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            run_job(jobs[i], i, queue);
             queue.reset();
         }
         return;
@@ -69,7 +82,7 @@ SweepRunner::run(std::vector<Job> jobs)
                 failed.load(std::memory_order_relaxed))
                 return;
             try {
-                jobs[i](queue);
+                run_job(jobs[i], i, queue);
             } catch (...) {
                 failed.store(true, std::memory_order_relaxed);
                 std::lock_guard<std::mutex> lock(error_mutex);

@@ -44,6 +44,18 @@ ActivityTimeline::finalize(TimeNs end)
     finalized_ = true;
 }
 
+void
+ActivityTimeline::reset()
+{
+    for (auto& st : dims_) {
+        THEMIS_ASSERT(!st.present,
+                      "resetting the timeline mid-interval");
+        st.intervals.clear();
+        st.since = 0.0;
+    }
+    finalized_ = false;
+}
+
 const std::vector<std::pair<TimeNs, TimeNs>>&
 ActivityTimeline::intervals(int dim) const
 {

@@ -32,6 +32,13 @@ class ActivityTimeline
     /** Close any open intervals at @p end (idempotent afterwards). */
     void finalize(TimeNs end);
 
+    /**
+     * Drop all recorded intervals and re-arm recording (for
+     * iteration-epoch replay, whose time frame restarts at zero each
+     * iteration). Asserts no dimension is mid-interval.
+     */
+    void reset();
+
     /** Closed intervals of @p dim as (start, end) pairs. */
     const std::vector<std::pair<TimeNs, TimeNs>>&
     intervals(int dim) const;

@@ -70,4 +70,19 @@ renderClassTable(const std::vector<ClassUsageRow>& rows)
     return t.render();
 }
 
+std::string
+renderConvergenceTable(const std::vector<ConvergenceRunRow>& rows)
+{
+    TextTable t({"Mode", "Iters", "Simulated", "Replayed", "Sim time",
+                 "Iter time", "BW util", "Wall"});
+    for (const auto& r : rows) {
+        t.addRow({r.label, std::to_string(r.iterations),
+                  std::to_string(r.simulated),
+                  std::to_string(r.replayed), fmtTime(r.total_time),
+                  fmtTime(r.last_iteration), fmtPercent(r.utilization),
+                  fmtDouble(r.wall_ms, 1) + " ms"});
+    }
+    return t.render();
+}
+
 } // namespace themis::stats

@@ -63,6 +63,38 @@ struct ClassUsageRow
  */
 std::string renderClassTable(const std::vector<ClassUsageRow>& rows);
 
+/**
+ * One mode row of a multi-iteration convergence-run comparison
+ * (plain numbers so the CLI and the bench can share one renderer
+ * without this layer depending on workload types).
+ */
+struct ConvergenceRunRow
+{
+    /** Mode label, e.g. "replay" or "full simulation". */
+    std::string label;
+
+    /** Iterations accounted for / event-simulated / replayed. */
+    int iterations = 0;
+    int simulated = 0;
+    int replayed = 0;
+
+    /** Summed simulated time over all iterations. */
+    TimeNs total_time = 0.0;
+
+    /** Final iteration's simulated duration. */
+    TimeNs last_iteration = 0.0;
+
+    /** Fig-4-definition utilization over the run. */
+    double utilization = 0.0;
+
+    /** Host wall-clock cost of producing the run. */
+    double wall_ms = 0.0;
+};
+
+/** Render convergence-run rows as a standard table. */
+std::string
+renderConvergenceTable(const std::vector<ConvergenceRunRow>& rows);
+
 /** Column-aligned monospace table for terminal reports. */
 class TextTable
 {

@@ -48,6 +48,15 @@ UtilizationTracker::classSnapshot() const
 }
 
 void
+UtilizationTracker::epochReset()
+{
+    THEMIS_ASSERT(!open_, "epoch reset inside an open window");
+    active_time_ = 0.0;
+    std::fill(bytes_.begin(), bytes_.end(), 0.0);
+    class_bytes_.clear();
+}
+
+void
 UtilizationTracker::windowStart(TimeNs when)
 {
     THEMIS_ASSERT(!open_, "window already open");

@@ -46,6 +46,16 @@ class UtilizationTracker
     /** True when a window is currently open. */
     bool windowOpen() const { return open_; }
 
+    /**
+     * Iteration-epoch reset: zero the closed-window accumulators so
+     * the next finish-of-epoch read returns per-iteration values
+     * (asserts no window is open). Pairs with
+     * SharedChannel::epochReset() — the channels' progressed-byte
+     * counters restart at zero, so the next windowStart() snapshot is
+     * taken in the fresh frame.
+     */
+    void epochReset();
+
     /** Total closed communication-active time. */
     TimeNs activeTime() const { return active_time_; }
 

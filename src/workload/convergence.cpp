@@ -1,0 +1,191 @@
+#include "workload/convergence.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+
+namespace themis::workload {
+
+namespace {
+
+using runtime::CommRuntime;
+
+/**
+ * Fold one iteration into the running totals. Replay uses the same
+ * function with the steady iteration's values, so the replayed
+ * accumulation performs bit-for-bit the operations full simulation
+ * would.
+ */
+void
+accumulate(ConvergenceReport& r, const IterationBreakdown& b,
+           const CommRuntime::EpochStats& s)
+{
+    r.total += b;
+    r.last = b;
+    r.per_iteration.push_back(b);
+    r.active_time += s.active_time;
+    if (r.dim_bytes.size() < s.dim_bytes.size())
+        r.dim_bytes.resize(s.dim_bytes.size(), 0.0);
+    for (std::size_t d = 0; d < s.dim_bytes.size(); ++d)
+        r.dim_bytes[d] += s.dim_bytes[d];
+    if (r.class_bytes.size() < s.class_bytes.size())
+        r.class_bytes.resize(s.class_bytes.size(), 0.0);
+    for (std::size_t c = 0; c < s.class_bytes.size(); ++c)
+        r.class_bytes[c] += s.class_bytes[c];
+    r.ops += s.ops;
+    r.collectives += s.collectives;
+}
+
+void
+finalizeUtilization(ConvergenceReport& r, const Topology& topo)
+{
+    if (r.active_time <= 0.0)
+        return;
+    Bandwidth total_bw = 0.0;
+    for (int d = 0; d < topo.numDims(); ++d)
+        total_bw += topo.dim(d).bandwidth();
+    Bytes total_bytes = 0.0;
+    for (Bytes b : r.dim_bytes)
+        total_bytes += b;
+    r.utilization = total_bytes / (total_bw * r.active_time);
+}
+
+bool
+assertIdentical(const IterationBreakdown& b,
+                const CommRuntime::EpochStats& s,
+                const IterationBreakdown& steady_b,
+                const CommRuntime::EpochStats& steady_s, int iteration)
+{
+    THEMIS_ASSERT(bitIdentical(b, steady_b) &&
+                      s.identicalTo(steady_s),
+                  "exactness check: iteration "
+                      << iteration
+                      << " diverged from the steady-state iteration "
+                         "the replay engine would have substituted "
+                         "(fingerprint "
+                      << s.fingerprint << " vs "
+                      << steady_s.fingerprint << ")");
+    return true;
+}
+
+} // namespace
+
+bool
+resultsBitIdentical(const ConvergenceReport& a,
+                    const ConvergenceReport& b)
+{
+    if (!bitIdentical(a.total, b.total) ||
+        !bitIdentical(a.last, b.last) ||
+        !bitEquals(a.active_time, b.active_time) || a.ops != b.ops ||
+        a.collectives != b.collectives ||
+        !bitEquals(a.utilization, b.utilization) ||
+        a.per_iteration.size() != b.per_iteration.size() ||
+        a.dim_bytes.size() != b.dim_bytes.size() ||
+        a.class_bytes.size() != b.class_bytes.size())
+        return false;
+    for (std::size_t i = 0; i < a.per_iteration.size(); ++i)
+        if (!bitIdentical(a.per_iteration[i], b.per_iteration[i]))
+            return false;
+    for (std::size_t d = 0; d < a.dim_bytes.size(); ++d)
+        if (!bitEquals(a.dim_bytes[d], b.dim_bytes[d]))
+            return false;
+    for (std::size_t c = 0; c < a.class_bytes.size(); ++c)
+        if (!bitEquals(a.class_bytes[c], b.class_bytes[c]))
+            return false;
+    return true;
+}
+
+ConvergenceReport
+runConverged(runtime::CommRuntime& comm, TrainingLoop& loop,
+             const ConvergenceOptions& opts)
+{
+    THEMIS_ASSERT(opts.iterations >= 1, "need at least one iteration");
+    THEMIS_ASSERT(opts.confirm_iterations >= 2,
+                  "steady state needs at least a pair of identical "
+                  "iterations");
+    ConvergenceReport r;
+    r.iterations = opts.iterations;
+    r.per_iteration.reserve(
+        static_cast<std::size_t>(opts.iterations));
+
+    IterationBreakdown prev_b;
+    CommRuntime::EpochStats prev_s;
+    bool have_prev = false;
+    int streak = 0; // consecutive iterations identical to their predecessor
+
+    // The one place an iteration is actually event-simulated: every
+    // path below (detection loop, exactness continuation, no-replay
+    // continuation) runs the epoch protocol through this helper, so a
+    // protocol change cannot desynchronize them.
+    auto simulate_epoch =
+        [&]() -> std::pair<IterationBreakdown,
+                           CommRuntime::EpochStats> {
+        comm.beginIterationEpoch();
+        IterationBreakdown b = loop.runIteration();
+        CommRuntime::EpochStats s = comm.finishIterationEpoch();
+        accumulate(r, b, s);
+        ++r.simulated_iterations;
+        return {std::move(b), std::move(s)};
+    };
+
+    for (int i = 0; i < opts.iterations; ++i) {
+        const auto [b, s] = simulate_epoch();
+
+        if (have_prev && s.identicalTo(prev_s) &&
+            bitIdentical(b, prev_b))
+            ++streak;
+        else
+            streak = 0;
+        prev_b = b;
+        prev_s = s;
+        have_prev = true;
+
+        const bool steady = s.replay_safe &&
+                            streak >= opts.confirm_iterations - 1;
+        if (steady && r.steady_at < 0) {
+            r.steady_at = i;
+            r.steady_fingerprint = s.fingerprint;
+        }
+        if (!steady || i + 1 >= opts.iterations)
+            continue;
+
+        if (opts.exactness_check) {
+            // Proof mode: predict the final totals analytically, then
+            // keep simulating and hold every iteration — and the
+            // final books — to the prediction.
+            ConvergenceReport predicted = r;
+            for (int k = i + 1; k < opts.iterations; ++k)
+                accumulate(predicted, b, s);
+            for (int k = i + 1; k < opts.iterations; ++k) {
+                const auto [bk, sk] = simulate_epoch();
+                assertIdentical(bk, sk, b, s, k);
+            }
+            THEMIS_ASSERT(resultsBitIdentical(r, predicted),
+                          "exactness check: the replay prediction "
+                          "diverged from the fully simulated run");
+            break;
+        }
+        if (opts.replay) {
+            // Analytic replay: integrate the steady iteration forward
+            // — O(dimensions + classes) additions per iteration, no
+            // event loop.
+            for (int k = i + 1; k < opts.iterations; ++k) {
+                accumulate(r, b, s);
+                ++r.replayed_iterations;
+            }
+            break;
+        }
+        // Replay disabled (measurement baseline): keep simulating;
+        // leave steady_at as the first detection point.
+        for (int k = i + 1; k < opts.iterations; ++k)
+            simulate_epoch();
+        break;
+    }
+
+    finalizeUtilization(r, comm.topology());
+    return r;
+}
+
+} // namespace themis::workload

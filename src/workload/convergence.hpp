@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Steady-state detector + iteration replay engine for multi-iteration
+ * training (convergence) runs.
+ *
+ * A training workload issues byte-identical traffic every iteration,
+ * and after the first iteration has warmed the plan cache (or simply
+ * because planning is deterministic) the simulated schedule repeats
+ * exactly. Simulating hundreds of identical iterations is therefore
+ * pure waste — yet convergence studies and multi-job scenarios need
+ * exactly such horizons.
+ *
+ * The runner executes each iteration inside a CommRuntime *iteration
+ * epoch*: the event-queue and channel clocks are rebased to zero and
+ * every statistics accumulator restarts, so an iteration's trajectory
+ * is a deterministic function of the (quiescent) runtime state alone
+ * and its measured stats are exact per-iteration deltas, bit-stable
+ * across identical iterations. Each epoch yields a fingerprint (event
+ * trace of every chunk-op start/finish, plan-cache keys, per-class
+ * and per-dimension byte totals, utilization time, anti-starvation
+ * streaks). Once `confirm_iterations` consecutive epochs are
+ * identical — fingerprints and full stats, bit for bit — the
+ * remaining iterations are *replayed analytically*: the steady
+ * iteration's time, bytes and utilization are integrated forward with
+ * O(dimensions + classes) additions per iteration instead of
+ * re-running the event loop. The accumulation arithmetic is the same
+ * one the fully simulated path uses, so replayed totals are
+ * bit-identical to what full simulation would produce — and the
+ * `exactness_check` mode proves it in-binary by co-running the full
+ * simulation after detection and asserting every subsequent iteration
+ * (and the final totals) against the replay prediction.
+ */
+
+#ifndef THEMIS_WORKLOAD_CONVERGENCE_HPP
+#define THEMIS_WORKLOAD_CONVERGENCE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/training_loop.hpp"
+
+namespace themis::workload {
+
+/** Tunables of a multi-iteration convergence run. */
+struct ConvergenceOptions
+{
+    /** Iterations to account for (>= 1). */
+    int iterations = 1;
+
+    /**
+     * Replay analytically once steady state is confirmed. Off =
+     * simulate every iteration (measurement baseline; results are
+     * bit-identical either way).
+     */
+    bool replay = true;
+
+    /**
+     * Consecutive bit-identical iterations required before the
+     * remainder is replayed (>= 2; the first pair is one match).
+     */
+    int confirm_iterations = 2;
+
+    /**
+     * Keep simulating after detection and assert every subsequent
+     * iteration — and the final totals — bit-identical to the replay
+     * prediction (panics on divergence). Implies no wall-clock
+     * savings; this is the proof mode.
+     */
+    bool exactness_check = false;
+};
+
+/** Outcome of a convergence run. */
+struct ConvergenceReport
+{
+    /** Iterations accounted for (== options.iterations). */
+    int iterations = 0;
+
+    /** Iterations actually simulated through the event loop. */
+    int simulated_iterations = 0;
+
+    /** Iterations replayed analytically. */
+    int replayed_iterations = 0;
+
+    /**
+     *0-based index of the iteration whose epoch confirmed steady
+     * state, or -1 if it was never reached.
+     */
+    int steady_at = -1;
+
+    /** Fingerprint of the steady iteration (0 if none). */
+    std::uint64_t steady_fingerprint = 0;
+
+    /** Summed decomposition over all iterations. */
+    IterationBreakdown total;
+
+    /** The final iteration's decomposition. */
+    IterationBreakdown last;
+
+    /** Per-iteration decompositions (size == iterations). */
+    std::vector<IterationBreakdown> per_iteration;
+
+    /** Summed communication-active window time. */
+    TimeNs active_time = 0.0;
+
+    /** Summed bytes progressed per dimension. */
+    std::vector<Bytes> dim_bytes;
+
+    /** Summed bytes progressed per flow class. */
+    std::vector<Bytes> class_bytes;
+
+    /** Summed chunk ops executed (replayed iterations count the
+     *  steady iteration's ops). */
+    std::uint64_t ops = 0;
+
+    /** Collectives accounted for across all iterations. */
+    long collectives = 0;
+
+    /**
+     * Fig-4-definition utilization over the whole run: total bytes /
+     * (total machine bandwidth x active_time).
+     */
+    double utilization = 0.0;
+};
+
+/**
+ * Bit-pattern equality of two runs' *simulation results* — total and
+ * per-iteration decompositions, active time, per-dimension and
+ * per-class bytes, op/collective counts, utilization. Run bookkeeping
+ * (simulated vs replayed counts, wall time, steady_at) is excluded:
+ * a replayed run and a fully simulated run of the same workload must
+ * satisfy this even though they did different amounts of event-loop
+ * work. The single definition of "bit-identical" shared by the
+ * exactness-check mode and the convergence bench.
+ */
+bool resultsBitIdentical(const ConvergenceReport& a,
+                         const ConvergenceReport& b);
+
+/**
+ * Run @p loop for opts.iterations training iterations on @p comm with
+ * steady-state replay; see file comment. The runtime must be
+ * quiescent and must be driven only by @p loop for the duration.
+ */
+ConvergenceReport runConverged(runtime::CommRuntime& comm,
+                               TrainingLoop& loop,
+                               const ConvergenceOptions& opts = {});
+
+} // namespace themis::workload
+
+#endif // THEMIS_WORKLOAD_CONVERGENCE_HPP

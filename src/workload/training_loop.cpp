@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 
 namespace themis::workload {
 
@@ -15,6 +16,16 @@ IterationBreakdown::operator+=(const IterationBreakdown& o)
     exposed_dp += o.exposed_dp;
     total += o.total;
     return *this;
+}
+
+bool
+bitIdentical(const IterationBreakdown& a, const IterationBreakdown& b)
+{
+    return bitEquals(a.fwd_compute, b.fwd_compute) &&
+           bitEquals(a.bwd_compute, b.bwd_compute) &&
+           bitEquals(a.exposed_mp, b.exposed_mp) &&
+           bitEquals(a.exposed_dp, b.exposed_dp) &&
+           bitEquals(a.total, b.total);
 }
 
 TrainingLoop::TrainingLoop(runtime::CommRuntime& comm, ModelGraph model,

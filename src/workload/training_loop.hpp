@@ -48,6 +48,16 @@ struct IterationBreakdown
     IterationBreakdown& operator+=(const IterationBreakdown& o);
 };
 
+/**
+ * Bit-pattern equality over every bucket. This is the workload-level
+ * steady-state criterion of the iteration replay engine (and what the
+ * fig12 bench uses to prove optimized/baseline sweep equivalence):
+ * two iterations whose decompositions differ in even one ulp are not
+ * replayable copies of each other.
+ */
+bool bitIdentical(const IterationBreakdown& a,
+                  const IterationBreakdown& b);
+
 /** Drives training iterations of one model on one platform. */
 class TrainingLoop
 {

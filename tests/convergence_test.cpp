@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Steady-state iteration replay: epoch mechanics, fingerprint-based
+ * detection, replay-vs-full-simulation bit identity (including the
+ * in-binary exactness mode), session-pool and arena reuse, and the
+ * batched-vs-scalar admission equivalence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/model_zoo.hpp"
+#include "runtime/comm_runtime.hpp"
+#include "topology/presets.hpp"
+#include "workload/convergence.hpp"
+#include "workload/training_loop.hpp"
+
+namespace themis::workload {
+namespace {
+
+/** Small hybrid workload with MP + DP traffic (fig12-shaped). */
+ModelGraph
+smallHybridModel()
+{
+    ModelGraph g;
+    g.name = "small-hybrid";
+    g.parallel = ParallelSpec::hybrid(16);
+    g.fused_dp_grads = false;
+    for (int i = 0; i < 3; ++i) {
+        Layer l;
+        l.name = "l" + std::to_string(i);
+        l.fwd_flops = 2.0e11;
+        l.bwd_flops = 4.0e11;
+        l.dp_grad_bytes = 6.0e6;
+        l.fwd_comm.push_back({CollectiveType::AllReduce, 4.0e6,
+                              CommDomain::ModelParallel, true});
+        l.bwd_comm.push_back({CollectiveType::AllReduce, 4.0e6,
+                              CommDomain::ModelParallel, true});
+        g.layers.push_back(l);
+    }
+    return g;
+}
+
+ConvergenceReport
+runModel(const ModelGraph& model, const Topology& topo,
+         const ConvergenceOptions& opts,
+         runtime::RuntimeConfig cfg = runtime::themisScfConfig(),
+         PlanCache* cache = nullptr)
+{
+    sim::EventQueue queue;
+    cfg.plan_cache = cache;
+    runtime::CommRuntime comm(queue, topo, cfg);
+    TrainingLoop loop(comm, model);
+    return runConverged(comm, loop, opts);
+}
+
+TEST(Convergence, SteadyStateDetectedQuickly)
+{
+    ConvergenceOptions opts;
+    opts.iterations = 10;
+    const auto r =
+        runModel(smallHybridModel(), presets::make2DSwSw(), opts);
+    EXPECT_EQ(r.iterations, 10);
+    ASSERT_GE(r.steady_at, 1);
+    // Deterministic planning: iteration 2 matches iteration 1, so at
+    // most a handful of iterations are ever simulated.
+    EXPECT_LE(r.simulated_iterations, 3);
+    EXPECT_EQ(r.simulated_iterations + r.replayed_iterations, 10);
+    EXPECT_NE(r.steady_fingerprint, 0u);
+    EXPECT_GT(r.total.total, 0.0);
+    EXPECT_GT(r.utilization, 0.0);
+    EXPECT_EQ(r.per_iteration.size(), 10u);
+}
+
+TEST(Convergence, ReplayTotalsBitIdenticalToFullSimulation)
+{
+    const ModelGraph model = smallHybridModel();
+    const Topology topo = presets::make2DSwSw();
+    ConvergenceOptions replay_opts;
+    replay_opts.iterations = 12;
+    ConvergenceOptions full_opts;
+    full_opts.iterations = 12;
+    full_opts.replay = false;
+    const auto fast = runModel(model, topo, replay_opts);
+    const auto full = runModel(model, topo, full_opts);
+
+    EXPECT_GT(fast.replayed_iterations, 0);
+    EXPECT_EQ(full.replayed_iterations, 0);
+    EXPECT_EQ(full.simulated_iterations, 12);
+    EXPECT_TRUE(bitIdentical(fast.total, full.total));
+    EXPECT_TRUE(bitIdentical(fast.last, full.last));
+    EXPECT_EQ(fast.active_time, full.active_time);
+    EXPECT_EQ(fast.ops, full.ops);
+    ASSERT_EQ(fast.dim_bytes.size(), full.dim_bytes.size());
+    for (std::size_t d = 0; d < fast.dim_bytes.size(); ++d)
+        EXPECT_EQ(fast.dim_bytes[d], full.dim_bytes[d]) << "dim " << d;
+    ASSERT_EQ(fast.class_bytes.size(), full.class_bytes.size());
+    for (std::size_t c = 0; c < fast.class_bytes.size(); ++c)
+        EXPECT_EQ(fast.class_bytes[c], full.class_bytes[c])
+            << "class " << c;
+    EXPECT_EQ(fast.utilization, full.utilization);
+    ASSERT_EQ(fast.per_iteration.size(), full.per_iteration.size());
+    for (std::size_t i = 0; i < fast.per_iteration.size(); ++i)
+        EXPECT_TRUE(bitIdentical(fast.per_iteration[i],
+                                 full.per_iteration[i]))
+            << "iteration " << i;
+}
+
+TEST(Convergence, ExactnessCheckModePasses)
+{
+    ConvergenceOptions opts;
+    opts.iterations = 8;
+    opts.exactness_check = true; // asserts internally on divergence
+    const auto r =
+        runModel(smallHybridModel(), presets::make2DSwSw(), opts);
+    EXPECT_EQ(r.simulated_iterations, 8);
+    EXPECT_EQ(r.replayed_iterations, 0);
+    EXPECT_GE(r.steady_at, 1);
+}
+
+TEST(Convergence, ExactnessOnPaperWorkloadWithPlanCache)
+{
+    // fig12-shaped cell: a paper workload on a next-gen platform,
+    // plan cache shared, enforced orders exercised elsewhere.
+    PlanCache cache;
+    ConvergenceOptions opts;
+    opts.iterations = 5;
+    opts.exactness_check = true;
+    const auto topos = presets::nextGenTopologies();
+    ASSERT_FALSE(topos.empty());
+    const auto r = runModel(models::byName("ResNet-152"), topos[0],
+                            opts, runtime::themisScfConfig(), &cache);
+    EXPECT_EQ(r.simulated_iterations, 5);
+    EXPECT_GE(r.steady_at, 1);
+}
+
+TEST(Convergence, BaselineSchedulerReachesSteadyStateToo)
+{
+    ConvergenceOptions opts;
+    opts.iterations = 9;
+    const auto r = runModel(smallHybridModel(), presets::make2DSwSw(),
+                            opts, runtime::baselineConfig());
+    EXPECT_GE(r.steady_at, 1);
+    EXPECT_GT(r.replayed_iterations, 0);
+}
+
+TEST(Convergence, CarryLoadConfigNeverReplays)
+{
+    runtime::RuntimeConfig cfg = runtime::themisScfConfig();
+    cfg.themis.carry_load_across_collectives = true;
+    ConvergenceOptions opts;
+    opts.iterations = 6;
+    const auto r = runModel(smallHybridModel(), presets::make2DSwSw(),
+                            opts, cfg);
+    // History-dependent plans: every iteration must be simulated.
+    EXPECT_EQ(r.simulated_iterations, 6);
+    EXPECT_EQ(r.replayed_iterations, 0);
+    EXPECT_EQ(r.steady_at, -1);
+}
+
+TEST(Convergence, SessionPoolAndArenaStopGrowingAtSteadyState)
+{
+    sim::EventQueue queue;
+    runtime::CommRuntime comm(queue, presets::make2DSwSw(),
+                              runtime::themisScfConfig());
+    TrainingLoop loop(comm, smallHybridModel());
+
+    ConvergenceOptions opts;
+    opts.iterations = 2;
+    opts.replay = false;
+    runConverged(comm, loop, opts);
+    const std::size_t session_slots = comm.sessionSlotCount();
+    std::size_t arena_slabs = 0;
+    for (int d = 0; d < comm.topology().numDims(); ++d)
+        arena_slabs += comm.engine(d).arenaSlabCount();
+
+    runConverged(comm, loop, opts);
+    runConverged(comm, loop, opts);
+    EXPECT_EQ(comm.sessionSlotCount(), session_slots)
+        << "sessions were re-allocated instead of recycled";
+    std::size_t arena_slabs_after = 0;
+    for (int d = 0; d < comm.topology().numDims(); ++d)
+        arena_slabs_after += comm.engine(d).arenaSlabCount();
+    EXPECT_EQ(arena_slabs_after, arena_slabs)
+        << "engine arenas kept growing across epochs";
+}
+
+TEST(Convergence, EpochRebaseKeepsRecordsInIterationFrame)
+{
+    sim::EventQueue queue;
+    runtime::CommRuntime comm(queue, presets::make2DSwSw(),
+                              runtime::themisScfConfig());
+    TrainingLoop loop(comm, smallHybridModel());
+    comm.beginIterationEpoch();
+    loop.runIteration();
+    const auto s1 = comm.finishIterationEpoch();
+    const TimeNs t1 = queue.now();
+    comm.beginIterationEpoch();
+    EXPECT_DOUBLE_EQ(queue.now(), 0.0); // clock rebased
+    loop.runIteration();
+    const auto s2 = comm.finishIterationEpoch();
+    EXPECT_DOUBLE_EQ(t1, s1.duration);
+    EXPECT_TRUE(s2.identicalTo(s2));
+    EXPECT_GT(s1.duration, 0.0);
+    EXPECT_GT(s1.ops, 0u);
+    EXPECT_GT(s1.collectives, 0);
+}
+
+TEST(Convergence, FingerprintSeparatesDifferentWorkloads)
+{
+    sim::EventQueue queue;
+    runtime::CommRuntime comm(queue, presets::make2DSwSw(),
+                              runtime::themisScfConfig());
+    ModelGraph small = smallHybridModel();
+    ModelGraph bigger = smallHybridModel();
+    bigger.layers[1].dp_grad_bytes *= 2.0;
+    TrainingLoop loop_a(comm, small);
+    TrainingLoop loop_b(comm, bigger);
+
+    comm.beginIterationEpoch();
+    loop_a.runIteration();
+    const auto sa = comm.finishIterationEpoch();
+    comm.beginIterationEpoch();
+    loop_b.runIteration();
+    const auto sb = comm.finishIterationEpoch();
+    EXPECT_NE(sa.fingerprint, sb.fingerprint);
+    EXPECT_FALSE(sa.identicalTo(sb));
+}
+
+TEST(Convergence, BatchedAdmissionBitIdenticalToScalar)
+{
+    const ModelGraph model = smallHybridModel();
+    for (const auto& topo :
+         {presets::make2DSwSw(), presets::make3DSwSwSwHomo()}) {
+        runtime::RuntimeConfig batched = runtime::themisScfConfig();
+        runtime::RuntimeConfig scalar = batched;
+        scalar.legacy_scalar_admission = true;
+        ConvergenceOptions opts;
+        opts.iterations = 4;
+        opts.replay = false;
+        const auto rb = runModel(model, topo, opts, batched);
+        const auto rs = runModel(model, topo, opts, scalar);
+        EXPECT_TRUE(bitIdentical(rb.total, rs.total));
+        EXPECT_EQ(rb.ops, rs.ops);
+        for (std::size_t d = 0; d < rb.dim_bytes.size(); ++d)
+            EXPECT_EQ(rb.dim_bytes[d], rs.dim_bytes[d]);
+    }
+}
+
+TEST(Convergence, BatchedAdmissionMatchesScalarUnderPriorities)
+{
+    // Mixed tiers force the batched dispatcher onto the scalar
+    // fallback mid-run; results must still match the always-scalar
+    // engine bit for bit.
+    runtime::RuntimeConfig batched = runtime::themisScfConfig();
+    batched.scheduler = SchedulerKind::ThemisPriority;
+    batched.priority = PriorityPolicy::tiered(4.0);
+    runtime::RuntimeConfig scalar = batched;
+    scalar.legacy_scalar_admission = true;
+
+    auto run_two_tenant = [&](const runtime::RuntimeConfig& cfg) {
+        sim::EventQueue queue;
+        runtime::CommRuntime comm(queue, presets::make2DSwSw(), cfg);
+        std::vector<TimeNs> done;
+        for (int i = 0; i < 4; ++i) {
+            CollectiveRequest r;
+            r.type = CollectiveType::AllReduce;
+            r.size = 1.0e8;
+            r.priority_tier =
+                static_cast<int>(i % 2 == 0 ? PriorityTier::Urgent
+                                            : PriorityTier::Bulk);
+            const int id = comm.issue(r);
+            (void)id;
+        }
+        queue.run();
+        for (const auto& rec : comm.records())
+            done.push_back(rec.completed);
+        return done;
+    };
+    EXPECT_EQ(run_two_tenant(batched), run_two_tenant(scalar));
+}
+
+TEST(Convergence, EnforcedOrderRunsStayOnScalarPathAndAgree)
+{
+    runtime::RuntimeConfig batched = runtime::themisScfConfig();
+    batched.enforce_consistent_order = true;
+    runtime::RuntimeConfig scalar = batched;
+    scalar.legacy_scalar_admission = true;
+    ConvergenceOptions opts;
+    opts.iterations = 3;
+    opts.replay = false;
+    const auto rb = runModel(smallHybridModel(), presets::make2DSwSw(),
+                             opts, batched);
+    const auto rs = runModel(smallHybridModel(), presets::make2DSwSw(),
+                             opts, scalar);
+    EXPECT_TRUE(bitIdentical(rb.total, rs.total));
+}
+
+TEST(Convergence, RunWithoutEpochsStillWorksAfterEpochRun)
+{
+    // Epochs are opt-in: a plain runIteration() loop on the same
+    // runtime keeps working after an epoch run (monotonic clock, no
+    // rebasing).
+    sim::EventQueue queue;
+    runtime::CommRuntime comm(queue, presets::make2DSwSw(),
+                              runtime::themisScfConfig());
+    TrainingLoop loop(comm, smallHybridModel());
+    ConvergenceOptions opts;
+    opts.iterations = 2;
+    runConverged(comm, loop, opts);
+    const auto it1 = loop.runIteration();
+    const auto it2 = loop.runIteration();
+    EXPECT_GT(it1.total, 0.0);
+    EXPECT_GT(it2.total, 0.0);
+}
+
+} // namespace
+} // namespace themis::workload

@@ -483,5 +483,132 @@ TEST(EventQueue, CalendarCancelChurnStaysConsistent)
     EXPECT_EQ(q.pendingCount(), 0u);
 }
 
+// ---------------------------------------------------------------------
+// Calendar cohort boundaries. The initial bucket width is 100 ns, so
+// timestamps at exact multiples of 100 land precisely on a bucket
+// edge: windowOf() must place them in the *following* window, and
+// cancel/re-push churn during a same-timestamp cohort pop must not
+// corrupt the back-pointers or the firing order.
+
+TEST(EventQueue, CohortCancelExactlyOnBucketEdge)
+{
+    // The whole cohort sits on a bucket edge; the first member
+    // cancels a later same-timestamp (same-edge) event and a
+    // next-edge event mid-pop.
+    for (const auto fe : {EventFrontEnd::Calendar, EventFrontEnd::Heap}) {
+        EventQueue q(fe);
+        std::vector<int> fired;
+        EventQueue::EventId same_edge = 0, next_edge = 0;
+        q.schedule(100.0, [&] {
+            fired.push_back(1);
+            q.cancel(same_edge);
+            q.cancel(next_edge);
+        });
+        same_edge = q.schedule(100.0, [&] { fired.push_back(2); });
+        q.schedule(100.0, [&] { fired.push_back(3); });
+        next_edge = q.schedule(200.0, [&] { fired.push_back(4); });
+        q.schedule(200.0, [&] { fired.push_back(5); });
+        q.run();
+        EXPECT_EQ(fired, (std::vector<int>{1, 3, 5}))
+            << eventFrontEndName(fe);
+        EXPECT_TRUE(q.empty());
+    }
+}
+
+TEST(EventQueue, CohortRePushExactlyOnBucketEdge)
+{
+    // Mid-cohort, a handler cancels an edge event and immediately
+    // re-pushes replacements at the same edge timestamp and at the
+    // next edge — the cancel/re-push pattern of the shared channels,
+    // pinned to bucket boundaries. Replacements at the cohort's own
+    // timestamp fire after the current cohort (FIFO by scheduling
+    // order); the next-edge replacement fires at its own time.
+    auto drive = [](EventQueue& q,
+                    std::vector<std::pair<TimeNs, int>>& trace) {
+        EventQueue::EventId victim = 0;
+        q.schedule(200.0, [&] {
+            trace.emplace_back(q.now(), 1);
+            q.cancel(victim);
+            q.schedule(200.0,
+                       [&] { trace.emplace_back(q.now(), 10); });
+            q.schedule(300.0,
+                       [&] { trace.emplace_back(q.now(), 11); });
+        });
+        victim = q.schedule(200.0,
+                            [&] { trace.emplace_back(q.now(), 2); });
+        q.schedule(200.0, [&] { trace.emplace_back(q.now(), 3); });
+        q.schedule(300.0, [&] { trace.emplace_back(q.now(), 4); });
+        q.run();
+    };
+    const auto cal = traceOf(EventFrontEnd::Calendar, drive);
+    const auto heap = traceOf(EventFrontEnd::Heap, drive);
+    EXPECT_EQ(cal, heap);
+    const std::vector<std::pair<TimeNs, int>> expected{
+        {200.0, 1}, {200.0, 3}, {200.0, 10}, {300.0, 4}, {300.0, 11}};
+    EXPECT_EQ(cal, expected);
+}
+
+TEST(EventQueue, CohortCancelRePushChurnAcrossManyEdges)
+{
+    // Stress the interaction: every edge cohort cancels one of its
+    // members and re-pushes onto the same edge and onto edges the
+    // width-adaptation may have re-bucketed. Calendar and heap must
+    // produce identical traces.
+    auto drive = [](EventQueue& q,
+                    std::vector<std::pair<TimeNs, int>>& trace) {
+        std::vector<EventQueue::EventId> victims(64, 0);
+        for (int e = 1; e <= 40; ++e) {
+            const double edge = 100.0 * e;
+            q.schedule(edge, [&q, &trace, &victims, e] {
+                trace.emplace_back(q.now(), e);
+                q.cancel(victims[static_cast<std::size_t>(e % 64)]);
+                if (e % 3 == 0) {
+                    // Same-edge re-push from inside the cohort.
+                    q.scheduleAfter(0.0, [&q, &trace, e] {
+                        trace.emplace_back(q.now(), 1000 + e);
+                    });
+                }
+                // Re-push exactly two edges ahead.
+                victims[static_cast<std::size_t>((e + 2) % 64)] =
+                    q.schedule(q.now() + 200.0, [&q, &trace, e] {
+                        trace.emplace_back(q.now(), 2000 + e);
+                    });
+            });
+            q.schedule(edge, [&q, &trace, e] {
+                trace.emplace_back(q.now(), 100 + e);
+            });
+        }
+        q.run();
+    };
+    const auto cal = traceOf(EventFrontEnd::Calendar, drive);
+    const auto heap = traceOf(EventFrontEnd::Heap, drive);
+    EXPECT_EQ(cal, heap);
+    EXPECT_FALSE(cal.empty());
+}
+
+TEST(EventQueue, RebaseToZeroRestartsTheClock)
+{
+    for (const auto fe : {EventFrontEnd::Calendar, EventFrontEnd::Heap}) {
+        EventQueue q(fe);
+        std::vector<std::pair<TimeNs, int>> trace;
+        q.schedule(150.0, [&] { trace.emplace_back(q.now(), 1); });
+        const auto cancelled =
+            q.schedule(900.0, [&] { trace.emplace_back(q.now(), -1); });
+        q.cancel(cancelled);
+        q.run();
+        q.rebaseToZero();
+        EXPECT_DOUBLE_EQ(q.now(), 0.0);
+        // The rebased frame replays identically: same times, FIFO
+        // order preserved, stale pre-rebase entries inert.
+        q.schedule(150.0, [&] { trace.emplace_back(q.now(), 2); });
+        q.schedule(150.0, [&] { trace.emplace_back(q.now(), 3); });
+        q.run();
+        const std::vector<std::pair<TimeNs, int>> expected{
+            {150.0, 1}, {150.0, 2}, {150.0, 3}};
+        EXPECT_EQ(trace, expected) << eventFrontEndName(fe);
+        EXPECT_TRUE(q.empty());
+    }
+}
+
 } // namespace
 } // namespace themis::sim

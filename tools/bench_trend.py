@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Per-PR bench trend gate.
+"""Per-PR bench trend gate and cross-PR history table.
 
 Diffs the freshly produced bench_results/BENCH_*.json against the
 previous CI run's uploaded artifacts and fails (exit 1) when a tracked
@@ -11,8 +11,19 @@ Tracked metrics (higher is better):
   BENCH_e2e.json   -> cells_per_sec of the "optimized" mode (the
                       "baseline" mode measures deliberately disabled
                       optimizations, so it is reported but not gated)
+  BENCH_convergence.json -> cells_per_sec of the 20-iteration fig12
+                      convergence grid (the replay speedup — a ratio
+                      of two wall clocks — is historized and printed
+                      but too noisy to gate)
   BENCH_priority.json -> reported only (simulated-time study; its own
                       binary asserts the semantic invariants)
+
+Beyond the previous-run diff, the script maintains a per-PR history
+table: bench_results/history.csv (long format: run,metric,value). The
+previous run's history is carried forward from the --prev artifact,
+this run's metrics are appended, and the last few runs are printed as
+a pivoted table so drift across PRs — not just vs the immediately
+preceding run — is visible in CI logs.
 
 Wall-clock noise on shared CI runners is real, so the default budget
 is generous (15%); the gate exists to catch order-of-magnitude
@@ -20,15 +31,22 @@ regressions like an accidentally disabled cache, not 2% wiggle.
 
 Usage:
   bench_trend.py --prev DIR --curr DIR [--max-regression 0.15]
+                 [--run-label LABEL]
 
 Missing files (first run, renamed artifacts) are reported and
-skipped — the gate only compares metrics present on both sides.
+skipped — the gate only compares metrics present on both sides; the
+history starts fresh when no previous table exists.
 """
 
 import argparse
+import csv
 import json
 import os
 import sys
+
+HISTORY_FILE = "history.csv"
+HISTORY_MAX_RUNS = 50
+HISTORY_TABLE_RUNS = 8
 
 
 def load(path):
@@ -64,6 +82,39 @@ def e2e_metrics(doc):
     return {k: v for k, v in out.items() if isinstance(v, (int, float))}
 
 
+def convergence_metrics(doc):
+    """Convergence-grid throughput (absolute, like the other gated
+    metrics). The replay *speedup* is a ratio of two wall clocks with
+    a tens-of-ms denominator — far too noisy for a 15% gate — so it is
+    reported and historized but never gated."""
+    out = {}
+    grid = doc.get("grid", {})
+    out["convergence/grid_cells_per_sec"] = grid.get("cells_per_sec")
+    return {k: v for k, v in out.items() if isinstance(v, (int, float))}
+
+
+def convergence_info_metrics(doc):
+    """History-only convergence metrics (see convergence_metrics)."""
+    out = {}
+    t1t = doc.get("transformer_1t", {})
+    out["convergence/replay_speedup"] = t1t.get("speedup")
+    return {k: v for k, v in out.items() if isinstance(v, (int, float))}
+
+
+# Single source of truth for what the gate diffs AND what the history
+# table records — add new BENCH files here and both stay in sync.
+TRACKED = (
+    ("BENCH_core.json", core_metrics),
+    ("BENCH_e2e.json", e2e_metrics),
+    ("BENCH_convergence.json", convergence_metrics),
+)
+
+# Historized but never gated (too noisy or purely informational).
+TRACKED_INFO = (
+    ("BENCH_convergence.json", convergence_info_metrics),
+)
+
+
 def compare(name, prev_doc, curr_doc, extract, budget):
     if curr_doc is None:
         print(f"{name}: no current result; skipping")
@@ -89,6 +140,86 @@ def compare(name, prev_doc, curr_doc, extract, budget):
     return regressions
 
 
+def current_metrics(curr_dir):
+    """Every tracked metric of this run, flattened to {name: value}."""
+    out = {}
+    for fname, extract in TRACKED + TRACKED_INFO:
+        doc = load(os.path.join(curr_dir, fname))
+        if doc is not None:
+            out.update(extract(doc))
+    return out
+
+
+def load_history(path):
+    """[(run, metric, value)] rows of an existing history table."""
+    rows = []
+    try:
+        with open(path, newline="") as f:
+            for rec in csv.DictReader(f):
+                try:
+                    rows.append((rec["run"], rec["metric"],
+                                 float(rec["value"])))
+                except (KeyError, TypeError, ValueError):
+                    continue
+    except FileNotFoundError:
+        pass
+    return rows
+
+
+def update_history(prev_dir, curr_dir, run_label, metrics):
+    """Carry the history forward, append this run, print the table."""
+    if not os.path.isdir(curr_dir):
+        print(f"note: {curr_dir} does not exist; skipping history")
+        return
+    rows = load_history(os.path.join(prev_dir, HISTORY_FILE))
+    # Re-runs with the same label (e.g. a rebased PR) replace their
+    # previous entries instead of duplicating the run column.
+    rows = [r for r in rows if r[0] != run_label]
+    rows += [(run_label, metric, value)
+             for metric, value in sorted(metrics.items())]
+
+    run_order = []
+    for run, _, _ in rows:
+        if run not in run_order:
+            run_order.append(run)
+    if len(run_order) > HISTORY_MAX_RUNS:
+        keep = set(run_order[-HISTORY_MAX_RUNS:])
+        rows = [r for r in rows if r[0] in keep]
+        run_order = run_order[-HISTORY_MAX_RUNS:]
+
+    out_path = os.path.join(curr_dir, HISTORY_FILE)
+    with open(out_path, "w", newline="") as f:
+        w = csv.writer(f)
+        w.writerow(["run", "metric", "value"])
+        w.writerows(rows)
+
+    shown = run_order[-HISTORY_TABLE_RUNS:]
+    values = {(run, metric): value for run, metric, value in rows}
+    metrics_seen = sorted({m for _, m, _ in rows})
+    print(f"\nbench history ({len(run_order)} run(s) tracked, "
+          f"showing last {len(shown)}) -> {out_path}")
+    width = max((len(m) for m in metrics_seen), default=6)
+    header = "metric".ljust(width) + "".join(
+        f"  {run:>12.12}" for run in shown)
+    print(header)
+    print("-" * len(header))
+    for metric in metrics_seen:
+        cells = []
+        for run in shown:
+            v = values.get((run, metric))
+            cells.append(f"  {v:>12.1f}" if v is not None
+                         else f"  {'-':>12}")
+        print(metric.ljust(width) + "".join(cells))
+
+
+def default_run_label():
+    for env in ("GITHUB_RUN_NUMBER", "GITHUB_SHA"):
+        v = os.environ.get(env)
+        if v:
+            return f"run-{v[:10]}" if env == "GITHUB_SHA" else f"run-{v}"
+    return "local"
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--prev", required=True,
@@ -97,19 +228,18 @@ def main():
                     help="directory with this run's JSONs")
     ap.add_argument("--max-regression", type=float, default=0.15,
                     help="allowed fractional slowdown (default 0.15)")
+    ap.add_argument("--run-label", default=None,
+                    help="history row label (default: CI run number, "
+                         "short SHA, or 'local')")
     args = ap.parse_args()
 
     regressions = []
-    regressions += compare(
-        "BENCH_core",
-        load(os.path.join(args.prev, "BENCH_core.json")),
-        load(os.path.join(args.curr, "BENCH_core.json")),
-        core_metrics, args.max_regression)
-    regressions += compare(
-        "BENCH_e2e",
-        load(os.path.join(args.prev, "BENCH_e2e.json")),
-        load(os.path.join(args.curr, "BENCH_e2e.json")),
-        e2e_metrics, args.max_regression)
+    for fname, extract in TRACKED:
+        regressions += compare(
+            fname.removesuffix(".json"),
+            load(os.path.join(args.prev, fname)),
+            load(os.path.join(args.curr, fname)),
+            extract, args.max_regression)
 
     prio = load(os.path.join(args.curr, "BENCH_priority.json"))
     if prio is not None:
@@ -117,6 +247,18 @@ def main():
               f"{prio.get('hi_priority_max_gain', '?')}x, "
               f"bytes_conserved={prio.get('bytes_conserved', '?')} "
               f"(informational)")
+    conv = load(os.path.join(args.curr, "BENCH_convergence.json"))
+    if conv is not None:
+        exact = conv.get("exactness", {})
+        print(f"BENCH_convergence: exactness passed="
+              f"{exact.get('passed', '?')} "
+              f"(steady at {exact.get('steady_at', '?')}), "
+              f"replay speedup "
+              f"{conv.get('transformer_1t', {}).get('speedup', '?')}x")
+
+    update_history(args.prev, args.curr,
+                   args.run_label or default_run_label(),
+                   current_metrics(args.curr))
 
     if regressions:
         print(f"\n{len(regressions)} metric(s) regressed beyond "
