@@ -40,7 +40,31 @@
  *                         prediction bit-identical
  *     --no-replay         simulate every iteration (measurement
  *                         baseline; results identical)
- *     --jobs N            sweep worker threads [hardware concurrency]
+ *     --jobs N|SPECS      N (integer): sweep worker threads
+ *                         [hardware concurrency]. Otherwise a
+ *                         semicolon-separated multi-job cluster spec
+ *                         co-simulated on --topo's shared fabric:
+ *                           train:MODEL[,key=val...]
+ *                           infer:SIZE[,key=val...]
+ *                         keys: arrival=NS, tier=bulk|standard|urgent,
+ *                         iterations=N (train; default --iterations
+ *                         or 3), period=NS, deadline=NS, requests=N
+ *                         (infer; 0 = until training drains).
+ *                         Respects --sched/--chunks/--enforce;
+ *                         --size/--type are inert (sizes come from
+ *                         the specs). Incompatible with
+ *                         --exact/--no-replay (the convergence
+ *                         replay engine refuses free-running
+ *                         multi-job mixes) and with
+ *                         --sweep/--grid/--priority.
+ *     --tier-ratio W      cluster runs: weight ladder of the priority
+ *                         policy (tiered(W); 1 separates classes at
+ *                         unit weights) [4]
+ *     --offset-search     cluster runs: CASSINI-style phase-offset
+ *                         search — shift job start times by fractions
+ *                         of an iteration to interleave communication
+ *                         bursts; reports every candidate and runs
+ *                         the best
  *
  * Example:
  *   themis_cli --topo "Ring:4:1000x2:20,SW:8:400:1700" --size 2.5e8
@@ -48,12 +72,15 @@
  *   themis_cli --grid "2D-SW_SW;3D-SW_SW_SW_homo" --size 1e9
  *   themis_cli --priority 4 --size 5e8
  *   themis_cli --iterations 100 --model GNMT --topo 2D-SW_SW
+ *   themis_cli --jobs "train:DLRM;infer:3.2e7,period=2e5,deadline=3e5" \
+ *              --iterations 3 --tier-ratio 8
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 
+#include "cluster/cluster.hpp"
 #include "common/error.hpp"
 #include "common/string_util.hpp"
 #include "core/ideal_estimator.hpp"
@@ -83,9 +110,10 @@ usage(const char* argv0)
                  "          [--chunks N] [--sched base|fifo|scf] "
                  "[--enforce]\n"
                  "          [--sweep C1,C2,...] [--grid T1;T2;...] "
-                 "[--priority W] [--jobs N]\n"
+                 "[--priority W] [--jobs N|SPECS]\n"
                  "          [--iterations N] [--model NAME] [--exact] "
-                 "[--no-replay]\n",
+                 "[--no-replay]\n"
+                 "          [--tier-ratio W] [--offset-search]\n",
                  argv0);
     std::exit(2);
 }
@@ -139,6 +167,115 @@ parseGridList(const std::string& grid_arg)
     return out;
 }
 
+/** True when @p s is a plain non-negative integer (thread count). */
+bool
+isInteger(const std::string& s)
+{
+    return !s.empty() &&
+           s.find_first_not_of("0123456789") == std::string::npos;
+}
+
+/** Parse a tier name or digit; -1 on failure. */
+int
+parseTier(const std::string& v)
+{
+    const std::string t = toLower(v);
+    if (t == "bulk" || t == "0")
+        return static_cast<int>(PriorityTier::Bulk);
+    if (t == "standard" || t == "1")
+        return static_cast<int>(PriorityTier::Standard);
+    if (t == "urgent" || t == "2")
+        return static_cast<int>(PriorityTier::Urgent);
+    return -1;
+}
+
+/**
+ * Parse one --jobs cluster spec list; see the usage comment for the
+ * grammar. Malformed entries are rejected with an entry/key
+ * diagnostic rather than silently skipped.
+ */
+std::vector<cluster::JobSpec>
+parseJobSpecs(const std::string& arg, int default_iterations)
+{
+    std::vector<cluster::JobSpec> specs;
+    std::size_t entry = 0;
+    for (const std::string& tok : split(arg, ';')) {
+        ++entry;
+        const std::vector<std::string> fields = split(tok, ',');
+        if (fields.empty() || fields.front().empty())
+            THEMIS_FATAL("--jobs entry " << entry << " is empty");
+        const std::string& head = fields.front();
+        const std::size_t colon = head.find(':');
+        if (colon == std::string::npos)
+            THEMIS_FATAL("--jobs entry " << entry << " ('" << head
+                                         << "'): expected "
+                                            "train:MODEL or "
+                                            "infer:SIZE");
+        const std::string kind = toLower(head.substr(0, colon));
+        const std::string head_arg = head.substr(colon + 1);
+        cluster::JobSpec spec;
+        if (kind == "train") {
+            spec = cluster::JobSpec::training(
+                models::byName(head_arg), default_iterations);
+        } else if (kind == "infer") {
+            const Bytes size = std::atof(head_arg.c_str());
+            if (size <= 0.0)
+                THEMIS_FATAL("--jobs entry "
+                             << entry << ": bad request size '"
+                             << head_arg << "'");
+            // Period defaults are overridden below; validate() then
+            // enforces a positive period was supplied.
+            spec = cluster::JobSpec::periodicInference(size, 0.0);
+        } else {
+            THEMIS_FATAL("--jobs entry " << entry << ": unknown job "
+                                         "kind '"
+                                         << kind
+                                         << "' (train or infer)");
+        }
+        for (std::size_t f = 1; f < fields.size(); ++f) {
+            const std::size_t eq = fields[f].find('=');
+            if (eq == std::string::npos)
+                THEMIS_FATAL("--jobs entry "
+                             << entry << ": field '" << fields[f]
+                             << "' is not key=value");
+            const std::string key = toLower(fields[f].substr(0, eq));
+            const std::string val = fields[f].substr(eq + 1);
+            if (key == "arrival") {
+                spec.arrival = std::atof(val.c_str());
+            } else if (key == "tier") {
+                spec.priority_tier = parseTier(val);
+                if (spec.priority_tier < 0)
+                    THEMIS_FATAL("--jobs entry "
+                                 << entry << ": bad tier '" << val
+                                 << "' (bulk|standard|urgent)");
+            } else if (key == "iterations" &&
+                       kind == "train") {
+                spec.iterations = std::atoi(val.c_str());
+            } else if (key == "period" && kind == "infer") {
+                spec.period = std::atof(val.c_str());
+            } else if (key == "deadline" && kind == "infer") {
+                spec.deadline = std::atof(val.c_str());
+            } else if (key == "requests" && kind == "infer") {
+                spec.max_requests = std::atoi(val.c_str());
+            } else {
+                THEMIS_FATAL("--jobs entry "
+                             << entry << ": unknown key '" << key
+                             << "' for a " << kind << " job");
+            }
+        }
+        if (spec.kind == cluster::JobKind::PeriodicInference &&
+            spec.period <= 0.0)
+            THEMIS_FATAL("--jobs entry "
+                         << entry
+                         << ": infer jobs need period=NS (> 0)");
+        spec.validate();
+        specs.push_back(std::move(spec));
+    }
+    if (specs.empty())
+        THEMIS_FATAL("--jobs spec '" << arg << "' names no jobs");
+    return specs;
+}
+
 /** One scheduler column of the --sweep/--grid tables. */
 struct SchedulerSetup
 {
@@ -169,7 +306,10 @@ main(int argc, char** argv)
     std::string trace_path;
     std::string sweep_arg;
     std::string grid_arg;
+    std::string jobs_arg;
     double priority_ratio = 0.0;
+    double tier_ratio = 4.0;
+    bool offset_search = false;
     int jobs = 0;
     int iterations = 0;
     std::string model_arg = "Transformer-1T";
@@ -208,7 +348,19 @@ main(int argc, char** argv)
             if (priority_ratio < 1.0)
                 usage(argv[0]);
         } else if (flag == "--jobs") {
-            jobs = std::atoi(need_value().c_str());
+            // An integer keeps the historical meaning (sweep worker
+            // threads); anything else is a multi-job cluster spec.
+            const std::string v = need_value();
+            if (isInteger(v))
+                jobs = std::atoi(v.c_str());
+            else
+                jobs_arg = v;
+        } else if (flag == "--tier-ratio") {
+            tier_ratio = std::atof(need_value().c_str());
+            if (tier_ratio < 1.0)
+                usage(argv[0]);
+        } else if (flag == "--offset-search") {
+            offset_search = true;
         } else if (flag == "--iterations") {
             iterations = std::atoi(need_value().c_str());
             if (iterations < 1)
@@ -251,6 +403,140 @@ main(int argc, char** argv)
         else
             usage(argv[0]);
         cfg.enforce_consistent_order = enforce;
+
+        if (!jobs_arg.empty()) {
+            // Multi-job cluster co-simulation on one shared fabric.
+            //
+            // Flag validation first: the convergence replay flags
+            // drive the *single-workload* steady-state engine, and a
+            // free-running multi-job mix refuses replay by design —
+            // reject the combination loudly instead of silently
+            // ignoring one side.
+            if (exactness || no_replay) {
+                THEMIS_FATAL(
+                    (exactness ? "--exact" : "--no-replay")
+                    << " drives the single-workload convergence "
+                       "replay engine; a --jobs multi-job mix is "
+                       "free-running and refuses replay. Drop "
+                    << (exactness ? "--exact" : "--no-replay")
+                    << ", or run a single workload via --iterations "
+                       "with --model");
+            }
+            if (!sweep_arg.empty() || !grid_arg.empty()) {
+                THEMIS_FATAL(
+                    "--jobs cluster specs cannot combine with "
+                    "--sweep/--grid (one fabric, one co-simulation); "
+                    "pass an integer --jobs N to set sweep worker "
+                    "threads instead");
+            }
+            if (priority_ratio >= 1.0) {
+                THEMIS_FATAL(
+                    "--priority is the two-tenant contention demo; "
+                    "cluster runs take --tier-ratio for the weight "
+                    "ladder instead");
+            }
+            const int cluster_iters = iterations >= 1 ? iterations : 3;
+            std::vector<cluster::JobSpec> specs =
+                parseJobSpecs(jobs_arg, cluster_iters);
+
+            // --sched and --chunks apply to the cluster run too (the
+            // Themis scheduler upgrades to its priority-aware variant
+            // when a weight ladder is in play); --size/--type describe
+            // the single-collective mode and are inert here.
+            runtime::RuntimeConfig ccfg = cfg;
+            if (ccfg.scheduler == SchedulerKind::Themis &&
+                tier_ratio > 1.0)
+                ccfg.scheduler = SchedulerKind::ThemisPriority;
+            ccfg.priority = PriorityPolicy::tiered(tier_ratio);
+            ccfg.default_chunks = chunks;
+            PlanCache cache;
+            ccfg.plan_cache = &cache;
+
+            std::printf("%s", topo.describe().c_str());
+            std::printf("\n%zu-job cluster co-simulation (%s, policy "
+                        "%s):\n\n",
+                        specs.size(),
+                        schedulerKindName(ccfg.scheduler).c_str(),
+                        ccfg.priority.describe().c_str());
+
+            cluster::JobScheduler sched(specs);
+            if (offset_search) {
+                cluster::OffsetSearchOptions sopts;
+                sopts.threads = jobs;
+                const auto res = cluster::searchPhaseOffsets(
+                    topo, ccfg, specs, sopts);
+                stats::TextTable t(
+                    {"Phase fraction", "Aggregate iter time"});
+                for (std::size_t i = 0; i < res.candidates.size();
+                     ++i) {
+                    t.addRow({fmtDouble(
+                                  static_cast<double>(i) /
+                                      res.candidates.size(),
+                                  3),
+                              fmtTime(res.candidates[i].metric)});
+                }
+                std::printf("%s", t.render().c_str());
+                std::printf("\n  offset search: zero-offset %s -> "
+                            "best %s (base period %s)\n\n",
+                            fmtTime(res.zero_metric).c_str(),
+                            fmtTime(res.best.metric).c_str(),
+                            fmtTime(res.base_period).c_str());
+                sched = cluster::JobScheduler(specs);
+                sched.shiftArrivals(res.best.offsets);
+            }
+
+            sim::EventQueue queue;
+            cluster::Cluster cl(queue, topo, ccfg, std::move(sched));
+            const auto elig = cl.replayEligibility();
+            const auto rep = cl.run();
+
+            std::vector<stats::JobUsageRow> rows;
+            for (const auto& j : rep.jobs) {
+                stats::JobUsageRow row;
+                row.name = j.name;
+                row.kind = cluster::jobKindName(j.kind);
+                row.arrival = j.arrival;
+                row.jct = j.jct();
+                row.units = j.kind == cluster::JobKind::Training
+                                ? j.iterations
+                                : j.requests_completed;
+                row.mean_unit =
+                    j.kind == cluster::JobKind::Training
+                        ? j.mean_iteration
+                        : j.mean_latency;
+                row.exposed_share = j.exposed_share;
+                row.deadline_hit_rate = j.deadline_hit_rate;
+                row.progressed = j.progressed;
+                row.utilization = j.utilization;
+                rows.push_back(row);
+            }
+            std::printf("%s", stats::renderJobTable(rows).c_str());
+            std::vector<stats::ClassUsageRow> crows;
+            for (const auto& c : rep.classes) {
+                if (c.issued == 0 && c.progressed <= 0.0)
+                    continue;
+                stats::ClassUsageRow row;
+                row.name = priorityTierName(c.tier);
+                row.weight = c.weight;
+                row.collectives = c.completed;
+                row.mean_duration = c.mean_duration;
+                row.progressed = c.progressed;
+                row.utilization = c.utilization;
+                crows.push_back(row);
+            }
+            std::printf("\n%s", stats::renderClassTable(crows).c_str());
+            std::printf("\n  makespan      : %s\n",
+                        fmtTime(rep.makespan).c_str());
+            std::printf("  fabric util   : %s\n",
+                        fmtPercent(rep.fabric_utilization).c_str());
+            std::printf("  bytes moved   : %s\n",
+                        fmtBytes(rep.total_bytes).c_str());
+            std::printf("  replay        : %s\n",
+                        elig.eligible
+                            ? "eligible (lockstep training mix)"
+                            : elig.reason.c_str());
+            return 0;
+        }
 
         if (iterations >= 1) {
             // Multi-iteration convergence run: train --model on

@@ -1,0 +1,287 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace themis::cluster {
+
+/** One training tenant: a loop plus its remaining-iteration budget. */
+struct Cluster::TrainingJob
+{
+    std::size_t job;
+    workload::TrainingLoop loop;
+    int remaining;
+
+    TrainingJob(std::size_t job_id, runtime::CommRuntime& comm,
+                const JobSpec& spec)
+        : job(job_id), loop(comm, spec.model, spec.roofline),
+          remaining(spec.iterations)
+    {
+        loop.setJob(static_cast<int>(job_id));
+        if (spec.priority_tier >= 0)
+            loop.setTierOverride(spec.priority_tier);
+    }
+};
+
+/** One periodic-inference tenant: open-loop request stream state. */
+struct Cluster::PeriodicJob
+{
+    std::size_t job = 0;
+    int issued = 0;
+    int completed = 0;
+    int outstanding = 0;
+    int hits = 0;
+    int misses = 0;
+    TimeNs latency_sum = 0.0;
+    TimeNs last_completion = -1.0;
+    sim::EventQueue::EventId next_timer = 0;
+    /** Pending arrival event; cleared at first issue, cancelled when
+     *  the cluster drains before the job ever arrives. */
+    sim::EventQueue::EventId arrival_event = 0;
+    /** No further requests will be issued (drain or count reached). */
+    bool stopped = false;
+};
+
+Cluster::Cluster(sim::EventQueue& queue, Topology topo,
+                 runtime::RuntimeConfig config, JobScheduler sched)
+    : queue_(queue), sched_(std::move(sched))
+{
+    comm_ = std::make_unique<runtime::CommRuntime>(
+        queue_, std::move(topo), config);
+    const auto& specs = sched_.specs();
+    for (std::size_t j = 0; j < specs.size(); ++j) {
+        const JobSpec& spec = specs[j];
+        JobStats st;
+        st.job = static_cast<int>(j);
+        st.name = spec.label();
+        st.kind = spec.kind;
+        st.arrival = spec.arrival;
+        stats_.push_back(std::move(st));
+        if (spec.kind == JobKind::Training) {
+            training_.push_back(
+                std::make_unique<TrainingJob>(j, *comm_, spec));
+            ++training_remaining_;
+        } else {
+            auto pj = std::make_unique<PeriodicJob>();
+            pj->job = j;
+            periodic_.push_back(std::move(pj));
+        }
+    }
+}
+
+Cluster::Cluster(sim::EventQueue& queue, Topology topo,
+                 runtime::RuntimeConfig config,
+                 std::vector<JobSpec> specs)
+    : Cluster(queue, std::move(topo), config,
+              JobScheduler(std::move(specs)))
+{}
+
+Cluster::~Cluster() = default;
+
+ClusterReport
+Cluster::run()
+{
+    THEMIS_ASSERT(!used_,
+                  "a Cluster simulates once; construct a new one");
+    used_ = true;
+    if (training_remaining_ == 0)
+        draining_ = true; // pure periodic mix: counts bound the run
+    for (std::size_t i = 0; i < training_.size(); ++i) {
+        const JobSpec& spec = sched_.specs()[training_[i]->job];
+        queue_.scheduleAfter(spec.arrival,
+                             [this, i] { startTrainingJob(i); });
+    }
+    for (std::size_t i = 0; i < periodic_.size(); ++i) {
+        const JobSpec& spec = sched_.specs()[periodic_[i]->job];
+        periodic_[i]->arrival_event = queue_.scheduleAfter(
+            spec.arrival, [this, i] { issueRequest(i); });
+    }
+    queue_.run();
+    comm_->finalizeStats();
+    return buildReport();
+}
+
+void
+Cluster::startTrainingJob(std::size_t idx)
+{
+    TrainingJob& tj = *training_[idx];
+    tj.loop.beginIterationAsync(
+        [this, idx](const workload::IterationBreakdown& b) {
+            TrainingJob& tj = *training_[idx];
+            JobStats& st = stats_[tj.job];
+            ++st.iterations;
+            st.totals += b;
+            if (--tj.remaining > 0) {
+                startTrainingJob(idx);
+                return;
+            }
+            st.finished = queue_.now();
+            onTrainingJobFinished(idx);
+        });
+}
+
+void
+Cluster::onTrainingJobFinished(std::size_t idx)
+{
+    (void)idx;
+    THEMIS_ASSERT(training_remaining_ > 0,
+                  "training job finished twice");
+    if (--training_remaining_ == 0)
+        beginDrain();
+}
+
+void
+Cluster::beginDrain()
+{
+    draining_ = true;
+    // Open-ended periodic streams stop issuing the moment the last
+    // training job completes; in-flight requests drain normally.
+    // Bounded streams (max_requests > 0) keep running to their count.
+    for (std::size_t i = 0; i < periodic_.size(); ++i) {
+        PeriodicJob& pj = *periodic_[i];
+        const JobSpec& spec = sched_.specs()[pj.job];
+        if (spec.max_requests > 0 || pj.stopped)
+            continue;
+        pj.stopped = true;
+        if (pj.next_timer != 0) {
+            queue_.cancel(pj.next_timer);
+            pj.next_timer = 0;
+        }
+        JobStats& st = stats_[pj.job];
+        if (pj.arrival_event != 0) {
+            // The stream never arrived: cancel the pending arrival so
+            // it cannot stretch the makespan, and close the job with
+            // zero work (finished == arrival, JCT 0) rather than a
+            // negative JCT.
+            queue_.cancel(pj.arrival_event);
+            pj.arrival_event = 0;
+            st.finished = st.arrival;
+            continue;
+        }
+        if (pj.outstanding == 0 && st.finished < 0.0)
+            st.finished =
+                pj.completed > 0 ? pj.last_completion : queue_.now();
+    }
+}
+
+void
+Cluster::issueRequest(std::size_t idx)
+{
+    PeriodicJob& pj = *periodic_[idx];
+    pj.next_timer = 0;
+    pj.arrival_event = 0; // the job has arrived
+    const JobSpec& spec = sched_.specs()[pj.job];
+    if (pj.stopped)
+        return;
+    ++pj.issued;
+    ++pj.outstanding;
+    CollectiveRequest req;
+    req.type = spec.request_type;
+    req.size = spec.request_size;
+    req.chunks = 0; // runtime default CPC
+    req.priority_tier = JobScheduler::effectiveTier(spec);
+    req.job = static_cast<int>(pj.job);
+    const TimeNs issued_at = queue_.now();
+    comm_->issue(req, [this, idx, issued_at] {
+        PeriodicJob& pj = *periodic_[idx];
+        const JobSpec& spec = sched_.specs()[pj.job];
+        --pj.outstanding;
+        ++pj.completed;
+        pj.last_completion = queue_.now();
+        const TimeNs latency = queue_.now() - issued_at;
+        pj.latency_sum += latency;
+        if (spec.deadline > 0.0) {
+            if (latency <= spec.deadline)
+                ++pj.hits;
+            else
+                ++pj.misses;
+        }
+        if (pj.stopped && pj.outstanding == 0) {
+            JobStats& st = stats_[pj.job];
+            if (st.finished < 0.0)
+                st.finished = queue_.now();
+        }
+    });
+    if (spec.max_requests > 0 && pj.issued >= spec.max_requests) {
+        pj.stopped = true;
+        return;
+    }
+    pj.next_timer = queue_.scheduleAfter(
+        spec.period, [this, idx] { issueRequest(idx); });
+}
+
+ClusterReport
+Cluster::buildReport()
+{
+    ClusterReport rep;
+    rep.makespan = queue_.now();
+    rep.fabric_utilization =
+        comm_->utilization().weightedUtilization();
+    for (int d = 0; d < comm_->topology().numDims(); ++d) {
+        comm_->engine(d).channel().sync();
+        rep.total_bytes +=
+            comm_->engine(d).channel().progressedBytes();
+    }
+    const auto wire = comm_->jobReports();
+    for (JobStats& st : stats_) {
+        if (static_cast<std::size_t>(st.job) < wire.size()) {
+            const auto& w = wire[static_cast<std::size_t>(st.job)];
+            st.progressed = w.progressed;
+            st.utilization = w.utilization;
+            st.collectives_issued = w.issued;
+            st.collectives_completed = w.completed;
+        }
+        if (st.kind == JobKind::Training) {
+            if (st.iterations > 0)
+                st.mean_iteration =
+                    st.totals.total / st.iterations;
+            if (st.totals.total > 0.0)
+                st.exposed_share =
+                    (st.totals.exposed_mp + st.totals.exposed_dp) /
+                    st.totals.total;
+        } else {
+            const PeriodicJob* pj = nullptr;
+            for (const auto& p : periodic_)
+                if (static_cast<int>(p->job) == st.job)
+                    pj = p.get();
+            THEMIS_ASSERT(pj != nullptr, "periodic job state missing");
+            st.requests_issued = pj->issued;
+            st.requests_completed = pj->completed;
+            if (pj->completed > 0)
+                st.mean_latency = pj->latency_sum / pj->completed;
+            st.deadline_hits = pj->hits;
+            st.deadline_misses = pj->misses;
+            const int judged = pj->hits + pj->misses;
+            if (judged > 0)
+                st.deadline_hit_rate =
+                    static_cast<double>(pj->hits) / judged;
+        }
+    }
+    rep.jobs = stats_;
+    rep.classes = comm_->classReports();
+    return rep;
+}
+
+workload::ConvergenceReport
+Cluster::runConverged(const workload::ConvergenceOptions& opts)
+{
+    THEMIS_ASSERT(!used_,
+                  "a Cluster simulates once; construct a new one");
+    const auto elig = replayEligibility();
+    if (!elig.eligible) {
+        logWarn("cluster convergence run refused: ", elig.reason);
+        THEMIS_FATAL("cluster convergence run refused: "
+                     << elig.reason);
+    }
+    used_ = true;
+    std::vector<workload::TrainingLoop*> loops;
+    loops.reserve(training_.size());
+    for (const auto& tj : training_)
+        loops.push_back(&tj->loop);
+    return workload::runConverged(*comm_, loops, opts);
+}
+
+} // namespace themis::cluster

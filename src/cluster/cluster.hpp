@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Multi-job cluster co-simulation: many tenants, one shared fabric.
+ *
+ * Themis (and PRs 1-4) schedule one job's collectives across a
+ * heterogeneous topology; production clusters run *many* jobs on the
+ * same fabric — the setting CASSINI (network-aware interleaving of
+ * competing jobs) and Metronome (deadline-aware periodic traffic with
+ * priority tiers) study. The Cluster owns one CommRuntime (one
+ * topology, one shared event queue) and a set of jobs from the
+ * JobScheduler: training loops stepping asynchronously and periodic
+ * inference streams firing open-loop, all contending for the same
+ * dimension engines and weighted-GPS channels. Per-job identity is a
+ * first-class runtime attribute (CollectiveRequest::job ->
+ * FlowClass::job -> channel accounting class), so the report can
+ * assert byte conservation per tenant and split fabric utilization
+ * by job, not just by priority class.
+ *
+ * Lifecycle: construct with a queue, topology, runtime config and
+ * specs; call run() exactly once (free-running co-simulation), or —
+ * for mixes the JobScheduler deems eligible — runConverged() to drive
+ * the jobs in lockstep rounds through the steady-state replay engine.
+ */
+
+#ifndef THEMIS_CLUSTER_CLUSTER_HPP
+#define THEMIS_CLUSTER_CLUSTER_HPP
+
+#include <memory>
+#include <vector>
+
+#include "cluster/job.hpp"
+#include "cluster/job_scheduler.hpp"
+#include "runtime/comm_runtime.hpp"
+#include "sim/event_queue.hpp"
+#include "workload/convergence.hpp"
+
+namespace themis::cluster {
+
+/** Outcome of one cluster co-simulation. */
+struct ClusterReport
+{
+    /** Simulated time the last job (and its traffic) finished. */
+    TimeNs makespan = 0.0;
+
+    /** Fig-4-definition utilization over the whole run. */
+    double fabric_utilization = 0.0;
+
+    /** Total bytes progressed across every dimension. */
+    Bytes total_bytes = 0.0;
+
+    /** Per-job outcomes, in job-id order. */
+    std::vector<JobStats> jobs;
+
+    /** Per-priority-class usage (aggregated over jobs). */
+    std::vector<runtime::CommRuntime::ClassReport> classes;
+};
+
+/** Co-simulates a job mix on one fabric; see file comment. */
+class Cluster
+{
+  public:
+    /**
+     * @param queue  shared event queue (must outlive the cluster)
+     * @param topo   the fabric every job contends for
+     * @param config runtime configuration (scheduler, PriorityPolicy
+     *               mapping the jobs' tiers to flow classes, plan
+     *               cache, ...)
+     * @param sched  validated job mix
+     */
+    Cluster(sim::EventQueue& queue, Topology topo,
+            runtime::RuntimeConfig config, JobScheduler sched);
+
+    /** Convenience: wraps the specs in a JobScheduler. */
+    Cluster(sim::EventQueue& queue, Topology topo,
+            runtime::RuntimeConfig config, std::vector<JobSpec> specs);
+
+    Cluster(const Cluster&) = delete;
+    Cluster& operator=(const Cluster&) = delete;
+    ~Cluster();
+
+    /**
+     * Free-running co-simulation: every job starts at its arrival
+     * time and progresses on the shared queue until training jobs
+     * complete their iterations and periodic jobs drain. Call once.
+     */
+    ClusterReport run();
+
+    /**
+     * Lockstep convergence run through the steady-state replay
+     * engine (workload::runConverged over all training loops).
+     * Requires replayEligibility().eligible — throws ConfigError
+     * with the refusal reason otherwise (e.g. periodic jobs whose
+     * co-prime periods never reach a common steady state). Call once,
+     * instead of run(). @p opts.iterations overrides the specs'
+     * per-job iteration counts (they are required to be equal).
+     */
+    workload::ConvergenceReport
+    runConverged(const workload::ConvergenceOptions& opts);
+
+    /** Replay verdict for this mix (see JobScheduler). */
+    JobScheduler::ReplayEligibility replayEligibility() const
+    {
+        return sched_.replayEligibility();
+    }
+
+    /** The job mix. */
+    const JobScheduler& scheduler() const { return sched_; }
+
+    /** The shared runtime (stats/diagnostics). */
+    runtime::CommRuntime& runtime() { return *comm_; }
+
+  private:
+    struct TrainingJob;
+    struct PeriodicJob;
+
+    void startTrainingJob(std::size_t idx);
+    void issueRequest(std::size_t idx);
+    void onTrainingJobFinished(std::size_t idx);
+    /** Stop open-ended periodic streams once training is done. */
+    void beginDrain();
+    ClusterReport buildReport();
+
+    sim::EventQueue& queue_;
+    JobScheduler sched_;
+    std::unique_ptr<runtime::CommRuntime> comm_;
+    std::vector<std::unique_ptr<TrainingJob>> training_;
+    std::vector<std::unique_ptr<PeriodicJob>> periodic_;
+    std::vector<JobStats> stats_;
+    int training_remaining_ = 0;
+    bool draining_ = false;
+    bool used_ = false;
+};
+
+} // namespace themis::cluster
+
+#endif // THEMIS_CLUSTER_CLUSTER_HPP

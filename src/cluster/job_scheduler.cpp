@@ -1,0 +1,247 @@
+#include "cluster/job_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "cluster/cluster.hpp"
+#include "common/error.hpp"
+#include "sim/sweep_runner.hpp"
+
+namespace themis::cluster {
+
+namespace {
+
+/**
+ * Hyper-period bound: a periodic mix whose least common multiple of
+ * periods exceeds this many multiples of the shortest period is
+ * treated as never reaching a common steady state (co-prime periods
+ * in the limit).
+ */
+constexpr std::int64_t kMaxHyperPeriodRounds = 64;
+
+std::int64_t
+gcd64(std::int64_t a, std::int64_t b)
+{
+    while (b != 0) {
+        const std::int64_t t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+} // namespace
+
+JobScheduler::JobScheduler(std::vector<JobSpec> specs)
+    : specs_(std::move(specs))
+{
+    if (specs_.empty())
+        THEMIS_FATAL("cluster job mix is empty");
+    if (static_cast<int>(specs_.size()) >
+        runtime::kMaxJobsPerRuntime) {
+        THEMIS_FATAL("cluster job mix has "
+                     << specs_.size() << " jobs; the runtime's per-job "
+                     << "accounting supports at most "
+                     << runtime::kMaxJobsPerRuntime);
+    }
+    for (const JobSpec& spec : specs_) {
+        spec.validate();
+        if (spec.kind == JobKind::Training)
+            ++training_jobs_;
+    }
+    for (const JobSpec& spec : specs_) {
+        if (spec.kind == JobKind::PeriodicInference &&
+            spec.max_requests == 0 && training_jobs_ == 0) {
+            THEMIS_FATAL(
+                "periodic job '"
+                << spec.label()
+                << "' is open-ended (max_requests = 0) but the mix has "
+                   "no training job to bound the run; set "
+                   "max_requests");
+        }
+    }
+}
+
+int
+JobScheduler::effectiveTier(const JobSpec& spec)
+{
+    if (spec.priority_tier >= 0)
+        return spec.priority_tier;
+    return spec.kind == JobKind::PeriodicInference
+               ? static_cast<int>(PriorityTier::Urgent)
+               : -1; // training: per-domain defaults
+}
+
+void
+JobScheduler::shiftArrivals(const std::vector<TimeNs>& offsets)
+{
+    THEMIS_ASSERT(offsets.size() == specs_.size(),
+                  "offset vector rank " << offsets.size()
+                                        << " != job count "
+                                        << specs_.size());
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        THEMIS_ASSERT(offsets[i] >= 0.0,
+                      "negative arrival offset " << offsets[i]);
+        specs_[i].arrival += offsets[i];
+    }
+}
+
+JobScheduler::ReplayEligibility
+JobScheduler::replayEligibility() const
+{
+    ReplayEligibility out;
+
+    // Periodic jobs: their cadence is absolute time, not iteration
+    // rounds, so they cannot join a lockstep epoch. Distinguish the
+    // fundamentally hopeless case (co-prime periods — no common
+    // steady state exists) from the merely unimplemented one.
+    std::vector<std::int64_t> periods;
+    for (const JobSpec& spec : specs_)
+        if (spec.kind == JobKind::PeriodicInference)
+            periods.push_back(std::max<std::int64_t>(
+                1, std::llround(spec.period)));
+    if (periods.size() >= 2) {
+        std::int64_t lcm = periods.front();
+        const std::int64_t min_period =
+            *std::min_element(periods.begin(), periods.end());
+        bool unbounded = false;
+        for (std::size_t i = 1; i < periods.size() && !unbounded;
+             ++i) {
+            const std::int64_t g = gcd64(lcm, periods[i]);
+            // lcm := lcm * p / g, with an early bail before overflow
+            // (past the bound the exact value no longer matters).
+            const std::int64_t factor = periods[i] / g;
+            if (lcm > kMaxHyperPeriodRounds * min_period / factor)
+                unbounded = true;
+            else
+                lcm *= factor;
+        }
+        if (unbounded || lcm / min_period > kMaxHyperPeriodRounds) {
+            std::ostringstream oss;
+            oss << "periodic jobs have co-prime (or nearly co-prime) "
+                   "periods: their hyper-period exceeds "
+                << kMaxHyperPeriodRounds
+                << "x the shortest period, so the mix never reaches a "
+                   "common steady state; convergence replay refused";
+            out.reason = oss.str();
+            return out;
+        }
+    }
+    if (!periods.empty()) {
+        out.reason =
+            "periodic-inference cadence is clocked in absolute time, "
+            "not iteration rounds; a common quiescent point with the "
+            "training iterations is not guaranteed, so the mix is "
+            "simulated in full (convergence replay refused)";
+        return out;
+    }
+
+    // Training-only: lockstep rounds need a common start and a common
+    // horizon.
+    const int iters = specs_.front().iterations;
+    for (const JobSpec& spec : specs_) {
+        if (spec.arrival != 0.0) {
+            out.reason =
+                "job '" + spec.label() +
+                "' arrives at a non-zero offset; lockstep rounds need "
+                "a common start (convergence replay refused)";
+            return out;
+        }
+        if (spec.iterations != iters) {
+            out.reason =
+                "training jobs disagree on iteration counts; lockstep "
+                "rounds need a common horizon (convergence replay "
+                "refused)";
+            return out;
+        }
+    }
+    out.eligible = true;
+    return out;
+}
+
+OffsetSearchResult
+searchPhaseOffsets(const Topology& topo,
+                   const runtime::RuntimeConfig& config,
+                   const std::vector<JobSpec>& specs,
+                   const OffsetSearchOptions& options)
+{
+    THEMIS_ASSERT(options.steps >= 1, "need at least one candidate");
+    THEMIS_ASSERT(options.iterations >= 1,
+                  "need at least one iteration per candidate");
+    // Validate the mix up front (and reuse the scheduler's checks).
+    JobScheduler base(specs);
+
+    // Reference period: the first training job's solo iteration time.
+    std::size_t t0 = specs.size();
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (specs[i].kind == JobKind::Training) {
+            t0 = i;
+            break;
+        }
+    }
+    if (t0 == specs.size())
+        THEMIS_FATAL("phase-offset search needs at least one training "
+                     "job (periodic cadences are fixed by spec)");
+    TimeNs base_period = 0.0;
+    {
+        sim::EventQueue queue;
+        runtime::CommRuntime comm(queue, topo, config);
+        workload::TrainingLoop loop(comm, specs[t0].model,
+                                    specs[t0].roofline);
+        base_period = loop.runIteration().total;
+    }
+    THEMIS_ASSERT(base_period > 0.0, "solo iteration took no time");
+
+    // Candidates simulate a short horizon (options.iterations per
+    // training job): the searched quantity is the steady interleaving
+    // pattern, which shows after a couple of iterations.
+    std::vector<JobSpec> eval_specs = specs;
+    for (JobSpec& spec : eval_specs)
+        if (spec.kind == JobKind::Training)
+            spec.iterations = options.iterations;
+
+    const std::size_t n = specs.size();
+    std::vector<std::vector<TimeNs>> offset_vectors;
+    for (int f = 0; f < options.steps; ++f) {
+        std::vector<TimeNs> offsets(n, 0.0);
+        const double frac =
+            static_cast<double>(f) / options.steps;
+        for (std::size_t k = 0; k < n; ++k)
+            offsets[k] = static_cast<double>(k) * frac * base_period;
+        offset_vectors.push_back(std::move(offsets));
+    }
+
+    const auto metrics = sim::sweepIndexed(
+        offset_vectors.size(),
+        [&](std::size_t i, sim::EventQueue& queue) {
+            JobScheduler sched(eval_specs);
+            sched.shiftArrivals(offset_vectors[i]);
+            Cluster cell(queue, topo, config, std::move(sched));
+            const ClusterReport rep = cell.run();
+            double metric = 0.0;
+            bool any_training = false;
+            for (const JobStats& js : rep.jobs) {
+                if (js.kind != JobKind::Training)
+                    continue;
+                any_training = true;
+                metric += js.mean_iteration;
+            }
+            return any_training ? metric : rep.makespan;
+        },
+        sim::SweepOptions{options.threads});
+
+    OffsetSearchResult out;
+    out.base_period = base_period;
+    out.zero_metric = metrics.front();
+    for (std::size_t i = 0; i < offset_vectors.size(); ++i) {
+        out.candidates.push_back(
+            OffsetCandidate{offset_vectors[i], metrics[i]});
+        if (i == 0 || metrics[i] < out.best.metric)
+            out.best = out.candidates.back();
+    }
+    return out;
+}
+
+} // namespace themis::cluster

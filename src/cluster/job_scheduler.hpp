@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Cluster job admission and placement-in-time.
+ *
+ * The JobScheduler owns the static side of a cluster run: it
+ * validates the job mix, assigns contiguous job ids, resolves each
+ * job's whole-job priority tier (the runtime's PriorityPolicy then
+ * maps tiers to wire-level FlowClasses), and decides *when* each job
+ * starts. Arrival times come from the specs; on top of that the
+ * scheduler offers a CASSINI-style *phase-offset search*: because
+ * training traffic is bursty (compute phases alternate with
+ * communication bursts), shifting one job's start time by a fraction
+ * of an iteration can interleave the jobs' bursts instead of
+ * colliding them — the same total traffic finishes sooner with no
+ * priority knob at all. The search simulates candidate offset
+ * vectors as independent cells across the SweepRunner's workers and
+ * picks the best aggregate iteration time.
+ *
+ * It also answers *replay eligibility*: whether a mix can use the
+ * steady-state convergence replay engine. Lockstep rounds require
+ * every tenant to quiesce at common iteration boundaries; periodic
+ * jobs with their own cadence — co-prime periods in particular —
+ * never reach a common steady state, so the scheduler refuses replay
+ * for such mixes with a concrete reason instead of silently
+ * integrating a fingerprint that cannot repeat.
+ */
+
+#ifndef THEMIS_CLUSTER_JOB_SCHEDULER_HPP
+#define THEMIS_CLUSTER_JOB_SCHEDULER_HPP
+
+#include <string>
+#include <vector>
+
+#include "cluster/job.hpp"
+#include "runtime/comm_runtime.hpp"
+#include "topology/topology.hpp"
+
+namespace themis::cluster {
+
+/** Validates and time-places a job mix; see file comment. */
+class JobScheduler
+{
+  public:
+    /** Verdict on steady-state convergence replay for a job mix. */
+    struct ReplayEligibility
+    {
+        bool eligible = false;
+
+        /** Human-readable refusal reason when not eligible. */
+        std::string reason;
+    };
+
+    /**
+     * @param specs one entry per job; ids are assigned by position.
+     * Throws ConfigError on an ill-formed mix (bad specs, open-ended
+     * periodic jobs without any training job to bound them, more jobs
+     * than the runtime's accounting supports).
+     */
+    explicit JobScheduler(std::vector<JobSpec> specs);
+
+    /** The validated specs, in job-id order. */
+    const std::vector<JobSpec>& specs() const { return specs_; }
+
+    /** Number of jobs. */
+    int jobCount() const { return static_cast<int>(specs_.size()); }
+
+    /** True when at least one training job is present. */
+    bool hasTraining() const { return training_jobs_ > 0; }
+
+    /**
+     * Priority tier job @p job's collectives carry: the spec's tier
+     * if set, otherwise the kind default (training: per-domain tiers,
+     * reported as -1; inference: Urgent).
+     */
+    static int effectiveTier(const JobSpec& spec);
+
+    /**
+     * Shift every job's arrival by its entry in @p offsets (same
+     * length as specs; values >= 0). This is how an offset-search
+     * result is applied before constructing the cluster.
+     */
+    void shiftArrivals(const std::vector<TimeNs>& offsets);
+
+    /**
+     * Can this mix run under the convergence replay engine (lockstep
+     * rounds, steady-state detection, analytic integration)? Eligible
+     * only when every job is a training job with arrival 0 and a
+     * common iteration count. Mixes with periodic jobs are refused:
+     * commensurate periods would need a hyper-period round the engine
+     * does not implement, and co-prime periods (integer-ns gcd of 1,
+     * or a hyper-period beyond any practical horizon) never reach a
+     * common steady state at all — the reason spells out which.
+     */
+    ReplayEligibility replayEligibility() const;
+
+  private:
+    std::vector<JobSpec> specs_;
+    int training_jobs_ = 0;
+};
+
+/** Tunables of the phase-offset search. */
+struct OffsetSearchOptions
+{
+    /**
+     * Candidate start-phase fractions per search: offsets are
+     * k * (f / steps) * base_period for job k, f = 0..steps-1
+     * (f = 0 is the as-specified arrival vector and is always
+     * evaluated, so the result can never be worse than not
+     * searching).
+     */
+    int steps = 6;
+
+    /** Sweep worker threads (0 = SweepRunner default). */
+    int threads = 0;
+
+    /** Iterations each candidate simulates per training job (>= 1). */
+    int iterations = 2;
+};
+
+/** One evaluated offset vector. */
+struct OffsetCandidate
+{
+    /** Arrival shift per job (same order as the specs). */
+    std::vector<TimeNs> offsets;
+
+    /**
+     * Aggregate cost: summed mean iteration time over the training
+     * jobs (the makespan when the mix has no training jobs).
+     */
+    double metric = 0.0;
+};
+
+/** Outcome of searchPhaseOffsets(). */
+struct OffsetSearchResult
+{
+    /** Best candidate (lowest metric; ties keep the earliest). */
+    OffsetCandidate best;
+
+    /** The zero-offset (as-specified) candidate's metric. */
+    double zero_metric = 0.0;
+
+    /** Reference period the fractions scale (job 0 solo iteration). */
+    TimeNs base_period = 0.0;
+
+    /** Every evaluated candidate, in fraction order. */
+    std::vector<OffsetCandidate> candidates;
+};
+
+/**
+ * CASSINI-style interleaving search: simulate the job mix under
+ * candidate arrival-offset vectors (independent cells across sweep
+ * workers, sharing @p config's plan cache if set) and return the
+ * offsets minimizing aggregate iteration time. The reference period
+ * is job 0's solo iteration duration, measured first.
+ */
+OffsetSearchResult
+searchPhaseOffsets(const Topology& topo,
+                   const runtime::RuntimeConfig& config,
+                   const std::vector<JobSpec>& specs,
+                   const OffsetSearchOptions& options = {});
+
+} // namespace themis::cluster
+
+#endif // THEMIS_CLUSTER_JOB_SCHEDULER_HPP

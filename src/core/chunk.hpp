@@ -85,6 +85,14 @@ struct CollectiveRequest
      * identically, so tagging is free.
      */
     int priority_tier = 1; // PriorityTier::Standard
+
+    /**
+     * Cluster job issuing this collective (0 = the single default
+     * workload). Jobs do not change scheduling; they partition the
+     * wire-level byte accounting so multi-job co-simulations can
+     * report per-tenant conservation and fabric share.
+     */
+    int job = 0;
 };
 
 /** One pipeline stage of a chunk: a phase on a (local) dimension. */

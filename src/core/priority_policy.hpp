@@ -51,19 +51,51 @@ std::string priorityTierName(int tier);
  *    select first within the intra-dimension policy) and indexes the
  *    shared channels' per-class accounting;
  *  - @p weight is the weighted-GPS share every transfer of the
- *    collective receives on a shared channel.
+ *    collective receives on a shared channel;
+ *  - @p job identifies the cluster job that issued the collective
+ *    (0 when a single workload owns the runtime). Jobs never change
+ *    scheduling — only the tier and weight do — but they partition
+ *    the wire-level accounting so a multi-job run can prove per-job
+ *    byte conservation and report fabric share per tenant.
  */
 struct FlowClass
 {
     int tier = 0;
     double weight = 1.0;
+    int job = 0;
 
     bool
     operator==(const FlowClass& o) const
     {
-        return tier == o.tier && weight == o.weight;
+        return tier == o.tier && weight == o.weight && job == o.job;
     }
 };
+
+/**
+ * Channel accounting class of a flow: jobs stride the tier space so
+ * one shared channel tracks progressed bytes and busy time per
+ * (job, tier) pair with the existing per-class machinery. Job 0 maps
+ * tiers onto themselves, so single-workload runs are untouched.
+ */
+inline int
+accountingClass(const FlowClass& flow)
+{
+    return flow.job * kNumPriorityTiers + flow.tier;
+}
+
+/** Job index encoded in a channel accounting class. */
+inline int
+accountingJob(int cls)
+{
+    return cls / kNumPriorityTiers;
+}
+
+/** Priority tier encoded in a channel accounting class. */
+inline int
+accountingTier(int cls)
+{
+    return cls % kNumPriorityTiers;
+}
 
 /** Maps collective priority tiers to flow classes; see file comment. */
 class PriorityPolicy

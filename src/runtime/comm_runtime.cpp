@@ -55,7 +55,8 @@ CommRuntime::CommRuntime(sim::EventQueue& queue, Topology topo,
         engines_.push_back(std::make_unique<DimensionEngine>(
             queue_ref_, topo_.dim(d), d, config_.intra_policy,
             config_.admission, config_.legacy_engine_scan, fairness,
-            config_.legacy_scalar_admission));
+            config_.legacy_scalar_admission,
+            config_.legacy_tier_blind_headroom));
         engines_.back()->setPresenceListener(
             [this](int dim, bool present, TimeNs when) {
                 activity_.onPresence(dim, present, when);
@@ -194,8 +195,13 @@ CommRuntime::issue(const CollectiveRequest& request, Callback on_done)
         request.chunks > 0 ? request.chunks : config_.default_chunks;
     const Bytes size = schedulableSize(request.type, request.size,
                                        state.model->dimSizes());
-    const FlowClass flow =
-        config_.priority.flowFor(request.priority_tier);
+    THEMIS_ASSERT(request.job >= 0 && request.job < kMaxJobsPerRuntime,
+                  "job index " << request.job << " outside [0, "
+                               << kMaxJobsPerRuntime << ")");
+    FlowClass flow = config_.priority.flowFor(request.priority_tier);
+    flow.job = request.job;
+    if (request.job > max_job_seen_)
+        max_job_seen_ = request.job;
     PlanCache* cache = usableCache();
     const PlanKey key =
         PlanKey::make(config_.scheduler, config_.themis, request.type,
@@ -213,6 +219,7 @@ CommRuntime::issue(const CollectiveRequest& request, Callback on_done)
     rec.issued = queue_ref_.now();
     rec.priority_tier = request.priority_tier;
     rec.flow = flow;
+    rec.job = request.job;
     records_.push_back(rec);
     if (on_done)
         callbacks_[id] = std::move(on_done);
@@ -225,6 +232,10 @@ CommRuntime::issue(const CollectiveRequest& request, Callback on_done)
         epoch_hash_.mix(planKeyHash(key));
         epoch_hash_.mix(static_cast<std::uint64_t>(flow.tier));
         epoch_hash_.mix(flow.weight);
+        // Job identity is part of the trace: a multi-job epoch whose
+        // issue interleaving shifts between jobs must not fingerprint
+        // equal to one that merely issued the same shapes.
+        epoch_hash_.mix(static_cast<std::uint64_t>(flow.job));
         epoch_hash_.mix(rec.issued);
     }
 
@@ -436,7 +447,8 @@ CommRuntime::shadowPlanOrders(CollectiveType type,
             config_.legacy_egalitarian_channel
                 ? sim::ChannelFairness::Egalitarian
                 : sim::ChannelFairness::Weighted,
-            config_.legacy_scalar_admission));
+            config_.legacy_scalar_admission,
+            config_.legacy_tier_blind_headroom));
         auto* bucket = &orders[local];
         shadow_engines.back()->setStartListener(
             [bucket](const OpTag& tag) {
@@ -481,28 +493,35 @@ CommRuntime::finalizeStats()
 std::vector<CommRuntime::ClassReport>
 CommRuntime::classReports()
 {
-    // Classes present: whatever the channels saw, plus every class a
-    // record was mapped to (a class may have issued-but-untransferred
-    // collectives).
-    int num_classes = 1;
+    // The channels account per (job, tier) pair (accountingClass());
+    // tier rows aggregate over jobs. Tiers present: whatever the
+    // channels saw, plus every tier a record was mapped to (a class
+    // may have issued-but-untransferred collectives).
+    int num_acct = 1;
     for (const auto& engine : engines_) {
         engine->channel().sync();
-        num_classes =
-            std::max(num_classes, engine->channel().numClasses());
+        num_acct = std::max(num_acct, engine->channel().numClasses());
     }
+    int num_tiers = 1;
+    for (int c = 0; c < num_acct; ++c)
+        num_tiers = std::max(num_tiers, accountingTier(c) + 1);
     for (const auto& rec : records_)
-        num_classes = std::max(num_classes, rec.flow.tier + 1);
+        num_tiers = std::max(num_tiers, rec.flow.tier + 1);
 
     std::vector<ClassReport> out(
-        static_cast<std::size_t>(num_classes));
-    for (int c = 0; c < num_classes; ++c) {
-        ClassReport& r = out[static_cast<std::size_t>(c)];
-        r.tier = c;
-        r.weight = config_.priority.flowFor(c).weight;
+        static_cast<std::size_t>(num_tiers));
+    for (int t = 0; t < num_tiers; ++t) {
+        ClassReport& r = out[static_cast<std::size_t>(t)];
+        r.tier = t;
+        r.weight = config_.priority.flowFor(t).weight;
+    }
+    for (int c = 0; c < num_acct; ++c) {
+        ClassReport& r =
+            out[static_cast<std::size_t>(accountingTier(c))];
         for (const auto& engine : engines_)
             r.progressed +=
                 engine->channel().classProgressedBytes(c);
-        r.utilization = utilization_->classUtilization(c);
+        r.utilization += utilization_->classUtilization(c);
     }
     for (const auto& rec : records_) {
         ClassReport& r =
@@ -514,6 +533,42 @@ CommRuntime::classReports()
         }
     }
     for (ClassReport& r : out)
+        if (r.completed > 0)
+            r.mean_duration /= r.completed;
+    return out;
+}
+
+std::vector<CommRuntime::JobReport>
+CommRuntime::jobReports()
+{
+    int num_acct = 1;
+    for (const auto& engine : engines_) {
+        engine->channel().sync();
+        num_acct = std::max(num_acct, engine->channel().numClasses());
+    }
+    const int num_jobs = jobsObserved();
+    std::vector<JobReport> out(static_cast<std::size_t>(num_jobs));
+    for (int j = 0; j < num_jobs; ++j)
+        out[static_cast<std::size_t>(j)].job = j;
+    for (int c = 0; c < num_acct; ++c) {
+        const int j = accountingJob(c);
+        if (j >= num_jobs)
+            continue;
+        JobReport& r = out[static_cast<std::size_t>(j)];
+        for (const auto& engine : engines_)
+            r.progressed +=
+                engine->channel().classProgressedBytes(c);
+        r.utilization += utilization_->classUtilization(c);
+    }
+    for (const auto& rec : records_) {
+        JobReport& r = out[static_cast<std::size_t>(rec.job)];
+        ++r.issued;
+        if (rec.done()) {
+            ++r.completed;
+            r.mean_duration += rec.duration();
+        }
+    }
+    for (JobReport& r : out)
         if (r.completed > 0)
             r.mean_duration /= r.completed;
     return out;

@@ -118,6 +118,15 @@ struct RuntimeConfig
      * tests and benches can compare both in one binary.
      */
     bool legacy_scalar_admission = false;
+
+    /**
+     * Use the pre-PR tier-blind admission headroom check (unweighted
+     * transfer-time sum) instead of weighted service demand (see
+     * AdmissionConfig::latency_headroom). Bit-identical under uniform
+     * flow weights; exists so equivalence tests and benches can
+     * compare both in one binary.
+     */
+    bool legacy_tier_blind_headroom = false;
 };
 
 /** Table 3 convenience constructors. */
@@ -145,8 +154,11 @@ class CommRuntime
         /** Request's priority tag. */
         int priority_tier = 1;
 
-        /** Flow class the priority policy assigned. */
+        /** Flow class the priority policy assigned (carries the job). */
         FlowClass flow;
+
+        /** Cluster job that issued the collective (0 = default). */
+        int job = 0;
 
         bool done() const { return completed >= 0.0; }
         TimeNs duration() const { return completed - issued; }
@@ -174,6 +186,33 @@ class CommRuntime
         /**
          * Class bandwidth utilization during communication-active
          * windows: class bytes / (total BW x active time).
+         */
+        double utilization = 0.0;
+    };
+
+    /** Per-job usage summary (see jobReports()). */
+    struct JobReport
+    {
+        /** Cluster job index. */
+        int job = 0;
+
+        /** Collectives issued / completed by this job. */
+        int issued = 0;
+        int completed = 0;
+
+        /** Mean completion time of the finished collectives. */
+        TimeNs mean_duration = 0.0;
+
+        /**
+         * Bytes the job progressed across all dimensions (wire-level
+         * accounting from the shared channels, so conservation can be
+         * asserted per tenant, not just in aggregate).
+         */
+        Bytes progressed = 0.0;
+
+        /**
+         * Job share of machine bandwidth during communication-active
+         * windows: job bytes / (total BW x active time).
          */
         double utilization = 0.0;
     };
@@ -224,6 +263,21 @@ class CommRuntime
      * (the call syncs every channel).
      */
     std::vector<ClassReport> classReports();
+
+    /**
+     * Per-job usage over everything issued so far (one entry per job
+     * index in [0, jobsObserved()), ascending). Same window semantics
+     * as classReports(). A single-workload runtime returns one row.
+     */
+    std::vector<JobReport> jobReports();
+
+    /**
+     * Number of distinct cluster jobs this runtime has ever seen
+     * (max job index + 1; at least 1). Unlike records(), this count
+     * survives iteration-epoch resets — the convergence runner uses
+     * it to refuse single-loop replay on a runtime other jobs drive.
+     */
+    int jobsObserved() const { return max_job_seen_ + 1; }
 
     /** Per-dimension activity intervals (Fig 9). */
     stats::ActivityTimeline& activity() { return activity_; }
@@ -394,7 +448,18 @@ class CommRuntime
     bool epoch_active_ = false;
     Fnv1a epoch_hash_;
     std::vector<std::uint64_t> epoch_completed_base_;
+
+    /** Largest job index ever issued (persists across epochs). */
+    int max_job_seen_ = 0;
 };
+
+/**
+ * Hard cap on cluster job indices per runtime: jobs stride the shared
+ * channels' per-class accounting space (accountingClass()), which is
+ * bounded, and a co-simulated fabric beyond this many tenants is not
+ * a scenario the accounting was sized for.
+ */
+constexpr int kMaxJobsPerRuntime = 16;
 
 } // namespace themis::runtime
 

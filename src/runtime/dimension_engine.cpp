@@ -31,10 +31,12 @@ DimensionEngine::DimensionEngine(sim::EventQueue& queue,
                                  AdmissionConfig admission,
                                  bool legacy_scan,
                                  sim::ChannelFairness fairness,
-                                 bool scalar_admission)
+                                 bool scalar_admission,
+                                 bool tier_blind_headroom)
     : queue_ref_(queue), config_(config), global_dim_(global_dim),
       policy_(policy), admission_(admission), legacy_scan_(legacy_scan),
       scalar_admission_(scalar_admission),
+      tier_blind_headroom_(tier_blind_headroom),
       channel_(queue, config.bandwidth(), fairness),
       pending_(0, std::hash<std::uint64_t>{},
                std::equal_to<std::uint64_t>{},
@@ -212,14 +214,24 @@ DimensionEngine::enqueue(ChunkOp op)
 bool
 DimensionEngine::admissionAllows(const ChunkOp& candidate) const
 {
-    (void)candidate; // admission looks at the active set only
     if (active_.empty())
         return true;
     if (static_cast<int>(active_.size()) >= admission_.max_parallel_ops)
         return false;
     const TimeNs max_delay = *active_delays_.rbegin();
-    return active_transfer_sum_ <
-           admission_.latency_headroom * max_delay;
+    if (tier_blind_headroom_) {
+        // Pre-PR baseline: unweighted service demand (the candidate's
+        // weight is irrelevant).
+        return active_transfer_sum_ <
+               admission_.latency_headroom * max_delay;
+    }
+    // Weighted service demand as the candidate sees it under GPS:
+    // admit while sum_i(t_i * w_i) < headroom * max_delay * w_cand.
+    // With uniform weights both sides multiply by 1.0 — bit-identical
+    // to the tier-blind check.
+    return active_weighted_sum_ <
+           admission_.latency_headroom * max_delay *
+               candidate.flow.weight;
 }
 
 std::size_t
@@ -314,9 +326,12 @@ DimensionEngine::tryStartBatch()
     // later could change the verdict: the aggregates only grow).
     // Admit rule == scalar path: the first op of an idle engine is
     // always admitted; otherwise admit while the active count is
-    // under the hard cap and the summed transfer time is below
-    // headroom x largest delay.
-    double sum = active_transfer_sum_;
+    // under the hard cap and the (weighted) service demand is below
+    // headroom x largest delay (x the candidate's weight on the
+    // weight-aware path; see AdmissionConfig::latency_headroom).
+    double sum =
+        tier_blind_headroom_ ? active_transfer_sum_
+                             : active_weighted_sum_;
     double max_delay =
         active_delays_.empty() ? 0.0 : *active_delays_.rbegin();
     std::size_t active_n = active_.size();
@@ -325,16 +340,22 @@ DimensionEngine::tryStartBatch()
         static_cast<std::size_t>(admission_.max_parallel_ops);
     bool started = false;
     while (!ready_.empty()) {
-        const bool admit =
-            (active_n == 0) |
-            ((active_n < maxpar) & (sum < headroom * max_delay));
-        if (!admit)
-            break;
         const std::uint64_t seq = ready_.begin()->arrival_seq;
         const auto pit = pending_.find(seq);
         THEMIS_ASSERT(pit != pending_.end(),
                       "ready op missing from pending store");
-        sum += pit->second.op.transfer_time;
+        const double w = pit->second.op.flow.weight;
+        const double budget = tier_blind_headroom_
+                                  ? headroom * max_delay
+                                  : headroom * max_delay * w;
+        const bool admit =
+            (active_n == 0) |
+            ((active_n < maxpar) & (sum < budget));
+        if (!admit)
+            break;
+        sum += tier_blind_headroom_
+                   ? pit->second.op.transfer_time
+                   : pit->second.op.transfer_time * w;
         max_delay = pit->second.op.fixed_delay > max_delay
                         ? pit->second.op.fixed_delay
                         : max_delay;
@@ -441,6 +462,7 @@ DimensionEngine::startOp(ChunkOp op)
     if (start_listener_)
         start_listener_(op.tag);
     active_transfer_sum_ += op.transfer_time;
+    active_weighted_sum_ += op.transfer_time * op.flow.weight;
     active_delays_.insert(op.fixed_delay);
     active_.emplace(exec_id,
                     ActiveOp{std::move(op), 0, queue_ref_.now()});
@@ -461,9 +483,11 @@ DimensionEngine::advance(std::uint64_t exec_id)
     const FlowClass flow = a.op.flow;
     ++a.next_step;
     auto do_transfer = [this, exec_id, step, flow] {
+        // Channel accounting is per (job, tier): job 0 — the single-
+        // workload case — maps onto the plain tier indices.
         channel_.begin(step.bytes, flow.weight,
                        [this, exec_id] { advance(exec_id); },
-                       flow.tier);
+                       accountingClass(flow));
     };
     if (step.latency > 0.0) {
         queue_ref_.scheduleAfter(step.latency, do_transfer);
@@ -481,12 +505,16 @@ DimensionEngine::finish(std::uint64_t exec_id)
     const TimeNs started_at = it->second.started_at;
     active_.erase(it);
     active_transfer_sum_ -= op.transfer_time;
+    active_weighted_sum_ -= op.transfer_time * op.flow.weight;
     const auto delay_it = active_delays_.find(op.fixed_delay);
     THEMIS_ASSERT(delay_it != active_delays_.end(),
                   "active delay aggregate out of sync");
     active_delays_.erase(delay_it);
-    if (active_.empty())
-        active_transfer_sum_ = 0.0; // shed fp drift at quiesce points
+    if (active_.empty()) {
+        // Shed fp drift at quiesce points.
+        active_transfer_sum_ = 0.0;
+        active_weighted_sum_ = 0.0;
+    }
     ++completed_;
     if (fingerprint_ != nullptr) {
         fingerprint_->mix(std::uint64_t{0x464e}); // "FN"

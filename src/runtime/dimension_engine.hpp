@@ -91,6 +91,18 @@ struct AdmissionConfig
      * — the paper's "multiple chunks per dimension should be run in
      * parallel to fully saturate". 9x headroom targets ~90% busy in
      * the worst (lock-step) case.
+     *
+     * The service demand is *weighted*: each active op's transfer
+     * time counts scaled by its GPS weight relative to the
+     * candidate's, i.e. admit while
+     *   sum_i(transfer_i * w_i) < headroom * max_delay * w_candidate.
+     * Under weighted GPS the active set's work drains past a
+     * candidate of weight w_c at w_c's share, so a bulk backlog looks
+     * small to an urgent candidate (admit) and an urgent burst looks
+     * large to a bulk candidate (hold back). With uniform weights
+     * every w is 1.0 and the formula is bit-identical to the
+     * tier-blind sum (the pre-PR check, retained behind
+     * RuntimeConfig.legacy_tier_blind_headroom).
      */
     double latency_headroom = 9.0;
 
@@ -136,13 +148,19 @@ class DimensionEngine
      *                    check loop instead of the batched prefix
      *                    pass (measurement/equivalence baseline;
      *                    results identical)
+     * @param tier_blind_headroom use the pre-PR tier-blind admission
+     *                    headroom (unweighted transfer-time sum)
+     *                    instead of weighted service demand
+     *                    (measurement/equivalence baseline; identical
+     *                    under uniform flow weights)
      */
     DimensionEngine(sim::EventQueue& queue, DimensionConfig config,
                     int global_dim, IntraDimPolicy policy,
                     AdmissionConfig admission, bool legacy_scan = false,
                     sim::ChannelFairness fairness =
                         sim::ChannelFairness::Weighted,
-                    bool scalar_admission = false);
+                    bool scalar_admission = false,
+                    bool tier_blind_headroom = false);
 
     DimensionEngine(const DimensionEngine&) = delete;
     DimensionEngine& operator=(const DimensionEngine&) = delete;
@@ -320,6 +338,7 @@ class DimensionEngine
     AdmissionConfig admission_;
     bool legacy_scan_;
     bool scalar_admission_;
+    bool tier_blind_headroom_;
     sim::SharedChannel channel_;
 
     /**
@@ -352,6 +371,10 @@ class DimensionEngine
     /** Aggregates over active_, maintained incrementally so the
      *  admission check is O(1) instead of rescanning the active set. */
     TimeNs active_transfer_sum_ = 0.0;
+    /** Weight-scaled transfer-time sum (sum of transfer_i * w_i) for
+     *  the weight-aware headroom check; equals active_transfer_sum_
+     *  bit for bit when every weight is 1. */
+    TimeNs active_weighted_sum_ = 0.0;
     std::multiset<TimeNs, std::less<TimeNs>, ArenaAllocator<TimeNs>>
         active_delays_;
     std::uint64_t next_exec_id_ = 1;

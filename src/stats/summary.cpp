@@ -71,6 +71,26 @@ renderClassTable(const std::vector<ClassUsageRow>& rows)
 }
 
 std::string
+renderJobTable(const std::vector<JobUsageRow>& rows)
+{
+    TextTable t({"Job", "Kind", "Arrival", "JCT", "Units",
+                 "Mean unit", "Exposed", "Deadline", "Bytes",
+                 "BW share"});
+    for (const auto& r : rows) {
+        t.addRow({r.name, r.kind, fmtTime(r.arrival), fmtTime(r.jct),
+                  std::to_string(r.units),
+                  r.units > 0 ? fmtTime(r.mean_unit) : "-",
+                  r.exposed_share >= 0.0 ? fmtPercent(r.exposed_share)
+                                         : "-",
+                  r.deadline_hit_rate >= 0.0
+                      ? fmtPercent(r.deadline_hit_rate)
+                      : "-",
+                  fmtBytes(r.progressed), fmtPercent(r.utilization)});
+    }
+    return t.render();
+}
+
+std::string
 renderConvergenceTable(const std::vector<ConvergenceRunRow>& rows)
 {
     TextTable t({"Mode", "Iters", "Simulated", "Replayed", "Sim time",

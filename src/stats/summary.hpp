@@ -63,6 +63,43 @@ struct ClassUsageRow
  */
 std::string renderClassTable(const std::vector<ClassUsageRow>& rows);
 
+/** One job row of a multi-job cluster report. */
+struct JobUsageRow
+{
+    /** Job label, e.g. "train:GNMT" or "infer:32.00 MB". */
+    std::string name;
+
+    /** Kind label ("train"/"infer"). */
+    std::string kind;
+
+    /** Simulated arrival time. */
+    TimeNs arrival = 0.0;
+
+    /** Job completion time (JCT = finished - arrival). */
+    TimeNs jct = 0.0;
+
+    /** Completed units: training iterations or inference requests. */
+    int units = 0;
+
+    /** Mean unit time (iteration duration / request latency). */
+    TimeNs mean_unit = 0.0;
+
+    /** Exposed-communication share; negative renders as "-". */
+    double exposed_share = -1.0;
+
+    /** Deadline hit rate; negative renders as "-". */
+    double deadline_hit_rate = -1.0;
+
+    /** Bytes the job progressed across the fabric. */
+    Bytes progressed = 0.0;
+
+    /** Job share of machine bandwidth in comm-active windows. */
+    double utilization = 0.0;
+};
+
+/** Render per-job cluster rows as a standard table. */
+std::string renderJobTable(const std::vector<JobUsageRow>& rows);
+
 /**
  * One mode row of a multi-iteration convergence-run comparison
  * (plain numbers so the CLI and the bench can share one renderer

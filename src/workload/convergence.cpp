@@ -1,9 +1,11 @@
 #include "workload/convergence.hpp"
 
 #include <algorithm>
+#include <set>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/logging.hpp"
 #include "common/hash.hpp"
 
 namespace themis::workload {
@@ -101,14 +103,61 @@ ConvergenceReport
 runConverged(runtime::CommRuntime& comm, TrainingLoop& loop,
              const ConvergenceOptions& opts)
 {
+    return runConverged(comm, std::vector<TrainingLoop*>{&loop},
+                        opts);
+}
+
+ConvergenceReport
+runConverged(runtime::CommRuntime& comm,
+             const std::vector<TrainingLoop*>& loops,
+             const ConvergenceOptions& opts)
+{
     THEMIS_ASSERT(opts.iterations >= 1, "need at least one iteration");
     THEMIS_ASSERT(opts.confirm_iterations >= 2,
                   "steady state needs at least a pair of identical "
                   "iterations");
+    THEMIS_ASSERT(!loops.empty(), "no training loops to step");
     ConvergenceReport r;
     r.iterations = opts.iterations;
     r.per_iteration.reserve(
         static_cast<std::size_t>(opts.iterations));
+
+    // Multi-job guard: steady-state detection fingerprints only what
+    // the stepped loops produce. If the runtime has ever carried more
+    // jobs than that (a cluster mix with periodic tenants, a loop the
+    // caller forgot to pass), an identical-looking epoch pair could
+    // alias state the fingerprint cannot see — refuse replay and
+    // simulate every iteration instead of silently integrating.
+    ConvergenceOptions eff = opts;
+    {
+        std::set<int> covered;
+        for (const TrainingLoop* loop : loops) {
+            THEMIS_ASSERT(loop != nullptr, "null training loop");
+            covered.insert(loop->job());
+        }
+        // Every job id the runtime has ever seen must belong to a
+        // stepped loop — a gap (loops {0, 2} with a tenant at 1) is
+        // exactly as uncoverable as a tenant past the maximum.
+        int uncovered = -1;
+        for (int j = 0; j < comm.jobsObserved(); ++j) {
+            if (covered.find(j) == covered.end()) {
+                uncovered = j;
+                break;
+            }
+        }
+        if ((eff.replay || eff.exactness_check) && uncovered >= 0) {
+            r.replay_refusal =
+                "runtime has observed " +
+                std::to_string(comm.jobsObserved()) +
+                " jobs but no stepped loop covers job " +
+                std::to_string(uncovered) +
+                "; analytic replay cannot fingerprint the other "
+                "tenants' traffic";
+            logWarn("convergence replay refused: ", r.replay_refusal);
+            eff.replay = false;
+            eff.exactness_check = false;
+        }
+    }
 
     IterationBreakdown prev_b;
     CommRuntime::EpochStats prev_s;
@@ -118,19 +167,35 @@ runConverged(runtime::CommRuntime& comm, TrainingLoop& loop,
     // The one place an iteration is actually event-simulated: every
     // path below (detection loop, exactness continuation, no-replay
     // continuation) runs the epoch protocol through this helper, so a
-    // protocol change cannot desynchronize them.
+    // protocol change cannot desynchronize them. One round = every
+    // loop runs one iteration to completion on the shared queue.
     auto simulate_epoch =
         [&]() -> std::pair<IterationBreakdown,
                            CommRuntime::EpochStats> {
         comm.beginIterationEpoch();
-        IterationBreakdown b = loop.runIteration();
+        IterationBreakdown b;
+        if (loops.size() == 1) {
+            // Single loop: the synchronous path, byte for byte.
+            b = loops.front()->runIteration();
+        } else {
+            for (TrainingLoop* loop : loops)
+                loop->beginIterationAsync(nullptr);
+            comm.queue().run();
+            for (TrainingLoop* loop : loops) {
+                THEMIS_ASSERT(
+                    !loop->iterationInFlight(),
+                    "event queue drained before every job's iteration "
+                    "finished (lost completion callback?)");
+                b += loop->lastIteration();
+            }
+        }
         CommRuntime::EpochStats s = comm.finishIterationEpoch();
         accumulate(r, b, s);
         ++r.simulated_iterations;
         return {std::move(b), std::move(s)};
     };
 
-    for (int i = 0; i < opts.iterations; ++i) {
+    for (int i = 0; i < eff.iterations; ++i) {
         const auto [b, s] = simulate_epoch();
 
         if (have_prev && s.identicalTo(prev_s) &&
@@ -143,22 +208,22 @@ runConverged(runtime::CommRuntime& comm, TrainingLoop& loop,
         have_prev = true;
 
         const bool steady = s.replay_safe &&
-                            streak >= opts.confirm_iterations - 1;
+                            streak >= eff.confirm_iterations - 1;
         if (steady && r.steady_at < 0) {
             r.steady_at = i;
             r.steady_fingerprint = s.fingerprint;
         }
-        if (!steady || i + 1 >= opts.iterations)
+        if (!steady || i + 1 >= eff.iterations)
             continue;
 
-        if (opts.exactness_check) {
+        if (eff.exactness_check) {
             // Proof mode: predict the final totals analytically, then
             // keep simulating and hold every iteration — and the
             // final books — to the prediction.
             ConvergenceReport predicted = r;
-            for (int k = i + 1; k < opts.iterations; ++k)
+            for (int k = i + 1; k < eff.iterations; ++k)
                 accumulate(predicted, b, s);
-            for (int k = i + 1; k < opts.iterations; ++k) {
+            for (int k = i + 1; k < eff.iterations; ++k) {
                 const auto [bk, sk] = simulate_epoch();
                 assertIdentical(bk, sk, b, s, k);
             }
@@ -167,11 +232,11 @@ runConverged(runtime::CommRuntime& comm, TrainingLoop& loop,
                           "diverged from the fully simulated run");
             break;
         }
-        if (opts.replay) {
+        if (eff.replay) {
             // Analytic replay: integrate the steady iteration forward
             // — O(dimensions + classes) additions per iteration, no
             // event loop.
-            for (int k = i + 1; k < opts.iterations; ++k) {
+            for (int k = i + 1; k < eff.iterations; ++k) {
                 accumulate(r, b, s);
                 ++r.replayed_iterations;
             }
@@ -179,7 +244,7 @@ runConverged(runtime::CommRuntime& comm, TrainingLoop& loop,
         }
         // Replay disabled (measurement baseline): keep simulating;
         // leave steady_at as the first detection point.
-        for (int k = i + 1; k < opts.iterations; ++k)
+        for (int k = i + 1; k < eff.iterations; ++k)
             simulate_epoch();
         break;
     }

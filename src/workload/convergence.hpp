@@ -35,6 +35,7 @@
 #define THEMIS_WORKLOAD_CONVERGENCE_HPP
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "workload/training_loop.hpp"
@@ -116,6 +117,15 @@ struct ConvergenceReport
     long collectives = 0;
 
     /**
+     * Non-empty when analytic replay was *refused* even though
+     * options requested it (e.g. the runtime has observed more jobs
+     * than the stepped loops cover, so steady-state fingerprints
+     * could alias another tenant's state). The run falls back to full
+     * simulation; the reason is also logged at Warn level.
+     */
+    std::string replay_refusal;
+
+    /**
      * Fig-4-definition utilization over the whole run: total bytes /
      * (total machine bandwidth x active_time).
      */
@@ -139,10 +149,33 @@ bool resultsBitIdentical(const ConvergenceReport& a,
  * Run @p loop for opts.iterations training iterations on @p comm with
  * steady-state replay; see file comment. The runtime must be
  * quiescent and must be driven only by @p loop for the duration.
+ * Refuses replay (full simulation, logged reason, report field) when
+ * @p comm has observed collectives from more jobs than @p loop
+ * covers — a single loop cannot fingerprint another tenant's state.
  */
 ConvergenceReport runConverged(runtime::CommRuntime& comm,
                                TrainingLoop& loop,
                                const ConvergenceOptions& opts = {});
+
+/**
+ * Multi-job lockstep convergence: every loop in @p loops (each bound
+ * to its own job id, all sharing @p comm) begins one iteration per
+ * round; the shared event queue runs until all of them complete, and
+ * the round is one iteration epoch. The epoch fingerprint therefore
+ * covers *all* jobs' traces — issue hashes mix job ids and every
+ * chunk op of every job lands in the per-dimension event trace — so
+ * two identical rounds mean the whole cluster's joint trajectory
+ * repeats, and the remainder replays analytically exactly as in the
+ * single-job case. Reported breakdowns are summed across loops per
+ * round. Jobs whose traffic is *not* iteration-shaped (periodic
+ * inference with its own period) cannot join a lockstep round; the
+ * cluster layer refuses replay for those mixes (see
+ * cluster::Cluster::replayEligibility).
+ */
+ConvergenceReport
+runConverged(runtime::CommRuntime& comm,
+             const std::vector<TrainingLoop*>& loops,
+             const ConvergenceOptions& opts = {});
 
 } // namespace themis::workload
 

@@ -52,6 +52,19 @@ TrainingLoop::TrainingLoop(runtime::CommRuntime& comm, ModelGraph model,
 IterationBreakdown
 TrainingLoop::runIteration()
 {
+    beginIterationAsync(nullptr);
+    comm_.queue().run();
+    THEMIS_ASSERT(iteration_done_,
+                  "event queue drained before the iteration finished "
+                  "(lost completion callback?)");
+    return current_;
+}
+
+void
+TrainingLoop::beginIterationAsync(IterationCallback on_done)
+{
+    THEMIS_ASSERT(!iterationInFlight(),
+                  "iteration already in flight on this loop");
     // Reset per-iteration state.
     in_fwd_ = true;
     layer_ = 0;
@@ -60,18 +73,13 @@ TrainingLoop::runIteration()
     pending_fwd_nb_ = 0;
     pending_mp_nb_ = 0;
     pending_dp_ = 0;
+    iteration_started_ = true;
     iteration_done_ = false;
+    on_iteration_done_ = std::move(on_done);
     current_ = IterationBreakdown{};
     drain_mark_ = comm_.queue().now();
-
-    const TimeNs start = comm_.queue().now();
+    iter_start_ = comm_.queue().now();
     startFwdLayer();
-    comm_.queue().run();
-    THEMIS_ASSERT(iteration_done_,
-                  "event queue drained before the iteration finished "
-                  "(lost completion callback?)");
-    current_.total = comm_.queue().now() - start;
-    return current_;
 }
 
 IterationBreakdown
@@ -167,9 +175,13 @@ TrainingLoop::issueComm(const LayerCommOp& op, bool in_fwd)
     req.size = op.size;
     req.chunks = 0; // runtime default CPC
     req.scope = scopes_.at(op.domain);
-    req.priority_tier = op.priority_tier >= 0
-                            ? op.priority_tier
-                            : model_.parallel.priorityTierFor(op.domain);
+    req.priority_tier =
+        tier_override_ >= 0
+            ? tier_override_
+            : (op.priority_tier >= 0
+                   ? op.priority_tier
+                   : model_.parallel.priorityTierFor(op.domain));
+    req.job = job_;
 
     if (op.blocking) {
         ++blocking_remaining_;
@@ -203,7 +215,11 @@ TrainingLoop::issueDpGrads(Bytes grad_bytes, bool zero_style)
         req.chunks = 0;
         req.scope = scope;
         req.priority_tier =
-            model_.parallel.priorityTierFor(CommDomain::DataParallel);
+            tier_override_ >= 0
+                ? tier_override_
+                : model_.parallel.priorityTierFor(
+                      CommDomain::DataParallel);
+        req.job = job_;
         ++pending_dp_;
         comm_.issue(req, [this] {
             onNonBlockingDone(CommDomain::DataParallel,
@@ -307,6 +323,15 @@ TrainingLoop::maybeFinishIteration()
     // All drain segments were attributed in onNonBlockingDone().
     waiting_ = WaitKind::None;
     iteration_done_ = true;
+    // The iteration ends at the simulated instant its last collective
+    // completed — which, when one loop owns the queue, is exactly the
+    // time run() returns at, so the synchronous path is unchanged.
+    current_.total = comm_.queue().now() - iter_start_;
+    if (on_iteration_done_) {
+        IterationCallback cb = std::move(on_iteration_done_);
+        on_iteration_done_ = nullptr;
+        cb(current_);
+    }
 }
 
 } // namespace themis::workload

@@ -62,6 +62,10 @@ bool bitIdentical(const IterationBreakdown& a,
 class TrainingLoop
 {
   public:
+    /** Invoked when an asynchronously begun iteration completes. */
+    using IterationCallback =
+        std::function<void(const IterationBreakdown&)>;
+
     /**
      * @param comm     communication runtime (owns the topology)
      * @param model    workload definition
@@ -78,6 +82,44 @@ class TrainingLoop
 
     /** Simulate @p n iterations; returns the summed decomposition. */
     IterationBreakdown run(int n);
+
+    /**
+     * Begin one iteration *without* running the event queue: the
+     * caller drives the (possibly shared) queue and @p on_done fires
+     * — at the simulated instant the iteration completes — with the
+     * iteration's decomposition. This is the multi-job stepping mode:
+     * several loops (and periodic jobs) progress concurrently on one
+     * queue, each discovering its own completion. A single loop driven
+     * this way and then drained is bit-identical to runIteration().
+     */
+    void beginIterationAsync(IterationCallback on_done);
+
+    /** True while an asynchronously begun iteration is in flight. */
+    bool iterationInFlight() const
+    {
+        return iteration_started_ && !iteration_done_;
+    }
+
+    /** Decomposition of the most recently completed iteration. */
+    const IterationBreakdown& lastIteration() const { return current_; }
+
+    /**
+     * Bind this loop to cluster job @p job: every collective it
+     * issues carries the job id for per-tenant wire accounting.
+     * Default 0 (the single-workload identity).
+     */
+    void setJob(int job) { job_ = job; }
+
+    /** Bound job id. */
+    int job() const { return job_; }
+
+    /**
+     * Force every collective of this loop onto one priority tier
+     * (PriorityTier values) instead of the per-domain defaults; a
+     * negative value restores the defaults. A cluster uses this to
+     * assign whole-job priority classes.
+     */
+    void setTierOverride(int tier) { tier_override_ = tier; }
 
     /** The workload being trained. */
     const ModelGraph& model() const { return model_; }
@@ -103,6 +145,12 @@ class TrainingLoop
     std::map<CommDomain, std::vector<ScopeDim>> scopes_;
     std::map<CommDomain, long> ways_;
 
+    /** Cluster job binding (0 = single-workload default). */
+    int job_ = 0;
+
+    /** Whole-loop priority tier override; negative = domain defaults. */
+    int tier_override_ = -1;
+
     // Per-iteration state.
     bool in_fwd_ = true;
     int layer_ = 0;
@@ -114,7 +162,10 @@ class TrainingLoop
     TimeNs wait_started_ = 0.0;
     TimeNs compute_end_ = 0.0;
     TimeNs drain_mark_ = 0.0;
+    TimeNs iter_start_ = 0.0;
+    bool iteration_started_ = false;
     bool iteration_done_ = false;
+    IterationCallback on_iteration_done_;
     IterationBreakdown current_;
 };
 

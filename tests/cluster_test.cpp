@@ -1,0 +1,547 @@
+/**
+ * @file
+ * Multi-job cluster co-simulation tests: single-job cluster ≡ plain
+ * training loop, per-job wire-level byte conservation under
+ * contention, per-class/per-job accounting consistency, urgent-tier
+ * latency vs weight ratio, periodic-inference deadline accounting,
+ * weight-aware admission headroom (≡ tier-blind under uniform
+ * weights), phase-offset search, multi-loop lockstep convergence
+ * (replay bit-identical to full simulation), and the replay refusal
+ * guards for mixes that never reach a common steady state.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/hash.hpp"
+#include "models/model_zoo.hpp"
+#include "topology/presets.hpp"
+#include "workload/convergence.hpp"
+
+namespace themis {
+namespace {
+
+using cluster::Cluster;
+using cluster::JobKind;
+using cluster::JobScheduler;
+using cluster::JobSpec;
+
+runtime::RuntimeConfig
+priorityConfig(double ratio)
+{
+    runtime::RuntimeConfig cfg = runtime::themisScfConfig();
+    cfg.scheduler = SchedulerKind::ThemisPriority;
+    cfg.priority = ratio > 0.0 ? PriorityPolicy::tiered(ratio)
+                               : PriorityPolicy::uniform();
+    return cfg;
+}
+
+/** Two-job contention mix: bulk training + urgent periodic. */
+std::vector<JobSpec>
+contentionMix(int requests = 8)
+{
+    std::vector<JobSpec> specs;
+    specs.push_back(JobSpec::training(
+        models::byName("DLRM"), 2, 0.0,
+        static_cast<int>(PriorityTier::Bulk)));
+    JobSpec infer = JobSpec::periodicInference(
+        3.2e7, 3.0e5, 5.0e5, 0.0,
+        static_cast<int>(PriorityTier::Urgent));
+    infer.max_requests = requests;
+    specs.push_back(infer);
+    return specs;
+}
+
+// ------------------------------------------------- single-job parity
+
+TEST(Cluster, SingleTrainingJobMatchesPlainLoopBitForBit)
+{
+    const Topology topo = presets::byName("2D-SW_SW");
+    const runtime::RuntimeConfig cfg = runtime::themisScfConfig();
+
+    sim::EventQueue q1;
+    Cluster cl(q1, topo, cfg,
+               {JobSpec::training(models::byName("DLRM"), 3)});
+    const auto rep = cl.run();
+
+    sim::EventQueue q2;
+    runtime::CommRuntime comm(q2, topo, cfg);
+    workload::TrainingLoop loop(comm, models::byName("DLRM"));
+    const auto plain = loop.run(3);
+
+    ASSERT_EQ(rep.jobs.size(), 1u);
+    EXPECT_EQ(rep.jobs[0].iterations, 3);
+    EXPECT_TRUE(bitEquals(rep.jobs[0].totals.total, plain.total));
+    EXPECT_TRUE(bitEquals(rep.jobs[0].totals.exposed_dp,
+                          plain.exposed_dp));
+    EXPECT_TRUE(bitEquals(rep.jobs[0].totals.exposed_mp,
+                          plain.exposed_mp));
+    EXPECT_TRUE(bitEquals(rep.makespan, q2.now()));
+}
+
+TEST(Cluster, AsyncSingleLoopIterationMatchesSynchronous)
+{
+    const Topology topo = presets::byName("2D-SW_SW");
+    sim::EventQueue q1, q2;
+    runtime::CommRuntime c1(q1, topo, runtime::themisScfConfig());
+    runtime::CommRuntime c2(q2, topo, runtime::themisScfConfig());
+    workload::TrainingLoop l1(c1, models::byName("GNMT"));
+    workload::TrainingLoop l2(c2, models::byName("GNMT"));
+
+    const auto sync_b = l1.runIteration();
+    workload::IterationBreakdown async_b;
+    bool fired = false;
+    l2.beginIterationAsync(
+        [&](const workload::IterationBreakdown& b) {
+            async_b = b;
+            fired = true;
+        });
+    EXPECT_TRUE(l2.iterationInFlight());
+    q2.run();
+    ASSERT_TRUE(fired);
+    EXPECT_FALSE(l2.iterationInFlight());
+    EXPECT_TRUE(workload::bitIdentical(sync_b, async_b));
+}
+
+// --------------------------------------------- per-job wire accounting
+
+TEST(Cluster, PerJobBytesConservedUnderContention)
+{
+    const Topology topo = presets::byName("2D-SW_SW");
+    // The same mix under three weight ladders must move identical
+    // bytes per tenant: weights redistribute when bytes move, never
+    // whose they are.
+    std::vector<cluster::ClusterReport> reps;
+    for (double ratio : {1.0, 4.0, 16.0}) {
+        sim::EventQueue q;
+        Cluster cl(q, topo, priorityConfig(ratio), contentionMix());
+        reps.push_back(cl.run());
+    }
+    ASSERT_EQ(reps[0].jobs.size(), 2u);
+    for (const auto& rep : reps) {
+        Bytes sum = 0.0;
+        for (const auto& j : rep.jobs) {
+            EXPECT_GT(j.progressed, 0.0);
+            sum += j.progressed;
+            EXPECT_NEAR(j.progressed,
+                        reps[0]
+                            .jobs[static_cast<std::size_t>(j.job)]
+                            .progressed,
+                        1e-6 * j.progressed);
+        }
+        EXPECT_NEAR(sum, rep.total_bytes, 1e-6 * rep.total_bytes);
+    }
+}
+
+TEST(Cluster, ClassAndJobAccountingConsistent)
+{
+    const Topology topo = presets::byName("2D-SW_SW");
+    sim::EventQueue q;
+    Cluster cl(q, topo, priorityConfig(8.0), contentionMix());
+    const auto rep = cl.run();
+    auto& comm = cl.runtime();
+
+    // Per-class bytes (aggregated over jobs) and per-job bytes both
+    // partition the same fabric total.
+    Bytes class_sum = 0.0;
+    double class_util = 0.0;
+    for (const auto& c : rep.classes) {
+        class_sum += c.progressed;
+        class_util += c.utilization;
+    }
+    Bytes job_sum = 0.0;
+    for (const auto& j : comm.jobReports())
+        job_sum += j.progressed;
+    EXPECT_NEAR(class_sum, rep.total_bytes, 1e-6 * rep.total_bytes);
+    EXPECT_NEAR(job_sum, rep.total_bytes, 1e-6 * rep.total_bytes);
+    // Class utilizations sum to the fabric utilization (same windows,
+    // same denominator).
+    EXPECT_NEAR(class_util, rep.fabric_utilization,
+                1e-9 + 1e-6 * rep.fabric_utilization);
+
+    // Per-channel: class busy time never exceeds channel busy time,
+    // and per-class bytes sum to the channel's progressed bytes.
+    for (int d = 0; d < comm.topology().numDims(); ++d) {
+        auto& ch = comm.engine(d).channel();
+        ch.sync();
+        Bytes per_class = 0.0;
+        for (int c = 0; c < ch.numClasses(); ++c) {
+            per_class += ch.classProgressedBytes(c);
+            EXPECT_LE(ch.classBusyTime(c), ch.busyTime() + 1e-6);
+        }
+        EXPECT_NEAR(per_class, ch.progressedBytes(),
+                    1e-6 * (ch.progressedBytes() + 1.0));
+    }
+}
+
+TEST(Cluster, UrgentLatencyImprovesMonotonicallyWithWeightRatio)
+{
+    const Topology topo = presets::byName("2D-SW_SW");
+    // Urgent-tier mean request latency must not degrade as the weight
+    // ratio grows. The stream's period sits well above its latency so
+    // no backlog builds: each request's latency is then a pure
+    // function of its GPS share against the bulk training traffic,
+    // the regime where monotonicity is a theorem (open-loop overload
+    // adds queueing feedback that makes the curve locally noisy —
+    // the bench covers that regime).
+    auto mix = [] {
+        std::vector<JobSpec> specs;
+        specs.push_back(JobSpec::training(
+            models::byName("DLRM"), 3, 0.0,
+            static_cast<int>(PriorityTier::Bulk)));
+        JobSpec infer = JobSpec::periodicInference(
+            3.2e7, 2.0e6, 0.0, 0.0,
+            static_cast<int>(PriorityTier::Urgent));
+        infer.max_requests = 6;
+        specs.push_back(infer);
+        return specs;
+    };
+    std::vector<TimeNs> lat;
+    for (double ratio : {1.0, 4.0, 16.0}) {
+        sim::EventQueue q;
+        Cluster cl(q, topo, priorityConfig(ratio), mix());
+        const auto rep = cl.run();
+        lat.push_back(rep.jobs[1].mean_latency);
+    }
+    EXPECT_LE(lat[1], lat[0] * (1.0 + 1e-9));
+    EXPECT_LE(lat[2], lat[1] * (1.0 + 1e-9));
+    EXPECT_LT(lat[2], lat[0]);
+}
+
+// ------------------------------------------------- periodic inference
+
+TEST(Cluster, DeadlineAccountingSoloStream)
+{
+    const Topology topo = presets::byName("2D-SW_SW");
+    // Solo: every request sees an idle fabric, so a generous deadline
+    // hits 100% and an impossible one misses 100%.
+    for (double deadline : {1.0e6, 1.0e3}) {
+        sim::EventQueue q;
+        JobSpec infer = JobSpec::periodicInference(
+            3.2e7, 1.0e6, deadline);
+        infer.max_requests = 5;
+        Cluster cl(q, topo, priorityConfig(1.0), {infer});
+        const auto rep = cl.run();
+        EXPECT_EQ(rep.jobs[0].requests_issued, 5);
+        EXPECT_EQ(rep.jobs[0].requests_completed, 5);
+        if (deadline > 1.0e5)
+            EXPECT_DOUBLE_EQ(rep.jobs[0].deadline_hit_rate, 1.0);
+        else
+            EXPECT_DOUBLE_EQ(rep.jobs[0].deadline_hit_rate, 0.0);
+        EXPECT_GT(rep.jobs[0].mean_latency, 0.0);
+        EXPECT_GE(rep.makespan, rep.jobs[0].finished);
+    }
+}
+
+TEST(Cluster, OpenEndedPeriodicStopsWhenTrainingDrains)
+{
+    const Topology topo = presets::byName("2D-SW_SW");
+    sim::EventQueue q;
+    std::vector<JobSpec> specs;
+    specs.push_back(
+        JobSpec::training(models::byName("DLRM"), 2));
+    specs.push_back(JobSpec::periodicInference(1.6e7, 1.0e5));
+    Cluster cl(q, topo, priorityConfig(4.0), std::move(specs));
+    const auto rep = cl.run();
+    // The stream issued at least once and stopped: every issued
+    // request completed, and the job finished no later than the
+    // makespan.
+    EXPECT_GT(rep.jobs[1].requests_issued, 1);
+    EXPECT_EQ(rep.jobs[1].requests_issued,
+              rep.jobs[1].requests_completed);
+    EXPECT_GE(rep.jobs[1].finished, 0.0);
+    EXPECT_LE(rep.jobs[1].finished, rep.makespan);
+}
+
+TEST(Cluster, NeverArrivedPeriodicClosesCleanlyAtDrain)
+{
+    const Topology topo = presets::byName("2D-SW_SW");
+    sim::EventQueue q;
+    std::vector<JobSpec> specs;
+    specs.push_back(JobSpec::training(models::byName("DLRM"), 2));
+    // Arrives long after the training job drains: the pending arrival
+    // must be cancelled (no makespan stretch) and the job closed with
+    // zero work and a non-negative JCT.
+    specs.push_back(
+        JobSpec::periodicInference(1.6e7, 1.0e5, 0.0, 1.0e12));
+    Cluster cl(q, topo, priorityConfig(1.0), std::move(specs));
+    const auto rep = cl.run();
+    EXPECT_EQ(rep.jobs[1].requests_issued, 0);
+    EXPECT_GE(rep.jobs[1].jct(), 0.0);
+    EXPECT_DOUBLE_EQ(rep.makespan, rep.jobs[0].finished);
+    EXPECT_LT(rep.makespan, 1.0e12);
+}
+
+TEST(Cluster, OpenEndedPeriodicWithoutTrainingRejected)
+{
+    EXPECT_THROW(
+        JobScheduler({JobSpec::periodicInference(1.6e7, 1.0e5)}),
+        ConfigError);
+}
+
+// --------------------------------------- weight-aware admission (S1)
+
+TEST(Admission, WeightAwareBitIdenticalToTierBlindUnderUniform)
+{
+    const Topology topo = presets::byName("3D-SW_SW_SW_homo");
+    // Uniform weights: the weighted service demand reduces to the
+    // tier-blind sum term for term, so full runs are bit-identical.
+    for (bool tiered_classes : {false, true}) {
+        std::vector<TimeNs> durs[2];
+        for (int legacy = 0; legacy < 2; ++legacy) {
+            runtime::RuntimeConfig cfg = runtime::themisScfConfig();
+            if (tiered_classes) {
+                // tiered(1): classes separated, weights all 1.
+                cfg.scheduler = SchedulerKind::ThemisPriority;
+                cfg.priority = PriorityPolicy::tiered(1.0);
+            }
+            cfg.legacy_tier_blind_headroom = legacy == 1;
+            sim::EventQueue q;
+            runtime::CommRuntime comm(q, topo, cfg);
+            std::vector<int> ids;
+            for (int i = 0; i < 4; ++i) {
+                CollectiveRequest req;
+                req.type = CollectiveType::AllReduce;
+                req.size = 2.0e8;
+                req.chunks = 32;
+                req.priority_tier = i % kNumPriorityTiers;
+                ids.push_back(comm.issue(req));
+            }
+            q.run();
+            for (int id : ids)
+                durs[legacy].push_back(comm.record(id).duration());
+        }
+        ASSERT_EQ(durs[0].size(), durs[1].size());
+        for (std::size_t i = 0; i < durs[0].size(); ++i)
+            EXPECT_TRUE(bitEquals(durs[0][i], durs[1][i]))
+                << "tiered_classes=" << tiered_classes << " op " << i;
+    }
+}
+
+TEST(Admission, WeightAwareHeadroomHelpsUrgentUnderWeights)
+{
+    const Topology topo = presets::byName("2D-SW_SW");
+    // With real weight ladders the weight-aware check admits urgent
+    // work a bulk backlog would have blocked; the urgent stream must
+    // be no slower than under the tier-blind check.
+    TimeNs mean[2] = {0.0, 0.0};
+    for (int legacy = 0; legacy < 2; ++legacy) {
+        runtime::RuntimeConfig cfg = priorityConfig(16.0);
+        cfg.legacy_tier_blind_headroom = legacy == 1;
+        sim::EventQueue q;
+        Cluster cl(q, topo, cfg, contentionMix());
+        mean[legacy] = cl.run().jobs[1].mean_latency;
+    }
+    EXPECT_LE(mean[0], mean[1] * (1.0 + 1e-9));
+}
+
+// ---------------------------------------------------- offset search
+
+TEST(Cluster, OffsetSearchNeverLosesToZeroOffset)
+{
+    const Topology topo = presets::byName("2D-SW_SW");
+    std::vector<JobSpec> twins;
+    twins.push_back(JobSpec::training(models::byName("DLRM"), 2));
+    twins.push_back(JobSpec::training(models::byName("DLRM"), 2));
+    cluster::OffsetSearchOptions opts;
+    opts.steps = 4;
+    opts.iterations = 2;
+    const auto res = cluster::searchPhaseOffsets(
+        topo, priorityConfig(1.0), twins, opts);
+    ASSERT_EQ(res.candidates.size(), 4u);
+    EXPECT_GT(res.base_period, 0.0);
+    // f = 0 is always evaluated, so best <= zero by construction.
+    EXPECT_LE(res.best.metric, res.zero_metric);
+    EXPECT_DOUBLE_EQ(res.candidates[0].metric, res.zero_metric);
+    // Zero offsets for candidate 0; job 0 never shifts.
+    for (const auto& c : res.candidates)
+        EXPECT_DOUBLE_EQ(c.offsets[0], 0.0);
+    EXPECT_DOUBLE_EQ(res.candidates[0].offsets[1], 0.0);
+}
+
+// --------------------------------------- lockstep convergence (S2)
+
+TEST(Cluster, LockstepConvergenceReplayBitIdenticalToFullSim)
+{
+    const Topology topo = presets::byName("2D-SW_SW");
+    auto mix = [] {
+        std::vector<JobSpec> specs;
+        specs.push_back(
+            JobSpec::training(models::byName("DLRM"), 8));
+        specs.push_back(
+            JobSpec::training(models::byName("GNMT"), 8));
+        return specs;
+    };
+    workload::ConvergenceOptions with_replay;
+    with_replay.iterations = 8;
+    workload::ConvergenceOptions no_replay = with_replay;
+    no_replay.replay = false;
+
+    sim::EventQueue q1;
+    Cluster c1(q1, topo, runtime::themisScfConfig(), mix());
+    ASSERT_TRUE(c1.replayEligibility().eligible);
+    const auto replayed = c1.runConverged(with_replay);
+
+    sim::EventQueue q2;
+    Cluster c2(q2, topo, runtime::themisScfConfig(), mix());
+    const auto full = c2.runConverged(no_replay);
+
+    EXPECT_GE(replayed.steady_at, 0);
+    EXPECT_GT(replayed.replayed_iterations, 0);
+    EXPECT_EQ(full.replayed_iterations, 0);
+    EXPECT_TRUE(workload::resultsBitIdentical(replayed, full));
+    EXPECT_TRUE(replayed.replay_refusal.empty());
+}
+
+TEST(Cluster, LockstepExactnessCheckPassesOnTwoJobMix)
+{
+    const Topology topo = presets::byName("2D-SW_SW");
+    std::vector<JobSpec> specs;
+    specs.push_back(JobSpec::training(models::byName("DLRM"), 6));
+    specs.push_back(JobSpec::training(models::byName("DLRM"), 6));
+    workload::ConvergenceOptions opts;
+    opts.iterations = 6;
+    opts.exactness_check = true; // asserts internally on divergence
+    sim::EventQueue q;
+    Cluster cl(q, topo, runtime::themisScfConfig(),
+               std::move(specs));
+    const auto r = cl.runConverged(opts);
+    EXPECT_GE(r.steady_at, 0);
+    EXPECT_EQ(r.simulated_iterations, 6);
+}
+
+TEST(Cluster, ReplayRefusedForPeriodicMixes)
+{
+    std::vector<JobSpec> specs;
+    specs.push_back(JobSpec::training(models::byName("DLRM"), 2));
+    specs.push_back(JobSpec::periodicInference(1.6e7, 1.0e5));
+    const auto elig = JobScheduler(specs).replayEligibility();
+    EXPECT_FALSE(elig.eligible);
+    EXPECT_NE(elig.reason.find("periodic"), std::string::npos);
+
+    // And the cluster-level convergence entry point refuses loudly.
+    sim::EventQueue q;
+    Cluster cl(q, presets::byName("2D-SW_SW"), priorityConfig(1.0),
+               std::move(specs));
+    EXPECT_THROW(cl.runConverged(workload::ConvergenceOptions{}),
+                 ConfigError);
+}
+
+TEST(Cluster, ReplayRefusedForCoPrimePeriods)
+{
+    // 9973 and 10007 ns are co-prime: the hyper-period is ~1e8 x the
+    // shortest period, far beyond any practical steady-state horizon.
+    std::vector<JobSpec> specs;
+    JobSpec a = JobSpec::periodicInference(1.6e7, 9973.0);
+    a.max_requests = 4;
+    JobSpec b = JobSpec::periodicInference(1.6e7, 10007.0);
+    b.max_requests = 4;
+    specs.push_back(a);
+    specs.push_back(b);
+    const auto elig = JobScheduler(specs).replayEligibility();
+    EXPECT_FALSE(elig.eligible);
+    EXPECT_NE(elig.reason.find("co-prime"), std::string::npos);
+}
+
+TEST(Cluster, ReplayRefusedForStaggeredArrivals)
+{
+    std::vector<JobSpec> specs;
+    specs.push_back(JobSpec::training(models::byName("DLRM"), 2));
+    specs.push_back(
+        JobSpec::training(models::byName("DLRM"), 2, 5.0e4));
+    const auto elig = JobScheduler(specs).replayEligibility();
+    EXPECT_FALSE(elig.eligible);
+    EXPECT_NE(elig.reason.find("arrive"), std::string::npos);
+}
+
+TEST(Convergence, SingleLoopReplayRefusedOnMultiJobRuntime)
+{
+    const Topology topo = presets::byName("2D-SW_SW");
+    sim::EventQueue q;
+    runtime::CommRuntime comm(q, topo, runtime::themisScfConfig());
+    // Another tenant used this runtime first (job 1), then drained.
+    CollectiveRequest other;
+    other.type = CollectiveType::AllReduce;
+    other.size = 1.0e8;
+    other.job = 1;
+    comm.issue(other);
+    q.run();
+    EXPECT_EQ(comm.jobsObserved(), 2);
+
+    workload::TrainingLoop loop(comm, models::byName("DLRM"));
+    workload::ConvergenceOptions opts;
+    opts.iterations = 4;
+    const auto r = workload::runConverged(comm, loop, opts);
+    EXPECT_FALSE(r.replay_refusal.empty());
+    EXPECT_EQ(r.replayed_iterations, 0);
+    EXPECT_EQ(r.simulated_iterations, 4);
+}
+
+TEST(Convergence, MultiLoopReplayRefusedWhenAJobIdGapIsUncovered)
+{
+    const Topology topo = presets::byName("2D-SW_SW");
+    sim::EventQueue q;
+    runtime::CommRuntime comm(q, topo, runtime::themisScfConfig());
+    // A tenant at job 1, inside the range the loops span ({0, 2}),
+    // must still trigger the refusal — coverage is a set property,
+    // not a maximum.
+    CollectiveRequest other;
+    other.type = CollectiveType::AllReduce;
+    other.size = 1.0e8;
+    other.job = 1;
+    comm.issue(other);
+    q.run();
+
+    workload::TrainingLoop l0(comm, models::byName("DLRM"));
+    workload::TrainingLoop l2(comm, models::byName("DLRM"));
+    l0.setJob(0);
+    l2.setJob(2);
+    workload::ConvergenceOptions opts;
+    opts.iterations = 3;
+    const auto r =
+        workload::runConverged(comm, {&l0, &l2}, opts);
+    EXPECT_FALSE(r.replay_refusal.empty());
+    EXPECT_NE(r.replay_refusal.find("job 1"), std::string::npos);
+    EXPECT_EQ(r.replayed_iterations, 0);
+}
+
+// --------------------------------------------------- misc validation
+
+TEST(Cluster, JobSpecValidation)
+{
+    EXPECT_THROW(JobScheduler({}), ConfigError);
+    JobSpec bad_train =
+        JobSpec::training(models::byName("DLRM"), 0);
+    EXPECT_THROW(JobScheduler({bad_train}), ConfigError);
+    JobSpec bad_infer = JobSpec::periodicInference(0.0, 1.0e5);
+    EXPECT_THROW(JobScheduler({bad_infer}), ConfigError);
+    JobSpec bad_period = JobSpec::periodicInference(1.0e7, 0.0);
+    EXPECT_THROW(JobScheduler({bad_period}), ConfigError);
+}
+
+TEST(Cluster, StaggeredArrivalsRunAndFinishInOrderOfWork)
+{
+    const Topology topo = presets::byName("2D-SW_SW");
+    sim::EventQueue q;
+    std::vector<JobSpec> specs;
+    specs.push_back(JobSpec::training(models::byName("DLRM"), 2));
+    specs.push_back(
+        JobSpec::training(models::byName("DLRM"), 2, 2.0e5));
+    Cluster cl(q, topo, runtime::themisScfConfig(),
+               std::move(specs));
+    const auto rep = cl.run();
+    EXPECT_DOUBLE_EQ(rep.jobs[1].arrival, 2.0e5);
+    // Both jobs ran to completion; the staggered one finished last
+    // (same work, later start under symmetric contention).
+    EXPECT_EQ(rep.jobs[0].iterations, 2);
+    EXPECT_EQ(rep.jobs[1].iterations, 2);
+    EXPECT_GT(rep.jobs[1].finished, rep.jobs[0].finished);
+    EXPECT_DOUBLE_EQ(rep.makespan, rep.jobs[1].finished);
+}
+
+} // namespace
+} // namespace themis

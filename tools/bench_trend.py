@@ -17,6 +17,10 @@ Tracked metrics (higher is better):
                       but too noisy to gate)
   BENCH_priority.json -> reported only (simulated-time study; its own
                       binary asserts the semantic invariants)
+  BENCH_cluster.json -> cells_per_sec of the multi-job contention
+                      grid; the deadline hit rates and offset-search
+                      gain are historized/reported but not gated
+                      (simulated-time metrics asserted in-binary)
 
 Beyond the previous-run diff, the script maintains a per-PR history
 table: bench_results/history.csv (long format: run,metric,value). The
@@ -101,17 +105,38 @@ def convergence_info_metrics(doc):
     return {k: v for k, v in out.items() if isinstance(v, (int, float))}
 
 
+def cluster_metrics(doc):
+    """{label: cells_per_sec} of the multi-job contention grid."""
+    out = {"cluster/cells_per_sec": doc.get("cells_per_sec")}
+    return {k: v for k, v in out.items() if isinstance(v, (int, float))}
+
+
+def cluster_info_metrics(doc):
+    """History-only cluster metrics: simulated-time outcomes whose
+    invariants (improvement, conservation) the bench asserts
+    in-binary; historized so drift across PRs stays visible."""
+    out = {}
+    deadline = doc.get("deadline", {})
+    out["cluster/deadline_hit_rate_tiered"] = deadline.get(
+        "tiered_hit_rate")
+    offset = doc.get("offset_search", {})
+    out["cluster/offset_search_gain"] = offset.get("gain")
+    return {k: v for k, v in out.items() if isinstance(v, (int, float))}
+
+
 # Single source of truth for what the gate diffs AND what the history
 # table records — add new BENCH files here and both stay in sync.
 TRACKED = (
     ("BENCH_core.json", core_metrics),
     ("BENCH_e2e.json", e2e_metrics),
     ("BENCH_convergence.json", convergence_metrics),
+    ("BENCH_cluster.json", cluster_metrics),
 )
 
 # Historized but never gated (too noisy or purely informational).
 TRACKED_INFO = (
     ("BENCH_convergence.json", convergence_info_metrics),
+    ("BENCH_cluster.json", cluster_info_metrics),
 )
 
 
@@ -246,6 +271,17 @@ def main():
         print(f"BENCH_priority: urgent-tenant max gain "
               f"{prio.get('hi_priority_max_gain', '?')}x, "
               f"bytes_conserved={prio.get('bytes_conserved', '?')} "
+              f"(informational)")
+    clus = load(os.path.join(args.curr, "BENCH_cluster.json"))
+    if clus is not None:
+        deadline = clus.get("deadline", {})
+        offset = clus.get("offset_search", {})
+        print(f"BENCH_cluster: per-job bytes conserved="
+              f"{clus.get('conservation', {}).get('bytes_conserved_per_job', '?')}, "
+              f"deadline hit rate "
+              f"{deadline.get('uniform_hit_rate', '?')} -> "
+              f"{deadline.get('tiered_hit_rate', '?')}, "
+              f"offset-search gain {offset.get('gain', '?')}x "
               f"(informational)")
     conv = load(os.path.join(args.curr, "BENCH_convergence.json"))
     if conv is not None:
