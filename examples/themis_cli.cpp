@@ -21,7 +21,35 @@
  *                         chunk counts when given — sharing one plan
  *                         cache across the grid's workers; malformed
  *                         entries are rejected with an entry/column
- *                         diagnostic
+ *                         diagnostic. Cluster mixes (--jobs with
+ *                         '|'-separated spec lists) add a jobs axis:
+ *                         each cell co-simulates one mix instead of
+ *                         one collective
+ *     --shard I/N         own only the grid cells whose canonical
+ *                         index is congruent to I mod N; run the N
+ *                         shards in independent processes and --merge
+ *                         their stores back bit-identically
+ *     --results PATH      append-only JSONL results store: every
+ *                         completed cell streams one record (key,
+ *                         values, fingerprint, wall time); on restart
+ *                         recorded cells are skipped (crash-safe
+ *                         resume, truncated tails dropped)
+ *     --max-cells N       stop after simulating N new cells (resume
+ *                         testing: interrupt a run deterministically)
+ *     --merge OUT,IN...   write the canonical merge of the IN result
+ *                         stores to OUT and exit; shards of one grid
+ *                         merge byte-equal to the 1-process store
+ *     --serve             memoized what-if query loop: read queries
+ *                         from stdin (whitespace-separated key=value,
+ *                         blank line flushes a batch), simulate
+ *                         misses through the warm shared plan cache,
+ *                         answer repeats from --results / the session
+ *                         without re-simulating, report hit/miss and
+ *                         latency stats at EOF. Query keys: topo=
+ *                         (required), sched=base|fifo|scf,
+ *                         chunks=N, type=ar|rs|ag|a2a, size=BYTES,
+ *                         or model=NAME [iters=N] for a convergence
+ *                         replay of a training workload
  *     --priority W        two-tenant priority demo on --topo: an
  *                         urgent All-Reduce chain (weight W) vs bulk
  *                         All-Reduces (weight 1) under the
@@ -77,8 +105,15 @@
  */
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "cluster/cluster.hpp"
 #include "common/error.hpp"
@@ -89,6 +124,8 @@
 #include "models/model_zoo.hpp"
 #include "npu/npu_machine.hpp"
 #include "runtime/comm_runtime.hpp"
+#include "sim/grid_shard.hpp"
+#include "sim/result_store.hpp"
 #include "sim/sweep_runner.hpp"
 #include "stats/summary.hpp"
 #include "stats/trace_writer.hpp"
@@ -113,7 +150,10 @@ usage(const char* argv0)
                  "[--priority W] [--jobs N|SPECS]\n"
                  "          [--iterations N] [--model NAME] [--exact] "
                  "[--no-replay]\n"
-                 "          [--tier-ratio W] [--offset-search]\n",
+                 "          [--tier-ratio W] [--offset-search]\n"
+                 "          [--shard I/N] [--results PATH] "
+                 "[--max-cells N]\n"
+                 "          [--merge OUT,IN1,IN2,...] [--serve]\n",
                  argv0);
     std::exit(2);
 }
@@ -128,14 +168,26 @@ resolveTopology(const std::string& arg)
 }
 
 /**
+ * One --grid topology axis entry. The raw token travels with the
+ * resolved topology because it is the canonical result-store key
+ * field: custom specs all resolve to a Topology named "custom", so
+ * keying on the resolved name would collide distinct platforms.
+ */
+struct GridTopo
+{
+    std::string token;
+    Topology topo;
+};
+
+/**
  * Parse a --grid topology list, rejecting malformed entries with an
  * entry-number/column diagnostic instead of silently skipping them
  * (the list is a single argument, so "line" is always 1).
  */
-std::vector<Topology>
+std::vector<GridTopo>
 parseGridList(const std::string& grid_arg)
 {
-    std::vector<Topology> out;
+    std::vector<GridTopo> out;
     std::size_t entry = 0;
     std::size_t pos = 0;
     while (pos <= grid_arg.size()) {
@@ -152,7 +204,7 @@ parseGridList(const std::string& grid_arg)
                                             "stray ';' or name a "
                                             "topology");
         try {
-            out.push_back(resolveTopology(tok));
+            out.push_back({tok, resolveTopology(tok)});
         } catch (const ConfigError& e) {
             THEMIS_FATAL("--grid entry " << entry << " (line 1, column "
                                          << column << "): '" << tok
@@ -276,6 +328,106 @@ parseJobSpecs(const std::string& arg, int default_iterations)
     return specs;
 }
 
+/** One --jobs mix on the grid's jobs axis. */
+struct JobsMix
+{
+    /** Raw mix token (hashed into the result-store key field). */
+    std::string token;
+    std::vector<cluster::JobSpec> specs;
+};
+
+/**
+ * Parse a '|'-separated list of cluster mixes for the --grid jobs
+ * axis; each mix is one parseJobSpecs() spec list, so malformed
+ * entries get the same entry/key diagnostics, prefixed with the mix
+ * number.
+ */
+std::vector<JobsMix>
+parseJobsMixes(const std::string& arg, int default_iterations)
+{
+    std::vector<JobsMix> out;
+    std::size_t mix = 0;
+    for (const std::string& tok : split(arg, '|')) {
+        ++mix;
+        if (tok.find_first_not_of(" \t") == std::string::npos)
+            THEMIS_FATAL("--jobs mix " << mix
+                                       << " is empty; remove the "
+                                          "stray '|' or name jobs");
+        try {
+            out.push_back(
+                {tok, parseJobSpecs(tok, default_iterations)});
+        } catch (const ConfigError& e) {
+            THEMIS_FATAL("--jobs mix " << mix << ": " << e.what());
+        }
+    }
+    return out;
+}
+
+/** FNV-1a over @p n bytes, continuing @p h. */
+std::uint64_t
+fnv1a(const void* data, std::size_t n,
+      std::uint64_t h = 14695981039346656037ull)
+{
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** 16-hex-digit rendering of @p h (result-key mix hashes). */
+std::string
+hex16(std::uint64_t h)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+/**
+ * Exact double rendering for result-store key fields ("%.17g"
+ * round-trips any IEEE double), so a --serve query key matches the
+ * grid-written record byte-for-byte.
+ */
+std::string
+keyDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/** Result fingerprint: FNV-1a over names and value bit patterns. */
+std::uint64_t
+valuesFingerprint(
+    const std::vector<std::pair<std::string, double>>& values)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    for (const auto& [name, v] : values) {
+        h = fnv1a(name.data(), name.size(), h);
+        h = fnv1a(&v, sizeof(v), h);
+    }
+    return h;
+}
+
+/** One evaluated grid cell / --serve query: values + wall time. */
+struct CellOutcome
+{
+    std::vector<std::pair<std::string, double>> values;
+    double wall_ms = 0.0;
+};
+
+/** Monotonic wall clock in milliseconds. */
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
 /** One scheduler column of the --sweep/--grid tables. */
 struct SchedulerSetup
 {
@@ -315,6 +467,11 @@ main(int argc, char** argv)
     std::string model_arg = "Transformer-1T";
     bool exactness = false;
     bool no_replay = false;
+    std::string shard_arg;
+    std::string results_path;
+    std::string merge_arg;
+    int max_cells = 0;
+    bool serve = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string flag = argv[i];
@@ -371,12 +528,51 @@ main(int argc, char** argv)
             exactness = true;
         } else if (flag == "--no-replay") {
             no_replay = true;
+        } else if (flag == "--shard") {
+            shard_arg = need_value();
+        } else if (flag == "--results") {
+            results_path = need_value();
+        } else if (flag == "--max-cells") {
+            max_cells = std::atoi(need_value().c_str());
+            if (max_cells < 1)
+                usage(argv[0]);
+        } else if (flag == "--merge") {
+            merge_arg = need_value();
+        } else if (flag == "--serve") {
+            serve = true;
         } else {
             usage(argv[0]);
         }
     }
 
     try {
+        if (!merge_arg.empty()) {
+            // Offline canonical merge of shard result stores: the
+            // output is byte-equal to the canonicalBytes() of a
+            // 1-process run over the same grid, so a plain diff (or
+            // cmp) proves the sharded execution exact.
+            const std::vector<std::string> parts =
+                split(merge_arg, ',');
+            if (parts.size() < 2)
+                THEMIS_FATAL("--merge wants OUT,IN1[,IN2,...]; got '"
+                             << merge_arg << "'");
+            const std::vector<std::string> inputs(parts.begin() + 1,
+                                                  parts.end());
+            const std::string merged =
+                sim::ResultStore::canonicalMerge(inputs);
+            std::FILE* f = std::fopen(parts.front().c_str(), "wb");
+            if (f == nullptr)
+                THEMIS_FATAL("--merge: cannot write '" << parts.front()
+                                                       << "'");
+            std::fwrite(merged.data(), 1, merged.size(), f);
+            std::fclose(f);
+            std::printf("merged %zu store(s) -> %s (%zu bytes, "
+                        "canonical)\n",
+                        inputs.size(), parts.front().c_str(),
+                        merged.size());
+            return 0;
+        }
+
         const Topology topo = resolveTopology(topo_arg);
 
         CollectiveRequest req;
@@ -404,7 +600,306 @@ main(int argc, char** argv)
             usage(argv[0]);
         cfg.enforce_consistent_order = enforce;
 
-        if (!jobs_arg.empty()) {
+        if (serve) {
+            // Memoized what-if query loop (grammar in the usage
+            // comment). Misses of each batch fan across the sweep
+            // workers against one warm shared plan cache; repeats —
+            // within a batch, across batches, or recorded by an
+            // earlier grid/serve run in --results — are answered from
+            // the store without re-simulating. Collective query keys
+            // are identical to --grid cell keys, so a sharded grid
+            // pre-populates the service.
+            const std::vector<SchedulerSetup> setups =
+                schedulerSetups();
+            std::unique_ptr<sim::ResultStore> store;
+            if (!results_path.empty())
+                store =
+                    std::make_unique<sim::ResultStore>(results_path);
+            std::unordered_map<std::string, sim::ResultRecord> session;
+            PlanCache cache;
+
+            struct Query
+            {
+                std::string line;
+                std::string error; ///< non-empty: rejected at parse
+                std::string key;
+                std::optional<Topology> topo;
+                std::size_t sched = 2; ///< setups index (scf)
+                int chunks = 0;
+                CollectiveType type = CollectiveType::AllReduce;
+                Bytes size = 0.0;
+                bool is_model = false;
+                std::string model;
+                int iters = 3;
+            };
+            auto parseQuery = [&](const std::string& line) {
+                Query q;
+                q.line = line;
+                q.chunks = chunks;
+                q.size = size;
+                std::string topo_tok, type_tok = type_arg;
+                std::istringstream in(line);
+                std::string tok;
+                while (in >> tok) {
+                    const std::size_t eq = tok.find('=');
+                    if (eq == std::string::npos) {
+                        q.error =
+                            "token '" + tok + "' is not key=value";
+                        return q;
+                    }
+                    const std::string key = toLower(tok.substr(0, eq));
+                    const std::string val = tok.substr(eq + 1);
+                    if (val.find_first_of(";=") != std::string::npos) {
+                        q.error = "value '" + val +
+                                  "' contains a reserved ';' or '='";
+                        return q;
+                    }
+                    if (key == "topo") {
+                        topo_tok = val;
+                    } else if (key == "sched") {
+                        const std::string s = toLower(val);
+                        if (s == "base")
+                            q.sched = 0;
+                        else if (s == "fifo")
+                            q.sched = 1;
+                        else if (s == "scf")
+                            q.sched = 2;
+                        else {
+                            q.error = "bad sched '" + val +
+                                      "' (base|fifo|scf)";
+                            return q;
+                        }
+                    } else if (key == "chunks") {
+                        q.chunks = std::atoi(val.c_str());
+                        if (q.chunks < 1) {
+                            q.error = "bad chunks '" + val + "'";
+                            return q;
+                        }
+                    } else if (key == "type") {
+                        type_tok = toLower(val);
+                    } else if (key == "size") {
+                        q.size = std::atof(val.c_str());
+                        if (q.size <= 0.0) {
+                            q.error = "bad size '" + val + "'";
+                            return q;
+                        }
+                    } else if (key == "model") {
+                        q.is_model = true;
+                        q.model = val;
+                    } else if (key == "iters") {
+                        q.iters = std::atoi(val.c_str());
+                        if (q.iters < 1) {
+                            q.error = "bad iters '" + val + "'";
+                            return q;
+                        }
+                    } else {
+                        q.error = "unknown key '" + key +
+                                  "' (topo sched chunks type size "
+                                  "model iters)";
+                        return q;
+                    }
+                }
+                if (topo_tok.empty()) {
+                    q.error = "topo= is required";
+                    return q;
+                }
+                try {
+                    q.topo = resolveTopology(topo_tok);
+                    if (q.is_model)
+                        (void)models::byName(q.model);
+                } catch (const ConfigError& e) {
+                    q.error = e.what();
+                    return q;
+                }
+                if (!q.is_model) {
+                    if (type_tok == "ar")
+                        q.type = CollectiveType::AllReduce;
+                    else if (type_tok == "rs")
+                        q.type = CollectiveType::ReduceScatter;
+                    else if (type_tok == "ag")
+                        q.type = CollectiveType::AllGather;
+                    else if (type_tok == "a2a")
+                        q.type = CollectiveType::AllToAll;
+                    else {
+                        q.error = "bad type '" + type_tok +
+                                  "' (ar|rs|ag|a2a)";
+                        return q;
+                    }
+                }
+                std::vector<std::pair<std::string, std::string>> kv = {
+                    {"topo", topo_tok},
+                    {"sched", setups[q.sched].name},
+                    {"chunks", std::to_string(q.chunks)},
+                    {"enforce", enforce ? "1" : "0"}};
+                if (q.is_model) {
+                    kv.push_back({"model", q.model});
+                    kv.push_back({"iters", std::to_string(q.iters)});
+                } else {
+                    kv.push_back({"type", type_tok});
+                    kv.push_back({"size", keyDouble(q.size)});
+                }
+                q.key = sim::makeResultKey(std::move(kv));
+                return q;
+            };
+
+            std::size_t n_q = 0, n_hit = 0, n_miss = 0, n_err = 0;
+            double hit_ms = 0.0, miss_ms = 0.0;
+            std::vector<Query> batch;
+            auto lookupRecord = [&](const std::string& key)
+                -> const sim::ResultRecord* {
+                if (store != nullptr)
+                    return store->find(key);
+                const auto it = session.find(key);
+                return it == session.end() ? nullptr : &it->second;
+            };
+            auto flush = [&]() {
+                if (batch.empty())
+                    return;
+                // The batch's unique unanswered keys simulate in
+                // parallel; everything else is a memoized hit.
+                std::vector<std::size_t> miss_idx;
+                std::unordered_set<std::string> batch_keys;
+                for (std::size_t i = 0; i < batch.size(); ++i) {
+                    const Query& q = batch[i];
+                    if (!q.error.empty() ||
+                        lookupRecord(q.key) != nullptr ||
+                        !batch_keys.insert(q.key).second)
+                        continue;
+                    miss_idx.push_back(i);
+                }
+                const auto outs = sim::sweepIndexed(
+                    miss_idx.size(),
+                    [&](std::size_t j, sim::EventQueue& queue) {
+                        const Query& q = batch[miss_idx[j]];
+                        const double t0 = nowMs();
+                        CellOutcome out;
+                        runtime::RuntimeConfig run_cfg =
+                            setups[q.sched].cfg;
+                        run_cfg.enforce_consistent_order = enforce;
+                        run_cfg.plan_cache = &cache;
+                        run_cfg.default_chunks = q.chunks;
+                        if (q.is_model) {
+                            runtime::CommRuntime comm(queue, *q.topo,
+                                                      run_cfg);
+                            workload::TrainingLoop loop(
+                                comm, models::byName(q.model));
+                            workload::ConvergenceOptions copts;
+                            copts.iterations = q.iters;
+                            const auto r = workload::runConverged(
+                                comm, loop, copts);
+                            out.values = {
+                                {"total_ns", r.total.total},
+                                {"iter_ns", r.last.total},
+                                {"util", r.utilization}};
+                        } else {
+                            CollectiveRequest r;
+                            r.type = q.type;
+                            r.size = q.size;
+                            r.chunks = q.chunks;
+                            runtime::CommRuntime comm(queue, *q.topo,
+                                                      run_cfg);
+                            const int cid = comm.issue(r);
+                            queue.run();
+                            comm.finalizeStats();
+                            out.values = {
+                                {"time_ns",
+                                 comm.record(cid).duration()},
+                                {"util", comm.utilization()
+                                             .weightedUtilization()}};
+                        }
+                        out.wall_ms = nowMs() - t0;
+                        return out;
+                    },
+                    sim::SweepOptions{jobs});
+                std::unordered_map<std::string, double> simulated_ms;
+                for (std::size_t j = 0; j < miss_idx.size(); ++j) {
+                    const Query& q = batch[miss_idx[j]];
+                    sim::ResultRecord rec;
+                    rec.key = q.key;
+                    rec.values = outs[j].values;
+                    rec.fingerprint =
+                        valuesFingerprint(outs[j].values);
+                    rec.wall_ms = outs[j].wall_ms;
+                    simulated_ms[q.key] = outs[j].wall_ms;
+                    if (store != nullptr)
+                        store->append(std::move(rec));
+                    else
+                        session.emplace(q.key, std::move(rec));
+                }
+                for (const Query& q : batch) {
+                    ++n_q;
+                    if (!q.error.empty()) {
+                        ++n_err;
+                        std::printf("error: %s (query '%s')\n",
+                                    q.error.c_str(), q.line.c_str());
+                        continue;
+                    }
+                    const auto sim_it = simulated_ms.find(q.key);
+                    const bool miss = sim_it != simulated_ms.end();
+                    const double t0 = nowMs();
+                    const sim::ResultRecord* rec = lookupRecord(q.key);
+                    double ms = nowMs() - t0;
+                    THEMIS_ASSERT(rec != nullptr,
+                                  "serve: evaluated query missing "
+                                  "from the store");
+                    std::string vals;
+                    for (const auto& [name, v] : rec->values)
+                        vals += " " + name + "=" + keyDouble(v);
+                    if (miss) {
+                        ms = sim_it->second;
+                        // Further repeats in this batch are hits.
+                        simulated_ms.erase(sim_it);
+                        ++n_miss;
+                        miss_ms += ms;
+                    } else {
+                        ++n_hit;
+                        hit_ms += ms;
+                    }
+                    std::printf("result %s ::%s (%s %.4f ms)\n",
+                                q.key.c_str(), vals.c_str(),
+                                miss ? "miss" : "hit", ms);
+                }
+                batch.clear();
+            };
+
+            std::string line;
+            while (std::getline(std::cin, line)) {
+                if (line.find_first_not_of(" \t\r") ==
+                    std::string::npos) {
+                    flush();
+                    continue;
+                }
+                batch.push_back(parseQuery(line));
+            }
+            flush();
+
+            const double mean_hit =
+                n_hit > 0 ? hit_ms / static_cast<double>(n_hit) : 0.0;
+            const double mean_miss =
+                n_miss > 0 ? miss_ms / static_cast<double>(n_miss)
+                           : 0.0;
+            std::printf("serve summary: queries=%zu hits=%zu "
+                        "misses=%zu errors=%zu mean_hit_ms=%.4f "
+                        "mean_miss_ms=%.3f",
+                        n_q, n_hit, n_miss, n_err, mean_hit,
+                        mean_miss);
+            if (n_hit > 0 && n_miss > 0 && mean_hit > 0.0)
+                std::printf(" warm_speedup=%.1fx",
+                            mean_miss / mean_hit);
+            std::printf("\n");
+            const auto cache_stats = cache.stats();
+            std::printf("plan cache: %zu plans, %llu hits / %llu "
+                        "misses\n",
+                        cache.planCount(),
+                        static_cast<unsigned long long>(
+                            cache_stats.plan_hits),
+                        static_cast<unsigned long long>(
+                            cache_stats.plan_misses));
+            return 0;
+        }
+
+        if (!jobs_arg.empty() && grid_arg.empty() &&
+            sweep_arg.empty()) {
             // Multi-job cluster co-simulation on one shared fabric.
             //
             // Flag validation first: the convergence replay flags
@@ -421,13 +916,6 @@ main(int argc, char** argv)
                     << (exactness ? "--exact" : "--no-replay")
                     << ", or run a single workload via --iterations "
                        "with --model");
-            }
-            if (!sweep_arg.empty() || !grid_arg.empty()) {
-                THEMIS_FATAL(
-                    "--jobs cluster specs cannot combine with "
-                    "--sweep/--grid (one fabric, one co-simulation); "
-                    "pass an integer --jobs N to set sweep worker "
-                    "threads instead");
             }
             if (priority_ratio >= 1.0) {
                 THEMIS_FATAL(
@@ -735,15 +1223,24 @@ main(int argc, char** argv)
 
         if (!grid_arg.empty() || !sweep_arg.empty()) {
             // Topology-list grid: every listed platform x all three
-            // schedulers (x the --sweep chunk counts when given), one
-            // independent simulation per cell, one plan cache shared
-            // read-mostly across the grid's workers. A bare --sweep
-            // is the one-topology grid over --topo.
-            std::vector<Topology> grid_topos;
+            // schedulers (x the --sweep chunk counts when given, x
+            // the --jobs cluster mixes when given), one independent
+            // simulation per cell, one plan cache shared read-mostly
+            // across the grid's workers. A bare --sweep is the
+            // one-topology grid over --topo.
+            //
+            // Cells are enumerated into a canonical ordered list by
+            // pure index arithmetic, so every process — whatever its
+            // --shard — agrees on cell order and keys; --shard i/N
+            // owns the strided subset, --results streams completed
+            // cells to a crash-safe journal whose recorded cells are
+            // skipped on restart, and --max-cells caps fresh work to
+            // interrupt a run deterministically (resume testing).
+            std::vector<GridTopo> grid_topos;
             if (!grid_arg.empty())
                 grid_topos = parseGridList(grid_arg);
             else
-                grid_topos.push_back(topo);
+                grid_topos.push_back({topo_arg, topo});
             std::vector<int> chunk_list;
             if (!sweep_arg.empty()) {
                 for (const auto& tok : split(sweep_arg, ','))
@@ -755,65 +1252,230 @@ main(int argc, char** argv)
             } else {
                 chunk_list.push_back(chunks);
             }
+            const int cluster_iters = iterations >= 1 ? iterations : 3;
+            std::vector<JobsMix> mixes;
+            if (!jobs_arg.empty())
+                mixes = parseJobsMixes(jobs_arg, cluster_iters);
             const std::vector<SchedulerSetup> setups =
                 schedulerSetups();
-            struct Outcome
-            {
-                TimeNs time = 0.0;
-                double util = 0.0;
-            };
-            const std::size_t per_topo =
+            const std::size_t n_mix =
+                mixes.empty() ? 1 : mixes.size();
+            const std::size_t per_mix =
                 chunk_list.size() * setups.size();
+            const std::size_t per_topo = n_mix * per_mix;
             const std::size_t cells = grid_topos.size() * per_topo;
+
+            // Canonical cell decomposition, topology-major:
+            // (topo, mix, chunks, scheduler).
+            const auto cellTopo = [&](std::size_t i) {
+                return i / per_topo;
+            };
+            const auto cellMix = [&](std::size_t i) {
+                return i % per_topo / per_mix;
+            };
+            const auto cellChunks = [&](std::size_t i) {
+                return chunk_list[i % per_mix / setups.size()];
+            };
+            const auto cellSched = [&](std::size_t i) {
+                return i % setups.size();
+            };
+            const auto cellKey = [&](std::size_t i) {
+                std::vector<std::pair<std::string, std::string>> kv = {
+                    {"topo", grid_topos[cellTopo(i)].token},
+                    {"sched", setups[cellSched(i)].name},
+                    {"chunks", std::to_string(cellChunks(i))},
+                    {"enforce", enforce ? "1" : "0"}};
+                if (mixes.empty()) {
+                    kv.push_back({"type", type_arg});
+                    kv.push_back({"size", keyDouble(req.size)});
+                } else {
+                    // Mix specs contain '=' (reserved in keys), so
+                    // the jobs field is a content hash of the mix.
+                    kv.push_back(
+                        {"jobs",
+                         hex16(fnv1a(mixes[cellMix(i)].token.data(),
+                                     mixes[cellMix(i)].token.size()))});
+                    kv.push_back({"tiers", keyDouble(tier_ratio)});
+                }
+                return sim::makeResultKey(std::move(kv));
+            };
+
+            sim::ShardSpec shard;
+            if (!shard_arg.empty())
+                shard = sim::parseShardSpec(shard_arg);
+            const std::vector<std::size_t> owned =
+                sim::shardCells(cells, shard);
+            std::unique_ptr<sim::ResultStore> store;
+            if (!results_path.empty())
+                store =
+                    std::make_unique<sim::ResultStore>(results_path);
+
+            std::vector<std::size_t> pending;
+            for (std::size_t cell : owned)
+                if (store == nullptr || !store->has(cellKey(cell)))
+                    pending.push_back(cell);
+            const std::size_t resumed = owned.size() - pending.size();
+            bool interrupted = false;
+            if (max_cells > 0 &&
+                pending.size() >
+                    static_cast<std::size_t>(max_cells)) {
+                pending.resize(static_cast<std::size_t>(max_cells));
+                interrupted = true;
+            }
+
             PlanCache cache;
-            const auto t0 = std::chrono::steady_clock::now();
-            const auto results = sim::sweepIndexed(
-                cells,
-                [&](std::size_t i, sim::EventQueue& queue) {
-                    CollectiveRequest r = req;
-                    r.chunks = chunk_list[i % per_topo /
-                                          setups.size()];
+            const double t0 = nowMs();
+            const auto fresh = sim::sweepIndexed(
+                pending.size(),
+                [&](std::size_t j, sim::EventQueue& queue) {
+                    const std::size_t i = pending[j];
+                    const double c0 = nowMs();
+                    CellOutcome out;
                     runtime::RuntimeConfig run_cfg =
-                        setups[i % setups.size()].cfg;
+                        setups[cellSched(i)].cfg;
                     run_cfg.enforce_consistent_order = enforce;
                     run_cfg.plan_cache = &cache;
-                    runtime::CommRuntime comm(
-                        queue, grid_topos[i / per_topo], run_cfg);
-                    const int cid = comm.issue(r);
-                    queue.run();
-                    comm.finalizeStats();
-                    return Outcome{
-                        comm.record(cid).duration(),
-                        comm.utilization().weightedUtilization()};
+                    const Topology& cell_topo =
+                        grid_topos[cellTopo(i)].topo;
+                    if (mixes.empty()) {
+                        CollectiveRequest r = req;
+                        r.chunks = cellChunks(i);
+                        runtime::CommRuntime comm(queue, cell_topo,
+                                                  run_cfg);
+                        const int cid = comm.issue(r);
+                        queue.run();
+                        comm.finalizeStats();
+                        out.values = {
+                            {"time_ns", comm.record(cid).duration()},
+                            {"util", comm.utilization()
+                                         .weightedUtilization()}};
+                    } else {
+                        // One cluster co-simulation per cell, under
+                        // the same tiered policy the standalone
+                        // cluster mode uses.
+                        runtime::RuntimeConfig ccfg = run_cfg;
+                        if (ccfg.scheduler == SchedulerKind::Themis &&
+                            tier_ratio > 1.0)
+                            ccfg.scheduler =
+                                SchedulerKind::ThemisPriority;
+                        ccfg.priority =
+                            PriorityPolicy::tiered(tier_ratio);
+                        ccfg.default_chunks = cellChunks(i);
+                        cluster::Cluster cl(queue, cell_topo, ccfg,
+                                            mixes[cellMix(i)].specs);
+                        const auto rep = cl.run();
+                        out.values = {
+                            {"makespan_ns", rep.makespan},
+                            {"fabric_util", rep.fabric_utilization},
+                            {"total_bytes", rep.total_bytes}};
+                    }
+                    out.wall_ms = nowMs() - c0;
+                    return out;
                 },
                 sim::SweepOptions{jobs});
-            const double wall_ms =
-                std::chrono::duration<double, std::milli>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count();
+            const double wall_ms = nowMs() - t0;
 
-            std::printf("%s of %s, %zu-cell grid over %zu "
-                        "topologies:\n\n",
-                        collectiveTypeName(req.type).c_str(),
-                        fmtBytes(req.size).c_str(), cells,
-                        grid_topos.size());
-            stats::TextTable t({"Topology", "Chunks", "Scheduler",
-                                "Time", "Avg BW util"});
-            for (std::size_t i = 0; i < cells; ++i) {
-                t.addRow({grid_topos[i / per_topo].name(),
-                          std::to_string(
-                              chunk_list[i % per_topo /
-                                         setups.size()]),
-                          setups[i % setups.size()].name,
-                          fmtTime(results[i].time),
-                          fmtPercent(results[i].util)});
+            // Stream the fresh cells to the journal in canonical cell
+            // order (pending is ascending), so independently produced
+            // shard journals merge deterministically.
+            if (store != nullptr) {
+                for (std::size_t j = 0; j < pending.size(); ++j) {
+                    sim::ResultRecord rec;
+                    rec.key = cellKey(pending[j]);
+                    rec.values = fresh[j].values;
+                    rec.fingerprint =
+                        valuesFingerprint(fresh[j].values);
+                    rec.wall_ms = fresh[j].wall_ms;
+                    store->append(std::move(rec));
+                }
+            }
+
+            if (mixes.empty())
+                std::printf("%s of %s, %zu-cell grid over %zu "
+                            "topologies:\n\n",
+                            collectiveTypeName(req.type).c_str(),
+                            fmtBytes(req.size).c_str(), cells,
+                            grid_topos.size());
+            else
+                std::printf("%zu-mix cluster grid, %zu cells over "
+                            "%zu topologies (policy tiered(%g)):\n\n",
+                            mixes.size(), cells, grid_topos.size(),
+                            tier_ratio);
+            stats::TextTable t(
+                mixes.empty()
+                    ? std::vector<std::string>{"Topology", "Chunks",
+                                               "Scheduler", "Time",
+                                               "Avg BW util"}
+                    : std::vector<std::string>{"Topology", "Jobs",
+                                               "Chunks", "Scheduler",
+                                               "Makespan",
+                                               "Fabric util"});
+            const auto valueOf =
+                [](const std::vector<std::pair<std::string, double>>&
+                       vals,
+                   const char* name) {
+                    for (const auto& [n, v] : vals)
+                        if (n == name)
+                            return v;
+                    return 0.0;
+                };
+            std::size_t jp = 0;
+            for (std::size_t cell : owned) {
+                const std::vector<std::pair<std::string, double>>*
+                    vals = nullptr;
+                if (jp < pending.size() && pending[jp] == cell) {
+                    vals = &fresh[jp].values;
+                    ++jp;
+                } else if (store != nullptr) {
+                    const auto* rec = store->find(cellKey(cell));
+                    if (rec != nullptr)
+                        vals = &rec->values;
+                }
+                if (vals == nullptr)
+                    continue; // beyond the --max-cells cap
+                const std::string topo_name =
+                    grid_topos[cellTopo(cell)].topo.name();
+                if (mixes.empty()) {
+                    t.addRow({topo_name,
+                              std::to_string(cellChunks(cell)),
+                              setups[cellSched(cell)].name,
+                              fmtTime(valueOf(*vals, "time_ns")),
+                              fmtPercent(valueOf(*vals, "util"))});
+                } else {
+                    t.addRow(
+                        {topo_name, mixes[cellMix(cell)].token,
+                         std::to_string(cellChunks(cell)),
+                         setups[cellSched(cell)].name,
+                         fmtTime(valueOf(*vals, "makespan_ns")),
+                         fmtPercent(valueOf(*vals, "fabric_util"))});
+                }
             }
             std::printf("%s", t.render().c_str());
+            if (!shard.whole() || store != nullptr) {
+                std::printf("\nshard %d/%d: %zu of %zu cells owned, "
+                            "%zu resumed from store, %zu simulated%s",
+                            shard.index, shard.count, owned.size(),
+                            cells, resumed, pending.size(),
+                            interrupted
+                                ? " (interrupted by --max-cells)"
+                                : "");
+                if (store != nullptr) {
+                    std::printf("; store %s (%zu records%s)",
+                                store->path().c_str(), store->size(),
+                                store->recoveredTruncatedTail()
+                                    ? ", truncated tail recovered"
+                                    : "");
+                }
+                std::printf("\n");
+            }
             const auto cache_stats = cache.stats();
-            std::printf("\n%.1f ms wall (%.1f cells/sec); plan cache "
-                        "%zu plans, %llu hits / %llu misses\n",
-                        wall_ms, cells / (wall_ms * 1e-3),
-                        cache.planCount(),
+            std::printf("\n%.1f ms wall (%.1f cells/sec over %zu "
+                        "simulated cells); plan cache %zu plans, "
+                        "%llu hits / %llu misses\n",
+                        wall_ms,
+                        static_cast<double>(pending.size()) /
+                            (wall_ms * 1e-3),
+                        pending.size(), cache.planCount(),
                         static_cast<unsigned long long>(
                             cache_stats.plan_hits),
                         static_cast<unsigned long long>(

@@ -119,8 +119,17 @@ Cluster::startTrainingJob(std::size_t idx)
                 return;
             }
             st.finished = queue_.now();
+            retireJobAccounting(static_cast<int>(tj.job));
             onTrainingJobFinished(idx);
         });
+}
+
+void
+Cluster::retireJobAccounting(int job)
+{
+    if (final_wire_.count(job) != 0)
+        return;
+    final_wire_.emplace(job, comm_->retireJob(job));
 }
 
 void
@@ -159,11 +168,14 @@ Cluster::beginDrain()
             queue_.cancel(pj.arrival_event);
             pj.arrival_event = 0;
             st.finished = st.arrival;
+            retireJobAccounting(static_cast<int>(pj.job));
             continue;
         }
-        if (pj.outstanding == 0 && st.finished < 0.0)
+        if (pj.outstanding == 0 && st.finished < 0.0) {
             st.finished =
                 pj.completed > 0 ? pj.last_completion : queue_.now();
+            retireJobAccounting(static_cast<int>(pj.job));
+        }
     }
 }
 
@@ -203,6 +215,7 @@ Cluster::issueRequest(std::size_t idx)
             JobStats& st = stats_[pj.job];
             if (st.finished < 0.0)
                 st.finished = queue_.now();
+            retireJobAccounting(static_cast<int>(pj.job));
         }
     });
     if (spec.max_requests > 0 && pj.issued >= spec.max_requests) {
@@ -227,12 +240,28 @@ Cluster::buildReport()
     }
     const auto wire = comm_->jobReports();
     for (JobStats& st : stats_) {
-        if (static_cast<std::size_t>(st.job) < wire.size()) {
-            const auto& w = wire[static_cast<std::size_t>(st.job)];
-            st.progressed = w.progressed;
-            st.utilization = w.utilization;
-            st.collectives_issued = w.issued;
-            st.collectives_completed = w.completed;
+        // Departed jobs read their departure-time capture (their
+        // runtime accounting was retired); anything still live is
+        // looked up by job id — with retirement the live list is not
+        // index-addressable.
+        const runtime::CommRuntime::JobReport* w = nullptr;
+        const auto fin = final_wire_.find(st.job);
+        if (fin != final_wire_.end()) {
+            w = &fin->second;
+        } else {
+            for (const auto& lw : wire)
+                if (lw.job == st.job)
+                    w = &lw;
+        }
+        if (w != nullptr) {
+            st.progressed = w->progressed;
+            // Re-normalize window bytes against the final active
+            // time: a share frozen at departure would overstate
+            // early-exiting tenants.
+            st.utilization =
+                comm_->utilization().utilizationOf(w->window_bytes);
+            st.collectives_issued = w->issued;
+            st.collectives_completed = w->completed;
         }
         if (st.kind == JobKind::Training) {
             if (st.iterations > 0)

@@ -25,6 +25,7 @@
 #ifndef THEMIS_CLUSTER_CLUSTER_HPP
 #define THEMIS_CLUSTER_CLUSTER_HPP
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -118,6 +119,13 @@ class Cluster
     void onTrainingJobFinished(std::size_t idx);
     /** Stop open-ended periodic streams once training is done. */
     void beginDrain();
+    /**
+     * A job's traffic is complete: capture its final wire report and
+     * retire its runtime accounting (CommRuntime::retireJob), so the
+     * shared maps track only still-active tenants no matter how many
+     * jobs churn through. Idempotent per job.
+     */
+    void retireJobAccounting(int job);
     ClusterReport buildReport();
 
     sim::EventQueue& queue_;
@@ -126,6 +134,12 @@ class Cluster
     std::vector<std::unique_ptr<TrainingJob>> training_;
     std::vector<std::unique_ptr<PeriodicJob>> periodic_;
     std::vector<JobStats> stats_;
+    /**
+     * Final wire reports captured at each job's departure — report
+     * output (one entry per job, like stats_), not accounting state;
+     * the runtime's own maps shrink as jobs retire into here.
+     */
+    std::map<int, runtime::CommRuntime::JobReport> final_wire_;
     int training_remaining_ = 0;
     bool draining_ = false;
     bool used_ = false;

@@ -202,6 +202,7 @@ CommRuntime::issue(const CollectiveRequest& request, Callback on_done)
     flow.job = request.job;
     if (request.job > max_job_seen_)
         max_job_seen_ = request.job;
+    live_jobs_.insert(request.job);
     PlanCache* cache = usableCache();
     const PlanKey key =
         PlanKey::make(config_.scheduler, config_.themis, request.type,
@@ -495,16 +496,22 @@ CommRuntime::classReports()
 {
     // The channels account per (job, tier) pair (accountingClass());
     // tier rows aggregate over jobs. Tiers present: whatever the
-    // channels saw, plus every tier a record was mapped to (a class
-    // may have issued-but-untransferred collectives).
-    int num_acct = 1;
+    // channels currently track, plus the retired-job aggregates,
+    // plus every tier a record was mapped to (a class may have
+    // issued-but-untransferred collectives).
+    std::set<int> acct;
     for (const auto& engine : engines_) {
         engine->channel().sync();
-        num_acct = std::max(num_acct, engine->channel().numClasses());
+        for (const int c : engine->channel().classIds())
+            acct.insert(c);
     }
     int num_tiers = 1;
-    for (int c = 0; c < num_acct; ++c)
+    for (const int c : acct)
         num_tiers = std::max(num_tiers, accountingTier(c) + 1);
+    for (int t = 0; t < kNumPriorityTiers; ++t)
+        if (retired_tiers_[static_cast<std::size_t>(t)].progressed >
+            0.0)
+            num_tiers = std::max(num_tiers, t + 1);
     for (const auto& rec : records_)
         num_tiers = std::max(num_tiers, rec.flow.tier + 1);
 
@@ -514,8 +521,18 @@ CommRuntime::classReports()
         ClassReport& r = out[static_cast<std::size_t>(t)];
         r.tier = t;
         r.weight = config_.priority.flowFor(t).weight;
+        if (t < kNumPriorityTiers) {
+            // Departed tenants' contribution, re-normalized against
+            // the *current* active time so it stays commensurable
+            // with the live classes' utilization shares.
+            const auto& ret =
+                retired_tiers_[static_cast<std::size_t>(t)];
+            r.progressed += ret.progressed;
+            r.utilization +=
+                utilization_->utilizationOf(ret.window_bytes);
+        }
     }
-    for (int c = 0; c < num_acct; ++c) {
+    for (const int c : acct) {
         ClassReport& r =
             out[static_cast<std::size_t>(accountingTier(c))];
         for (const auto& engine : engines_)
@@ -541,37 +558,96 @@ CommRuntime::classReports()
 std::vector<CommRuntime::JobReport>
 CommRuntime::jobReports()
 {
-    int num_acct = 1;
-    for (const auto& engine : engines_) {
+    for (const auto& engine : engines_)
         engine->channel().sync();
-        num_acct = std::max(num_acct, engine->channel().numClasses());
-    }
-    const int num_jobs = jobsObserved();
-    std::vector<JobReport> out(static_cast<std::size_t>(num_jobs));
-    for (int j = 0; j < num_jobs; ++j)
-        out[static_cast<std::size_t>(j)].job = j;
-    for (int c = 0; c < num_acct; ++c) {
-        const int j = accountingJob(c);
-        if (j >= num_jobs)
-            continue;
-        JobReport& r = out[static_cast<std::size_t>(j)];
-        for (const auto& engine : engines_)
-            r.progressed +=
+    std::map<int, JobReport> rows;
+    for (const int j : live_jobs_)
+        rows[j].job = j;
+    for (const auto& engine : engines_) {
+        for (const int c : engine->channel().classIds()) {
+            const auto it = rows.find(accountingJob(c));
+            if (it == rows.end())
+                continue;
+            it->second.progressed +=
                 engine->channel().classProgressedBytes(c);
-        r.utilization += utilization_->classUtilization(c);
+        }
     }
+    for (auto& [j, r] : rows) {
+        for (int t = 0; t < kNumPriorityTiers; ++t) {
+            const int c = j * kNumPriorityTiers + t;
+            const auto& wb = utilization_->classWindowBytes();
+            const auto it = wb.find(c);
+            if (it != wb.end())
+                r.window_bytes += it->second;
+        }
+        r.utilization = utilization_->utilizationOf(r.window_bytes);
+    }
+    // Records of retired jobs stay in history; their rows are gone,
+    // so they simply don't attribute here.
     for (const auto& rec : records_) {
-        JobReport& r = out[static_cast<std::size_t>(rec.job)];
+        const auto it = rows.find(rec.job);
+        if (it == rows.end())
+            continue;
+        JobReport& r = it->second;
         ++r.issued;
         if (rec.done()) {
             ++r.completed;
             r.mean_duration += rec.duration();
         }
     }
-    for (JobReport& r : out)
+    std::vector<JobReport> out;
+    out.reserve(rows.size());
+    for (auto& [j, r] : rows) {
         if (r.completed > 0)
             r.mean_duration /= r.completed;
+        out.push_back(std::move(r));
+    }
     return out;
+}
+
+CommRuntime::JobReport
+CommRuntime::retireJob(int job)
+{
+    THEMIS_ASSERT(job >= 0 && job < kMaxJobsPerRuntime,
+                  "job index " << job << " outside [0, "
+                               << kMaxJobsPerRuntime << ")");
+    JobReport r;
+    r.job = job;
+    for (const auto& engine : engines_)
+        engine->channel().sync();
+    // Final channel accounting, folded into the per-tier retired
+    // aggregates as it is read so classReports() totals survive the
+    // erase below.
+    for (int t = 0; t < kNumPriorityTiers; ++t) {
+        const int c = job * kNumPriorityTiers + t;
+        RetiredTierAcct& ret =
+            retired_tiers_[static_cast<std::size_t>(t)];
+        Bytes progressed = 0.0;
+        for (const auto& engine : engines_)
+            progressed += engine->channel().classProgressedBytes(c);
+        // Tracker first (it reads the channels), then the channels.
+        const Bytes window = utilization_->retireClass(c);
+        for (const auto& engine : engines_)
+            engine->channel().retireClass(c);
+        r.progressed += progressed;
+        r.window_bytes += window;
+        ret.progressed += progressed;
+        ret.window_bytes += window;
+    }
+    r.utilization = utilization_->utilizationOf(r.window_bytes);
+    for (const auto& rec : records_) {
+        if (rec.job != job)
+            continue;
+        ++r.issued;
+        if (rec.done()) {
+            ++r.completed;
+            r.mean_duration += rec.duration();
+        }
+    }
+    if (r.completed > 0)
+        r.mean_duration /= r.completed;
+    live_jobs_.erase(job);
+    return r;
 }
 
 } // namespace themis::runtime

@@ -12,14 +12,17 @@
 #ifndef THEMIS_RUNTIME_COMM_RUNTIME_HPP
 #define THEMIS_RUNTIME_COMM_RUNTIME_HPP
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "common/hash.hpp"
 #include "core/plan_cache.hpp"
+#include "core/priority_policy.hpp"
 #include "core/scheduler.hpp"
 #include "runtime/collective_session.hpp"
 #include "stats/activity_timeline.hpp"
@@ -215,6 +218,15 @@ class CommRuntime
          * windows: job bytes / (total BW x active time).
          */
         double utilization = 0.0;
+
+        /**
+         * Bytes the job progressed during communication-active
+         * windows (the utilization numerator). Kept separately so a
+         * report captured at job departure can be re-normalized
+         * against the final active time (utilizationOf()) instead of
+         * freezing a mid-run utilization share.
+         */
+        Bytes window_bytes = 0.0;
     };
 
     /**
@@ -265,11 +277,33 @@ class CommRuntime
     std::vector<ClassReport> classReports();
 
     /**
-     * Per-job usage over everything issued so far (one entry per job
-     * index in [0, jobsObserved()), ascending). Same window semantics
-     * as classReports(). A single-workload runtime returns one row.
+     * Per-job usage over everything issued so far (one entry per
+     * *live* — not retired — job, ascending job index). Same window
+     * semantics as classReports(). A single-workload runtime returns
+     * one row (job 0 is live from construction). Entries carry their
+     * job id; with retirement the list is not index-addressable.
      */
     std::vector<JobReport> jobReports();
+
+    /**
+     * Capture @p job's final usage report, then drop every piece of
+     * its per-job accounting: its (job, tier) classes on every shared
+     * channel, its utilization-window accounts, and its row in
+     * jobReports(). This is what keeps a long-lived multi-tenant
+     * runtime O(active jobs) instead of O(all-ever-seen) — call it
+     * once the job's last collective has completed (asserts the job
+     * has no transfers in flight).
+     *
+     * The retired classes' progressed/window bytes fold into per-tier
+     * aggregates so classReports() tier rows remain conservation-
+     * complete across the whole run. jobsObserved() still counts the
+     * retired job; its Records stay in records() history.
+     */
+    JobReport retireJob(int job);
+
+    /** Jobs currently live (issued at least once or job 0, not
+     *  retired) — the accounting-size bound retireJob maintains. */
+    std::size_t liveJobCount() const { return live_jobs_.size(); }
 
     /**
      * Number of distinct cluster jobs this runtime has ever seen
@@ -451,15 +485,37 @@ class CommRuntime
 
     /** Largest job index ever issued (persists across epochs). */
     int max_job_seen_ = 0;
+
+    /**
+     * Jobs with live accounting: seeded with job 0 (the default job
+     * of single-workload runtimes), grown by issue(), shrunk by
+     * retireJob(). Bounded by concurrent tenancy, not churn.
+     */
+    std::set<int> live_jobs_{0};
+
+    /**
+     * Channel-accounting totals of retired jobs, folded per tier at
+     * retirement so classReports() stays conservation-complete after
+     * the per-job maps forget a tenant. Fixed-size — this is the O(1)
+     * residue of unbounded job churn.
+     */
+    struct RetiredTierAcct
+    {
+        Bytes progressed = 0.0;
+        Bytes window_bytes = 0.0;
+    };
+    std::array<RetiredTierAcct, kNumPriorityTiers> retired_tiers_{};
 };
 
 /**
- * Hard cap on cluster job indices per runtime: jobs stride the shared
- * channels' per-class accounting space (accountingClass()), which is
- * bounded, and a co-simulated fabric beyond this many tenants is not
- * a scenario the accounting was sized for.
+ * Sanity cap on cluster job indices per runtime. Jobs stride the
+ * shared channels' per-class accounting space (accountingClass()),
+ * but that accounting is map-based and stays O(active jobs) when the
+ * caller retires departed tenants (retireJob()), so the cap only
+ * rejects wild indices — churning many thousands of short jobs
+ * through one runtime is a supported scenario.
  */
-constexpr int kMaxJobsPerRuntime = 16;
+constexpr int kMaxJobsPerRuntime = 65536;
 
 } // namespace themis::runtime
 

@@ -1,0 +1,62 @@
+#include "sim/grid_shard.hpp"
+
+#include "common/error.hpp"
+
+namespace themis::sim {
+
+namespace {
+
+/** Strict non-negative integer parse; -1 on any non-digit content. */
+int
+parseField(const std::string& s)
+{
+    if (s.empty() ||
+        s.find_first_not_of("0123456789") != std::string::npos)
+        return -1;
+    // Shard counts are tiny; overflow is not a realistic input, but
+    // reject absurd widths rather than wrapping.
+    if (s.size() > 6)
+        return -1;
+    return std::stoi(s);
+}
+
+} // namespace
+
+ShardSpec
+parseShardSpec(const std::string& arg)
+{
+    const std::size_t slash = arg.find('/');
+    if (slash == std::string::npos)
+        THEMIS_FATAL("shard spec '" << arg
+                                    << "' is not of the form i/N "
+                                       "(e.g. 0/4)");
+    const int index = parseField(arg.substr(0, slash));
+    const int count = parseField(arg.substr(slash + 1));
+    if (index < 0)
+        THEMIS_FATAL("shard spec '" << arg
+                                    << "': shard index before '/' "
+                                       "must be a non-negative "
+                                       "integer");
+    if (count < 1)
+        THEMIS_FATAL("shard spec '" << arg
+                                    << "': shard count after '/' "
+                                       "must be a positive integer");
+    if (index >= count)
+        THEMIS_FATAL("shard spec '" << arg << "': index " << index
+                                    << " outside [0, " << count
+                                    << ")");
+    return ShardSpec{index, count};
+}
+
+std::vector<std::size_t>
+shardCells(std::size_t total, const ShardSpec& shard)
+{
+    std::vector<std::size_t> out;
+    out.reserve(total / static_cast<std::size_t>(shard.count) + 1);
+    for (std::size_t cell = static_cast<std::size_t>(shard.index);
+         cell < total; cell += static_cast<std::size_t>(shard.count))
+        out.push_back(cell);
+    return out;
+}
+
+} // namespace themis::sim

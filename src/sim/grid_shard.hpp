@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic sharding of sweep grids across processes.
+ *
+ * A grid is enumerated into a *canonical ordered cell list* by its
+ * definition (the same index arithmetic regardless of worker count),
+ * and a ShardSpec partitions that list: shard i of N owns exactly the
+ * cells whose canonical index is congruent to i modulo N. Striding —
+ * rather than contiguous block ranges — balances heterogeneous cell
+ * costs (a grid usually orders cells topology-major, and topologies
+ * differ wildly in simulation cost) without any coordination between
+ * shards. Each shard runs in its own process with its own ResultStore
+ * journal; because ownership is a pure function of (index, i, N) and
+ * every record is keyed by the cell's canonical config key, the
+ * shards' outputs merge back bit-identically to a 1-process run (see
+ * sim/result_store.hpp).
+ */
+
+#ifndef THEMIS_SIM_GRID_SHARD_HPP
+#define THEMIS_SIM_GRID_SHARD_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace themis::sim {
+
+/** One shard of a partitioned grid: index in [0, count). */
+struct ShardSpec
+{
+    int index = 0;
+    int count = 1;
+
+    /** True when this spec is the whole grid (the 1-process run). */
+    bool whole() const { return count == 1; }
+
+    /** True when this shard owns canonical cell @p cell. */
+    bool
+    owns(std::size_t cell) const
+    {
+        return static_cast<int>(cell %
+                                static_cast<std::size_t>(count)) ==
+               index;
+    }
+};
+
+/**
+ * Parse an "i/N" shard argument (e.g. "0/4"). Throws ConfigError with
+ * a precise diagnostic on malformed input: non-numeric fields, a
+ * missing '/', N < 1, or i outside [0, N).
+ */
+ShardSpec parseShardSpec(const std::string& arg);
+
+/**
+ * The canonical cell indices @p shard owns out of a @p total-cell
+ * grid, in ascending order.
+ */
+std::vector<std::size_t> shardCells(std::size_t total,
+                                    const ShardSpec& shard);
+
+} // namespace themis::sim
+
+#endif // THEMIS_SIM_GRID_SHARD_HPP

@@ -35,8 +35,15 @@ constexpr TimeNs kTimeSliver = 1e-3;
  */
 constexpr double kRebaseThreshold = 1e9;
 
-/** Sanity cap on priority-class indices (tiers are single digits). */
-constexpr int kMaxPriorityClass = 63;
+/**
+ * Sanity cap on priority-class indices. Cluster jobs stride the class
+ * space (accountingClass() = job * tiers + tier), and job churn keeps
+ * allocating fresh indices for a runtime's whole lifetime, so the cap
+ * only rejects wild values (negative wraparound, garbage), not large
+ * legitimate ones — the accounting itself is a map that stays
+ * O(active classes) via retireClass().
+ */
+constexpr int kMaxPriorityClass = (1 << 22) - 1;
 
 } // namespace
 
@@ -79,25 +86,54 @@ SharedChannel::virtualRate() const
 SharedChannel::ClassState&
 SharedChannel::classState(int cls)
 {
-    if (cls >= static_cast<int>(classes_.size()))
-        classes_.resize(static_cast<std::size_t>(cls) + 1);
-    return classes_[static_cast<std::size_t>(cls)];
+    return classes_[cls];
+}
+
+int
+SharedChannel::numClasses() const
+{
+    int max_id = -1;
+    for (const auto& [cls, state] : classes_)
+        max_id = std::max(max_id, cls);
+    return max_id + 1;
+}
+
+std::vector<int>
+SharedChannel::classIds() const
+{
+    std::vector<int> ids;
+    ids.reserve(classes_.size());
+    for (const auto& [cls, state] : classes_)
+        ids.push_back(cls);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+}
+
+void
+SharedChannel::retireClass(int cls)
+{
+    const auto it = classes_.find(cls);
+    if (it == classes_.end())
+        return;
+    THEMIS_ASSERT(it->second.active == 0,
+                  "retiring class " << cls << " with "
+                                    << it->second.active
+                                    << " transfers in flight");
+    classes_.erase(it);
 }
 
 Bytes
 SharedChannel::classProgressedBytes(int cls) const
 {
-    if (cls < 0 || cls >= static_cast<int>(classes_.size()))
-        return 0.0;
-    return classes_[static_cast<std::size_t>(cls)].progressed;
+    const auto it = classes_.find(cls);
+    return it == classes_.end() ? 0.0 : it->second.progressed;
 }
 
 TimeNs
 SharedChannel::classBusyTime(int cls) const
 {
-    if (cls < 0 || cls >= static_cast<int>(classes_.size()))
-        return 0.0;
-    return classes_[static_cast<std::size_t>(cls)].busy;
+    const auto it = classes_.find(cls);
+    return it == classes_.end() ? 0.0 : it->second.busy;
 }
 
 SharedChannel::TransferId
@@ -136,6 +172,8 @@ SharedChannel::begin(Bytes bytes, double weight, Callback on_done,
     weight_sum_ += weight;
     ClassState& cs = classState(priority_class);
     cs.weight_sum += weight;
+    if (cs.active == 0)
+        busy_classes_.push_back(priority_class);
     ++cs.active;
     heapPush(FinishEntry{v_end, id});
     if (active_.size() > peak_active_)
@@ -152,8 +190,18 @@ SharedChannel::dropWeight(const Transfer& t)
     cs.weight_sum -= t.weight;
     THEMIS_ASSERT(cs.active > 0, "class active count out of sync");
     --cs.active;
-    if (cs.active == 0)
+    if (cs.active == 0) {
         cs.weight_sum = 0.0; // shed fp drift at class quiesce points
+        // Swap-remove from the busy list; per-class accumulators are
+        // independent, so the resulting order cannot affect values.
+        for (std::size_t i = 0; i < busy_classes_.size(); ++i) {
+            if (busy_classes_[i] == t.cls) {
+                busy_classes_[i] = busy_classes_.back();
+                busy_classes_.pop_back();
+                break;
+            }
+        }
+    }
     if (active_.empty())
         weight_sum_ = 0.0; // shed fp drift at channel quiesce points
 }
@@ -173,9 +221,12 @@ SharedChannel::epochReset()
     last_update_ = queue_.now();
     progressed_bytes_ = 0.0;
     busy_time_ = 0.0;
-    // Keep the class vector's size (numClasses() stays monotone so
-    // per-class reports keep their rows); zero the accumulators.
-    for (ClassState& cs : classes_)
+    // Keep the tracked class set (per-class reports keep their rows
+    // across iteration epochs); zero the accumulators. No transfer is
+    // in flight, so the busy list is necessarily empty already.
+    THEMIS_ASSERT(busy_classes_.empty(),
+                  "busy class list out of sync at epoch reset");
+    for (auto& [cls, cs] : classes_)
         cs = ClassState{};
 }
 
@@ -232,9 +283,8 @@ SharedChannel::advanceTo(TimeNs t)
     // capacity * W_c / weight_sum = rate * W_c bytes per ns. (In
     // egalitarian mode all weights are 1, so W_c is the class's
     // active count and rate is capacity/n — the same formula.)
-    for (ClassState& cs : classes_) {
-        if (cs.active == 0)
-            continue;
+    for (const int cls : busy_classes_) {
+        ClassState& cs = classes_.find(cls)->second;
         cs.progressed += rate * cs.weight_sum * dt;
         cs.busy += dt;
     }

@@ -132,11 +132,28 @@ class SharedChannel
     /** Total time with at least one active transfer, up to last sync. */
     TimeNs busyTime() const { return busy_time_; }
 
-    /** Number of priority classes seen so far (max index + 1). */
-    int numClasses() const
-    {
-        return static_cast<int>(classes_.size());
-    }
+    /**
+     * One past the largest class index currently tracked (0 when no
+     * class is). Retiring the top class lowers it, so dense
+     * [0, numClasses()) iteration keeps working for single-workload
+     * runs while long-lived multi-tenant runtimes stay bounded.
+     */
+    int numClasses() const;
+
+    /** Class indices currently tracked, ascending (O(classes) sort). */
+    std::vector<int> classIds() const;
+
+    /** Number of classes currently tracked (O(active jobs) proof). */
+    std::size_t trackedClassCount() const { return classes_.size(); }
+
+    /**
+     * Retire one class's accounting: its progressed/busy accumulators
+     * are dropped so a runtime hosting job churn stays O(active jobs),
+     * not O(all-ever-seen). Requires the class to be idle (asserts no
+     * active transfer); a later begin() in the same class index simply
+     * starts fresh accounts. No-op for a never-seen class.
+     */
+    void retireClass(int cls);
 
     /** Bytes progressed by class @p cls, up to last sync (0 if unseen). */
     Bytes classProgressedBytes(int cls) const;
@@ -236,7 +253,22 @@ class SharedChannel
     double vtime_ = 0.0; // cumulative unit-weight service, virtual bytes
     /** Sum of active weights; exact (integer-valued) when weights are 1. */
     double weight_sum_ = 0.0;
-    std::vector<ClassState> classes_;
+    /**
+     * Per-class accounts, keyed by class index. A hash map rather
+     * than a dense vector: cluster jobs stride the class space
+     * (accountingClass()), so after 1k short tenants churn through a
+     * fabric a dense vector would hold thousands of dead entries and
+     * every advanceTo() would walk them. retireClass() erases
+     * departed tenants, keeping this O(active jobs).
+     */
+    std::unordered_map<int, ClassState> classes_;
+    /**
+     * Classes with >= 1 active transfer right now — the only ones
+     * advanceTo() must touch. Each class's accumulators are advanced
+     * independently, so the (insertion) order of this list cannot
+     * affect any accounted value.
+     */
+    SmallVector<int, 8> busy_classes_;
     TransferId next_id_ = 1;
     TimeNs last_update_ = 0.0;
     EventQueue::EventId pending_event_ = 0;

@@ -18,9 +18,22 @@ resolveThreads(int requested)
     if (requested > 0)
         return requested;
     if (const char* env = std::getenv("THEMIS_SWEEP_THREADS")) {
-        const int n = std::atoi(env);
-        if (n > 0)
-            return n;
+        // Strict parse: a malformed override silently falling back to
+        // hardware concurrency turns "THEMIS_SWEEP_THREADS=1O ctest"
+        // into a nondeterministically-threaded run with no hint why.
+        char* end = nullptr;
+        const long n = std::strtol(env, &end, 10);
+        if (end == env || *end != '\0')
+            THEMIS_FATAL("THEMIS_SWEEP_THREADS='"
+                         << env
+                         << "' is not an integer; set a positive "
+                            "worker count or unset it");
+        if (n < 1 || n > 4096)
+            THEMIS_FATAL("THEMIS_SWEEP_THREADS="
+                         << n
+                         << " is outside [1, 4096]; set a positive "
+                            "worker count or unset it");
+        return static_cast<int>(n);
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? static_cast<int>(hw) : 1;

@@ -36,7 +36,9 @@ struct SweepOptions
     /**
      * Worker threads; 0 resolves to the THEMIS_SWEEP_THREADS
      * environment variable, then to std::thread::hardware_concurrency.
-     * 1 runs every job inline on the calling thread.
+     * 1 runs every job inline on the calling thread. A set but
+     * non-numeric or non-positive THEMIS_SWEEP_THREADS is rejected
+     * with a ConfigError rather than silently ignored.
      */
     int threads = 0;
 

@@ -30,20 +30,16 @@ UtilizationTracker::snapshot() const
     return snap;
 }
 
-std::vector<Bytes>
+std::map<int, Bytes>
 UtilizationTracker::classSnapshot() const
 {
     // snapshot() runs first within every window edge, so channels are
-    // already synced here.
-    std::size_t num_classes = 0;
+    // already synced here. Only classes a channel currently tracks
+    // appear — O(active classes), however many tenants ever churned.
+    std::map<int, Bytes> snap;
     for (const auto* c : channels_)
-        num_classes = std::max(
-            num_classes, static_cast<std::size_t>(c->numClasses()));
-    std::vector<Bytes> snap(num_classes, 0.0);
-    for (const auto* c : channels_)
-        for (std::size_t cls = 0; cls < num_classes; ++cls)
-            snap[cls] +=
-                c->classProgressedBytes(static_cast<int>(cls));
+        for (const int cls : c->classIds())
+            snap[cls] += c->classProgressedBytes(cls);
     return snap;
 }
 
@@ -77,15 +73,15 @@ UtilizationTracker::windowEnd(TimeNs when)
     for (std::size_t i = 0; i < bytes_.size(); ++i)
         bytes_[i] += snap[i] - window_open_snapshot_[i];
     // Classes may have appeared mid-window; absent open-snapshot
-    // entries started the window at zero progressed bytes.
+    // entries started the window at zero progressed bytes. Classes
+    // retired mid-window were settled by retireClass() and are absent
+    // from both maps here.
     const auto class_snap = classSnapshot();
-    if (class_bytes_.size() < class_snap.size())
-        class_bytes_.resize(class_snap.size(), 0.0);
-    for (std::size_t c = 0; c < class_snap.size(); ++c) {
-        const Bytes before = c < window_open_class_snapshot_.size()
-                                 ? window_open_class_snapshot_[c]
-                                 : 0.0;
-        class_bytes_[c] += class_snap[c] - before;
+    for (const auto& [cls, bytes] : class_snap) {
+        const auto it = window_open_class_snapshot_.find(cls);
+        const Bytes before =
+            it != window_open_class_snapshot_.end() ? it->second : 0.0;
+        class_bytes_[cls] += bytes - before;
     }
 }
 
@@ -106,14 +102,49 @@ UtilizationTracker::weightedUtilization() const
 double
 UtilizationTracker::classUtilization(int cls) const
 {
-    if (active_time_ <= 0.0 || cls < 0 ||
-        cls >= static_cast<int>(class_bytes_.size()))
+    const auto it = class_bytes_.find(cls);
+    if (it == class_bytes_.end())
+        return 0.0;
+    return utilizationOf(it->second);
+}
+
+double
+UtilizationTracker::utilizationOf(Bytes bytes) const
+{
+    if (active_time_ <= 0.0)
         return 0.0;
     Bandwidth total_bw = 0.0;
     for (Bandwidth bw : bandwidths_)
         total_bw += bw;
-    return class_bytes_[static_cast<std::size_t>(cls)] /
-           (total_bw * active_time_);
+    return bytes / (total_bw * active_time_);
+}
+
+Bytes
+UtilizationTracker::retireClass(int cls)
+{
+    Bytes total = 0.0;
+    if (open_) {
+        // Settle the open-window fraction first: what the class moved
+        // since the window opened would otherwise vanish when the
+        // window closes over a snapshot that no longer contains it.
+        Bytes current = 0.0;
+        for (auto* c : channels_) {
+            c->sync();
+            current += c->classProgressedBytes(cls);
+        }
+        const auto it = window_open_class_snapshot_.find(cls);
+        const Bytes before =
+            it != window_open_class_snapshot_.end() ? it->second : 0.0;
+        total += current - before;
+        if (it != window_open_class_snapshot_.end())
+            window_open_class_snapshot_.erase(it);
+    }
+    const auto it = class_bytes_.find(cls);
+    if (it != class_bytes_.end()) {
+        total += it->second;
+        class_bytes_.erase(it);
+    }
+    return total;
 }
 
 std::vector<double>

@@ -18,6 +18,7 @@
 #ifndef THEMIS_STATS_UTILIZATION_TRACKER_HPP
 #define THEMIS_STATS_UTILIZATION_TRACKER_HPP
 
+#include <map>
 #include <vector>
 
 #include "common/units.hpp"
@@ -64,10 +65,10 @@ class UtilizationTracker
 
     /**
      * Bytes progressed per flow class (summed over dimensions)
-     * during closed windows. Indexed by priority class; classes the
-     * channels never saw are absent.
+     * during closed windows, keyed by priority class; classes the
+     * channels never saw (or that were retired) are absent.
      */
-    const std::vector<Bytes>& classWindowBytes() const
+    const std::map<int, Bytes>& classWindowBytes() const
     {
         return class_bytes_;
     }
@@ -79,6 +80,31 @@ class UtilizationTracker
      * weightedUtilization() over all classes.
      */
     double classUtilization(int cls) const;
+
+    /**
+     * @p bytes as a share of the machine over the measured active
+     * time: bytes / (sum(BW_k) * activeTime()). Zero when no time has
+     * been measured. This is the conversion classUtilization() applies
+     * — exposed so callers holding retired-class byte totals can turn
+     * them into utilization shares consistent with live classes.
+     */
+    double utilizationOf(Bytes bytes) const;
+
+    /**
+     * Drop one class's window accounting and return the bytes it
+     * progressed during windows so far — including, when a window is
+     * currently open, the fraction accumulated since the window
+     * opened (settled against the channels' current synced counters).
+     * Keeps a churning multi-tenant tracker O(active classes). Call
+     * *before* the channels forget the class.
+     */
+    Bytes retireClass(int cls);
+
+    /** Number of classes currently tracked (O(active) proof). */
+    std::size_t trackedClassCount() const
+    {
+        return class_bytes_.size();
+    }
 
     /**
      * Weighted average utilization over closed windows:
@@ -93,14 +119,20 @@ class UtilizationTracker
   private:
     std::vector<Bytes> snapshot() const;
     /** Per-class progressed bytes summed over channels. */
-    std::vector<Bytes> classSnapshot() const;
+    std::map<int, Bytes> classSnapshot() const;
 
     std::vector<sim::SharedChannel*> channels_;
     std::vector<Bandwidth> bandwidths_;
     std::vector<Bytes> bytes_;
-    std::vector<Bytes> class_bytes_;
+    /**
+     * Closed-window bytes per class, keyed by class index — a map,
+     * not a dense vector, because cluster jobs stride the class space
+     * and a dense vector would grow with every tenant ever admitted.
+     * retireClass() erases departed tenants.
+     */
+    std::map<int, Bytes> class_bytes_;
     std::vector<Bytes> window_open_snapshot_;
-    std::vector<Bytes> window_open_class_snapshot_;
+    std::map<int, Bytes> window_open_class_snapshot_;
     TimeNs active_time_ = 0.0;
     TimeNs window_open_at_ = 0.0;
     bool open_ = false;

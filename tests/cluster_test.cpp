@@ -153,28 +153,30 @@ TEST(Cluster, ClassAndJobAccountingConsistent)
         class_sum += c.progressed;
         class_util += c.utilization;
     }
+    // Per-job bytes come from the departure-time captures in the
+    // report: every job has departed by now, so the runtime retired
+    // its live wire accounting.
     Bytes job_sum = 0.0;
-    for (const auto& j : comm.jobReports())
+    for (const auto& j : rep.jobs)
         job_sum += j.progressed;
     EXPECT_NEAR(class_sum, rep.total_bytes, 1e-6 * rep.total_bytes);
     EXPECT_NEAR(job_sum, rep.total_bytes, 1e-6 * rep.total_bytes);
     // Class utilizations sum to the fabric utilization (same windows,
-    // same denominator).
+    // same denominator) — the retired per-tier aggregates must fold
+    // back in exactly.
     EXPECT_NEAR(class_util, rep.fabric_utilization,
                 1e-9 + 1e-6 * rep.fabric_utilization);
 
-    // Per-channel: class busy time never exceeds channel busy time,
-    // and per-class bytes sum to the channel's progressed bytes.
+    // Retirement proof: with all tenants departed, no shared channel
+    // tracks any per-class account and no live job rows remain — the
+    // state a job-churning fabric stays in forever.
+    EXPECT_TRUE(comm.jobReports().empty());
+    EXPECT_EQ(comm.liveJobCount(), 0u);
     for (int d = 0; d < comm.topology().numDims(); ++d) {
         auto& ch = comm.engine(d).channel();
         ch.sync();
-        Bytes per_class = 0.0;
-        for (int c = 0; c < ch.numClasses(); ++c) {
-            per_class += ch.classProgressedBytes(c);
-            EXPECT_LE(ch.classBusyTime(c), ch.busyTime() + 1e-6);
-        }
-        EXPECT_NEAR(per_class, ch.progressedBytes(),
-                    1e-6 * (ch.progressedBytes() + 1.0));
+        EXPECT_EQ(ch.trackedClassCount(), 0u);
+        EXPECT_EQ(ch.numClasses(), 0);
     }
 }
 
@@ -541,6 +543,76 @@ TEST(Cluster, StaggeredArrivalsRunAndFinishInOrderOfWork)
     EXPECT_EQ(rep.jobs[1].iterations, 2);
     EXPECT_GT(rep.jobs[1].finished, rep.jobs[0].finished);
     EXPECT_DOUBLE_EQ(rep.makespan, rep.jobs[1].finished);
+}
+
+// -------------------------------------------------- accounting churn
+
+TEST(Cluster, ThousandJobChurnKeepsAccountingBounded)
+{
+    // 1000 short tenants churn through one runtime in overlapping
+    // batches. Retiring each departed job must keep every per-job
+    // accounting map sized by *concurrent* tenancy — the channels'
+    // class maps, the utilization tracker's window accounts, and the
+    // live-job set — while conservation still closes over the
+    // departure-time captures.
+    const Topology topo = presets::byName("2D-SW_SW");
+    sim::EventQueue q;
+    runtime::CommRuntime comm(q, topo, runtime::themisScfConfig());
+
+    constexpr int kJobs = 1000;
+    constexpr int kBatch = 4; // concurrent tenants per wave
+    Bytes retired_sum = 0.0;
+    for (int base = 0; base < kJobs; base += kBatch) {
+        for (int j = base; j < base + kBatch; ++j) {
+            CollectiveRequest req;
+            req.type = CollectiveType::AllReduce;
+            req.size = 1.0e6;
+            req.chunks = 2;
+            req.priority_tier = j % kNumPriorityTiers;
+            req.job = j;
+            comm.issue(req);
+        }
+        q.run();
+        for (int j = base; j < base + kBatch; ++j) {
+            const auto r = comm.retireJob(j);
+            EXPECT_EQ(r.job, j);
+            EXPECT_EQ(r.issued, 1);
+            EXPECT_EQ(r.completed, 1);
+            EXPECT_GT(r.progressed, 0.0);
+            retired_sum += r.progressed;
+        }
+        // Bounded-by-tenancy invariant, checked every wave: nothing
+        // grows with the number of jobs already churned through.
+        for (int d = 0; d < comm.topology().numDims(); ++d) {
+            EXPECT_LE(
+                comm.engine(d).channel().trackedClassCount(),
+                static_cast<std::size_t>(kBatch *
+                                         kNumPriorityTiers));
+        }
+        EXPECT_LE(comm.utilization().trackedClassCount(),
+                  static_cast<std::size_t>(kBatch *
+                                           kNumPriorityTiers));
+        EXPECT_LE(comm.liveJobCount(),
+                  static_cast<std::size_t>(kBatch + 1));
+    }
+    EXPECT_EQ(comm.jobsObserved(), kJobs);
+    EXPECT_EQ(comm.liveJobCount(), 0u);
+
+    // Per-tenant conservation over the whole churn: the sum of the
+    // departure captures equals the fabric's total progressed bytes.
+    Bytes fabric = 0.0;
+    for (int d = 0; d < comm.topology().numDims(); ++d) {
+        comm.engine(d).channel().sync();
+        fabric += comm.engine(d).channel().progressedBytes();
+    }
+    EXPECT_NEAR(retired_sum, fabric, 1e-6 * fabric);
+
+    // The per-tier aggregates keep the retired jobs' bytes visible in
+    // the class reports even though every per-job account is gone.
+    Bytes tier_sum = 0.0;
+    for (const auto& c : comm.classReports())
+        tier_sum += c.progressed;
+    EXPECT_NEAR(tier_sum, fabric, 1e-6 * fabric);
 }
 
 } // namespace

@@ -21,6 +21,12 @@ Tracked metrics (higher is better):
                       grid; the deadline hit rates and offset-search
                       gain are historized/reported but not gated
                       (simulated-time metrics asserted in-binary)
+  BENCH_sweep_service.json -> cells_per_sec of the 1-process sharded
+                      sweep grid; the 2-shard scaling ratio and the
+                      memoized warm-query speedup are ratios of small
+                      wall clocks — asserted in-binary against their
+                      floors (>=1.7x and >=10x) and historized here,
+                      but not gated
 
 Beyond the previous-run diff, the script maintains a per-PR history
 table: bench_results/history.csv (long format: run,metric,value). The
@@ -124,6 +130,23 @@ def cluster_info_metrics(doc):
     return {k: v for k, v in out.items() if isinstance(v, (int, float))}
 
 
+def sweep_metrics(doc):
+    """{label: cells_per_sec} of the sharded sweep-service grid."""
+    out = {"sweep_service/cells_per_sec": doc.get("cells_per_sec")}
+    return {k: v for k, v in out.items() if isinstance(v, (int, float))}
+
+
+def sweep_info_metrics(doc):
+    """History-only sweep-service metrics: both are ratios of small
+    wall clocks (shard scaling, warm-query speedup) whose floors the
+    bench asserts in-binary; historized so drift stays visible."""
+    out = {}
+    out["sweep_service/shard_scaling"] = doc.get("shard_scaling")
+    query = doc.get("query", {})
+    out["sweep_service/warm_speedup"] = query.get("warm_speedup")
+    return {k: v for k, v in out.items() if isinstance(v, (int, float))}
+
+
 # Single source of truth for what the gate diffs AND what the history
 # table records — add new BENCH files here and both stay in sync.
 TRACKED = (
@@ -131,12 +154,14 @@ TRACKED = (
     ("BENCH_e2e.json", e2e_metrics),
     ("BENCH_convergence.json", convergence_metrics),
     ("BENCH_cluster.json", cluster_metrics),
+    ("BENCH_sweep_service.json", sweep_metrics),
 )
 
 # Historized but never gated (too noisy or purely informational).
 TRACKED_INFO = (
     ("BENCH_convergence.json", convergence_info_metrics),
     ("BENCH_cluster.json", cluster_info_metrics),
+    ("BENCH_sweep_service.json", sweep_info_metrics),
 )
 
 
@@ -283,6 +308,17 @@ def main():
               f"{deadline.get('tiered_hit_rate', '?')}, "
               f"offset-search gain {offset.get('gain', '?')}x "
               f"(informational)")
+    sweep = load(os.path.join(args.curr, "BENCH_sweep_service.json"))
+    if sweep is not None:
+        query = sweep.get("query", {})
+        print(f"BENCH_sweep_service: 2-shard scaling "
+              f"{sweep.get('shard_scaling', '?')}x, "
+              f"merge_bit_identical="
+              f"{sweep.get('merge_bit_identical', '?')}, "
+              f"resume_bit_identical="
+              f"{sweep.get('resume_bit_identical', '?')}, "
+              f"warm-query speedup {query.get('warm_speedup', '?')}x "
+              f"(floors asserted in-binary)")
     conv = load(os.path.join(args.curr, "BENCH_convergence.json"))
     if conv is not None:
         exact = conv.get("exactness", {})
