@@ -85,6 +85,17 @@
  *                         replay engine refuses free-running
  *                         multi-job mixes) and with
  *                         --sweep/--grid/--priority.
+ *     --faults SPEC       fault/heterogeneity timeline applied to the
+ *                         single-collective, --iterations and --jobs
+ *                         runs (see sim/fault_timeline.hpp):
+ *                         ';'-separated events of the form
+ *                           degrade@T+D:dim=K,factor=F
+ *                           straggler@T:dim=K,factor=F
+ *                           flap@T+D:dim=K
+ *                           storm@T+D:dim=K,flaps=N,down=NS[,seed=S]
+ *                         A per-dimension fault report (capacity
+ *                         steps, flaps, down time, retries, re-sent
+ *                         bytes) prints after the run
  *     --tier-ratio W      cluster runs: weight ladder of the priority
  *                         policy (tiered(W); 1 separates classes at
  *                         unit weights) [4]
@@ -102,6 +113,8 @@
  *   themis_cli --iterations 100 --model GNMT --topo 2D-SW_SW
  *   themis_cli --jobs "train:DLRM;infer:3.2e7,period=2e5,deadline=3e5" \
  *              --iterations 3 --tier-ratio 8
+ *   themis_cli --topo 2D-SW_SW --size 5e8 \
+ *              --faults "degrade@2e5+4e5:dim=0,factor=0.5;flap@1e6+5e4:dim=1"
  */
 
 #include <chrono>
@@ -124,6 +137,7 @@
 #include "models/model_zoo.hpp"
 #include "npu/npu_machine.hpp"
 #include "runtime/comm_runtime.hpp"
+#include "sim/fault_timeline.hpp"
 #include "sim/grid_shard.hpp"
 #include "sim/result_store.hpp"
 #include "sim/sweep_runner.hpp"
@@ -150,7 +164,8 @@ usage(const char* argv0)
                  "[--priority W] [--jobs N|SPECS]\n"
                  "          [--iterations N] [--model NAME] [--exact] "
                  "[--no-replay]\n"
-                 "          [--tier-ratio W] [--offset-search]\n"
+                 "          [--tier-ratio W] [--offset-search] "
+                 "[--faults SPEC]\n"
                  "          [--shard I/N] [--results PATH] "
                  "[--max-cells N]\n"
                  "          [--merge OUT,IN1,IN2,...] [--serve]\n",
@@ -443,6 +458,26 @@ schedulerSetups()
             {"Themis+SCF", runtime::themisScfConfig()}};
 }
 
+/** Per-dimension fault-report rows from a finished run's tracker. */
+std::vector<stats::FaultDimRow>
+faultRows(const Topology& topo, const stats::UtilizationTracker& ut)
+{
+    std::vector<stats::FaultDimRow> rows;
+    for (int d = 0; d < topo.numDims(); ++d) {
+        const auto i = static_cast<std::size_t>(d);
+        stats::FaultDimRow row;
+        row.name = "dim" + std::to_string(d + 1) + " (" +
+                   dimKindName(topo.dim(d).kind) + ")";
+        row.capacity_events = ut.capacityEvents()[i];
+        row.flaps = ut.flaps()[i];
+        row.down_time = ut.downTime()[i];
+        row.retries = ut.retries()[i];
+        row.lost_bytes = ut.retryLostBytes()[i];
+        rows.push_back(row);
+    }
+    return rows;
+}
+
 } // namespace
 
 int
@@ -467,6 +502,7 @@ main(int argc, char** argv)
     std::string model_arg = "Transformer-1T";
     bool exactness = false;
     bool no_replay = false;
+    std::string faults_arg;
     std::string shard_arg;
     std::string results_path;
     std::string merge_arg;
@@ -528,6 +564,8 @@ main(int argc, char** argv)
             exactness = true;
         } else if (flag == "--no-replay") {
             no_replay = true;
+        } else if (flag == "--faults") {
+            faults_arg = need_value();
         } else if (flag == "--shard") {
             shard_arg = need_value();
         } else if (flag == "--results") {
@@ -599,6 +637,22 @@ main(int argc, char** argv)
         else
             usage(argv[0]);
         cfg.enforce_consistent_order = enforce;
+
+        // Fault timelines drive one runtime's FaultDriver; the batch
+        // modes build their own per-cell configs, so reject the
+        // combination loudly instead of silently ignoring the spec.
+        sim::FaultTimeline faults_tl;
+        if (!faults_arg.empty()) {
+            if (serve || !grid_arg.empty() || !sweep_arg.empty() ||
+                priority_ratio >= 1.0)
+                THEMIS_FATAL("--faults applies to the "
+                             "single-collective, --iterations and "
+                             "--jobs runs; drop it for "
+                             "--grid/--sweep/--serve/--priority");
+            faults_tl = sim::FaultTimeline::parse(faults_arg);
+            faults_tl.validateForDims(topo.numDims());
+            cfg.faults = &faults_tl;
+        }
 
         if (serve) {
             // Memoized what-if query loop (grammar in the usage
@@ -1023,6 +1077,13 @@ main(int argc, char** argv)
                         elig.eligible
                             ? "eligible (lockstep training mix)"
                             : elig.reason.c_str());
+            if (!faults_arg.empty())
+                std::printf("\nfault report (--faults \"%s\"):\n%s",
+                            faults_arg.c_str(),
+                            stats::renderFaultTable(
+                                faultRows(topo,
+                                          cl.runtime().utilization()))
+                                .c_str());
             return 0;
         }
 
@@ -1098,6 +1159,17 @@ main(int argc, char** argv)
                         r.collectives,
                         static_cast<unsigned long long>(r.ops),
                         cache.planCount());
+            // Fault counters are per-iteration-epoch state (they are
+            // mixed into the epoch fingerprint, so steady-state
+            // detection sees fault activity); the report therefore
+            // covers the last simulated iteration, not the whole run.
+            if (!faults_arg.empty())
+                std::printf("\nfault report, last simulated iteration "
+                            "(--faults \"%s\"):\n%s",
+                            faults_arg.c_str(),
+                            stats::renderFaultTable(
+                                faultRows(topo, comm.utilization()))
+                                .c_str());
             return 0;
         }
 
@@ -1527,6 +1599,12 @@ main(int argc, char** argv)
                     fmtTime(idealCollectiveTime(req.type, req.size,
                                                 model))
                         .c_str());
+        if (!faults_arg.empty())
+            std::printf("\nfault report (--faults \"%s\"):\n%s",
+                        faults_arg.c_str(),
+                        stats::renderFaultTable(
+                            faultRows(topo, comm.utilization()))
+                            .c_str());
 
         if (validate) {
             // Re-simulate with every NPU modelled individually; on a

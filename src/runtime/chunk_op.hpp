@@ -114,6 +114,12 @@ struct ChunkOp
     /** Sum of step latencies (A). */
     TimeNs fixed_delay = 0.0;
 
+    /**
+     * Failed execution attempts so far (link flaps). 0 on the first
+     * start; each retry re-runs the op from step 0 after backoff.
+     */
+    int attempt = 0;
+
     /** Invoked by the engine when the op finishes. */
     std::function<void(const ChunkOp&)> on_complete;
 };

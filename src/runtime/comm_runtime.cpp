@@ -66,6 +66,26 @@ CommRuntime::CommRuntime(sim::EventQueue& queue, Topology topo,
     }
     utilization_ = std::make_unique<stats::UtilizationTracker>(
         std::move(channels), std::move(bws));
+    if (config_.faults != nullptr) {
+        if (config_.legacy_engine_scan)
+            THEMIS_FATAL("fault injection requires the indexed engine "
+                         "path; legacy_engine_scan is a measurement "
+                         "baseline");
+        config_.faults->validateForDims(topo_.numDims());
+        std::vector<DimensionEngine*> raw;
+        raw.reserve(engines_.size());
+        for (auto& engine : engines_) {
+            engine->armFaults(config_.retry);
+            engine->setRetryListener([this](int dim, Bytes lost) {
+                utilization_->recordRetry(
+                    static_cast<std::size_t>(dim), lost);
+            });
+            raw.push_back(engine.get());
+        }
+        fault_driver_ = std::make_unique<FaultDriver>(
+            queue_ref_, *config_.faults, std::move(raw),
+            utilization_.get());
+    }
 }
 
 std::vector<ScopeDim>
@@ -257,8 +277,14 @@ CommRuntime::issue(const CollectiveRequest& request, Callback on_done)
         }
     }
 
-    if (outstanding_ == 0)
+    if (outstanding_ == 0) {
+        // Fault events that came due while the fabric idled apply
+        // now, before the window snapshot, so the window opens under
+        // the capacities the timeline prescribes for this instant.
+        if (fault_driver_)
+            fault_driver_->onWindowStart(queue_ref_.now());
         utilization_->windowStart(queue_ref_.now());
+    }
     ++outstanding_;
 
     auto on_session_done = [this](CollectiveSession& s) {
@@ -294,6 +320,10 @@ CommRuntime::beginIterationEpoch()
                                           << " collectives in flight");
     THEMIS_ASSERT(queue_ref_.empty(),
                   "iteration epoch with pending events");
+    // Fold the elapsed epoch into the fault timeline's absolute base
+    // before the clock rebases under it.
+    if (fault_driver_)
+        fault_driver_->onEpochRebase(queue_ref_.now());
     queue_ref_.rebaseToZero();
     // Epoch mode keeps per-epoch records only: ids, like the clock,
     // restart at zero, so a thousand-iteration run does not retain a
@@ -363,6 +393,16 @@ CommRuntime::finishIterationEpoch()
     for (const auto& engine : engines_)
         epoch_hash_.mix(
             static_cast<std::uint64_t>(engine->bypassStreak()));
+    // Fault-engine observables: per-dimension retries, lost bytes and
+    // link downtime this epoch. All-zero on fault-free runs (with or
+    // without an armed driver), so arming alone leaves the
+    // fingerprint's inputs — and thus steady-state detection —
+    // untouched.
+    for (std::size_t d = 0; d < engines_.size(); ++d) {
+        epoch_hash_.mix(utilization_->retries()[d]);
+        epoch_hash_.mix(utilization_->retryLostBytes()[d]);
+        epoch_hash_.mix(utilization_->downTime()[d]);
+    }
     s.fingerprint = epoch_hash_.value();
     for (auto& engine : engines_)
         engine->disarmFingerprint();
@@ -397,8 +437,14 @@ CommRuntime::onCollectiveDone(int id)
     THEMIS_ASSERT(!rec.done(), "collective " << id << " finished twice");
     rec.completed = queue_ref_.now();
     --outstanding_;
-    if (outstanding_ == 0)
+    if (outstanding_ == 0) {
         utilization_->windowEnd(queue_ref_.now());
+        // Disarm the pending fault event: with no work outstanding it
+        // would only stall queue.run(); the next window start catches
+        // up on anything that comes due during the idle gap.
+        if (fault_driver_)
+            fault_driver_->onWindowEnd(queue_ref_.now());
+    }
     if (config_.enforce_consistent_order) {
         for (const auto& s : rec.scope) {
             engines_[static_cast<std::size_t>(s.dim)]

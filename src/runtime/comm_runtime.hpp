@@ -25,6 +25,8 @@
 #include "core/priority_policy.hpp"
 #include "core/scheduler.hpp"
 #include "runtime/collective_session.hpp"
+#include "runtime/fault_driver.hpp"
+#include "sim/fault_timeline.hpp"
 #include "stats/activity_timeline.hpp"
 #include "stats/trace_writer.hpp"
 #include "stats/utilization_tracker.hpp"
@@ -130,6 +132,19 @@ struct RuntimeConfig
      * compare both in one binary.
      */
     bool legacy_tier_blind_headroom = false;
+
+    /**
+     * Fault/heterogeneity scenario to apply (capacity degradations,
+     * stragglers, link flaps with transfer failure + retry). Not
+     * owned — the caller keeps the timeline alive for the runtime's
+     * lifetime. nullptr (the default) and an *empty* timeline both
+     * run the fault-free fast path bit-identically; arming alone
+     * changes no timing. Incompatible with legacy_engine_scan.
+     */
+    const sim::FaultTimeline* faults = nullptr;
+
+    /** Retry/backoff tunables for flapped transfers. */
+    RetryConfig retry{};
 };
 
 /** Table 3 convenience constructors. */
@@ -313,6 +328,17 @@ class CommRuntime
      */
     int jobsObserved() const { return max_job_seen_ + 1; }
 
+    /**
+     * The fault driver applying RuntimeConfig::faults, or nullptr on
+     * a fault-free runtime. The convergence replayer uses it to find
+     * quiescent phases of the timeline.
+     */
+    FaultDriver* faultDriver() { return fault_driver_.get(); }
+    const FaultDriver* faultDriver() const
+    {
+        return fault_driver_.get();
+    }
+
     /** Per-dimension activity intervals (Fig 9). */
     stats::ActivityTimeline& activity() { return activity_; }
 
@@ -477,6 +503,7 @@ class CommRuntime
     int outstanding_ = 0;
     stats::ActivityTimeline activity_;
     std::unique_ptr<stats::UtilizationTracker> utilization_;
+    std::unique_ptr<FaultDriver> fault_driver_;
 
     // Iteration-epoch state.
     bool epoch_active_ = false;

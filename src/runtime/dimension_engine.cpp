@@ -117,6 +117,8 @@ DimensionEngine::setEnforcedOrder(int collective_id,
     for (const auto& [seq, p] : pending_) {
         if (p.op.tag.collective_id != collective_id)
             continue;
+        if (p.op.attempt > 0)
+            continue; // retry waiting out a flap; cursor passed it
         THEMIS_ASSERT(eo.next < eo.order.size(),
                       "enforced order shorter than pending op count");
         if (parkKey(p.op.tag) != parkKey(eo.order[eo.next])) {
@@ -163,6 +165,51 @@ void
 DimensionEngine::setFinishListener(FinishListener listener)
 {
     finish_listener_ = std::move(listener);
+}
+
+void
+DimensionEngine::armFaults(const RetryConfig& retry)
+{
+    THEMIS_ASSERT(!legacy_scan_,
+                  "fault injection requires the indexed engine path "
+                  "(legacy_scan is a measurement baseline)");
+    if (!(retry.backoff_base_ns > 0.0))
+        THEMIS_FATAL("retry backoff_base_ns must be positive, got "
+                     << retry.backoff_base_ns);
+    if (retry.backoff_cap_ns < retry.backoff_base_ns)
+        THEMIS_FATAL("retry backoff_cap_ns "
+                     << retry.backoff_cap_ns << " is below base "
+                     << retry.backoff_base_ns);
+    if (retry.max_attempts < 1)
+        THEMIS_FATAL("retry max_attempts must be >= 1, got "
+                     << retry.max_attempts);
+    faults_armed_ = true;
+    retry_ = retry;
+}
+
+void
+DimensionEngine::setRetryListener(RetryListener listener)
+{
+    retry_listener_ = std::move(listener);
+}
+
+void
+DimensionEngine::setLinkDown(bool down)
+{
+    THEMIS_ASSERT(faults_armed_,
+                  "setLinkDown on an engine without armFaults()");
+    if (down == link_down_)
+        return; // overlapping flaps are depth-counted by the driver
+    link_down_ = down;
+    if (down) {
+        // Every transfer in flight fails; each failure handler runs
+        // failOp(), which schedules the op's backoff requeue. Ops in
+        // their latency phase are not on the channel — they fail at
+        // the latency timer's do_transfer when it sees the link down.
+        channel_.failActive();
+    } else {
+        tryStart();
+    }
 }
 
 void
@@ -291,6 +338,8 @@ DimensionEngine::promoteExpected(EnforcedOrder& eo)
 void
 DimensionEngine::tryStart()
 {
+    if (link_down_)
+        return; // flapped: holds until the driver raises the link
     // The batched refill handles the overwhelmingly common shape —
     // one flow tier, no enforced orders, no anti-starvation debt —
     // where selection order is exactly ready_ iteration order and no
@@ -407,10 +456,15 @@ DimensionEngine::tryStartScalar()
         readyErase(pit->second);
         ChunkOp op = std::move(pit->second.op);
         pending_.erase(pit);
-        auto eit = enforced_.find(op.tag.collective_id);
-        if (eit != enforced_.end()) {
-            ++eit->second.next;
-            promoteExpected(eit->second);
+        // Retried ops (attempt > 0) already advanced their
+        // collective's enforced cursor at their first start; bumping
+        // it again would skip the true next op forever.
+        if (op.attempt == 0) {
+            auto eit = enforced_.find(op.tag.collective_id);
+            if (eit != enforced_.end()) {
+                ++eit->second.next;
+                promoteExpected(eit->second);
+            }
         }
         startOp(std::move(op));
     }
@@ -483,11 +537,30 @@ DimensionEngine::advance(std::uint64_t exec_id)
     const FlowClass flow = a.op.flow;
     ++a.next_step;
     auto do_transfer = [this, exec_id, step, flow] {
+        if (faults_armed_ && link_down_) {
+            // The latency phase ended under a flapped link: the wire
+            // transfer cannot start. Fail the attempt on the spot (no
+            // bytes moved) and back off like a mid-flight failure.
+            failOp(exec_id, 0.0);
+            return;
+        }
         // Channel accounting is per (job, tier): job 0 — the single-
         // workload case — maps onto the plain tier indices.
-        channel_.begin(step.bytes, flow.weight,
-                       [this, exec_id] { advance(exec_id); },
-                       accountingClass(flow));
+        if (faults_armed_) {
+            channel_.begin(
+                step.bytes, flow.weight,
+                [this, exec_id] { advance(exec_id); },
+                accountingClass(flow),
+                [this, exec_id, step](Bytes remaining) {
+                    // Bytes the failed wire step DID move get re-sent
+                    // on retry; account them as lost work.
+                    failOp(exec_id, step.bytes - remaining);
+                });
+        } else {
+            channel_.begin(step.bytes, flow.weight,
+                           [this, exec_id] { advance(exec_id); },
+                           accountingClass(flow));
+        }
     };
     if (step.latency > 0.0) {
         queue_ref_.scheduleAfter(step.latency, do_transfer);
@@ -536,6 +609,84 @@ DimensionEngine::finish(std::uint64_t exec_id)
         tryStartLegacy();
     else
         tryStart();
+}
+
+void
+DimensionEngine::failOp(std::uint64_t exec_id, Bytes lost)
+{
+    auto it = active_.find(exec_id);
+    THEMIS_ASSERT(it != active_.end(), "failOp on unknown op");
+    ActiveOp& a = it->second;
+    THEMIS_ASSERT(a.next_step >= 1, "failOp before any step began");
+    // Earlier steps of this attempt completed in full; the whole op
+    // restarts from step 0 on retry, so their bytes are re-sent too.
+    for (std::size_t s = 0; s + 1 < a.next_step; ++s)
+        lost += a.op.steps[s].bytes;
+    ChunkOp op = std::move(a.op);
+    active_.erase(it);
+    active_transfer_sum_ -= op.transfer_time;
+    active_weighted_sum_ -= op.transfer_time * op.flow.weight;
+    const auto delay_it = active_delays_.find(op.fixed_delay);
+    THEMIS_ASSERT(delay_it != active_delays_.end(),
+                  "active delay aggregate out of sync");
+    active_delays_.erase(delay_it);
+    if (active_.empty()) {
+        active_transfer_sum_ = 0.0;
+        active_weighted_sum_ = 0.0;
+    }
+    ++op.attempt;
+    ++retry_count_;
+    lost_bytes_ += lost;
+    if (fingerprint_ != nullptr) {
+        fingerprint_->mix(std::uint64_t{0x464c}); // "FL"
+        fingerprint_->mix(static_cast<std::uint64_t>(global_dim_));
+        fingerprint_->mix(
+            static_cast<std::uint64_t>(op.tag.collective_id));
+        fingerprint_->mix(static_cast<std::uint64_t>(op.tag.chunk_id));
+        fingerprint_->mix(
+            static_cast<std::uint64_t>(op.tag.stage_index));
+        fingerprint_->mix(static_cast<std::uint64_t>(op.attempt));
+        fingerprint_->mix(queue_ref_.now());
+    }
+    logDebug("dim", global_dim_ + 1, " t=", queue_ref_.now(),
+             " FAIL chunk ", op.tag.chunk_id, " stage ",
+             op.tag.stage_index, " attempt ", op.attempt, " (", lost,
+             " B lost)");
+    if (retry_listener_)
+        retry_listener_(global_dim_, lost);
+    if (op.attempt > retry_.max_attempts)
+        THEMIS_FATAL("chunk " << op.tag.chunk_id << " stage "
+                              << op.tag.stage_index << " on dim "
+                              << global_dim_ << " exceeded "
+                              << retry_.max_attempts
+                              << " retry attempts; raise retry "
+                                 "max_attempts or shorten the flap "
+                                 "windows");
+    // Exponential backoff, capped: base * 2^(attempt-1). The loop
+    // form avoids pow()/overflow and is exact in doubles.
+    TimeNs delay = retry_.backoff_base_ns;
+    for (int k = 1; k < op.attempt && delay < retry_.backoff_cap_ns;
+         ++k)
+        delay *= 2.0;
+    if (delay > retry_.backoff_cap_ns)
+        delay = retry_.backoff_cap_ns;
+    queue_ref_.scheduleAfter(
+        delay, [this, op = std::move(op)]() mutable {
+            requeueRetry(std::move(op));
+        });
+    notifyPresence();
+}
+
+void
+DimensionEngine::requeueRetry(ChunkOp op)
+{
+    const std::uint64_t seq = arrival_counter_++;
+    auto [pit, inserted] =
+        pending_.emplace(seq, PendingOp{std::move(op), seq});
+    THEMIS_ASSERT(inserted, "duplicate arrival sequence");
+    readyInsert(pit->second);
+    notifyPresence();
+    tryStart();
 }
 
 } // namespace themis::runtime

@@ -119,6 +119,20 @@ struct AdmissionConfig
     int max_priority_bypass = 64;
 };
 
+/**
+ * Retry/backoff tunables for flapped transfers (fault engine). A
+ * failed chunk op re-enters the ready set after exponential backoff:
+ * attempt k (1-based) waits min(backoff_base_ns * 2^(k-1),
+ * backoff_cap_ns) before requeueing, and exceeding max_attempts is a
+ * fatal ConfigError (the scenario out-flaps the retry budget).
+ */
+struct RetryConfig
+{
+    TimeNs backoff_base_ns = 1e4; ///< first-retry delay (10 us)
+    TimeNs backoff_cap_ns = 1e6;  ///< backoff ceiling (1 ms)
+    int max_attempts = 16;        ///< fatal beyond this many failures
+};
+
 /** Executes chunk ops on one network dimension; see file comment. */
 class DimensionEngine
 {
@@ -132,6 +146,9 @@ class DimensionEngine
     /** Finish callback: (op, start time) fired at op completion. */
     using FinishListener =
         std::function<void(const ChunkOp&, TimeNs started)>;
+
+    /** Retry callback: (global dim, lost bytes) per failed attempt. */
+    using RetryListener = std::function<void(int, Bytes)>;
 
     /**
      * @param queue       event queue driving the simulation
@@ -193,6 +210,39 @@ class DimensionEngine
 
     /** Observe op completions with their start times (tracing). */
     void setFinishListener(FinishListener listener);
+
+    /**
+     * Enable the fault path: transfers begun on the channel carry a
+     * failure handler, and failed ops re-enter the ready set after
+     * exponential backoff per @p retry. Incompatible with the legacy
+     * scan (a measurement baseline). Arming changes no timing while
+     * no fault fires — fault-free runs stay bit-identical.
+     */
+    void armFaults(const RetryConfig& retry);
+
+    /** Observe failed attempts (per-dimension retry accounting). */
+    void setRetryListener(RetryListener listener);
+
+    /**
+     * Flap control (FaultDriver): @p down=true fails every transfer
+     * in flight on the channel (each op backs off and retries) and
+     * holds new starts; @p down=false releases the hold and refills.
+     * Requires armFaults(). Idempotent per state.
+     */
+    void setLinkDown(bool down);
+
+    /** True while the link is flapped down. */
+    bool linkDown() const { return link_down_; }
+
+    /** Failed attempts so far (cumulative). */
+    std::uint64_t retryCount() const { return retry_count_; }
+
+    /**
+     * Wire bytes moved by failed attempts (cumulative) — work that
+     * will be re-sent. progressedBytes() of the channel equals the
+     * useful schedule bytes plus exactly this amount.
+     */
+    Bytes lostBytes() const { return lost_bytes_; }
 
     /** The underlying bandwidth resource (stats access). */
     sim::SharedChannel& channel() { return channel_; }
@@ -329,6 +379,12 @@ class DimensionEngine
     void startOp(ChunkOp op);
     void advance(std::uint64_t exec_id);
     void finish(std::uint64_t exec_id);
+    /** Fault path: remove @p exec_id from the active set, account
+     *  @p lost re-sent bytes, and schedule its backoff requeue. */
+    void failOp(std::uint64_t exec_id, Bytes lost);
+    /** Backoff expiry: the op re-enters pending/ready directly (an
+     *  enforced order's cursor has already passed a started op). */
+    void requeueRetry(ChunkOp op);
     void notifyPresence();
 
     sim::EventQueue& queue_ref_;
@@ -383,6 +439,14 @@ class DimensionEngine
 
     /** Iteration-trace sink; null when disarmed. */
     Fnv1a* fingerprint_ = nullptr;
+
+    /** Fault path state; see armFaults()/setLinkDown(). */
+    bool faults_armed_ = false;
+    RetryConfig retry_;
+    RetryListener retry_listener_;
+    bool link_down_ = false;
+    std::uint64_t retry_count_ = 0;
+    Bytes lost_bytes_ = 0.0;
 
     std::map<int, EnforcedOrder> enforced_;
 

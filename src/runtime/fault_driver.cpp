@@ -1,0 +1,151 @@
+#include "runtime/fault_driver.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "runtime/dimension_engine.hpp"
+#include "stats/utilization_tracker.hpp"
+
+namespace themis::runtime {
+
+FaultDriver::FaultDriver(sim::EventQueue& queue,
+                         const sim::FaultTimeline& timeline,
+                         std::vector<DimensionEngine*> engines,
+                         stats::UtilizationTracker* tracker)
+    : queue_(queue), timeline_(timeline), engines_(std::move(engines)),
+      tracker_(tracker), dims_(engines_.size())
+{
+    THEMIS_ASSERT(!engines_.empty(), "fault driver with no engines");
+    for (auto* e : engines_)
+        THEMIS_ASSERT(e != nullptr, "null engine");
+    timeline_.validateForDims(static_cast<int>(engines_.size()));
+    base_bw_.reserve(engines_.size());
+    for (const auto* e : engines_)
+        base_bw_.push_back(e->channel().capacity());
+}
+
+void
+FaultDriver::refreshCapacity(int dim)
+{
+    const DimState& st = dims_[static_cast<std::size_t>(dim)];
+    Bandwidth eff = base_bw_[static_cast<std::size_t>(dim)];
+    eff *= st.straggler;
+    for (const auto& [pair, factor] : st.degrades)
+        eff *= factor;
+    engines_[static_cast<std::size_t>(dim)]->channel().setCapacity(
+        queue_.now(), eff);
+    if (tracker_ != nullptr)
+        tracker_->recordCapacityEvent(static_cast<std::size_t>(dim));
+}
+
+void
+FaultDriver::apply(const sim::FaultEvent& e)
+{
+    DimState& st = dims_[static_cast<std::size_t>(e.dim)];
+    DimensionEngine* engine = engines_[static_cast<std::size_t>(e.dim)];
+    logDebug("fault t=", queue_.now(), " (abs ", e.at, ") dim ",
+             e.dim + 1, " ", sim::faultKindName(e.kind));
+    switch (e.kind) {
+    case sim::FaultKind::DegradeStart:
+        st.degrades.emplace_back(e.pair, e.factor);
+        refreshCapacity(e.dim);
+        break;
+    case sim::FaultKind::DegradeEnd: {
+        const auto it = std::find_if(
+            st.degrades.begin(), st.degrades.end(),
+            [&](const auto& d) { return d.first == e.pair; });
+        THEMIS_ASSERT(it != st.degrades.end(),
+                      "degrade-end without matching start");
+        st.degrades.erase(it);
+        refreshCapacity(e.dim);
+        break;
+    }
+    case sim::FaultKind::StragglerStart:
+        st.straggler *= e.factor;
+        refreshCapacity(e.dim);
+        break;
+    case sim::FaultKind::FlapDown:
+        if (++st.flap_depth == 1)
+            engine->setLinkDown(true);
+        break;
+    case sim::FaultKind::FlapUp:
+        THEMIS_ASSERT(st.flap_depth > 0,
+                      "flap-up without matching flap-down");
+        // The nominal down window rides in the event's factor field;
+        // recording it here (not wall-clock deltas) keeps downtime
+        // accounting independent of lazy application.
+        if (tracker_ != nullptr)
+            tracker_->recordFlap(static_cast<std::size_t>(e.dim),
+                                 e.factor);
+        if (--st.flap_depth == 0)
+            engine->setLinkDown(false);
+        break;
+    }
+}
+
+void
+FaultDriver::catchUp(TimeNs abs_now)
+{
+    const auto& events = timeline_.events();
+    while (next_ < events.size() && events[next_].at <= abs_now) {
+        apply(events[next_]);
+        ++next_;
+    }
+}
+
+void
+FaultDriver::armNext()
+{
+    THEMIS_ASSERT(armed_ == 0, "fault event already armed");
+    const auto& events = timeline_.events();
+    if (next_ >= events.size())
+        return;
+    // Relative (current-epoch) firing time; catchUp has applied
+    // everything at or before now, so this is strictly in the future.
+    const TimeNs rel = events[next_].at - base_;
+    armed_ = queue_.schedule(rel, [this] {
+        armed_ = 0;
+        catchUp(base_ + queue_.now());
+        armNext();
+    });
+}
+
+void
+FaultDriver::onWindowStart(TimeNs now)
+{
+    THEMIS_ASSERT(!window_open_, "fault window already open");
+    window_open_ = true;
+    catchUp(base_ + now);
+    armNext();
+}
+
+void
+FaultDriver::onWindowEnd(TimeNs now)
+{
+    (void)now;
+    THEMIS_ASSERT(window_open_, "fault window not open");
+    window_open_ = false;
+    if (armed_ != 0) {
+        queue_.cancel(armed_);
+        armed_ = 0;
+    }
+}
+
+void
+FaultDriver::onEpochRebase(TimeNs elapsed)
+{
+    THEMIS_ASSERT(armed_ == 0 && !window_open_,
+                  "epoch rebase with the fault window open");
+    base_ += elapsed;
+}
+
+void
+FaultDriver::skipReplayedEpoch(TimeNs d)
+{
+    THEMIS_ASSERT(armed_ == 0 && !window_open_,
+                  "replay skip with the fault window open");
+    base_ += d;
+}
+
+} // namespace themis::runtime

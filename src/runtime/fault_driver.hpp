@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Applies a FaultTimeline to the live runtime.
+ *
+ * The driver owns the mapping from timeline events (absolute run
+ * time) to simulator actions: stepping a SharedChannel's capacity
+ * (degrade/straggler edges) and flapping a DimensionEngine's link
+ * down/up. Two pieces of machinery make this correct inside the
+ * existing runtime without perturbing fault-free runs:
+ *
+ *  - *Lazy application.* A queue event scheduled past the workload's
+ *    completion would stall or artificially extend queue.run(), so
+ *    the driver only keeps an event armed on the queue while the
+ *    runtime has outstanding collectives (the same windows
+ *    UtilizationTracker measures). When a window opens, every event
+ *    whose time has passed during the idle gap is applied on the
+ *    spot — observationally equivalent, because capacity only
+ *    matters while transfers exist and a flap window that ended
+ *    while the fabric was idle failed nothing.
+ *
+ *  - *Epoch rebasing.* Iteration epochs rebase the event queue to
+ *    zero; the driver accumulates those rebases into base_, so
+ *    timeline times stay absolute across a whole convergence run.
+ *    Replayed (analytically skipped) iterations advance base_ by the
+ *    same repeated addition the simulated path would, keeping the
+ *    arithmetic bit-identical.
+ *
+ * Overlapping flaps on one dimension are depth-counted: the link is
+ * down while any flap window covers now, and the engine sees exactly
+ * one down/up transition pair per covered stretch.
+ */
+
+#ifndef THEMIS_RUNTIME_FAULT_DRIVER_HPP
+#define THEMIS_RUNTIME_FAULT_DRIVER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/fault_timeline.hpp"
+
+namespace themis::stats {
+class UtilizationTracker;
+}
+
+namespace themis::runtime {
+
+class DimensionEngine;
+
+/** Drives one FaultTimeline against one CommRuntime's engines. */
+class FaultDriver
+{
+  public:
+    /**
+     * @param queue    the runtime's event queue
+     * @param timeline schedule to apply (absolute times; must outlive
+     *                 the driver)
+     * @param engines  one engine per global dimension, fault-armed
+     * @param tracker  fault-counter sink (may be null)
+     */
+    FaultDriver(sim::EventQueue& queue,
+                const sim::FaultTimeline& timeline,
+                std::vector<DimensionEngine*> engines,
+                stats::UtilizationTracker* tracker);
+
+    FaultDriver(const FaultDriver&) = delete;
+    FaultDriver& operator=(const FaultDriver&) = delete;
+
+    /**
+     * A communication-active window opens at queue time @p now:
+     * catch up on events whose absolute time has passed, then arm
+     * the next future event on the queue.
+     */
+    void onWindowStart(TimeNs now);
+
+    /** The window closed; disarm the pending event (if any). */
+    void onWindowEnd(TimeNs now);
+
+    /**
+     * An iteration epoch is about to rebase the queue from @p elapsed
+     * to zero; fold the elapsed time into the absolute base. Must be
+     * called with no event armed (windows are closed at epoch edges).
+     */
+    void onEpochRebase(TimeNs elapsed);
+
+    /**
+     * A replayed (not simulated) iteration of duration @p d passed;
+     * advance the base exactly as onEpochRebase would have.
+     */
+    void skipReplayedEpoch(TimeNs d);
+
+    /** Absolute run time of the current epoch's t=0. */
+    TimeNs base() const { return base_; }
+
+    /** The timeline being applied. */
+    const sim::FaultTimeline& timeline() const { return timeline_; }
+
+    /** Events applied so far. */
+    std::size_t appliedCount() const { return next_; }
+
+  private:
+    /** Apply every event with at <= @p abs_now. */
+    void catchUp(TimeNs abs_now);
+    /** Arm the next unapplied event on the queue (window open). */
+    void armNext();
+    /** Apply one event to the engines/channels at queue time now. */
+    void apply(const sim::FaultEvent& e);
+    /** Recompute and set dim @p dim's effective capacity. */
+    void refreshCapacity(int dim);
+
+    sim::EventQueue& queue_;
+    const sim::FaultTimeline& timeline_;
+    std::vector<DimensionEngine*> engines_;
+    stats::UtilizationTracker* tracker_;
+
+    /** Per-dimension multiplier state. */
+    struct DimState
+    {
+        double straggler = 1.0;
+        /** Active degrade windows: (pair id, factor). */
+        std::vector<std::pair<std::uint64_t, double>> degrades;
+        int flap_depth = 0;
+    };
+    std::vector<Bandwidth> base_bw_;
+    std::vector<DimState> dims_;
+
+    std::size_t next_ = 0; ///< cursor into timeline_.events()
+    TimeNs base_ = 0.0;    ///< absolute time of queue time zero
+    sim::EventQueue::EventId armed_ = 0;
+    bool window_open_ = false;
+};
+
+} // namespace themis::runtime
+
+#endif // THEMIS_RUNTIME_FAULT_DRIVER_HPP

@@ -1,0 +1,369 @@
+/**
+ * @file
+ * FaultTimeline construction, `--faults` spec parsing and queries.
+ */
+
+#include "sim/fault_timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "common/string_util.hpp"
+
+namespace themis::sim {
+
+namespace {
+
+/**
+ * Parsing context threaded through the field parsers so every
+ * diagnostic names the event ordinal and the offending field.
+ */
+struct EventContext {
+    std::size_t ordinal; ///< 1-based event position in the spec
+    std::string kind;    ///< event kind token, for messages
+};
+
+[[noreturn]] void
+fieldError(const EventContext& ctx, const std::string& field,
+           const std::string& why)
+{
+    THEMIS_FATAL("--faults event " << ctx.ordinal << " (" << ctx.kind
+                                   << "): field '" << field
+                                   << "': " << why);
+}
+
+double
+parseNumberField(const EventContext& ctx, const std::string& field,
+                 const std::string& text)
+{
+    if (text.empty())
+        fieldError(ctx, field, "empty value");
+    std::size_t pos = 0;
+    double value = 0.0;
+    try {
+        value = std::stod(text, &pos);
+    } catch (const std::exception&) {
+        fieldError(ctx, field, "'" + text + "' is not a number");
+    }
+    if (pos != text.size())
+        fieldError(ctx, field,
+                   "trailing characters in '" + text + "'");
+    if (!std::isfinite(value))
+        fieldError(ctx, field, "'" + text + "' is not finite");
+    return value;
+}
+
+int
+parseIntField(const EventContext& ctx, const std::string& field,
+              const std::string& text)
+{
+    const double v = parseNumberField(ctx, field, text);
+    if (v != std::floor(v) || std::abs(v) > 1e9)
+        fieldError(ctx, field, "'" + text + "' is not an integer");
+    return static_cast<int>(v);
+}
+
+/** key=value list after the ':' separator, duplicate keys rejected. */
+std::vector<std::pair<std::string, std::string>>
+parseParams(const EventContext& ctx, const std::string& text)
+{
+    std::vector<std::pair<std::string, std::string>> kvs;
+    std::unordered_set<std::string> seen;
+    if (text.empty())
+        return kvs;
+    for (const std::string& item : split(text, ',')) {
+        const auto eq = item.find('=');
+        if (eq == std::string::npos || eq == 0)
+            THEMIS_FATAL("--faults event "
+                         << ctx.ordinal << " (" << ctx.kind << "): '"
+                         << item << "' is not key=value");
+        std::string key = item.substr(0, eq);
+        if (!seen.insert(key).second)
+            fieldError(ctx, key, "duplicate field");
+        kvs.emplace_back(std::move(key), item.substr(eq + 1));
+    }
+    return kvs;
+}
+
+} // namespace
+
+const char*
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+    case FaultKind::DegradeStart: return "degrade-start";
+    case FaultKind::DegradeEnd: return "degrade-end";
+    case FaultKind::StragglerStart: return "straggler";
+    case FaultKind::FlapDown: return "flap-down";
+    case FaultKind::FlapUp: return "flap-up";
+    }
+    return "?";
+}
+
+void
+FaultTimeline::insert(FaultEvent e)
+{
+    // Keep (at, insertion order) sorted: upper_bound on time alone
+    // preserves the order pairs were added for same-timestamp events.
+    const auto it = std::upper_bound(
+        events_.begin(), events_.end(), e.at,
+        [](TimeNs t, const FaultEvent& x) { return t < x.at; });
+    events_.insert(it, e);
+}
+
+void
+FaultTimeline::addDegrade(int dim, TimeNs start, TimeNs duration,
+                          double factor)
+{
+    if (dim < 0)
+        THEMIS_FATAL("degrade: dim " << dim << " is negative");
+    if (!(start >= 0.0))
+        THEMIS_FATAL("degrade: start " << start << " is negative");
+    if (!(duration > 0.0))
+        THEMIS_FATAL("degrade: duration " << duration
+                                          << " must be positive");
+    if (!(factor > 0.0) || !std::isfinite(factor))
+        THEMIS_FATAL("degrade: factor " << factor
+                                        << " must be positive finite");
+    const std::uint64_t pair = next_pair_++;
+    insert({start, dim, FaultKind::DegradeStart, factor, pair});
+    insert({start + duration, dim, FaultKind::DegradeEnd, factor, pair});
+}
+
+void
+FaultTimeline::addStraggler(int dim, TimeNs start, double factor)
+{
+    if (dim < 0)
+        THEMIS_FATAL("straggler: dim " << dim << " is negative");
+    if (!(start >= 0.0))
+        THEMIS_FATAL("straggler: start " << start << " is negative");
+    if (!(factor > 0.0) || !std::isfinite(factor))
+        THEMIS_FATAL("straggler: factor "
+                     << factor << " must be positive finite");
+    insert({start, dim, FaultKind::StragglerStart, factor, 0});
+}
+
+void
+FaultTimeline::addFlap(int dim, TimeNs start, TimeNs down)
+{
+    if (dim < 0)
+        THEMIS_FATAL("flap: dim " << dim << " is negative");
+    if (!(start >= 0.0))
+        THEMIS_FATAL("flap: start " << start << " is negative");
+    if (!(down > 0.0))
+        THEMIS_FATAL("flap: down-window " << down
+                                          << " must be positive");
+    const std::uint64_t pair = next_pair_++;
+    insert({start, dim, FaultKind::FlapDown, 1.0, pair});
+    insert({start + down, dim, FaultKind::FlapUp, down, pair});
+}
+
+void
+FaultTimeline::addFlapStorm(int dim, TimeNs start, TimeNs window,
+                            int flaps, TimeNs down, Rng& rng)
+{
+    if (!(window > 0.0))
+        THEMIS_FATAL("storm: window " << window << " must be positive");
+    if (flaps < 1)
+        THEMIS_FATAL("storm: flaps " << flaps << " must be >= 1");
+    // Draw the flap starts first, then sort, so the expansion is a
+    // pure function of the seed regardless of insertion mechanics.
+    std::vector<TimeNs> starts(static_cast<std::size_t>(flaps));
+    for (TimeNs& t : starts)
+        t = start + rng.uniformReal(0.0, window);
+    std::sort(starts.begin(), starts.end());
+    for (TimeNs t : starts)
+        addFlap(dim, t, down);
+}
+
+FaultTimeline
+FaultTimeline::parse(const std::string& spec)
+{
+    FaultTimeline tl;
+    const std::vector<std::string> items = split(spec, ';');
+    std::size_t ordinal = 0;
+    for (const std::string& item : items) {
+        ++ordinal;
+        if (item.empty())
+            THEMIS_FATAL("--faults event " << ordinal
+                                           << ": empty event");
+        // Header (kind@time[+duration]) is everything before the
+        // first ':'; the parameter list follows it.
+        const auto colon = item.find(':');
+        const std::string header =
+            colon == std::string::npos ? item : item.substr(0, colon);
+        const std::string params =
+            colon == std::string::npos ? "" : item.substr(colon + 1);
+
+        const auto at_pos = header.find('@');
+        if (at_pos == std::string::npos || at_pos == 0)
+            THEMIS_FATAL("--faults event "
+                         << ordinal << ": '" << item
+                         << "' is missing 'kind@time'");
+        EventContext ctx{ordinal, toLower(header.substr(0, at_pos))};
+        std::string when = header.substr(at_pos + 1);
+
+        TimeNs duration = -1.0;
+        // '+' introduces the window, but scientific notation also
+        // contains '+' (1e+6): only split on a '+' not preceded by
+        // 'e'/'E'.
+        for (std::size_t p = 0; p < when.size(); ++p) {
+            if (when[p] == '+' && p > 0 && when[p - 1] != 'e' &&
+                when[p - 1] != 'E') {
+                duration = parseNumberField(ctx, "duration",
+                                            when.substr(p + 1));
+                when = when.substr(0, p);
+                break;
+            }
+        }
+        const TimeNs start = parseNumberField(ctx, "time", when);
+        if (start < 0.0)
+            fieldError(ctx, "time", "must be >= 0");
+
+        int dim = -1;
+        double factor = -1.0;
+        int flaps = -1;
+        TimeNs down = -1.0;
+        std::uint64_t seed = 0x7e315c0dULL;
+        bool has_seed = false;
+        for (const auto& [key, value] : parseParams(ctx, params)) {
+            if (key == "dim") {
+                dim = parseIntField(ctx, key, value);
+            } else if (key == "factor") {
+                factor = parseNumberField(ctx, key, value);
+            } else if (key == "flaps") {
+                flaps = parseIntField(ctx, key, value);
+            } else if (key == "down") {
+                down = parseNumberField(ctx, key, value);
+            } else if (key == "seed") {
+                const double s = parseNumberField(ctx, key, value);
+                if (s < 0.0 || s != std::floor(s))
+                    fieldError(ctx, key, "must be a non-negative "
+                                         "integer");
+                seed = static_cast<std::uint64_t>(s);
+                has_seed = true;
+            } else {
+                fieldError(ctx, key, "unknown field");
+            }
+        }
+        if (dim < 0)
+            fieldError(ctx, "dim",
+                       "required (non-negative dimension index)");
+
+        const auto requireFactor = [&] {
+            if (factor < 0.0)
+                fieldError(ctx, "factor", "required");
+            if (!(factor > 0.0))
+                fieldError(ctx, "factor", "must be positive");
+        };
+        const auto requireDuration = [&](const char* what) {
+            if (duration < 0.0)
+                fieldError(ctx, "duration",
+                           std::string("required ('@T+D' ") + what +
+                               ")");
+            if (!(duration > 0.0))
+                fieldError(ctx, "duration", "must be positive");
+        };
+
+        if (ctx.kind == "degrade") {
+            requireDuration("degrade window");
+            requireFactor();
+            if (factor >= 1.0)
+                fieldError(ctx, "factor",
+                           "degrade must shrink capacity (factor < 1); "
+                           "use straggler for permanent scaling");
+            tl.addDegrade(dim, start, duration, factor);
+        } else if (ctx.kind == "straggler") {
+            if (duration >= 0.0)
+                fieldError(ctx, "duration",
+                           "straggler is permanent; no '+duration'");
+            requireFactor();
+            tl.addStraggler(dim, start, factor);
+        } else if (ctx.kind == "flap") {
+            requireDuration("down window");
+            if (factor >= 0.0)
+                fieldError(ctx, "factor", "flap takes no factor");
+            tl.addFlap(dim, start, duration);
+        } else if (ctx.kind == "storm") {
+            requireDuration("storm window");
+            if (flaps < 0)
+                fieldError(ctx, "flaps", "required");
+            if (down < 0.0)
+                fieldError(ctx, "down", "required (flap length, ns)");
+            if (!(down > 0.0))
+                fieldError(ctx, "down", "must be positive");
+            (void)has_seed;
+            Rng rng(seed);
+            tl.addFlapStorm(dim, start, duration, flaps, down, rng);
+        } else {
+            THEMIS_FATAL("--faults event "
+                         << ordinal << ": unknown kind '" << ctx.kind
+                         << "' (degrade|straggler|flap|storm)");
+        }
+    }
+    if (tl.empty())
+        THEMIS_FATAL("--faults: spec '" << spec << "' has no events");
+    return tl;
+}
+
+int
+FaultTimeline::maxDim() const
+{
+    int max_dim = -1;
+    for (const FaultEvent& e : events_)
+        max_dim = std::max(max_dim, e.dim);
+    return max_dim;
+}
+
+void
+FaultTimeline::validateForDims(int num_dims) const
+{
+    for (const FaultEvent& e : events_)
+        if (e.dim >= num_dims)
+            THEMIS_FATAL("--faults: event at t="
+                         << e.at << " (" << faultKindName(e.kind)
+                         << ") targets dim " << e.dim
+                         << " but the topology has only " << num_dims
+                         << " dimensions");
+}
+
+TimeNs
+FaultTimeline::nextEventAtOrAfter(TimeNs t) const
+{
+    const auto it = std::lower_bound(
+        events_.begin(), events_.end(), t,
+        [](const FaultEvent& x, TimeNs v) { return x.at < v; });
+    if (it == events_.end())
+        return std::numeric_limits<TimeNs>::infinity();
+    return it->at;
+}
+
+TimeNs
+FaultTimeline::nextEventAfter(TimeNs t) const
+{
+    const auto it = std::upper_bound(
+        events_.begin(), events_.end(), t,
+        [](TimeNs v, const FaultEvent& x) { return v < x.at; });
+    if (it == events_.end())
+        return std::numeric_limits<TimeNs>::infinity();
+    return it->at;
+}
+
+std::string
+FaultTimeline::describe() const
+{
+    std::unordered_set<int> dims;
+    for (const FaultEvent& e : events_)
+        dims.insert(e.dim);
+    std::ostringstream oss;
+    oss << events_.size() << " fault events on " << dims.size()
+        << " dim" << (dims.size() == 1 ? "" : "s");
+    return oss.str();
+}
+
+} // namespace themis::sim

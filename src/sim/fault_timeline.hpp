@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Deterministic fault & heterogeneity scenario timeline.
+ *
+ * A FaultTimeline is a schedule of per-dimension capacity events that a
+ * FaultDriver applies to the live SharedChannels while a run executes:
+ *
+ *  - degrade:   link capacity is multiplied by a factor over a window
+ *               (a congested or partially failed link),
+ *  - straggler: a permanent per-dimension capacity scale from a point
+ *               in time onward (a slow NPU / NIC),
+ *  - flap:      the link goes down for a window; transfers in flight
+ *               FAIL and are retried by the runtime with exponential
+ *               backoff.
+ *
+ * Timelines are data, not behaviour: building or parsing one touches
+ * no simulator state, so the same timeline object can drive many runs
+ * (and the convergence replayer can query it analytically to find
+ * quiescent phases). All times are absolute nanoseconds on the run's
+ * global clock — iteration epochs rebase the event queue, so the
+ * runtime's FaultDriver tracks the rebase offset, not this class.
+ *
+ * Scheduled events expand into atomic boundary events (start/end pairs
+ * share a `pair` id) kept sorted by (time, insertion order) so the
+ * driver can apply them as a cursor sweep.
+ */
+
+#ifndef THEMIS_SIM_FAULT_TIMELINE_HPP
+#define THEMIS_SIM_FAULT_TIMELINE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace themis {
+class Rng;
+}
+
+namespace themis::sim {
+
+/** Atomic boundary event a scheduled fault expands into. */
+enum class FaultKind : std::uint8_t {
+    DegradeStart,   ///< multiply capacity by `factor`
+    DegradeEnd,     ///< undo the paired DegradeStart
+    StragglerStart, ///< permanently multiply capacity by `factor`
+    FlapDown,       ///< link down; in-flight transfers fail
+    FlapUp,         ///< link back up; `factor` holds the nominal
+                    ///< down-window in ns (for downtime accounting)
+};
+
+/** Reporting name for a fault boundary kind. */
+const char* faultKindName(FaultKind kind);
+
+/** One atomic capacity event on one dimension. */
+struct FaultEvent {
+    TimeNs at = 0.0;  ///< absolute simulated time (ns)
+    int dim = 0;      ///< global dimension index
+    FaultKind kind = FaultKind::DegradeStart;
+    /** Capacity factor (degrade/straggler) or down-window ns (FlapUp). */
+    double factor = 1.0;
+    /** Links a start event to its end event (degrade/flap pairs). */
+    std::uint64_t pair = 0;
+};
+
+/**
+ * Ordered schedule of capacity events. Immutable once handed to a run.
+ */
+class FaultTimeline
+{
+  public:
+    /**
+     * Parse a `--faults` spec. Grammar (times/durations in ns, may use
+     * scientific notation):
+     *
+     *   spec      := event (';' event)*
+     *   event     := kind '@' time ['+' duration] [':' kv (',' kv)*]
+     *   degrade@T+D:dim=K,factor=F     capacity x F during [T, T+D)
+     *   straggler@T:dim=K,factor=F     capacity x F from T onward
+     *   flap@T+D:dim=K                 link K down during [T, T+D)
+     *   storm@T+W:dim=K,flaps=N,down=D[,seed=S]
+     *                                  N seeded-random flaps of D ns
+     *                                  starting within [T, T+W)
+     *
+     * Throws ConfigError with event- and field-level context on any
+     * malformed input.
+     */
+    static FaultTimeline parse(const std::string& spec);
+
+    /** Capacity x @p factor on @p dim during [start, start+duration). */
+    void addDegrade(int dim, TimeNs start, TimeNs duration, double factor);
+
+    /** Permanent capacity x @p factor on @p dim from @p start onward. */
+    void addStraggler(int dim, TimeNs start, double factor);
+
+    /** Link @p dim down during [start, start+down); transfers fail. */
+    void addFlap(int dim, TimeNs start, TimeNs down);
+
+    /**
+     * @p flaps seeded-random flaps of @p down ns each, with start times
+     * drawn uniformly from [start, start+window). Deterministic in
+     * @p rng's seed; flaps may overlap (the driver depth-counts).
+     */
+    void addFlapStorm(int dim, TimeNs start, TimeNs window, int flaps,
+                      TimeNs down, Rng& rng);
+
+    /** True when the timeline holds no events. */
+    bool empty() const { return events_.empty(); }
+
+    /** Boundary events sorted by (time, insertion order). */
+    const std::vector<FaultEvent>& events() const { return events_; }
+
+    /** Number of atomic boundary events. */
+    std::size_t eventCount() const { return events_.size(); }
+
+    /** Largest dimension index referenced, or -1 when empty. */
+    int maxDim() const;
+
+    /** Fatal ConfigError when any event targets dim >= @p num_dims. */
+    void validateForDims(int num_dims) const;
+
+    /** Time of the first event with at >= @p t, or +inf when none. */
+    TimeNs nextEventAtOrAfter(TimeNs t) const;
+
+    /** Time of the first event with at > @p t, or +inf when none. */
+    TimeNs nextEventAfter(TimeNs t) const;
+
+    /** One-line human summary, e.g. "6 events on 2 dims". */
+    std::string describe() const;
+
+  private:
+    void insert(FaultEvent e);
+
+    std::vector<FaultEvent> events_; ///< sorted by (at, seq)
+    std::uint64_t next_pair_ = 1;
+};
+
+} // namespace themis::sim
+
+#endif // THEMIS_SIM_FAULT_TIMELINE_HPP

@@ -1,6 +1,7 @@
 #include "sim/shared_channel.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "common/error.hpp"
@@ -144,7 +145,7 @@ SharedChannel::begin(Bytes bytes, Callback on_done)
 
 SharedChannel::TransferId
 SharedChannel::begin(Bytes bytes, double weight, Callback on_done,
-                     int priority_class)
+                     int priority_class, FailCallback on_fail)
 {
     THEMIS_ASSERT(bytes >= 0.0, "negative transfer size " << bytes);
     THEMIS_ASSERT(on_done, "null transfer callback");
@@ -168,7 +169,7 @@ SharedChannel::begin(Bytes bytes, double weight, Callback on_done,
     const double v_end =
         vtime_ + (weight == 1.0 ? bytes : bytes / weight);
     active_.emplace(id, Transfer{std::move(on_done), weight,
-                                 priority_class});
+                                 priority_class, std::move(on_fail)});
     weight_sum_ += weight;
     ClassState& cs = classState(priority_class);
     cs.weight_sum += weight;
@@ -251,12 +252,88 @@ SharedChannel::maybeRebase()
 {
     if (vtime_ < kRebaseThreshold)
         return;
+    rebaseNow();
+}
+
+void
+SharedChannel::rebaseNow()
+{
     // Uniformly shifting every finish point preserves the heap order
     // and every (v_end - vtime_) difference the drain logic consumes.
     const double base = vtime_;
     for (FinishEntry& entry : finish_heap_)
         entry.v_end -= base;
     vtime_ = 0.0;
+}
+
+void
+SharedChannel::setCapacity(TimeNs t, Bandwidth bw)
+{
+    THEMIS_ASSERT(bw > 0.0 && std::isfinite(bw),
+                  "channel capacity must be positive finite, got "
+                      << bw);
+    THEMIS_ASSERT(t <= queue_.now() + 1e-9,
+                  "capacity step at " << t << " is in the future of "
+                                      << queue_.now());
+    if (bw == capacity_)
+        return;
+    // Settle all progress accounts under the old capacity first, then
+    // anchor virtual time at zero so repeated steps cannot push the
+    // drain-epsilon comparison into large-magnitude territory.
+    advanceTo(t);
+    rebaseNow();
+    capacity_ = bw;
+    // Pending completion ETA was computed at the old rate.
+    reschedule();
+}
+
+std::size_t
+SharedChannel::failActive()
+{
+    advanceTo(queue_.now());
+    if (active_.empty())
+        return 0;
+    // The finish points live only in the heap; collect the live ones
+    // (skipping aborted leftovers) so each failure can report its
+    // untransferred remainder.
+    std::vector<std::pair<FailCallback, Bytes>> failed;
+    failed.reserve(active_.size());
+    std::vector<std::pair<TransferId, double>> live;
+    live.reserve(active_.size());
+    for (const FinishEntry& entry : finish_heap_)
+        if (active_.find(entry.id) != active_.end())
+            live.emplace_back(entry.id, entry.v_end);
+    THEMIS_ASSERT(live.size() == active_.size(),
+                  "finish heap lost a live transfer");
+    // Fail in begin order (ids are monotonic), mirroring the drain
+    // callback order.
+    std::sort(live.begin(), live.end());
+    for (const auto& [id, v_end] : live) {
+        auto it = active_.find(id);
+        Transfer t = std::move(it->second);
+        THEMIS_ASSERT(t.on_fail,
+                      "failActive: transfer " << id
+                                              << " has no fail handler");
+        // Like abort(): the service received so far stays in the
+        // progress accounts; only the remainder is lost.
+        const double residual = (v_end - vtime_) * t.weight;
+        const Bytes remaining = residual > 0.0 ? residual : 0.0;
+        active_.erase(it);
+        dropWeight(t);
+        failed.emplace_back(std::move(t.on_fail), remaining);
+    }
+    finish_heap_.clear();
+    if (pending_event_ != 0) {
+        queue_.cancel(pending_event_);
+        pending_event_ = 0;
+    }
+    for (auto& [cb, remaining] : failed)
+        cb(remaining);
+    // Failure handlers may have begun fresh transfers (each begin()
+    // reschedules); make sure survivors have a completion queued.
+    if (pending_event_ == 0 && !active_.empty())
+        reschedule();
+    return failed.size();
 }
 
 void
@@ -358,7 +435,8 @@ SharedChannel::onCompletionEvent()
         progressed_bytes_ += residual;
         classState(it->second.cls).progressed += residual;
         done.emplace_back(entry.id, std::move(it->second.on_done));
-        const Transfer t{nullptr, it->second.weight, it->second.cls};
+        const Transfer t{nullptr, it->second.weight, it->second.cls,
+                         nullptr};
         active_.erase(it);
         dropWeight(t);
     }

@@ -85,6 +85,15 @@ class SharedChannel
     using Callback = std::function<void()>;
 
     /**
+     * Invoked when a transfer FAILS (link flap via failActive()); the
+     * argument is the untransferred remainder in bytes. Partial
+     * progress stays accounted in progressedBytes() — those wire
+     * bytes really moved — and the caller is expected to retry the
+     * whole transfer.
+     */
+    using FailCallback = std::function<void(Bytes remaining)>;
+
+    /**
      * @param queue    event queue driving this channel
      * @param capacity aggregate bandwidth in bytes/ns (> 0)
      * @param fairness sharing discipline (see ChannelFairness)
@@ -108,10 +117,34 @@ class SharedChannel
      * accept unit weights only.
      */
     TransferId begin(Bytes bytes, double weight, Callback on_done,
-                     int priority_class = 0);
+                     int priority_class = 0,
+                     FailCallback on_fail = nullptr);
 
     /** Abort an in-flight transfer; its callback never fires. */
     void abort(TransferId id);
+
+    /**
+     * Step the channel capacity to @p bw (> 0) at time @p t (the
+     * queue's current time). Progress is settled under the old
+     * capacity up to @p t, then the virtual clock is rebased — the
+     * same uniform finish-point shift as the periodic 1e9-vbyte
+     * rebase — so drain epsilons stay anchored near zero across
+     * arbitrarily many capacity steps. Finish points in virtual time
+     * are capacity-independent, so exact byte conservation holds
+     * across the step by construction; only completion ETAs change.
+     */
+    void setCapacity(TimeNs t, Bandwidth bw);
+
+    /**
+     * Fail every in-flight transfer (link flap): partial progress is
+     * settled into the progress accounts, the untransferred remainder
+     * is dropped, and each transfer's FailCallback fires (in begin
+     * order) with that remainder. Every active transfer must have
+     * been begun with a FailCallback (asserted) — flapping a link
+     * whose users cannot retry is a wiring bug, not a scenario.
+     * @return number of transfers failed.
+     */
+    std::size_t failActive();
 
     /** Number of currently active transfers. */
     std::size_t activeCount() const { return active_.size(); }
@@ -192,6 +225,7 @@ class SharedChannel
         Callback on_done;
         double weight = 1.0;
         int cls = 0;
+        FailCallback on_fail; ///< set when the caller can retry
     };
 
     /** Per-class aggregates; index = priority class. */
@@ -228,6 +262,8 @@ class SharedChannel
     bool dropStaleTop();
     /** Shift vtime_ (and all finish points) back toward zero. */
     void maybeRebase();
+    /** Unconditional variant, used at capacity steps. */
+    void rebaseNow();
     void heapPush(FinishEntry entry);
     void heapPop();
     /** Virtual-time rate capacity / total weight (egalitarian: /n). */

@@ -105,4 +105,19 @@ renderConvergenceTable(const std::vector<ConvergenceRunRow>& rows)
     return t.render();
 }
 
+std::string
+renderFaultTable(const std::vector<FaultDimRow>& rows)
+{
+    TextTable t({"Dim", "Capacity steps", "Flaps", "Down time",
+                 "Retries", "Lost bytes"});
+    for (const auto& r : rows) {
+        t.addRow({r.name, std::to_string(r.capacity_events),
+                  std::to_string(r.flaps),
+                  r.flaps > 0 ? fmtTime(r.down_time) : "-",
+                  std::to_string(r.retries),
+                  r.retries > 0 ? fmtBytes(r.lost_bytes) : "-"});
+    }
+    return t.render();
+}
+
 } // namespace themis::stats

@@ -7,6 +7,7 @@
 #ifndef THEMIS_STATS_SUMMARY_HPP
 #define THEMIS_STATS_SUMMARY_HPP
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -131,6 +132,31 @@ struct ConvergenceRunRow
 /** Render convergence-run rows as a standard table. */
 std::string
 renderConvergenceTable(const std::vector<ConvergenceRunRow>& rows);
+
+/** One dimension row of a fault/retry report (fault engine). */
+struct FaultDimRow
+{
+    /** Dimension label, e.g. "dim1 (SW)". */
+    std::string name;
+
+    /** Capacity steps applied (degrade/straggler edges). */
+    std::uint64_t capacity_events = 0;
+
+    /** Link flaps applied. */
+    std::uint64_t flaps = 0;
+
+    /** Nominal link-down time across those flaps. */
+    TimeNs down_time = 0.0;
+
+    /** Failed transfer attempts (each retried after backoff). */
+    std::uint64_t retries = 0;
+
+    /** Wire bytes moved by failed attempts and re-sent. */
+    Bytes lost_bytes = 0.0;
+};
+
+/** Render per-dimension fault/retry rows as a standard table. */
+std::string renderFaultTable(const std::vector<FaultDimRow>& rows);
 
 /** Column-aligned monospace table for terminal reports. */
 class TextTable

@@ -10,7 +10,10 @@ UtilizationTracker::UtilizationTracker(
     std::vector<sim::SharedChannel*> channels,
     std::vector<Bandwidth> bandwidths)
     : channels_(std::move(channels)), bandwidths_(std::move(bandwidths)),
-      bytes_(channels_.size(), 0.0)
+      bytes_(channels_.size(), 0.0), retries_(channels_.size(), 0),
+      retry_lost_bytes_(channels_.size(), 0.0),
+      flaps_(channels_.size(), 0), down_time_(channels_.size(), 0.0),
+      capacity_events_(channels_.size(), 0)
 {
     THEMIS_ASSERT(!channels_.empty(), "no channels to track");
     THEMIS_ASSERT(channels_.size() == bandwidths_.size(),
@@ -50,6 +53,35 @@ UtilizationTracker::epochReset()
     active_time_ = 0.0;
     std::fill(bytes_.begin(), bytes_.end(), 0.0);
     class_bytes_.clear();
+    std::fill(retries_.begin(), retries_.end(), 0);
+    std::fill(retry_lost_bytes_.begin(), retry_lost_bytes_.end(), 0.0);
+    std::fill(flaps_.begin(), flaps_.end(), 0);
+    std::fill(down_time_.begin(), down_time_.end(), 0.0);
+    std::fill(capacity_events_.begin(), capacity_events_.end(), 0);
+}
+
+void
+UtilizationTracker::recordRetry(std::size_t dim, Bytes lost)
+{
+    THEMIS_ASSERT(dim < retries_.size(), "retry on unknown dim");
+    ++retries_[dim];
+    retry_lost_bytes_[dim] += lost;
+}
+
+void
+UtilizationTracker::recordFlap(std::size_t dim, TimeNs dur)
+{
+    THEMIS_ASSERT(dim < flaps_.size(), "flap on unknown dim");
+    ++flaps_[dim];
+    down_time_[dim] += dur;
+}
+
+void
+UtilizationTracker::recordCapacityEvent(std::size_t dim)
+{
+    THEMIS_ASSERT(dim < capacity_events_.size(),
+                  "capacity event on unknown dim");
+    ++capacity_events_[dim];
 }
 
 void

@@ -18,6 +18,7 @@
 #ifndef THEMIS_STATS_UTILIZATION_TRACKER_HPP
 #define THEMIS_STATS_UTILIZATION_TRACKER_HPP
 
+#include <cstdint>
 #include <map>
 #include <vector>
 
@@ -116,6 +117,39 @@ class UtilizationTracker
     /** Per-dimension utilization bytes_k / (BW_k * activeTime()). */
     std::vector<double> perDimUtilization() const;
 
+    /** Record one failed attempt on @p dim wasting @p lost bytes. */
+    void recordRetry(std::size_t dim, Bytes lost);
+
+    /** Record one flap on @p dim with nominal down-window @p dur. */
+    void recordFlap(std::size_t dim, TimeNs dur);
+
+    /** Record one capacity step (degrade/straggler edge) on @p dim. */
+    void recordCapacityEvent(std::size_t dim);
+
+    /** Failed attempts per dimension (since last epochReset). */
+    const std::vector<std::uint64_t>& retries() const
+    {
+        return retries_;
+    }
+
+    /** Re-sent wire bytes per dimension (since last epochReset). */
+    const std::vector<Bytes>& retryLostBytes() const
+    {
+        return retry_lost_bytes_;
+    }
+
+    /** Flap count per dimension (since last epochReset). */
+    const std::vector<std::uint64_t>& flaps() const { return flaps_; }
+
+    /** Nominal link-down time per dimension (since last epochReset). */
+    const std::vector<TimeNs>& downTime() const { return down_time_; }
+
+    /** Capacity steps per dimension (since last epochReset). */
+    const std::vector<std::uint64_t>& capacityEvents() const
+    {
+        return capacity_events_;
+    }
+
   private:
     std::vector<Bytes> snapshot() const;
     /** Per-class progressed bytes summed over channels. */
@@ -136,6 +170,12 @@ class UtilizationTracker
     TimeNs active_time_ = 0.0;
     TimeNs window_open_at_ = 0.0;
     bool open_ = false;
+    /** Fault accounting, indexed by dimension (fault engine). */
+    std::vector<std::uint64_t> retries_;
+    std::vector<Bytes> retry_lost_bytes_;
+    std::vector<std::uint64_t> flaps_;
+    std::vector<TimeNs> down_time_;
+    std::vector<std::uint64_t> capacity_events_;
 };
 
 } // namespace themis::stats

@@ -1,5 +1,6 @@
 #include "topology/dimension.hpp"
 
+#include <cmath>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -43,13 +44,16 @@ DimensionConfig::validate() const
 {
     if (size < 2)
         THEMIS_FATAL("dimension size must be >= 2, got " << size);
-    if (link_bw_gbps <= 0.0)
-        THEMIS_FATAL("link bandwidth must be positive, got "
+    // Order the comparisons so NaN (which fails every '<') is caught
+    // by the explicit finiteness check rather than slipping through.
+    if (!std::isfinite(link_bw_gbps) || link_bw_gbps <= 0.0)
+        THEMIS_FATAL("link bandwidth must be positive and finite, got "
                      << link_bw_gbps);
     if (links_per_npu < 1)
         THEMIS_FATAL("links per NPU must be >= 1, got " << links_per_npu);
-    if (step_latency_ns < 0.0)
-        THEMIS_FATAL("step latency must be >= 0, got " << step_latency_ns);
+    if (!std::isfinite(step_latency_ns) || step_latency_ns < 0.0)
+        THEMIS_FATAL("step latency must be >= 0 and finite, got "
+                     << step_latency_ns);
     switch (kind) {
       case DimKind::Ring:
         // Rings use at most two directions' worth of neighbour links;

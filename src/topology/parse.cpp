@@ -1,5 +1,6 @@
 #include "topology/parse.hpp"
 
+#include <cmath>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -18,12 +19,26 @@ parseNumber(const std::string& text, const std::string& what)
         if (used != text.size())
             THEMIS_FATAL("trailing characters in " << what << " '"
                                                    << text << "'");
+        // std::stod happily accepts "nan" and "inf", and NaN then
+        // slips past every '<= 0' validation downstream.
+        if (!std::isfinite(v))
+            THEMIS_FATAL(what << " '" << text << "' must be finite");
         return v;
     } catch (const std::invalid_argument&) {
         THEMIS_FATAL("cannot parse " << what << " '" << text << "'");
     } catch (const std::out_of_range&) {
         THEMIS_FATAL(what << " '" << text << "' out of range");
     }
+}
+
+int
+parseInt(const std::string& text, const std::string& what)
+{
+    const double v = parseNumber(text, what);
+    const int i = static_cast<int>(v);
+    if (static_cast<double>(i) != v)
+        THEMIS_FATAL(what << " '" << text << "' must be an integer");
+    return i;
 }
 
 DimensionConfig
@@ -36,7 +51,7 @@ parseDimension(const std::string& field)
 
     DimensionConfig d;
     d.kind = dimKindFromName(parts[0]);
-    d.size = static_cast<int>(parseNumber(parts[1], "dimension size"));
+    d.size = parseInt(parts[1], "dimension size");
 
     // Bandwidth with an optional 'x<links>' suffix.
     const std::string& bw_field = parts[2];
@@ -47,9 +62,12 @@ parseDimension(const std::string& field)
     } else {
         d.link_bw_gbps =
             parseNumber(bw_field.substr(0, x), "bandwidth");
-        d.links_per_npu = static_cast<int>(
-            parseNumber(bw_field.substr(x + 1), "links per NPU"));
+        d.links_per_npu =
+            parseInt(bw_field.substr(x + 1), "links per NPU");
     }
+    if (d.link_bw_gbps <= 0.0)
+        THEMIS_FATAL("field 'bandwidth': must be positive, got '"
+                     << bw_field << "'");
 
     d.step_latency_ns = 700.0;
     std::size_t next = 3;
@@ -78,8 +96,16 @@ parseTopology(const std::string& name, const std::string& spec)
     if (spec.empty())
         THEMIS_FATAL("empty topology specification");
     std::vector<DimensionConfig> dims;
-    for (const auto& field : split(spec, ','))
-        dims.push_back(parseDimension(field));
+    const auto fields = split(spec, ',');
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        try {
+            dims.push_back(parseDimension(fields[i]));
+        } catch (const ConfigError& e) {
+            THEMIS_FATAL("topology dimension " << i << " ('"
+                                               << fields[i]
+                                               << "'): " << e.what());
+        }
+    }
     return Topology(name, std::move(dims));
 }
 

@@ -164,6 +164,42 @@ runConverged(runtime::CommRuntime& comm,
     bool have_prev = false;
     int streak = 0; // consecutive iterations identical to their predecessor
 
+    // Phase-aware replay under a fault timeline: replay may only
+    // substitute iterations that lie entirely inside the current
+    // quiescent phase. From the just-simulated steady epoch (absolute
+    // start fd->base(), duration d), count how many of the remaining
+    // iterations fit before the next fault event. An event exactly at
+    // an iteration's start boundary belongs to that iteration (the
+    // driver applies it at the epoch's first window start), so it
+    // caps the span; an event exactly at an iteration's end belongs
+    // to the next one. The steady epoch itself must be event-free
+    // past its own start: an event inside it means the next epoch
+    // begins under different capacities than the steady epoch did,
+    // even if that event had no observable effect on this epoch.
+    // Without a fault driver every remaining iteration is replayable
+    // — the pre-fault behavior, byte for byte.
+    runtime::FaultDriver* const fd = comm.faultDriver();
+    const auto replayableSpan = [&](int remaining, TimeNs d) -> int {
+        if (fd == nullptr)
+            return remaining;
+        const TimeNs base = fd->base();
+        const sim::FaultTimeline& tl = fd->timeline();
+        if (tl.nextEventAfter(base) < base + d)
+            return 0;
+        int n = 0;
+        // Repeated addition, exactly mirroring the simulated path's
+        // per-epoch base_ += duration, so replay and simulation see
+        // bit-identical boundary positions.
+        TimeNs start = base + d;
+        while (n < remaining) {
+            if (tl.nextEventAtOrAfter(start) < start + d)
+                break;
+            start += d;
+            ++n;
+        }
+        return n;
+    };
+
     // The one place an iteration is actually event-simulated: every
     // path below (detection loop, exactness continuation, no-replay
     // continuation) runs the epoch protocol through this helper, so a
@@ -217,30 +253,47 @@ runConverged(runtime::CommRuntime& comm,
             continue;
 
         if (eff.exactness_check) {
-            // Proof mode: predict the final totals analytically, then
-            // keep simulating and hold every iteration — and the
-            // final books — to the prediction.
+            // Proof mode: predict the replayable span analytically,
+            // then keep simulating and hold every iteration — and
+            // the books over the span — to the prediction. Under a
+            // fault timeline the span ends at the next phase
+            // boundary and the outer loop re-enters detection there.
+            const int n =
+                replayableSpan(eff.iterations - (i + 1), s.duration);
+            if (n == 0)
+                continue; // fault boundary abuts: keep simulating
             ConvergenceReport predicted = r;
-            for (int k = i + 1; k < eff.iterations; ++k)
+            for (int k = 0; k < n; ++k)
                 accumulate(predicted, b, s);
-            for (int k = i + 1; k < eff.iterations; ++k) {
+            for (int k = 0; k < n; ++k) {
+                ++i;
                 const auto [bk, sk] = simulate_epoch();
-                assertIdentical(bk, sk, b, s, k);
+                assertIdentical(bk, sk, b, s, i);
             }
             THEMIS_ASSERT(resultsBitIdentical(r, predicted),
                           "exactness check: the replay prediction "
                           "diverged from the fully simulated run");
-            break;
+            continue;
         }
         if (eff.replay) {
             // Analytic replay: integrate the steady iteration forward
             // — O(dimensions + classes) additions per iteration, no
-            // event loop.
-            for (int k = i + 1; k < eff.iterations; ++k) {
+            // event loop — up to the next fault-phase boundary (or
+            // the end of the run). The fault driver's base advances
+            // by the same additions the simulated path would apply,
+            // and detection resumes past the boundary.
+            const int n =
+                replayableSpan(eff.iterations - (i + 1), s.duration);
+            if (n == 0)
+                continue; // fault boundary abuts: keep simulating
+            for (int k = 0; k < n; ++k) {
                 accumulate(r, b, s);
                 ++r.replayed_iterations;
+                if (fd != nullptr)
+                    fd->skipReplayedEpoch(s.duration);
             }
-            break;
+            i += n;
+            continue;
         }
         // Replay disabled (measurement baseline): keep simulating;
         // leave steady_at as the first detection point.

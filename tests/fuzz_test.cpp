@@ -25,6 +25,7 @@
 #include "core/themis_scheduler.hpp"
 #include "npu/npu_machine.hpp"
 #include "runtime/comm_runtime.hpp"
+#include "sim/fault_timeline.hpp"
 
 namespace themis {
 namespace {
@@ -224,6 +225,82 @@ TEST_P(RuntimeFuzz, SchedulesAreValidPermutations)
     }
 }
 
+
+class FaultFuzz : public ::testing::TestWithParam<int>
+{};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultFuzz, ::testing::Range(300, 318));
+
+TEST_P(FaultFuzz, RandomFaultTimelinesConserveBytesAndDrain)
+{
+    // Random topology + collective + fault timeline (degrades,
+    // stragglers, flaps in arbitrary interleavings). Invariants:
+    // the run drains with no stuck transfers, and each dimension's
+    // wire bytes equal the scheduled volume plus the bytes failed
+    // attempts moved before their flap (exact conservation).
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    const Topology topo = randomTopology(rng);
+    const CollectiveRequest req = randomRequest(rng);
+
+    sim::FaultTimeline faults;
+    const int events = static_cast<int>(rng.uniformInt(1, 6));
+    for (int e = 0; e < events; ++e) {
+        const int dim =
+            static_cast<int>(rng.uniformInt(0, topo.numDims() - 1));
+        const TimeNs at = rng.uniformReal(0.0, 5.0e6);
+        switch (rng.uniformInt(0, 2)) {
+          case 0:
+            faults.addDegrade(dim, at, rng.uniformReal(1.0e4, 2.0e6),
+                              rng.uniformReal(0.05, 0.95));
+            break;
+          case 1:
+            faults.addStraggler(dim, at, rng.uniformReal(0.3, 0.9));
+            break;
+          default:
+            faults.addFlap(dim, at, rng.uniformReal(1.0e3, 1.0e6));
+            break;
+        }
+    }
+
+    auto cfg = runtime::themisScfConfig();
+    cfg.faults = &faults;
+    cfg.retry.max_attempts = 100;
+    sim::EventQueue queue;
+    runtime::CommRuntime comm(queue, topo, cfg);
+    const int id = comm.issue(req);
+    queue.run();
+    comm.finalizeStats();
+    ASSERT_TRUE(comm.record(id).done())
+        << topo.describe() << "\n" << faults.describe();
+    EXPECT_TRUE(queue.empty());
+
+    const auto& model = comm.modelForScope({});
+    ThemisScheduler reference(model);
+    const auto schedules = reference.scheduleCollective(
+        req.type,
+        schedulableSize(req.type, req.size, model.dimSizes()),
+        req.chunks);
+    std::vector<Bytes> expected(
+        static_cast<std::size_t>(topo.numDims()), 0.0);
+    for (const auto& sched : schedules) {
+        const auto loads = model.stageLoads(sched.size, sched.stages);
+        for (int d = 0; d < topo.numDims(); ++d) {
+            expected[static_cast<std::size_t>(d)] +=
+                loads[static_cast<std::size_t>(d)] *
+                topo.dim(d).bandwidth();
+        }
+    }
+    for (int d = 0; d < topo.numDims(); ++d) {
+        auto& ch = comm.engine(d).channel();
+        ch.sync();
+        const Bytes want = expected[static_cast<std::size_t>(d)] +
+                           comm.engine(d).lostBytes();
+        EXPECT_NEAR(ch.progressedBytes(), want, 1.0 + 1e-6 * want)
+            << "dim " << d << " (" << comm.engine(d).retryCount()
+            << " retries) on " << topo.describe() << "\n"
+            << faults.describe();
+    }
+}
 
 class BackendEquivalenceFuzz : public ::testing::TestWithParam<int>
 {};

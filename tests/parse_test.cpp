@@ -78,6 +78,42 @@ TEST(Parse, RejectsMalformedSpecs)
     EXPECT_THROW(parseTopology("t", "SW:6:100"), ConfigError);
 }
 
+TEST(Parse, RejectsNonPositiveAndNonFiniteBandwidth)
+{
+    EXPECT_THROW(parseTopology("t", "SW:8:0"), ConfigError);
+    EXPECT_THROW(parseTopology("t", "SW:8:-100"), ConfigError);
+    EXPECT_THROW(parseTopology("t", "SW:8:nan"), ConfigError);
+    EXPECT_THROW(parseTopology("t", "SW:8:inf"), ConfigError);
+    EXPECT_THROW(parseTopology("t", "SW:8:-inf"), ConfigError);
+    EXPECT_THROW(parseTopology("t", "SW:8:100x0"), ConfigError);
+    EXPECT_THROW(parseTopology("t", "SW:8:100x-2"), ConfigError);
+    EXPECT_THROW(parseTopology("t", "SW:8:100x2.5"), ConfigError);
+    EXPECT_THROW(parseTopology("t", "SW:8:400:nan"), ConfigError);
+    EXPECT_THROW(parseTopology("t", "SW:8:400:-5"), ConfigError);
+    EXPECT_THROW(parseTopology("t", "SW:8.5:400"), ConfigError);
+}
+
+TEST(Parse, ErrorsNameTheOffendingDimension)
+{
+    // A bad field in a multi-dimension spec points at its dimension
+    // index and the offending field, not just the raw number.
+    try {
+        parseTopology("t", "Ring:4:100,SW:8:nan,SW:8:400");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("dimension 1"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("bandwidth"), std::string::npos) << msg;
+    }
+    try {
+        parseTopology("t", "Ring:4:100,FC:8:200,SW:8:0");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("dimension 2"), std::string::npos) << msg;
+    }
+}
+
 TEST(Parse, EveryPresetSpecRoundTrips)
 {
     for (const auto& topo : presets::allTopologies()) {

@@ -357,5 +357,117 @@ TEST(SharedChannel, RebaseAcrossConcurrentTransfers)
     EXPECT_EQ(ch.activeCount(), 0u);
 }
 
+TEST(SharedChannel, SetCapacityMidTransferChangesRate)
+{
+    EventQueue q;
+    SharedChannel ch(q, 100.0);
+    TimeNs t1 = -1.0;
+    ch.begin(2.0e6, [&] { t1 = q.now(); });
+    q.schedule(1.0e4, [&] { ch.setCapacity(q.now(), 50.0); });
+    q.run();
+    // 10 us at 100 GB/s -> 1MB done; the remaining 1MB at 50 GB/s
+    // takes 20 us more.
+    EXPECT_NEAR(t1, 3.0e4, 1e-6 * 3.0e4);
+    ch.sync();
+    EXPECT_NEAR(ch.progressedBytes(), 2.0e6, 1.0);
+    EXPECT_EQ(ch.activeCount(), 0u);
+}
+
+TEST(SharedChannel, RepeatedCapacityStepsConserveBytes)
+{
+    // Many capacity steps while transfers are in flight: finish
+    // points are capacity-independent in virtual time, so byte
+    // conservation must hold exactly no matter how often (or how
+    // hard) the capacity moves.
+    EventQueue q;
+    SharedChannel ch(q, 100.0);
+    double begun = 0.0;
+    int done = 0;
+    for (int i = 0; i < 40; ++i) {
+        const double bytes = 3.0e5 + 1.7e4 * (i % 9);
+        begun += bytes;
+        q.schedule(251.0 * i,
+                   [&ch, &done, bytes] { ch.begin(bytes, [&done] { ++done; }); });
+    }
+    for (int i = 1; i <= 25; ++i) {
+        const double cap = (i % 2 == 0) ? 100.0 : 100.0 / (1 + i % 5);
+        q.schedule(431.0 * i, [&ch, cap, &q] { ch.setCapacity(q.now(), cap); });
+    }
+    q.run();
+    ch.sync();
+    EXPECT_EQ(done, 40);
+    EXPECT_NEAR(ch.progressedBytes(), begun, 1.0 + 1e-6 * begun);
+    EXPECT_EQ(ch.activeCount(), 0u);
+}
+
+TEST(SharedChannel, EpochResetAfterCapacityStepsAndRetiredClasses)
+{
+    // One "iteration epoch" with per-class traffic, a mid-epoch
+    // capacity step and a class retirement; after epochReset() the
+    // channel must behave exactly like a fresh one, including a
+    // second epoch with its own capacity steps.
+    EventQueue q;
+    SharedChannel ch(q, 100.0);
+    ch.begin(1.0e6, 1.0, [] {}, 0);
+    ch.begin(1.0e6, 1.0, [] {}, 4);
+    q.schedule(5.0e3, [&] { ch.setCapacity(q.now(), 200.0); });
+    q.run();
+    ch.sync();
+    EXPECT_NEAR(ch.progressedBytes(), 2.0e6, 1.0);
+    EXPECT_NEAR(ch.classProgressedBytes(4), 1.0e6, 1.0);
+
+    ch.retireClass(4);
+    EXPECT_EQ(ch.numClasses(), 1);
+    EXPECT_DOUBLE_EQ(ch.classProgressedBytes(4), 0.0);
+
+    // Epoch boundary: the runtime rebases the queue first.
+    q.rebaseToZero();
+    ch.epochReset();
+    EXPECT_DOUBLE_EQ(ch.progressedBytes(), 0.0);
+    EXPECT_DOUBLE_EQ(ch.busyTime(), 0.0);
+    EXPECT_DOUBLE_EQ(ch.classProgressedBytes(0), 0.0);
+
+    // Second epoch: the capacity carried across the reset is the
+    // stepped one (200), and stepping it again mid-epoch works the
+    // same as in the first epoch. A begin() in the retired class
+    // simply starts fresh accounts.
+    EXPECT_DOUBLE_EQ(ch.capacity(), 200.0);
+    TimeNs t1 = -1.0;
+    ch.begin(2.0e6, 1.0, [&] { t1 = q.now(); }, 4);
+    q.schedule(5.0e3, [&] { ch.setCapacity(q.now(), 100.0); });
+    q.run();
+    ch.sync();
+    // 5 us at 200 GB/s -> 1MB done; remaining 1MB at 100 -> +10 us.
+    EXPECT_NEAR(t1, 1.5e4, 1e-6 * 1.5e4);
+    EXPECT_NEAR(ch.progressedBytes(), 2.0e6, 1.0);
+    EXPECT_NEAR(ch.classProgressedBytes(4), 2.0e6, 1.0);
+    EXPECT_EQ(ch.numClasses(), 5);
+}
+
+TEST(SharedChannel, FailActiveReportsRemaindersInBeginOrder)
+{
+    EventQueue q;
+    SharedChannel ch(q, 100.0);
+    std::vector<double> remainders;
+    bool completed = false;
+    auto on_fail = [&](Bytes remaining) {
+        remainders.push_back(remaining);
+    };
+    ch.begin(2.0e6, 1.0, [&] { completed = true; }, 0, on_fail);
+    ch.begin(4.0e6, 1.0, [&] { completed = true; }, 0, on_fail);
+    q.schedule(2.0e4, [&] { ch.failActive(); });
+    q.run();
+    EXPECT_FALSE(completed);
+    EXPECT_EQ(ch.activeCount(), 0u);
+    ASSERT_EQ(remainders.size(), 2u);
+    // 20 us shared at 50 GB/s each: 1MB progressed per transfer.
+    EXPECT_NEAR(remainders[0], 1.0e6, 1.0);
+    EXPECT_NEAR(remainders[1], 3.0e6, 1.0);
+    ch.sync();
+    // The partial progress stays accounted.
+    EXPECT_NEAR(ch.progressedBytes(), 2.0e6, 1.0);
+    EXPECT_TRUE(q.empty());
+}
+
 } // namespace
 } // namespace themis::sim

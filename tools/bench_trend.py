@@ -27,6 +27,10 @@ Tracked metrics (higher is better):
                       wall clocks — asserted in-binary against their
                       floors (>=1.7x and >=10x) and historized here,
                       but not gated
+  BENCH_fault.json -> events_per_sec of the fault-resilience scenario
+                      grid; conservation and bit-identical replay
+                      invariants are asserted in-binary and reported
+                      here informationally
 
 Beyond the previous-run diff, the script maintains a per-PR history
 table: bench_results/history.csv (long format: run,metric,value). The
@@ -62,12 +66,20 @@ HISTORY_TABLE_RUNS = 8
 def load(path):
     try:
         with open(path) as f:
-            return json.load(f)
+            doc = json.load(f)
     except FileNotFoundError:
+        return None
+    except OSError as e:
+        print(f"note: cannot read {path} ({e}); skipping")
         return None
     except json.JSONDecodeError as e:
         print(f"note: {path} is not valid JSON ({e}); skipping")
         return None
+    if not isinstance(doc, dict):
+        print(f"note: {path} is not a JSON object "
+              f"(got {type(doc).__name__}); skipping")
+        return None
+    return doc
 
 
 def core_metrics(doc):
@@ -136,6 +148,12 @@ def sweep_metrics(doc):
     return {k: v for k, v in out.items() if isinstance(v, (int, float))}
 
 
+def fault_metrics(doc):
+    """{label: events_per_sec} of the fault-resilience grid."""
+    out = {"fault/events_per_sec": doc.get("events_per_sec")}
+    return {k: v for k, v in out.items() if isinstance(v, (int, float))}
+
+
 def sweep_info_metrics(doc):
     """History-only sweep-service metrics: both are ratios of small
     wall clocks (shard scaling, warm-query speedup) whose floors the
@@ -155,6 +173,7 @@ TRACKED = (
     ("BENCH_convergence.json", convergence_metrics),
     ("BENCH_cluster.json", cluster_metrics),
     ("BENCH_sweep_service.json", sweep_metrics),
+    ("BENCH_fault.json", fault_metrics),
 )
 
 # Historized but never gated (too noisy or purely informational).
@@ -319,6 +338,15 @@ def main():
               f"{sweep.get('resume_bit_identical', '?')}, "
               f"warm-query speedup {query.get('warm_speedup', '?')}x "
               f"(floors asserted in-binary)")
+    fault = load(os.path.join(args.curr, "BENCH_fault.json"))
+    if fault is not None:
+        print(f"BENCH_fault: bytes_conserved="
+              f"{fault.get('bytes_conserved', '?')}, "
+              f"replay_bit_identical="
+              f"{fault.get('replay_bit_identical', '?')}, "
+              f"faultfree_bit_identical="
+              f"{fault.get('faultfree_bit_identical', '?')} "
+              f"(asserted in-binary)")
     conv = load(os.path.join(args.curr, "BENCH_convergence.json"))
     if conv is not None:
         exact = conv.get("exactness", {})
