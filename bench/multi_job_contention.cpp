@@ -4,7 +4,7 @@
  * headline scenarios, in the spirit of CASSINI's interleaved jobs and
  * Metronome's deadline-aware periodic traffic).
  *
- * Three experiments share one binary and one fabric (2D-SW_SW):
+ * Four experiments share one binary and one fabric (2D-SW_SW):
  *
  *  1. Conservation — a 3-job mix (two training tenants + one bounded
  *     periodic-inference tenant) runs under priority weight ladders
@@ -25,6 +25,13 @@
  *     CASSINI-style phase-offset search. Interleaving the jobs'
  *     communication bursts must reduce aggregate iteration time with
  *     no priority knob at all.
+ *
+ *  4. Period-k cycle replay — a mixed-period lockstep mix (training +
+ *     open-ended periodic tenants at a 2:3 cadence, stepping
+ *     hyper-period 6) runs 120 rounds fully simulated and again with
+ *     steady-cycle replay. The replayed run must be bit-identical and
+ *     at least 5x faster in wall-clock; the speedup feeds the per-PR
+ *     trend gate.
  *
  * All multi-cell experiments fan across the SweepRunner's workers.
  * Writes bench_results/BENCH_cluster.json for per-PR trend tracking.
@@ -243,6 +250,75 @@ main()
                   "phase-offset search failed to beat zero-offset "
                   "arrival");
 
+    // ------------------------------------------------ period-k replay
+    constexpr int kCycleRounds = 120;
+    constexpr double kCycleSpeedupFloor = 5.0;
+    std::vector<cluster::JobSpec> cycle_mix;
+    cycle_mix.push_back(cluster::JobSpec::training(
+        models::byName("DLRM"), kCycleRounds, /*arrival=*/0.0,
+        /*tier=*/static_cast<int>(PriorityTier::Bulk)));
+    cycle_mix.push_back(cluster::JobSpec::periodicInference(
+        /*request_size=*/1.6e7, /*period=*/2.0e5, /*deadline=*/0.0,
+        /*arrival=*/0.0,
+        /*tier=*/static_cast<int>(PriorityTier::Urgent)));
+    cycle_mix.push_back(cluster::JobSpec::periodicInference(
+        /*request_size=*/3.2e7, /*period=*/3.0e5, /*deadline=*/0.0,
+        /*arrival=*/0.0,
+        /*tier=*/static_cast<int>(PriorityTier::Urgent)));
+
+    auto cycle_run = [&](bool replay, double* out_ms) {
+        sim::EventQueue q;
+        cluster::Cluster cl(q, topo, clusterConfig(4.0, &cache),
+                            cycle_mix);
+        workload::ConvergenceOptions copts;
+        copts.iterations = kCycleRounds;
+        copts.replay = replay;
+        const double c0 = bench::nowNs();
+        const auto rep = cl.runConverged(copts);
+        *out_ms = (bench::nowNs() - c0) / 1e6;
+        return rep;
+    };
+    double cycle_full_ms = 0.0, cycle_fast_ms = 0.0;
+    const auto cycle_full = cycle_run(false, &cycle_full_ms);
+    const auto cycle_fast = cycle_run(true, &cycle_fast_ms);
+    total_cells += 2;
+
+    const bool cycle_identical =
+        workload::resultsBitIdentical(cycle_fast, cycle_full);
+    const double cycle_speedup = cycle_full_ms / cycle_fast_ms;
+    std::printf("period-k cycle replay (train:DLRM + 2:3 periodic "
+                "mix, %d lockstep rounds, hyper-period %d):\n\n",
+                kCycleRounds, cycle_fast.hyper_period);
+    stats::TextTable ytable({"Mode", "Simulated", "Replayed", "Cycle",
+                             "Sim time", "Wall"});
+    ytable.addRow({"full", std::to_string(cycle_full.epochs_simulated),
+                   std::to_string(cycle_full.epochs_replayed), "-",
+                   fmtTime(cycle_full.total.total),
+                   fmtDouble(cycle_full_ms, 1) + " ms"});
+    ytable.addRow({"replay",
+                   std::to_string(cycle_fast.epochs_simulated),
+                   std::to_string(cycle_fast.epochs_replayed),
+                   std::to_string(cycle_fast.cycle_length),
+                   fmtTime(cycle_fast.total.total),
+                   fmtDouble(cycle_fast_ms, 1) + " ms"});
+    std::printf("%s\n  bit-identical: %s; wall speedup %.1fx (floor "
+                "%.0fx)\n\n",
+                ytable.render().c_str(),
+                cycle_identical ? "yes" : "NO", cycle_speedup,
+                kCycleSpeedupFloor);
+    THEMIS_ASSERT(cycle_fast.cycle_length == 6,
+                  "expected a 6-round steady cycle on the 2:3 mix, "
+                  "confirmed "
+                      << cycle_fast.cycle_length);
+    THEMIS_ASSERT(cycle_identical,
+                  "period-k cycle replay diverged from full "
+                  "simulation");
+    THEMIS_ASSERT(cycle_speedup >= kCycleSpeedupFloor,
+                  "cycle replay speedup "
+                      << cycle_speedup << "x under the floor "
+                      << kCycleSpeedupFloor << "x at " << kCycleRounds
+                      << " rounds");
+
     const double wall_ms = (bench::nowNs() - t0) / 1e6;
     const double cells_per_sec = total_cells / (wall_ms * 1e-3);
 
@@ -264,6 +340,10 @@ main()
                           static_cast<double>(i) / sopts.steps, 3),
                       "aggregate_iter_ns",
                       fmtDouble(search.candidates[i].metric, 1)});
+    csv.writeRow({"cycle_replay", "2:3", "speedup",
+                  fmtDouble(cycle_speedup, 2)});
+    csv.writeRow({"cycle_replay", "2:3", "rounds_replayed",
+                  std::to_string(cycle_fast.epochs_replayed)});
 
     std::string json = "{\n  \"bench\": \"multi_job_contention\",\n";
     {
@@ -292,16 +372,33 @@ main()
             "    \"best_metric_ns\": %.1f,\n"
             "    \"gain\": %.4f,\n"
             "    \"base_period_ns\": %.1f,\n"
-            "    \"improved\": %s\n  },\n"
-            "  \"cells\": %zu,\n  \"wall_ms\": %.1f,\n"
-            "  \"cells_per_sec\": %.1f\n}\n",
+            "    \"improved\": %s\n  },\n",
             conservation.size(), bytes_conserved ? "true" : "false",
             jobs_json.c_str(), uni_hit, tier_hit,
             deadline_improved ? "true" : "false", uni.total_bytes,
             tier.total_bytes,
             deadline_bytes_unchanged ? "true" : "false",
             search.zero_metric, search.best.metric, offset_gain,
-            search.base_period, offset_improved ? "true" : "false",
+            search.base_period, offset_improved ? "true" : "false");
+        json += buf;
+        std::snprintf(
+            buf, sizeof(buf),
+            "  \"cycle_replay\": {\n"
+            "    \"rounds\": %d,\n"
+            "    \"hyper_period\": %d,\n"
+            "    \"cycle_length\": %d,\n"
+            "    \"rounds_simulated\": %d,\n"
+            "    \"rounds_replayed\": %d,\n"
+            "    \"full_wall_ms\": %.1f,\n"
+            "    \"replay_wall_ms\": %.1f,\n"
+            "    \"speedup\": %.2f,\n"
+            "    \"bit_identical\": %s\n  },\n"
+            "  \"cells\": %zu,\n  \"wall_ms\": %.1f,\n"
+            "  \"cells_per_sec\": %.1f\n}\n",
+            kCycleRounds, cycle_fast.hyper_period,
+            cycle_fast.cycle_length, cycle_fast.epochs_simulated,
+            cycle_fast.epochs_replayed, cycle_full_ms, cycle_fast_ms,
+            cycle_speedup, cycle_identical ? "true" : "false",
             total_cells, wall_ms, cells_per_sec);
         json += buf;
     }

@@ -68,6 +68,13 @@
  *                         prediction bit-identical
  *     --no-replay         simulate every iteration (measurement
  *                         baseline; results identical)
+ *     --cycle-limit K     largest steady-cycle length (in lockstep
+ *                         rounds) the period-k detector may confirm
+ *                         (>= 1; default: the job mix's stepping
+ *                         hyper-period). With --jobs it also selects
+ *                         the lockstep convergence path. Rejected in
+ *                         modes that never replay
+ *                         (--grid/--sweep/--serve/--priority)
  *     --jobs N|SPECS      N (integer): sweep worker threads
  *                         [hardware concurrency]. Otherwise a
  *                         semicolon-separated multi-job cluster spec
@@ -80,11 +87,15 @@
  *                         (infer; 0 = until training drains).
  *                         Respects --sched/--chunks/--enforce;
  *                         --size/--type are inert (sizes come from
- *                         the specs). Incompatible with
- *                         --exact/--no-replay (the convergence
- *                         replay engine refuses free-running
- *                         multi-job mixes) and with
- *                         --sweep/--grid/--priority.
+ *                         the specs). Free-running by default; with
+ *                         --exact/--no-replay/--cycle-limit the mix
+ *                         runs in lockstep rounds through the
+ *                         period-k convergence replay engine
+ *                         (periodic tenants step every cadence-th
+ *                         round, cadence = period / gcd of periods;
+ *                         requires open-ended streams, arrival 0 and
+ *                         a hyper-period within the cycle limit).
+ *                         Incompatible with --sweep/--grid/--priority.
  *     --faults SPEC       fault/heterogeneity timeline applied to the
  *                         single-collective, --iterations and --jobs
  *                         runs (see sim/fault_timeline.hpp):
@@ -163,7 +174,7 @@ usage(const char* argv0)
                  "          [--sweep C1,C2,...] [--grid T1;T2;...] "
                  "[--priority W] [--jobs N|SPECS]\n"
                  "          [--iterations N] [--model NAME] [--exact] "
-                 "[--no-replay]\n"
+                 "[--no-replay] [--cycle-limit K]\n"
                  "          [--tier-ratio W] [--offset-search] "
                  "[--faults SPEC]\n"
                  "          [--shard I/N] [--results PATH] "
@@ -502,6 +513,7 @@ main(int argc, char** argv)
     std::string model_arg = "Transformer-1T";
     bool exactness = false;
     bool no_replay = false;
+    int cycle_limit = 0; // 0 = auto (job-mix hyper-period)
     std::string faults_arg;
     std::string shard_arg;
     std::string results_path;
@@ -564,6 +576,15 @@ main(int argc, char** argv)
             exactness = true;
         } else if (flag == "--no-replay") {
             no_replay = true;
+        } else if (flag == "--cycle-limit") {
+            cycle_limit = std::atoi(need_value().c_str());
+            if (cycle_limit < 1) {
+                std::fprintf(stderr,
+                             "--cycle-limit wants an integer >= 1 "
+                             "(rounds); got '%s'\n",
+                             argv[i]);
+                usage(argv[0]);
+            }
         } else if (flag == "--faults") {
             faults_arg = need_value();
         } else if (flag == "--shard") {
@@ -652,6 +673,18 @@ main(int argc, char** argv)
             faults_tl = sim::FaultTimeline::parse(faults_arg);
             faults_tl.validateForDims(topo.numDims());
             cfg.faults = &faults_tl;
+        }
+
+        // --cycle-limit tunes the period-k convergence replay engine;
+        // the batch/service modes simulate every cell in full and
+        // would silently ignore it — reject the combination loudly.
+        if (cycle_limit > 0 &&
+            (serve || !grid_arg.empty() || !sweep_arg.empty() ||
+             priority_ratio >= 1.0)) {
+            THEMIS_FATAL(
+                "--cycle-limit tunes the convergence replay engine; "
+                "--grid/--sweep/--serve/--priority cells never "
+                "replay — drop it, or run --iterations/--jobs");
         }
 
         if (serve) {
@@ -955,22 +988,9 @@ main(int argc, char** argv)
         if (!jobs_arg.empty() && grid_arg.empty() &&
             sweep_arg.empty()) {
             // Multi-job cluster co-simulation on one shared fabric.
-            //
-            // Flag validation first: the convergence replay flags
-            // drive the *single-workload* steady-state engine, and a
-            // free-running multi-job mix refuses replay by design —
-            // reject the combination loudly instead of silently
-            // ignoring one side.
-            if (exactness || no_replay) {
-                THEMIS_FATAL(
-                    (exactness ? "--exact" : "--no-replay")
-                    << " drives the single-workload convergence "
-                       "replay engine; a --jobs multi-job mix is "
-                       "free-running and refuses replay. Drop "
-                    << (exactness ? "--exact" : "--no-replay")
-                    << ", or run a single workload via --iterations "
-                       "with --model");
-            }
+            // Free-running by default; --exact/--no-replay/
+            // --cycle-limit select the lockstep convergence path
+            // through the period-k steady-cycle replay engine.
             if (priority_ratio >= 1.0) {
                 THEMIS_FATAL(
                     "--priority is the two-tenant contention demo; "
@@ -1002,6 +1022,10 @@ main(int argc, char** argv)
                         ccfg.priority.describe().c_str());
 
             cluster::JobScheduler sched(specs);
+
+            const bool lockstep_mode =
+                exactness || no_replay || cycle_limit > 0;
+            std::vector<TimeNs> best_offsets;
             if (offset_search) {
                 cluster::OffsetSearchOptions sopts;
                 sopts.threads = jobs;
@@ -1023,8 +1047,137 @@ main(int argc, char** argv)
                             fmtTime(res.zero_metric).c_str(),
                             fmtTime(res.best.metric).c_str(),
                             fmtTime(res.base_period).c_str());
-                sched = cluster::JobScheduler(specs);
-                sched.shiftArrivals(res.best.offsets);
+                if (lockstep_mode) {
+                    // The lockstep path applies offsets as per-round
+                    // phase delays (rounds restart from quiescence,
+                    // so arrival shifts cannot survive them).
+                    best_offsets = res.best.offsets;
+                } else {
+                    sched = cluster::JobScheduler(specs);
+                    sched.shiftArrivals(res.best.offsets);
+                }
+            }
+
+            if (lockstep_mode) {
+                const std::int64_t limit =
+                    cycle_limit > 0
+                        ? cycle_limit
+                        : cluster::JobScheduler::kDefaultCycleLimit;
+                const auto plan = sched.lockstepPlan(limit);
+                if (!plan.eligible)
+                    THEMIS_FATAL("--jobs convergence run refused: "
+                                 << plan.reason);
+
+                workload::ConvergenceOptions copts;
+                copts.iterations = cluster_iters;
+                copts.replay = !no_replay;
+                copts.exactness_check = exactness;
+                copts.cycle_limit = cycle_limit;
+
+                sim::EventQueue queue;
+                cluster::Cluster cl(queue, topo, ccfg,
+                                    std::move(sched));
+                const auto t0 = std::chrono::steady_clock::now();
+                const auto r = cl.runConverged(copts, best_offsets);
+                const double wall_ms =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+
+                stats::ConvergenceRunRow crow;
+                crow.label = exactness
+                                 ? "exactness"
+                                 : (no_replay ? "full" : "replay");
+                crow.iterations = r.iterations;
+                crow.simulated = r.simulated_iterations;
+                crow.replayed = r.replayed_iterations;
+                crow.cycle_length = r.cycle_length;
+                crow.total_time = r.total.total;
+                crow.last_iteration = r.last.total;
+                crow.utilization = r.utilization;
+                crow.wall_ms = wall_ms;
+                std::printf(
+                    "%s",
+                    stats::renderConvergenceTable({crow}).c_str());
+
+                const auto jstats =
+                    cl.lockstepJobStats(r.iterations);
+                std::vector<stats::JobUsageRow> jrows;
+                for (std::size_t j = 0; j < jstats.size(); ++j) {
+                    const auto& js = jstats[j];
+                    stats::JobUsageRow row;
+                    row.name = js.name;
+                    row.kind = cluster::jobKindName(js.kind);
+                    row.arrival = js.arrival;
+                    row.jct = r.total.total;
+                    row.units =
+                        js.kind == cluster::JobKind::Training
+                            ? js.iterations
+                            : js.requests_completed;
+                    row.mean_unit =
+                        js.kind == cluster::JobKind::Training
+                            ? js.mean_iteration
+                            : js.mean_latency;
+                    row.exposed_share = js.exposed_share;
+                    row.deadline_hit_rate = js.deadline_hit_rate;
+                    // No per-job wire totals across replayed rounds.
+                    row.progressed = -1.0;
+                    row.utilization = -1.0;
+                    row.cycle_units =
+                        r.cycle_length > 0
+                            ? r.cycle_length / plan.cadences[j]
+                            : -1;
+                    jrows.push_back(row);
+                }
+                std::printf("\n%s",
+                            stats::renderJobTable(jrows).c_str());
+
+                std::printf("\n  cycle replay  : hyper-period %d "
+                            "round(s), cycle %s, %d simulated + %d "
+                            "replayed of %d rounds\n",
+                            r.hyper_period,
+                            r.cycle_length > 0
+                                ? std::to_string(r.cycle_length)
+                                      .c_str()
+                                : "-",
+                            r.epochs_simulated, r.epochs_replayed,
+                            r.iterations);
+                if (r.steady_at >= 0) {
+                    std::printf(
+                        "  steady cycle at round %d (fingerprint "
+                        "%016llx)%s\n",
+                        r.steady_at,
+                        static_cast<unsigned long long>(
+                            r.steady_fingerprint),
+                        exactness ? ", replay prediction asserted "
+                                    "bit-identical"
+                                  : "");
+                } else if (exactness) {
+                    // A vacuous pass would defeat the proof mode: no
+                    // steady cycle means the exactness assertions
+                    // never executed.
+                    THEMIS_FATAL(
+                        "--exact: no steady cycle was confirmed, so "
+                        "nothing was asserted; raise --iterations "
+                        "(the mix needs ~2x its hyper-period of "
+                        "rounds) or --cycle-limit");
+                } else {
+                    std::printf("  steady cycle not confirmed; every "
+                                "round simulated\n");
+                }
+                if (!r.replay_refusal.empty())
+                    std::printf("  replay refused: %s\n",
+                                r.replay_refusal.c_str());
+                if (!faults_arg.empty())
+                    std::printf(
+                        "\nfault report, last simulated round "
+                        "(--faults \"%s\"):\n%s",
+                        faults_arg.c_str(),
+                        stats::renderFaultTable(
+                            faultRows(topo,
+                                      cl.runtime().utilization()))
+                            .c_str());
+                return 0;
             }
 
             sim::EventQueue queue;
@@ -1101,6 +1254,7 @@ main(int argc, char** argv)
             opts.iterations = iterations;
             opts.replay = !no_replay;
             opts.exactness_check = exactness;
+            opts.cycle_limit = cycle_limit;
             const auto t0 = std::chrono::steady_clock::now();
             const auto r = workload::runConverged(comm, loop, opts);
             const double wall_ms =
@@ -1119,6 +1273,7 @@ main(int argc, char** argv)
             row.iterations = r.iterations;
             row.simulated = r.simulated_iterations;
             row.replayed = r.replayed_iterations;
+            row.cycle_length = r.cycle_length;
             row.total_time = r.total.total;
             row.last_iteration = r.last.total;
             row.utilization = r.utilization;

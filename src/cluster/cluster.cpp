@@ -43,6 +43,9 @@ struct Cluster::PeriodicJob
     sim::EventQueue::EventId arrival_event = 0;
     /** No further requests will be issued (drain or count reached). */
     bool stopped = false;
+    /** Last lockstep-round request's decomposition (latency only:
+     *  inference has no compute phases in this model). */
+    workload::IterationBreakdown last_breakdown;
 };
 
 Cluster::Cluster(sim::EventQueue& queue, Topology topo,
@@ -226,6 +229,42 @@ Cluster::issueRequest(std::size_t idx)
         spec.period, [this, idx] { issueRequest(idx); });
 }
 
+void
+Cluster::beginLockstepRequest(std::size_t idx,
+                              const std::function<void()>& done)
+{
+    PeriodicJob& pj = *periodic_[idx];
+    const JobSpec& spec = sched_.specs()[pj.job];
+    ++pj.issued;
+    ++pj.outstanding;
+    CollectiveRequest req;
+    req.type = spec.request_type;
+    req.size = spec.request_size;
+    req.chunks = 0; // runtime default CPC
+    req.priority_tier = JobScheduler::effectiveTier(spec);
+    req.job = static_cast<int>(pj.job);
+    const TimeNs issued_at = queue_.now();
+    comm_->issue(req, [this, idx, issued_at, done] {
+        PeriodicJob& pj = *periodic_[idx];
+        const JobSpec& spec = sched_.specs()[pj.job];
+        --pj.outstanding;
+        ++pj.completed;
+        pj.last_completion = queue_.now();
+        const TimeNs latency = queue_.now() - issued_at;
+        pj.latency_sum += latency;
+        if (spec.deadline > 0.0) {
+            if (latency <= spec.deadline)
+                ++pj.hits;
+            else
+                ++pj.misses;
+        }
+        pj.last_breakdown = workload::IterationBreakdown{};
+        pj.last_breakdown.exposed_mp = latency;
+        pj.last_breakdown.total = latency;
+        done();
+    });
+}
+
 ClusterReport
 Cluster::buildReport()
 {
@@ -295,22 +334,127 @@ Cluster::buildReport()
 }
 
 workload::ConvergenceReport
-Cluster::runConverged(const workload::ConvergenceOptions& opts)
+Cluster::runConverged(const workload::ConvergenceOptions& opts,
+                      const std::vector<TimeNs>& phase_offsets)
 {
     THEMIS_ASSERT(!used_,
                   "a Cluster simulates once; construct a new one");
-    const auto elig = replayEligibility();
-    if (!elig.eligible) {
-        logWarn("cluster convergence run refused: ", elig.reason);
+    const std::int64_t limit =
+        opts.cycle_limit > 0
+            ? static_cast<std::int64_t>(opts.cycle_limit)
+            : JobScheduler::kDefaultCycleLimit;
+    const auto plan = sched_.lockstepPlan(limit);
+    if (!plan.eligible) {
+        logWarn("cluster convergence run refused: ", plan.reason);
         THEMIS_FATAL("cluster convergence run refused: "
-                     << elig.reason);
+                     << plan.reason);
     }
+    THEMIS_ASSERT(phase_offsets.empty() ||
+                      phase_offsets.size() == sched_.specs().size(),
+                  "phase offset vector rank "
+                      << phase_offsets.size() << " != job count "
+                      << sched_.specs().size());
     used_ = true;
-    std::vector<workload::TrainingLoop*> loops;
-    loops.reserve(training_.size());
-    for (const auto& tj : training_)
-        loops.push_back(&tj->loop);
-    return workload::runConverged(*comm_, loops, opts);
+    lockstep_plan_ = plan;
+
+    // One lockstep participant per job, in job-id order: training
+    // loops step every round, periodic tenants every cadence-th round
+    // through the same wire path issueRequest uses. A positive phase
+    // offset turns the participant into a delayed starter within its
+    // round — the lockstep representation of a CASSINI phase shift
+    // (arrival shifts cannot survive rounds that restart from
+    // quiescence).
+    std::vector<workload::LockstepJob> jobs;
+    jobs.reserve(sched_.specs().size());
+    const auto& specs = sched_.specs();
+    std::size_t ti = 0, pi = 0;
+    for (std::size_t j = 0; j < specs.size(); ++j) {
+        workload::LockstepJob lj;
+        lj.job = static_cast<int>(j);
+        lj.cadence = plan.cadences[j];
+        const TimeNs off =
+            phase_offsets.empty() ? 0.0 : phase_offsets[j];
+        if (specs[j].kind == JobKind::Training) {
+            workload::TrainingLoop* loop = &training_[ti++]->loop;
+            if (off > 0.0) {
+                lj.begin = [this, loop,
+                            off](const std::function<void()>& done) {
+                    queue_.scheduleAfter(off, [loop, done] {
+                        loop->beginIterationAsync(
+                            [done](
+                                const workload::IterationBreakdown&) {
+                                done();
+                            });
+                    });
+                };
+                lj.last = [loop] { return loop->lastIteration(); };
+            } else {
+                lj.loop = loop;
+            }
+        } else {
+            const std::size_t p = pi++;
+            lj.begin = [this, p,
+                        off](const std::function<void()>& done) {
+                if (off > 0.0)
+                    queue_.scheduleAfter(off, [this, p, done] {
+                        beginLockstepRequest(p, done);
+                    });
+                else
+                    beginLockstepRequest(p, done);
+            };
+            lj.last = [this, p] {
+                return periodic_[p]->last_breakdown;
+            };
+        }
+        jobs.push_back(std::move(lj));
+    }
+    return workload::runConverged(*comm_, jobs, opts);
+}
+
+std::vector<JobStats>
+Cluster::lockstepJobStats(int rounds) const
+{
+    THEMIS_ASSERT(used_, "lockstepJobStats reads a completed "
+                         "runConverged() run; call that first");
+    THEMIS_ASSERT(rounds >= 1, "need at least one lockstep round");
+    std::vector<JobStats> out = stats_;
+    const auto& specs = sched_.specs();
+    std::size_t ti = 0, pi = 0;
+    for (std::size_t j = 0; j < specs.size(); ++j) {
+        JobStats& st = out[j];
+        const int cadence = j < lockstep_plan_.cadences.size()
+                                ? lockstep_plan_.cadences[j]
+                                : 1;
+        // Rounds r in [0, rounds) with r % cadence == 0.
+        const int steps = (rounds - 1) / std::max(cadence, 1) + 1;
+        if (specs[j].kind == JobKind::Training) {
+            const workload::TrainingLoop& loop = training_[ti++]->loop;
+            const workload::IterationBreakdown& b =
+                loop.lastIteration();
+            st.iterations = steps;
+            st.mean_iteration = b.total;
+            if (b.total > 0.0)
+                st.exposed_share =
+                    (b.exposed_mp + b.exposed_dp) / b.total;
+        } else {
+            const PeriodicJob& pj = *periodic_[pi++];
+            // Replayed rounds repeat simulated ones bit-identically,
+            // so the analytic step count is the true request count;
+            // latency and deadline tallies come from the simulated
+            // subset (each cycle's repeats are identical anyway).
+            st.requests_issued = steps;
+            st.requests_completed = steps;
+            if (pj.completed > 0)
+                st.mean_latency = pj.latency_sum / pj.completed;
+            st.deadline_hits = pj.hits;
+            st.deadline_misses = pj.misses;
+            const int judged = pj.hits + pj.misses;
+            if (judged > 0)
+                st.deadline_hit_rate =
+                    static_cast<double>(pj.hits) / judged;
+        }
+    }
+    return out;
 }
 
 } // namespace themis::cluster

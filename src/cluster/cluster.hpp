@@ -25,6 +25,8 @@
 #ifndef THEMIS_CLUSTER_CLUSTER_HPP
 #define THEMIS_CLUSTER_CLUSTER_HPP
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -87,22 +89,48 @@ class Cluster
     ClusterReport run();
 
     /**
-     * Lockstep convergence run through the steady-state replay
-     * engine (workload::runConverged over all training loops).
-     * Requires replayEligibility().eligible — throws ConfigError
-     * with the refusal reason otherwise (e.g. periodic jobs whose
-     * co-prime periods never reach a common steady state). Call once,
-     * instead of run(). @p opts.iterations overrides the specs'
-     * per-job iteration counts (they are required to be equal).
+     * Lockstep convergence run through the period-k steady-cycle
+     * replay engine (workload::runConverged over every job: training
+     * loops step each round, periodic tenants step every cadence-th
+     * round per the lockstep plan). Requires an eligible
+     * lockstepPlan() at opts.cycle_limit (0 = auto: the plan's
+     * hyper-period) — throws ConfigError with the refusal reason
+     * otherwise (e.g. periodic jobs whose co-prime periods never
+     * reach a confirmable cycle). Call once, instead of run().
+     * @p opts.iterations is the number of lockstep *rounds* and
+     * overrides the specs' per-job iteration counts.
+     * @p phase_offsets (empty = all zero; else one entry per job)
+     * delays each job's step within every round — the lockstep
+     * representation of a CASSINI-style phase shift, evaluated by
+     * searchPhaseOffsets on the replay fast path.
      */
     workload::ConvergenceReport
-    runConverged(const workload::ConvergenceOptions& opts);
+    runConverged(const workload::ConvergenceOptions& opts,
+                 const std::vector<TimeNs>& phase_offsets = {});
 
     /** Replay verdict for this mix (see JobScheduler). */
     JobScheduler::ReplayEligibility replayEligibility() const
     {
         return sched_.replayEligibility();
     }
+
+    /** Lockstep cadence plan for this mix (see JobScheduler). */
+    JobScheduler::LockstepPlan
+    lockstepPlan(std::int64_t cycle_limit =
+                     JobScheduler::kDefaultCycleLimit) const
+    {
+        return sched_.lockstepPlan(cycle_limit);
+    }
+
+    /**
+     * Per-job usage rows for a completed runConverged() run over
+     * @p rounds lockstep rounds. Free-running runs get these from
+     * ClusterReport; the convergence path has no makespan-style
+     * report, so this reads the counters the lockstep round driver
+     * left behind (steps taken, last-iteration decomposition, request
+     * latency and deadline tallies). Call after runConverged().
+     */
+    std::vector<JobStats> lockstepJobStats(int rounds) const;
 
     /** The job mix. */
     const JobScheduler& scheduler() const { return sched_; }
@@ -116,6 +144,15 @@ class Cluster
 
     void startTrainingJob(std::size_t idx);
     void issueRequest(std::size_t idx);
+    /**
+     * Issue one lockstep-round request for periodic job @p idx and
+     * invoke @p done when it completes: the same wire traffic as
+     * issueRequest (tier, size, job id) minus the free-running timer
+     * — the convergence engine paces the stream by round cadence
+     * instead.
+     */
+    void beginLockstepRequest(std::size_t idx,
+                              const std::function<void()>& done);
     void onTrainingJobFinished(std::size_t idx);
     /** Stop open-ended periodic streams once training is done. */
     void beginDrain();
@@ -140,6 +177,8 @@ class Cluster
      * the runtime's own maps shrink as jobs retire into here.
      */
     std::map<int, runtime::CommRuntime::JobReport> final_wire_;
+    /** Cadence plan captured by runConverged (for lockstepJobStats). */
+    JobScheduler::LockstepPlan lockstep_plan_;
     int training_remaining_ = 0;
     bool draining_ = false;
     bool used_ = false;

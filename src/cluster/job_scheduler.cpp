@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <sstream>
 
@@ -13,14 +14,6 @@ namespace themis::cluster {
 
 namespace {
 
-/**
- * Hyper-period bound: a periodic mix whose least common multiple of
- * periods exceeds this many multiples of the shortest period is
- * treated as never reaching a common steady state (co-prime periods
- * in the limit).
- */
-constexpr std::int64_t kMaxHyperPeriodRounds = 64;
-
 std::int64_t
 gcd64(std::int64_t a, std::int64_t b)
 {
@@ -30,6 +23,19 @@ gcd64(std::int64_t a, std::int64_t b)
         b = t;
     }
     return a;
+}
+
+/** lcm with saturation at int64 max (good enough for diagnostics). */
+std::int64_t
+lcm64Saturating(std::int64_t a, std::int64_t b)
+{
+    const std::int64_t g = gcd64(a, b);
+    const std::int64_t f = b / g;
+    constexpr std::int64_t kMax =
+        std::numeric_limits<std::int64_t>::max();
+    if (f != 0 && a > kMax / f)
+        return kMax;
+    return a * f;
 }
 
 } // namespace
@@ -88,59 +94,30 @@ JobScheduler::shiftArrivals(const std::vector<TimeNs>& offsets)
     }
 }
 
-JobScheduler::ReplayEligibility
-JobScheduler::replayEligibility() const
+JobScheduler::LockstepPlan
+JobScheduler::lockstepPlan(std::int64_t cycle_limit) const
 {
-    ReplayEligibility out;
-
-    // Periodic jobs: their cadence is absolute time, not iteration
-    // rounds, so they cannot join a lockstep epoch. Distinguish the
-    // fundamentally hopeless case (co-prime periods — no common
-    // steady state exists) from the merely unimplemented one.
-    std::vector<std::int64_t> periods;
-    for (const JobSpec& spec : specs_)
-        if (spec.kind == JobKind::PeriodicInference)
-            periods.push_back(std::max<std::int64_t>(
-                1, std::llround(spec.period)));
-    if (periods.size() >= 2) {
-        std::int64_t lcm = periods.front();
-        const std::int64_t min_period =
-            *std::min_element(periods.begin(), periods.end());
-        bool unbounded = false;
-        for (std::size_t i = 1; i < periods.size() && !unbounded;
-             ++i) {
-            const std::int64_t g = gcd64(lcm, periods[i]);
-            // lcm := lcm * p / g, with an early bail before overflow
-            // (past the bound the exact value no longer matters).
-            const std::int64_t factor = periods[i] / g;
-            if (lcm > kMaxHyperPeriodRounds * min_period / factor)
-                unbounded = true;
-            else
-                lcm *= factor;
-        }
-        if (unbounded || lcm / min_period > kMaxHyperPeriodRounds) {
-            std::ostringstream oss;
-            oss << "periodic jobs have co-prime (or nearly co-prime) "
-                   "periods: their hyper-period exceeds "
-                << kMaxHyperPeriodRounds
-                << "x the shortest period, so the mix never reaches a "
-                   "common steady state; convergence replay refused";
-            out.reason = oss.str();
-            return out;
-        }
-    }
-    if (!periods.empty()) {
-        out.reason =
-            "periodic-inference cadence is clocked in absolute time, "
-            "not iteration rounds; a common quiescent point with the "
-            "training iterations is not guaranteed, so the mix is "
-            "simulated in full (convergence replay refused)";
+    LockstepPlan out;
+    out.cadences.assign(specs_.size(), 1);
+    if (cycle_limit < 1) {
+        out.reason = "cycle limit " + std::to_string(cycle_limit) +
+                     " is not positive; need at least one round "
+                     "(convergence replay refused)";
         return out;
     }
 
-    // Training-only: lockstep rounds need a common start and a common
-    // horizon.
-    const int iters = specs_.front().iterations;
+    // Lockstep rounds are anchored by training iterations: every
+    // round restarts from quiescence, so a pure request stream has
+    // nothing to pace it.
+    if (training_jobs_ == 0) {
+        out.reason =
+            "mix has no training job; lockstep rounds are anchored "
+            "by training iterations (convergence replay refused)";
+        return out;
+    }
+
+    // Common start and a common training horizon.
+    int iters = -1;
     for (const JobSpec& spec : specs_) {
         if (spec.arrival != 0.0) {
             out.reason =
@@ -149,6 +126,10 @@ JobScheduler::replayEligibility() const
                 "a common start (convergence replay refused)";
             return out;
         }
+        if (spec.kind != JobKind::Training)
+            continue;
+        if (iters < 0)
+            iters = spec.iterations;
         if (spec.iterations != iters) {
             out.reason =
                 "training jobs disagree on iteration counts; lockstep "
@@ -157,7 +138,102 @@ JobScheduler::replayEligibility() const
             return out;
         }
     }
+
+    // Periodic jobs join by reinterpreting their periods as relative
+    // round cadences: cadence_i = period_i / gcd(all periods). Only
+    // open-ended streams qualify — a bounded stream stops mid-run, so
+    // no round pattern of the mix can repeat forever.
+    std::vector<std::size_t> periodic_idx;
+    std::vector<std::int64_t> periods;
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        const JobSpec& spec = specs_[i];
+        if (spec.kind != JobKind::PeriodicInference)
+            continue;
+        if (spec.max_requests > 0) {
+            out.reason =
+                "periodic job '" + spec.label() + "' is bounded (" +
+                std::to_string(spec.max_requests) +
+                " requests); it would stop mid-run and break the "
+                "steady cycle (convergence replay refused)";
+            return out;
+        }
+        const std::int64_t p = std::llround(spec.period);
+        if (p <= 0) {
+            std::ostringstream oss;
+            oss << "periodic job '" << spec.label() << "' has period "
+                << spec.period << " ns, which rounds to "
+                << p
+                << "; cadence derivation needs a positive integer "
+                   "period (convergence replay refused)";
+            out.reason = oss.str();
+            return out;
+        }
+        periodic_idx.push_back(i);
+        periods.push_back(p);
+    }
+
+    if (!periods.empty()) {
+        std::int64_t g = periods.front();
+        for (std::int64_t p : periods)
+            g = gcd64(g, p);
+        std::vector<std::int64_t> cadences(periods.size());
+        std::int64_t hyper = 1;
+        for (std::size_t j = 0; j < periods.size(); ++j) {
+            cadences[j] = periods[j] / g;
+            hyper = lcm64Saturating(hyper, cadences[j]);
+        }
+        if (hyper > cycle_limit) {
+            // Diagnose the dominant contributors: the pair of
+            // periodic jobs with the largest pairwise cadence lcm
+            // (co-prime periods in the limit).
+            std::size_t wa = 0, wb = periods.size() > 1 ? 1 : 0;
+            std::int64_t worst = 0;
+            for (std::size_t a = 0; a < periods.size(); ++a) {
+                for (std::size_t b = a + 1; b < periods.size(); ++b) {
+                    const std::int64_t l =
+                        lcm64Saturating(cadences[a], cadences[b]);
+                    if (l > worst) {
+                        worst = l;
+                        wa = a;
+                        wb = b;
+                    }
+                }
+            }
+            std::ostringstream oss;
+            oss << "stepping hyper-period lcm = " << hyper
+                << " rounds exceeds the cycle limit " << cycle_limit;
+            if (periods.size() > 1) {
+                oss << "; worst pair: '"
+                    << specs_[periodic_idx[wa]].label() << "' (period "
+                    << periods[wa] << " ns, cadence " << cadences[wa]
+                    << ") and '" << specs_[periodic_idx[wb]].label()
+                    << "' (period " << periods[wb] << " ns, cadence "
+                    << cadences[wb] << "), pairwise lcm " << worst;
+            }
+            oss << "; co-prime (or nearly co-prime) periods never "
+                   "reach a confirmable steady cycle — raise "
+                   "--cycle-limit or adjust the periods (convergence "
+                   "replay refused)";
+            out.reason = oss.str();
+            return out;
+        }
+        for (std::size_t j = 0; j < periods.size(); ++j)
+            out.cadences[periodic_idx[j]] =
+                static_cast<int>(cadences[j]);
+        out.hyper_period = static_cast<int>(hyper);
+    }
+
     out.eligible = true;
+    return out;
+}
+
+JobScheduler::ReplayEligibility
+JobScheduler::replayEligibility() const
+{
+    const LockstepPlan plan = lockstepPlan();
+    ReplayEligibility out;
+    out.eligible = plan.eligible;
+    out.reason = plan.reason;
     return out;
 }
 
@@ -213,24 +289,47 @@ searchPhaseOffsets(const Topology& topo,
         offset_vectors.push_back(std::move(offsets));
     }
 
-    const auto metrics = sim::sweepIndexed(
-        offset_vectors.size(),
-        [&](std::size_t i, sim::EventQueue& queue) {
-            JobScheduler sched(eval_specs);
-            sched.shiftArrivals(offset_vectors[i]);
-            Cluster cell(queue, topo, config, std::move(sched));
-            const ClusterReport rep = cell.run();
-            double metric = 0.0;
-            bool any_training = false;
-            for (const JobStats& js : rep.jobs) {
-                if (js.kind != JobKind::Training)
-                    continue;
-                any_training = true;
-                metric += js.mean_iteration;
-            }
-            return any_training ? metric : rep.makespan;
-        },
-        sim::SweepOptions{options.threads});
+    // Replay-eligible mixes ride the period-k convergence fast path:
+    // each candidate becomes a lockstep run whose per-round phase
+    // delays encode the offsets (arrival shifts cannot survive rounds
+    // that restart from quiescence), steady cycles replay
+    // analytically, and the metric is the mean round time — equal to
+    // the summed training mean-iteration metric for training-only
+    // mixes. Ineligible mixes keep the free-running evaluation.
+    const auto plan = base.lockstepPlan();
+    const auto metrics =
+        plan.eligible
+            ? sim::sweepIndexed(
+                  offset_vectors.size(),
+                  [&](std::size_t i, sim::EventQueue& queue) {
+                      Cluster cell(queue, topo, config,
+                                   JobScheduler(eval_specs));
+                      workload::ConvergenceOptions copts;
+                      copts.iterations = options.iterations;
+                      const auto rep = cell.runConverged(
+                          copts, offset_vectors[i]);
+                      return rep.total.total / options.iterations;
+                  },
+                  sim::SweepOptions{options.threads})
+            : sim::sweepIndexed(
+                  offset_vectors.size(),
+                  [&](std::size_t i, sim::EventQueue& queue) {
+                      JobScheduler sched(eval_specs);
+                      sched.shiftArrivals(offset_vectors[i]);
+                      Cluster cell(queue, topo, config,
+                                   std::move(sched));
+                      const ClusterReport rep = cell.run();
+                      double metric = 0.0;
+                      bool any_training = false;
+                      for (const JobStats& js : rep.jobs) {
+                          if (js.kind != JobKind::Training)
+                              continue;
+                          any_training = true;
+                          metric += js.mean_iteration;
+                      }
+                      return any_training ? metric : rep.makespan;
+                  },
+                  sim::SweepOptions{options.threads});
 
     OffsetSearchResult out;
     out.base_period = base_period;

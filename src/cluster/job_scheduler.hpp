@@ -18,16 +18,22 @@
  *
  * It also answers *replay eligibility*: whether a mix can use the
  * steady-state convergence replay engine. Lockstep rounds require
- * every tenant to quiesce at common iteration boundaries; periodic
- * jobs with their own cadence — co-prime periods in particular —
- * never reach a common steady state, so the scheduler refuses replay
- * for such mixes with a concrete reason instead of silently
- * integrating a fingerprint that cannot repeat.
+ * every tenant to quiesce at common round boundaries; periodic jobs
+ * join by reinterpreting their periods as relative round *cadences*
+ * (period / gcd of all periods), so a 2e5:3e5 mix steps its tenants
+ * every 2nd and 3rd round and the joint trajectory repeats with the
+ * cadence hyper-period lcm. Mixes whose hyper-period exceeds the
+ * cycle limit — co-prime periods in the limit — never reach a
+ * confirmable steady cycle, so the scheduler refuses replay for
+ * those with a concrete reason (the computed LCM and the offending
+ * job pair) instead of silently integrating a fingerprint that
+ * cannot repeat.
  */
 
 #ifndef THEMIS_CLUSTER_JOB_SCHEDULER_HPP
 #define THEMIS_CLUSTER_JOB_SCHEDULER_HPP
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -49,6 +55,34 @@ class JobScheduler
         /** Human-readable refusal reason when not eligible. */
         std::string reason;
     };
+
+    /**
+     * How a mix maps onto lockstep convergence rounds: per-job round
+     * cadences (training jobs step every round; periodic jobs step
+     * every period/gcd rounds) and the resulting stepping
+     * hyper-period. Ineligible mixes carry the refusal reason.
+     */
+    struct LockstepPlan
+    {
+        bool eligible = false;
+
+        /** Human-readable refusal reason when not eligible. */
+        std::string reason;
+
+        /** Rounds between steps, one entry per job (spec order). */
+        std::vector<int> cadences;
+
+        /** lcm of the cadences (1 for training-only mixes). */
+        int hyper_period = 1;
+    };
+
+    /**
+     * Default bound on the confirmable cycle length (in rounds) when
+     * the caller does not pass --cycle-limit: mixes whose stepping
+     * hyper-period exceeds this are refused as never reaching a
+     * practical steady state.
+     */
+    static constexpr std::int64_t kDefaultCycleLimit = 64;
 
     /**
      * @param specs one entry per job; ids are assigned by position.
@@ -83,13 +117,21 @@ class JobScheduler
 
     /**
      * Can this mix run under the convergence replay engine (lockstep
-     * rounds, steady-state detection, analytic integration)? Eligible
-     * only when every job is a training job with arrival 0 and a
-     * common iteration count. Mixes with periodic jobs are refused:
-     * commensurate periods would need a hyper-period round the engine
-     * does not implement, and co-prime periods (integer-ns gcd of 1,
-     * or a hyper-period beyond any practical horizon) never reach a
-     * common steady state at all — the reason spells out which.
+     * rounds, period-k steady-cycle detection, analytic integration)?
+     * Eligible when every job starts at arrival 0, training jobs
+     * agree on an iteration count, periodic jobs are open-ended
+     * (bounded streams would stop mid-run and break the cycle), at
+     * least one training job anchors the rounds, and the cadence
+     * hyper-period fits @p cycle_limit. Refusals name the concrete
+     * obstacle — for hyper-period blowups, the computed LCM and the
+     * offending job pair.
+     */
+    LockstepPlan
+    lockstepPlan(std::int64_t cycle_limit = kDefaultCycleLimit) const;
+
+    /**
+     * Boolean façade over lockstepPlan() at the default cycle limit
+     * (kept for callers that only need the verdict + reason).
      */
     ReplayEligibility replayEligibility() const;
 

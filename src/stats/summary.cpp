@@ -75,7 +75,7 @@ renderJobTable(const std::vector<JobUsageRow>& rows)
 {
     TextTable t({"Job", "Kind", "Arrival", "JCT", "Units",
                  "Mean unit", "Exposed", "Deadline", "Bytes",
-                 "BW share"});
+                 "BW share", "Cycle units"});
     for (const auto& r : rows) {
         t.addRow({r.name, r.kind, fmtTime(r.arrival), fmtTime(r.jct),
                   std::to_string(r.units),
@@ -85,7 +85,11 @@ renderJobTable(const std::vector<JobUsageRow>& rows)
                   r.deadline_hit_rate >= 0.0
                       ? fmtPercent(r.deadline_hit_rate)
                       : "-",
-                  fmtBytes(r.progressed), fmtPercent(r.utilization)});
+                  r.progressed >= 0.0 ? fmtBytes(r.progressed) : "-",
+                  r.utilization >= 0.0 ? fmtPercent(r.utilization)
+                                       : "-",
+                  r.cycle_units >= 0 ? std::to_string(r.cycle_units)
+                                     : "-"});
     }
     return t.render();
 }
@@ -93,13 +97,16 @@ renderJobTable(const std::vector<JobUsageRow>& rows)
 std::string
 renderConvergenceTable(const std::vector<ConvergenceRunRow>& rows)
 {
-    TextTable t({"Mode", "Iters", "Simulated", "Replayed", "Sim time",
-                 "Iter time", "BW util", "Wall"});
+    TextTable t({"Mode", "Iters", "Simulated", "Replayed", "Cycle",
+                 "Sim time", "Iter time", "BW util", "Wall"});
     for (const auto& r : rows) {
         t.addRow({r.label, std::to_string(r.iterations),
                   std::to_string(r.simulated),
-                  std::to_string(r.replayed), fmtTime(r.total_time),
-                  fmtTime(r.last_iteration), fmtPercent(r.utilization),
+                  std::to_string(r.replayed),
+                  r.cycle_length > 0 ? std::to_string(r.cycle_length)
+                                     : "-",
+                  fmtTime(r.total_time), fmtTime(r.last_iteration),
+                  fmtPercent(r.utilization),
                   fmtDouble(r.wall_ms, 1) + " ms"});
     }
     return t.render();

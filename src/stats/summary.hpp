@@ -91,11 +91,21 @@ struct JobUsageRow
     /** Deadline hit rate; negative renders as "-". */
     double deadline_hit_rate = -1.0;
 
-    /** Bytes the job progressed across the fabric. */
+    /** Bytes the job progressed across the fabric; negative renders
+     *  as "-" (lockstep convergence runs replay whole rounds
+     *  analytically and carry no per-job wire totals). */
     Bytes progressed = 0.0;
 
-    /** Job share of machine bandwidth in comm-active windows. */
+    /** Job share of machine bandwidth in comm-active windows;
+     *  negative renders as "-". */
     double utilization = 0.0;
+
+    /**
+     * Steps this job takes per confirmed steady cycle in a lockstep
+     * convergence run (cycle_length / cadence); negative renders as
+     * "-" (free-running runs have no cycle).
+     */
+    int cycle_units = -1;
 };
 
 /** Render per-job cluster rows as a standard table. */
@@ -115,6 +125,9 @@ struct ConvergenceRunRow
     int iterations = 0;
     int simulated = 0;
     int replayed = 0;
+
+    /** Confirmed steady-cycle length in rounds; 0 renders as "-". */
+    int cycle_length = 0;
 
     /** Summed simulated time over all iterations. */
     TimeNs total_time = 0.0;

@@ -1,7 +1,7 @@
 /**
  * @file
  * Steady-state detector + iteration replay engine for multi-iteration
- * training (convergence) runs.
+ * training (convergence) runs, generalized to *period-k cycles*.
  *
  * A training workload issues byte-identical traffic every iteration,
  * and after the first iteration has warmed the plan cache (or simply
@@ -10,31 +10,42 @@
  * pure waste — yet convergence studies and multi-job scenarios need
  * exactly such horizons.
  *
- * The runner executes each iteration inside a CommRuntime *iteration
+ * The runner executes each round inside a CommRuntime *iteration
  * epoch*: the event-queue and channel clocks are rebased to zero and
- * every statistics accumulator restarts, so an iteration's trajectory
- * is a deterministic function of the (quiescent) runtime state alone
- * and its measured stats are exact per-iteration deltas, bit-stable
- * across identical iterations. Each epoch yields a fingerprint (event
- * trace of every chunk-op start/finish, plan-cache keys, per-class
- * and per-dimension byte totals, utilization time, anti-starvation
- * streaks). Once `confirm_iterations` consecutive epochs are
- * identical — fingerprints and full stats, bit for bit — the
- * remaining iterations are *replayed analytically*: the steady
- * iteration's time, bytes and utilization are integrated forward with
- * O(dimensions + classes) additions per iteration instead of
+ * every statistics accumulator restarts, so a round's trajectory is a
+ * deterministic function of the (quiescent) runtime state alone and
+ * its measured stats are exact per-round deltas, bit-stable across
+ * identical rounds. Each epoch yields a fingerprint (event trace of
+ * every chunk-op start/finish, plan-cache keys, per-class and
+ * per-dimension byte totals, utilization time, anti-starvation
+ * streaks, fault counters).
+ *
+ * Multi-cadence mixes (a training loop stepping every round plus
+ * inference tenants stepping every 2nd and 3rd round) never repeat
+ * with period 1: their joint trajectory repeats with the *stepping
+ * hyper-period* H = lcm(cadences). The detector therefore keeps a
+ * bounded ring of per-epoch (breakdown, stats) entries and, for every
+ * candidate cycle length k in {H, 2H, ...} up to `cycle_limit`,
+ * counts how long the last k epochs have bit-matched the k epochs
+ * before them. Once a candidate holds for `confirm_iterations - 1`
+ * whole cycles, the remaining rounds are *replayed analytically*:
+ * the confirmed k-epoch delta block is integrated forward cyclically
+ * with O(dimensions + classes) additions per round instead of
  * re-running the event loop. The accumulation arithmetic is the same
  * one the fully simulated path uses, so replayed totals are
  * bit-identical to what full simulation would produce — and the
  * `exactness_check` mode proves it in-binary by co-running the full
- * simulation after detection and asserting every subsequent iteration
- * (and the final totals) against the replay prediction.
+ * simulation after detection and asserting every subsequent round
+ * (and the final totals) against the replay prediction. With a single
+ * always-stepping job the machinery reduces exactly to the original
+ * period-1 engine, byte for byte.
  */
 
 #ifndef THEMIS_WORKLOAD_CONVERGENCE_HPP
 #define THEMIS_WORKLOAD_CONVERGENCE_HPP
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -68,6 +79,15 @@ struct ConvergenceOptions
      * savings; this is the proof mode.
      */
     bool exactness_check = false;
+
+    /**
+     * Largest cycle length (in rounds) the detector may confirm.
+     * 0 = auto: the job mix's stepping hyper-period H (1 for a
+     * single-cadence mix). Candidates are the multiples of H up to
+     * this bound; if the bound is below H, replay is refused with a
+     * diagnostic (detection itself still needs no bound).
+     */
+    int cycle_limit = 0;
 };
 
 /** Outcome of a convergence run. */
@@ -83,12 +103,31 @@ struct ConvergenceReport
     int replayed_iterations = 0;
 
     /**
+     * Length (in rounds) of the first confirmed steady cycle, or 0 if
+     * steady state was never reached. 1 for single-cadence mixes.
+     */
+    int cycle_length = 0;
+
+    /** Stepping hyper-period of the job mix (lcm of cadences). */
+    int hyper_period = 1;
+
+    /**
+     * Epoch counters: rounds driven through the event loop vs rounds
+     * substituted analytically. For the single-cadence overloads these
+     * equal simulated/replayed_iterations; for mixed-cadence lockstep
+     * runs they count *rounds*, of which each job only steps a
+     * cadence-th. Bookkeeping, excluded from resultsBitIdentical().
+     */
+    int epochs_simulated = 0;
+    int epochs_replayed = 0;
+
+    /**
      *0-based index of the iteration whose epoch confirmed steady
      * state, or -1 if it was never reached.
      */
     int steady_at = -1;
 
-    /** Fingerprint of the steady iteration (0 if none). */
+    /** Fingerprint of the steady cycle's last epoch (0 if none). */
     std::uint64_t steady_fingerprint = 0;
 
     /** Summed decomposition over all iterations. */
@@ -158,6 +197,37 @@ ConvergenceReport runConverged(runtime::CommRuntime& comm,
                                const ConvergenceOptions& opts = {});
 
 /**
+ * One participant of a lockstep convergence round. Either a training
+ * loop (steps via beginIterationAsync) or a custom begin/last pair
+ * (e.g. a periodic-inference request issued through the cluster
+ * layer). The job steps on every round r with r % cadence == 0 —
+ * cadence 2 means "every other round" — so a mixed-cadence cluster
+ * mix maps periodic tenants onto relative round cadences and the
+ * joint trajectory repeats with period lcm(cadences).
+ */
+struct LockstepJob
+{
+    /** Training-loop participant (nullptr for custom jobs). */
+    TrainingLoop* loop = nullptr;
+
+    /**
+     * Custom participant: begin one unit of work, invoke the passed
+     * completion callback when it finishes on the shared queue.
+     * Required (with `last`) iff loop == nullptr.
+     */
+    std::function<void(const std::function<void()>&)> begin;
+
+    /** Custom participant: the just-completed unit's breakdown. */
+    std::function<IterationBreakdown()> last;
+
+    /** Job id this participant covers (for the multi-tenant guard). */
+    int job = 0;
+
+    /** Steps on rounds r with r % cadence == 0 (>= 1). */
+    int cadence = 1;
+};
+
+/**
  * Multi-job lockstep convergence: every loop in @p loops (each bound
  * to its own job id, all sharing @p comm) begins one iteration per
  * round; the shared event queue runs until all of them complete, and
@@ -167,14 +237,28 @@ ConvergenceReport runConverged(runtime::CommRuntime& comm,
  * two identical rounds mean the whole cluster's joint trajectory
  * repeats, and the remainder replays analytically exactly as in the
  * single-job case. Reported breakdowns are summed across loops per
- * round. Jobs whose traffic is *not* iteration-shaped (periodic
- * inference with its own period) cannot join a lockstep round; the
- * cluster layer refuses replay for those mixes (see
- * cluster::Cluster::replayEligibility).
+ * round.
  */
 ConvergenceReport
 runConverged(runtime::CommRuntime& comm,
              const std::vector<TrainingLoop*>& loops,
+             const ConvergenceOptions& opts = {});
+
+/**
+ * Cadence-aware lockstep convergence over an arbitrary participant
+ * mix: round r steps exactly the jobs with r % cadence == 0, the
+ * shared queue drains, and the round is one iteration epoch. Steady
+ * state is a period-k *cycle* (k a multiple of the cadence
+ * hyper-period, bounded by opts.cycle_limit); once confirmed, whole
+ * cycles are replayed analytically by integrating the k-epoch delta
+ * block — bit-identical to full simulation, provable in-binary via
+ * opts.exactness_check. This is the engine the cluster layer drives
+ * for mixed training + periodic-inference mixes (see
+ * cluster::Cluster::runConverged).
+ */
+ConvergenceReport
+runConverged(runtime::CommRuntime& comm,
+             const std::vector<LockstepJob>& jobs,
              const ConvergenceOptions& opts = {});
 
 } // namespace themis::workload

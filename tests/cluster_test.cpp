@@ -19,6 +19,7 @@
 #include "cluster/cluster.hpp"
 #include "common/hash.hpp"
 #include "models/model_zoo.hpp"
+#include "sim/fault_timeline.hpp"
 #include "topology/presets.hpp"
 #include "workload/convergence.hpp"
 
@@ -416,37 +417,203 @@ TEST(Cluster, LockstepExactnessCheckPassesOnTwoJobMix)
     EXPECT_EQ(r.simulated_iterations, 6);
 }
 
-TEST(Cluster, ReplayRefusedForPeriodicMixes)
+/** Training + open-ended periodic tenants with commensurate periods:
+ *  the period-k lockstep path. Periods @p p1 : @p p2 set the round
+ *  cadences (gcd-reduced). */
+std::vector<JobSpec>
+lockstepMix(int iters, double p1, double p2)
 {
     std::vector<JobSpec> specs;
-    specs.push_back(JobSpec::training(models::byName("DLRM"), 2));
-    specs.push_back(JobSpec::periodicInference(1.6e7, 1.0e5));
-    const auto elig = JobScheduler(specs).replayEligibility();
-    EXPECT_FALSE(elig.eligible);
-    EXPECT_NE(elig.reason.find("periodic"), std::string::npos);
+    specs.push_back(JobSpec::training(
+        models::byName("DLRM"), iters, 0.0,
+        static_cast<int>(PriorityTier::Bulk)));
+    specs.push_back(JobSpec::periodicInference(
+        1.6e7, p1, 0.0, 0.0,
+        static_cast<int>(PriorityTier::Urgent)));
+    specs.push_back(JobSpec::periodicInference(
+        3.2e7, p2, 0.0, 0.0,
+        static_cast<int>(PriorityTier::Urgent)));
+    return specs;
+}
 
-    // And the cluster-level convergence entry point refuses loudly.
+TEST(Cluster, PeriodicMixNowEligibleForLockstepReplay)
+{
+    // PR 7 refused every training+periodic mix; the period-k engine
+    // lifts that for open-ended commensurate streams. A single
+    // periodic tenant gcd-reduces to cadence 1 (hyper-period 1).
+    std::vector<JobSpec> specs;
+    specs.push_back(JobSpec::training(models::byName("DLRM"), 10));
+    specs.push_back(JobSpec::periodicInference(1.6e7, 1.0e5));
+    const auto plan = JobScheduler(specs).lockstepPlan();
+    ASSERT_TRUE(plan.eligible) << plan.reason;
+    EXPECT_EQ(plan.hyper_period, 1);
+    ASSERT_EQ(plan.cadences.size(), 2u);
+    EXPECT_EQ(plan.cadences[1], 1);
+
+    workload::ConvergenceOptions with_replay;
+    with_replay.iterations = 10;
+    workload::ConvergenceOptions no_replay = with_replay;
+    no_replay.replay = false;
+
+    sim::EventQueue q1;
+    Cluster c1(q1, presets::byName("2D-SW_SW"), priorityConfig(4.0),
+               specs);
+    const auto replayed = c1.runConverged(with_replay);
+    sim::EventQueue q2;
+    Cluster c2(q2, presets::byName("2D-SW_SW"), priorityConfig(4.0),
+               specs);
+    const auto full = c2.runConverged(no_replay);
+
+    EXPECT_GE(replayed.steady_at, 0);
+    EXPECT_EQ(replayed.cycle_length, 1);
+    EXPECT_GT(replayed.epochs_replayed, 0);
+    EXPECT_TRUE(workload::resultsBitIdentical(replayed, full));
+}
+
+TEST(Cluster, PeriodKReplayBitIdenticalOnTwoThreeMix)
+{
+    // Cadences 2:3 -> stepping hyper-period 6. The joint trajectory
+    // only repeats with period 6, so the period-1 detector would
+    // never fire; the period-k detector must confirm a 6-round cycle
+    // and replay the remainder bit-identically.
+    const auto specs = lockstepMix(30, 2.0e5, 3.0e5);
+    const auto plan = JobScheduler(specs).lockstepPlan();
+    ASSERT_TRUE(plan.eligible) << plan.reason;
+    EXPECT_EQ(plan.hyper_period, 6);
+    EXPECT_EQ(plan.cadences[1], 2);
+    EXPECT_EQ(plan.cadences[2], 3);
+
+    workload::ConvergenceOptions with_replay;
+    with_replay.iterations = 30;
+    workload::ConvergenceOptions no_replay = with_replay;
+    no_replay.replay = false;
+
+    sim::EventQueue q1;
+    Cluster c1(q1, presets::byName("2D-SW_SW"), priorityConfig(4.0),
+               specs);
+    const auto replayed = c1.runConverged(with_replay);
+    sim::EventQueue q2;
+    Cluster c2(q2, presets::byName("2D-SW_SW"), priorityConfig(4.0),
+               specs);
+    const auto full = c2.runConverged(no_replay);
+
+    EXPECT_GE(replayed.steady_at, 0);
+    EXPECT_EQ(replayed.cycle_length, 6);
+    EXPECT_EQ(replayed.hyper_period, 6);
+    EXPECT_GT(replayed.epochs_replayed, 0);
+    EXPECT_EQ(replayed.epochs_simulated + replayed.epochs_replayed,
+              30);
+    EXPECT_EQ(full.epochs_replayed, 0);
+    EXPECT_EQ(full.cycle_length, replayed.cycle_length);
+    EXPECT_TRUE(workload::resultsBitIdentical(replayed, full));
+    EXPECT_TRUE(replayed.replay_refusal.empty());
+}
+
+TEST(Cluster, PeriodKExactnessCheckPassesOnThreeFiveMix)
+{
+    // Cadences 3:5 -> hyper-period 15; exactness mode co-simulates
+    // every post-detection round and asserts it (and the final
+    // totals) bit-identical to the cyclic replay prediction.
+    const auto specs = lockstepMix(40, 3.0e5, 5.0e5);
+    workload::ConvergenceOptions opts;
+    opts.iterations = 40;
+    opts.exactness_check = true; // asserts internally on divergence
     sim::EventQueue q;
-    Cluster cl(q, presets::byName("2D-SW_SW"), priorityConfig(1.0),
-               std::move(specs));
-    EXPECT_THROW(cl.runConverged(workload::ConvergenceOptions{}),
-                 ConfigError);
+    Cluster cl(q, presets::byName("2D-SW_SW"), priorityConfig(4.0),
+               specs);
+    const auto r = cl.runConverged(opts);
+    EXPECT_GE(r.steady_at, 0);
+    EXPECT_EQ(r.cycle_length, 15);
+    EXPECT_EQ(r.hyper_period, 15);
+    EXPECT_EQ(r.epochs_simulated, 40);
+}
+
+TEST(Cluster, ReplayRefusedWhenCycleLimitBelowHyperPeriod)
+{
+    // Hyper-period 6 but a limit of 4: no multiple of 6 fits, so the
+    // plan must refuse with the computed lcm in the diagnostic and
+    // the cluster entry point must throw.
+    const auto specs = lockstepMix(12, 2.0e5, 3.0e5);
+    const auto plan = JobScheduler(specs).lockstepPlan(4);
+    EXPECT_FALSE(plan.eligible);
+    EXPECT_NE(plan.reason.find("lcm = 6"), std::string::npos)
+        << plan.reason;
+    EXPECT_NE(plan.reason.find("cycle limit 4"), std::string::npos);
+
+    sim::EventQueue q;
+    Cluster cl(q, presets::byName("2D-SW_SW"), priorityConfig(4.0),
+               specs);
+    workload::ConvergenceOptions opts;
+    opts.iterations = 12;
+    opts.cycle_limit = 4;
+    EXPECT_THROW(cl.runConverged(opts), ConfigError);
 }
 
 TEST(Cluster, ReplayRefusedForCoPrimePeriods)
 {
-    // 9973 and 10007 ns are co-prime: the hyper-period is ~1e8 x the
-    // shortest period, far beyond any practical steady-state horizon.
+    // 9973 and 10007 ns are prime: the cadence lcm is ~1e8 rounds,
+    // far beyond any practical cycle limit. The diagnostic must name
+    // the offending pair so the user can fix the periods.
     std::vector<JobSpec> specs;
-    JobSpec a = JobSpec::periodicInference(1.6e7, 9973.0);
-    a.max_requests = 4;
-    JobSpec b = JobSpec::periodicInference(1.6e7, 10007.0);
-    b.max_requests = 4;
-    specs.push_back(a);
-    specs.push_back(b);
-    const auto elig = JobScheduler(specs).replayEligibility();
+    specs.push_back(JobSpec::training(models::byName("DLRM"), 4));
+    specs.push_back(JobSpec::periodicInference(1.6e7, 9973.0));
+    specs.push_back(JobSpec::periodicInference(3.2e7, 10007.0));
+    const auto plan = JobScheduler(specs).lockstepPlan();
+    EXPECT_FALSE(plan.eligible);
+    EXPECT_NE(plan.reason.find("lcm"), std::string::npos);
+    EXPECT_NE(plan.reason.find("co-prime"), std::string::npos);
+    EXPECT_NE(plan.reason.find("infer:"), std::string::npos);
+    EXPECT_NE(plan.reason.find("worst pair"), std::string::npos)
+        << plan.reason;
+}
+
+TEST(Cluster, ReplayRefusedForBoundedPeriodicStreams)
+{
+    // A bounded stream stops mid-run, so no round pattern repeats
+    // forever; the old blanket refusal survives for this case.
+    const auto elig =
+        JobScheduler(contentionMix()).replayEligibility();
     EXPECT_FALSE(elig.eligible);
-    EXPECT_NE(elig.reason.find("co-prime"), std::string::npos);
+    EXPECT_NE(elig.reason.find("bounded"), std::string::npos);
+}
+
+TEST(Cluster, ReplayRefusedForSubNanosecondPeriodRounding)
+{
+    // llround(0.4) == 0: cadence derivation must reject it loudly
+    // instead of silently clamping to cadence 1.
+    std::vector<JobSpec> specs;
+    specs.push_back(JobSpec::training(models::byName("DLRM"), 2));
+    specs.push_back(JobSpec::periodicInference(1.6e7, 0.4));
+    const auto plan = JobScheduler(specs).lockstepPlan();
+    EXPECT_FALSE(plan.eligible);
+    EXPECT_NE(plan.reason.find("rounds to"), std::string::npos)
+        << plan.reason;
+    EXPECT_NE(plan.reason.find("0.4"), std::string::npos);
+}
+
+TEST(Cluster, FaultEventInterruptedCycleReplayStaysBitIdentical)
+{
+    // A degrade window lands mid-run: replay must stop short of the
+    // event, re-simulate through it, re-confirm the cycle, and still
+    // produce bit-identical totals on a 2:3 mix.
+    const auto specs = lockstepMix(36, 2.0e5, 3.0e5);
+    sim::FaultTimeline tl;
+    tl.addDegrade(0, 1.0e7, 5.0e5, 0.5);
+
+    auto run = [&](bool replay) {
+        runtime::RuntimeConfig cfg = priorityConfig(4.0);
+        cfg.faults = &tl;
+        sim::EventQueue q;
+        Cluster cl(q, presets::byName("2D-SW_SW"), cfg, specs);
+        workload::ConvergenceOptions opts;
+        opts.iterations = 36;
+        opts.replay = replay;
+        return cl.runConverged(opts);
+    };
+    const auto replayed = run(true);
+    const auto full = run(false);
+    EXPECT_EQ(full.epochs_replayed, 0);
+    EXPECT_TRUE(workload::resultsBitIdentical(replayed, full));
 }
 
 TEST(Cluster, ReplayRefusedForStaggeredArrivals)
@@ -504,8 +671,8 @@ TEST(Convergence, MultiLoopReplayRefusedWhenAJobIdGapIsUncovered)
     l2.setJob(2);
     workload::ConvergenceOptions opts;
     opts.iterations = 3;
-    const auto r =
-        workload::runConverged(comm, {&l0, &l2}, opts);
+    const auto r = workload::runConverged(
+        comm, std::vector<workload::TrainingLoop*>{&l0, &l2}, opts);
     EXPECT_FALSE(r.replay_refusal.empty());
     EXPECT_NE(r.replay_refusal.find("job 1"), std::string::npos);
     EXPECT_EQ(r.replayed_iterations, 0);

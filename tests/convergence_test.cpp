@@ -105,6 +105,28 @@ TEST(Convergence, ReplayTotalsBitIdenticalToFullSimulation)
             << "iteration " << i;
 }
 
+TEST(Convergence, SingleLoopCycleLimitOneMatchesAuto)
+{
+    // A single always-stepping loop has hyper-period 1: cycle_limit 0
+    // (auto) and 1 must be the same engine, bit for bit, and the new
+    // period-k bookkeeping must report the degenerate cycle.
+    const ModelGraph model = smallHybridModel();
+    const Topology topo = presets::make2DSwSw();
+    ConvergenceOptions auto_opts;
+    auto_opts.iterations = 10;
+    ConvergenceOptions one_opts = auto_opts;
+    one_opts.cycle_limit = 1;
+    const auto a = runModel(model, topo, auto_opts);
+    const auto b = runModel(model, topo, one_opts);
+    EXPECT_TRUE(resultsBitIdentical(a, b));
+    EXPECT_EQ(a.steady_at, b.steady_at);
+    EXPECT_EQ(a.cycle_length, 1);
+    EXPECT_EQ(a.hyper_period, 1);
+    EXPECT_EQ(a.epochs_simulated, a.simulated_iterations);
+    EXPECT_EQ(a.epochs_replayed, a.replayed_iterations);
+    EXPECT_GT(a.epochs_replayed, 0);
+}
+
 TEST(Convergence, ExactnessCheckModePasses)
 {
     ConvergenceOptions opts;

@@ -12,17 +12,22 @@
  *    loses badly to baseline;
  *  - shadow-enforced ordering reproduces free-running timing;
  *  - the data plane reduces/gathers correctly for random machines and
- *    random stage orders.
+ *    random stage orders;
+ *  - mixed-period cluster mixes replay steady cycles bit-identically
+ *    to full simulation on random platforms.
  */
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
+#include "cluster/cluster.hpp"
 #include "collective/dataplane/dataplane_collectives.hpp"
 #include "common/random.hpp"
 #include "core/themis_scheduler.hpp"
+#include "models/model_zoo.hpp"
 #include "npu/npu_machine.hpp"
 #include "runtime/comm_runtime.hpp"
 #include "sim/fault_timeline.hpp"
@@ -300,6 +305,58 @@ TEST_P(FaultFuzz, RandomFaultTimelinesConserveBytesAndDrain)
             << " retries) on " << topo.describe() << "\n"
             << faults.describe();
     }
+}
+
+class ClusterMixFuzz : public ::testing::TestWithParam<int>
+{};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterMixFuzz,
+                         ::testing::Range(400, 411));
+
+TEST_P(ClusterMixFuzz, MixedPeriodReplayBitIdenticalToFullSim)
+{
+    // Random small platform + training job + 1-2 open-ended periodic
+    // tenants with commensurate periods (base x small ints): the
+    // period-k lockstep engine must produce results bit-identical to
+    // full simulation whether or not a steady cycle was confirmed
+    // and replayed.
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    Topology topo = randomTopology(rng);
+    while (topo.totalNpus() > 512)
+        topo = randomTopology(rng);
+
+    const int rounds = static_cast<int>(rng.uniformInt(10, 24));
+    // Integer base so period multiples share it as an exact gcd.
+    const TimeNs base = std::floor(1.0e5 * rng.uniformReal(0.5, 2.0));
+    std::vector<cluster::JobSpec> specs;
+    specs.push_back(cluster::JobSpec::training(
+        models::byName("DLRM"), rounds));
+    const int streams = static_cast<int>(rng.uniformInt(1, 2));
+    for (int s = 0; s < streams; ++s) {
+        const double mult =
+            static_cast<double>(rng.uniformInt(1, 4));
+        specs.push_back(cluster::JobSpec::periodicInference(
+            rng.uniformReal(1.0e6, 4.0e7), base * mult));
+    }
+    const auto plan = cluster::JobScheduler(specs).lockstepPlan();
+    ASSERT_TRUE(plan.eligible) << plan.reason;
+
+    auto run = [&](bool replay) {
+        sim::EventQueue q;
+        cluster::Cluster cl(q, topo, runtime::themisScfConfig(),
+                            specs);
+        workload::ConvergenceOptions opts;
+        opts.iterations = rounds;
+        opts.replay = replay;
+        return cl.runConverged(opts);
+    };
+    const auto fast = run(true);
+    const auto full = run(false);
+    EXPECT_EQ(full.epochs_replayed, 0);
+    EXPECT_EQ(fast.epochs_simulated + fast.epochs_replayed, rounds);
+    EXPECT_TRUE(workload::resultsBitIdentical(fast, full))
+        << topo.describe() << " rounds " << rounds << " hyper "
+        << plan.hyper_period;
 }
 
 class BackendEquivalenceFuzz : public ::testing::TestWithParam<int>

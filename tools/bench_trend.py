@@ -20,7 +20,15 @@ Tracked metrics (higher is better):
   BENCH_cluster.json -> cells_per_sec of the multi-job contention
                       grid; the deadline hit rates and offset-search
                       gain are historized/reported but not gated
-                      (simulated-time metrics asserted in-binary)
+                      (simulated-time metrics asserted in-binary).
+                      The period-k cycle-replay speedup is historized
+                      AND gated against its absolute floor (>=5x, the
+                      same floor the bench asserts in-binary) rather
+                      than against the previous run — a ratio of two
+                      wall clocks is too noisy for a 15% delta gate,
+                      but an order-of-magnitude collapse below the
+                      floor must fail CI even if the bench binary's
+                      own assert was skipped
   BENCH_sweep_service.json -> cells_per_sec of the 1-process sharded
                       sweep grid; the 2-shard scaling ratio and the
                       memoized warm-query speedup are ratios of small
@@ -139,7 +147,34 @@ def cluster_info_metrics(doc):
         "tiered_hit_rate")
     offset = doc.get("offset_search", {})
     out["cluster/offset_search_gain"] = offset.get("gain")
+    cycle = doc.get("cycle_replay", {})
+    out["cluster/replay_speedup"] = cycle.get("speedup")
+    out["cluster/replay_rounds"] = cycle.get("rounds_replayed")
     return {k: v for k, v in out.items() if isinstance(v, (int, float))}
+
+
+# Absolute floor for the cycle-replay speedup (mirrors the in-binary
+# assert in bench/multi_job_contention.cpp; see module docstring).
+CYCLE_REPLAY_SPEEDUP_FLOOR = 5.0
+
+
+def cluster_cycle_gate(doc):
+    """[(key, value, floor)] floor violations of the cycle-replay
+    experiment, or [] when absent (older artifacts) or healthy."""
+    if doc is None:
+        return []
+    cycle = doc.get("cycle_replay")
+    if not isinstance(cycle, dict):
+        return []
+    failures = []
+    speedup = cycle.get("speedup")
+    if isinstance(speedup, (int, float)) and \
+            speedup < CYCLE_REPLAY_SPEEDUP_FLOOR:
+        failures.append(("cluster/replay_speedup", speedup,
+                         CYCLE_REPLAY_SPEEDUP_FLOOR))
+    if cycle.get("bit_identical") is False:
+        failures.append(("cluster/replay_bit_identical", 0.0, 1.0))
+    return failures
 
 
 def sweep_metrics(doc):
@@ -317,9 +352,11 @@ def main():
               f"bytes_conserved={prio.get('bytes_conserved', '?')} "
               f"(informational)")
     clus = load(os.path.join(args.curr, "BENCH_cluster.json"))
+    floor_failures = cluster_cycle_gate(clus)
     if clus is not None:
         deadline = clus.get("deadline", {})
         offset = clus.get("offset_search", {})
+        cycle = clus.get("cycle_replay", {})
         print(f"BENCH_cluster: per-job bytes conserved="
               f"{clus.get('conservation', {}).get('bytes_conserved_per_job', '?')}, "
               f"deadline hit rate "
@@ -327,6 +364,15 @@ def main():
               f"{deadline.get('tiered_hit_rate', '?')}, "
               f"offset-search gain {offset.get('gain', '?')}x "
               f"(informational)")
+        if cycle:
+            print(f"BENCH_cluster cycle replay: "
+                  f"{cycle.get('rounds_simulated', '?')} simulated + "
+                  f"{cycle.get('rounds_replayed', '?')} replayed of "
+                  f"{cycle.get('rounds', '?')} rounds (cycle "
+                  f"{cycle.get('cycle_length', '?')}), speedup "
+                  f"{cycle.get('speedup', '?')}x "
+                  f"(floor {CYCLE_REPLAY_SPEEDUP_FLOOR}x, gated), "
+                  f"bit_identical={cycle.get('bit_identical', '?')}")
     sweep = load(os.path.join(args.curr, "BENCH_sweep_service.json"))
     if sweep is not None:
         query = sweep.get("query", {})
@@ -360,11 +406,17 @@ def main():
                    args.run_label or default_run_label(),
                    current_metrics(args.curr))
 
+    if floor_failures:
+        print(f"\n{len(floor_failures)} metric(s) under their "
+              f"absolute floor:")
+        for key, value, floor in floor_failures:
+            print(f"  {key}: {value:.2f} < floor {floor:.2f}")
     if regressions:
         print(f"\n{len(regressions)} metric(s) regressed beyond "
               f"{args.max_regression:.0%}:")
         for key, p, c, delta in regressions:
             print(f"  {key}: {p:.1f} -> {c:.1f} ({delta:+.1%})")
+    if regressions or floor_failures:
         return 1
     print("\nbench trend gate: OK")
     return 0
