@@ -103,10 +103,23 @@
  *                           degrade@T+D:dim=K,factor=F
  *                           straggler@T:dim=K,factor=F
  *                           flap@T+D:dim=K
+ *                           link@T+D:dim=K,index=I
  *                           storm@T+D:dim=K,flaps=N,down=NS[,seed=S]
  *                         A per-dimension fault report (capacity
  *                         steps, flaps, down time, retries, re-sent
- *                         bytes) prints after the run
+ *                         bytes, fatal retry failures) prints after
+ *                         the run
+ *     --adapt             fault-aware adaptive re-planning: every
+ *                         capacity-changing fault event (degrade
+ *                         edge, straggler, per-link outage) makes
+ *                         newly issued collectives re-plan against
+ *                         the degraded per-dim bandwidths; in-flight
+ *                         collectives finish under their old plan.
+ *                         With no faults the results stay
+ *                         bit-identical to the static engine
+ *     --replan-threshold T  minimum relative per-dim capacity change
+ *                         that triggers a re-plan (hysteresis)
+ *                         [0.05]
  *     --tier-ratio W      cluster runs: weight ladder of the priority
  *                         policy (tiered(W); 1 separates classes at
  *                         unit weights) [4]
@@ -177,6 +190,7 @@ usage(const char* argv0)
                  "[--no-replay] [--cycle-limit K]\n"
                  "          [--tier-ratio W] [--offset-search] "
                  "[--faults SPEC]\n"
+                 "          [--adapt] [--replan-threshold T]\n"
                  "          [--shard I/N] [--results PATH] "
                  "[--max-cells N]\n"
                  "          [--merge OUT,IN1,IN2,...] [--serve]\n",
@@ -484,9 +498,23 @@ faultRows(const Topology& topo, const stats::UtilizationTracker& ut)
         row.down_time = ut.downTime()[i];
         row.retries = ut.retries()[i];
         row.lost_bytes = ut.retryLostBytes()[i];
+        row.fatal_retries = ut.fatalRetries()[i];
         rows.push_back(row);
     }
     return rows;
+}
+
+/**
+ * One-line adaptive re-planning summary after a faulted run; quiet
+ * unless --adapt was given.
+ */
+void
+printAdaptationSummary(const runtime::CommRuntime& comm)
+{
+    std::printf("adaptation: %llu re-plan(s), capacity epoch %#llx\n",
+                static_cast<unsigned long long>(comm.replanCount()),
+                static_cast<unsigned long long>(
+                    comm.capacityFingerprint()));
 }
 
 } // namespace
@@ -515,6 +543,8 @@ main(int argc, char** argv)
     bool no_replay = false;
     int cycle_limit = 0; // 0 = auto (job-mix hyper-period)
     std::string faults_arg;
+    bool adapt = false;
+    double replan_threshold = 0.05;
     std::string shard_arg;
     std::string results_path;
     std::string merge_arg;
@@ -587,6 +617,12 @@ main(int argc, char** argv)
             }
         } else if (flag == "--faults") {
             faults_arg = need_value();
+        } else if (flag == "--adapt") {
+            adapt = true;
+        } else if (flag == "--replan-threshold") {
+            replan_threshold = std::atof(need_value().c_str());
+            if (replan_threshold < 0.0)
+                usage(argv[0]);
         } else if (flag == "--shard") {
             shard_arg = need_value();
         } else if (flag == "--results") {
@@ -674,6 +710,8 @@ main(int argc, char** argv)
             faults_tl.validateForDims(topo.numDims());
             cfg.faults = &faults_tl;
         }
+        cfg.adaptation.enabled = adapt;
+        cfg.adaptation.replan_threshold = replan_threshold;
 
         // --cycle-limit tunes the period-k convergence replay engine;
         // the batch/service modes simulate every cell in full and
@@ -1177,6 +1215,8 @@ main(int argc, char** argv)
                             faultRows(topo,
                                       cl.runtime().utilization()))
                             .c_str());
+                if (adapt)
+                    printAdaptationSummary(cl.runtime());
                 return 0;
             }
 
@@ -1237,6 +1277,8 @@ main(int argc, char** argv)
                                 faultRows(topo,
                                           cl.runtime().utilization()))
                                 .c_str());
+            if (adapt)
+                printAdaptationSummary(cl.runtime());
             return 0;
         }
 
@@ -1325,6 +1367,8 @@ main(int argc, char** argv)
                             stats::renderFaultTable(
                                 faultRows(topo, comm.utilization()))
                                 .c_str());
+            if (adapt)
+                printAdaptationSummary(comm);
             return 0;
         }
 
@@ -1760,6 +1804,8 @@ main(int argc, char** argv)
                         stats::renderFaultTable(
                             faultRows(topo, comm.utilization()))
                             .c_str());
+        if (adapt)
+            printAdaptationSummary(comm);
 
         if (validate) {
             // Re-simulate with every NPU modelled individually; on a
@@ -1786,6 +1832,20 @@ main(int argc, char** argv)
                             rec.duration());
         }
         return 0;
+    } catch (const runtime::RetryExhaustedError& e) {
+        // A transfer ran out of retry budget: surface the structured
+        // report as a readable diagnostic and exit distinctly so
+        // scripts can tell "fabric gave up" from a config mistake.
+        const auto& r = e.report();
+        std::fprintf(stderr,
+                     "fatal: retry budget exhausted on dim%d "
+                     "(collective %d chunk %d stage %d, %d attempts, "
+                     "%s re-sent); raise retry max attempts or "
+                     "shorten the fault windows\n",
+                     r.dim + 1, r.op.collective_id, r.op.chunk_id,
+                     r.op.stage_index, r.attempts,
+                     fmtBytes(r.lost_bytes).c_str());
+        return 2;
     } catch (const ConfigError& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

@@ -68,6 +68,22 @@ LatencyModel::fromScope(const Topology& topo,
     return LatencyModel(std::move(dims));
 }
 
+LatencyModel
+LatencyModel::scaledBy(const std::vector<double>& factors) const
+{
+    THEMIS_ASSERT(factors.size() == dims_.size(),
+                  "scaledBy wants one factor per dimension, got "
+                      << factors.size() << " for " << dims_.size());
+    std::vector<DimensionConfig> dims = dims_;
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+        THEMIS_ASSERT(factors[d] > 0.0,
+                      "scaledBy factor " << factors[d] << " on dim "
+                                         << d << " must be positive");
+        dims[d].link_bw_gbps *= factors[d];
+    }
+    return LatencyModel(std::move(dims));
+}
+
 const DimensionConfig&
 LatencyModel::dim(int d) const
 {

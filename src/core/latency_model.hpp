@@ -56,6 +56,15 @@ class LatencyModel
     /** Peer-group sizes by local index. */
     const std::vector<int>& dimSizes() const { return sizes_; }
 
+    /**
+     * Copy of this model with each dimension's link bandwidth
+     * multiplied by @p factors[d] (one positive factor per local
+     * dimension). Fault adaptation plans against the degraded fabric
+     * by scaling the clean scope model; fingerprints are recomputed,
+     * so degraded predictions never alias clean cache entries.
+     */
+    LatencyModel scaledBy(const std::vector<double>& factors) const;
+
     /** Serialization-only time N*B of one op (paper lines 28-29). */
     TimeNs transferTime(Phase phase, Bytes entering, int d) const;
 

@@ -28,7 +28,8 @@ PlanKey
 PlanKey::make(SchedulerKind scheduler, const ThemisConfig& themis,
               CollectiveType type, Bytes size, int chunks,
               std::uint64_t model_fingerprint, int flow_tier,
-              std::uint64_t priority_fingerprint)
+              std::uint64_t priority_fingerprint,
+              std::uint64_t capacity_fingerprint)
 {
     PlanKey key;
     key.scheduler = scheduler;
@@ -54,6 +55,7 @@ PlanKey::make(SchedulerKind scheduler, const ThemisConfig& themis,
     key.size = size;
     key.chunks = chunks;
     key.model_fingerprint = model_fingerprint;
+    key.capacity_fingerprint = capacity_fingerprint;
     return key;
 }
 
@@ -65,7 +67,8 @@ PlanKey::operator==(const PlanKey& o) const
            bitEquals(size, o.size) && chunks == o.chunks &&
            model_fingerprint == o.model_fingerprint &&
            flow_tier == o.flow_tier &&
-           priority_fingerprint == o.priority_fingerprint;
+           priority_fingerprint == o.priority_fingerprint &&
+           capacity_fingerprint == o.capacity_fingerprint;
 }
 
 bool
@@ -102,6 +105,7 @@ planKeyHash(const PlanKey& k)
     h.mix(k.model_fingerprint);
     h.mix(static_cast<std::uint64_t>(k.flow_tier));
     h.mix(k.priority_fingerprint);
+    h.mix(k.capacity_fingerprint);
     return h.value();
 }
 

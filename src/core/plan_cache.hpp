@@ -83,13 +83,25 @@ struct PlanKey
     int flow_tier = 0;
     std::uint64_t priority_fingerprint = 0;
 
+    /**
+     * Capacity-epoch fingerprint of the runtime's fault-adaptation
+     * state (CommRuntime::capacityFingerprint()): 0 on a clean fabric,
+     * a hash of the per-dim planning factors once adaptation has
+     * re-planned against degraded bandwidth. Keeps degraded plans
+     * cached separately from clean ones even if a scaled model's
+     * fingerprint were to collide with another clean model sharing
+     * the cache.
+     */
+    std::uint64_t capacity_fingerprint = 0;
+
     /** Build a key, normalizing scheduler-ignored fields. */
     static PlanKey make(SchedulerKind scheduler,
                         const ThemisConfig& themis, CollectiveType type,
                         Bytes size, int chunks,
                         std::uint64_t model_fingerprint,
                         int flow_tier = 0,
-                        std::uint64_t priority_fingerprint = 0);
+                        std::uint64_t priority_fingerprint = 0,
+                        std::uint64_t capacity_fingerprint = 0);
 
     bool operator==(const PlanKey& o) const;
 };

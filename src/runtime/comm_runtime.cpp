@@ -1,6 +1,7 @@
 #include "runtime/comm_runtime.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "common/error.hpp"
@@ -80,12 +81,73 @@ CommRuntime::CommRuntime(sim::EventQueue& queue, Topology topo,
                 utilization_->recordRetry(
                     static_cast<std::size_t>(dim), lost);
             });
+            engine->setFatalRetryListener(
+                [this](const FatalRetryReport& report) {
+                    if (!has_fatal_retry_) {
+                        fatal_retry_ = report;
+                        has_fatal_retry_ = true;
+                    }
+                    utilization_->recordFatalRetry(
+                        static_cast<std::size_t>(report.dim));
+                });
             raw.push_back(engine.get());
         }
         fault_driver_ = std::make_unique<FaultDriver>(
             queue_ref_, *config_.faults, std::move(raw),
             utilization_.get());
+        if (config_.adaptation.enabled) {
+            if (!(config_.adaptation.replan_threshold >= 0.0))
+                THEMIS_FATAL("adaptation replan_threshold must be "
+                             ">= 0, got "
+                             << config_.adaptation.replan_threshold);
+            planned_factors_.assign(
+                static_cast<std::size_t>(topo_.numDims()), 1.0);
+            fault_driver_->setCapacityListener(
+                [this](int dim) { onCapacityChange(dim); });
+        }
     }
+}
+
+void
+CommRuntime::onCapacityChange(int dim)
+{
+    const double now =
+        fault_driver_->planningFactor(dim);
+    const double planned =
+        planned_factors_[static_cast<std::size_t>(dim)];
+    if (std::abs(now - planned) <=
+        config_.adaptation.replan_threshold * planned)
+        return;
+    replan();
+}
+
+void
+CommRuntime::replan()
+{
+    Fnv1a h;
+    h.mix(std::uint64_t{0x4341}); // "CA" — capacity epoch domain
+    bool clean = true;
+    for (std::size_t d = 0; d < planned_factors_.size(); ++d) {
+        planned_factors_[d] =
+            fault_driver_->planningFactor(static_cast<int>(d));
+        if (!bitEquals(planned_factors_[d], 1.0))
+            clean = false;
+        h.mix(planned_factors_[d]);
+    }
+    // A fully recovered fabric plans under fingerprint 0 again, so
+    // post-fault plans come from the same cache entries (and are
+    // bit-identical to) the pre-fault ones.
+    capacity_fingerprint_ = clean ? 0 : h.value();
+    // Retire every scope: schedulers and planners hold references to
+    // their scope's model, and in-flight sessions hold pointers into
+    // it too, so states move to the graveyard until the fabric is
+    // quiescent. The next issue() rebuilds against the new factors.
+    for (auto& [scope, state] : scopes_)
+        retired_scopes_.push_back(std::move(state));
+    scopes_.clear();
+    ++replan_count_;
+    logDebug("adaptation t=", queue_ref_.now(), " re-plan #",
+             replan_count_, " capacity epoch ", capacity_fingerprint_);
 }
 
 std::vector<ScopeDim>
@@ -127,6 +189,18 @@ CommRuntime::scopeState(const std::vector<ScopeDim>& scope)
     ScopeState state;
     state.model = std::make_unique<LatencyModel>(
         LatencyModel::fromScope(topo_, scope));
+    if (capacity_fingerprint_ != 0) {
+        // Degraded capacity epoch: plan against the fabric as it is.
+        // The clean path (fingerprint 0) never reaches here, so
+        // fault-free runs build bit-identical models.
+        std::vector<double> factors;
+        factors.reserve(scope.size());
+        for (const auto& s : scope)
+            factors.push_back(
+                planned_factors_[static_cast<std::size_t>(s.dim)]);
+        state.model = std::make_unique<LatencyModel>(
+            state.model->scaledBy(factors));
+    }
     state.scheduler =
         makeScheduler(config_.scheduler, *state.model, config_.themis);
     state.planner = std::make_unique<ConsistencyPlanner>(
@@ -209,15 +283,26 @@ int
 CommRuntime::issue(const CollectiveRequest& request, Callback on_done)
 {
     const std::vector<ScopeDim> scope = normalizeScope(request.scope);
+    THEMIS_ASSERT(request.job >= 0 && request.job < kMaxJobsPerRuntime,
+                  "job index " << request.job << " outside [0, "
+                               << kMaxJobsPerRuntime << ")");
+    if (outstanding_ == 0) {
+        // Fault events that came due while the fabric idled apply
+        // now, before planning and the window snapshot: the reopening
+        // collective must plan under (and the window must open under)
+        // the capacities the timeline prescribes for this instant.
+        // (Request validation runs above so a rejected issue leaves
+        // no window open.)
+        if (fault_driver_)
+            fault_driver_->onWindowStart(queue_ref_.now());
+        utilization_->windowStart(queue_ref_.now());
+    }
     ScopeState& state = scopeState(scope);
 
     const int chunks =
         request.chunks > 0 ? request.chunks : config_.default_chunks;
     const Bytes size = schedulableSize(request.type, request.size,
                                        state.model->dimSizes());
-    THEMIS_ASSERT(request.job >= 0 && request.job < kMaxJobsPerRuntime,
-                  "job index " << request.job << " outside [0, "
-                               << kMaxJobsPerRuntime << ")");
     FlowClass flow = config_.priority.flowFor(request.priority_tier);
     flow.job = request.job;
     if (request.job > max_job_seen_)
@@ -227,7 +312,8 @@ CommRuntime::issue(const CollectiveRequest& request, Callback on_done)
     const PlanKey key =
         PlanKey::make(config_.scheduler, config_.themis, request.type,
                       size, chunks, state.model->fingerprint(),
-                      flow.tier, config_.priority.fingerprint());
+                      flow.tier, config_.priority.fingerprint(),
+                      capacity_fingerprint_);
     CollectiveSession::SchedulePtr schedules =
         planFor(state, cache, key, request.type, size, chunks, flow);
 
@@ -277,14 +363,6 @@ CommRuntime::issue(const CollectiveRequest& request, Callback on_done)
         }
     }
 
-    if (outstanding_ == 0) {
-        // Fault events that came due while the fabric idled apply
-        // now, before the window snapshot, so the window opens under
-        // the capacities the timeline prescribes for this instant.
-        if (fault_driver_)
-            fault_driver_->onWindowStart(queue_ref_.now());
-        utilization_->windowStart(queue_ref_.now());
-    }
     ++outstanding_;
 
     auto on_session_done = [this](CollectiveSession& s) {
@@ -403,6 +481,12 @@ CommRuntime::finishIterationEpoch()
         epoch_hash_.mix(utilization_->retryLostBytes()[d]);
         epoch_hash_.mix(utilization_->downTime()[d]);
     }
+    // Adaptation state the next epoch plans under: a constant 0 on
+    // clean (or non-adaptive) runs, so it perturbs nothing; once a
+    // re-plan changes the capacity epoch, steady-state detection must
+    // see the hidden planning-factor state, not just the plan keys
+    // already issued.
+    epoch_hash_.mix(capacity_fingerprint_);
     s.fingerprint = epoch_hash_.value();
     for (auto& engine : engines_)
         engine->disarmFingerprint();
@@ -444,6 +528,9 @@ CommRuntime::onCollectiveDone(int id)
         // up on anything that comes due during the idle gap.
         if (fault_driver_)
             fault_driver_->onWindowEnd(queue_ref_.now());
+        // Quiescent: no session can still point into a scope state
+        // retired by a mid-flight re-plan, so the graveyard drains.
+        retired_scopes_.clear();
     }
     if (config_.enforce_consistent_order) {
         for (const auto& s : rec.scope) {
@@ -487,8 +574,15 @@ CommRuntime::shadowPlanOrders(CollectiveType type,
     std::vector<DimensionEngine*> engine_ptrs;
     std::vector<std::vector<OpKey>> orders(scope.size());
     for (std::size_t local = 0; local < scope.size(); ++local) {
+        DimensionConfig shadow_dim = topo_.dim(scope[local].dim);
+        if (capacity_fingerprint_ != 0) {
+            // The shadow must replay the degraded fabric the orders
+            // will run on, or its op interleaving would mispredict.
+            shadow_dim.link_bw_gbps *= planned_factors_[
+                static_cast<std::size_t>(scope[local].dim)];
+        }
         shadow_engines.push_back(std::make_unique<DimensionEngine>(
-            shadow_queue, topo_.dim(scope[local].dim),
+            shadow_queue, std::move(shadow_dim),
             scope[local].dim, config_.intra_policy, config_.admission,
             config_.legacy_engine_scan,
             config_.legacy_egalitarian_channel

@@ -52,6 +52,32 @@ enum class OrderPlanner
     FastSerial,
 };
 
+/**
+ * Fault-aware adaptive re-planning knobs. When enabled (and a
+ * FaultTimeline is armed), every capacity-changing event the
+ * FaultDriver applies — degrade window edge, permanent straggler,
+ * per-link outage edge — makes the runtime snapshot the per-dim
+ * planning factors, derive a capacity-epoch fingerprint, and rebuild
+ * its scope schedulers against the degraded bandwidths: newly issued
+ * collectives plan for the fabric as it actually is, while in-flight
+ * collectives finish under the plan they started with. Fault-free
+ * runs (empty timeline, or enabled with no events) are bit-identical
+ * to the non-adaptive engine.
+ */
+struct AdaptationConfig
+{
+    /** Master switch; off reproduces the static-plan engine. */
+    bool enabled = false;
+
+    /**
+     * Minimum relative change of a dimension's planning factor
+     * (|new - planned| / planned) before a re-plan fires. Filters
+     * capacity wiggle that would churn plans for no makespan gain;
+     * 0 re-plans on every capacity-changing event.
+     */
+    double replan_threshold = 0.05;
+};
+
 /** Full configuration of the communication runtime (Table 3 rows). */
 struct RuntimeConfig
 {
@@ -145,6 +171,9 @@ struct RuntimeConfig
 
     /** Retry/backoff tunables for flapped transfers. */
     RetryConfig retry{};
+
+    /** Fault-aware adaptive re-planning (needs `faults`). */
+    AdaptationConfig adaptation{};
 };
 
 /** Table 3 convenience constructors. */
@@ -339,6 +368,35 @@ class CommRuntime
         return fault_driver_.get();
     }
 
+    /**
+     * Times the adaptation layer re-planned (snapshotted degraded
+     * bandwidths and rebuilt the scope schedulers). 0 on fault-free
+     * or non-adaptive runs.
+     */
+    std::uint64_t replanCount() const { return replan_count_; }
+
+    /**
+     * Capacity-epoch fingerprint the adaptation layer currently plans
+     * under: 0 on a clean fabric (all planning factors 1.0), else a
+     * hash of the per-dim factors. Mixed into every PlanKey, so
+     * degraded plans cache separately from clean ones.
+     */
+    std::uint64_t capacityFingerprint() const
+    {
+        return capacity_fingerprint_;
+    }
+
+    /**
+     * Structured report of the first transfer that exhausted its
+     * retry budget, or nullptr if none has (the corresponding
+     * RetryExhaustedError is in flight when this is non-null —
+     * callers typically read it from the catch site).
+     */
+    const FatalRetryReport* fatalRetry() const
+    {
+        return has_fatal_retry_ ? &fatal_retry_ : nullptr;
+    }
+
     /** Per-dimension activity intervals (Fig 9). */
     stats::ActivityTimeline& activity() { return activity_; }
 
@@ -453,6 +511,13 @@ class CommRuntime
     normalizeScope(const std::vector<ScopeDim>& scope) const;
     void onCollectiveDone(int id);
 
+    /** FaultDriver capacity hook: re-plan when dim @p dim's planning
+     *  factor drifted past the threshold. */
+    void onCapacityChange(int dim);
+    /** Snapshot planning factors, refresh the capacity fingerprint,
+     *  and retire every scope so the next issue re-plans. */
+    void replan();
+
     /** The plan cache, or nullptr when this config cannot use one. */
     PlanCache* usableCache() const;
     /**
@@ -504,6 +569,23 @@ class CommRuntime
     stats::ActivityTimeline activity_;
     std::unique_ptr<stats::UtilizationTracker> utilization_;
     std::unique_ptr<FaultDriver> fault_driver_;
+
+    // Fault-adaptation state (see AdaptationConfig).
+    /** Per-dim factors the current plans were derived against. */
+    std::vector<double> planned_factors_;
+    std::uint64_t capacity_fingerprint_ = 0;
+    std::uint64_t replan_count_ = 0;
+    /**
+     * Scope graveyard: states retired by replan() while collectives
+     * were in flight. Sessions hold raw pointers into their scope's
+     * LatencyModel, so a retired state must outlive every collective
+     * issued under it; drained once the fabric is quiescent.
+     */
+    std::vector<ScopeState> retired_scopes_;
+
+    /** First retry-budget exhaustion, kept for post-mortem display. */
+    FatalRetryReport fatal_retry_{};
+    bool has_fatal_retry_ = false;
 
     // Iteration-epoch state.
     bool epoch_active_ = false;

@@ -1,6 +1,7 @@
 #include "runtime/dimension_engine.hpp"
 
 #include <limits>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
@@ -183,6 +184,9 @@ DimensionEngine::armFaults(const RetryConfig& retry)
     if (retry.max_attempts < 1)
         THEMIS_FATAL("retry max_attempts must be >= 1, got "
                      << retry.max_attempts);
+    if (retry.jitter < 0.0 || retry.jitter >= 1.0)
+        THEMIS_FATAL("retry jitter must be in [0, 1), got "
+                     << retry.jitter);
     faults_armed_ = true;
     retry_ = retry;
 }
@@ -191,6 +195,25 @@ void
 DimensionEngine::setRetryListener(RetryListener listener)
 {
     retry_listener_ = std::move(listener);
+}
+
+void
+DimensionEngine::setFatalRetryListener(FatalRetryListener listener)
+{
+    fatal_retry_listener_ = std::move(listener);
+}
+
+void
+DimensionEngine::failInFlight()
+{
+    THEMIS_ASSERT(faults_armed_,
+                  "failInFlight on an engine without armFaults()");
+    if (link_down_)
+        return; // full outage already failed (and holds) everything
+    channel_.failActive();
+    // Not a hold: ready ops may start immediately on the surviving
+    // links' capacity (the driver has already rescaled the channel).
+    tryStart();
 }
 
 void
@@ -654,14 +677,22 @@ DimensionEngine::failOp(std::uint64_t exec_id, Bytes lost)
              " B lost)");
     if (retry_listener_)
         retry_listener_(global_dim_, lost);
-    if (op.attempt > retry_.max_attempts)
-        THEMIS_FATAL("chunk " << op.tag.chunk_id << " stage "
-                              << op.tag.stage_index << " on dim "
-                              << global_dim_ << " exceeded "
-                              << retry_.max_attempts
-                              << " retry attempts; raise retry "
-                                 "max_attempts or shorten the flap "
-                                 "windows");
+    if (op.attempt > retry_.max_attempts) {
+        FatalRetryReport report;
+        report.dim = global_dim_;
+        report.op = op.tag;
+        report.attempts = op.attempt;
+        report.lost_bytes = lost_bytes_;
+        if (fatal_retry_listener_)
+            fatal_retry_listener_(report);
+        std::ostringstream oss;
+        oss << "chunk " << op.tag.chunk_id << " stage "
+            << op.tag.stage_index << " on dim " << global_dim_
+            << " exceeded " << retry_.max_attempts
+            << " retry attempts; raise retry max_attempts or shorten "
+               "the flap windows";
+        throw RetryExhaustedError(oss.str(), report);
+    }
     // Exponential backoff, capped: base * 2^(attempt-1). The loop
     // form avoids pow()/overflow and is exact in doubles.
     TimeNs delay = retry_.backoff_base_ns;
@@ -670,6 +701,22 @@ DimensionEngine::failOp(std::uint64_t exec_id, Bytes lost)
         delay *= 2.0;
     if (delay > retry_.backoff_cap_ns)
         delay = retry_.backoff_cap_ns;
+    if (retry_.jitter > 0.0) {
+        // Deterministic per-(op, attempt) spread so a flap's batch of
+        // simultaneous failures fans out instead of re-colliding on
+        // one backoff tick. Hash -> u in [0, 1) -> factor in
+        // [1 - jitter/2, 1 + jitter/2).
+        Fnv1a h;
+        h.mix(retry_.jitter_seed);
+        h.mix(static_cast<std::uint64_t>(global_dim_));
+        h.mix(static_cast<std::uint64_t>(op.tag.collective_id));
+        h.mix(static_cast<std::uint64_t>(op.tag.chunk_id));
+        h.mix(static_cast<std::uint64_t>(op.tag.stage_index));
+        h.mix(static_cast<std::uint64_t>(op.attempt));
+        const double u =
+            static_cast<double>(h.value() >> 11) * 0x1.0p-53;
+        delay *= 1.0 + retry_.jitter * (u - 0.5);
+    }
     queue_ref_.scheduleAfter(
         delay, [this, op = std::move(op)]() mutable {
             requeueRetry(std::move(op));

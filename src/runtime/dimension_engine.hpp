@@ -66,6 +66,7 @@
 #include <vector>
 
 #include "common/arena.hpp"
+#include "common/error.hpp"
 #include "common/hash.hpp"
 #include "core/consistency_planner.hpp"
 #include "core/intra_dim_policy.hpp"
@@ -123,14 +124,62 @@ struct AdmissionConfig
  * Retry/backoff tunables for flapped transfers (fault engine). A
  * failed chunk op re-enters the ready set after exponential backoff:
  * attempt k (1-based) waits min(backoff_base_ns * 2^(k-1),
- * backoff_cap_ns) before requeueing, and exceeding max_attempts is a
- * fatal ConfigError (the scenario out-flaps the retry budget).
+ * backoff_cap_ns) before requeueing — optionally spread by seeded
+ * deterministic jitter — and exceeding max_attempts throws
+ * RetryExhaustedError (the scenario out-flaps the retry budget).
  */
 struct RetryConfig
 {
     TimeNs backoff_base_ns = 1e4; ///< first-retry delay (10 us)
     TimeNs backoff_cap_ns = 1e6;  ///< backoff ceiling (1 ms)
     int max_attempts = 16;        ///< fatal beyond this many failures
+
+    /**
+     * Backoff jitter spread in [0, 1): each retry's delay is scaled
+     * by a deterministic factor in [1 - jitter/2, 1 + jitter/2) drawn
+     * by hashing (jitter_seed, dim, op identity, attempt). A link
+     * flap fails every in-flight transfer at one instant; without
+     * jitter they all back off to the same tick and re-collide
+     * (a synchronized retry storm). 0 disables jitter entirely and
+     * reproduces the unjittered timings bit for bit.
+     */
+    double jitter = 0.0;
+
+    /** Seed for the jitter hash; same seed -> same retry timings. */
+    std::uint64_t jitter_seed = 0x7e315c0dULL;
+};
+
+/**
+ * Structured diagnostic of a transfer that ran out of retry budget:
+ * which dimension and op gave up, after how many attempts, and the
+ * dimension's cumulative re-sent bytes at that point.
+ */
+struct FatalRetryReport
+{
+    int dim = -1;        ///< global dimension index
+    OpTag op{};          ///< the op that exhausted its budget
+    int attempts = 0;    ///< failed attempts (== max_attempts + 1)
+    Bytes lost_bytes = 0.0; ///< dim's cumulative re-sent bytes
+};
+
+/**
+ * Thrown when a transfer exceeds RetryConfig::max_attempts. Derives
+ * from ConfigError so existing catch sites keep working; carries the
+ * FatalRetryReport so the CLI can print a readable diagnostic and
+ * exit non-zero instead of surfacing a raw exception.
+ */
+class RetryExhaustedError : public ConfigError
+{
+  public:
+    RetryExhaustedError(const std::string& what, FatalRetryReport report)
+        : ConfigError(what), report_(report)
+    {
+    }
+
+    const FatalRetryReport& report() const { return report_; }
+
+  private:
+    FatalRetryReport report_;
 };
 
 /** Executes chunk ops on one network dimension; see file comment. */
@@ -149,6 +198,10 @@ class DimensionEngine
 
     /** Retry callback: (global dim, lost bytes) per failed attempt. */
     using RetryListener = std::function<void(int, Bytes)>;
+
+    /** Fired once, just before RetryExhaustedError is thrown. */
+    using FatalRetryListener =
+        std::function<void(const FatalRetryReport&)>;
 
     /**
      * @param queue       event queue driving the simulation
@@ -223,6 +276,9 @@ class DimensionEngine
     /** Observe failed attempts (per-dimension retry accounting). */
     void setRetryListener(RetryListener listener);
 
+    /** Observe retry-budget exhaustion (structured failure report). */
+    void setFatalRetryListener(FatalRetryListener listener);
+
     /**
      * Flap control (FaultDriver): @p down=true fails every transfer
      * in flight on the channel (each op backs off and retries) and
@@ -233,6 +289,16 @@ class DimensionEngine
 
     /** True while the link is flapped down. */
     bool linkDown() const { return link_down_; }
+
+    /**
+     * Partial-link failure (FaultDriver): fail every transfer in
+     * flight on the channel once (each backs off and retries) WITHOUT
+     * holding new starts — the dimension's surviving links keep
+     * serving at whatever capacity the driver set. Requires
+     * armFaults(). Used when some but not all links of the dim go
+     * down; a full outage uses setLinkDown(true) instead.
+     */
+    void failInFlight();
 
     /** Failed attempts so far (cumulative). */
     std::uint64_t retryCount() const { return retry_count_; }
@@ -444,6 +510,7 @@ class DimensionEngine
     bool faults_armed_ = false;
     RetryConfig retry_;
     RetryListener retry_listener_;
+    FatalRetryListener fatal_retry_listener_;
     bool link_down_ = false;
     std::uint64_t retry_count_ = 0;
     Bytes lost_bytes_ = 0.0;

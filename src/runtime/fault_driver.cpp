@@ -20,9 +20,57 @@ FaultDriver::FaultDriver(sim::EventQueue& queue,
     for (auto* e : engines_)
         THEMIS_ASSERT(e != nullptr, "null engine");
     timeline_.validateForDims(static_cast<int>(engines_.size()));
+    std::vector<int> links_per_dim;
+    links_per_dim.reserve(engines_.size());
     base_bw_.reserve(engines_.size());
-    for (const auto* e : engines_)
+    for (const auto* e : engines_) {
         base_bw_.push_back(e->channel().capacity());
+        links_per_dim.push_back(e->config().links_per_npu);
+    }
+    timeline_.validateLinks(links_per_dim);
+}
+
+void
+FaultDriver::setCapacityListener(CapacityListener listener)
+{
+    capacity_listener_ = std::move(listener);
+}
+
+double
+FaultDriver::linkShare(int dim) const
+{
+    const DimState& st = dims_[static_cast<std::size_t>(dim)];
+    if (st.links_down == 0)
+        return 1.0;
+    const int links =
+        engines_[static_cast<std::size_t>(dim)]->config().links_per_npu;
+    // A full outage holds the engine (syncLinkState); clamping to one
+    // surviving link keeps the channel capacity and the planning
+    // factor positive, and is irrelevant while nothing can start.
+    const int up = std::max(links - st.links_down, 1);
+    return static_cast<double>(up) / static_cast<double>(links);
+}
+
+double
+FaultDriver::planningFactor(int dim) const
+{
+    const DimState& st = dims_[static_cast<std::size_t>(dim)];
+    double f = st.straggler;
+    for (const auto& [pair, factor] : st.degrades)
+        f *= factor;
+    return f * linkShare(dim);
+}
+
+void
+FaultDriver::syncLinkState(int dim)
+{
+    const DimState& st = dims_[static_cast<std::size_t>(dim)];
+    DimensionEngine* engine = engines_[static_cast<std::size_t>(dim)];
+    const int links = engine->config().links_per_npu;
+    const bool want_down =
+        st.flap_depth > 0 || (links > 0 && st.links_down >= links);
+    if (want_down != engine->linkDown())
+        engine->setLinkDown(want_down);
 }
 
 void
@@ -33,6 +81,7 @@ FaultDriver::refreshCapacity(int dim)
     eff *= st.straggler;
     for (const auto& [pair, factor] : st.degrades)
         eff *= factor;
+    eff *= linkShare(dim);
     engines_[static_cast<std::size_t>(dim)]->channel().setCapacity(
         queue_.now(), eff);
     if (tracker_ != nullptr)
@@ -50,6 +99,8 @@ FaultDriver::apply(const sim::FaultEvent& e)
     case sim::FaultKind::DegradeStart:
         st.degrades.emplace_back(e.pair, e.factor);
         refreshCapacity(e.dim);
+        if (capacity_listener_)
+            capacity_listener_(e.dim);
         break;
     case sim::FaultKind::DegradeEnd: {
         const auto it = std::find_if(
@@ -59,15 +110,19 @@ FaultDriver::apply(const sim::FaultEvent& e)
                       "degrade-end without matching start");
         st.degrades.erase(it);
         refreshCapacity(e.dim);
+        if (capacity_listener_)
+            capacity_listener_(e.dim);
         break;
     }
     case sim::FaultKind::StragglerStart:
         st.straggler *= e.factor;
         refreshCapacity(e.dim);
+        if (capacity_listener_)
+            capacity_listener_(e.dim);
         break;
     case sim::FaultKind::FlapDown:
-        if (++st.flap_depth == 1)
-            engine->setLinkDown(true);
+        ++st.flap_depth;
+        syncLinkState(e.dim);
         break;
     case sim::FaultKind::FlapUp:
         THEMIS_ASSERT(st.flap_depth > 0,
@@ -78,9 +133,47 @@ FaultDriver::apply(const sim::FaultEvent& e)
         if (tracker_ != nullptr)
             tracker_->recordFlap(static_cast<std::size_t>(e.dim),
                                  e.factor);
-        if (--st.flap_depth == 0)
-            engine->setLinkDown(false);
+        --st.flap_depth;
+        syncLinkState(e.dim);
         break;
+    case sim::FaultKind::LinkDown: {
+        const int links = engine->config().links_per_npu;
+        if (st.link_depth.empty())
+            st.link_depth.assign(static_cast<std::size_t>(links), 0);
+        if (++st.link_depth[static_cast<std::size_t>(e.link)] == 1) {
+            ++st.links_down;
+            // Striped transfers lose a lane: everything in flight on
+            // the dim fails once and retries on the survivors' share
+            // (or holds, under a full outage).
+            const bool was_down = engine->linkDown();
+            syncLinkState(e.dim);
+            if (!was_down)
+                engine->failInFlight();
+            refreshCapacity(e.dim);
+            if (capacity_listener_)
+                capacity_listener_(e.dim);
+        }
+        break;
+    }
+    case sim::FaultKind::LinkUp: {
+        THEMIS_ASSERT(!st.link_depth.empty() &&
+                          st.link_depth[static_cast<std::size_t>(
+                              e.link)] > 0,
+                      "link-up without matching link-down");
+        // Per-link downtime rolls into the dim's flap counters: the
+        // nominal down window rides in the factor field, as FlapUp.
+        if (tracker_ != nullptr)
+            tracker_->recordFlap(static_cast<std::size_t>(e.dim),
+                                 e.factor);
+        if (--st.link_depth[static_cast<std::size_t>(e.link)] == 0) {
+            --st.links_down;
+            refreshCapacity(e.dim);
+            syncLinkState(e.dim);
+            if (capacity_listener_)
+                capacity_listener_(e.dim);
+        }
+        break;
+    }
     }
 }
 

@@ -34,6 +34,7 @@
 #define THEMIS_RUNTIME_FAULT_DRIVER_HPP
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/units.hpp"
@@ -52,6 +53,14 @@ class DimensionEngine;
 class FaultDriver
 {
   public:
+    /**
+     * Fired after an applied event changed dimension @p dim's
+     * effective capacity (degrade edge, straggler, per-link edge; not
+     * whole-dim flaps, which hold the engine rather than rescale it).
+     * The runtime's adaptation layer hooks this to re-plan.
+     */
+    using CapacityListener = std::function<void(int dim)>;
+
     /**
      * @param queue    the runtime's event queue
      * @param timeline schedule to apply (absolute times; must outlive
@@ -90,6 +99,20 @@ class FaultDriver
      */
     void skipReplayedEpoch(TimeNs d);
 
+    /** Observe capacity-changing events (fault adaptation hook). */
+    void setCapacityListener(CapacityListener listener);
+
+    /**
+     * The factor by which dim @p dim's *planning* bandwidth currently
+     * differs from clean: straggler x active degrades x the surviving
+     * links' share under per-link outages (clamped to at least one
+     * link — a full outage holds the engine instead of zeroing the
+     * model). 1.0 on a clean dimension. Matches the composition
+     * refreshCapacity applies to the live channel, so plans made
+     * against a model scaled by this factor track actual capacity.
+     */
+    double planningFactor(int dim) const;
+
     /** Absolute run time of the current epoch's t=0. */
     TimeNs base() const { return base_; }
 
@@ -114,6 +137,11 @@ class FaultDriver
     std::vector<DimensionEngine*> engines_;
     stats::UtilizationTracker* tracker_;
 
+    /** Sync the engine's hold state to flap depth + link outages. */
+    void syncLinkState(int dim);
+    /** Per-link capacity share of @p dim (1.0 without link faults). */
+    double linkShare(int dim) const;
+
     /** Per-dimension multiplier state. */
     struct DimState
     {
@@ -121,6 +149,10 @@ class FaultDriver
         /** Active degrade windows: (pair id, factor). */
         std::vector<std::pair<std::uint64_t, double>> degrades;
         int flap_depth = 0;
+        /** Overlap depth per link index (sized on first link event). */
+        std::vector<int> link_depth;
+        /** Links currently down (distinct indices with depth > 0). */
+        int links_down = 0;
     };
     std::vector<Bandwidth> base_bw_;
     std::vector<DimState> dims_;
@@ -129,6 +161,7 @@ class FaultDriver
     TimeNs base_ = 0.0;    ///< absolute time of queue time zero
     sim::EventQueue::EventId armed_ = 0;
     bool window_open_ = false;
+    CapacityListener capacity_listener_;
 };
 
 } // namespace themis::runtime

@@ -101,6 +101,8 @@ faultKindName(FaultKind kind)
     case FaultKind::StragglerStart: return "straggler";
     case FaultKind::FlapDown: return "flap-down";
     case FaultKind::FlapUp: return "flap-up";
+    case FaultKind::LinkDown: return "link-down";
+    case FaultKind::LinkUp: return "link-up";
     }
     return "?";
 }
@@ -161,6 +163,23 @@ FaultTimeline::addFlap(int dim, TimeNs start, TimeNs down)
     const std::uint64_t pair = next_pair_++;
     insert({start, dim, FaultKind::FlapDown, 1.0, pair});
     insert({start + down, dim, FaultKind::FlapUp, down, pair});
+}
+
+void
+FaultTimeline::addLinkFlap(int dim, int link, TimeNs start, TimeNs down)
+{
+    if (dim < 0)
+        THEMIS_FATAL("link: dim " << dim << " is negative");
+    if (link < 0)
+        THEMIS_FATAL("link: index " << link << " is negative");
+    if (!(start >= 0.0))
+        THEMIS_FATAL("link: start " << start << " is negative");
+    if (!(down > 0.0))
+        THEMIS_FATAL("link: down-window " << down
+                                          << " must be positive");
+    const std::uint64_t pair = next_pair_++;
+    insert({start, dim, FaultKind::LinkDown, 1.0, pair, link});
+    insert({start + down, dim, FaultKind::LinkUp, down, pair, link});
 }
 
 void
@@ -226,6 +245,7 @@ FaultTimeline::parse(const std::string& spec)
             fieldError(ctx, "time", "must be >= 0");
 
         int dim = -1;
+        int index = -1;
         double factor = -1.0;
         int flaps = -1;
         TimeNs down = -1.0;
@@ -234,6 +254,10 @@ FaultTimeline::parse(const std::string& spec)
         for (const auto& [key, value] : parseParams(ctx, params)) {
             if (key == "dim") {
                 dim = parseIntField(ctx, key, value);
+            } else if (key == "index") {
+                index = parseIntField(ctx, key, value);
+                if (index < 0)
+                    fieldError(ctx, key, "must be >= 0");
             } else if (key == "factor") {
                 factor = parseNumberField(ctx, key, value);
             } else if (key == "flaps") {
@@ -270,6 +294,10 @@ FaultTimeline::parse(const std::string& spec)
                 fieldError(ctx, "duration", "must be positive");
         };
 
+        if (index >= 0 && ctx.kind != "link")
+            fieldError(ctx, "index",
+                       "only link events take a link index");
+
         if (ctx.kind == "degrade") {
             requireDuration("degrade window");
             requireFactor();
@@ -289,6 +317,14 @@ FaultTimeline::parse(const std::string& spec)
             if (factor >= 0.0)
                 fieldError(ctx, "factor", "flap takes no factor");
             tl.addFlap(dim, start, duration);
+        } else if (ctx.kind == "link") {
+            requireDuration("down window");
+            if (factor >= 0.0)
+                fieldError(ctx, "factor", "link takes no factor");
+            if (index < 0)
+                fieldError(ctx, "index",
+                           "required (link index within the dim)");
+            tl.addLinkFlap(dim, index, start, duration);
         } else if (ctx.kind == "storm") {
             requireDuration("storm window");
             if (flaps < 0)
@@ -303,7 +339,7 @@ FaultTimeline::parse(const std::string& spec)
         } else {
             THEMIS_FATAL("--faults event "
                          << ordinal << ": unknown kind '" << ctx.kind
-                         << "' (degrade|straggler|flap|storm)");
+                         << "' (degrade|straggler|flap|link|storm)");
         }
     }
     if (tl.empty())
@@ -330,6 +366,23 @@ FaultTimeline::validateForDims(int num_dims) const
                          << ") targets dim " << e.dim
                          << " but the topology has only " << num_dims
                          << " dimensions");
+}
+
+void
+FaultTimeline::validateLinks(const std::vector<int>& links_per_dim) const
+{
+    for (const FaultEvent& e : events_) {
+        if (e.link < 0)
+            continue;
+        const auto d = static_cast<std::size_t>(e.dim);
+        const int links = d < links_per_dim.size() ? links_per_dim[d] : 0;
+        if (e.link >= links)
+            THEMIS_FATAL("--faults: event at t="
+                         << e.at << " (" << faultKindName(e.kind)
+                         << ") targets link " << e.link << " but dim "
+                         << e.dim << " has only " << links
+                         << " link(s) per NPU");
+    }
 }
 
 TimeNs

@@ -48,6 +48,11 @@ enum class FaultKind : std::uint8_t {
     FlapDown,       ///< link down; in-flight transfers fail
     FlapUp,         ///< link back up; `factor` holds the nominal
                     ///< down-window in ns (for downtime accounting)
+    LinkDown,       ///< one link (`link`) of the dim down; in-flight
+                    ///< transfers fail, the dim keeps the surviving
+                    ///< links' share of its aggregate bandwidth
+    LinkUp,         ///< the link is back; `factor` holds the nominal
+                    ///< down-window in ns (for downtime accounting)
 };
 
 /** Reporting name for a fault boundary kind. */
@@ -58,10 +63,14 @@ struct FaultEvent {
     TimeNs at = 0.0;  ///< absolute simulated time (ns)
     int dim = 0;      ///< global dimension index
     FaultKind kind = FaultKind::DegradeStart;
-    /** Capacity factor (degrade/straggler) or down-window ns (FlapUp). */
+    /** Capacity factor (degrade/straggler) or down-window ns
+     *  (FlapUp/LinkUp). */
     double factor = 1.0;
     /** Links a start event to its end event (degrade/flap pairs). */
     std::uint64_t pair = 0;
+    /** Failing link index within the dim (LinkDown/LinkUp); -1 for
+     *  whole-dimension events. */
+    int link = -1;
 };
 
 /**
@@ -79,6 +88,9 @@ class FaultTimeline
      *   degrade@T+D:dim=K,factor=F     capacity x F during [T, T+D)
      *   straggler@T:dim=K,factor=F     capacity x F from T onward
      *   flap@T+D:dim=K                 link K down during [T, T+D)
+     *   link@T+D:dim=K,index=I         only link I of dim K down
+     *                                  during [T, T+D); the dim keeps
+     *                                  the surviving links' bandwidth
      *   storm@T+W:dim=K,flaps=N,down=D[,seed=S]
      *                                  N seeded-random flaps of D ns
      *                                  starting within [T, T+W)
@@ -96,6 +108,14 @@ class FaultTimeline
 
     /** Link @p dim down during [start, start+down); transfers fail. */
     void addFlap(int dim, TimeNs start, TimeNs down);
+
+    /**
+     * Only link @p link of @p dim down during [start, start+down).
+     * In-flight transfers on the dim fail once, then the dim runs at
+     * the surviving links' share of its aggregate bandwidth until the
+     * link returns (full hold only when every link is down).
+     */
+    void addLinkFlap(int dim, int link, TimeNs start, TimeNs down);
 
     /**
      * @p flaps seeded-random flaps of @p down ns each, with start times
@@ -119,6 +139,13 @@ class FaultTimeline
 
     /** Fatal ConfigError when any event targets dim >= @p num_dims. */
     void validateForDims(int num_dims) const;
+
+    /**
+     * Fatal ConfigError when a per-link event targets a link index
+     * >= its dimension's entry in @p links_per_dim (one entry per
+     * global dim). Whole-dimension events are ignored.
+     */
+    void validateLinks(const std::vector<int>& links_per_dim) const;
 
     /** Time of the first event with at >= @p t, or +inf when none. */
     TimeNs nextEventAtOrAfter(TimeNs t) const;

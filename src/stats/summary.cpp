@@ -116,13 +116,15 @@ std::string
 renderFaultTable(const std::vector<FaultDimRow>& rows)
 {
     TextTable t({"Dim", "Capacity steps", "Flaps", "Down time",
-                 "Retries", "Lost bytes"});
+                 "Retries", "Lost bytes", "Fatal"});
     for (const auto& r : rows) {
         t.addRow({r.name, std::to_string(r.capacity_events),
                   std::to_string(r.flaps),
                   r.flaps > 0 ? fmtTime(r.down_time) : "-",
                   std::to_string(r.retries),
-                  r.retries > 0 ? fmtBytes(r.lost_bytes) : "-"});
+                  r.retries > 0 ? fmtBytes(r.lost_bytes) : "-",
+                  r.fatal_retries > 0 ? std::to_string(r.fatal_retries)
+                                      : "-"});
     }
     return t.render();
 }

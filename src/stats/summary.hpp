@@ -166,6 +166,9 @@ struct FaultDimRow
 
     /** Wire bytes moved by failed attempts and re-sent. */
     Bytes lost_bytes = 0.0;
+
+    /** Transfers that ran out of retry budget (fatal failures). */
+    std::uint64_t fatal_retries = 0;
 };
 
 /** Render per-dimension fault/retry rows as a standard table. */

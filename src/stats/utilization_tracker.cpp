@@ -13,7 +13,8 @@ UtilizationTracker::UtilizationTracker(
       bytes_(channels_.size(), 0.0), retries_(channels_.size(), 0),
       retry_lost_bytes_(channels_.size(), 0.0),
       flaps_(channels_.size(), 0), down_time_(channels_.size(), 0.0),
-      capacity_events_(channels_.size(), 0)
+      capacity_events_(channels_.size(), 0),
+      fatal_retries_(channels_.size(), 0)
 {
     THEMIS_ASSERT(!channels_.empty(), "no channels to track");
     THEMIS_ASSERT(channels_.size() == bandwidths_.size(),
@@ -82,6 +83,14 @@ UtilizationTracker::recordCapacityEvent(std::size_t dim)
     THEMIS_ASSERT(dim < capacity_events_.size(),
                   "capacity event on unknown dim");
     ++capacity_events_[dim];
+}
+
+void
+UtilizationTracker::recordFatalRetry(std::size_t dim)
+{
+    THEMIS_ASSERT(dim < fatal_retries_.size(),
+                  "fatal retry on unknown dim");
+    ++fatal_retries_[dim];
 }
 
 void

@@ -126,6 +126,9 @@ class UtilizationTracker
     /** Record one capacity step (degrade/straggler edge) on @p dim. */
     void recordCapacityEvent(std::size_t dim);
 
+    /** Record one retry-budget exhaustion on @p dim (fatal). */
+    void recordFatalRetry(std::size_t dim);
+
     /** Failed attempts per dimension (since last epochReset). */
     const std::vector<std::uint64_t>& retries() const
     {
@@ -148,6 +151,12 @@ class UtilizationTracker
     const std::vector<std::uint64_t>& capacityEvents() const
     {
         return capacity_events_;
+    }
+
+    /** Retry-budget exhaustions per dimension. */
+    const std::vector<std::uint64_t>& fatalRetries() const
+    {
+        return fatal_retries_;
     }
 
   private:
@@ -176,6 +185,7 @@ class UtilizationTracker
     std::vector<std::uint64_t> flaps_;
     std::vector<TimeNs> down_time_;
     std::vector<std::uint64_t> capacity_events_;
+    std::vector<std::uint64_t> fatal_retries_;
 };
 
 } // namespace themis::stats

@@ -307,6 +307,110 @@ TEST_P(FaultFuzz, RandomFaultTimelinesConserveBytesAndDrain)
     }
 }
 
+class AdaptationFuzz : public ::testing::TestWithParam<int>
+{};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdaptationFuzz,
+                         ::testing::Range(500, 512));
+
+TEST_P(AdaptationFuzz, LinkFaultsWithAdaptationConserveAndRepeat)
+{
+    // Random topology + collective + fault timelines that mix
+    // per-link outages with capacity events, with adaptive
+    // re-planning armed on even seeds and off on odd ones.
+    // Invariants: the run drains, the result is reproducible, and
+    // wire bytes equal the (clean-planned) schedule volume plus
+    // re-sent bytes. Events start at >= 1e3 ns so the collective
+    // plans against the clean model at t=0 — which pins the
+    // scheduled volume whether or not adaptation later re-plans
+    // (re-plans only affect collectives issued afterwards).
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    const Topology topo = randomTopology(rng);
+    const CollectiveRequest req = randomRequest(rng);
+
+    sim::FaultTimeline faults;
+    const int events = static_cast<int>(rng.uniformInt(1, 5));
+    for (int e = 0; e < events; ++e) {
+        const int dim =
+            static_cast<int>(rng.uniformInt(0, topo.numDims() - 1));
+        const TimeNs at = rng.uniformReal(1.0e3, 5.0e6);
+        switch (rng.uniformInt(0, 2)) {
+          case 0: {
+            const int link = static_cast<int>(rng.uniformInt(
+                0, topo.dim(dim).links_per_npu - 1));
+            faults.addLinkFlap(dim, link, at,
+                               rng.uniformReal(1.0e3, 5.0e5));
+            break;
+          }
+          case 1:
+            faults.addDegrade(dim, at, rng.uniformReal(1.0e4, 2.0e6),
+                              rng.uniformReal(0.05, 0.95));
+            break;
+          default:
+            faults.addStraggler(dim, at, rng.uniformReal(0.3, 0.9));
+            break;
+        }
+    }
+
+    auto cfg = runtime::themisScfConfig();
+    cfg.faults = &faults;
+    cfg.retry.max_attempts = 100;
+    cfg.adaptation.enabled = GetParam() % 2 == 0;
+
+    auto run = [&]() {
+        sim::EventQueue queue;
+        runtime::CommRuntime comm(queue, topo, cfg);
+        const int id = comm.issue(req);
+        queue.run();
+        comm.finalizeStats();
+        EXPECT_TRUE(comm.record(id).done())
+            << topo.describe() << "\n" << faults.describe();
+        EXPECT_TRUE(queue.empty());
+        std::vector<Bytes> wire, lost;
+        for (int d = 0; d < topo.numDims(); ++d) {
+            auto& ch = comm.engine(d).channel();
+            ch.sync();
+            wire.push_back(ch.progressedBytes());
+            lost.push_back(comm.engine(d).lostBytes());
+        }
+        return std::make_pair(wire, lost);
+    };
+    const auto [wire, lost] = run();
+    const auto [wire2, lost2] = run();
+    for (int d = 0; d < topo.numDims(); ++d) {
+        const auto i = static_cast<std::size_t>(d);
+        EXPECT_DOUBLE_EQ(wire[i], wire2[i]) << "dim " << d;
+        EXPECT_DOUBLE_EQ(lost[i], lost2[i]) << "dim " << d;
+    }
+
+    // Conservation against the clean plan (a post-event re-plan
+    // would change comm.modelForScope, so rebuild the reference
+    // from the topology directly).
+    const auto model = LatencyModel::fromTopology(topo);
+    ThemisScheduler reference(model);
+    const auto schedules = reference.scheduleCollective(
+        req.type,
+        schedulableSize(req.type, req.size, model.dimSizes()),
+        req.chunks);
+    std::vector<Bytes> expected(
+        static_cast<std::size_t>(topo.numDims()), 0.0);
+    for (const auto& sched : schedules) {
+        const auto loads = model.stageLoads(sched.size, sched.stages);
+        for (int d = 0; d < topo.numDims(); ++d) {
+            expected[static_cast<std::size_t>(d)] +=
+                loads[static_cast<std::size_t>(d)] *
+                topo.dim(d).bandwidth();
+        }
+    }
+    for (int d = 0; d < topo.numDims(); ++d) {
+        const auto i = static_cast<std::size_t>(d);
+        const Bytes want = expected[i] + lost[i];
+        EXPECT_NEAR(wire[i], want, 1.0 + 1e-6 * want)
+            << "dim " << d << " on " << topo.describe() << "\n"
+            << faults.describe();
+    }
+}
+
 class ClusterMixFuzz : public ::testing::TestWithParam<int>
 {};
 

@@ -39,6 +39,10 @@ Tracked metrics (higher is better):
                       grid; conservation and bit-identical replay
                       invariants are asserted in-binary and reported
                       here informationally
+  BENCH_adaptation.json -> events_per_sec of the adaptive re-planning
+                      scenario grid; the adaptive-vs-static win and
+                      fault-free bit-identity are asserted in-binary
+                      against their floors and historized here
 
 Beyond the previous-run diff, the script maintains a per-PR history
 table: bench_results/history.csv (long format: run,metric,value). The
@@ -189,6 +193,20 @@ def fault_metrics(doc):
     return {k: v for k, v in out.items() if isinstance(v, (int, float))}
 
 
+def adaptation_metrics(doc):
+    """{label: events_per_sec} of the adaptive scenario grid. The
+    adaptive-vs-static win is a ratio of simulated makespans asserted
+    against its floor in-binary; historized, not gated."""
+    out = {"adaptation/events_per_sec": doc.get("events_per_sec")}
+    return {k: v for k, v in out.items() if isinstance(v, (int, float))}
+
+
+def adaptation_info_metrics(doc):
+    """History-only adaptation metrics (see adaptation_metrics)."""
+    out = {"adaptation/win": doc.get("win")}
+    return {k: v for k, v in out.items() if isinstance(v, (int, float))}
+
+
 def sweep_info_metrics(doc):
     """History-only sweep-service metrics: both are ratios of small
     wall clocks (shard scaling, warm-query speedup) whose floors the
@@ -209,6 +227,7 @@ TRACKED = (
     ("BENCH_cluster.json", cluster_metrics),
     ("BENCH_sweep_service.json", sweep_metrics),
     ("BENCH_fault.json", fault_metrics),
+    ("BENCH_adaptation.json", adaptation_metrics),
 )
 
 # Historized but never gated (too noisy or purely informational).
@@ -216,6 +235,7 @@ TRACKED_INFO = (
     ("BENCH_convergence.json", convergence_info_metrics),
     ("BENCH_cluster.json", cluster_info_metrics),
     ("BENCH_sweep_service.json", sweep_info_metrics),
+    ("BENCH_adaptation.json", adaptation_info_metrics),
 )
 
 
@@ -392,6 +412,16 @@ def main():
               f"{fault.get('replay_bit_identical', '?')}, "
               f"faultfree_bit_identical="
               f"{fault.get('faultfree_bit_identical', '?')} "
+              f"(asserted in-binary)")
+    adapt = load(os.path.join(args.curr, "BENCH_adaptation.json"))
+    if adapt is not None:
+        print(f"BENCH_adaptation: adaptive win "
+              f"{adapt.get('win', '?')}x over the stale static plan "
+              f"(floor {adapt.get('adaptive_win_floor', '?')}x), "
+              f"faultfree_bit_identical="
+              f"{adapt.get('faultfree_bit_identical', '?')}, "
+              f"bytes_conserved="
+              f"{adapt.get('bytes_conserved', '?')} "
               f"(asserted in-binary)")
     conv = load(os.path.join(args.curr, "BENCH_convergence.json"))
     if conv is not None:
