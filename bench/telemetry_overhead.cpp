@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Telemetry overhead benchmark: the observability layer must be close
+ * to free when armed and exactly free semantically.
+ *
+ * Three convergence-run cells (replayed training, fully simulated
+ * training, and a faulted adaptive run — the cell where every
+ * publisher fires: fault edges, retries, re-plans, epoch closes,
+ * trace spans). Each cell runs twice per repeat: telemetry off
+ * (null sink) and telemetry on (metrics registry + flight recorder +
+ * TraceWriter). The binary asserts, per cell:
+ *
+ *  1. Bit-identity: the instrumented run's results — including the
+ *     steady-state fingerprint — equal the bare run's exactly.
+ *     Telemetry is a pure observer; any divergence is a bug.
+ *  2. Throughput: aggregate simulated-ops/sec with telemetry on stays
+ *     within kOverheadFloor (>= 0.90x, i.e. <= 10% overhead) of the
+ *     bare runs, using best-of-kRepeats walls to shed scheduler noise.
+ *
+ * Writes bench_results/BENCH_telemetry.json; tools/bench_trend.py
+ * historizes the overhead ratio.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "models/model_zoo.hpp"
+#include "sim/fault_timeline.hpp"
+#include "stats/telemetry/telemetry.hpp"
+#include "stats/trace_writer.hpp"
+#include "topology/presets.hpp"
+#include "workload/convergence.hpp"
+#include "workload/training_loop.hpp"
+
+using namespace themis;
+
+namespace {
+
+constexpr double kOverheadFloor = 0.90; // ops/sec on >= 0.90x off
+constexpr int kRepeats = 5;
+
+struct Cell
+{
+    std::string name;
+    int iterations = 8;
+    bool replay = true;
+    const sim::FaultTimeline* faults = nullptr;
+    bool adapt = false;
+};
+
+struct CellRun
+{
+    workload::ConvergenceReport report;
+    double wall_ns = 0.0;
+    std::size_t trace_events = 0;
+    std::size_t metrics = 0;
+};
+
+CellRun
+runCell(const Topology& topo, const Cell& cell, bool instrumented)
+{
+    stats::telemetry::Telemetry telem;
+    stats::TraceWriter trace;
+    telem.trace = &trace;
+
+    sim::EventQueue queue;
+    runtime::RuntimeConfig cfg = runtime::themisScfConfig();
+    cfg.faults = cell.faults;
+    cfg.adaptation.enabled = cell.adapt;
+    if (instrumented)
+        cfg.telemetry = &telem;
+    runtime::CommRuntime comm(queue, topo, cfg);
+    workload::TrainingLoop loop(comm, models::byName("DLRM"));
+    workload::ConvergenceOptions opts;
+    opts.iterations = cell.iterations;
+    opts.replay = cell.replay;
+
+    CellRun r;
+    const double t0 = bench::nowNs();
+    r.report = workload::runConverged(comm, loop, opts);
+    r.wall_ns = bench::nowNs() - t0;
+    comm.publishTelemetry();
+    r.trace_events = trace.eventCount();
+    r.metrics = telem.metrics.size();
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Telemetry overhead (armed vs bare runs)",
+        "observability extension: metrics registry, flight recorder "
+        "and trace writer must observe without perturbing — "
+        "bit-identical results at <= 10% throughput cost");
+
+    const Topology topo = presets::byName("2D-SW_SW");
+
+    sim::FaultTimeline faults;
+    faults.addStraggler(0, 1.0e5, 0.5);
+    faults.addFlap(1, 2.0e5, 2.0e4);
+
+    std::vector<Cell> cells;
+    cells.push_back({"replay", 12, true, nullptr, false});
+    cells.push_back({"full-sim", 6, false, nullptr, false});
+    cells.push_back({"faults-adapt", 8, true, &faults, true});
+
+    double off_ops_total = 0.0, off_wall_total = 0.0;
+    double on_ops_total = 0.0, on_wall_total = 0.0;
+    bool all_identical = true;
+    std::string cells_json;
+
+    for (const auto& cell : cells) {
+        double off_wall = 0.0, on_wall = 0.0;
+        CellRun off, on;
+        // Best-of-N walls: the work is deterministic, the host is not.
+        for (int r = 0; r < kRepeats; ++r) {
+            off = runCell(topo, cell, false);
+            on = runCell(topo, cell, true);
+            off_wall = r == 0 ? off.wall_ns
+                              : std::min(off_wall, off.wall_ns);
+            on_wall =
+                r == 0 ? on.wall_ns : std::min(on_wall, on.wall_ns);
+        }
+
+        const bool identical =
+            workload::resultsBitIdentical(off.report, on.report) &&
+            off.report.steady_fingerprint ==
+                on.report.steady_fingerprint;
+        all_identical = all_identical && identical;
+        THEMIS_ASSERT(identical,
+                      "telemetry perturbed cell '" << cell.name
+                                                   << "'");
+        THEMIS_ASSERT(on.metrics > 0 && on.trace_events > 0,
+                      "instrumented cell '"
+                          << cell.name
+                          << "' published nothing — dead telemetry "
+                             "wiring, the comparison is vacuous");
+
+        const double ops = static_cast<double>(off.report.ops);
+        off_ops_total += ops;
+        off_wall_total += off_wall;
+        on_ops_total += ops;
+        on_wall_total += on_wall;
+
+        const double ratio = off_wall / on_wall;
+        std::printf("  %-13s %6.2f ms bare  %6.2f ms armed  "
+                    "(%.2fx, %zu instrument(s), %zu trace event(s), "
+                    "fingerprint %016llx)\n",
+                    cell.name.c_str(), off_wall / 1e6, on_wall / 1e6,
+                    ratio, on.metrics, on.trace_events,
+                    static_cast<unsigned long long>(
+                        on.report.steady_fingerprint));
+
+        char buf[256];
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s    {\"cell\": \"%s\", \"bare_wall_ns\": %.0f, "
+            "\"armed_wall_ns\": %.0f, \"bit_identical\": %s}",
+            cells_json.empty() ? "" : ",\n", cell.name.c_str(),
+            off_wall, on_wall, identical ? "true" : "false");
+        cells_json += buf;
+    }
+
+    const double off_rate = off_ops_total / (off_wall_total * 1e-9);
+    const double on_rate = on_ops_total / (on_wall_total * 1e-9);
+    const double overhead_ratio = on_rate / off_rate;
+    THEMIS_ASSERT(overhead_ratio >= kOverheadFloor,
+                  "telemetry costs too much: armed runs at "
+                      << overhead_ratio << "x of bare throughput "
+                      << "(floor " << kOverheadFloor << "x)");
+    std::printf("\naggregate: %.0f ops/sec bare, %.0f ops/sec armed "
+                "-> %.3fx (floor %.2fx, asserted); all cells "
+                "bit-identical\n",
+                off_rate, on_rate, overhead_ratio, kOverheadFloor);
+
+    // ---- JSON ------------------------------------------------------
+    char buf[384];
+    std::string json = "{\n  \"bench\": \"telemetry_overhead\",\n";
+    std::snprintf(buf, sizeof(buf),
+                  "  \"bit_identical\": %s,\n"
+                  "  \"events_per_sec_bare\": %.0f,\n"
+                  "  \"events_per_sec_armed\": %.0f,\n"
+                  "  \"overhead_ratio\": %.4f,\n"
+                  "  \"overhead_floor\": %.2f,\n"
+                  "  \"cells\": [\n",
+                  all_identical ? "true" : "false", off_rate, on_rate,
+                  overhead_ratio, kOverheadFloor);
+    json += buf;
+    json += cells_json;
+    json += "\n  ]\n}\n";
+
+    const std::string path = bench::resultPath("BENCH_telemetry.json");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    THEMIS_ASSERT(f != nullptr, "cannot write " << path);
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
+}

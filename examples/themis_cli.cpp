@@ -141,6 +141,7 @@
  *              --faults "degrade@2e5+4e5:dim=0,factor=0.5;flap@1e6+5e4:dim=1"
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -166,6 +167,9 @@
 #include "sim/result_store.hpp"
 #include "sim/sweep_runner.hpp"
 #include "stats/summary.hpp"
+#include "stats/telemetry/json_writer.hpp"
+#include "stats/telemetry/run_report.hpp"
+#include "stats/telemetry/telemetry.hpp"
 #include "stats/trace_writer.hpp"
 #include "topology/parse.hpp"
 #include "topology/presets.hpp"
@@ -193,7 +197,8 @@ usage(const char* argv0)
                  "          [--adapt] [--replan-threshold T]\n"
                  "          [--shard I/N] [--results PATH] "
                  "[--max-cells N]\n"
-                 "          [--merge OUT,IN1,IN2,...] [--serve]\n",
+                 "          [--merge OUT,IN1,IN2,...] [--serve]\n"
+                 "          [--report PATH] [--trace PATH]\n",
                  argv0);
     std::exit(2);
 }
@@ -499,9 +504,139 @@ faultRows(const Topology& topo, const stats::UtilizationTracker& ut)
         row.retries = ut.retries()[i];
         row.lost_bytes = ut.retryLostBytes()[i];
         row.fatal_retries = ut.fatalRetries()[i];
+        const auto& backoff = ut.retryBackoff(i);
+        if (backoff.count() > 0) {
+            row.backoff_p99 = backoff.percentile(0.99);
+            row.backoff_max = backoff.max();
+        }
         rows.push_back(row);
     }
     return rows;
+}
+
+/** JSON array of per-job stats for the RunReport "jobs" section. */
+std::string
+jobsJson(const std::vector<cluster::JobStats>& jobs)
+{
+    stats::telemetry::JsonWriter w;
+    w.beginArray();
+    for (const auto& j : jobs) {
+        w.beginObject();
+        w.key("job").value(j.job);
+        w.key("name").value(j.name);
+        w.key("kind").value(cluster::jobKindName(j.kind));
+        w.key("arrival_ns").value(j.arrival);
+        w.key("finished_ns").value(j.finished);
+        w.key("iterations").value(j.iterations);
+        w.key("mean_iteration_ns").value(j.mean_iteration);
+        w.key("exposed_share").value(j.exposed_share);
+        w.key("requests_issued").value(j.requests_issued);
+        w.key("requests_completed").value(j.requests_completed);
+        w.key("mean_latency_ns").value(j.mean_latency);
+        w.key("deadline_hits").value(j.deadline_hits);
+        w.key("deadline_misses").value(j.deadline_misses);
+        w.key("deadline_hit_rate").value(j.deadline_hit_rate);
+        w.key("unit_p99_ns").value(j.unit_p99);
+        w.key("unit_max_ns").value(j.unit_max);
+        w.key("progressed_bytes").value(j.progressed);
+        w.key("utilization").value(j.utilization);
+        w.endObject();
+    }
+    w.endArray();
+    return w.str();
+}
+
+/** JSON array of fault rows for the RunReport "fault" section. */
+std::string
+faultJson(const std::vector<stats::FaultDimRow>& rows)
+{
+    stats::telemetry::JsonWriter w;
+    w.beginArray();
+    for (const auto& r : rows) {
+        w.beginObject();
+        w.key("dim").value(r.name);
+        w.key("capacity_events")
+            .value(static_cast<std::uint64_t>(r.capacity_events));
+        w.key("flaps").value(static_cast<std::uint64_t>(r.flaps));
+        w.key("down_time_ns").value(r.down_time);
+        w.key("retries").value(static_cast<std::uint64_t>(r.retries));
+        w.key("backoff_p99_ns").value(r.backoff_p99);
+        w.key("backoff_max_ns").value(r.backoff_max);
+        w.key("lost_bytes").value(r.lost_bytes);
+        w.key("fatal_retries")
+            .value(static_cast<std::uint64_t>(r.fatal_retries));
+        w.endObject();
+    }
+    w.endArray();
+    return w.str();
+}
+
+/** JSON array of class rows for the RunReport "classes" section. */
+std::string
+classesJson(
+    const std::vector<runtime::CommRuntime::ClassReport>& classes)
+{
+    stats::telemetry::JsonWriter w;
+    w.beginArray();
+    for (const auto& c : classes) {
+        w.beginObject();
+        w.key("tier").value(c.tier);
+        w.key("name").value(priorityTierName(c.tier));
+        w.key("weight").value(c.weight);
+        w.key("issued").value(c.issued);
+        w.key("completed").value(c.completed);
+        w.key("mean_duration_ns").value(c.mean_duration);
+        w.key("progressed_bytes").value(c.progressed);
+        w.key("utilization").value(c.utilization);
+        w.endObject();
+    }
+    w.endArray();
+    return w.str();
+}
+
+/**
+ * Attach the telemetry snapshot, write the --report artifact, and
+ * announce it. No-op without --report.
+ */
+void
+emitReport(stats::telemetry::RunReport& report,
+           const std::string& path,
+           const stats::telemetry::Telemetry* telem)
+{
+    if (path.empty())
+        return;
+    if (telem != nullptr) {
+        report.attachMetrics(&telem->metrics);
+        report.attachRecorder(&telem->recorder);
+    }
+    report.writeFile(path);
+    std::printf("report: mode %s -> %s (schema %s)\n",
+                report.mode().c_str(), path.c_str(),
+                stats::telemetry::RunReport::kSchemaVersion);
+}
+
+/** Write the --trace artifact and announce it. No-op without it. */
+void
+emitTrace(const stats::TraceWriter& trace, const std::string& path)
+{
+    if (path.empty())
+        return;
+    trace.writeFile(path);
+    std::printf("trace: %zu span(s), %zu instant(s) -> %s (open in "
+                "ui.perfetto.dev or chrome://tracing)\n",
+                trace.eventCount(), trace.instantCount(),
+                path.c_str());
+}
+
+/** Record the adaptation headline numbers into a report. */
+void
+reportAdaptation(stats::telemetry::RunReport& report,
+                 const runtime::CommRuntime& comm)
+{
+    report.setNumber("replans",
+                     static_cast<double>(comm.replanCount()));
+    report.setInfo("capacity_fingerprint",
+                   hex16(comm.capacityFingerprint()));
 }
 
 /**
@@ -530,6 +665,7 @@ main(int argc, char** argv)
     bool enforce = false;
     bool validate = false;
     std::string trace_path;
+    std::string report_path;
     std::string sweep_arg;
     std::string grid_arg;
     std::string jobs_arg;
@@ -572,6 +708,8 @@ main(int argc, char** argv)
             enforce = true;
         } else if (flag == "--trace") {
             trace_path = need_value();
+        } else if (flag == "--report") {
+            report_path = need_value();
         } else if (flag == "--validate") {
             validate = true;
         } else if (flag == "--sweep") {
@@ -640,6 +778,12 @@ main(int argc, char** argv)
         }
     }
 
+    // The telemetry sink and trace writer outlive the try block so
+    // the RetryExhaustedError path can dump the flight-recorder tail
+    // and write a mode-"fatal" report / partial trace.
+    stats::telemetry::Telemetry telem;
+    stats::TraceWriter trace;
+
     try {
         if (!merge_arg.empty()) {
             // Offline canonical merge of shard result stores: the
@@ -665,6 +809,15 @@ main(int argc, char** argv)
                         "canonical)\n",
                         inputs.size(), parts.front().c_str(),
                         merged.size());
+            if (!report_path.empty()) {
+                stats::telemetry::RunReport report("merge");
+                report.setInfo("output", parts.front());
+                report.setNumber("inputs",
+                                 static_cast<double>(inputs.size()));
+                report.setNumber("bytes",
+                                 static_cast<double>(merged.size()));
+                emitReport(report, report_path, nullptr);
+            }
             return 0;
         }
 
@@ -712,6 +865,20 @@ main(int argc, char** argv)
         }
         cfg.adaptation.enabled = adapt;
         cfg.adaptation.replan_threshold = replan_threshold;
+
+        // Telemetry rides along whenever an artifact was requested.
+        // The registry is single-threaded, so only the single-runtime
+        // modes (single collective, --iterations, --jobs cluster)
+        // plug it into the runtime config; the batch modes
+        // (--grid/--sweep/--serve/--priority) run cells on worker
+        // threads and publish main-thread metrics plus their own
+        // report sections instead.
+        if (!trace_path.empty())
+            telem.trace = &trace;
+        if ((!report_path.empty() || !trace_path.empty()) && !serve &&
+            grid_arg.empty() && sweep_arg.empty() &&
+            priority_ratio < 1.0)
+            cfg.telemetry = &telem;
 
         // --cycle-limit tunes the period-k convergence replay engine;
         // the batch/service modes simulate every cell in full and
@@ -953,8 +1120,10 @@ main(int argc, char** argv)
                 }
                 for (const Query& q : batch) {
                     ++n_q;
+                    telem.metrics.counter("serve.queries").add();
                     if (!q.error.empty()) {
                         ++n_err;
+                        telem.metrics.counter("serve.errors").add();
                         std::printf("error: %s (query '%s')\n",
                                     q.error.c_str(), q.line.c_str());
                         continue;
@@ -976,10 +1145,18 @@ main(int argc, char** argv)
                         simulated_ms.erase(sim_it);
                         ++n_miss;
                         miss_ms += ms;
+                        telem.metrics.counter("serve.misses").add();
+                        telem.metrics.histogram("serve.miss_ns")
+                            .record(ms * 1e6);
                     } else {
                         ++n_hit;
                         hit_ms += ms;
+                        telem.metrics.counter("serve.hits").add();
+                        telem.metrics.histogram("serve.hit_ns")
+                            .record(ms * 1e6);
                     }
+                    telem.metrics.histogram("serve.query_ns")
+                        .record(ms * 1e6);
                     std::printf("result %s ::%s (%s %.4f ms)\n",
                                 q.key.c_str(), vals.c_str(),
                                 miss ? "miss" : "hit", ms);
@@ -1020,6 +1197,29 @@ main(int argc, char** argv)
                             cache_stats.plan_hits),
                         static_cast<unsigned long long>(
                             cache_stats.plan_misses));
+            if (!report_path.empty()) {
+                stats::telemetry::RunReport report("serve");
+                report.setInfo("results_store", results_path);
+                report.setNumber("queries",
+                                 static_cast<double>(n_q));
+                report.setNumber("hits", static_cast<double>(n_hit));
+                report.setNumber("misses",
+                                 static_cast<double>(n_miss));
+                report.setNumber("errors",
+                                 static_cast<double>(n_err));
+                report.setNumber("mean_hit_ms", mean_hit);
+                report.setNumber("mean_miss_ms", mean_miss);
+                report.setNumber("plan_cache_plans",
+                                 static_cast<double>(
+                                     cache.planCount()));
+                report.setNumber("plan_cache_hits",
+                                 static_cast<double>(
+                                     cache_stats.plan_hits));
+                report.setNumber("plan_cache_misses",
+                                 static_cast<double>(
+                                     cache_stats.plan_misses));
+                emitReport(report, report_path, &telem);
+            }
             return 0;
         }
 
@@ -1158,6 +1358,8 @@ main(int argc, char** argv)
                             : js.mean_latency;
                     row.exposed_share = js.exposed_share;
                     row.deadline_hit_rate = js.deadline_hit_rate;
+                    row.unit_p99 = js.unit_p99;
+                    row.unit_max = js.unit_max;
                     // No per-job wire totals across replayed rounds.
                     row.progressed = -1.0;
                     row.utilization = -1.0;
@@ -1217,6 +1419,39 @@ main(int argc, char** argv)
                             .c_str());
                 if (adapt)
                     printAdaptationSummary(cl.runtime());
+                cl.runtime().publishTelemetry();
+                emitTrace(trace, trace_path);
+                if (!report_path.empty()) {
+                    stats::telemetry::RunReport report("jobs");
+                    report.setInfo("topology", topo.name());
+                    report.setInfo(
+                        "scheduler",
+                        schedulerKindName(ccfg.scheduler));
+                    report.setInfo("policy",
+                                   ccfg.priority.describe());
+                    report.setInfo("run", crow.label);
+                    if (!faults_arg.empty())
+                        report.setInfo("faults", faults_arg);
+                    report.setNumber("rounds", r.iterations);
+                    report.setNumber("simulated_rounds",
+                                     r.simulated_iterations);
+                    report.setNumber("replayed_rounds",
+                                     r.replayed_iterations);
+                    report.setNumber("cycle_length", r.cycle_length);
+                    report.setNumber("hyper_period", r.hyper_period);
+                    report.setNumber("total_ns", r.total.total);
+                    report.setNumber("utilization", r.utilization);
+                    report.setNumber("wall_ms", wall_ms);
+                    if (adapt)
+                        reportAdaptation(report, cl.runtime());
+                    report.addSection("jobs", jobsJson(jstats));
+                    if (!faults_arg.empty())
+                        report.addSection(
+                            "fault",
+                            faultJson(faultRows(
+                                topo, cl.runtime().utilization())));
+                    emitReport(report, report_path, &telem);
+                }
                 return 0;
             }
 
@@ -1241,6 +1476,8 @@ main(int argc, char** argv)
                         : j.mean_latency;
                 row.exposed_share = j.exposed_share;
                 row.deadline_hit_rate = j.deadline_hit_rate;
+                row.unit_p99 = j.unit_p99;
+                row.unit_max = j.unit_max;
                 row.progressed = j.progressed;
                 row.utilization = j.utilization;
                 rows.push_back(row);
@@ -1279,6 +1516,32 @@ main(int argc, char** argv)
                                 .c_str());
             if (adapt)
                 printAdaptationSummary(cl.runtime());
+            emitTrace(trace, trace_path);
+            if (!report_path.empty()) {
+                stats::telemetry::RunReport report("jobs");
+                report.setInfo("topology", topo.name());
+                report.setInfo("scheduler",
+                               schedulerKindName(ccfg.scheduler));
+                report.setInfo("policy", ccfg.priority.describe());
+                report.setInfo("run", "free-running");
+                if (!faults_arg.empty())
+                    report.setInfo("faults", faults_arg);
+                report.setNumber("makespan_ns", rep.makespan);
+                report.setNumber("fabric_utilization",
+                                 rep.fabric_utilization);
+                report.setNumber("total_bytes", rep.total_bytes);
+                if (adapt)
+                    reportAdaptation(report, cl.runtime());
+                report.addSection("jobs", jobsJson(rep.jobs));
+                report.addSection("classes",
+                                  classesJson(rep.classes));
+                if (!faults_arg.empty())
+                    report.addSection(
+                        "fault",
+                        faultJson(faultRows(
+                            topo, cl.runtime().utilization())));
+                emitReport(report, report_path, &telem);
+            }
             return 0;
         }
 
@@ -1369,6 +1632,46 @@ main(int argc, char** argv)
                                 .c_str());
             if (adapt)
                 printAdaptationSummary(comm);
+            comm.publishTelemetry();
+            emitTrace(trace, trace_path);
+            if (!report_path.empty()) {
+                stats::telemetry::RunReport report("iterations");
+                report.setInfo("topology", topo.name());
+                report.setInfo("model", model_arg);
+                report.setInfo("scheduler",
+                               schedulerKindName(cfg.scheduler));
+                report.setInfo("run",
+                               exactness
+                                   ? "exactness"
+                                   : (no_replay ? "full" : "replay"));
+                if (!faults_arg.empty())
+                    report.setInfo("faults", faults_arg);
+                report.setNumber("iterations", r.iterations);
+                report.setNumber("simulated_iterations",
+                                 r.simulated_iterations);
+                report.setNumber("replayed_iterations",
+                                 r.replayed_iterations);
+                report.setNumber("cycle_length", r.cycle_length);
+                report.setNumber("steady_at", r.steady_at);
+                report.setNumber("total_ns", r.total.total);
+                report.setNumber("iteration_ns", r.last.total);
+                report.setNumber("utilization", r.utilization);
+                report.setNumber("collectives",
+                                 static_cast<double>(r.collectives));
+                report.setNumber("chunk_ops",
+                                 static_cast<double>(r.ops));
+                report.setNumber("wall_ms", wall_ms);
+                report.setNumber("plan_cache_plans",
+                                 static_cast<double>(
+                                     cache.planCount()));
+                if (adapt)
+                    reportAdaptation(report, comm);
+                if (!faults_arg.empty())
+                    report.addSection(
+                        "fault", faultJson(faultRows(
+                                     topo, comm.utilization())));
+                emitReport(report, report_path, &telem);
+            }
             return 0;
         }
 
@@ -1489,6 +1792,21 @@ main(int argc, char** argv)
             std::printf("  bulk mean    %s (solo %s)\n",
                         fmtTime(both.lo_mean).c_str(),
                         fmtTime(solo_lo.lo_mean).c_str());
+            if (!report_path.empty()) {
+                stats::telemetry::RunReport report("priority");
+                report.setInfo("topology", topo.name());
+                report.setInfo("policy", pcfg.priority.describe());
+                report.setNumber("contended_makespan_ns",
+                                 both.makespan);
+                report.setNumber("urgent_mean_ns", both.hi_mean);
+                report.setNumber("urgent_solo_ns", solo_hi.hi_mean);
+                report.setNumber("bulk_mean_ns", both.lo_mean);
+                report.setNumber("bulk_solo_ns", solo_lo.lo_mean);
+                report.addSection(
+                    "classes",
+                    classesJson(both_comm.classReports()));
+                emitReport(report, report_path, &telem);
+            }
             return 0;
         }
 
@@ -1690,6 +2008,10 @@ main(int argc, char** argv)
                             return v;
                     return 0.0;
                 };
+            // Cells section for --report: one object per evaluated
+            // cell (key + values), built alongside the table.
+            stats::telemetry::JsonWriter cellw;
+            cellw.beginArray();
             std::size_t jp = 0;
             for (std::size_t cell : owned) {
                 const std::vector<std::pair<std::string, double>>*
@@ -1704,6 +2026,15 @@ main(int argc, char** argv)
                 }
                 if (vals == nullptr)
                     continue; // beyond the --max-cells cap
+                if (!report_path.empty()) {
+                    cellw.beginObject();
+                    cellw.key("key").value(cellKey(cell));
+                    cellw.key("values").beginObject();
+                    for (const auto& [n, v] : *vals)
+                        cellw.key(n).value(v);
+                    cellw.endObject();
+                    cellw.endObject();
+                }
                 const std::string topo_name =
                     grid_topos[cellTopo(cell)].topo.name();
                 if (mixes.empty()) {
@@ -1751,6 +2082,48 @@ main(int argc, char** argv)
                             cache_stats.plan_hits),
                         static_cast<unsigned long long>(
                             cache_stats.plan_misses));
+            if (!report_path.empty()) {
+                cellw.endArray();
+                stats::telemetry::RunReport report("grid");
+                if (!grid_arg.empty())
+                    report.setInfo("grid", grid_arg);
+                else
+                    report.setInfo("topology", topo_arg);
+                if (!sweep_arg.empty())
+                    report.setInfo("sweep", sweep_arg);
+                if (!jobs_arg.empty())
+                    report.setInfo("jobs", jobs_arg);
+                if (!shard_arg.empty())
+                    report.setInfo("shard", shard_arg);
+                telem.metrics.gauge("grid.cells.total")
+                    .set(static_cast<double>(cells));
+                telem.metrics.gauge("grid.cells.owned")
+                    .set(static_cast<double>(owned.size()));
+                telem.metrics.gauge("grid.cells.resumed")
+                    .set(static_cast<double>(resumed));
+                telem.metrics.gauge("grid.cells.simulated")
+                    .set(static_cast<double>(pending.size()));
+                report.setNumber("cells",
+                                 static_cast<double>(cells));
+                report.setNumber("owned",
+                                 static_cast<double>(owned.size()));
+                report.setNumber("resumed",
+                                 static_cast<double>(resumed));
+                report.setNumber("simulated", static_cast<double>(
+                                                  pending.size()));
+                report.setNumber("wall_ms", wall_ms);
+                report.setNumber("plan_cache_plans",
+                                 static_cast<double>(
+                                     cache.planCount()));
+                report.setNumber("plan_cache_hits",
+                                 static_cast<double>(
+                                     cache_stats.plan_hits));
+                report.setNumber("plan_cache_misses",
+                                 static_cast<double>(
+                                     cache_stats.plan_misses));
+                report.addSection("cells", cellw.str());
+                emitReport(report, report_path, &telem);
+            }
             return 0;
         }
 
@@ -1763,19 +2136,13 @@ main(int argc, char** argv)
         }
 
         sim::EventQueue queue;
+        // The runtime attaches telem.trace itself when the config
+        // carries the telemetry sink (set above for this mode).
         runtime::CommRuntime comm(queue, topo, cfg);
-        stats::TraceWriter trace;
-        if (!trace_path.empty())
-            comm.attachTrace(trace);
         const int id = comm.issue(req);
         queue.run();
         comm.finalizeStats();
-        if (!trace_path.empty()) {
-            trace.writeFile(trace_path);
-            std::printf("trace: %zu ops -> %s (open in "
-                        "chrome://tracing)\n",
-                        trace.eventCount(), trace_path.c_str());
-        }
+        emitTrace(trace, trace_path);
 
         const auto& rec = comm.record(id);
         std::printf("\n%s of %s in %d chunks under %s%s:\n",
@@ -1831,6 +2198,32 @@ main(int argc, char** argv)
                                      rec.duration()) /
                             rec.duration());
         }
+        if (!report_path.empty()) {
+            stats::telemetry::RunReport report("single");
+            report.setInfo("topology", topo.name());
+            report.setInfo("collective",
+                           collectiveTypeName(req.type));
+            report.setInfo("scheduler",
+                           schedulerKindName(cfg.scheduler));
+            if (!faults_arg.empty())
+                report.setInfo("faults", faults_arg);
+            report.setNumber("size_bytes", req.size);
+            report.setNumber("chunks", chunks);
+            report.setNumber("time_ns", rec.duration());
+            report.setNumber(
+                "utilization",
+                comm.utilization().weightedUtilization());
+            report.setNumber("ideal_ns",
+                             idealCollectiveTime(req.type, req.size,
+                                                 model));
+            if (adapt)
+                reportAdaptation(report, comm);
+            if (!faults_arg.empty())
+                report.addSection("fault",
+                                  faultJson(faultRows(
+                                      topo, comm.utilization())));
+            emitReport(report, report_path, &telem);
+        }
         return 0;
     } catch (const runtime::RetryExhaustedError& e) {
         // A transfer ran out of retry budget: surface the structured
@@ -1845,6 +2238,46 @@ main(int argc, char** argv)
                      r.dim + 1, r.op.collective_id, r.op.chunk_id,
                      r.op.stage_index, r.attempts,
                      fmtBytes(r.lost_bytes).c_str());
+        // With telemetry armed, replay the flight-recorder tail —
+        // the last events leading into the exhaustion — and persist
+        // the partial artifacts for post-mortem.
+        const auto events = telem.recorder.events();
+        if (!events.empty()) {
+            const std::size_t tail =
+                std::min<std::size_t>(events.size(), 16);
+            std::fprintf(
+                stderr,
+                "flight recorder (last %zu of %llu event(s)):\n",
+                tail,
+                static_cast<unsigned long long>(
+                    telem.recorder.totalRecorded()));
+            for (std::size_t i = events.size() - tail;
+                 i < events.size(); ++i)
+                std::fprintf(stderr, "  %s\n",
+                             stats::telemetry::describeFlightEvent(
+                                 events[i])
+                                 .c_str());
+        }
+        if (!trace_path.empty()) {
+            trace.writeFile(trace_path);
+            std::fprintf(stderr, "trace (partial): %s\n",
+                         trace_path.c_str());
+        }
+        if (!report_path.empty()) {
+            stats::telemetry::RunReport report("fatal");
+            report.setInfo("error", "retry budget exhausted");
+            report.setNumber("dim", r.dim);
+            report.setNumber("attempts", r.attempts);
+            report.setNumber("lost_bytes", r.lost_bytes);
+            report.setNumber("collective", r.op.collective_id);
+            report.setNumber("chunk", r.op.chunk_id);
+            report.setNumber("stage", r.op.stage_index);
+            report.attachMetrics(&telem.metrics);
+            report.attachRecorder(&telem.recorder);
+            report.writeFile(report_path);
+            std::fprintf(stderr, "report (mode fatal): %s\n",
+                         report_path.c_str());
+        }
         return 2;
     } catch (const ConfigError& e) {
         std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,10 +1,13 @@
 #include "cluster/cluster.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "stats/telemetry/telemetry.hpp"
+#include "stats/trace_writer.hpp"
 
 namespace themis::cluster {
 
@@ -14,6 +17,10 @@ struct Cluster::TrainingJob
     std::size_t job;
     workload::TrainingLoop loop;
     int remaining;
+    /** Iteration-duration tail, always tracked (cheap, fixed size). */
+    stats::telemetry::Histogram iter_hist;
+    /** Registry mirror (cluster.job.<id>.iteration_ns); may be null. */
+    stats::telemetry::Histogram* m_iter = nullptr;
 
     TrainingJob(std::size_t job_id, runtime::CommRuntime& comm,
                 const JobSpec& spec)
@@ -46,6 +53,15 @@ struct Cluster::PeriodicJob
     /** Last lockstep-round request's decomposition (latency only:
      *  inference has no compute phases in this model). */
     workload::IterationBreakdown last_breakdown;
+    /** Request-latency tail, always tracked (cheap, fixed size). */
+    stats::telemetry::Histogram latency_hist;
+    /** Registry mirrors (cluster.job.<id>.*); null without telemetry.
+     *  Slack records deadline - latency per judged request — negative
+     *  on a miss, which the histogram's underflow bucket absorbs
+     *  while min/max stay exact. */
+    stats::telemetry::Histogram* m_latency = nullptr;
+    stats::telemetry::Histogram* m_slack = nullptr;
+    stats::telemetry::Counter* m_misses = nullptr;
 };
 
 Cluster::Cluster(sim::EventQueue& queue, Topology topo,
@@ -71,6 +87,40 @@ Cluster::Cluster(sim::EventQueue& queue, Topology topo,
             auto pj = std::make_unique<PeriodicJob>();
             pj->job = j;
             periodic_.push_back(std::move(pj));
+        }
+    }
+    telem_ = comm_->telemetry();
+    if (telem_ != nullptr) {
+        // Per-job registry instruments under stable dotted names, and
+        // one trace row per job ("jobs" process, tid = job id + 1).
+        char name[64];
+        for (auto& tj : training_) {
+            std::snprintf(name, sizeof(name),
+                          "cluster.job.%d.iteration_ns",
+                          static_cast<int>(tj->job));
+            tj->m_iter = &telem_->metrics.histogram(name);
+        }
+        for (auto& pj : periodic_) {
+            const int j = static_cast<int>(pj->job);
+            std::snprintf(name, sizeof(name),
+                          "cluster.job.%d.request_ns", j);
+            pj->m_latency = &telem_->metrics.histogram(name);
+            if (specs[pj->job].deadline > 0.0) {
+                std::snprintf(name, sizeof(name),
+                              "cluster.job.%d.deadline_slack_ns", j);
+                pj->m_slack = &telem_->metrics.histogram(name);
+                std::snprintf(name, sizeof(name),
+                              "cluster.job.%d.deadline_misses", j);
+                pj->m_misses = &telem_->metrics.counter(name);
+            }
+        }
+        if (telem_->trace != nullptr) {
+            telem_->trace->setProcessName(
+                stats::TraceWriter::kJobsPid, "jobs");
+            for (std::size_t j = 0; j < specs.size(); ++j)
+                telem_->trace->setThreadName(
+                    stats::TraceWriter::kJobsPid,
+                    static_cast<int>(j) + 1, specs[j].label());
         }
     }
 }
@@ -111,12 +161,25 @@ void
 Cluster::startTrainingJob(std::size_t idx)
 {
     TrainingJob& tj = *training_[idx];
+    const TimeNs t0 = queue_.now();
     tj.loop.beginIterationAsync(
-        [this, idx](const workload::IterationBreakdown& b) {
+        [this, idx, t0](const workload::IterationBreakdown& b) {
             TrainingJob& tj = *training_[idx];
             JobStats& st = stats_[tj.job];
             ++st.iterations;
             st.totals += b;
+            const TimeNs dur = queue_.now() - t0;
+            tj.iter_hist.record(dur);
+            if (tj.m_iter != nullptr)
+                tj.m_iter->record(dur);
+            if (telem_ != nullptr && telem_->trace != nullptr) {
+                char label[32];
+                std::snprintf(label, sizeof(label), "iter#%d",
+                              st.iterations);
+                telem_->trace->span(stats::TraceWriter::kJobsPid,
+                                    static_cast<int>(tj.job) + 1,
+                                    label, t0, queue_.now());
+            }
             if (--tj.remaining > 0) {
                 startTrainingJob(idx);
                 return;
@@ -202,18 +265,7 @@ Cluster::issueRequest(std::size_t idx)
     const TimeNs issued_at = queue_.now();
     comm_->issue(req, [this, idx, issued_at] {
         PeriodicJob& pj = *periodic_[idx];
-        const JobSpec& spec = sched_.specs()[pj.job];
-        --pj.outstanding;
-        ++pj.completed;
-        pj.last_completion = queue_.now();
-        const TimeNs latency = queue_.now() - issued_at;
-        pj.latency_sum += latency;
-        if (spec.deadline > 0.0) {
-            if (latency <= spec.deadline)
-                ++pj.hits;
-            else
-                ++pj.misses;
-        }
+        noteRequestDone(idx, issued_at);
         if (pj.stopped && pj.outstanding == 0) {
             JobStats& st = stats_[pj.job];
             if (st.finished < 0.0)
@@ -246,23 +298,62 @@ Cluster::beginLockstepRequest(std::size_t idx,
     const TimeNs issued_at = queue_.now();
     comm_->issue(req, [this, idx, issued_at, done] {
         PeriodicJob& pj = *periodic_[idx];
-        const JobSpec& spec = sched_.specs()[pj.job];
-        --pj.outstanding;
-        ++pj.completed;
-        pj.last_completion = queue_.now();
-        const TimeNs latency = queue_.now() - issued_at;
-        pj.latency_sum += latency;
-        if (spec.deadline > 0.0) {
-            if (latency <= spec.deadline)
-                ++pj.hits;
-            else
-                ++pj.misses;
-        }
+        const TimeNs latency = noteRequestDone(idx, issued_at);
         pj.last_breakdown = workload::IterationBreakdown{};
         pj.last_breakdown.exposed_mp = latency;
         pj.last_breakdown.total = latency;
         done();
     });
+}
+
+TimeNs
+Cluster::noteRequestDone(std::size_t idx, TimeNs issued_at)
+{
+    PeriodicJob& pj = *periodic_[idx];
+    const JobSpec& spec = sched_.specs()[pj.job];
+    --pj.outstanding;
+    ++pj.completed;
+    pj.last_completion = queue_.now();
+    const TimeNs latency = queue_.now() - issued_at;
+    pj.latency_sum += latency;
+    pj.latency_hist.record(latency);
+    if (pj.m_latency != nullptr)
+        pj.m_latency->record(latency);
+    if (telem_ != nullptr && telem_->trace != nullptr) {
+        char label[32];
+        std::snprintf(label, sizeof(label), "req#%d", pj.completed);
+        telem_->trace->span(stats::TraceWriter::kJobsPid,
+                            static_cast<int>(pj.job) + 1, label,
+                            issued_at, queue_.now());
+    }
+    if (spec.deadline > 0.0) {
+        const TimeNs slack = spec.deadline - latency;
+        if (pj.m_slack != nullptr)
+            pj.m_slack->record(slack);
+        if (latency <= spec.deadline) {
+            ++pj.hits;
+        } else {
+            ++pj.misses;
+            if (pj.m_misses != nullptr)
+                pj.m_misses->add();
+            if (telem_ != nullptr) {
+                telem_->recorder.record(stats::telemetry::FlightEvent{
+                    telem_->absolute(queue_.now()),
+                    stats::telemetry::FlightKind::DeadlineMiss, -1,
+                    static_cast<int>(pj.job), latency});
+                if (telem_->trace != nullptr) {
+                    char label[40];
+                    std::snprintf(label, sizeof(label),
+                                  "deadline miss #%d", pj.misses);
+                    telem_->trace->instant(
+                        stats::TraceWriter::kJobsPid,
+                        static_cast<int>(pj.job) + 1, label,
+                        queue_.now());
+                }
+            }
+        }
+    }
+    return latency;
 }
 
 ClusterReport
@@ -310,6 +401,12 @@ Cluster::buildReport()
                 st.exposed_share =
                     (st.totals.exposed_mp + st.totals.exposed_dp) /
                     st.totals.total;
+            for (const auto& tj : training_)
+                if (static_cast<int>(tj->job) == st.job &&
+                    tj->iter_hist.count() > 0) {
+                    st.unit_p99 = tj->iter_hist.percentile(0.99);
+                    st.unit_max = tj->iter_hist.max();
+                }
         } else {
             const PeriodicJob* pj = nullptr;
             for (const auto& p : periodic_)
@@ -326,6 +423,10 @@ Cluster::buildReport()
             if (judged > 0)
                 st.deadline_hit_rate =
                     static_cast<double>(pj->hits) / judged;
+            if (pj->latency_hist.count() > 0) {
+                st.unit_p99 = pj->latency_hist.percentile(0.99);
+                st.unit_max = pj->latency_hist.max();
+            }
         }
     }
     rep.jobs = stats_;
@@ -452,6 +553,13 @@ Cluster::lockstepJobStats(int rounds) const
             if (judged > 0)
                 st.deadline_hit_rate =
                     static_cast<double>(pj.hits) / judged;
+            // Tails come from the simulated subset of rounds; each
+            // replayed round repeats a simulated one bit-identically,
+            // so the distribution's support is unchanged.
+            if (pj.latency_hist.count() > 0) {
+                st.unit_p99 = pj.latency_hist.percentile(0.99);
+                st.unit_max = pj.latency_hist.max();
+            }
         }
     }
     return out;

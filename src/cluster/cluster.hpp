@@ -163,11 +163,21 @@ class Cluster
      * jobs churn through. Idempotent per job.
      */
     void retireJobAccounting(int job);
+    /**
+     * Shared completion accounting for one periodic request (both the
+     * free-running and the lockstep path): latency tallies and
+     * histograms, deadline judgment, and — when the runtime carries a
+     * telemetry sink — the per-job trace span plus deadline-miss
+     * instants and flight events. Returns the request latency.
+     */
+    TimeNs noteRequestDone(std::size_t idx, TimeNs issued_at);
     ClusterReport buildReport();
 
     sim::EventQueue& queue_;
     JobScheduler sched_;
     std::unique_ptr<runtime::CommRuntime> comm_;
+    /** The runtime's telemetry sink (config-owned; may be null). */
+    stats::telemetry::Telemetry* telem_ = nullptr;
     std::vector<std::unique_ptr<TrainingJob>> training_;
     std::vector<std::unique_ptr<PeriodicJob>> periodic_;
     std::vector<JobStats> stats_;

@@ -163,6 +163,18 @@ struct JobStats
     /** Collectives the job issued / completed. */
     int collectives_issued = 0;
     int collectives_completed = 0;
+
+    // --- telemetry tails ---
+
+    /**
+     * Unit-time tail (ns) from the job's telemetry histogram: p99 and
+     * worst case over iteration durations (training) or request
+     * latencies (inference). Negative when the job completed no units
+     * (or, for lockstep training rows, when per-step durations are
+     * not individually tracked).
+     */
+    double unit_p99 = -1.0;
+    double unit_max = -1.0;
 };
 
 } // namespace themis::cluster

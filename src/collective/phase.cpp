@@ -4,8 +4,8 @@
 
 namespace themis {
 
-std::string
-phaseName(Phase p)
+const char*
+phaseTag(Phase p)
 {
     switch (p) {
       case Phase::ReduceScatter: return "RS";
@@ -13,6 +13,12 @@ phaseName(Phase p)
       case Phase::AllToAll:      return "A2A";
     }
     THEMIS_PANIC("unknown Phase " << static_cast<int>(p));
+}
+
+std::string
+phaseName(Phase p)
+{
+    return phaseTag(p);
 }
 
 std::string

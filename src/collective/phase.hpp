@@ -42,6 +42,9 @@ enum class CollectiveType {
 /** Short phase name ("RS"/"AG"/"A2A"). */
 std::string phaseName(Phase p);
 
+/** Allocation-free phaseName for per-chunk-op hot paths (tracing). */
+const char* phaseTag(Phase p);
+
 /** Collective type name ("All-Reduce", ...). */
 std::string collectiveTypeName(CollectiveType t);
 

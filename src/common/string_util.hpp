@@ -38,6 +38,14 @@ std::string fmtPercent(double fraction);
 /** Lower-case copy (ASCII). */
 std::string toLower(std::string s);
 
+/**
+ * JSON string-literal escape of @p s (no surrounding quotes). Handles
+ * quotes, backslashes and every control character below 0x20 (the
+ * common ones as \n-style shorthands, the rest as \u00XX); other bytes
+ * pass through untouched, so UTF-8 payloads survive.
+ */
+std::string jsonEscape(const std::string& s);
+
 } // namespace themis
 
 #endif // THEMIS_COMMON_STRING_UTIL_HPP

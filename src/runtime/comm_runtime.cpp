@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <numeric>
 
 #include "common/error.hpp"
@@ -46,6 +47,24 @@ CommRuntime::CommRuntime(sim::EventQueue& queue, Topology topo,
                       config_.priority.isUniform(),
                   "the egalitarian channel baseline requires the "
                   "uniform priority policy (unit weights)");
+    telem_ = config_.telemetry;
+    if (telem_ != nullptr) {
+        // Resolve the hot-path instruments once; registry references
+        // are stable, so per-event publishing is pointer-deref cheap.
+        auto& m = telem_->metrics;
+        m_issued_ = &m.counter("runtime.collectives.issued");
+        m_completed_ = &m.counter("runtime.collectives.completed");
+        m_collective_ns_ = &m.histogram("runtime.collective_ns");
+        m_epochs_ = &m.counter("runtime.epochs");
+        m_epoch_ns_ = &m.histogram("runtime.epoch_ns");
+        m_chunk_ops_ = &m.counter("runtime.chunk_ops");
+        m_replans_ = &m.counter("adapt.replans");
+        m_retries_ = &m.counter("fault.retries");
+        m_backoff_ns_ = &m.histogram("fault.retry_backoff_ns");
+        m_lost_bytes_ = &m.histogram("fault.retry_lost_bytes");
+        m_fatal_ = &m.counter("fault.fatal_retries");
+        m_replayed_ = &m.counter("replay.epochs_replayed");
+    }
     const sim::ChannelFairness fairness =
         config_.legacy_egalitarian_channel
             ? sim::ChannelFairness::Egalitarian
@@ -77,10 +96,21 @@ CommRuntime::CommRuntime(sim::EventQueue& queue, Topology topo,
         raw.reserve(engines_.size());
         for (auto& engine : engines_) {
             engine->armFaults(config_.retry);
-            engine->setRetryListener([this](int dim, Bytes lost) {
-                utilization_->recordRetry(
-                    static_cast<std::size_t>(dim), lost);
-            });
+            engine->setRetryListener(
+                [this](int dim, Bytes lost, TimeNs backoff) {
+                    utilization_->recordRetry(
+                        static_cast<std::size_t>(dim), lost, backoff);
+                    if (telem_ != nullptr) {
+                        m_retries_->add();
+                        m_backoff_ns_->record(backoff);
+                        m_lost_bytes_->record(lost);
+                        telem_->recorder.record(
+                            stats::telemetry::FlightEvent{
+                                telem_->absolute(queue_ref_.now()),
+                                stats::telemetry::FlightKind::Retry,
+                                dim, -1, lost});
+                    }
+                });
             engine->setFatalRetryListener(
                 [this](const FatalRetryReport& report) {
                     if (!has_fatal_retry_) {
@@ -89,6 +119,27 @@ CommRuntime::CommRuntime(sim::EventQueue& queue, Topology topo,
                     }
                     utilization_->recordFatalRetry(
                         static_cast<std::size_t>(report.dim));
+                    if (telem_ != nullptr) {
+                        m_fatal_->add();
+                        telem_->recorder.record(
+                            stats::telemetry::FlightEvent{
+                                telem_->absolute(queue_ref_.now()),
+                                stats::telemetry::FlightKind::
+                                    FatalRetry,
+                                report.dim, report.attempts,
+                                report.lost_bytes});
+                        if (telem_->trace != nullptr) {
+                            char label[64];
+                            std::snprintf(
+                                label, sizeof(label),
+                                "retry exhausted dim%d (attempt %d)",
+                                report.dim + 1, report.attempts);
+                            telem_->trace->instant(
+                                stats::TraceWriter::kRunPid,
+                                stats::TraceWriter::kFaultTid, label,
+                                queue_ref_.now());
+                        }
+                    }
                 });
             raw.push_back(engine.get());
         }
@@ -105,6 +156,12 @@ CommRuntime::CommRuntime(sim::EventQueue& queue, Topology topo,
             fault_driver_->setCapacityListener(
                 [this](int dim) { onCapacityChange(dim); });
         }
+    }
+    if (telem_ != nullptr) {
+        if (fault_driver_)
+            fault_driver_->setTelemetry(telem_);
+        if (telem_->trace != nullptr)
+            attachTrace(*telem_->trace);
     }
 }
 
@@ -148,6 +205,23 @@ CommRuntime::replan()
     ++replan_count_;
     logDebug("adaptation t=", queue_ref_.now(), " re-plan #",
              replan_count_, " capacity epoch ", capacity_fingerprint_);
+    if (telem_ != nullptr) {
+        m_replans_->add();
+        telem_->recorder.record(stats::telemetry::FlightEvent{
+            telem_->absolute(queue_ref_.now()),
+            stats::telemetry::FlightKind::Replan, -1,
+            static_cast<int>(replan_count_),
+            static_cast<double>(capacity_fingerprint_ != 0)});
+        if (telem_->trace != nullptr) {
+            char label[48];
+            std::snprintf(label, sizeof(label), "re-plan #%llu",
+                          static_cast<unsigned long long>(
+                              replan_count_));
+            telem_->trace->instant(stats::TraceWriter::kRunPid,
+                                   stats::TraceWriter::kAdaptTid,
+                                   label, queue_ref_.now());
+        }
+    }
 }
 
 std::vector<ScopeDim>
@@ -331,6 +405,14 @@ CommRuntime::issue(const CollectiveRequest& request, Callback on_done)
     if (on_done)
         callbacks_[id] = std::move(on_done);
 
+    if (telem_ != nullptr) {
+        m_issued_->add();
+        telem_->recorder.record(stats::telemetry::FlightEvent{
+            telem_->absolute(rec.issued),
+            stats::telemetry::FlightKind::CollectiveIssued, id,
+            rec.job, size});
+    }
+
     if (epoch_active_) {
         // Plan-level fingerprint component: what was issued, when,
         // and under which (fully plan-determining) cache key.
@@ -399,9 +481,15 @@ CommRuntime::beginIterationEpoch()
     THEMIS_ASSERT(queue_ref_.empty(),
                   "iteration epoch with pending events");
     // Fold the elapsed epoch into the fault timeline's absolute base
-    // before the clock rebases under it.
+    // before the clock rebases under it. Telemetry and trace time
+    // bases advance in lockstep so the run timeline stays monotonic
+    // across the rebase.
     if (fault_driver_)
         fault_driver_->onEpochRebase(queue_ref_.now());
+    if (telem_ != nullptr)
+        telem_->time_base += queue_ref_.now();
+    if (trace_ != nullptr)
+        trace_->advanceTimeBase(queue_ref_.now());
     queue_ref_.rebaseToZero();
     // Epoch mode keeps per-epoch records only: ids, like the clock,
     // restart at zero, so a thousand-iteration run does not retain a
@@ -491,7 +579,32 @@ CommRuntime::finishIterationEpoch()
     for (auto& engine : engines_)
         engine->disarmFingerprint();
     epoch_active_ = false;
+    if (telem_ != nullptr) {
+        m_epochs_->add();
+        m_epoch_ns_->record(s.duration);
+        m_chunk_ops_->add(s.ops);
+        telem_->recorder.record(stats::telemetry::FlightEvent{
+            telem_->absolute(s.duration),
+            stats::telemetry::FlightKind::EpochClosed, -1,
+            s.collectives, s.duration});
+    }
     return s;
+}
+
+void
+CommRuntime::noteReplayedEpoch(TimeNs d)
+{
+    if (fault_driver_)
+        fault_driver_->skipReplayedEpoch(d);
+    if (telem_ != nullptr) {
+        telem_->time_base += d;
+        m_replayed_->add();
+        telem_->recorder.record(stats::telemetry::FlightEvent{
+            telem_->absolute(queue_ref_.now()),
+            stats::telemetry::FlightKind::ReplaySkip, -1, -1, d});
+    }
+    if (trace_ != nullptr)
+        trace_->advanceTimeBase(d);
 }
 
 bool
@@ -521,6 +634,14 @@ CommRuntime::onCollectiveDone(int id)
     THEMIS_ASSERT(!rec.done(), "collective " << id << " finished twice");
     rec.completed = queue_ref_.now();
     --outstanding_;
+    if (telem_ != nullptr) {
+        m_completed_->add();
+        m_collective_ns_->record(rec.duration());
+        telem_->recorder.record(stats::telemetry::FlightEvent{
+            telem_->absolute(rec.completed),
+            stats::telemetry::FlightKind::CollectiveDone, id, rec.job,
+            rec.duration()});
+    }
     if (outstanding_ == 0) {
         utilization_->windowEnd(queue_ref_.now());
         // Disarm the pending fault event: with no work outstanding it
@@ -612,16 +733,14 @@ CommRuntime::shadowPlanOrders(CollectiveType type,
 void
 CommRuntime::attachTrace(stats::TraceWriter& trace)
 {
+    trace_ = &trace;
+    trace.setProcessName(stats::TraceWriter::kFabricPid, "fabric");
     for (auto& engine : engines_) {
-        engine->setFinishListener(
-            [this, &trace](const ChunkOp& op, TimeNs started) {
-                std::ostringstream label;
-                label << phaseName(op.phase) << " c" << op.tag.chunk_id
-                      << ".s" << op.tag.stage_index << " ("
-                      << fmtBytes(op.entering) << ")";
-                trace.record(op.global_dim, label.str(), started,
-                             queue_ref_.now());
-            });
+        // Direct engine hook, not a FinishListener lambda: the span
+        // fires once per chunk op, and std::function dispatch is
+        // measurable against the <=10% tracing budget
+        // bench/telemetry_overhead.cpp enforces.
+        engine->attachTrace(&trace);
     }
 }
 
@@ -629,6 +748,28 @@ void
 CommRuntime::finalizeStats()
 {
     activity_.finalize(queue_ref_.now());
+    publishTelemetry();
+}
+
+void
+CommRuntime::publishTelemetry()
+{
+    if (telem_ == nullptr)
+        return;
+    for (std::size_t d = 0; d < engines_.size(); ++d) {
+        engines_[d]->channel().sync();
+        char prefix[32];
+        std::snprintf(prefix, sizeof(prefix), "engine.dim%d",
+                      static_cast<int>(d) + 1);
+        engines_[d]->publishMetrics(telem_->metrics, prefix);
+    }
+    auto& m = telem_->metrics;
+    m.gauge("runtime.session_slots")
+        .set(static_cast<double>(sessionSlotCount()));
+    m.gauge("runtime.live_jobs")
+        .set(static_cast<double>(liveJobCount()));
+    m.gauge("adapt.capacity_degraded")
+        .set(capacity_fingerprint_ != 0 ? 1.0 : 0.0);
 }
 
 std::vector<CommRuntime::ClassReport>

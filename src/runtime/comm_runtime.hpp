@@ -28,6 +28,7 @@
 #include "runtime/fault_driver.hpp"
 #include "sim/fault_timeline.hpp"
 #include "stats/activity_timeline.hpp"
+#include "stats/telemetry/telemetry.hpp"
 #include "stats/trace_writer.hpp"
 #include "stats/utilization_tracker.hpp"
 #include "topology/topology.hpp"
@@ -174,6 +175,16 @@ struct RuntimeConfig
 
     /** Fault-aware adaptive re-planning (needs `faults`). */
     AdaptationConfig adaptation{};
+
+    /**
+     * Telemetry sink (metrics registry + flight recorder + optional
+     * trace). Not owned — the caller keeps it alive for the runtime's
+     * lifetime, one instance per simulation thread (the registry is
+     * not thread-safe). nullptr (the default) disables all publishing
+     * at one branch per site; every publisher is a pure observer, so
+     * telemetry-on runs are bit-identical to telemetry-off runs.
+     */
+    stats::telemetry::Telemetry* telemetry = nullptr;
 };
 
 /** Table 3 convenience constructors. */
@@ -400,6 +411,29 @@ class CommRuntime
     /** Per-dimension activity intervals (Fig 9). */
     stats::ActivityTimeline& activity() { return activity_; }
 
+    /** The telemetry sink this runtime publishes into (may be null). */
+    stats::telemetry::Telemetry* telemetry() const
+    {
+        return config_.telemetry;
+    }
+
+    /**
+     * A replayed (not simulated) convergence round of duration @p d
+     * passed: advance the fault driver's absolute base exactly as the
+     * simulated path would have, and advance the telemetry/trace time
+     * bases so the run timeline stays monotonic across the skip.
+     */
+    void noteReplayedEpoch(TimeNs d);
+
+    /**
+     * Snapshot per-dimension engine/channel observables into the
+     * telemetry registry as gauges (`engine.dim<k>.*`). Idempotent;
+     * no-op without a telemetry sink. finalizeStats() calls this, and
+     * callers that bypass finalizeStats may call it directly before
+     * serializing a report.
+     */
+    void publishTelemetry();
+
     /**
      * Stream every completed chunk operation into @p trace (one
      * timeline row per dimension; labels like "RS c3.s1 (2.0 MB)").
@@ -569,6 +603,23 @@ class CommRuntime
     stats::ActivityTimeline activity_;
     std::unique_ptr<stats::UtilizationTracker> utilization_;
     std::unique_ptr<FaultDriver> fault_driver_;
+
+    // Telemetry (all pure observers; null when publishing is off).
+    stats::telemetry::Telemetry* telem_ = nullptr;
+    stats::TraceWriter* trace_ = nullptr;
+    /** Hot-path instrument handles, resolved once in the ctor. */
+    stats::telemetry::Counter* m_issued_ = nullptr;
+    stats::telemetry::Counter* m_completed_ = nullptr;
+    stats::telemetry::Histogram* m_collective_ns_ = nullptr;
+    stats::telemetry::Counter* m_epochs_ = nullptr;
+    stats::telemetry::Histogram* m_epoch_ns_ = nullptr;
+    stats::telemetry::Counter* m_chunk_ops_ = nullptr;
+    stats::telemetry::Counter* m_replans_ = nullptr;
+    stats::telemetry::Counter* m_retries_ = nullptr;
+    stats::telemetry::Histogram* m_backoff_ns_ = nullptr;
+    stats::telemetry::Histogram* m_lost_bytes_ = nullptr;
+    stats::telemetry::Counter* m_fatal_ = nullptr;
+    stats::telemetry::Counter* m_replayed_ = nullptr;
 
     // Fault-adaptation state (see AdaptationConfig).
     /** Per-dim factors the current plans were derived against. */

@@ -5,12 +5,25 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "stats/trace_writer.hpp"
 
 namespace themis::runtime {
 
 namespace {
 
 constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+/** Append a non-negative int's digits at @p p; returns one past the
+ *  last digit. snprintf replacement for the per-chunk-op trace label
+ *  (the hottest telemetry path). */
+char*
+appendInt(char* p, int v)
+{
+    if (v >= 10)
+        p = appendInt(p, v / 10);
+    *p++ = static_cast<char>('0' + v % 10);
+    return p;
+}
 
 std::pair<int, int>
 parkKey(const OpKey& key)
@@ -166,6 +179,12 @@ void
 DimensionEngine::setFinishListener(FinishListener listener)
 {
     finish_listener_ = std::move(listener);
+}
+
+void
+DimensionEngine::attachTrace(stats::TraceWriter* trace)
+{
+    trace_ = trace;
 }
 
 void
@@ -622,6 +641,23 @@ DimensionEngine::finish(std::uint64_t exec_id)
             static_cast<std::uint64_t>(op.tag.stage_index));
         fingerprint_->mix(queue_ref_.now());
     }
+    if (trace_ != nullptr) {
+        // Hand-rolled "RS c3.s1" label: short enough for the string's
+        // SSO buffer, so the whole per-op span is allocation-free.
+        char label[32];
+        char* p = label;
+        for (const char* t = phaseTag(op.phase); *t != '\0';)
+            *p++ = *t++;
+        *p++ = ' ';
+        *p++ = 'c';
+        p = appendInt(p, op.tag.chunk_id);
+        *p++ = '.';
+        *p++ = 's';
+        p = appendInt(p, op.tag.stage_index);
+        trace_->recordFabricOp(global_dim_, label,
+                               static_cast<std::size_t>(p - label),
+                               started_at, queue_ref_.now());
+    }
     if (finish_listener_)
         finish_listener_(op, started_at);
     // Completion may enqueue the chunk's next stage on another
@@ -675,8 +711,9 @@ DimensionEngine::failOp(std::uint64_t exec_id, Bytes lost)
              " FAIL chunk ", op.tag.chunk_id, " stage ",
              op.tag.stage_index, " attempt ", op.attempt, " (", lost,
              " B lost)");
+    const TimeNs delay = retryBackoffDelay(op);
     if (retry_listener_)
-        retry_listener_(global_dim_, lost);
+        retry_listener_(global_dim_, lost, delay);
     if (op.attempt > retry_.max_attempts) {
         FatalRetryReport report;
         report.dim = global_dim_;
@@ -693,6 +730,16 @@ DimensionEngine::failOp(std::uint64_t exec_id, Bytes lost)
                "the flap windows";
         throw RetryExhaustedError(oss.str(), report);
     }
+    queue_ref_.scheduleAfter(
+        delay, [this, op = std::move(op)]() mutable {
+            requeueRetry(std::move(op));
+        });
+    notifyPresence();
+}
+
+TimeNs
+DimensionEngine::retryBackoffDelay(const ChunkOp& op) const
+{
     // Exponential backoff, capped: base * 2^(attempt-1). The loop
     // form avoids pow()/overflow and is exact in doubles.
     TimeNs delay = retry_.backoff_base_ns;
@@ -717,11 +764,22 @@ DimensionEngine::failOp(std::uint64_t exec_id, Bytes lost)
             static_cast<double>(h.value() >> 11) * 0x1.0p-53;
         delay *= 1.0 + retry_.jitter * (u - 0.5);
     }
-    queue_ref_.scheduleAfter(
-        delay, [this, op = std::move(op)]() mutable {
-            requeueRetry(std::move(op));
-        });
-    notifyPresence();
+    return delay;
+}
+
+void
+DimensionEngine::publishMetrics(
+    stats::telemetry::MetricsRegistry& registry,
+    const std::string& prefix) const
+{
+    registry.gauge(prefix + ".completed_ops")
+        .set(static_cast<double>(completed_));
+    registry.gauge(prefix + ".retries")
+        .set(static_cast<double>(retry_count_));
+    registry.gauge(prefix + ".lost_bytes").set(lost_bytes_);
+    registry.gauge(prefix + ".bypass_streak")
+        .set(static_cast<double>(bypass_streak_));
+    channel_.publishMetrics(registry, prefix + ".channel");
 }
 
 void

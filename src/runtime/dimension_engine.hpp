@@ -73,6 +73,11 @@
 #include "runtime/chunk_op.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/shared_channel.hpp"
+#include "stats/telemetry/metrics.hpp"
+
+namespace themis::stats {
+class TraceWriter;
+} // namespace themis::stats
 
 namespace themis::runtime {
 
@@ -196,8 +201,13 @@ class DimensionEngine
     using FinishListener =
         std::function<void(const ChunkOp&, TimeNs started)>;
 
-    /** Retry callback: (global dim, lost bytes) per failed attempt. */
-    using RetryListener = std::function<void(int, Bytes)>;
+    /**
+     * Retry callback: (global dim, lost bytes, backoff delay) per
+     * failed attempt. The delay is the exponential-backoff wait the
+     * attempt will requeue after (computed even for the attempt that
+     * exhausts the budget, where no requeue follows).
+     */
+    using RetryListener = std::function<void(int, Bytes, TimeNs)>;
 
     /** Fired once, just before RetryExhaustedError is thrown. */
     using FatalRetryListener =
@@ -263,6 +273,15 @@ class DimensionEngine
 
     /** Observe op completions with their start times (tracing). */
     void setFinishListener(FinishListener listener);
+
+    /**
+     * Emit one fabric-row span per completed chunk op into @p trace
+     * (null detaches). A direct pointer, not a FinishListener: this
+     * fires on every op and the std::function dispatch alone is
+     * measurable against the <=10% tracing budget
+     * bench/telemetry_overhead.cpp enforces.
+     */
+    void attachTrace(stats::TraceWriter* trace);
 
     /**
      * Enable the fault path: transfers begun on the channel carry a
@@ -363,6 +382,13 @@ class DimensionEngine
     /** Arena slabs backing the pending/ready/active stores. */
     std::size_t arenaSlabCount() const { return arena_.slabCount(); }
 
+    /**
+     * Publish this engine's cumulative observables as gauges under
+     * `<prefix>.` dotted names (telemetry snapshot; pure observer).
+     */
+    void publishMetrics(stats::telemetry::MetricsRegistry& registry,
+                        const std::string& prefix) const;
+
   private:
     struct PendingOp
     {
@@ -448,6 +474,9 @@ class DimensionEngine
     /** Fault path: remove @p exec_id from the active set, account
      *  @p lost re-sent bytes, and schedule its backoff requeue. */
     void failOp(std::uint64_t exec_id, Bytes lost);
+
+    /** Capped exponential backoff (plus jitter) for @p op's attempt. */
+    TimeNs retryBackoffDelay(const ChunkOp& op) const;
     /** Backoff expiry: the op re-enters pending/ready directly (an
      *  enforced order's cursor has already passed a started op). */
     void requeueRetry(ChunkOp op);
@@ -520,6 +549,8 @@ class DimensionEngine
     PresenceListener presence_;
     StartListener start_listener_;
     FinishListener finish_listener_;
+    /** Per-op span sink (attachTrace); null when tracing is off. */
+    stats::TraceWriter* trace_ = nullptr;
     bool last_presence_ = false;
 };
 

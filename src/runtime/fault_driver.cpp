@@ -2,9 +2,13 @@
 
 #include <algorithm>
 
+#include <cstdio>
+
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "runtime/dimension_engine.hpp"
+#include "stats/telemetry/telemetry.hpp"
+#include "stats/trace_writer.hpp"
 #include "stats/utilization_tracker.hpp"
 
 namespace themis::runtime {
@@ -34,6 +38,12 @@ void
 FaultDriver::setCapacityListener(CapacityListener listener)
 {
     capacity_listener_ = std::move(listener);
+}
+
+void
+FaultDriver::setTelemetry(stats::telemetry::Telemetry* telemetry)
+{
+    telemetry_ = telemetry;
 }
 
 double
@@ -95,6 +105,23 @@ FaultDriver::apply(const sim::FaultEvent& e)
     DimensionEngine* engine = engines_[static_cast<std::size_t>(e.dim)];
     logDebug("fault t=", queue_.now(), " (abs ", e.at, ") dim ",
              e.dim + 1, " ", sim::faultKindName(e.kind));
+    if (telemetry_ != nullptr) {
+        // Observational only: the instant sits at the event's
+        // absolute timeline position (lazy application may apply it
+        // later in queue time, but the timeline edge is the fact).
+        telemetry_->metrics.counter("fault.events_applied").add();
+        telemetry_->recorder.record(stats::telemetry::FlightEvent{
+            e.at, stats::telemetry::FlightKind::FaultEvent, e.dim,
+            static_cast<int>(e.kind), e.factor});
+        if (telemetry_->trace != nullptr) {
+            char label[64];
+            std::snprintf(label, sizeof(label), "fault: %s dim%d",
+                          sim::faultKindName(e.kind), e.dim + 1);
+            telemetry_->trace->instantAbs(
+                stats::TraceWriter::kRunPid,
+                stats::TraceWriter::kFaultTid, label, e.at);
+        }
+    }
     switch (e.kind) {
     case sim::FaultKind::DegradeStart:
         st.degrades.emplace_back(e.pair, e.factor);

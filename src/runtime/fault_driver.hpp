@@ -43,7 +43,10 @@
 
 namespace themis::stats {
 class UtilizationTracker;
+namespace telemetry {
+struct Telemetry;
 }
+} // namespace themis::stats
 
 namespace themis::runtime {
 
@@ -101,6 +104,13 @@ class FaultDriver
 
     /** Observe capacity-changing events (fault adaptation hook). */
     void setCapacityListener(CapacityListener listener);
+
+    /**
+     * Publish applied fault events into @p telemetry (counter, flight
+     * recorder, trace instants). Pure observer — never alters what
+     * apply() does — so arming telemetry keeps runs bit-identical.
+     */
+    void setTelemetry(stats::telemetry::Telemetry* telemetry);
 
     /**
      * The factor by which dim @p dim's *planning* bandwidth currently
@@ -162,6 +172,7 @@ class FaultDriver
     sim::EventQueue::EventId armed_ = 0;
     bool window_open_ = false;
     CapacityListener capacity_listener_;
+    stats::telemetry::Telemetry* telemetry_ = nullptr;
 };
 
 } // namespace themis::runtime

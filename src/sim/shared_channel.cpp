@@ -456,4 +456,18 @@ SharedChannel::onCompletionEvent()
         reschedule();
 }
 
+void
+SharedChannel::publishMetrics(
+    stats::telemetry::MetricsRegistry& registry,
+    const std::string& prefix) const
+{
+    registry.gauge(prefix + ".capacity_gbps").set(bwToGbps(capacity_));
+    registry.gauge(prefix + ".progressed_bytes")
+        .set(progressed_bytes_);
+    registry.gauge(prefix + ".classes")
+        .set(static_cast<double>(numClasses()));
+    registry.gauge(prefix + ".peak_active")
+        .set(static_cast<double>(peak_active_));
+}
+
 } // namespace themis::sim

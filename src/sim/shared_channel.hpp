@@ -53,6 +53,7 @@
 #include "common/small_vector.hpp"
 #include "common/units.hpp"
 #include "sim/event_queue.hpp"
+#include "stats/telemetry/metrics.hpp"
 
 namespace themis::sim {
 
@@ -212,6 +213,14 @@ class SharedChannel
      * byte counters bit-stable across iterations.
      */
     void epochReset();
+
+    /**
+     * Publish this channel's progress accounting as gauges under
+     * `<prefix>.` dotted names (telemetry snapshot; pure observer —
+     * does not sync, so callers snapshot a consistent time).
+     */
+    void publishMetrics(stats::telemetry::MetricsRegistry& registry,
+                        const std::string& prefix) const;
 
   private:
     /**

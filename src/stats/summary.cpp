@@ -74,12 +74,14 @@ std::string
 renderJobTable(const std::vector<JobUsageRow>& rows)
 {
     TextTable t({"Job", "Kind", "Arrival", "JCT", "Units",
-                 "Mean unit", "Exposed", "Deadline", "Bytes",
-                 "BW share", "Cycle units"});
+                 "Mean unit", "p99 unit", "Max unit", "Exposed",
+                 "Deadline", "Bytes", "BW share", "Cycle units"});
     for (const auto& r : rows) {
         t.addRow({r.name, r.kind, fmtTime(r.arrival), fmtTime(r.jct),
                   std::to_string(r.units),
                   r.units > 0 ? fmtTime(r.mean_unit) : "-",
+                  r.unit_p99 >= 0.0 ? fmtTime(r.unit_p99) : "-",
+                  r.unit_max >= 0.0 ? fmtTime(r.unit_max) : "-",
                   r.exposed_share >= 0.0 ? fmtPercent(r.exposed_share)
                                          : "-",
                   r.deadline_hit_rate >= 0.0
@@ -116,12 +118,15 @@ std::string
 renderFaultTable(const std::vector<FaultDimRow>& rows)
 {
     TextTable t({"Dim", "Capacity steps", "Flaps", "Down time",
-                 "Retries", "Lost bytes", "Fatal"});
+                 "Retries", "Backoff p99", "Backoff max",
+                 "Lost bytes", "Fatal"});
     for (const auto& r : rows) {
         t.addRow({r.name, std::to_string(r.capacity_events),
                   std::to_string(r.flaps),
                   r.flaps > 0 ? fmtTime(r.down_time) : "-",
                   std::to_string(r.retries),
+                  r.backoff_p99 >= 0.0 ? fmtTime(r.backoff_p99) : "-",
+                  r.backoff_max >= 0.0 ? fmtTime(r.backoff_max) : "-",
                   r.retries > 0 ? fmtBytes(r.lost_bytes) : "-",
                   r.fatal_retries > 0 ? std::to_string(r.fatal_retries)
                                       : "-"});

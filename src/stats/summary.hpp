@@ -106,6 +106,15 @@ struct JobUsageRow
      * "-" (free-running runs have no cycle).
      */
     int cycle_units = -1;
+
+    /**
+     * Unit-time tail (ns) from the job's telemetry histogram: p99 and
+     * worst case over iteration durations (training) or request
+     * latencies (inference). Negative renders as "-" (no telemetry,
+     * or no completed units).
+     */
+    double unit_p99 = -1.0;
+    double unit_max = -1.0;
 };
 
 /** Render per-job cluster rows as a standard table. */
@@ -169,6 +178,14 @@ struct FaultDimRow
 
     /** Transfers that ran out of retry budget (fatal failures). */
     std::uint64_t fatal_retries = 0;
+
+    /**
+     * Retry-backoff tail (ns) from the dimension's telemetry
+     * histogram: p99 and worst backoff actually scheduled. Negative
+     * renders as "-" (no retries on the dimension).
+     */
+    double backoff_p99 = -1.0;
+    double backoff_max = -1.0;
 };
 
 /** Render per-dimension fault/retry rows as a standard table. */

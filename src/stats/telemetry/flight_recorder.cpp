@@ -1,0 +1,88 @@
+#include "stats/telemetry/flight_recorder.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace themis::stats::telemetry {
+
+const char*
+flightKindName(FlightKind kind)
+{
+    switch (kind) {
+    case FlightKind::CollectiveIssued:
+        return "collective-issued";
+    case FlightKind::CollectiveDone:
+        return "collective-done";
+    case FlightKind::FaultEvent:
+        return "fault-event";
+    case FlightKind::Retry:
+        return "retry";
+    case FlightKind::FatalRetry:
+        return "fatal-retry";
+    case FlightKind::Replan:
+        return "re-plan";
+    case FlightKind::DeadlineMiss:
+        return "deadline-miss";
+    case FlightKind::EpochClosed:
+        return "epoch-closed";
+    case FlightKind::ReplaySkip:
+        return "replay-skip";
+    }
+    return "?";
+}
+
+std::string
+describeFlightEvent(const FlightEvent& e)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "t=%.0f ns %-17s dim=%-3d aux=%-3d value=%.6g",
+                  e.at, flightKindName(e.kind), e.dim, e.aux, e.value);
+    return buf;
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity)
+{
+    THEMIS_ASSERT(capacity_ > 0, "flight recorder needs capacity > 0");
+    ring_.reserve(capacity_);
+}
+
+void
+FlightRecorder::record(const FlightEvent& e)
+{
+    if (ring_.size() < capacity_) {
+        ring_.push_back(e);
+    } else {
+        ring_[next_] = e;
+        next_ = (next_ + 1) % capacity_;
+    }
+    ++total_;
+}
+
+std::size_t
+FlightRecorder::size() const
+{
+    return ring_.size();
+}
+
+std::vector<FlightEvent>
+FlightRecorder::events() const
+{
+    std::vector<FlightEvent> out;
+    out.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(next_ + i) % ring_.size()]);
+    return out;
+}
+
+void
+FlightRecorder::clear()
+{
+    ring_.clear();
+    next_ = 0;
+    total_ = 0;
+}
+
+} // namespace themis::stats::telemetry

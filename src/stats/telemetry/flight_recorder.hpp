@@ -1,0 +1,98 @@
+/**
+ * @file
+ * FlightRecorder: a bounded ring of recent scheduling / fault events.
+ *
+ * The runtime appends a tiny POD record at every interesting edge
+ * (collective issue/finish, fault application, retry, re-plan, fatal
+ * exhaustion, deadline miss, epoch close, replay skip). The ring keeps
+ * only the most recent entries, so cost is O(1) per event and bounded
+ * memory regardless of run length. The content is dumped into the
+ * RunReport and onto stderr when a run dies with RetryExhaustedError,
+ * giving postmortems the "what happened just before" context that a
+ * final summary table cannot.
+ *
+ * Timestamps are absolute run time: the publisher folds the iteration
+ * epoch base in, so a multi-epoch convergence run reads as one
+ * timeline. Like the rest of telemetry, the recorder is a pure
+ * observer and is not thread-safe.
+ */
+
+#ifndef THEMIS_STATS_TELEMETRY_FLIGHT_RECORDER_HPP
+#define THEMIS_STATS_TELEMETRY_FLIGHT_RECORDER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace themis::stats::telemetry {
+
+/** What kind of edge a flight-recorder entry marks. */
+enum class FlightKind : std::uint8_t
+{
+    CollectiveIssued,
+    CollectiveDone,
+    FaultEvent,
+    Retry,
+    FatalRetry,
+    Replan,
+    DeadlineMiss,
+    EpochClosed,
+    ReplaySkip,
+};
+
+const char* flightKindName(FlightKind kind);
+
+/** One recorded edge; `dim`/`aux`/`value` are kind-specific. */
+struct FlightEvent
+{
+    /** Absolute run time (epoch base folded in). */
+    TimeNs at = 0.0;
+    FlightKind kind = FlightKind::CollectiveIssued;
+    /** Dimension / collective id / job id, per kind; -1 when n/a. */
+    int dim = -1;
+    /** Secondary id (attempt, fault kind, replan #); -1 when n/a. */
+    int aux = -1;
+    /** Bytes / duration / factor, per kind; 0 when n/a. */
+    double value = 0.0;
+};
+
+/** One human-readable line for @p e (postmortem dumps). */
+std::string describeFlightEvent(const FlightEvent& e);
+
+class FlightRecorder
+{
+public:
+    static constexpr std::size_t kDefaultCapacity = 256;
+
+    explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+    void record(const FlightEvent& e);
+
+    /** Entries currently held (<= capacity()). */
+    std::size_t size() const;
+    std::size_t capacity() const { return capacity_; }
+    /** Total record() calls over the recorder's life. */
+    std::uint64_t totalRecorded() const { return total_; }
+    /** Entries evicted by the ring bound. */
+    std::uint64_t dropped() const
+    {
+        return total_ - static_cast<std::uint64_t>(size());
+    }
+
+    /** Held entries, oldest first. */
+    std::vector<FlightEvent> events() const;
+
+    void clear();
+
+private:
+    std::vector<FlightEvent> ring_;
+    std::size_t capacity_;
+    std::size_t next_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace themis::stats::telemetry
+
+#endif // THEMIS_STATS_TELEMETRY_FLIGHT_RECORDER_HPP

@@ -1,0 +1,114 @@
+#include "stats/telemetry/metrics.hpp"
+
+#include <cmath>
+
+namespace themis::stats::telemetry {
+
+int
+Histogram::bucketOf(double v)
+{
+    if (!(v >= 1.0))
+        return 0; // below 1.0, zero, negative, NaN
+    int exp = 0;
+    (void)std::frexp(v, &exp); // v = m * 2^exp, m in [0.5, 1)
+    if (exp >= kBuckets)
+        return kBuckets - 1;
+    return exp;
+}
+
+double
+Histogram::bucketUpperBound(int b)
+{
+    if (b <= 0)
+        return 1.0;
+    return std::ldexp(1.0, b); // 2^b
+}
+
+void
+Histogram::record(double v)
+{
+    ++buckets_[static_cast<std::size_t>(bucketOf(v))];
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+    ++count_;
+    sum_ += v;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (p < 0.0)
+        p = 0.0;
+    if (p > 1.0)
+        p = 1.0;
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(p * static_cast<double>(count_)));
+    if (rank < 1)
+        rank = 1;
+    std::uint64_t cum = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+        cum += buckets_[static_cast<std::size_t>(b)];
+        if (cum >= rank) {
+            double v = bucketUpperBound(b);
+            if (v < min_)
+                v = min_;
+            if (v > max_)
+                v = max_;
+            return v;
+        }
+    }
+    return max_;
+}
+
+void
+Histogram::reset()
+{
+    buckets_.fill(0);
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+const Counter*
+MetricsRegistry::findCounter(const std::string& name) const
+{
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge*
+MetricsRegistry::findGauge(const std::string& name) const
+{
+    const auto it = gauges_.find(name);
+    return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram*
+MetricsRegistry::findHistogram(const std::string& name) const
+{
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void
+MetricsRegistry::reset()
+{
+    for (auto& [name, c] : counters_)
+        c.reset();
+    for (auto& [name, g] : gauges_)
+        g.reset();
+    for (auto& [name, h] : histograms_)
+        h.reset();
+}
+
+} // namespace themis::stats::telemetry

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * MetricsRegistry: the simulator's unified metric store.
+ *
+ * Three instrument kinds, all owned by a registry and addressed by
+ * stable dotted names (`runtime.collectives.issued`, `fault.retries`,
+ * `cluster.job.<id>.deadline_slack_ns`, ...):
+ *
+ *  - Counter: monotonically increasing 64-bit event count.
+ *  - Gauge: last-written double (snapshot values such as per-dim
+ *    progressed bytes or capacities).
+ *  - Histogram: fixed 64-bucket log2 histogram with exact count, sum,
+ *    min and max. Percentile queries return the bucket upper bound
+ *    clamped into [min, max], which makes them deterministic and
+ *    allocation-free at record time -- good enough for p50/p90/p99
+ *    tail reporting without storing samples.
+ *
+ * Design constraints, both load-bearing:
+ *
+ *  - Instruments are pure observers. Nothing in here may feed an
+ *    epoch fingerprint or schedule an event, so enabling telemetry is
+ *    bit-identical to running without it (asserted by telemetry_test
+ *    and bench/telemetry_overhead.cpp).
+ *  - Not thread-safe. One registry belongs to one simulation thread;
+ *    grid sweeps use a registry per worker (or none) and aggregate on
+ *    the main thread.
+ *
+ * Instrument references returned by counter()/gauge()/histogram() are
+ * stable for the life of the registry (std::map nodes never move), so
+ * hot paths resolve a name once and keep the pointer.
+ */
+
+#ifndef THEMIS_STATS_TELEMETRY_METRICS_HPP
+#define THEMIS_STATS_TELEMETRY_METRICS_HPP
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace themis::stats::telemetry {
+
+/** Monotonic event counter. */
+class Counter
+{
+public:
+    void add(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+private:
+    std::uint64_t value_ = 0;
+};
+
+/** Last-written snapshot value. */
+class Gauge
+{
+public:
+    void set(double v) { value_ = v; }
+    double value() const { return value_; }
+    void reset() { value_ = 0.0; }
+
+private:
+    double value_ = 0.0;
+};
+
+/**
+ * Fixed-bucket log2 histogram. Bucket 0 collects every value below
+ * 1.0 (including zero and negatives, which deadline slack produces);
+ * bucket b >= 1 collects [2^(b-1), 2^b). Values past the last bucket
+ * boundary saturate into the final bucket; exact min/max are kept so
+ * the tails stay truthful.
+ */
+class Histogram
+{
+public:
+    static constexpr int kBuckets = 64;
+
+    void record(double v);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    /** Exact smallest / largest recorded value; 0 when empty. */
+    double min() const { return count_ == 0 ? 0.0 : min_; }
+    double max() const { return count_ == 0 ? 0.0 : max_; }
+    double mean() const
+    {
+        return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    }
+
+    /**
+     * Deterministic percentile estimate for @p p in [0, 1]: the upper
+     * bound of the bucket holding the rank-ceil(p*count) sample,
+     * clamped into [min(), max()]. Returns 0 when empty.
+     */
+    double percentile(double p) const;
+
+    std::uint64_t bucketCount(int b) const { return buckets_[b]; }
+
+    /** Bucket index for @p v (see class comment). */
+    static int bucketOf(double v);
+    /** Upper bound of bucket @p b (1.0 for bucket 0). */
+    static double bucketUpperBound(int b);
+
+    void reset();
+
+private:
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Named instrument store. Lookup creates on first use; iteration is
+ * name-sorted so serialized snapshots are deterministic.
+ */
+class MetricsRegistry
+{
+public:
+    Counter& counter(const std::string& name)
+    {
+        return counters_[name];
+    }
+    Gauge& gauge(const std::string& name) { return gauges_[name]; }
+    Histogram& histogram(const std::string& name)
+    {
+        return histograms_[name];
+    }
+
+    /** Read-only lookups; nullptr when the name was never used. */
+    const Counter* findCounter(const std::string& name) const;
+    const Gauge* findGauge(const std::string& name) const;
+    const Histogram* findHistogram(const std::string& name) const;
+
+    const std::map<std::string, Counter>& counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Gauge>& gauges() const
+    {
+        return gauges_;
+    }
+    const std::map<std::string, Histogram>& histograms() const
+    {
+        return histograms_;
+    }
+
+    /** Total number of registered instruments across all kinds. */
+    std::size_t size() const
+    {
+        return counters_.size() + gauges_.size() + histograms_.size();
+    }
+
+    /** Zero every instrument; names stay registered. */
+    void reset();
+
+private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace themis::stats::telemetry
+
+#endif // THEMIS_STATS_TELEMETRY_METRICS_HPP

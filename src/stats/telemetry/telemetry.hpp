@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Telemetry: the bundle a run threads through RuntimeConfig.
+ *
+ * One instance per simulation thread groups the three observability
+ * surfaces -- the metrics registry, the flight recorder, and an
+ * optional TraceWriter -- plus the absolute-time base that stitches
+ * iteration epochs (whose event-queue clocks rebase to zero) and
+ * replayed convergence rounds into one continuous run timeline.
+ *
+ * Publishers (CommRuntime, FaultDriver, Cluster, the CLI loops) hold a
+ * `Telemetry*`; a null pointer means instrumentation is off and every
+ * publish site reduces to one branch. Everything here is observational
+ * only: no publisher may feed simulation state or epoch fingerprints,
+ * which is what keeps telemetry-on runs bit-identical to telemetry-off
+ * runs (asserted by telemetry_test and bench/telemetry_overhead.cpp).
+ */
+
+#ifndef THEMIS_STATS_TELEMETRY_TELEMETRY_HPP
+#define THEMIS_STATS_TELEMETRY_TELEMETRY_HPP
+
+#include "common/units.hpp"
+#include "stats/telemetry/flight_recorder.hpp"
+#include "stats/telemetry/metrics.hpp"
+
+namespace themis::stats {
+class TraceWriter;
+} // namespace themis::stats
+
+namespace themis::stats::telemetry {
+
+struct Telemetry
+{
+    MetricsRegistry metrics;
+    FlightRecorder recorder;
+
+    /** Optional trace sink; not owned. */
+    TraceWriter* trace = nullptr;
+
+    /**
+     * Absolute run time already folded out of the event queue by epoch
+     * rebases and replay skips; absolute now = time_base + queue.now().
+     */
+    TimeNs time_base = 0.0;
+
+    TimeNs absolute(TimeNs queue_now) const
+    {
+        return time_base + queue_now;
+    }
+};
+
+} // namespace themis::stats::telemetry
+
+#endif // THEMIS_STATS_TELEMETRY_TELEMETRY_HPP

@@ -14,7 +14,8 @@ UtilizationTracker::UtilizationTracker(
       retry_lost_bytes_(channels_.size(), 0.0),
       flaps_(channels_.size(), 0), down_time_(channels_.size(), 0.0),
       capacity_events_(channels_.size(), 0),
-      fatal_retries_(channels_.size(), 0)
+      fatal_retries_(channels_.size(), 0),
+      retry_backoff_(channels_.size())
 {
     THEMIS_ASSERT(!channels_.empty(), "no channels to track");
     THEMIS_ASSERT(channels_.size() == bandwidths_.size(),
@@ -59,14 +60,18 @@ UtilizationTracker::epochReset()
     std::fill(flaps_.begin(), flaps_.end(), 0);
     std::fill(down_time_.begin(), down_time_.end(), 0.0);
     std::fill(capacity_events_.begin(), capacity_events_.end(), 0);
+    for (auto& h : retry_backoff_)
+        h.reset();
 }
 
 void
-UtilizationTracker::recordRetry(std::size_t dim, Bytes lost)
+UtilizationTracker::recordRetry(std::size_t dim, Bytes lost,
+                                TimeNs backoff_ns)
 {
     THEMIS_ASSERT(dim < retries_.size(), "retry on unknown dim");
     ++retries_[dim];
     retry_lost_bytes_[dim] += lost;
+    retry_backoff_[dim].record(backoff_ns);
 }
 
 void

@@ -24,6 +24,7 @@
 
 #include "common/units.hpp"
 #include "sim/shared_channel.hpp"
+#include "stats/telemetry/metrics.hpp"
 
 namespace themis::stats {
 
@@ -117,8 +118,11 @@ class UtilizationTracker
     /** Per-dimension utilization bytes_k / (BW_k * activeTime()). */
     std::vector<double> perDimUtilization() const;
 
-    /** Record one failed attempt on @p dim wasting @p lost bytes. */
-    void recordRetry(std::size_t dim, Bytes lost);
+    /**
+     * Record one failed attempt on @p dim wasting @p lost bytes and
+     * backing off for @p backoff_ns before the requeue.
+     */
+    void recordRetry(std::size_t dim, Bytes lost, TimeNs backoff_ns);
 
     /** Record one flap on @p dim with nominal down-window @p dur. */
     void recordFlap(std::size_t dim, TimeNs dur);
@@ -159,6 +163,15 @@ class UtilizationTracker
         return fatal_retries_;
     }
 
+    /**
+     * Retry-backoff distribution per dimension (since last
+     * epochReset) — the source of the fault table's tail columns.
+     */
+    const telemetry::Histogram& retryBackoff(std::size_t dim) const
+    {
+        return retry_backoff_[dim];
+    }
+
   private:
     std::vector<Bytes> snapshot() const;
     /** Per-class progressed bytes summed over channels. */
@@ -186,6 +199,7 @@ class UtilizationTracker
     std::vector<TimeNs> down_time_;
     std::vector<std::uint64_t> capacity_events_;
     std::vector<std::uint64_t> fatal_retries_;
+    std::vector<telemetry::Histogram> retry_backoff_;
 };
 
 } // namespace themis::stats

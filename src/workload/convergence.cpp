@@ -1,6 +1,7 @@
 #include "workload/convergence.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <numeric>
 #include <set>
 #include <utility>
@@ -8,6 +9,8 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/hash.hpp"
+#include "stats/telemetry/telemetry.hpp"
+#include "stats/trace_writer.hpp"
 
 namespace themis::workload {
 
@@ -466,15 +469,36 @@ runConverged(runtime::CommRuntime& comm,
                 n -= n % k;
             if (n == 0)
                 continue; // fault boundary abuts: keep simulating
+            TimeNs replayed_span = 0.0;
             for (long long m = 0; m < n; ++m) {
                 const Epoch& e =
                     block[static_cast<std::size_t>(m % k)];
                 accumulate(r, e.b, e.s);
                 ++r.replayed_iterations;
                 ++r.epochs_replayed;
-                if (fd != nullptr)
-                    fd->skipReplayedEpoch(e.s.duration);
+                // Advances the fault driver's base plus the
+                // telemetry/trace time bases by the same additions
+                // the simulated path would apply.
+                comm.noteReplayedEpoch(e.s.duration);
+                replayed_span += e.s.duration;
                 record(i + 1 + m, e.b, e.s);
+            }
+            if (auto* tel = comm.telemetry();
+                tel != nullptr && tel->trace != nullptr) {
+                // Replay-span metadata: one span covering the skipped
+                // rounds, ending at the (already-advanced) absolute
+                // now, so the Perfetto timeline shows where replay
+                // stood in for simulation.
+                char label[64];
+                std::snprintf(label, sizeof(label),
+                              "replay x%lld (cycle %d)", n,
+                              static_cast<int>(k));
+                const TimeNs end_abs = tel->trace->timeBase() +
+                                       comm.queue().now();
+                tel->trace->spanAbs(stats::TraceWriter::kRunPid,
+                                    stats::TraceWriter::kReplayTid,
+                                    label, end_abs - replayed_span,
+                                    end_abs);
             }
             i += n;
             continue;

@@ -43,6 +43,12 @@ Tracked metrics (higher is better):
                       scenario grid; the adaptive-vs-static win and
                       fault-free bit-identity are asserted in-binary
                       against their floors and historized here
+  BENCH_telemetry.json -> events_per_sec of the bare (telemetry-off)
+                      cells; the armed/bare overhead ratio is a ratio
+                      of two wall clocks asserted in-binary against
+                      its floor (>=0.90, i.e. <=10% overhead) and
+                      historized here so instrumentation creep across
+                      PRs stays visible, but not diff-gated
 
 Beyond the previous-run diff, the script maintains a per-PR history
 table: bench_results/history.csv (long format: run,metric,value). The
@@ -207,6 +213,23 @@ def adaptation_info_metrics(doc):
     return {k: v for k, v in out.items() if isinstance(v, (int, float))}
 
 
+def telemetry_metrics(doc):
+    """{label: events_per_sec} of the telemetry-off (bare) cells of
+    the overhead bench — the same simulator fast path the other
+    benches gate, so it diffs like any throughput metric."""
+    out = {"telemetry/events_per_sec_bare": doc.get(
+        "events_per_sec_bare")}
+    return {k: v for k, v in out.items() if isinstance(v, (int, float))}
+
+
+def telemetry_info_metrics(doc):
+    """History-only telemetry metrics: the armed/bare overhead ratio
+    is a ratio of two wall clocks asserted in-binary against its
+    floor; historized so instrumentation creep stays visible."""
+    out = {"telemetry/overhead_ratio": doc.get("overhead_ratio")}
+    return {k: v for k, v in out.items() if isinstance(v, (int, float))}
+
+
 def sweep_info_metrics(doc):
     """History-only sweep-service metrics: both are ratios of small
     wall clocks (shard scaling, warm-query speedup) whose floors the
@@ -228,6 +251,7 @@ TRACKED = (
     ("BENCH_sweep_service.json", sweep_metrics),
     ("BENCH_fault.json", fault_metrics),
     ("BENCH_adaptation.json", adaptation_metrics),
+    ("BENCH_telemetry.json", telemetry_metrics),
 )
 
 # Historized but never gated (too noisy or purely informational).
@@ -236,6 +260,7 @@ TRACKED_INFO = (
     ("BENCH_cluster.json", cluster_info_metrics),
     ("BENCH_sweep_service.json", sweep_info_metrics),
     ("BENCH_adaptation.json", adaptation_info_metrics),
+    ("BENCH_telemetry.json", telemetry_info_metrics),
 )
 
 
@@ -422,6 +447,13 @@ def main():
               f"{adapt.get('faultfree_bit_identical', '?')}, "
               f"bytes_conserved="
               f"{adapt.get('bytes_conserved', '?')} "
+              f"(asserted in-binary)")
+    telem = load(os.path.join(args.curr, "BENCH_telemetry.json"))
+    if telem is not None:
+        print(f"BENCH_telemetry: overhead ratio "
+              f"{telem.get('overhead_ratio', '?')} "
+              f"(floor {telem.get('overhead_floor', '?')}), "
+              f"bit_identical={telem.get('bit_identical', '?')} "
               f"(asserted in-binary)")
     conv = load(os.path.join(args.curr, "BENCH_convergence.json"))
     if conv is not None:
